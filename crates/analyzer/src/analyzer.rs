@@ -1,0 +1,279 @@
+//! The top-level analyzer facade tying features, clustering, OLS, phases,
+//! checkpoints, and visualization together.
+
+use crate::checkpoint::{associate, PhaseCheckpoint};
+use crate::dbscan::{self, DbscanConfig, DbscanError};
+use crate::features::{FeatureMatrix, MAX_DIMS};
+use crate::kmeans::{self, KmeansConfig};
+use crate::ols::{self, OlsConfig};
+use crate::phases::{top_operators, Phase, PhaseSet, TopOps};
+use crate::viz;
+use std::io;
+use tpupoint_profiler::Profile;
+
+/// Post-execution analyzer over one [`Profile`].
+///
+/// Construction extracts and reduces the feature matrix once; every
+/// summarization method reuses it.
+#[derive(Debug)]
+pub struct Analyzer<'a> {
+    profile: &'a Profile,
+    features: FeatureMatrix,
+}
+
+impl<'a> Analyzer<'a> {
+    /// Builds the analyzer, extracting PCA-reduced step features.
+    pub fn new(profile: &'a Profile) -> Self {
+        let features = FeatureMatrix::from_profile(profile).reduced(MAX_DIMS);
+        Analyzer { profile, features }
+    }
+
+    /// The profile under analysis.
+    pub fn profile(&self) -> &Profile {
+        self.profile
+    }
+
+    /// The reduced feature matrix.
+    pub fn features(&self) -> &FeatureMatrix {
+        &self.features
+    }
+
+    /// k-means sum-of-squared-distances sweep (Figure 4).
+    pub fn kmeans_sweep(&self, range: std::ops::RangeInclusive<usize>) -> Vec<(usize, f64)> {
+        kmeans::sweep(&self.features, range, &KmeansConfig::default())
+    }
+
+    /// SimPoint-style BIC sweep over k; an alternative to the elbow
+    /// method (see `bic` module docs).
+    pub fn kmeans_bic_sweep(&self, range: std::ops::RangeInclusive<usize>) -> Vec<(usize, f64)> {
+        crate::bic::sweep(&self.features, range, &KmeansConfig::default())
+    }
+
+    /// Phases from k-means with the given k (Figure 9 uses k = 5).
+    pub fn kmeans_phases(&self, k: usize) -> PhaseSet {
+        let result = kmeans::run(
+            &self.features,
+            &KmeansConfig {
+                k,
+                ..KmeansConfig::default()
+            },
+        );
+        let labels: Vec<isize> = result.assignments.iter().map(|&a| a as isize).collect();
+        PhaseSet::from_labels(&self.profile.steps, &labels)
+    }
+
+    /// DBSCAN noise-ratio sweep over the paper's min-samples grid
+    /// (Figure 5).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbscanError::MemoryLimit`] on oversized inputs.
+    pub fn dbscan_sweep(&self) -> Result<Vec<(usize, f64, usize)>, DbscanError> {
+        dbscan::sweep(
+            &self.features,
+            &dbscan::paper_grid(),
+            &DbscanConfig::default(),
+        )
+    }
+
+    /// Phases from DBSCAN with the given min-samples (Figure 8 uses 30);
+    /// noise points form their own phase.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbscanError::MemoryLimit`] on oversized inputs.
+    pub fn dbscan_phases(&self, min_samples: usize) -> Result<PhaseSet, DbscanError> {
+        let result = dbscan::run(
+            &self.features,
+            &DbscanConfig {
+                min_samples,
+                ..DbscanConfig::default()
+            },
+        )?;
+        Ok(PhaseSet::from_labels(&self.profile.steps, &result.labels))
+    }
+
+    /// OLS phase counts across thresholds (Figure 6).
+    pub fn ols_threshold_sweep(&self, thresholds: &[f64]) -> Vec<(f64, usize)> {
+        ols::threshold_sweep(&self.profile.steps, thresholds)
+    }
+
+    /// Phases from the online linear scan at `threshold` (Figure 7 uses
+    /// 0.7).
+    pub fn ols_phases(&self, threshold: f64) -> PhaseSet {
+        let segments = ols::scan(&self.profile.steps, &OlsConfig { threshold });
+        PhaseSet::from_segments(&self.profile.steps, &segments)
+    }
+
+    /// Top operators of a phase, split host/TPU (Table II).
+    pub fn top_operators(&self, phase: &Phase, n: usize) -> TopOps {
+        top_operators(self.profile, phase, n)
+    }
+
+    /// Top operators of the longest phase of a set.
+    pub fn top_operators_of_longest(&self, set: &PhaseSet, n: usize) -> Option<TopOps> {
+        set.by_time_desc()
+            .first()
+            .map(|phase| self.top_operators(phase, n))
+    }
+
+    /// Checkpoint association for every phase (Section IV-C).
+    pub fn checkpoints_for(&self, set: &PhaseSet) -> Vec<Option<PhaseCheckpoint>> {
+        let steps: Vec<u64> = self.profile.checkpoints.iter().map(|(s, _)| *s).collect();
+        associate(&set.phases, &steps)
+    }
+
+    /// Writes the Chrome-tracing visualization.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from `writer`.
+    pub fn write_chrome_trace<W: io::Write>(&self, set: &PhaseSet, writer: W) -> io::Result<()> {
+        viz::write_chrome_trace(self.profile, set, writer)
+    }
+
+    /// Writes the phase CSV.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from `writer`.
+    pub fn write_phase_csv<W: io::Write>(&self, set: &PhaseSet, writer: W) -> io::Result<()> {
+        viz::write_phase_csv(self.profile, set, writer)
+    }
+
+    /// Writes the consecutive step-similarity CSV (Eq. 1 series).
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from `writer`.
+    pub fn write_similarity_csv<W: io::Write>(&self, writer: W) -> io::Result<()> {
+        viz::write_similarity_csv(self.profile, writer)
+    }
+
+    /// Writes the per-step operations CSV (Section IV-B's second file).
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from `writer`.
+    pub fn write_step_csv<W: io::Write>(&self, writer: W) -> io::Result<()> {
+        viz::write_step_csv(self.profile, writer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpupoint_profiler::{ProfilerOptions, ProfilerSink};
+    use tpupoint_runtime::{JobConfig, TrainingJob};
+
+    fn demo_profile() -> Profile {
+        let job = TrainingJob::new(JobConfig::demo());
+        let mut sink = ProfilerSink::new(job.catalog().clone(), ProfilerOptions::default());
+        sink.set_source(&job.config().model, &job.config().dataset.name);
+        job.run(&mut sink);
+        sink.finish()
+    }
+
+    #[test]
+    fn ols_finds_few_phases_at_the_default_threshold() {
+        let profile = demo_profile();
+        let analyzer = Analyzer::new(&profile);
+        let set = analyzer.ols_phases(0.7);
+        assert!(
+            (2..=6).contains(&set.len()),
+            "expected a handful of phases, got {}",
+            set.len()
+        );
+        // Top 3 phases dominate execution (Observation 2).
+        assert!(
+            set.coverage_top(3) > 0.9,
+            "coverage {}",
+            set.coverage_top(3)
+        );
+    }
+
+    #[test]
+    fn ols_phase_count_is_monotone_in_threshold() {
+        let profile = demo_profile();
+        let analyzer = Analyzer::new(&profile);
+        let sweep = analyzer.ols_threshold_sweep(&[0.0, 0.3, 0.5, 0.7, 0.9, 1.0]);
+        for pair in sweep.windows(2) {
+            assert!(pair[1].1 >= pair[0].1, "{pair:?}");
+        }
+    }
+
+    #[test]
+    fn kmeans_sweep_is_nonincreasing() {
+        let profile = demo_profile();
+        let analyzer = Analyzer::new(&profile);
+        let sweep = analyzer.kmeans_sweep(1..=8);
+        for pair in sweep.windows(2) {
+            assert!(pair[1].1 <= pair[0].1 + 1e-6, "{pair:?}");
+        }
+    }
+
+    #[test]
+    fn kmeans_phases_cover_all_steps() {
+        let profile = demo_profile();
+        let analyzer = Analyzer::new(&profile);
+        let set = analyzer.kmeans_phases(5);
+        let member_count: usize = set.phases.iter().map(|p| p.steps.len()).sum();
+        assert_eq!(member_count, profile.steps.len());
+        assert!((set.coverage_top(100) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dbscan_sweep_and_phases_run_on_real_profiles() {
+        let profile = demo_profile();
+        let analyzer = Analyzer::new(&profile);
+        let sweep = analyzer.dbscan_sweep().expect("within limits");
+        assert_eq!(sweep.len(), 8);
+        let set = analyzer.dbscan_phases(5).expect("within limits");
+        assert!(!set.is_empty());
+    }
+
+    #[test]
+    fn longest_phase_top_ops_include_the_expected_suspects() {
+        let profile = demo_profile();
+        let analyzer = Analyzer::new(&profile);
+        let set = analyzer.ols_phases(0.7);
+        // The demo run is tiny, so session init can outweigh training;
+        // rank phases by time and take the longest one with TPU work (on
+        // real workloads that IS the longest phase).
+        let top = set
+            .by_time_desc()
+            .into_iter()
+            .map(|p| analyzer.top_operators(p, 5))
+            .find(|t| !t.tpu.is_empty())
+            .expect("a phase with TPU work exists");
+        let tpu_names: Vec<&str> = top.tpu.iter().map(|(n, _, _)| n.as_str()).collect();
+        assert!(
+            tpu_names.contains(&"fusion") || tpu_names.contains(&"MatMul"),
+            "tpu top ops: {tpu_names:?}"
+        );
+        assert!(!top.host.is_empty());
+    }
+
+    #[test]
+    fn checkpoints_associate_with_phases() {
+        let profile = demo_profile();
+        let analyzer = Analyzer::new(&profile);
+        let set = analyzer.ols_phases(0.7);
+        let assoc = analyzer.checkpoints_for(&set);
+        assert_eq!(assoc.len(), set.len());
+        assert!(assoc.iter().any(Option::is_some));
+    }
+
+    #[test]
+    fn visualization_outputs_are_nonempty() {
+        let profile = demo_profile();
+        let analyzer = Analyzer::new(&profile);
+        let set = analyzer.ols_phases(0.7);
+        let mut json = Vec::new();
+        analyzer.write_chrome_trace(&set, &mut json).unwrap();
+        assert!(json.len() > 100);
+        let mut csv = Vec::new();
+        analyzer.write_phase_csv(&set, &mut csv).unwrap();
+        assert!(csv.len() > 50);
+    }
+}

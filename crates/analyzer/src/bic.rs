@@ -1,0 +1,195 @@
+//! Bayesian information criterion for k-means clusterings.
+//!
+//! SimPoint selects its cluster count with the BIC (Pelleg & Moore's
+//! X-means formulation); the paper notes this and substitutes the elbow
+//! method because IPC-style architectural metrics are unavailable on
+//! TPUs. Both are provided here: [`crate::kmeans::elbow_k`] and
+//! [`best_k_by_bic`].
+
+use crate::features::{dist2, FeatureMatrix};
+use crate::kmeans::{self, KmeansConfig, KmeansResult};
+
+/// BIC score of one clustering over the data it was fit on (larger is
+/// better). Uses the identical-spherical-Gaussian likelihood of X-means.
+///
+/// Returns `f64::NEG_INFINITY` for degenerate inputs (no points, or more
+/// clusters than points).
+pub fn bic_score(matrix: &FeatureMatrix, result: &KmeansResult) -> f64 {
+    let r = matrix.len();
+    let k = result.centroids.len();
+    let d = matrix.dims().max(1);
+    if r == 0 || k == 0 || k > r {
+        return f64::NEG_INFINITY;
+    }
+    // Cluster sizes.
+    let mut sizes = vec![0usize; k];
+    for &c in &result.assignments {
+        sizes[c] += 1;
+    }
+    // Pooled variance estimate; floor avoids -inf on perfect clusterings.
+    let denom = (r.saturating_sub(k)).max(1) as f64;
+    let sigma2 = (result.sse / (denom * d as f64)).max(1e-12);
+
+    let rf = r as f64;
+    let df = d as f64;
+    let mut log_likelihood = 0.0;
+    for &rj in &sizes {
+        if rj == 0 {
+            continue;
+        }
+        let rjf = rj as f64;
+        log_likelihood += rjf * rjf.ln() - rjf * rf.ln();
+    }
+    log_likelihood +=
+        -(rf * df / 2.0) * (2.0 * std::f64::consts::PI * sigma2).ln() - (rf - k as f64) * df / 2.0;
+
+    // Free parameters: k-1 mixing weights, k*d centroid coordinates, one
+    // shared variance.
+    let p = (k - 1) as f64 + (k * d) as f64 + 1.0;
+    log_likelihood - p / 2.0 * rf.ln()
+}
+
+/// Sweeps k over `range` and returns `(k, bic)` pairs.
+pub fn sweep(
+    matrix: &FeatureMatrix,
+    range: std::ops::RangeInclusive<usize>,
+    config: &KmeansConfig,
+) -> Vec<(usize, f64)> {
+    range
+        .map(|k| {
+            let result = kmeans::run(matrix, &KmeansConfig { k, ..*config });
+            (k, bic_score(matrix, &result))
+        })
+        .collect()
+}
+
+/// The k maximizing the BIC over `range`.
+pub fn best_k_by_bic(
+    matrix: &FeatureMatrix,
+    range: std::ops::RangeInclusive<usize>,
+    config: &KmeansConfig,
+) -> Option<usize> {
+    sweep(matrix, range, config)
+        .into_iter()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(k, _)| k)
+}
+
+/// Mean within-cluster distance diagnostic used in tests and reports.
+pub fn mean_within_cluster_distance(matrix: &FeatureMatrix, result: &KmeansResult) -> f64 {
+    if matrix.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = matrix
+        .rows
+        .iter()
+        .zip(&result.assignments)
+        .map(|(row, &c)| dist2(row, &result.centroids[c]).sqrt())
+        .sum();
+    total / matrix.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpupoint_simcore::SimRng;
+
+    fn blobs(k: usize, per: usize, spread: f64) -> FeatureMatrix {
+        let mut rng = SimRng::seed_from(17);
+        let mut rows = Vec::new();
+        let mut steps = Vec::new();
+        for b in 0..k {
+            let cx = (b as f64) * 25.0;
+            let cy = (b as f64 % 2.0) * 40.0;
+            for i in 0..per {
+                rows.push(vec![
+                    cx + rng.standard_normal() * spread,
+                    cy + rng.standard_normal() * spread,
+                ]);
+                steps.push((b * per + i) as u64);
+            }
+        }
+        FeatureMatrix { steps, rows }
+    }
+
+    #[test]
+    fn bic_peaks_at_the_true_cluster_count() {
+        let m = blobs(4, 30, 0.5);
+        let best = best_k_by_bic(&m, 1..=8, &KmeansConfig::default()).expect("non-empty");
+        assert!((3..=5).contains(&best), "BIC chose k = {best}");
+    }
+
+    #[test]
+    fn bic_penalizes_overfitting() {
+        let m = blobs(2, 40, 0.5);
+        let s = sweep(&m, 1..=10, &KmeansConfig::default());
+        let at = |k: usize| s.iter().find(|(kk, _)| *kk == k).unwrap().1;
+        assert!(at(2) > at(1), "two blobs beat one cluster");
+        assert!(at(2) > at(10), "parameter penalty kicks in");
+    }
+
+    #[test]
+    fn bic_agrees_with_elbow_on_clean_data() {
+        let m = blobs(3, 40, 0.4);
+        let cfg = KmeansConfig::default();
+        let bic_k = best_k_by_bic(&m, 1..=8, &cfg).unwrap();
+        let elbow_k = kmeans::elbow_k(&kmeans::sweep(&m, 1..=8, &cfg)).unwrap();
+        assert!(
+            (bic_k as i64 - elbow_k as i64).abs() <= 1,
+            "bic {bic_k} vs elbow {elbow_k}"
+        );
+    }
+
+    #[test]
+    fn degenerate_inputs_score_neg_infinity() {
+        let empty = FeatureMatrix {
+            steps: vec![],
+            rows: vec![],
+        };
+        let result = kmeans::run(&empty, &KmeansConfig::default());
+        assert_eq!(bic_score(&empty, &result), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn perfect_clustering_does_not_blow_up() {
+        // Two exactly-repeated points per cluster → sse 0 → variance floor.
+        let m = FeatureMatrix {
+            steps: vec![0, 1, 2, 3],
+            rows: vec![
+                vec![0.0, 0.0],
+                vec![0.0, 0.0],
+                vec![9.0, 9.0],
+                vec![9.0, 9.0],
+            ],
+        };
+        let result = kmeans::run(
+            &m,
+            &KmeansConfig {
+                k: 2,
+                ..KmeansConfig::default()
+            },
+        );
+        let score = bic_score(&m, &result);
+        assert!(score.is_finite());
+    }
+
+    #[test]
+    fn within_cluster_distance_shrinks_with_more_clusters() {
+        let m = blobs(4, 25, 1.0);
+        let one = kmeans::run(
+            &m,
+            &KmeansConfig {
+                k: 1,
+                ..KmeansConfig::default()
+            },
+        );
+        let four = kmeans::run(
+            &m,
+            &KmeansConfig {
+                k: 4,
+                ..KmeansConfig::default()
+            },
+        );
+        assert!(mean_within_cluster_distance(&m, &four) < mean_within_cluster_distance(&m, &one));
+    }
+}

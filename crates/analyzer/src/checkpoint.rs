@@ -1,0 +1,118 @@
+//! Checkpoint association (Section IV-C): each phase is linked to the
+//! model checkpoint closest to its steps, so an application can be
+//! restarted at a targeted phase "without starting from step zero".
+
+use crate::phases::Phase;
+
+/// The checkpoint chosen for a phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseCheckpoint {
+    /// Step number the checkpoint was written at.
+    pub checkpoint_step: u64,
+    /// Smallest distance from the checkpoint to any step in the phase.
+    pub distance: u64,
+}
+
+/// Finds the checkpoint with the smallest distance to any of the phase's
+/// steps. Returns `None` when no checkpoints exist or the phase is empty.
+pub fn nearest_checkpoint(phase: &Phase, checkpoints: &[u64]) -> Option<PhaseCheckpoint> {
+    if phase.steps.is_empty() || checkpoints.is_empty() {
+        return None;
+    }
+    // Phase steps are sorted (construction order); binary search each
+    // checkpoint against the range for the minimum distance.
+    let lo = *phase.steps.first().expect("non-empty");
+    let hi = *phase.steps.last().expect("non-empty");
+    checkpoints
+        .iter()
+        .map(|&c| {
+            let distance = if c < lo {
+                lo - c
+            } else if c > hi {
+                c - hi
+            } else {
+                // Inside the phase's span: distance to the closest member.
+                phase
+                    .steps
+                    .iter()
+                    .map(|&s| s.abs_diff(c))
+                    .min()
+                    .expect("non-empty")
+            };
+            PhaseCheckpoint {
+                checkpoint_step: c,
+                distance,
+            }
+        })
+        .min_by_key(|pc| (pc.distance, pc.checkpoint_step))
+}
+
+/// Associates every phase with its nearest checkpoint.
+pub fn associate(phases: &[Phase], checkpoints: &[u64]) -> Vec<Option<PhaseCheckpoint>> {
+    phases
+        .iter()
+        .map(|p| nearest_checkpoint(p, checkpoints))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpupoint_simcore::SimDuration;
+
+    fn phase(steps: &[u64]) -> Phase {
+        Phase {
+            id: 0,
+            steps: steps.to_vec(),
+            total_time: SimDuration::ZERO,
+            is_noise: false,
+        }
+    }
+
+    #[test]
+    fn checkpoint_inside_phase_has_zero_distance() {
+        let p = phase(&[10, 11, 12, 13]);
+        let pc = nearest_checkpoint(&p, &[5, 12, 40]).expect("found");
+        assert_eq!(pc.checkpoint_step, 12);
+        assert_eq!(pc.distance, 0);
+    }
+
+    #[test]
+    fn nearest_checkpoint_before_the_phase() {
+        let p = phase(&[100, 101, 102]);
+        let pc = nearest_checkpoint(&p, &[90, 300]).expect("found");
+        assert_eq!(pc.checkpoint_step, 90);
+        assert_eq!(pc.distance, 10);
+    }
+
+    #[test]
+    fn ties_prefer_smaller_checkpoint_step() {
+        let p = phase(&[50]);
+        let pc = nearest_checkpoint(&p, &[45, 55]).expect("found");
+        assert_eq!(pc.checkpoint_step, 45);
+        assert_eq!(pc.distance, 5);
+    }
+
+    #[test]
+    fn empty_inputs_yield_none() {
+        assert!(nearest_checkpoint(&phase(&[]), &[1]).is_none());
+        assert!(nearest_checkpoint(&phase(&[1]), &[]).is_none());
+    }
+
+    #[test]
+    fn associate_handles_every_phase() {
+        let phases = vec![phase(&[1, 2]), phase(&[100])];
+        let result = associate(&phases, &[2, 99]);
+        assert_eq!(result[0].expect("found").checkpoint_step, 2);
+        assert_eq!(result[1].expect("found").checkpoint_step, 99);
+    }
+
+    #[test]
+    fn gapped_phase_uses_member_distance_not_span() {
+        // Phase covers steps {10, 100}; checkpoint at 55 is inside the
+        // span but 45 away from the nearest member.
+        let p = phase(&[10, 100]);
+        let pc = nearest_checkpoint(&p, &[55]).expect("found");
+        assert_eq!(pc.distance, 45);
+    }
+}

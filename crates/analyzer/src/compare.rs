@@ -1,0 +1,235 @@
+//! Profile comparison: the tool-side view of the paper's paired studies
+//! (TPUv2 versus TPUv3, naive versus tuned, full versus reduced datasets).
+//!
+//! Aggregates both profiles per operator name and reports where time went,
+//! alongside the headline idle/MXU deltas.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use tpupoint_profiler::Profile;
+use tpupoint_simcore::SimDuration;
+
+/// Per-operator aggregate difference between two profiles.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpDelta {
+    /// Operator name.
+    pub op: String,
+    /// True if the op ran on the host side.
+    pub on_host: bool,
+    /// Total time in the first profile.
+    pub total_a: SimDuration,
+    /// Total time in the second profile.
+    pub total_b: SimDuration,
+    /// Invocations in the first profile.
+    pub count_a: u64,
+    /// Invocations in the second profile.
+    pub count_b: u64,
+}
+
+impl OpDelta {
+    /// `total_b / total_a`; infinity when the op only exists in `b`.
+    pub fn time_ratio(&self) -> f64 {
+        let a = self.total_a.as_micros() as f64;
+        let b = self.total_b.as_micros() as f64;
+        if a == 0.0 {
+            if b == 0.0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            b / a
+        }
+    }
+}
+
+/// Result of comparing two profiles.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfileComparison {
+    /// Label of the first profile (its model name).
+    pub label_a: String,
+    /// Label of the second profile.
+    pub label_b: String,
+    /// TPU idle fractions `(a, b)`.
+    pub idle: (f64, f64),
+    /// MXU utilizations `(a, b)`.
+    pub mxu: (f64, f64),
+    /// Per-operator rows, sorted by absolute time difference, descending.
+    pub ops: Vec<OpDelta>,
+}
+
+fn op_totals(profile: &Profile) -> BTreeMap<(String, bool), (SimDuration, u64)> {
+    let mut acc: BTreeMap<(String, bool), (SimDuration, u64)> = BTreeMap::new();
+    for record in &profile.steps {
+        for (op, stats) in &record.ops {
+            let key = (
+                profile.op_name(*op).to_owned(),
+                profile.op_on_host[op.0 as usize],
+            );
+            let entry = acc.entry(key).or_insert((SimDuration::ZERO, 0));
+            entry.0 += stats.total;
+            entry.1 += stats.count;
+        }
+    }
+    acc
+}
+
+/// Compares two profiles op by op.
+pub fn compare(a: &Profile, b: &Profile) -> ProfileComparison {
+    let ta = op_totals(a);
+    let tb = op_totals(b);
+    let keys: std::collections::BTreeSet<_> = ta.keys().chain(tb.keys()).cloned().collect();
+    let mut ops: Vec<OpDelta> = keys
+        .into_iter()
+        .map(|key| {
+            let (total_a, count_a) = ta.get(&key).copied().unwrap_or((SimDuration::ZERO, 0));
+            let (total_b, count_b) = tb.get(&key).copied().unwrap_or((SimDuration::ZERO, 0));
+            OpDelta {
+                op: key.0,
+                on_host: key.1,
+                total_a,
+                total_b,
+                count_a,
+                count_b,
+            }
+        })
+        .collect();
+    ops.sort_by_key(|d| std::cmp::Reverse(d.total_a.as_micros().abs_diff(d.total_b.as_micros())));
+    ProfileComparison {
+        label_a: a.model.clone(),
+        label_b: b.model.clone(),
+        idle: (a.steady_tpu_idle_fraction(), b.steady_tpu_idle_fraction()),
+        mxu: (a.steady_mxu_utilization(), b.steady_mxu_utilization()),
+        ops,
+    }
+}
+
+impl ProfileComparison {
+    /// Renders a console table of the headline metrics and the `top`
+    /// largest operator movements.
+    pub fn render(&self, top: usize) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "comparing A = {} with B = {}",
+            self.label_a, self.label_b
+        );
+        let _ = writeln!(
+            out,
+            "  TPU idle: {:.1}% -> {:.1}%   MXU util: {:.1}% -> {:.1}%",
+            self.idle.0 * 100.0,
+            self.idle.1 * 100.0,
+            self.mxu.0 * 100.0,
+            self.mxu.1 * 100.0
+        );
+        let _ = writeln!(
+            out,
+            "  {:28} {:>4} {:>14} {:>14} {:>8}",
+            "op", "side", "A total", "B total", "B/A"
+        );
+        for delta in self.ops.iter().take(top) {
+            let ratio = delta.time_ratio();
+            let _ = writeln!(
+                out,
+                "  {:28} {:>4} {:>14} {:>14} {:>7.2}x",
+                delta.op,
+                if delta.on_host { "host" } else { "tpu" },
+                delta.total_a.to_string(),
+                delta.total_b.to_string(),
+                if ratio.is_finite() { ratio } else { 999.0 },
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpupoint_profiler::StepRecord;
+    use tpupoint_simcore::{OpId, SimTime, Track};
+
+    fn profile(name: &str, fusion_us: u64, outfeed_us: u64) -> Profile {
+        let mut r = StepRecord::new(1);
+        r.absorb(
+            OpId(0),
+            Track::TpuCore(0),
+            SimTime::from_micros(0),
+            SimDuration::from_micros(fusion_us),
+            SimDuration::from_micros(fusion_us / 2),
+        );
+        r.absorb(
+            OpId(1),
+            Track::Host,
+            SimTime::from_micros(fusion_us),
+            SimDuration::from_micros(outfeed_us),
+            SimDuration::ZERO,
+        );
+        Profile {
+            model: name.into(),
+            dataset: "d".into(),
+            op_names: vec!["fusion".into(), "OutfeedDequeueTuple".into()],
+            op_uses_mxu: vec![true, false],
+            op_on_host: vec![false, true],
+            steps: vec![r],
+            windows: vec![],
+            step_marks: vec![(1, SimTime::from_micros(fusion_us + outfeed_us))],
+            checkpoints: vec![],
+            dropped_windows: 0,
+            lost_events: 0,
+        }
+    }
+
+    #[test]
+    fn compare_reports_per_op_movements() {
+        let a = profile("A", 100, 50);
+        let b = profile("B", 60, 300);
+        let cmp = compare(&a, &b);
+        assert_eq!(cmp.ops.len(), 2);
+        // The outfeed moved by 250us, the fusion by 40us → outfeed first.
+        assert_eq!(cmp.ops[0].op, "OutfeedDequeueTuple");
+        assert!(cmp.ops[0].on_host);
+        assert_eq!(cmp.ops[0].total_a.as_micros(), 50);
+        assert_eq!(cmp.ops[0].total_b.as_micros(), 300);
+        assert!((cmp.ops[0].time_ratio() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ops_missing_from_one_side_are_kept() {
+        let a = profile("A", 100, 50);
+        let mut b = profile("B", 60, 300);
+        // Rename B's host op so the sets differ.
+        b.op_names[1] = "IteratorGetNext".into();
+        let cmp = compare(&a, &b);
+        let names: Vec<&str> = cmp.ops.iter().map(|d| d.op.as_str()).collect();
+        assert!(names.contains(&"OutfeedDequeueTuple"));
+        assert!(names.contains(&"IteratorGetNext"));
+        let orphan = cmp
+            .ops
+            .iter()
+            .find(|d| d.op == "IteratorGetNext")
+            .expect("orphan present");
+        assert_eq!(orphan.total_a, SimDuration::ZERO);
+        assert!(orphan.time_ratio().is_infinite());
+    }
+
+    #[test]
+    fn render_mentions_both_labels_and_metrics() {
+        let a = profile("tuned", 100, 50);
+        let b = profile("naive", 100, 500);
+        let text = compare(&a, &b).render(5);
+        assert!(text.contains("A = tuned"));
+        assert!(text.contains("B = naive"));
+        assert!(text.contains("TPU idle"));
+        assert!(text.contains("OutfeedDequeueTuple"));
+    }
+
+    #[test]
+    fn identical_profiles_have_unit_ratios() {
+        let a = profile("X", 100, 50);
+        let cmp = compare(&a, &a);
+        assert!(cmp.ops.iter().all(|d| (d.time_ratio() - 1.0).abs() < 1e-9));
+        assert_eq!(cmp.idle.0, cmp.idle.1);
+    }
+}

@@ -1,0 +1,369 @@
+//! DBSCAN (Ester et al., 1996), the paper's second clustering method.
+//!
+//! The paper sweeps the *minimum samples* parameter from 5 to 200 and
+//! plots the ratio of noise (unclustered) points, applying the elbow
+//! method to pick the knee (Figure 5). The neighborhood radius `eps` is
+//! chosen by a k-nearest-neighbor heuristic on a sample of the data.
+//!
+//! Section VI-B notes that k-means and DBSCAN "reach memory limitations
+//! for larger workloads such as RetinaNet and ResNet"; [`DbscanConfig::
+//! max_points`] reproduces that operational limit explicitly.
+
+use crate::elbow::elbow_index;
+use crate::features::{dist2, FeatureMatrix};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Label DBSCAN gives to unclustered points.
+pub const NOISE: isize = -1;
+
+/// DBSCAN configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DbscanConfig {
+    /// Neighborhood radius; `None` selects it automatically via the kNN
+    /// heuristic.
+    pub eps: Option<f64>,
+    /// Minimum neighbors (including self) for a core point.
+    pub min_samples: usize,
+    /// Refuse inputs with more rows than this (the paper's observed memory
+    /// limitation on large workloads). `None` = unlimited.
+    pub max_points: Option<usize>,
+}
+
+impl Default for DbscanConfig {
+    fn default() -> Self {
+        DbscanConfig {
+            eps: None,
+            min_samples: 30,
+            max_points: Some(200_000),
+        }
+    }
+}
+
+/// DBSCAN failure modes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbscanError {
+    /// The input exceeded [`DbscanConfig::max_points`].
+    MemoryLimit {
+        /// Rows in the input.
+        points: usize,
+        /// The configured cap.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for DbscanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbscanError::MemoryLimit { points, limit } => write!(
+                f,
+                "dbscan memory limit: {points} points exceed the {limit}-point cap"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DbscanError {}
+
+/// Result of a DBSCAN run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DbscanResult {
+    /// Cluster label per row; [`NOISE`] for unclustered points.
+    pub labels: Vec<isize>,
+    /// Number of clusters found.
+    pub clusters: usize,
+    /// The eps actually used.
+    pub eps: f64,
+}
+
+impl DbscanResult {
+    /// Fraction of points labeled noise — the paper's Figure 5 metric.
+    pub fn noise_ratio(&self) -> f64 {
+        if self.labels.is_empty() {
+            return 0.0;
+        }
+        self.labels.iter().filter(|&&l| l == NOISE).count() as f64 / self.labels.len() as f64
+    }
+}
+
+/// Chooses eps as 1.5 × the median distance to the 4th-nearest neighbor,
+/// estimated on at most 512 sampled rows.
+pub fn auto_eps(matrix: &FeatureMatrix) -> f64 {
+    let n = matrix.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let stride = n.div_ceil(512);
+    let sample: Vec<usize> = (0..n).step_by(stride).collect();
+    let mut knn: Vec<f64> = Vec::with_capacity(sample.len());
+    for &i in &sample {
+        let mut d: Vec<f64> = sample
+            .iter()
+            .filter(|&&j| j != i)
+            .map(|&j| matrix.dist2(i, j))
+            .collect();
+        if d.is_empty() {
+            continue;
+        }
+        let k = 3.min(d.len() - 1);
+        d.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        knn.push(d[k].sqrt());
+    }
+    if knn.is_empty() {
+        return 1.0;
+    }
+    knn.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let median = knn[knn.len() / 2];
+    (1.5 * median).max(1e-9)
+}
+
+/// Runs DBSCAN.
+///
+/// # Errors
+///
+/// Returns [`DbscanError::MemoryLimit`] when the input exceeds the
+/// configured point cap.
+pub fn run(matrix: &FeatureMatrix, config: &DbscanConfig) -> Result<DbscanResult, DbscanError> {
+    let n = matrix.len();
+    if let Some(limit) = config.max_points {
+        if n > limit {
+            return Err(DbscanError::MemoryLimit { points: n, limit });
+        }
+    }
+    let eps = config.eps.unwrap_or_else(|| auto_eps(matrix));
+    let eps2 = eps * eps;
+    let min_samples = config.min_samples.max(1);
+
+    let mut labels = vec![isize::MIN; n]; // MIN = unvisited
+    let mut cluster: isize = 0;
+    let neighbors = |i: usize| -> Vec<usize> {
+        (0..n)
+            .filter(|&j| dist2(&matrix.rows[i], &matrix.rows[j]) <= eps2)
+            .collect()
+    };
+    for i in 0..n {
+        if labels[i] != isize::MIN {
+            continue;
+        }
+        let nbrs = neighbors(i);
+        if nbrs.len() < min_samples {
+            labels[i] = NOISE;
+            continue;
+        }
+        labels[i] = cluster;
+        let mut queue: VecDeque<usize> = nbrs.into_iter().collect();
+        while let Some(j) = queue.pop_front() {
+            if labels[j] == NOISE {
+                labels[j] = cluster; // border point adopted by the cluster
+            }
+            if labels[j] != isize::MIN {
+                continue;
+            }
+            labels[j] = cluster;
+            let jn = neighbors(j);
+            if jn.len() >= min_samples {
+                queue.extend(jn);
+            }
+        }
+        cluster += 1;
+    }
+    Ok(DbscanResult {
+        labels,
+        clusters: cluster as usize,
+        eps,
+    })
+}
+
+/// Sweeps `min_samples` over the paper's grid (default 5..=180 step 25),
+/// returning `(min_samples, noise_ratio, clusters)` triples — Figure 5.
+///
+/// # Errors
+///
+/// Propagates [`DbscanError`] from the underlying runs.
+pub fn sweep(
+    matrix: &FeatureMatrix,
+    grid: &[usize],
+    base: &DbscanConfig,
+) -> Result<Vec<(usize, f64, usize)>, DbscanError> {
+    // eps is computed once so the sweep varies only min_samples.
+    let eps = base.eps.unwrap_or_else(|| auto_eps(matrix));
+    grid.iter()
+        .map(|&m| {
+            let result = run(
+                matrix,
+                &DbscanConfig {
+                    eps: Some(eps),
+                    min_samples: m,
+                    max_points: base.max_points,
+                },
+            )?;
+            Ok((m, result.noise_ratio(), result.clusters))
+        })
+        .collect()
+}
+
+/// The paper's sweep grid: 5 to 180 in steps of 25.
+pub fn paper_grid() -> Vec<usize> {
+    (0..8).map(|i| 5 + 25 * i).collect()
+}
+
+/// Applies the elbow method to a sweep, returning the chosen min-samples.
+pub fn elbow_min_samples(sweep: &[(usize, f64, usize)]) -> Option<usize> {
+    let xs: Vec<f64> = sweep.iter().map(|(m, _, _)| *m as f64).collect();
+    let ys: Vec<f64> = sweep.iter().map(|(_, r, _)| *r).collect();
+    elbow_index(&xs, &ys).map(|i| sweep[i].0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpupoint_simcore::SimRng;
+
+    fn blobs(sizes: &[usize]) -> FeatureMatrix {
+        let mut rng = SimRng::seed_from(9);
+        let centers = [(0.0, 0.0), (20.0, 0.0), (0.0, 20.0), (20.0, 20.0)];
+        let mut rows = Vec::new();
+        let mut steps = Vec::new();
+        for (b, &size) in sizes.iter().enumerate() {
+            let (cx, cy) = centers[b % centers.len()];
+            for _ in 0..size {
+                rows.push(vec![
+                    cx + rng.standard_normal() * 0.5,
+                    cy + rng.standard_normal() * 0.5,
+                ]);
+                steps.push(rows.len() as u64);
+            }
+        }
+        FeatureMatrix { steps, rows }
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let m = blobs(&[40, 40]);
+        let result = run(
+            &m,
+            &DbscanConfig {
+                eps: Some(3.0),
+                min_samples: 5,
+                max_points: None,
+            },
+        )
+        .expect("within limits");
+        assert_eq!(result.clusters, 2);
+        assert_eq!(result.noise_ratio(), 0.0);
+        assert!(result.labels[..40].iter().all(|&l| l == result.labels[0]));
+        assert!(result.labels[40..].iter().all(|&l| l == result.labels[40]));
+        assert_ne!(result.labels[0], result.labels[40]);
+    }
+
+    #[test]
+    fn small_blobs_become_noise_as_min_samples_rises() {
+        // One big blob (60) and one small (8).
+        let m = blobs(&[60, 8]);
+        let lo = run(
+            &m,
+            &DbscanConfig {
+                eps: Some(3.0),
+                min_samples: 5,
+                max_points: None,
+            },
+        )
+        .unwrap();
+        let hi = run(
+            &m,
+            &DbscanConfig {
+                eps: Some(3.0),
+                min_samples: 20,
+                max_points: None,
+            },
+        )
+        .unwrap();
+        assert_eq!(lo.clusters, 2);
+        assert_eq!(hi.clusters, 1, "small blob no longer clusters");
+        assert!(hi.noise_ratio() > lo.noise_ratio());
+        assert!((hi.noise_ratio() - 8.0 / 68.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noise_ratio_is_monotone_in_min_samples() {
+        let m = blobs(&[50, 30, 12]);
+        let grid: Vec<usize> = vec![5, 10, 20, 40, 60];
+        let sweep = sweep(
+            &m,
+            &grid,
+            &DbscanConfig {
+                eps: Some(3.0),
+                ..DbscanConfig::default()
+            },
+        )
+        .unwrap();
+        for pair in sweep.windows(2) {
+            assert!(
+                pair[1].1 >= pair[0].1 - 1e-9,
+                "noise must not drop: {pair:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn memory_limit_is_enforced() {
+        let m = blobs(&[50]);
+        let err = run(
+            &m,
+            &DbscanConfig {
+                eps: Some(1.0),
+                min_samples: 5,
+                max_points: Some(10),
+            },
+        )
+        .expect_err("limit exceeded");
+        assert_eq!(
+            err,
+            DbscanError::MemoryLimit {
+                points: 50,
+                limit: 10
+            }
+        );
+        assert!(err.to_string().contains("memory limit"));
+    }
+
+    #[test]
+    fn auto_eps_is_positive_and_scales_with_spread() {
+        let tight = blobs(&[50]);
+        let eps_tight = auto_eps(&tight);
+        assert!(eps_tight > 0.0);
+        let mut wide = tight.clone();
+        for row in &mut wide.rows {
+            for x in row.iter_mut() {
+                *x *= 10.0;
+            }
+        }
+        assert!(auto_eps(&wide) > eps_tight * 5.0);
+    }
+
+    #[test]
+    fn paper_grid_matches_figure_5() {
+        assert_eq!(paper_grid(), vec![5, 30, 55, 80, 105, 130, 155, 180]);
+    }
+
+    #[test]
+    fn border_points_join_clusters() {
+        // A dense line of points: all should be one cluster, no noise.
+        let rows: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64 * 0.5, 0.0]).collect();
+        let m = FeatureMatrix {
+            steps: (0..30).collect(),
+            rows,
+        };
+        let result = run(
+            &m,
+            &DbscanConfig {
+                eps: Some(1.1),
+                min_samples: 3,
+                max_points: None,
+            },
+        )
+        .unwrap();
+        assert_eq!(result.clusters, 1);
+        assert_eq!(result.noise_ratio(), 0.0);
+    }
+}

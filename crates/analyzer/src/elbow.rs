@@ -1,0 +1,77 @@
+//! The elbow method (Thorndike, 1953), used by the paper as the heuristic
+//! to "cut clustering off when improvement stops increasing significantly".
+
+/// Finds the elbow of a monotone curve `ys` sampled at `xs`: the index
+/// maximizing the perpendicular distance to the chord between the first
+/// and last points. Returns `None` for fewer than three points.
+///
+/// Works for both decreasing curves (k-means sum of squared distances vs k)
+/// and increasing ones (DBSCAN noise ratio vs min-samples).
+pub fn elbow_index(xs: &[f64], ys: &[f64]) -> Option<usize> {
+    if xs.len() != ys.len() || xs.len() < 3 {
+        return None;
+    }
+    let n = xs.len();
+    let (x0, y0) = (xs[0], ys[0]);
+    let (x1, y1) = (xs[n - 1], ys[n - 1]);
+    let dx = x1 - x0;
+    let dy = y1 - y0;
+    let norm = (dx * dx + dy * dy).sqrt();
+    if norm == 0.0 {
+        return None;
+    }
+    let mut best = None;
+    let mut best_dist = -1.0;
+    for i in 1..n - 1 {
+        // Distance from (xs[i], ys[i]) to the chord.
+        let dist = (dy * xs[i] - dx * ys[i] + x1 * y0 - y1 * x0).abs() / norm;
+        if dist > best_dist {
+            best_dist = dist;
+            best = Some(i);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_sharp_elbow_in_decreasing_curve() {
+        // SSE-like: steep drop then flat.
+        let xs: Vec<f64> = (1..=10).map(|k| k as f64).collect();
+        let ys = vec![100.0, 40.0, 12.0, 5.0, 4.5, 4.2, 4.0, 3.9, 3.8, 3.7];
+        let idx = elbow_index(&xs, &ys).expect("elbow exists");
+        // Elbow near k=3..4.
+        assert!((2..=3).contains(&idx), "elbow at index {idx}");
+    }
+
+    #[test]
+    fn finds_elbow_in_increasing_curve() {
+        let xs: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        let ys = vec![0.01, 0.02, 0.03, 0.05, 0.30, 0.55, 0.80, 0.95];
+        let idx = elbow_index(&xs, &ys).expect("elbow exists");
+        assert!((3..=4).contains(&idx), "elbow at index {idx}");
+    }
+
+    #[test]
+    fn degenerate_inputs_return_none() {
+        assert_eq!(elbow_index(&[1.0, 2.0], &[3.0, 4.0]), None);
+        assert_eq!(elbow_index(&[1.0], &[1.0]), None);
+        assert_eq!(elbow_index(&[], &[]), None);
+        // Identical endpoints: no chord.
+        assert_eq!(elbow_index(&[1.0, 1.0, 1.0], &[2.0, 2.0, 2.0]), None);
+        // Mismatched lengths.
+        assert_eq!(elbow_index(&[1.0, 2.0, 3.0], &[1.0, 2.0]), None);
+    }
+
+    #[test]
+    fn straight_line_picks_an_interior_point() {
+        // All interior distances are ~0; any interior index is acceptable.
+        let xs: Vec<f64> = (0..5).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x).collect();
+        let idx = elbow_index(&xs, &ys).expect("returns something");
+        assert!((1..=3).contains(&idx));
+    }
+}

@@ -1,0 +1,290 @@
+//! k-means clustering, "implemented like SimPoint does" (Section IV-A):
+//! run for k = 1..15 and pick the knee of the sum-of-squared-distances
+//! curve with the elbow method.
+
+use crate::elbow::elbow_index;
+use crate::features::{dist2, FeatureMatrix};
+use tpupoint_simcore::SimRng;
+
+/// Configuration of one k-means run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KmeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Lloyd iterations cap.
+    pub max_iters: usize,
+    /// Independent restarts; the lowest-SSE run wins.
+    pub n_init: usize,
+    /// RNG seed for k-means++ initialization.
+    pub seed: u64,
+}
+
+impl Default for KmeansConfig {
+    fn default() -> Self {
+        KmeansConfig {
+            k: 5,
+            max_iters: 50,
+            n_init: 3,
+            seed: 0x7e57,
+        }
+    }
+}
+
+/// Result of a k-means run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KmeansResult {
+    /// Cluster index of each row.
+    pub assignments: Vec<usize>,
+    /// Cluster centroids.
+    pub centroids: Vec<Vec<f64>>,
+    /// Sum of squared distances of rows to their centroids.
+    pub sse: f64,
+}
+
+/// Runs k-means on the rows of `matrix`.
+///
+/// # Panics
+///
+/// Panics if `config.k` is zero.
+pub fn run(matrix: &FeatureMatrix, config: &KmeansConfig) -> KmeansResult {
+    assert!(config.k > 0, "k must be positive");
+    let n = matrix.len();
+    if n == 0 {
+        return KmeansResult {
+            assignments: Vec::new(),
+            centroids: Vec::new(),
+            sse: 0.0,
+        };
+    }
+    let k = config.k.min(n);
+    let mut best: Option<KmeansResult> = None;
+    for restart in 0..config.n_init.max(1) {
+        let mut rng = SimRng::seed_from(config.seed ^ (restart as u64).wrapping_mul(0x9E37));
+        let result = lloyd(matrix, k, config.max_iters, &mut rng);
+        if best.as_ref().is_none_or(|b| result.sse < b.sse) {
+            best = Some(result);
+        }
+    }
+    best.expect("at least one restart ran")
+}
+
+fn lloyd(matrix: &FeatureMatrix, k: usize, max_iters: usize, rng: &mut SimRng) -> KmeansResult {
+    let n = matrix.len();
+    let d = matrix.dims();
+    // k-means++ seeding.
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(matrix.rows[rng.uniform_u64(0, n as u64 - 1) as usize].clone());
+    let mut min_d2: Vec<f64> = matrix
+        .rows
+        .iter()
+        .map(|r| dist2(r, &centroids[0]))
+        .collect();
+    while centroids.len() < k {
+        let total: f64 = min_d2.iter().sum();
+        let idx = if total <= 0.0 {
+            rng.uniform_u64(0, n as u64 - 1) as usize
+        } else {
+            let mut target = rng.uniform_f64() * total;
+            let mut chosen = n - 1;
+            for (i, &w) in min_d2.iter().enumerate() {
+                target -= w;
+                if target <= 0.0 {
+                    chosen = i;
+                    break;
+                }
+            }
+            chosen
+        };
+        centroids.push(matrix.rows[idx].clone());
+        let latest = centroids.last().expect("just pushed");
+        for (i, row) in matrix.rows.iter().enumerate() {
+            min_d2[i] = min_d2[i].min(dist2(row, latest));
+        }
+    }
+
+    let mut assignments = vec![0usize; n];
+    for _ in 0..max_iters {
+        // Assign.
+        let mut changed = false;
+        for (i, row) in matrix.rows.iter().enumerate() {
+            let mut best_c = 0;
+            let mut best_d = f64::INFINITY;
+            for (c, centroid) in centroids.iter().enumerate() {
+                let dd = dist2(row, centroid);
+                if dd < best_d {
+                    best_d = dd;
+                    best_c = c;
+                }
+            }
+            if assignments[i] != best_c {
+                assignments[i] = best_c;
+                changed = true;
+            }
+        }
+        // Update.
+        let mut sums = vec![vec![0.0; d]; k];
+        let mut counts = vec![0usize; k];
+        for (i, row) in matrix.rows.iter().enumerate() {
+            counts[assignments[i]] += 1;
+            for (s, x) in sums[assignments[i]].iter_mut().zip(row) {
+                *s += x;
+            }
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                for s in &mut sums[c] {
+                    *s /= counts[c] as f64;
+                }
+                centroids[c] = sums[c].clone();
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let sse = matrix
+        .rows
+        .iter()
+        .zip(&assignments)
+        .map(|(row, &c)| dist2(row, &centroids[c]))
+        .sum();
+    KmeansResult {
+        assignments,
+        centroids,
+        sse,
+    }
+}
+
+/// Sweeps k over `range`, returning `(k, sse)` pairs — the data behind
+/// Figure 4.
+pub fn sweep(
+    matrix: &FeatureMatrix,
+    range: std::ops::RangeInclusive<usize>,
+    config: &KmeansConfig,
+) -> Vec<(usize, f64)> {
+    range
+        .map(|k| {
+            let result = run(matrix, &KmeansConfig { k, ..*config });
+            (k, result.sse)
+        })
+        .collect()
+}
+
+/// Applies the elbow method to a sweep, returning the chosen k.
+pub fn elbow_k(sweep: &[(usize, f64)]) -> Option<usize> {
+    let xs: Vec<f64> = sweep.iter().map(|(k, _)| *k as f64).collect();
+    let ys: Vec<f64> = sweep.iter().map(|(_, s)| *s).collect();
+    elbow_index(&xs, &ys).map(|i| sweep[i].0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three well-separated blobs of 20 points each.
+    fn blobs() -> FeatureMatrix {
+        let mut rng = SimRng::seed_from(5);
+        let centers = [(0.0, 0.0), (10.0, 0.0), (5.0, 12.0)];
+        let mut rows = Vec::new();
+        let mut steps = Vec::new();
+        for (ci, &(cx, cy)) in centers.iter().enumerate() {
+            for i in 0..20 {
+                rows.push(vec![
+                    cx + rng.standard_normal() * 0.3,
+                    cy + rng.standard_normal() * 0.3,
+                ]);
+                steps.push((ci * 20 + i) as u64);
+            }
+        }
+        FeatureMatrix { steps, rows }
+    }
+
+    #[test]
+    fn recovers_three_blobs() {
+        let m = blobs();
+        let result = run(
+            &m,
+            &KmeansConfig {
+                k: 3,
+                ..KmeansConfig::default()
+            },
+        );
+        // All points of one blob share a label.
+        for blob in 0..3 {
+            let labels: Vec<usize> = (blob * 20..(blob + 1) * 20)
+                .map(|i| result.assignments[i])
+                .collect();
+            assert!(labels.iter().all(|&l| l == labels[0]), "blob {blob} split");
+        }
+        assert!(result.sse < 60.0 * 1.0, "sse {}", result.sse);
+    }
+
+    #[test]
+    fn sse_decreases_with_k() {
+        let m = blobs();
+        let sweep = sweep(&m, 1..=6, &KmeansConfig::default());
+        for pair in sweep.windows(2) {
+            assert!(
+                pair[1].1 <= pair[0].1 + 1e-9,
+                "sse should not increase: {pair:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn elbow_picks_the_true_cluster_count() {
+        let m = blobs();
+        let s = sweep(&m, 1..=8, &KmeansConfig::default());
+        let k = elbow_k(&s).expect("elbow exists");
+        assert!((2..=4).contains(&k), "elbow k = {k}");
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let m = blobs();
+        let a = run(&m, &KmeansConfig::default());
+        let b = run(&m, &KmeansConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn k_capped_at_point_count() {
+        let m = FeatureMatrix {
+            steps: vec![1, 2],
+            rows: vec![vec![0.0], vec![1.0]],
+        };
+        let result = run(
+            &m,
+            &KmeansConfig {
+                k: 10,
+                ..KmeansConfig::default()
+            },
+        );
+        assert!(result.centroids.len() <= 2);
+        assert_eq!(result.sse, 0.0);
+    }
+
+    #[test]
+    fn empty_matrix_is_fine() {
+        let m = FeatureMatrix {
+            steps: vec![],
+            rows: vec![],
+        };
+        let result = run(&m, &KmeansConfig::default());
+        assert!(result.assignments.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let m = blobs();
+        let _ = run(
+            &m,
+            &KmeansConfig {
+                k: 0,
+                ..KmeansConfig::default()
+            },
+        );
+    }
+}

@@ -1,0 +1,290 @@
+//! The Online Linear Scan (OLS): TPUPoint's low-overhead phase detector.
+//!
+//! OLS avoids storing and post-processing all records: it compares each
+//! step only to its predecessor using the set-based similarity of
+//! Equation 1,
+//!
+//! ```text
+//! StepSimilarity(S_{i-1}, S_{i-2}) = |S_{i-1} ∩ S_{i-2}| / min(|S_{i-1}|, |S_{i-2}|)
+//! ```
+//!
+//! where a step's set is the distinct operators observed during it. If the
+//! similarity meets the threshold (default 70%) the successor joins the
+//! current phase; otherwise a new phase begins.
+
+use tpupoint_profiler::StepRecord;
+
+/// OLS configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OlsConfig {
+    /// Similarity threshold in `[0, 1]`; the paper's default is 0.7.
+    pub threshold: f64,
+}
+
+impl Default for OlsConfig {
+    fn default() -> Self {
+        OlsConfig { threshold: 0.7 }
+    }
+}
+
+/// A contiguous run of steps forming one OLS phase, as half-open indices
+/// into the scanned record slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// First record index of the phase.
+    pub start: usize,
+    /// One past the last record index.
+    pub end: usize,
+}
+
+impl Segment {
+    /// Number of steps in the segment.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True for an empty segment (never produced by the scan).
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+}
+
+/// Equation 1: intersection over the smaller event set. Two empty sets are
+/// defined as fully similar.
+pub fn step_similarity(a: &StepRecord, b: &StepRecord) -> f64 {
+    let na = a.distinct_ops();
+    let nb = b.distinct_ops();
+    if na == 0 && nb == 0 {
+        return 1.0;
+    }
+    if na == 0 || nb == 0 {
+        return 0.0;
+    }
+    // Both op maps are BTreeMaps: intersect with a linear merge.
+    let mut inter = 0usize;
+    let mut ita = a.event_set().peekable();
+    let mut itb = b.event_set().peekable();
+    while let (Some(&x), Some(&y)) = (ita.peek(), itb.peek()) {
+        match x.cmp(&y) {
+            std::cmp::Ordering::Less => {
+                ita.next();
+            }
+            std::cmp::Ordering::Greater => {
+                itb.next();
+            }
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                ita.next();
+                itb.next();
+            }
+        }
+    }
+    inter as f64 / na.min(nb) as f64
+}
+
+/// Scans records (assumed in step order) into phases.
+///
+/// # Panics
+///
+/// Panics if the threshold is outside `[0, 1]`.
+pub fn scan(records: &[StepRecord], config: &OlsConfig) -> Vec<Segment> {
+    assert!(
+        (0.0..=1.0).contains(&config.threshold),
+        "similarity threshold must be within [0, 1]"
+    );
+    let mut segments = Vec::new();
+    if records.is_empty() {
+        return segments;
+    }
+    let mut start = 0usize;
+    for i in 1..records.len() {
+        if step_similarity(&records[i], &records[i - 1]) < config.threshold {
+            segments.push(Segment { start, end: i });
+            start = i;
+        }
+    }
+    segments.push(Segment {
+        start,
+        end: records.len(),
+    });
+    segments
+}
+
+/// Similarity of each record to its predecessor (Eq. 1), in record
+/// order; entry `i` compares records `i` and `i+1`. The raw series behind
+/// Figure 6's threshold sweep.
+pub fn consecutive_similarities(records: &[StepRecord]) -> Vec<f64> {
+    records
+        .windows(2)
+        .map(|w| step_similarity(&w[1], &w[0]))
+        .collect()
+}
+
+/// Counts phases for each threshold — the data behind Figure 6.
+pub fn threshold_sweep(records: &[StepRecord], thresholds: &[f64]) -> Vec<(f64, usize)> {
+    // Precompute consecutive similarities once; each threshold then counts
+    // boundary crossings.
+    let sims = consecutive_similarities(records);
+    thresholds
+        .iter()
+        .map(|&t| {
+            let breaks = sims.iter().filter(|&&s| s < t).count();
+            let phases = if records.is_empty() { 0 } else { breaks + 1 };
+            (t, phases)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpupoint_simcore::{OpId, SimDuration, SimTime, Track};
+
+    /// Builds a record whose event set is exactly `ops`.
+    fn record(step: u64, ops: &[u32]) -> StepRecord {
+        let mut r = StepRecord::new(step);
+        for &op in ops {
+            r.absorb(
+                OpId(op),
+                Track::TpuCore(0),
+                SimTime::from_micros(step * 100),
+                SimDuration::from_micros(10),
+                SimDuration::ZERO,
+            );
+        }
+        r
+    }
+
+    #[test]
+    fn similarity_matches_equation_one() {
+        let a = record(1, &[1, 2, 3, 4]);
+        let b = record(2, &[3, 4, 5]);
+        // Intersection {3,4} = 2; min size 3.
+        assert!((step_similarity(&a, &b) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn similarity_is_symmetric_and_bounded() {
+        let a = record(1, &[1, 2, 3]);
+        let b = record(2, &[2, 3, 4, 5, 6]);
+        let s1 = step_similarity(&a, &b);
+        let s2 = step_similarity(&b, &a);
+        assert_eq!(s1, s2);
+        assert!((0.0..=1.0).contains(&s1));
+    }
+
+    #[test]
+    fn subset_sets_are_fully_similar() {
+        // min-normalization: a subset scores 1.0 — the property that lets
+        // checkpoint steps (supersets) merge into the training phase.
+        let a = record(1, &[1, 2, 3]);
+        let b = record(2, &[1, 2, 3, 4, 5]);
+        assert_eq!(step_similarity(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn disjoint_sets_score_zero_and_empty_edge_cases() {
+        let a = record(1, &[1, 2]);
+        let b = record(2, &[3, 4]);
+        assert_eq!(step_similarity(&a, &b), 0.0);
+        let empty = record(3, &[]);
+        assert_eq!(step_similarity(&empty, &empty), 1.0);
+        assert_eq!(step_similarity(&a, &empty), 0.0);
+    }
+
+    #[test]
+    fn scan_merges_similar_consecutive_steps() {
+        let records = vec![
+            record(1, &[1, 2, 3]),
+            record(2, &[1, 2, 3]),
+            record(3, &[1, 2, 3]),
+            record(4, &[7, 8, 9]), // new behaviour
+            record(5, &[7, 8, 9]),
+        ];
+        let segments = scan(&records, &OlsConfig::default());
+        assert_eq!(
+            segments,
+            vec![Segment { start: 0, end: 3 }, Segment { start: 3, end: 5 }]
+        );
+    }
+
+    #[test]
+    fn segments_are_a_contiguous_cover() {
+        let records: Vec<StepRecord> = (0..50)
+            .map(|i| {
+                if i % 7 == 0 {
+                    record(i, &[100, 101])
+                } else {
+                    record(i, &[1, 2, 3, 4])
+                }
+            })
+            .collect();
+        let segments = scan(&records, &OlsConfig::default());
+        assert_eq!(segments[0].start, 0);
+        assert_eq!(segments.last().unwrap().end, records.len());
+        for pair in segments.windows(2) {
+            assert_eq!(pair[0].end, pair[1].start);
+        }
+        assert!(segments.iter().all(|s| !s.is_empty()));
+    }
+
+    #[test]
+    fn threshold_zero_yields_one_phase() {
+        let records = vec![record(1, &[1]), record(2, &[2]), record(3, &[3])];
+        let segments = scan(&records, &OlsConfig { threshold: 0.0 });
+        assert_eq!(segments.len(), 1);
+    }
+
+    #[test]
+    fn phase_count_grows_with_threshold() {
+        // Steps drift: consecutive similarity ~0.75.
+        let records: Vec<StepRecord> = (0..20)
+            .map(|i| record(i, &[i as u32, i as u32 + 1, i as u32 + 2, i as u32 + 3]))
+            .collect();
+        let sweep = threshold_sweep(&records, &[0.0, 0.5, 0.8, 1.0]);
+        let counts: Vec<usize> = sweep.iter().map(|(_, c)| *c).collect();
+        for pair in counts.windows(2) {
+            assert!(pair[1] >= pair[0]);
+        }
+        assert_eq!(counts[0], 1);
+        assert_eq!(*counts.last().unwrap(), 20);
+    }
+
+    #[test]
+    fn sweep_agrees_with_scan() {
+        let records: Vec<StepRecord> = (0..30)
+            .map(|i| {
+                if i % 10 < 5 {
+                    record(i, &[1, 2, 3])
+                } else {
+                    record(i, &[4, 5, 6])
+                }
+            })
+            .collect();
+        for &t in &[0.3, 0.7, 0.9] {
+            let by_scan = scan(&records, &OlsConfig { threshold: t }).len();
+            let by_sweep = threshold_sweep(&records, &[t])[0].1;
+            assert_eq!(by_scan, by_sweep);
+        }
+    }
+
+    #[test]
+    fn consecutive_similarities_match_pairwise_calls() {
+        let records = vec![
+            record(1, &[1, 2, 3]),
+            record(2, &[1, 2, 3]),
+            record(3, &[4, 5]),
+        ];
+        let sims = consecutive_similarities(&records);
+        assert_eq!(sims.len(), 2);
+        assert_eq!(sims[0], 1.0);
+        assert_eq!(sims[1], 0.0);
+        assert!(consecutive_similarities(&records[..1]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "within [0, 1]")]
+    fn invalid_threshold_panics() {
+        let _ = scan(&[], &OlsConfig { threshold: 1.5 });
+    }
+}

@@ -1,0 +1,299 @@
+//! Phases: groups of steps with similar behaviour, plus the coverage and
+//! top-operator statistics the paper reports on them.
+
+use crate::ols::Segment;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use tpupoint_profiler::{Profile, StepRecord};
+use tpupoint_simcore::{OpId, SimDuration};
+
+/// One phase: a set of steps exhibiting the same behaviour.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Phase {
+    /// Phase identifier (cluster label or segment index).
+    pub id: usize,
+    /// Member profile steps.
+    pub steps: Vec<u64>,
+    /// Accumulated operator time of the member steps.
+    pub total_time: SimDuration,
+    /// True if this phase collects DBSCAN noise points.
+    pub is_noise: bool,
+}
+
+/// All phases of one summarization, ready for coverage queries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseSet {
+    /// The phases, in construction order.
+    pub phases: Vec<Phase>,
+    /// Accumulated operator time over every step.
+    pub total_time: SimDuration,
+}
+
+impl PhaseSet {
+    /// Builds phases from per-record cluster labels (k-means/DBSCAN).
+    /// Noise points (label `-1`) form their own phase, since the paper
+    /// "consider\[s\] these unlabeled samples to be a cluster as well".
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels` and `records` lengths differ.
+    pub fn from_labels(records: &[StepRecord], labels: &[isize]) -> PhaseSet {
+        assert_eq!(records.len(), labels.len(), "one label per record");
+        let mut by_label: BTreeMap<isize, Phase> = BTreeMap::new();
+        let mut total_time = SimDuration::ZERO;
+        for (record, &label) in records.iter().zip(labels) {
+            let time = record.total_duration();
+            total_time += time;
+            let next_id = by_label.len();
+            let phase = by_label.entry(label).or_insert_with(|| Phase {
+                id: next_id,
+                steps: Vec::new(),
+                total_time: SimDuration::ZERO,
+                is_noise: label == -1,
+            });
+            phase.steps.push(record.step);
+            phase.total_time += time;
+        }
+        PhaseSet {
+            phases: by_label.into_values().collect(),
+            total_time,
+        }
+    }
+
+    /// Builds phases from contiguous OLS segments.
+    pub fn from_segments(records: &[StepRecord], segments: &[Segment]) -> PhaseSet {
+        let total_time = records.iter().map(StepRecord::total_duration).sum();
+        let phases = segments
+            .iter()
+            .enumerate()
+            .map(|(id, seg)| {
+                let members = &records[seg.start..seg.end];
+                Phase {
+                    id,
+                    steps: members.iter().map(|r| r.step).collect(),
+                    total_time: members.iter().map(StepRecord::total_duration).sum(),
+                    is_noise: false,
+                }
+            })
+            .collect();
+        PhaseSet { phases, total_time }
+    }
+
+    /// Phases ordered longest-first.
+    pub fn by_time_desc(&self) -> Vec<&Phase> {
+        let mut refs: Vec<&Phase> = self.phases.iter().collect();
+        refs.sort_by(|a, b| b.total_time.cmp(&a.total_time).then(a.id.cmp(&b.id)));
+        refs
+    }
+
+    /// Fraction of total time covered by the `n` longest phases —
+    /// Figures 7, 8, and 9.
+    pub fn coverage_top(&self, n: usize) -> f64 {
+        if self.total_time.is_zero() {
+            return 0.0;
+        }
+        let covered: SimDuration = self
+            .by_time_desc()
+            .into_iter()
+            .take(n)
+            .map(|p| p.total_time)
+            .sum();
+        covered.as_micros() as f64 / self.total_time.as_micros() as f64
+    }
+
+    /// Per-phase coverage fractions of the `n` longest phases (the stacked
+    /// bars of Figures 7–9).
+    pub fn top_coverages(&self, n: usize) -> Vec<f64> {
+        if self.total_time.is_zero() {
+            return Vec::new();
+        }
+        self.by_time_desc()
+            .into_iter()
+            .take(n)
+            .map(|p| p.total_time.as_micros() as f64 / self.total_time.as_micros() as f64)
+            .collect()
+    }
+
+    /// Number of phases.
+    pub fn len(&self) -> usize {
+        self.phases.len()
+    }
+
+    /// True if there are no phases.
+    pub fn is_empty(&self) -> bool {
+        self.phases.is_empty()
+    }
+}
+
+/// Top-`n` operators within a phase, split by execution side (the
+/// structure of Table II).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TopOps {
+    /// Host-side `(op name, total duration, invocations)`, descending.
+    pub host: Vec<(String, SimDuration, u64)>,
+    /// TPU-side `(op name, total duration, invocations)`, descending.
+    pub tpu: Vec<(String, SimDuration, u64)>,
+}
+
+/// Ranks the operators of `phase` by accumulated duration.
+pub fn top_operators(profile: &Profile, phase: &Phase, n: usize) -> TopOps {
+    let mut acc: BTreeMap<OpId, (SimDuration, u64)> = BTreeMap::new();
+    let members: std::collections::HashSet<u64> = phase.steps.iter().copied().collect();
+    for record in &profile.steps {
+        if !members.contains(&record.step) {
+            continue;
+        }
+        for (op, stats) in &record.ops {
+            let entry = acc.entry(*op).or_insert((SimDuration::ZERO, 0));
+            entry.0 += stats.total;
+            entry.1 += stats.count;
+        }
+    }
+    let mut host = Vec::new();
+    let mut tpu = Vec::new();
+    for (op, (total, count)) in acc {
+        let row = (profile.op_name(op).to_owned(), total, count);
+        if profile.op_on_host[op.0 as usize] {
+            host.push(row);
+        } else {
+            tpu.push(row);
+        }
+    }
+    let by_time = |a: &(String, SimDuration, u64), b: &(String, SimDuration, u64)| b.1.cmp(&a.1);
+    host.sort_by(by_time);
+    tpu.sort_by(by_time);
+    host.truncate(n);
+    tpu.truncate(n);
+    TopOps { host, tpu }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpupoint_simcore::{SimTime, Track};
+
+    fn record(step: u64, ops: &[(u32, u64, bool)]) -> StepRecord {
+        let mut r = StepRecord::new(step);
+        for &(op, dur, on_tpu) in ops {
+            r.absorb(
+                OpId(op),
+                if on_tpu {
+                    Track::TpuCore(0)
+                } else {
+                    Track::Host
+                },
+                SimTime::from_micros(step * 1000),
+                SimDuration::from_micros(dur),
+                SimDuration::ZERO,
+            );
+        }
+        r
+    }
+
+    fn records() -> Vec<StepRecord> {
+        vec![
+            record(1, &[(0, 100, true), (1, 20, false)]),
+            record(2, &[(0, 110, true), (1, 25, false)]),
+            record(3, &[(2, 500, true)]),
+            record(4, &[(0, 90, true)]),
+        ]
+    }
+
+    #[test]
+    fn labels_group_records_into_phases() {
+        let recs = records();
+        let set = PhaseSet::from_labels(&recs, &[0, 0, 1, 0]);
+        assert_eq!(set.len(), 2);
+        let p0 = &set.phases[0];
+        assert_eq!(p0.steps, vec![1, 2, 4]);
+        assert_eq!(p0.total_time.as_micros(), 100 + 20 + 110 + 25 + 90);
+        assert!(!p0.is_noise);
+    }
+
+    #[test]
+    fn noise_label_forms_a_noise_phase() {
+        let recs = records();
+        let set = PhaseSet::from_labels(&recs, &[-1, 0, 0, -1]);
+        let noise = set
+            .phases
+            .iter()
+            .find(|p| p.is_noise)
+            .expect("noise phase exists");
+        assert_eq!(noise.steps, vec![1, 4]);
+    }
+
+    #[test]
+    fn segments_preserve_contiguity() {
+        let recs = records();
+        let set = PhaseSet::from_segments(
+            &recs,
+            &[Segment { start: 0, end: 2 }, Segment { start: 2, end: 4 }],
+        );
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.phases[0].steps, vec![1, 2]);
+        assert_eq!(set.phases[1].steps, vec![3, 4]);
+        assert_eq!(set.total_time.as_micros(), 845);
+    }
+
+    #[test]
+    fn coverage_of_all_phases_is_one() {
+        let recs = records();
+        let set = PhaseSet::from_labels(&recs, &[0, 1, 2, 0]);
+        assert!((set.coverage_top(10) - 1.0).abs() < 1e-12);
+        let top1 = set.coverage_top(1);
+        assert!(top1 > 0.0 && top1 < 1.0);
+    }
+
+    #[test]
+    fn by_time_desc_orders_longest_first() {
+        let recs = records();
+        let set = PhaseSet::from_labels(&recs, &[0, 0, 1, 0]);
+        let ordered = set.by_time_desc();
+        assert!(ordered[0].total_time >= ordered[1].total_time);
+    }
+
+    #[test]
+    fn top_coverages_sums_to_coverage() {
+        let recs = records();
+        let set = PhaseSet::from_labels(&recs, &[0, 1, 1, 2]);
+        let fractions = set.top_coverages(2);
+        let sum: f64 = fractions.iter().sum();
+        assert!((sum - set.coverage_top(2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_operators_split_host_and_tpu() {
+        let recs = records();
+        let profile = Profile {
+            model: "m".into(),
+            dataset: "d".into(),
+            op_names: vec![
+                "fusion".into(),
+                "OutfeedDequeueTuple".into(),
+                "Reshape".into(),
+            ],
+            op_uses_mxu: vec![true, false, false],
+            op_on_host: vec![false, true, false],
+            steps: recs.clone(),
+            windows: vec![],
+            step_marks: vec![],
+            checkpoints: vec![],
+            dropped_windows: 0,
+            lost_events: 0,
+        };
+        let set = PhaseSet::from_labels(&recs, &[0, 0, 1, 0]);
+        let top = top_operators(&profile, &set.phases[0], 5);
+        assert_eq!(top.tpu[0].0, "fusion");
+        assert_eq!(top.tpu[0].1.as_micros(), 300);
+        assert_eq!(top.tpu[0].2, 3);
+        assert_eq!(top.host[0].0, "OutfeedDequeueTuple");
+        assert_eq!(top.host[0].2, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per record")]
+    fn label_length_mismatch_panics() {
+        let recs = records();
+        let _ = PhaseSet::from_labels(&recs, &[0, 1]);
+    }
+}

@@ -1,0 +1,211 @@
+//! Human-readable characterization reports.
+//!
+//! Condenses what TPUPoint-Analyzer found — phases, coverage, dominant
+//! operators, utilization — into the kind of assessment the paper's
+//! Section VI derives, including whether the workload exhibits the common
+//! data-preparation/data-exchange bottleneck (Observations 3–4).
+
+use crate::analyzer::Analyzer;
+use crate::phases::TopOps;
+use std::fmt::Write as _;
+use tpupoint_profiler::Profile;
+
+/// The operators whose dominance marks a data-movement bottleneck.
+const EXCHANGE_OPS: [&str; 6] = [
+    "Reshape",
+    "InfeedDequeueTuple",
+    "OutfeedEnqueueTuple",
+    "TransferBufferToInfeedLocked",
+    "OutfeedDequeueTuple",
+    "InfeedEnqueueTuple",
+];
+
+/// Bottleneck classification of a profiled run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bottleneck {
+    /// TPU idle time is high and data-exchange operators dominate: the
+    /// paper's headline case (Observations 3–4).
+    DataPreparation,
+    /// The TPU is busy and matrix work dominates.
+    Compute,
+    /// No dominant signal (short or unusual runs).
+    Indeterminate,
+}
+
+impl std::fmt::Display for Bottleneck {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Bottleneck::DataPreparation => "data preparation / data exchange",
+            Bottleneck::Compute => "on-device compute",
+            Bottleneck::Indeterminate => "indeterminate",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Classifies the bottleneck from idle time and the dominant phase's
+/// operator mix.
+pub fn classify_bottleneck(profile: &Profile, top: &TopOps) -> Bottleneck {
+    let idle = profile.steady_tpu_idle_fraction();
+    let exchange_hits = top
+        .host
+        .iter()
+        .chain(&top.tpu)
+        .filter(|(name, _, _)| EXCHANGE_OPS.contains(&name.as_str()))
+        .count();
+    if idle > 0.30 || exchange_hits >= 3 {
+        Bottleneck::DataPreparation
+    } else if idle < 0.20 && profile.steady_mxu_utilization() > 0.25 {
+        Bottleneck::Compute
+    } else if exchange_hits >= 2 {
+        Bottleneck::DataPreparation
+    } else {
+        Bottleneck::Indeterminate
+    }
+}
+
+/// Builds the full text report for a profile.
+pub fn characterize(profile: &Profile) -> String {
+    let analyzer = Analyzer::new(profile);
+    let phases = analyzer.ols_phases(0.7);
+    let checkpoints = analyzer.checkpoints_for(&phases);
+    let mut out = String::new();
+
+    let _ = writeln!(
+        out,
+        "TPUPoint characterization — {} on {}",
+        profile.model, profile.dataset
+    );
+    let _ = writeln!(
+        out,
+        "  profile: {} step records, {} windows{}",
+        profile.steps.len(),
+        profile.windows.len(),
+        if profile.dropped_windows > 0 {
+            format!(
+                " ({} responses lost, {:.1}% of events)",
+                profile.dropped_windows,
+                profile.loss_fraction() * 100.0
+            )
+        } else {
+            String::new()
+        }
+    );
+    let _ = writeln!(
+        out,
+        "  TPU idle {:.1}%, MXU (FLOP) utilization {:.1}%",
+        profile.steady_tpu_idle_fraction() * 100.0,
+        profile.steady_mxu_utilization() * 100.0
+    );
+
+    let _ = writeln!(
+        out,
+        "\nphases (OLS @ 70%): {} total; top 3 cover {:.1}% of execution",
+        phases.len(),
+        phases.coverage_top(3) * 100.0
+    );
+    for phase in phases.by_time_desc().into_iter().take(3) {
+        let share =
+            phase.total_time.as_micros() as f64 / phases.total_time.as_micros().max(1) as f64;
+        let ckpt = checkpoints[phase.id]
+            .map(|c| format!("nearest checkpoint @ step {}", c.checkpoint_step))
+            .unwrap_or_else(|| "no checkpoint".to_owned());
+        let _ = writeln!(
+            out,
+            "  phase {:>3}: steps {:>6}..{:<6} {:>5.1}% of time; {}",
+            phase.id,
+            phase.steps.first().copied().unwrap_or(0),
+            phase.steps.last().copied().unwrap_or(0),
+            share * 100.0,
+            ckpt
+        );
+    }
+
+    let verdict = if let Some(top) = analyzer.top_operators_of_longest(&phases, 5) {
+        let _ = writeln!(out, "\ndominant phase operators:");
+        for (name, dur, count) in &top.tpu {
+            let _ = writeln!(out, "  tpu  {name:28} {count:>7} calls  {dur}");
+        }
+        for (name, dur, count) in &top.host {
+            let _ = writeln!(out, "  host {name:28} {count:>7} calls  {dur}");
+        }
+        classify_bottleneck(profile, &top)
+    } else {
+        Bottleneck::Indeterminate
+    };
+    let _ = writeln!(out, "\nassessment: bottleneck is {verdict}");
+    if verdict == Bottleneck::DataPreparation {
+        let _ = writeln!(
+            out,
+            "  (the paper's Observation 4: improving host-side data \
+             preparation/exchange is the key to better TPU utilization)"
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpupoint_profiler::{ProfilerOptions, ProfilerSink};
+    use tpupoint_runtime::{JobConfig, TrainingJob};
+
+    fn demo_profile(host_us: f64) -> Profile {
+        let mut cfg = JobConfig::demo();
+        cfg.dataset.host_us_per_batch = host_us;
+        cfg.train_steps = 30;
+        let job = TrainingJob::new(cfg);
+        let mut sink = ProfilerSink::new(job.catalog().clone(), ProfilerOptions::default());
+        sink.set_source(&job.config().model, &job.config().dataset.name);
+        job.run(&mut sink);
+        sink.finish()
+    }
+
+    #[test]
+    fn report_contains_all_sections() {
+        let profile = demo_profile(0.0);
+        let report = characterize(&profile);
+        assert!(report.contains("TPUPoint characterization — demo-mlp"));
+        assert!(report.contains("phases (OLS @ 70%)"));
+        assert!(report.contains("dominant phase operators:"));
+        assert!(report.contains("assessment: bottleneck is"));
+    }
+
+    #[test]
+    fn host_bound_run_is_classified_as_data_preparation() {
+        // A large per-batch host cost starves the TPU.
+        let profile = demo_profile(400_000.0);
+        assert!(profile.steady_tpu_idle_fraction() > 0.3);
+        let report = characterize(&profile);
+        assert!(
+            report.contains("data preparation / data exchange"),
+            "{report}"
+        );
+        assert!(report.contains("Observation 4"));
+    }
+
+    #[test]
+    fn classification_is_stable_for_empty_tops() {
+        let profile = demo_profile(0.0);
+        let empty = TopOps {
+            host: vec![],
+            tpu: vec![],
+        };
+        // Low idle + empty ops should not panic and should not claim a
+        // data bottleneck from operators alone.
+        let b = classify_bottleneck(&profile, &empty);
+        assert!(matches!(
+            b,
+            Bottleneck::Compute | Bottleneck::Indeterminate | Bottleneck::DataPreparation
+        ));
+    }
+
+    #[test]
+    fn bottleneck_display_names() {
+        assert_eq!(
+            Bottleneck::DataPreparation.to_string(),
+            "data preparation / data exchange"
+        );
+        assert_eq!(Bottleneck::Compute.to_string(), "on-device compute");
+    }
+}

@@ -1,0 +1,357 @@
+//! Visualization exports (Section IV-B, Figure 3).
+//!
+//! TPUPoint-Analyzer writes a JSON file compatible with Chrome's
+//! `chrome://tracing` viewer showing two horizontal tracks — "Profile
+//! Breakdown" (the sealed profile windows) and "Phase Breakdown" (the
+//! detected phases spanning them) — plus a CSV with the per-phase
+//! description and top operators.
+
+use crate::phases::{top_operators, Phase, PhaseSet};
+use serde_json::{json, Value};
+use std::io::{self, Write};
+use tpupoint_profiler::Profile;
+use tpupoint_simcore::SimTime;
+
+/// Time extent of a phase: min event start to max event end over member
+/// steps. Returns `None` for phases with no events.
+fn phase_extent(profile: &Profile, phase: &Phase) -> Option<(SimTime, SimTime)> {
+    let members: std::collections::HashSet<u64> = phase.steps.iter().copied().collect();
+    let mut lo: Option<SimTime> = None;
+    let mut hi: Option<SimTime> = None;
+    for record in &profile.steps {
+        if !members.contains(&record.step) || record.ops.is_empty() {
+            continue;
+        }
+        lo = Some(lo.map_or(record.first_start, |t: SimTime| t.min(record.first_start)));
+        hi = Some(hi.map_or(record.last_end, |t: SimTime| t.max(record.last_end)));
+    }
+    match (lo, hi) {
+        (Some(a), Some(b)) => Some((a, b)),
+        _ => None,
+    }
+}
+
+/// Builds the Chrome-tracing JSON value for a profile and its phases.
+pub fn chrome_trace(profile: &Profile, phases: &PhaseSet) -> Value {
+    let mut events = Vec::new();
+    // Track naming metadata.
+    for (tid, name) in [(1u32, "Profile Breakdown"), (2u32, "Phase Breakdown")] {
+        events.push(json!({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": tid,
+            "args": {"name": name},
+        }));
+    }
+    for window in &profile.windows {
+        events.push(json!({
+            "name": format!("profile.{}", window.index),
+            "cat": "profile",
+            "ph": "X",
+            "pid": 1,
+            "tid": 1,
+            "ts": window.start.as_micros(),
+            "dur": window.span().as_micros(),
+            "args": {
+                "events": window.events,
+                "tpu_idle_fraction": window.tpu_idle_fraction(),
+                "mxu_utilization": window.mxu_utilization(),
+                "steps": format!("{}..{}", window.first_step, window.last_step),
+            },
+        }));
+    }
+    for phase in &phases.phases {
+        let Some((start, end)) = phase_extent(profile, phase) else {
+            continue;
+        };
+        let top = top_operators(profile, phase, 5);
+        let describe = |rows: &[(String, tpupoint_simcore::SimDuration, u64)]| -> Vec<String> {
+            rows.iter()
+                .map(|(name, dur, count)| format!("{name} ({count}x, {dur})"))
+                .collect()
+        };
+        events.push(json!({
+            "name": format!("phase.{}{}", phase.id, if phase.is_noise { " (noise)" } else { "" }),
+            "cat": "phase",
+            "ph": "X",
+            "pid": 1,
+            "tid": 2,
+            "ts": start.as_micros(),
+            "dur": (end - start).as_micros(),
+            "args": {
+                "steps": phase.steps.len(),
+                "first_step": phase.steps.first(),
+                "last_step": phase.steps.last(),
+                "total_op_time_us": phase.total_time.as_micros(),
+                "top_host_ops": describe(&top.host),
+                "top_tpu_ops": describe(&top.tpu),
+            },
+        }));
+    }
+    json!({
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "metadata": {
+            "tool": "tpupoint-analyzer",
+            "model": profile.model,
+            "dataset": profile.dataset,
+        },
+    })
+}
+
+/// Writes the Chrome-tracing JSON file.
+///
+/// # Errors
+///
+/// Returns any I/O error from `writer`.
+pub fn write_chrome_trace<W: Write>(
+    profile: &Profile,
+    phases: &PhaseSet,
+    writer: W,
+) -> io::Result<()> {
+    serde_json::to_writer_pretty(writer, &chrome_trace(profile, phases)).map_err(io::Error::other)
+}
+
+/// Writes the companion CSV: one row per phase with description and top
+/// operators.
+///
+/// # Errors
+///
+/// Returns any I/O error from `writer`.
+pub fn write_phase_csv<W: Write>(
+    profile: &Profile,
+    phases: &PhaseSet,
+    mut writer: W,
+) -> io::Result<()> {
+    writeln!(
+        writer,
+        "phase,steps,first_step,last_step,total_op_time_us,share,top_host_ops,top_tpu_ops"
+    )?;
+    let total = phases.total_time.as_micros().max(1) as f64;
+    for phase in &phases.phases {
+        let top = top_operators(profile, phase, 5);
+        let fmt_ops = |rows: &[(String, tpupoint_simcore::SimDuration, u64)]| -> String {
+            rows.iter()
+                .map(|(n, _, _)| n.as_str())
+                .collect::<Vec<_>>()
+                .join("|")
+        };
+        writeln!(
+            writer,
+            "{},{},{},{},{},{:.4},{},{}",
+            phase.id,
+            phase.steps.len(),
+            phase.steps.first().copied().unwrap_or(0),
+            phase.steps.last().copied().unwrap_or(0),
+            phase.total_time.as_micros(),
+            phase.total_time.as_micros() as f64 / total,
+            fmt_ops(&top.host),
+            fmt_ops(&top.tpu),
+        )?;
+    }
+    Ok(())
+}
+
+/// Writes the per-step operations CSV: "the TPU and Host CPU operations
+/// executed during training steps" (Section IV-B). One row per
+/// (step, operator) with counts and durations.
+///
+/// # Errors
+///
+/// Returns any I/O error from `writer`.
+pub fn write_step_csv<W: Write>(profile: &Profile, mut writer: W) -> io::Result<()> {
+    writeln!(writer, "step,op,side,invocations,total_us")?;
+    for record in &profile.steps {
+        for (op, stats) in &record.ops {
+            writeln!(
+                writer,
+                "{},{},{},{},{}",
+                record.step,
+                profile.op_name(*op),
+                if profile.op_on_host[op.0 as usize] {
+                    "host"
+                } else {
+                    "tpu"
+                },
+                stats.count,
+                stats.total.as_micros(),
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// Writes the consecutive step-similarity series (Eq. 1) as CSV — the raw
+/// data behind Figure 6's threshold sweep. One row per adjacent step pair.
+///
+/// # Errors
+///
+/// Returns any I/O error from `writer`.
+pub fn write_similarity_csv<W: Write>(profile: &Profile, mut writer: W) -> io::Result<()> {
+    writeln!(writer, "step,prev_step,similarity")?;
+    let sims = crate::ols::consecutive_similarities(&profile.steps);
+    for (pair, sim) in profile.steps.windows(2).zip(sims) {
+        writeln!(writer, "{},{},{:.6}", pair[1].step, pair[0].step, sim)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpupoint_profiler::{StepRecord, WindowRecord};
+    use tpupoint_simcore::{OpId, SimDuration, Track};
+
+    fn profile() -> Profile {
+        let mut r1 = StepRecord::new(1);
+        r1.absorb(
+            OpId(0),
+            Track::TpuCore(0),
+            SimTime::from_micros(100),
+            SimDuration::from_micros(50),
+            SimDuration::from_micros(25),
+        );
+        let mut r2 = StepRecord::new(2);
+        r2.absorb(
+            OpId(1),
+            Track::Host,
+            SimTime::from_micros(200),
+            SimDuration::from_micros(80),
+            SimDuration::ZERO,
+        );
+        Profile {
+            model: "m".into(),
+            dataset: "d".into(),
+            op_names: vec!["fusion".into(), "OutfeedDequeueTuple".into()],
+            op_uses_mxu: vec![true, false],
+            op_on_host: vec![false, true],
+            steps: vec![r1, r2],
+            windows: vec![WindowRecord {
+                index: 0,
+                start: SimTime::from_micros(100),
+                end: SimTime::from_micros(300),
+                events: 2,
+                tpu_busy: SimDuration::from_micros(50),
+                mxu_busy: SimDuration::from_micros(25),
+                first_step: 1,
+                last_step: 2,
+            }],
+            step_marks: vec![
+                (1, SimTime::from_micros(150)),
+                (2, SimTime::from_micros(280)),
+            ],
+            checkpoints: vec![],
+            dropped_windows: 0,
+            lost_events: 0,
+        }
+    }
+
+    fn phase_set(profile: &Profile) -> PhaseSet {
+        PhaseSet::from_labels(&profile.steps, &[0, 1])
+    }
+
+    #[test]
+    fn trace_contains_both_tracks() {
+        let p = profile();
+        let trace = chrome_trace(&p, &phase_set(&p));
+        let events = trace["traceEvents"].as_array().expect("array");
+        let names: Vec<&str> = events
+            .iter()
+            .filter(|e| e["ph"] == "M")
+            .map(|e| e["args"]["name"].as_str().unwrap())
+            .collect();
+        assert!(names.contains(&"Profile Breakdown"));
+        assert!(names.contains(&"Phase Breakdown"));
+    }
+
+    #[test]
+    fn trace_events_cover_windows_and_phases() {
+        let p = profile();
+        let trace = chrome_trace(&p, &phase_set(&p));
+        let events = trace["traceEvents"].as_array().expect("array");
+        let profiles = events.iter().filter(|e| e["cat"] == "profile").count();
+        let phases = events.iter().filter(|e| e["cat"] == "phase").count();
+        assert_eq!(profiles, 1);
+        assert_eq!(phases, 2);
+    }
+
+    #[test]
+    fn phase_events_carry_top_ops() {
+        let p = profile();
+        let trace = chrome_trace(&p, &phase_set(&p));
+        let phase_event = trace["traceEvents"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .find(|e| e["cat"] == "phase")
+            .expect("phase event")
+            .clone();
+        let tpu_ops = phase_event["args"]["top_tpu_ops"].as_array().unwrap();
+        assert!(tpu_ops[0].as_str().unwrap().contains("fusion"));
+    }
+
+    #[test]
+    fn json_is_valid_and_round_trips() {
+        let p = profile();
+        let mut buf = Vec::new();
+        write_chrome_trace(&p, &phase_set(&p), &mut buf).unwrap();
+        let parsed: Value = serde_json::from_slice(&buf).expect("valid JSON");
+        assert_eq!(parsed["metadata"]["model"], "m");
+    }
+
+    #[test]
+    fn csv_has_one_row_per_phase() {
+        let p = profile();
+        let mut buf = Vec::new();
+        write_phase_csv(&p, &phase_set(&p), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.trim().lines().collect();
+        assert_eq!(lines.len(), 3); // header + 2 phases
+        assert!(lines[0].starts_with("phase,steps"));
+        assert!(lines[1].contains("fusion") || lines[2].contains("fusion"));
+    }
+
+    #[test]
+    fn step_csv_lists_every_step_operator_pair() {
+        let p = profile();
+        let mut buf = Vec::new();
+        write_step_csv(&p, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.trim().lines().collect();
+        assert_eq!(lines.len(), 3); // header + 2 (step, op) rows
+        assert!(lines[1].starts_with("1,fusion,tpu,1,50"));
+        assert!(lines[2].starts_with("2,OutfeedDequeueTuple,host,1,80"));
+    }
+
+    #[test]
+    fn similarity_csv_has_one_row_per_adjacent_pair() {
+        let p = profile();
+        let mut buf = Vec::new();
+        write_similarity_csv(&p, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.trim().lines().collect();
+        assert_eq!(lines.len(), 2); // header + 1 pair
+        assert!(lines[1].starts_with("2,1,0.000000")); // disjoint op sets
+    }
+
+    #[test]
+    fn empty_phase_is_skipped_in_trace() {
+        let p = profile();
+        let mut set = phase_set(&p);
+        set.phases.push(Phase {
+            id: 9,
+            steps: vec![999],
+            total_time: SimDuration::ZERO,
+            is_noise: false,
+        });
+        let trace = chrome_trace(&p, &set);
+        let phases = trace["traceEvents"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter(|e| e["cat"] == "phase")
+            .count();
+        assert_eq!(phases, 2);
+    }
+}

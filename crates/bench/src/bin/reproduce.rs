@@ -1,0 +1,66 @@
+//! Regenerates every table and figure of the TPUPoint paper's evaluation.
+//!
+//! ```text
+//! cargo run -p tpupoint-bench --release --bin reproduce            # all
+//! cargo run -p tpupoint-bench --release --bin reproduce -- fig10  # one
+//! cargo run -p tpupoint-bench --release --bin reproduce -- --out results fig4 fig6
+//! ```
+//!
+//! CSV series land in `results/` (or `--out <dir>`); a summary of each
+//! experiment prints to stdout. See EXPERIMENTS.md for the paper-versus-
+//! measured comparison.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use tpupoint_bench::{experiments, Suite};
+
+fn main() -> ExitCode {
+    let mut out_dir = PathBuf::from("results");
+    let mut requested: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => match args.next() {
+                Some(dir) => out_dir = PathBuf::from(dir),
+                None => {
+                    eprintln!("--out requires a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: reproduce [--out DIR] [EXPERIMENT...]");
+                println!("experiments: {}", experiments::ALL.join(" "));
+                return ExitCode::SUCCESS;
+            }
+            other => requested.push(other.to_owned()),
+        }
+    }
+    if requested.is_empty() {
+        requested = experiments::ALL.iter().map(|s| s.to_string()).collect();
+    }
+
+    let suite = Suite::new();
+    let started = std::time::Instant::now();
+    for id in &requested {
+        let t0 = std::time::Instant::now();
+        match experiments::run(id, &suite, &out_dir) {
+            Ok(summary) => {
+                println!(
+                    "{summary}  [{id} done in {:.2}s]\n",
+                    t0.elapsed().as_secs_f64()
+                );
+            }
+            Err(err) => {
+                eprintln!("experiment {id} failed: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!(
+        "wrote {} experiment(s) to {} in {:.1}s",
+        requested.len(),
+        out_dir.display(),
+        started.elapsed().as_secs_f64()
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,43 @@
+//! Minimal CSV writing for experiment outputs.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// Writes `rows` (with a `header`) to `<dir>/<name>.csv`, creating the
+/// directory as needed. Returns the file path.
+///
+/// # Errors
+///
+/// Returns any I/O error.
+pub fn write_csv(
+    dir: &Path,
+    name: &str,
+    header: &str,
+    rows: impl IntoIterator<Item = String>,
+) -> io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.csv"));
+    let mut w = BufWriter::new(File::create(&path)?);
+    writeln!(w, "{header}")?;
+    for row in rows {
+        writeln!(w, "{row}")?;
+    }
+    w.flush()?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_header_and_rows() {
+        let dir = std::env::temp_dir().join(format!("tpupoint-csv-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = write_csv(&dir, "test", "a,b", ["1,2".to_owned(), "3,4".to_owned()]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "a,b\n1,2\n3,4\n");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,760 @@
+//! One function per table/figure of the paper's evaluation.
+//!
+//! Every function prints the series the paper plots and writes it as CSV;
+//! absolute values come from the simulated platform, so the *shapes*
+//! (who wins, where elbows/crossovers fall) are the reproduction target.
+
+use crate::csvout::write_csv;
+use crate::suite::Suite;
+use std::io;
+use std::path::Path;
+use tpupoint::analyzer::{dbscan, kmeans};
+use tpupoint::optimizer::TpuPointOptimizer;
+use tpupoint::prelude::*;
+
+/// All experiment ids: the paper's artifacts in paper order, then the
+/// beyond-the-paper ablations.
+pub const ALL: &[&str] = &[
+    "table1",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "table2",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "ablation_fusion",
+    "ablation_pipeline",
+    "ablation_substitution",
+    "ablation_seeds",
+];
+
+/// Runs one experiment by id, writing CSVs under `out_dir` and returning a
+/// console summary.
+///
+/// # Errors
+///
+/// Returns an error if output files cannot be written, or
+/// `InvalidInput` for an unknown id.
+pub fn run(id: &str, suite: &Suite, out_dir: &Path) -> io::Result<String> {
+    match id {
+        "table1" => table1(out_dir),
+        "fig4" => fig4(suite, out_dir),
+        "fig5" => fig5(suite, out_dir),
+        "fig6" => fig6(suite, out_dir),
+        "fig7" => fig7(suite, out_dir),
+        "fig8" => fig8(suite, out_dir),
+        "fig9" => fig9(suite, out_dir),
+        "table2" => table2(suite, out_dir),
+        "fig10" => fig10_11(suite, out_dir, "fig10", Metric::Idle),
+        "fig11" => fig10_11(suite, out_dir, "fig11", Metric::Mxu),
+        "fig12" => fig12_13(suite, out_dir, "fig12", Metric::Idle),
+        "fig13" => fig12_13(suite, out_dir, "fig13", Metric::Mxu),
+        "fig14" => fig14(suite, out_dir),
+        "fig15" => fig15_16(suite, out_dir, "fig15", Metric::Idle),
+        "fig16" => fig15_16(suite, out_dir, "fig16", Metric::Mxu),
+        "ablation_fusion" => ablation_fusion(suite, out_dir),
+        "ablation_pipeline" => ablation_pipeline(suite, out_dir),
+        "ablation_substitution" => ablation_substitution(suite, out_dir),
+        "ablation_seeds" => ablation_seeds(suite, out_dir),
+        other => Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("unknown experiment `{other}`; known: {ALL:?}"),
+        )),
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Metric {
+    Idle,
+    Mxu,
+}
+
+impl Metric {
+    fn of(self, profile: &Profile) -> f64 {
+        match self {
+            Metric::Idle => profile.steady_tpu_idle_fraction(),
+            Metric::Mxu => profile.steady_mxu_utilization(),
+        }
+    }
+
+    fn of_report(self, report: &RunReport) -> f64 {
+        match self {
+            Metric::Idle => report.tpu_idle_fraction(),
+            Metric::Mxu => report.mxu_utilization(),
+        }
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            Metric::Idle => "tpu_idle_fraction",
+            Metric::Mxu => "mxu_utilization",
+        }
+    }
+}
+
+/// Table I: workload breakdown and specifications.
+fn table1(out_dir: &Path) -> io::Result<String> {
+    let mut rows = Vec::new();
+    let mut summary = String::from("Table I — workload breakdown:\n");
+    for id in WorkloadId::paper_nine() {
+        let cfg = build(id, TpuGeneration::V2, &BuildOptions::default());
+        let row = format!(
+            "{},{},{},{},{:.2},{},{}",
+            id.label(),
+            cfg.model,
+            cfg.dataset.name,
+            cfg.dataset.num_examples,
+            cfg.dataset.size_bytes as f64 / (1024.0 * 1024.0),
+            cfg.pipeline.batch_size,
+            cfg.train_steps,
+        );
+        summary.push_str(&format!(
+            "  {:18} {:10} batch {:5} train_steps {:7} dataset {:9.2} MiB\n",
+            id.label(),
+            cfg.dataset.name,
+            cfg.pipeline.batch_size,
+            cfg.train_steps,
+            cfg.dataset.size_bytes as f64 / (1024.0 * 1024.0),
+        ));
+        rows.push(row);
+    }
+    write_csv(
+        out_dir,
+        "table1",
+        "workload,model,dataset,examples,size_mib,batch_size,train_steps",
+        rows,
+    )?;
+    Ok(summary)
+}
+
+/// Figure 4: k-means sum of squared distances for k = 1..15.
+fn fig4(suite: &Suite, out_dir: &Path) -> io::Result<String> {
+    let mut rows = Vec::new();
+    let mut summary = String::from("Figure 4 — k-means elbow (normalized SSE, elbow k):\n");
+    for id in WorkloadId::paper_nine() {
+        let run = suite.tuned(id, TpuGeneration::V2);
+        let analyzer = Analyzer::new(&run.profile);
+        let sweep = analyzer.kmeans_sweep(1..=15);
+        let base = sweep.first().map(|(_, s)| *s).unwrap_or(1.0).max(1e-12);
+        for (k, sse) in &sweep {
+            rows.push(format!("{},{},{:.6}", id.label(), k, sse / base));
+        }
+        let elbow = kmeans::elbow_k(&sweep).unwrap_or(0);
+        summary.push_str(&format!("  {:18} elbow at k = {}\n", id.label(), elbow));
+    }
+    write_csv(out_dir, "fig4", "workload,k,normalized_sse", rows)?;
+    Ok(summary)
+}
+
+/// Figure 5: DBSCAN noise ratio across the min-samples grid.
+fn fig5(suite: &Suite, out_dir: &Path) -> io::Result<String> {
+    let mut rows = Vec::new();
+    let mut summary = String::from("Figure 5 — DBSCAN noise ratio (elbow min-samples):\n");
+    for id in WorkloadId::paper_nine() {
+        let run = suite.tuned(id, TpuGeneration::V2);
+        let analyzer = Analyzer::new(&run.profile);
+        match analyzer.dbscan_sweep() {
+            Ok(sweep) => {
+                for (m, noise, clusters) in &sweep {
+                    rows.push(format!("{},{},{:.6},{}", id.label(), m, noise, clusters));
+                }
+                let elbow = dbscan::elbow_min_samples(&sweep).unwrap_or(0);
+                let at = sweep.iter().find(|(m, _, _)| *m == elbow);
+                summary.push_str(&format!(
+                    "  {:18} elbow at min_samples = {:3} ({} clusters)\n",
+                    id.label(),
+                    elbow,
+                    at.map(|(_, _, c)| *c).unwrap_or(0)
+                ));
+            }
+            Err(err) => {
+                summary.push_str(&format!("  {:18} {}\n", id.label(), err));
+                rows.push(format!("{},,,memory-limit", id.label()));
+            }
+        }
+    }
+    write_csv(
+        out_dir,
+        "fig5",
+        "workload,min_samples,noise_ratio,clusters",
+        rows,
+    )?;
+    Ok(summary)
+}
+
+/// Figure 6: OLS phase counts vs similarity threshold.
+fn fig6(suite: &Suite, out_dir: &Path) -> io::Result<String> {
+    let thresholds: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
+    let mut rows = Vec::new();
+    let mut summary = String::from("Figure 6 — OLS phases vs threshold (70% / 100%):\n");
+    for id in WorkloadId::paper_nine() {
+        let run = suite.tuned(id, TpuGeneration::V2);
+        let analyzer = Analyzer::new(&run.profile);
+        let sweep = analyzer.ols_threshold_sweep(&thresholds);
+        for (t, phases) in &sweep {
+            rows.push(format!("{},{:.0},{}", id.label(), t * 100.0, phases));
+        }
+        let at = |t: f64| {
+            sweep
+                .iter()
+                .find(|(x, _)| (*x - t).abs() < 1e-9)
+                .map(|(_, p)| *p)
+                .unwrap_or(0)
+        };
+        summary.push_str(&format!(
+            "  {:18} phases@70% = {:3}   phases@100% = {:4}\n",
+            id.label(),
+            at(0.7),
+            at(1.0)
+        ));
+    }
+    write_csv(out_dir, "fig6", "workload,threshold_pct,phases", rows)?;
+    Ok(summary)
+}
+
+fn coverage_rows(
+    name: &str,
+    sets: Vec<(WorkloadId, PhaseSet)>,
+    out_dir: &Path,
+) -> io::Result<String> {
+    let mut rows = Vec::new();
+    let mut summary = format!("{name} — top-3 phase coverage of execution time:\n");
+    for (id, set) in sets {
+        let fractions = set.top_coverages(3);
+        let total: f64 = fractions.iter().sum();
+        rows.push(format!(
+            "{},{:.4},{:.4},{:.4},{:.4},{}",
+            id.label(),
+            fractions.first().copied().unwrap_or(0.0),
+            fractions.get(1).copied().unwrap_or(0.0),
+            fractions.get(2).copied().unwrap_or(0.0),
+            total,
+            set.len(),
+        ));
+        summary.push_str(&format!(
+            "  {:18} top3 = {:5.1}%  (phases: {})\n",
+            id.label(),
+            total * 100.0,
+            set.len()
+        ));
+    }
+    write_csv(
+        out_dir,
+        name,
+        "workload,phase1,phase2,phase3,top3_total,phase_count",
+        rows,
+    )?;
+    Ok(summary)
+}
+
+/// Figure 7: top-3 coverage, OLS at the 70% threshold.
+fn fig7(suite: &Suite, out_dir: &Path) -> io::Result<String> {
+    let sets = WorkloadId::paper_nine()
+        .into_iter()
+        .map(|id| {
+            let run = suite.tuned(id, TpuGeneration::V2);
+            (id, Analyzer::new(&run.profile).ols_phases(0.7))
+        })
+        .collect();
+    coverage_rows("fig7", sets, out_dir)
+}
+
+/// Figure 8: top-3 coverage, DBSCAN with min-samples 30 (noise counted as
+/// a cluster).
+fn fig8(suite: &Suite, out_dir: &Path) -> io::Result<String> {
+    let sets = WorkloadId::paper_nine()
+        .into_iter()
+        .map(|id| {
+            let run = suite.tuned(id, TpuGeneration::V2);
+            let set = Analyzer::new(&run.profile)
+                .dbscan_phases(30)
+                .expect("sim-scale profiles fit the memory limit");
+            (id, set)
+        })
+        .collect();
+    coverage_rows("fig8", sets, out_dir)
+}
+
+/// Figure 9: top-3 coverage, k-means with k = 5.
+fn fig9(suite: &Suite, out_dir: &Path) -> io::Result<String> {
+    let sets = WorkloadId::paper_nine()
+        .into_iter()
+        .map(|id| {
+            let run = suite.tuned(id, TpuGeneration::V2);
+            (id, Analyzer::new(&run.profile).kmeans_phases(5))
+        })
+        .collect();
+    coverage_rows("fig9", sets, out_dir)
+}
+
+/// Table II: top-5 operators of the most time-consuming phase per
+/// workload and algorithm, plus per-generation appearance totals.
+fn table2(suite: &Suite, out_dir: &Path) -> io::Result<String> {
+    use std::collections::BTreeMap;
+    let mut rows = Vec::new();
+    let mut totals: BTreeMap<(String, &'static str, &'static str), u32> = BTreeMap::new();
+    for generation in [TpuGeneration::V2, TpuGeneration::V3] {
+        let gen_label = match generation {
+            TpuGeneration::V2 => "TPUv2",
+            TpuGeneration::V3 => "TPUv3",
+        };
+        for id in WorkloadId::paper_nine() {
+            let run = suite.tuned(id, generation);
+            let analyzer = Analyzer::new(&run.profile);
+            let sets: Vec<(&str, PhaseSet)> = vec![
+                ("k-means", analyzer.kmeans_phases(5)),
+                (
+                    "DBSCAN",
+                    analyzer
+                        .dbscan_phases(30)
+                        .expect("sim-scale profiles fit the memory limit"),
+                ),
+                ("OLS", analyzer.ols_phases(0.7)),
+            ];
+            for (algo, set) in sets {
+                let Some(top) = analyzer.top_operators_of_longest(&set, 5) else {
+                    continue;
+                };
+                for (side, list) in [("host", &top.host), ("tpu", &top.tpu)] {
+                    for (rank, (op, dur, count)) in list.iter().enumerate() {
+                        rows.push(format!(
+                            "{gen_label},{},{algo},{side},{},{op},{},{count}",
+                            id.label(),
+                            rank + 1,
+                            dur.as_micros(),
+                        ));
+                        *totals.entry((op.clone(), side, gen_label)).or_default() += 1;
+                    }
+                }
+            }
+        }
+    }
+    write_csv(
+        out_dir,
+        "table2",
+        "generation,workload,algorithm,side,rank,op,total_us,invocations",
+        rows,
+    )?;
+    let mut total_rows = Vec::new();
+    let mut summary = String::from(
+        "Table II — appearances of each op in per-(workload,algorithm) top-5 lists:\n",
+    );
+    // Collect per-op totals across generations for the summary.
+    let mut by_op: BTreeMap<(String, &'static str), (u32, u32)> = BTreeMap::new();
+    for ((op, side, generation), count) in &totals {
+        let entry = by_op.entry((op.clone(), side)).or_default();
+        if *generation == "TPUv2" {
+            entry.0 = *count;
+        } else {
+            entry.1 = *count;
+        }
+    }
+    let mut ranked: Vec<_> = by_op.into_iter().collect();
+    ranked.sort_by_key(|(_, (v2, v3))| std::cmp::Reverse(v2 + v3));
+    for ((op, side), (v2, v3)) in &ranked {
+        total_rows.push(format!("{op},{side},{v2},{v3}"));
+    }
+    for ((op, side), (v2, v3)) in ranked.iter().take(12) {
+        summary.push_str(&format!("  {side:4} {op:32} TPUv2 {v2:3}   TPUv3 {v3:3}\n"));
+    }
+    write_csv(
+        out_dir,
+        "table2_totals",
+        "op,side,total_tpuv2,total_tpuv3",
+        total_rows,
+    )?;
+    Ok(summary)
+}
+
+/// Figures 10 and 11: idle / MXU across workloads on both generations.
+fn fig10_11(suite: &Suite, out_dir: &Path, name: &str, metric: Metric) -> io::Result<String> {
+    let mut rows = Vec::new();
+    let mut summary = format!("{name} — {} (TPUv2 / TPUv3):\n", metric.label());
+    let mut sums = (0.0, 0.0);
+    for id in WorkloadId::paper_nine() {
+        let v2 = metric.of(&suite.tuned(id, TpuGeneration::V2).profile);
+        let v3 = metric.of(&suite.tuned(id, TpuGeneration::V3).profile);
+        sums.0 += v2;
+        sums.1 += v3;
+        rows.push(format!("{},{:.4},{:.4}", id.label(), v2, v3));
+        summary.push_str(&format!(
+            "  {:18} {:5.1}%  /  {:5.1}%\n",
+            id.label(),
+            v2 * 100.0,
+            v3 * 100.0
+        ));
+    }
+    let n = WorkloadId::paper_nine().len() as f64;
+    summary.push_str(&format!(
+        "  {:18} {:5.1}%  /  {:5.1}%\n",
+        "AVERAGE",
+        sums.0 / n * 100.0,
+        sums.1 / n * 100.0
+    ));
+    write_csv(
+        out_dir,
+        name,
+        &format!("workload,{}_v2,{}_v3", metric.label(), metric.label()),
+        rows,
+    )?;
+    Ok(summary)
+}
+
+/// Figures 12 and 13: reduced-dataset runs (QANet, RetinaNet halved;
+/// ResNet fed CIFAR-10), compared with the originals.
+fn fig12_13(suite: &Suite, out_dir: &Path, name: &str, metric: Metric) -> io::Result<String> {
+    let pairs = [
+        (WorkloadId::QanetSquad, WorkloadId::QanetSquadHalf),
+        (WorkloadId::RetinanetCoco, WorkloadId::RetinanetCocoHalf),
+        (WorkloadId::ResnetImagenet, WorkloadId::ResnetCifar10),
+    ];
+    let mut rows = Vec::new();
+    let mut summary = format!(
+        "{name} — {} with reduced datasets (TPUv2 / TPUv3, original in parens):\n",
+        metric.label()
+    );
+    for (orig, reduced) in pairs {
+        let r2 = metric.of(&suite.tuned(reduced, TpuGeneration::V2).profile);
+        let r3 = metric.of(&suite.tuned(reduced, TpuGeneration::V3).profile);
+        let o2 = metric.of(&suite.tuned(orig, TpuGeneration::V2).profile);
+        let o3 = metric.of(&suite.tuned(orig, TpuGeneration::V3).profile);
+        rows.push(format!(
+            "{},{:.4},{:.4},{:.4},{:.4}",
+            reduced.label(),
+            r2,
+            r3,
+            o2,
+            o3
+        ));
+        summary.push_str(&format!(
+            "  {:18} {:5.1}% ({:5.1}%)  /  {:5.1}% ({:5.1}%)\n",
+            reduced.label(),
+            r2 * 100.0,
+            o2 * 100.0,
+            r3 * 100.0,
+            o3 * 100.0
+        ));
+    }
+    write_csv(
+        out_dir,
+        name,
+        &format!(
+            "workload,{m}_v2,{m}_v3,original_{m}_v2,original_{m}_v3",
+            m = metric.label()
+        ),
+        rows,
+    )?;
+    Ok(summary)
+}
+
+/// Figure 14: TPUPoint-Optimizer speedups over default parameters on
+/// TPUv2. Long-running workloads (QANet, RetinaNet) benefit; short ones
+/// (BERT, DCGAN) do not amortize the tuning overhead.
+fn fig14(suite: &Suite, out_dir: &Path) -> io::Result<String> {
+    let entries = [
+        (WorkloadId::QanetSquad, true),
+        (WorkloadId::RetinanetCoco, true),
+        (WorkloadId::BertMrpc, false),
+        (WorkloadId::DcganCifar10, false),
+    ];
+    let mut rows = Vec::new();
+    let mut summary =
+        String::from("Figure 14 — TPUPoint-Optimizer speedup over defaults (TPUv2):\n");
+    for (id, long_running) in entries {
+        let cfg = suite.config(id, TpuGeneration::V2, Variant::Tuned);
+        let report = TpuPointOptimizer::new(cfg).optimize();
+        let full_steps = build(id, TpuGeneration::V2, &BuildOptions::default())
+            .step_plan()
+            .len() as u64;
+        let projected = report.projected_full_run_speedup(full_steps);
+        let throughput = report.throughput_speedup();
+        assert!(report.output_preserved(), "{id}: output guard violated");
+        rows.push(format!(
+            "{},{:.4},{:.4},{},{}",
+            id.label(),
+            projected,
+            throughput,
+            full_steps,
+            if long_running { "long" } else { "short" }
+        ));
+        summary.push_str(&format!(
+            "  {:18} projected {:.3}x (throughput {:.3}x, {} run)\n",
+            id.label(),
+            projected,
+            throughput,
+            if long_running { "long" } else { "short" }
+        ));
+    }
+    write_csv(
+        out_dir,
+        "fig14",
+        "workload,projected_speedup,throughput_speedup,full_plan_steps,class",
+        rows,
+    )?;
+    Ok(summary)
+}
+
+/// Figures 15 and 16: naive implementations with and without
+/// TPUPoint-Optimizer on both generations.
+fn fig15_16(suite: &Suite, out_dir: &Path, name: &str, metric: Metric) -> io::Result<String> {
+    let ids = [WorkloadId::QanetSquad, WorkloadId::RetinanetCoco];
+    let mut rows = Vec::new();
+    let mut summary = format!(
+        "{name} — naive implementations, {} without → with optimizer:\n",
+        metric.label()
+    );
+    for id in ids {
+        for generation in [TpuGeneration::V2, TpuGeneration::V3] {
+            let cfg = suite.config(id, generation, Variant::Naive);
+            let report = TpuPointOptimizer::new(cfg).optimize();
+            let before = metric.of_report(&report.baseline);
+            let after = metric.of_report(&report.optimized);
+            let gen_label = match generation {
+                TpuGeneration::V2 => "TPUv2",
+                TpuGeneration::V3 => "TPUv3",
+            };
+            rows.push(format!(
+                "{},{gen_label},{:.4},{:.4}",
+                id.label(),
+                before,
+                after
+            ));
+            summary.push_str(&format!(
+                "  {:18} {gen_label}: {:5.1}% → {:5.1}%\n",
+                id.label(),
+                before * 100.0,
+                after * 100.0
+            ));
+        }
+    }
+    write_csv(
+        out_dir,
+        name,
+        &format!(
+            "workload,generation,naive_{m},optimized_{m}",
+            m = metric.label()
+        ),
+        rows,
+    )?;
+    Ok(summary)
+}
+
+/// Ablation: XLA fusion on versus off. Quantifies why `fusion` tops
+/// Table II — without the pass, element-wise intermediates round-trip HBM
+/// and steps slow down.
+fn ablation_fusion(suite: &Suite, out_dir: &Path) -> io::Result<String> {
+    use tpupoint::workloads::models;
+    let mut rows = Vec::new();
+    let mut summary = String::from("Ablation — fusion on/off (TPUv2):\n");
+    let graphs: Vec<(
+        &str,
+        tpupoint::graph::Graph,
+        tpupoint::graph::Graph,
+        WorkloadId,
+    )> = vec![
+        (
+            "BERT",
+            models::bert::train_graph_raw(32, 128),
+            models::bert::train_graph(32, 128),
+            WorkloadId::BertMrpc,
+        ),
+        (
+            "DCGAN",
+            models::dcgan::train_graph_raw(1024),
+            models::dcgan::train_graph(1024),
+            WorkloadId::DcganCifar10,
+        ),
+        (
+            "ResNet-50",
+            models::resnet::train_graph_raw(1024, 224),
+            models::resnet::train_graph(1024, 224),
+            WorkloadId::ResnetImagenet,
+        ),
+    ];
+    for (name, raw, fused, id) in graphs {
+        // Static effect: nodes and HBM traffic.
+        let hbm_saved = 1.0 - fused.total_hbm_bytes() / raw.total_hbm_bytes();
+        // Dynamic effect: run short jobs with each graph.
+        let mut unfused_cfg = suite.config(id, TpuGeneration::V2, Variant::Tuned);
+        unfused_cfg.train_steps = unfused_cfg.train_steps.min(60);
+        unfused_cfg.steps_per_eval = None;
+        unfused_cfg.eval_steps = 0;
+        let mut fused_cfg = unfused_cfg.clone();
+        unfused_cfg.train_graph = raw.clone();
+        fused_cfg.train_graph = fused.clone();
+        let r_raw = TrainingJob::new(unfused_cfg).run(&mut NullSink);
+        let r_fused = TrainingJob::new(fused_cfg).run(&mut NullSink);
+        let speedup = r_raw.steady_window.as_secs_f64() / r_fused.steady_window.as_secs_f64();
+        rows.push(format!(
+            "{name},{},{},{:.4},{:.4}",
+            raw.node_count(),
+            fused.node_count(),
+            hbm_saved,
+            speedup
+        ));
+        summary.push_str(&format!(
+            "  {:10} nodes {:>4} -> {:>3}, HBM traffic -{:.1}%, step speedup {:.3}x\n",
+            name,
+            raw.node_count(),
+            fused.node_count(),
+            hbm_saved * 100.0,
+            speedup
+        ));
+    }
+    write_csv(
+        out_dir,
+        "ablation_fusion",
+        "model,nodes_raw,nodes_fused,hbm_traffic_saved,fused_speedup",
+        rows,
+    )?;
+    Ok(summary)
+}
+
+/// Ablation: pipeline-knob sweep on QANet — the response surface the
+/// optimizer hill-climbs (idle falls with threads until the TPU binds).
+fn ablation_pipeline(suite: &Suite, out_dir: &Path) -> io::Result<String> {
+    let mut rows = Vec::new();
+    let mut summary =
+        String::from("Ablation — decode threads vs idle/throughput (QANet, TPUv2):\n");
+    for threads in [1u32, 2, 4, 8, 16, 32, 64] {
+        let mut cfg = suite.config(WorkloadId::QanetSquad, TpuGeneration::V2, Variant::Tuned);
+        cfg.train_steps = cfg.train_steps.min(200);
+        cfg.steps_per_eval = None;
+        cfg.eval_steps = 0;
+        cfg.pipeline.num_parallel_calls = threads;
+        let report = TrainingJob::new(cfg).run(&mut NullSink);
+        rows.push(format!(
+            "{threads},{:.4},{:.3}",
+            report.tpu_idle_fraction(),
+            report.throughput_steps_per_sec()
+        ));
+        summary.push_str(&format!(
+            "  threads {:>2}: idle {:>5.1}%  {:>7.2} steps/s\n",
+            threads,
+            report.tpu_idle_fraction() * 100.0,
+            report.throughput_steps_per_sec()
+        ));
+    }
+    write_csv(
+        out_dir,
+        "ablation_pipeline",
+        "decode_threads,tpu_idle_fraction,steps_per_sec",
+        rows,
+    )?;
+    Ok(summary)
+}
+
+/// Ablation: operator-substitution rate vs OLS fragmentation at the 100%
+/// threshold — the design choice behind Figure 6's per-workload tails.
+fn ablation_substitution(suite: &Suite, out_dir: &Path) -> io::Result<String> {
+    let mut rows = Vec::new();
+    let mut summary =
+        String::from("Ablation — substitution rate vs OLS phases @100% (BERT-CoLA, TPUv2):\n");
+    for prob in [0.0, 0.005, 0.01, 0.02, 0.05] {
+        let mut cfg = suite.config(WorkloadId::BertCola, TpuGeneration::V2, Variant::Tuned);
+        cfg.substitution_prob = prob;
+        let tp = TpuPoint::builder().analyzer(false).build();
+        let run = tp.profile(cfg)?;
+        let analyzer = Analyzer::new(&run.profile);
+        let sweep = analyzer.ols_threshold_sweep(&[0.7, 1.0]);
+        rows.push(format!("{prob},{},{}", sweep[0].1, sweep[1].1));
+        summary.push_str(&format!(
+            "  q = {:>5.3}: phases@70% = {:>2}, phases@100% = {:>4}\n",
+            prob, sweep[0].1, sweep[1].1
+        ));
+    }
+    write_csv(
+        out_dir,
+        "ablation_substitution",
+        "substitution_prob,phases_at_70,phases_at_100",
+        rows,
+    )?;
+    Ok(summary)
+}
+
+/// Ablation: seed stability. The jitter seed must not change any reported
+/// conclusion — phases, coverage, idle, and MXU stay put across seeds.
+fn ablation_seeds(suite: &Suite, out_dir: &Path) -> io::Result<String> {
+    let mut rows = Vec::new();
+    let mut summary = String::from("Ablation — seed stability (DCGAN-CIFAR10, TPUv2):\n");
+    let mut idles = Vec::new();
+    for seed in [1u64, 7, 42, 1234, 99999] {
+        let mut cfg = suite.config(WorkloadId::DcganCifar10, TpuGeneration::V2, Variant::Tuned);
+        cfg.seed = seed;
+        let tp = TpuPoint::builder().analyzer(false).build();
+        let run = tp.profile(cfg)?;
+        let analyzer = Analyzer::new(&run.profile);
+        let phases = analyzer.ols_phases(0.7);
+        let idle = run.profile.steady_tpu_idle_fraction();
+        idles.push(idle);
+        rows.push(format!(
+            "{seed},{:.4},{:.4},{},{:.4}",
+            idle,
+            run.profile.steady_mxu_utilization(),
+            phases.len(),
+            phases.coverage_top(3)
+        ));
+        summary.push_str(&format!(
+            "  seed {:>6}: idle {:.2}%  mxu {:.2}%  phases@70% = {}\n",
+            seed,
+            idle * 100.0,
+            run.profile.steady_mxu_utilization() * 100.0,
+            phases.len()
+        ));
+    }
+    let mean = idles.iter().sum::<f64>() / idles.len() as f64;
+    let spread = idles
+        .iter()
+        .map(|x| (x - mean).abs())
+        .fold(0.0f64, f64::max);
+    summary.push_str(&format!(
+        "  max idle deviation across seeds: {:.3} points\n",
+        spread * 100.0
+    ));
+    write_csv(
+        out_dir,
+        "ablation_seeds",
+        "seed,tpu_idle_fraction,mxu_utilization,ols_phases_70,top3_coverage",
+        rows,
+    )?;
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_experiment_id_dispatches() {
+        // Smoke: the cheap experiments actually run end to end; the heavy
+        // ones at least resolve to a handler (checked via the unknown-id
+        // error NOT firing — compile-time match coverage).
+        let suite = Suite::new();
+        let dir = std::env::temp_dir().join(format!("tpupoint-exp-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        for id in ["table1", "fig6", "fig7"] {
+            let summary = run(id, &suite, &dir).expect(id);
+            assert!(!summary.is_empty());
+            assert!(dir.join(format!("{id}.csv")).exists());
+        }
+        let err = run("fig99", &suite, &dir).expect_err("unknown id");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn all_list_has_no_duplicates() {
+        let mut ids: Vec<&str> = ALL.to_vec();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), ALL.len());
+    }
+}

@@ -1,0 +1,12 @@
+//! # tpupoint-bench
+//!
+//! The reproduction harness: one function per table/figure of the paper's
+//! evaluation, shared by the `reproduce` binary (CSV + console output) and
+//! the Criterion benches. See DESIGN.md's experiment index for the mapping
+//! and EXPERIMENTS.md for paper-versus-measured results.
+
+pub mod csvout;
+pub mod experiments;
+pub mod suite;
+
+pub use suite::Suite;

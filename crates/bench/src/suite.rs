@@ -1,0 +1,93 @@
+//! Cached profiled runs of the workload suite, shared across experiments.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+use tpupoint::prelude::*;
+
+/// Lazily profiles each (workload, generation, variant) once and caches
+/// the result; every figure draws from the same runs, exactly as the
+/// paper's figures all come from one set of profiled executions.
+#[derive(Default)]
+pub struct Suite {
+    #[allow(clippy::type_complexity)]
+    cache: RefCell<BTreeMap<(WorkloadId, TpuGeneration, u8), Rc<ProfiledRun>>>,
+}
+
+impl Suite {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn variant_key(variant: Variant) -> u8 {
+        match variant {
+            Variant::Tuned => 0,
+            Variant::Naive => 1,
+        }
+    }
+
+    /// Builds the job config used for profiled runs (simulation scale).
+    pub fn config(&self, id: WorkloadId, generation: TpuGeneration, variant: Variant) -> JobConfig {
+        build(
+            id,
+            generation,
+            &BuildOptions {
+                scale: id.default_sim_scale(),
+                variant,
+                ..BuildOptions::default()
+            },
+        )
+    }
+
+    /// Profiled run of a workload (cached).
+    pub fn profiled(
+        &self,
+        id: WorkloadId,
+        generation: TpuGeneration,
+        variant: Variant,
+    ) -> Rc<ProfiledRun> {
+        let key = (id, generation, Self::variant_key(variant));
+        if let Some(hit) = self.cache.borrow().get(&key) {
+            return hit.clone();
+        }
+        let tp = TpuPoint::builder().analyzer(false).build();
+        let run = Rc::new(
+            tp.profile(self.config(id, generation, variant))
+                .expect("in-memory profiling cannot fail"),
+        );
+        self.cache.borrow_mut().insert(key, run.clone());
+        run
+    }
+
+    /// Profiled run of the tuned variant.
+    pub fn tuned(&self, id: WorkloadId, generation: TpuGeneration) -> Rc<ProfiledRun> {
+        self.profiled(id, generation, Variant::Tuned)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caching_returns_the_same_run() {
+        let suite = Suite::new();
+        let a = suite.tuned(WorkloadId::BertMrpc, TpuGeneration::V2);
+        let b = suite.tuned(WorkloadId::BertMrpc, TpuGeneration::V2);
+        assert!(Rc::ptr_eq(&a, &b));
+        assert!(a.report.steps_completed > 0);
+    }
+
+    #[test]
+    fn variants_are_cached_separately() {
+        let suite = Suite::new();
+        let tuned = suite.profiled(WorkloadId::BertMrpc, TpuGeneration::V2, Variant::Tuned);
+        let naive = suite.profiled(WorkloadId::BertMrpc, TpuGeneration::V2, Variant::Naive);
+        assert!(!Rc::ptr_eq(&tuned, &naive));
+        assert!(
+            naive.report.tpu_idle_fraction() >= tuned.report.tpu_idle_fraction(),
+            "naive pipelines idle the TPU at least as much"
+        );
+    }
+}

@@ -1,0 +1,123 @@
+//! Tiny flag parser: `--key value` pairs, `--flag` booleans, and
+//! positional arguments, with helpful errors.
+
+use std::collections::BTreeMap;
+
+/// Parsed arguments of one subcommand.
+#[derive(Debug, Default, Clone)]
+pub struct Args {
+    /// Positional arguments in order.
+    pub positional: Vec<String>,
+    /// `--key value` options.
+    options: BTreeMap<String, String>,
+    /// Bare `--flag` switches.
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses `argv`, treating `known_flags` as value-less switches.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when an option is missing its value.
+    pub fn parse(argv: &[String], known_flags: &[&str]) -> Result<Args, String> {
+        let mut args = Args::default();
+        let mut it = argv.iter().peekable();
+        while let Some(arg) = it.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                if known_flags.contains(&name) {
+                    args.flags.push(name.to_owned());
+                } else {
+                    let value = it
+                        .next()
+                        .ok_or_else(|| format!("--{name} requires a value"))?;
+                    args.options.insert(name.to_owned(), value.clone());
+                }
+            } else {
+                args.positional.push(arg.clone());
+            }
+        }
+        Ok(args)
+    }
+
+    /// Raw option value.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// Option value parsed as `T`, with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the value fails to parse.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("--{key} got unparsable value `{raw}`")),
+        }
+    }
+
+    /// True if the bare flag was passed.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// First positional argument or an error naming what was expected.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the missing argument.
+    pub fn positional0(&self, what: &str) -> Result<&str, String> {
+        self.positional
+            .first()
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing {what}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_options_flags_and_positionals() {
+        let args = Args::parse(
+            &argv(&["file.json", "--threshold", "0.8", "--naive", "extra"]),
+            &["naive"],
+        )
+        .unwrap();
+        assert_eq!(args.positional, vec!["file.json", "extra"]);
+        assert_eq!(args.get("threshold"), Some("0.8"));
+        assert!(args.flag("naive"));
+        assert!(!args.flag("tuned"));
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        let err = Args::parse(&argv(&["--out"]), &[]).unwrap_err();
+        assert!(err.contains("--out"));
+    }
+
+    #[test]
+    fn typed_getters_parse_and_default() {
+        let args = Args::parse(&argv(&["--scale", "0.5"]), &[]).unwrap();
+        assert_eq!(args.get_or("scale", 1.0_f64).unwrap(), 0.5);
+        assert_eq!(args.get_or("seed", 42_u64).unwrap(), 42);
+        assert!(args.get_or::<f64>("scale", 1.0).is_ok());
+        let bad = Args::parse(&argv(&["--scale", "abc"]), &[]).unwrap();
+        assert!(bad.get_or::<f64>("scale", 1.0).is_err());
+    }
+
+    #[test]
+    fn positional0_errors_helpfully() {
+        let args = Args::parse(&argv(&[]), &[]).unwrap();
+        let err = args.positional0("a profile path").unwrap_err();
+        assert!(err.contains("profile path"));
+    }
+}

@@ -1,0 +1,381 @@
+//! Subcommand implementations.
+
+use crate::args::Args;
+use std::fs::File;
+use std::path::PathBuf;
+use tpupoint::analyzer::PhaseSet;
+use tpupoint::optimizer::{TpuPointOptimizer, TrialOutcome};
+use tpupoint::prelude::*;
+use tpupoint::profiler::audit_windows;
+use tpupoint::sim::SimDuration;
+
+const USAGE: &str = "\
+tpupoint — automatic characterization of (simulated) TPU ML behavior
+
+USAGE:
+  tpupoint workloads
+      List every workload of the suite with its Table I parameters.
+
+  tpupoint profile --workload <id> [--generation v2|v3] [--scale F]
+                   [--seed N] [--naive] [--out DIR]
+      Simulate and profile a training session; writes <DIR>/profile.json.
+
+  tpupoint analyze <profile.json> [--algorithm ols|kmeans|dbscan]
+                   [--threshold F] [--k N] [--min-samples N] [--out DIR]
+      Detect phases and print coverage, top operators, and checkpoints.
+
+  tpupoint optimize --workload <id> [--generation v2|v3] [--scale F]
+                    [--naive]
+      Run TPUPoint-Optimizer and print the tuning report.
+
+  tpupoint compare <a.json> <b.json> [--top N]
+      Compare two profiles op by op (v2 vs v3, naive vs tuned, ...).
+
+  tpupoint report <profile.json>
+      Print a full characterization report (phases, operators, bottleneck).
+
+  tpupoint audit <profile.json>
+      Audit the profile's window stream for gaps, overlaps, and losses.
+";
+
+/// Dispatches a parsed command line.
+///
+/// # Errors
+///
+/// Returns a human-readable message on any failure.
+pub fn dispatch(argv: &[String]) -> Result<(), String> {
+    match argv.first().map(String::as_str) {
+        Some("workloads") => workloads(),
+        Some("profile") => profile(&argv[1..]),
+        Some("analyze") => analyze(&argv[1..]),
+        Some("optimize") => optimize(&argv[1..]),
+        Some("compare") => compare_cmd(&argv[1..]),
+        Some("report") => report(&argv[1..]),
+        Some("audit") => audit(&argv[1..]),
+        Some("--help") | Some("-h") | None => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown subcommand `{other}`\n\n{USAGE}")),
+    }
+}
+
+fn parse_generation(args: &Args) -> Result<TpuGeneration, String> {
+    match args.get("generation").unwrap_or("v2") {
+        "v2" | "V2" => Ok(TpuGeneration::V2),
+        "v3" | "V3" => Ok(TpuGeneration::V3),
+        other => Err(format!("--generation must be v2 or v3, got `{other}`")),
+    }
+}
+
+fn build_from_args(args: &Args) -> Result<JobConfig, String> {
+    let id: WorkloadId = args
+        .get("workload")
+        .ok_or("--workload is required")?
+        .parse()
+        .map_err(|e| format!("{e}"))?;
+    let generation = parse_generation(args)?;
+    let opts = BuildOptions {
+        scale: args.get_or("scale", id.default_sim_scale())?,
+        seed: args.get_or("seed", 42)?,
+        variant: if args.flag("naive") {
+            Variant::Naive
+        } else {
+            Variant::Tuned
+        },
+        ..BuildOptions::default()
+    };
+    Ok(build(id, generation, &opts))
+}
+
+fn workloads() -> Result<(), String> {
+    println!(
+        "{:20} {:10} {:>7} {:>12} {:>12} {:>8}",
+        "id", "dataset", "batch", "train steps", "size (MiB)", "scale"
+    );
+    for id in WorkloadId::all() {
+        let cfg = build(id, TpuGeneration::V2, &BuildOptions::default());
+        println!(
+            "{:20} {:10} {:>7} {:>12} {:>12.2} {:>8.3}",
+            id.label().to_ascii_lowercase(),
+            cfg.dataset.name,
+            cfg.pipeline.batch_size,
+            cfg.train_steps,
+            cfg.dataset.size_bytes as f64 / (1024.0 * 1024.0),
+            id.default_sim_scale(),
+        );
+    }
+    Ok(())
+}
+
+fn profile(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &["naive"])?;
+    let config = build_from_args(&args)?;
+    let out: PathBuf = args.get("out").unwrap_or("tpupoint-out").into();
+    let tp = TpuPoint::builder().analyzer(true).output_dir(&out).build();
+    let run = tp
+        .profile(config)
+        .map_err(|e| format!("profiling failed: {e}"))?;
+    std::fs::create_dir_all(&out).map_err(|e| e.to_string())?;
+    let path = out.join("profile.json");
+    run.profile
+        .save_json(File::create(&path).map_err(|e| e.to_string())?)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "profiled {} ({}) on {:?}: {} steps, wall {:.1}s",
+        run.profile.model,
+        run.profile.dataset,
+        run.report.generation,
+        run.report.steps_completed,
+        run.report.session_wall.as_secs_f64()
+    );
+    println!(
+        "TPU idle {:.1}%  MXU util {:.1}%  windows {}  checkpoints {}",
+        run.profile.steady_tpu_idle_fraction() * 100.0,
+        run.profile.steady_mxu_utilization() * 100.0,
+        run.profile.windows.len(),
+        run.profile.checkpoints.len()
+    );
+    println!("profile written to {}", path.display());
+    Ok(())
+}
+
+fn load_profile(path: &str) -> Result<Profile, String> {
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    Profile::load_json(file).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn analyze(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &[])?;
+    let path = args.positional0("profile.json path")?;
+    let profile = load_profile(path)?;
+    let analyzer = Analyzer::new(&profile);
+    let algorithm = args.get("algorithm").unwrap_or("ols");
+    let set: PhaseSet = match algorithm {
+        "ols" => analyzer.ols_phases(args.get_or("threshold", 0.7)?),
+        "kmeans" => analyzer.kmeans_phases(args.get_or("k", 5)?),
+        "dbscan" => analyzer
+            .dbscan_phases(args.get_or("min-samples", 30)?)
+            .map_err(|e| e.to_string())?,
+        other => return Err(format!("unknown --algorithm `{other}`")),
+    };
+    println!(
+        "{} found {} phases; top 3 cover {:.1}% of execution time",
+        algorithm,
+        set.len(),
+        set.coverage_top(3) * 100.0
+    );
+    let checkpoints = analyzer.checkpoints_for(&set);
+    for phase in set.by_time_desc().into_iter().take(5) {
+        let share = phase.total_time.as_micros() as f64 / set.total_time.as_micros().max(1) as f64;
+        let ckpt = checkpoints[phase.id]
+            .map(|c| format!("ckpt@{}", c.checkpoint_step))
+            .unwrap_or_else(|| "no ckpt".to_owned());
+        println!(
+            "  phase {:>3}{}: {:>6} steps, {:>5.1}% of time, {}",
+            phase.id,
+            if phase.is_noise { " (noise)" } else { "" },
+            phase.steps.len(),
+            share * 100.0,
+            ckpt
+        );
+    }
+    if let Some(top) = analyzer.top_operators_of_longest(&set, 5) {
+        println!("top TPU ops:  {}", fmt_ops(&top.tpu));
+        println!("top host ops: {}", fmt_ops(&top.host));
+    }
+    if let Some(dir) = args.get("out") {
+        let dir = PathBuf::from(dir);
+        std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+        let trace = dir.join("trace.json");
+        let csv = dir.join("phases.csv");
+        analyzer
+            .write_chrome_trace(&set, File::create(&trace).map_err(|e| e.to_string())?)
+            .map_err(|e| e.to_string())?;
+        analyzer
+            .write_phase_csv(&set, File::create(&csv).map_err(|e| e.to_string())?)
+            .map_err(|e| e.to_string())?;
+        println!("wrote {} and {}", trace.display(), csv.display());
+    }
+    Ok(())
+}
+
+fn fmt_ops(rows: &[(String, SimDuration, u64)]) -> String {
+    rows.iter()
+        .map(|(n, d, _)| format!("{n} ({d})"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn optimize(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &["naive"])?;
+    let config = build_from_args(&args)?;
+    let report = TpuPointOptimizer::new(config).optimize();
+    println!(
+        "critical phase detected: {}",
+        report.critical_phase_detected
+    );
+    for trial in &report.trials {
+        let marker = match trial.outcome {
+            TrialOutcome::Accepted => "accept",
+            TrialOutcome::NoImprovement => "revert",
+            TrialOutcome::OutputChanged => "guard!",
+            TrialOutcome::Invalid => "error ",
+        };
+        println!(
+            "  [{marker}] {:22} {:>6} -> {:<6} {:>9.2} steps/s",
+            trial.param.to_string(),
+            trial.from,
+            trial.to,
+            trial.steps_per_sec
+        );
+    }
+    println!(
+        "throughput {:.2} -> {:.2} steps/s ({:.3}x), idle {:.1}% -> {:.1}%, mxu {:.1}% -> {:.1}%",
+        report.baseline.throughput_steps_per_sec(),
+        report.optimized.throughput_steps_per_sec(),
+        report.throughput_speedup(),
+        report.baseline.tpu_idle_fraction() * 100.0,
+        report.optimized.tpu_idle_fraction() * 100.0,
+        report.baseline.mxu_utilization() * 100.0,
+        report.optimized.mxu_utilization() * 100.0,
+    );
+    println!(
+        "output preserved: {}; online tuning overhead {}",
+        report.output_preserved(),
+        report.tuning_overhead
+    );
+    Ok(())
+}
+
+fn compare_cmd(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &[])?;
+    let a = args.positional0("first profile path")?;
+    let b = args
+        .positional
+        .get(1)
+        .ok_or("missing second profile path")?;
+    let pa = load_profile(a)?;
+    let pb = load_profile(b)?;
+    let cmp = tpupoint::analyzer::compare(&pa, &pb);
+    print!("{}", cmp.render(args.get_or("top", 10)?));
+    Ok(())
+}
+
+fn report(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &[])?;
+    let path = args.positional0("profile.json path")?;
+    let profile = load_profile(path)?;
+    print!("{}", tpupoint::analyzer::characterize(&profile));
+    Ok(())
+}
+
+fn audit(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &[])?;
+    let path = args.positional0("profile.json path")?;
+    let profile = load_profile(path)?;
+    let audit = audit_windows(&profile.windows, SimDuration::from_millis(1));
+    println!(
+        "windows {}  events {}  span {:.1}s",
+        audit.windows,
+        audit.events,
+        audit.covered_span.as_secs_f64()
+    );
+    println!(
+        "gaps {} ({:.2}% unobserved)  overlaps {}",
+        audit.gaps.len(),
+        audit.unobserved_fraction() * 100.0,
+        audit.overlaps.len()
+    );
+    println!(
+        "max window: {} events, {:.1}s span (caps: 1,000,000 / 60s)",
+        audit.max_window_events,
+        audit.max_window_span.as_secs_f64()
+    );
+    println!(
+        "dropped responses: {} windows, {} events ({:.2}% loss)",
+        profile.dropped_windows,
+        profile.lost_events,
+        profile.loss_fraction() * 100.0
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(parts: &[&str]) -> Result<(), String> {
+        let argv: Vec<String> = parts.iter().map(|s| s.to_string()).collect();
+        dispatch(&argv)
+    }
+
+    #[test]
+    fn help_and_workloads_succeed() {
+        run(&["--help"]).unwrap();
+        run(&["workloads"]).unwrap();
+    }
+
+    #[test]
+    fn unknown_subcommand_is_an_error() {
+        let err = run(&["frobnicate"]).unwrap_err();
+        assert!(err.contains("unknown subcommand"));
+    }
+
+    #[test]
+    fn profile_analyze_audit_round_trip() {
+        let dir = std::env::temp_dir().join(format!("tpupoint-cli-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = dir.to_str().unwrap().to_owned();
+        run(&[
+            "profile",
+            "--workload",
+            "bert-mrpc",
+            "--scale",
+            "0.1",
+            "--out",
+            &out,
+        ])
+        .unwrap();
+        let profile_path = dir.join("profile.json");
+        assert!(profile_path.exists());
+        let p = profile_path.to_str().unwrap().to_owned();
+        run(&["analyze", &p, "--algorithm", "ols"]).unwrap();
+        run(&["analyze", &p, "--algorithm", "kmeans", "--k", "4"]).unwrap();
+        run(&["report", &p]).unwrap();
+        run(&["compare", &p, &p, "--top", "5"]).unwrap();
+        run(&["audit", &p]).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn profile_requires_a_workload() {
+        let err = run(&["profile"]).unwrap_err();
+        assert!(err.contains("--workload"));
+    }
+
+    #[test]
+    fn bad_workload_name_lists_options() {
+        let err = run(&["profile", "--workload", "alexnet"]).unwrap_err();
+        assert!(err.contains("unknown workload"));
+    }
+
+    #[test]
+    fn bad_generation_is_rejected() {
+        let err = run(&["profile", "--workload", "bert-mrpc", "--generation", "v4"]).unwrap_err();
+        assert!(err.contains("v2 or v3"));
+    }
+
+    #[test]
+    fn optimize_runs_on_a_small_naive_workload() {
+        run(&[
+            "optimize",
+            "--workload",
+            "qanet-squad",
+            "--scale",
+            "0.001",
+            "--naive",
+        ])
+        .unwrap();
+    }
+}

@@ -1,0 +1,281 @@
+//! XLA-style operator fusion.
+//!
+//! The paper (Section VI-B) observes that the `fusion` operator — XLA's
+//! merging of compute-intensive operations into single kernels to "help
+//! reduce memory operations" — is the most time-consuming TPU operator
+//! across all workloads. This pass reproduces that effect: element-wise
+//! operations are absorbed into the kernel of their producer (an MXU op or
+//! another element-wise op), eliminating the HBM round-trips of the fused
+//! intermediates. Layout ops (`Reshape`, `Transpose`) deliberately stay
+//! unfused; on real TPUs they realign tiling and appear as their own
+//! entries in profiles, which is why `Reshape` shows up as a headline cost
+//! in Table II.
+
+use crate::graph::{Graph, Node, NodeId, OpKind};
+
+/// Result statistics of a fusion pass, useful for tests and reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FusionStats {
+    /// Nodes in the input graph.
+    pub nodes_before: usize,
+    /// Nodes in the fused graph.
+    pub nodes_after: usize,
+    /// Number of multi-op fusion kernels produced.
+    pub fusion_kernels: usize,
+}
+
+/// Applies the fusion pass, returning a new graph.
+///
+/// Fusion groups are built greedily over the topological order: an
+/// element-wise node whose first data input (a) belongs to an open group and
+/// (b) has no other consumer joins that group. Groups are rooted at MXU ops
+/// or element-wise ops. Multi-node groups become a single [`OpKind::Fusion`]
+/// node whose FLOPs are the members' sum and whose HBM traffic counts only
+/// the group's external inputs and final output — the fused intermediates
+/// stay in registers/CMEM.
+pub fn fuse(graph: &Graph) -> Graph {
+    fuse_with_stats(graph).0
+}
+
+/// Like [`fuse`], also returning [`FusionStats`].
+pub fn fuse_with_stats(graph: &Graph) -> (Graph, FusionStats) {
+    let n = graph.node_count();
+    // Count consumers of every node.
+    let mut consumers = vec![0u32; n];
+    for node in graph.nodes() {
+        for &input in &node.inputs {
+            consumers[input.index()] += 1;
+        }
+    }
+    // Outputs are externally consumed: they must terminate their group's
+    // visible tensor, so treat them as having an extra consumer.
+    for &out in graph.outputs() {
+        consumers[out.index()] += 1;
+    }
+
+    // Assign each node to a group; group id = id of the group's root node.
+    let mut group_of: Vec<usize> = (0..n).collect();
+    for node in graph.nodes() {
+        if !node.kind.is_elementwise() {
+            continue;
+        }
+        // Find the data input that could host this op: the largest input
+        // (parameters/biases ride along for free in XLA fusions).
+        let Some(&host) = node
+            .inputs
+            .iter()
+            .max_by_key(|i| graph.node(**i).output.size_bytes())
+        else {
+            continue;
+        };
+        let host_node = graph.node(host);
+        let host_fusible = host_node.kind.uses_mxu() || host_node.kind.is_elementwise();
+        if host_fusible && consumers[host.index()] == 1 {
+            group_of[node.id.index()] = group_of[host.index()];
+        }
+    }
+
+    // Materialize groups in topological order of their roots.
+    let mut members: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    for node in graph.nodes() {
+        members[group_of[node.id.index()]].push(node.id);
+    }
+
+    let mut new_nodes: Vec<Node> = Vec::new();
+    let mut new_id_of: Vec<Option<NodeId>> = vec![None; n];
+    let mut fusion_kernels = 0;
+    for root in 0..n {
+        let group = &members[root];
+        if group.is_empty() {
+            continue; // node was absorbed elsewhere
+        }
+        let new_id = NodeId(new_nodes.len() as u32);
+        if group.len() == 1 {
+            let old = graph.node(group[0]);
+            let inputs = old
+                .inputs
+                .iter()
+                .map(|i| {
+                    new_id_of[group_of[i.index()]].expect("topological order guarantees mapping")
+                })
+                .collect();
+            new_nodes.push(Node {
+                id: new_id,
+                inputs,
+                ..old.clone()
+            });
+        } else {
+            fusion_kernels += 1;
+            let in_group = |id: NodeId| group_of[id.index()] == root;
+            // External inputs: produced outside the group, deduplicated.
+            let mut ext_inputs: Vec<NodeId> = Vec::new();
+            let mut flops = 0.0;
+            let mut uses_mxu = false;
+            let mut ext_bytes = 0.0;
+            for &m in group {
+                let node = graph.node(m);
+                flops += node.flops;
+                uses_mxu |= node.uses_mxu;
+                for &i in &node.inputs {
+                    if !in_group(i) {
+                        let mapped =
+                            new_id_of[group_of[i.index()]].expect("inputs precede the group");
+                        if !ext_inputs.contains(&mapped) {
+                            ext_inputs.push(mapped);
+                            ext_bytes += graph.node(i).output.size_bytes() as f64;
+                        }
+                    }
+                }
+            }
+            let last = graph.node(*group.last().expect("group is non-empty"));
+            let hbm_bytes = ext_bytes + last.output.size_bytes() as f64;
+            new_nodes.push(Node {
+                id: new_id,
+                kind: OpKind::Fusion,
+                label: format!("fusion.{fusion_kernels}"),
+                inputs: ext_inputs,
+                output: last.output.clone(),
+                flops,
+                hbm_bytes,
+                uses_mxu,
+            });
+        }
+        new_id_of[root] = Some(new_id);
+    }
+
+    let outputs: Vec<NodeId> = graph
+        .outputs()
+        .iter()
+        .map(|o| new_id_of[group_of[o.index()]].expect("outputs were materialized"))
+        .collect();
+
+    let stats = FusionStats {
+        nodes_before: n,
+        nodes_after: new_nodes.len(),
+        fusion_kernels,
+    };
+    (
+        Graph::from_parts(format!("{}.fused", graph.name()), new_nodes, outputs),
+        stats,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{DType, GraphBuilder, Shape};
+
+    fn mlp_graph() -> Graph {
+        let mut b = GraphBuilder::new("mlp");
+        let x = b.input("x", DType::BF16, Shape::of(&[32, 128]));
+        let w = b.parameter("w", DType::BF16, Shape::of(&[128, 256]));
+        let bias = b.parameter("b", DType::BF16, Shape::of(&[256]));
+        let h = b.matmul(x, w);
+        let hb = b.binary(OpKind::Add, h, bias);
+        let a = b.relu(hb);
+        b.finish(&[a])
+    }
+
+    #[test]
+    fn elementwise_chain_fuses_into_matmul_root() {
+        let g = mlp_graph();
+        let (fused, stats) = fuse_with_stats(&g);
+        // input, w, b, fusion(matmul+add+relu)
+        assert_eq!(stats.nodes_before, 6);
+        assert_eq!(stats.nodes_after, 4);
+        assert_eq!(stats.fusion_kernels, 1);
+        let fusion = fused
+            .nodes()
+            .iter()
+            .find(|n| n.kind == OpKind::Fusion)
+            .expect("a fusion kernel should exist");
+        assert!(fusion.uses_mxu, "fusion absorbed a MatMul");
+        assert_eq!(fusion.flops, g.total_flops());
+    }
+
+    #[test]
+    fn fusion_reduces_hbm_traffic() {
+        let g = mlp_graph();
+        let fused = fuse(&g);
+        assert!(
+            fused.total_hbm_bytes() < g.total_hbm_bytes(),
+            "fusion must eliminate intermediate round-trips: {} vs {}",
+            fused.total_hbm_bytes(),
+            g.total_hbm_bytes()
+        );
+    }
+
+    #[test]
+    fn reshape_is_never_fused() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.input("x", DType::BF16, Shape::of(&[32, 128]));
+        let w = b.parameter("w", DType::BF16, Shape::of(&[128, 128]));
+        let h = b.matmul(x, w);
+        let r = b.reshape(h, Shape::of(&[32, 8, 16]));
+        let a = b.relu(r);
+        let g = b.finish(&[a]);
+        let fused = fuse(&g);
+        assert!(
+            fused.nodes().iter().any(|n| n.kind == OpKind::Reshape),
+            "reshape must stay a separate profile entry"
+        );
+    }
+
+    #[test]
+    fn multi_consumer_values_block_fusion() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.input("x", DType::BF16, Shape::of(&[16, 16]));
+        let w = b.parameter("w", DType::BF16, Shape::of(&[16, 16]));
+        let h = b.matmul(x, w);
+        // `h` feeds two ops: neither may absorb it.
+        let r1 = b.relu(h);
+        let r2 = b.unary(OpKind::Tanh, h);
+        let g = b.finish(&[r1, r2]);
+        let fused = fuse(&g);
+        assert!(
+            fused.nodes().iter().any(|n| n.kind == OpKind::MatMul),
+            "multi-consumer matmul must remain visible"
+        );
+    }
+
+    #[test]
+    fn graph_outputs_survive_fusion() {
+        let g = mlp_graph();
+        let fused = fuse(&g);
+        assert_eq!(fused.outputs().len(), 1);
+        let out = fused.node(fused.outputs()[0]);
+        assert_eq!(out.output, g.node(g.outputs()[0]).output);
+    }
+
+    #[test]
+    fn fused_graph_is_topologically_ordered() {
+        let g = mlp_graph();
+        let fused = fuse(&g);
+        for node in fused.nodes() {
+            for input in &node.inputs {
+                assert!(input.index() < node.id.index());
+            }
+        }
+    }
+
+    #[test]
+    fn flops_are_conserved() {
+        let g = mlp_graph();
+        let fused = fuse(&g);
+        let diff = (fused.total_flops() - g.total_flops()).abs();
+        assert!(diff < 1e-6, "fusion must not change arithmetic");
+    }
+
+    #[test]
+    fn graph_without_elementwise_ops_is_unchanged() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.input("x", DType::BF16, Shape::of(&[8, 8]));
+        let w = b.parameter("w", DType::BF16, Shape::of(&[8, 8]));
+        let h = b.matmul(x, w);
+        let g = b.finish(&[h]);
+        let (fused, stats) = fuse_with_stats(&g);
+        assert_eq!(stats.nodes_before, stats.nodes_after);
+        assert_eq!(stats.fusion_kernels, 0);
+        assert_eq!(fused.node_count(), g.node_count());
+    }
+}

@@ -1,0 +1,1114 @@
+//! Tensors, the op vocabulary, and the validated graph builder.
+//!
+//! Op names deliberately match the identifiers that show up in real Cloud
+//! TPU profiles (Table II of the paper): `MatMul`, `Reshape`, `fusion`,
+//! `all-reduce`, `FusedBatchNormV3`, and so on, because TPUPoint-Analyzer's
+//! phase similarity (Eq. 1) and top-operator rankings are computed over
+//! exactly these names.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Element type of a tensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DType {
+    /// 32-bit IEEE float (host-side and loss math).
+    F32,
+    /// 16-bit brain float (the MXU's native input type).
+    BF16,
+    /// 32-bit signed integer (token ids, labels).
+    I32,
+    /// Unsigned byte (raw image data).
+    U8,
+    /// Boolean masks.
+    Bool,
+}
+
+impl DType {
+    /// Bytes per element.
+    pub const fn size_bytes(self) -> u64 {
+        match self {
+            DType::F32 | DType::I32 => 4,
+            DType::BF16 => 2,
+            DType::U8 | DType::Bool => 1,
+        }
+    }
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DType::F32 => "f32",
+            DType::BF16 => "bf16",
+            DType::I32 => "i32",
+            DType::U8 => "u8",
+            DType::Bool => "bool",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A dense tensor shape.
+///
+/// ```
+/// use tpupoint_graph::Shape;
+/// let s = Shape::of(&[32, 128, 128, 3]);
+/// assert_eq!(s.rank(), 4);
+/// assert_eq!(s.num_elements(), 32 * 128 * 128 * 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape(Vec<u64>);
+
+impl Shape {
+    /// Builds a shape from its dimensions. A rank-0 (scalar) shape is valid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero; zero-sized tensors never occur in
+    /// the modeled workloads and almost always indicate a builder bug.
+    pub fn of(dims: &[u64]) -> Self {
+        assert!(
+            dims.iter().all(|&d| d > 0),
+            "shape dimensions must be positive, got {dims:?}"
+        );
+        Shape(dims.to_vec())
+    }
+
+    /// The scalar shape.
+    pub fn scalar() -> Self {
+        Shape(Vec::new())
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The dimensions.
+    pub fn dims(&self) -> &[u64] {
+        &self.0
+    }
+
+    /// Total element count (1 for scalars).
+    pub fn num_elements(&self) -> u64 {
+        self.0.iter().product()
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Element type plus shape: everything the cost model needs about a tensor.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TensorSpec {
+    /// Element type.
+    pub dtype: DType,
+    /// Dense shape.
+    pub shape: Shape,
+}
+
+impl TensorSpec {
+    /// Builds a spec.
+    pub fn new(dtype: DType, shape: Shape) -> Self {
+        TensorSpec { dtype, shape }
+    }
+
+    /// Total size in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.shape.num_elements() * self.dtype.size_bytes()
+    }
+}
+
+/// The operation vocabulary.
+///
+/// Grouped by execution resource: MXU ops drive the matrix units, memory
+/// ops only move data through HBM, vector ops run on the scalar/vector
+/// units. [`OpKind::Fusion`] is produced by the fusion pass, never by the
+/// builder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum OpKind {
+    // Graph boundary.
+    /// Placeholder fed from the infeed.
+    Input,
+    /// Trainable variable resident in HBM.
+    Parameter,
+    /// Dequeues the next batch from the hardware infeed.
+    InfeedDequeueTuple,
+    /// Enqueues step results (loss, summaries) to the outfeed.
+    OutfeedEnqueueTuple,
+    // MXU ops.
+    /// Dense matrix multiplication.
+    MatMul,
+    /// 2-D convolution (forward).
+    Conv2D,
+    /// Convolution filter gradient.
+    Conv2DBackpropFilter,
+    /// Convolution input gradient.
+    Conv2DBackpropInput,
+    // Memory-only ops.
+    /// Re-layout without arithmetic; one of the paper's headline
+    /// time-consumers.
+    Reshape,
+    /// Dimension permutation.
+    Transpose,
+    /// HBM-to-HBM copy.
+    Copy,
+    // Element-wise / vector ops.
+    /// Rectified linear unit.
+    Relu,
+    /// ReLU gradient.
+    ReluGrad,
+    /// Element-wise multiply.
+    Mul,
+    /// Element-wise add.
+    Add,
+    /// Element-wise subtract.
+    Sub,
+    /// Element-wise maximum.
+    Maximum,
+    /// Element-wise minimum.
+    Minimum,
+    /// Dtype conversion.
+    Cast,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Row-wise softmax.
+    Softmax,
+    /// Bias addition.
+    BiasAdd,
+    /// Bias gradient (column reduction).
+    BiasAddGrad,
+    // Normalization / loss / reductions.
+    /// Fused batch normalization (forward).
+    FusedBatchNormV3,
+    /// Fused batch normalization (gradient).
+    FusedBatchNormGradV3,
+    /// Sum-of-squares regularization loss.
+    L2Loss,
+    /// Reduction sum.
+    Sum,
+    /// Reduction mean.
+    Mean,
+    /// Softmax cross-entropy loss with its gradient.
+    SoftmaxCrossEntropy,
+    // Collective.
+    /// Cross-replica gradient reduction; profiles call it `all-reduce`.
+    CrossReplicaSum,
+    // Lookup / attention helpers.
+    /// Embedding-table gather.
+    GatherV2,
+    /// Layer normalization.
+    LayerNorm,
+    // Weight update.
+    /// Fused Adam update.
+    ResourceApplyAdam,
+    // Produced by the fusion pass.
+    /// XLA fusion: several ops executed as one kernel.
+    Fusion,
+}
+
+impl OpKind {
+    /// The name this op carries in profiles. Matches Table II's spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpKind::Input => "Input",
+            OpKind::Parameter => "Parameter",
+            OpKind::InfeedDequeueTuple => "InfeedDequeueTuple",
+            OpKind::OutfeedEnqueueTuple => "OutfeedEnqueueTuple",
+            OpKind::MatMul => "MatMul",
+            OpKind::Conv2D => "Conv2D",
+            OpKind::Conv2DBackpropFilter => "Conv2DBackpropFilter",
+            OpKind::Conv2DBackpropInput => "Conv2DBackpropInput",
+            OpKind::Reshape => "Reshape",
+            OpKind::Transpose => "Transpose",
+            OpKind::Copy => "Copy",
+            OpKind::Relu => "Relu",
+            OpKind::ReluGrad => "ReluGrad",
+            OpKind::Mul => "Mul",
+            OpKind::Add => "Add",
+            OpKind::Sub => "Sub",
+            OpKind::Maximum => "Maximum",
+            OpKind::Minimum => "Minimum",
+            OpKind::Cast => "Cast",
+            OpKind::Tanh => "Tanh",
+            OpKind::Sigmoid => "Sigmoid",
+            OpKind::Softmax => "Softmax",
+            OpKind::BiasAdd => "BiasAdd",
+            OpKind::BiasAddGrad => "BiasAddGrad",
+            OpKind::FusedBatchNormV3 => "FusedBatchNormV3",
+            OpKind::FusedBatchNormGradV3 => "FusedBatchNormGradV3",
+            OpKind::L2Loss => "L2Loss",
+            OpKind::Sum => "Sum",
+            OpKind::Mean => "Mean",
+            OpKind::SoftmaxCrossEntropy => "SoftmaxCrossEntropy",
+            OpKind::CrossReplicaSum => "all-reduce",
+            OpKind::GatherV2 => "GatherV2",
+            OpKind::LayerNorm => "LayerNorm",
+            OpKind::ResourceApplyAdam => "ResourceApplyAdam",
+            OpKind::Fusion => "fusion",
+        }
+    }
+
+    /// True if the op's compute runs on the matrix units.
+    pub fn uses_mxu(self) -> bool {
+        matches!(
+            self,
+            OpKind::MatMul
+                | OpKind::Conv2D
+                | OpKind::Conv2DBackpropFilter
+                | OpKind::Conv2DBackpropInput
+        )
+    }
+
+    /// True if the op is element-wise and therefore fusible into its
+    /// neighbors by XLA.
+    pub fn is_elementwise(self) -> bool {
+        matches!(
+            self,
+            OpKind::Relu
+                | OpKind::ReluGrad
+                | OpKind::Mul
+                | OpKind::Add
+                | OpKind::Sub
+                | OpKind::Maximum
+                | OpKind::Minimum
+                | OpKind::Cast
+                | OpKind::Tanh
+                | OpKind::Sigmoid
+                | OpKind::BiasAdd
+        )
+    }
+
+    /// True for ops that only move data (no arithmetic).
+    pub fn is_memory_only(self) -> bool {
+        matches!(self, OpKind::Reshape | OpKind::Transpose | OpKind::Copy)
+    }
+
+    /// True for graph-boundary pseudo-ops that the executor, not the graph,
+    /// accounts for.
+    pub fn is_boundary(self) -> bool {
+        matches!(
+            self,
+            OpKind::Input
+                | OpKind::Parameter
+                | OpKind::InfeedDequeueTuple
+                | OpKind::OutfeedEnqueueTuple
+        )
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// Identifier of a node within one [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Raw index into the graph's node list.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One operation instance in a graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    /// This node's id.
+    pub id: NodeId,
+    /// Operation kind.
+    pub kind: OpKind,
+    /// Human-readable label (layer name); the *profile* name comes from
+    /// `kind.name()`.
+    pub label: String,
+    /// Producer nodes.
+    pub inputs: Vec<NodeId>,
+    /// Output tensor.
+    pub output: TensorSpec,
+    /// Floating-point operations this instance executes.
+    pub flops: f64,
+    /// HBM bytes read plus written.
+    pub hbm_bytes: f64,
+    /// True if this instance's compute runs on the matrix units. Equals
+    /// `kind.uses_mxu()` for builder-made nodes; fusion nodes set it when
+    /// any fused member used the MXUs.
+    pub uses_mxu: bool,
+}
+
+/// An immutable, topologically-ordered computation graph.
+///
+/// Node ids are assigned in construction order and every node's inputs have
+/// smaller ids, so iterating `nodes()` is already a topological schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Graph {
+    name: String,
+    nodes: Vec<Node>,
+    outputs: Vec<NodeId>,
+}
+
+impl Graph {
+    /// The graph's name (model name).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Nodes in topological (construction) order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Looks up a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this graph.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// The designated output nodes.
+    pub fn outputs(&self) -> &[NodeId] {
+        &self.outputs
+    }
+
+    /// Total FLOPs of one execution.
+    pub fn total_flops(&self) -> f64 {
+        self.nodes.iter().map(|n| n.flops).sum()
+    }
+
+    /// Total HBM traffic of one execution, bytes.
+    pub fn total_hbm_bytes(&self) -> f64 {
+        self.nodes.iter().map(|n| n.hbm_bytes).sum()
+    }
+
+    pub(crate) fn from_parts(name: String, nodes: Vec<Node>, outputs: Vec<NodeId>) -> Self {
+        Graph {
+            name,
+            nodes,
+            outputs,
+        }
+    }
+}
+
+/// Incrementally builds a [`Graph`], computing per-op work as it goes.
+///
+/// All methods panic on misuse (foreign node ids, incompatible shapes);
+/// graph construction happens at workload-definition time where a panic is
+/// the appropriate response to a programming error.
+#[derive(Debug)]
+pub struct GraphBuilder {
+    name: String,
+    nodes: Vec<Node>,
+}
+
+impl GraphBuilder {
+    /// Starts a new graph.
+    pub fn new(name: &str) -> Self {
+        GraphBuilder {
+            name: name.to_owned(),
+            nodes: Vec::new(),
+        }
+    }
+
+    fn push(
+        &mut self,
+        kind: OpKind,
+        label: impl Into<String>,
+        inputs: Vec<NodeId>,
+        output: TensorSpec,
+        flops: f64,
+        hbm_bytes: f64,
+    ) -> NodeId {
+        for &i in &inputs {
+            assert!(
+                (i.index()) < self.nodes.len(),
+                "input {i:?} does not exist in graph `{}`",
+                self.name
+            );
+        }
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            id,
+            kind,
+            label: label.into(),
+            inputs,
+            output,
+            flops,
+            hbm_bytes,
+            uses_mxu: kind.uses_mxu(),
+        });
+        id
+    }
+
+    fn spec(&self, id: NodeId) -> &TensorSpec {
+        &self.nodes[id.index()].output
+    }
+
+    /// An externally-fed input (arrives via infeed).
+    pub fn input(&mut self, label: &str, dtype: DType, shape: Shape) -> NodeId {
+        let spec = TensorSpec::new(dtype, shape);
+        self.push(OpKind::Input, label, vec![], spec, 0.0, 0.0)
+    }
+
+    /// A trainable parameter resident in HBM.
+    pub fn parameter(&mut self, label: &str, dtype: DType, shape: Shape) -> NodeId {
+        let spec = TensorSpec::new(dtype, shape);
+        self.push(OpKind::Parameter, label, vec![], spec, 0.0, 0.0)
+    }
+
+    /// Dense matmul of `a` (`[..., m, k]`) by `b` (`[k, n]` or
+    /// `[..., k, n]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the contraction dimensions disagree.
+    pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let sa = self.spec(a).clone();
+        let sb = self.spec(b).clone();
+        let da = sa.shape.dims();
+        let db = sb.shape.dims();
+        assert!(
+            da.len() >= 2 && db.len() >= 2,
+            "matmul operands must be at least rank 2, got {sa:?} x {sb:?}"
+        );
+        let (m, k) = (da[da.len() - 2], da[da.len() - 1]);
+        let (k2, n) = (db[db.len() - 2], db[db.len() - 1]);
+        assert_eq!(k, k2, "matmul contraction mismatch: {k} vs {k2}");
+        let batch: u64 = da[..da.len() - 2].iter().product();
+        let mut out_dims: Vec<u64> = da[..da.len() - 2].to_vec();
+        out_dims.push(m);
+        out_dims.push(n);
+        let out = TensorSpec::new(sa.dtype, Shape::of(&out_dims));
+        let flops = 2.0 * batch as f64 * m as f64 * k as f64 * n as f64;
+        let bytes = (sa.size_bytes() + sb.size_bytes() + out.size_bytes()) as f64;
+        self.push(OpKind::MatMul, "matmul", vec![a, b], out, flops, bytes)
+    }
+
+    fn conv_output(
+        &self,
+        x: NodeId,
+        filter_hw: (u64, u64),
+        out_channels: u64,
+        stride: u64,
+    ) -> (TensorSpec, f64) {
+        let sx = self.spec(x).clone();
+        let d = sx.shape.dims();
+        assert_eq!(d.len(), 4, "conv input must be NHWC, got {sx:?}");
+        assert!(stride > 0, "conv stride must be positive");
+        let (b, h, w, c) = (d[0], d[1], d[2], d[3]);
+        let oh = h.div_ceil(stride);
+        let ow = w.div_ceil(stride);
+        let out = TensorSpec::new(sx.dtype, Shape::of(&[b, oh, ow, out_channels]));
+        let flops = 2.0
+            * b as f64
+            * oh as f64
+            * ow as f64
+            * filter_hw.0 as f64
+            * filter_hw.1 as f64
+            * c as f64
+            * out_channels as f64;
+        (out, flops)
+    }
+
+    /// SAME-padded 2-D convolution over an NHWC input.
+    pub fn conv2d(
+        &mut self,
+        x: NodeId,
+        filter_hw: (u64, u64),
+        out_channels: u64,
+        stride: u64,
+    ) -> NodeId {
+        let (out, flops) = self.conv_output(x, filter_hw, out_channels, stride);
+        let in_c = self.spec(x).shape.dims()[3];
+        let filter_bytes =
+            filter_hw.0 * filter_hw.1 * in_c * out_channels * self.spec(x).dtype.size_bytes();
+        let bytes = (self.spec(x).size_bytes() + filter_bytes + out.size_bytes()) as f64;
+        self.push(OpKind::Conv2D, "conv2d", vec![x], out, flops, bytes)
+    }
+
+    /// Filter gradient of a convolution; same arithmetic cost as forward.
+    pub fn conv2d_backprop_filter(
+        &mut self,
+        x: NodeId,
+        filter_hw: (u64, u64),
+        out_channels: u64,
+        stride: u64,
+    ) -> NodeId {
+        let (fwd_out, flops) = self.conv_output(x, filter_hw, out_channels, stride);
+        let in_c = self.spec(x).shape.dims()[3];
+        let out = TensorSpec::new(
+            self.spec(x).dtype,
+            Shape::of(&[filter_hw.0, filter_hw.1, in_c, out_channels]),
+        );
+        let bytes = (self.spec(x).size_bytes() + fwd_out.size_bytes() + out.size_bytes()) as f64;
+        self.push(
+            OpKind::Conv2DBackpropFilter,
+            "conv2d_grad_filter",
+            vec![x],
+            out,
+            flops,
+            bytes,
+        )
+    }
+
+    /// Input gradient of a convolution; same arithmetic cost as forward.
+    pub fn conv2d_backprop_input(
+        &mut self,
+        x: NodeId,
+        filter_hw: (u64, u64),
+        out_channels: u64,
+        stride: u64,
+    ) -> NodeId {
+        let (fwd_out, flops) = self.conv_output(x, filter_hw, out_channels, stride);
+        let out = self.spec(x).clone();
+        let bytes = (fwd_out.size_bytes() + 2 * out.size_bytes()) as f64;
+        self.push(
+            OpKind::Conv2DBackpropInput,
+            "conv2d_grad_input",
+            vec![x],
+            out,
+            flops,
+            bytes,
+        )
+    }
+
+    /// Reinterprets `x` with a new shape of equal element count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    pub fn reshape(&mut self, x: NodeId, shape: Shape) -> NodeId {
+        let sx = self.spec(x).clone();
+        assert_eq!(
+            sx.shape.num_elements(),
+            shape.num_elements(),
+            "reshape must preserve element count ({} -> {})",
+            sx.shape,
+            shape
+        );
+        let out = TensorSpec::new(sx.dtype, shape);
+        // Reshape on TPU realigns data for the next op's tiling: it is pure
+        // HBM traffic (read + write), which is why the paper finds it so
+        // costly despite doing no math.
+        let bytes = 2.0 * sx.size_bytes() as f64;
+        self.push(OpKind::Reshape, "reshape", vec![x], out, 0.0, bytes)
+    }
+
+    /// Permutes dimensions of `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of the input's dimensions.
+    pub fn transpose(&mut self, x: NodeId, perm: &[usize]) -> NodeId {
+        let sx = self.spec(x).clone();
+        let d = sx.shape.dims();
+        let mut seen = vec![false; d.len()];
+        assert_eq!(perm.len(), d.len(), "perm rank mismatch");
+        for &p in perm {
+            assert!(p < d.len() && !seen[p], "invalid permutation {perm:?}");
+            seen[p] = true;
+        }
+        let out_dims: Vec<u64> = perm.iter().map(|&p| d[p]).collect();
+        let out = TensorSpec::new(sx.dtype, Shape::of(&out_dims));
+        let bytes = 2.0 * sx.size_bytes() as f64;
+        self.push(OpKind::Transpose, "transpose", vec![x], out, 0.0, bytes)
+    }
+
+    /// Element-wise unary op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` is not a unary element-wise kind.
+    pub fn unary(&mut self, kind: OpKind, x: NodeId) -> NodeId {
+        assert!(
+            kind.is_elementwise(),
+            "unary() requires an element-wise kind, got {kind}"
+        );
+        let sx = self.spec(x).clone();
+        let elems = sx.shape.num_elements() as f64;
+        let flops = match kind {
+            OpKind::Tanh | OpKind::Sigmoid => 8.0 * elems,
+            _ => elems,
+        };
+        let bytes = 2.0 * sx.size_bytes() as f64;
+        let out = sx;
+        self.push(kind, kind.name().to_lowercase(), vec![x], out, flops, bytes)
+    }
+
+    /// ReLU activation.
+    pub fn relu(&mut self, x: NodeId) -> NodeId {
+        self.unary(OpKind::Relu, x)
+    }
+
+    /// Dtype cast.
+    pub fn cast(&mut self, x: NodeId, to: DType) -> NodeId {
+        let sx = self.spec(x).clone();
+        let elems = sx.shape.num_elements() as f64;
+        let out = TensorSpec::new(to, sx.shape.clone());
+        let bytes = (sx.size_bytes() + out.size_bytes()) as f64;
+        self.push(OpKind::Cast, "cast", vec![x], out, elems, bytes)
+    }
+
+    /// Element-wise binary op; output takes the larger operand's shape
+    /// (broadcast).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` is not element-wise.
+    pub fn binary(&mut self, kind: OpKind, a: NodeId, b: NodeId) -> NodeId {
+        assert!(
+            kind.is_elementwise(),
+            "binary() requires an element-wise kind, got {kind}"
+        );
+        let sa = self.spec(a).clone();
+        let sb = self.spec(b).clone();
+        let out = if sa.shape.num_elements() >= sb.shape.num_elements() {
+            sa.clone()
+        } else {
+            sb.clone()
+        };
+        let elems = out.shape.num_elements() as f64;
+        let bytes = (sa.size_bytes() + sb.size_bytes() + out.size_bytes()) as f64;
+        self.push(
+            kind,
+            kind.name().to_lowercase(),
+            vec![a, b],
+            out,
+            elems,
+            bytes,
+        )
+    }
+
+    /// Fused batch normalization (forward).
+    pub fn batch_norm(&mut self, x: NodeId) -> NodeId {
+        let sx = self.spec(x).clone();
+        let elems = sx.shape.num_elements() as f64;
+        let bytes = 2.0 * sx.size_bytes() as f64;
+        let out = sx;
+        self.push(
+            OpKind::FusedBatchNormV3,
+            "batch_norm",
+            vec![x],
+            out,
+            5.0 * elems,
+            bytes,
+        )
+    }
+
+    /// Fused batch normalization (gradient).
+    pub fn batch_norm_grad(&mut self, x: NodeId) -> NodeId {
+        let sx = self.spec(x).clone();
+        let elems = sx.shape.num_elements() as f64;
+        let bytes = 3.0 * sx.size_bytes() as f64;
+        let out = sx;
+        self.push(
+            OpKind::FusedBatchNormGradV3,
+            "batch_norm_grad",
+            vec![x],
+            out,
+            7.0 * elems,
+            bytes,
+        )
+    }
+
+    /// Layer normalization (used by the transformer workloads).
+    pub fn layer_norm(&mut self, x: NodeId) -> NodeId {
+        let sx = self.spec(x).clone();
+        let elems = sx.shape.num_elements() as f64;
+        let bytes = 2.0 * sx.size_bytes() as f64;
+        let out = sx;
+        self.push(
+            OpKind::LayerNorm,
+            "layer_norm",
+            vec![x],
+            out,
+            6.0 * elems,
+            bytes,
+        )
+    }
+
+    /// Row-wise softmax over the last dimension.
+    pub fn softmax(&mut self, x: NodeId) -> NodeId {
+        let sx = self.spec(x).clone();
+        let elems = sx.shape.num_elements() as f64;
+        let bytes = 2.0 * sx.size_bytes() as f64;
+        let out = sx;
+        self.push(
+            OpKind::Softmax,
+            "softmax",
+            vec![x],
+            out,
+            10.0 * elems,
+            bytes,
+        )
+    }
+
+    /// L2 regularization loss (scalar output).
+    pub fn l2_loss(&mut self, x: NodeId) -> NodeId {
+        let sx = self.spec(x).clone();
+        let elems = sx.shape.num_elements() as f64;
+        let out = TensorSpec::new(DType::F32, Shape::scalar());
+        self.push(
+            OpKind::L2Loss,
+            "l2_loss",
+            vec![x],
+            out,
+            2.0 * elems,
+            sx.size_bytes() as f64,
+        )
+    }
+
+    /// Full reduction sum (scalar output).
+    pub fn reduce_sum(&mut self, x: NodeId) -> NodeId {
+        let sx = self.spec(x).clone();
+        let elems = sx.shape.num_elements() as f64;
+        let out = TensorSpec::new(DType::F32, Shape::scalar());
+        self.push(
+            OpKind::Sum,
+            "sum",
+            vec![x],
+            out,
+            elems,
+            sx.size_bytes() as f64,
+        )
+    }
+
+    /// Full reduction mean (scalar output).
+    pub fn reduce_mean(&mut self, x: NodeId) -> NodeId {
+        let sx = self.spec(x).clone();
+        let elems = sx.shape.num_elements() as f64;
+        let out = TensorSpec::new(DType::F32, Shape::scalar());
+        self.push(
+            OpKind::Mean,
+            "mean",
+            vec![x],
+            out,
+            elems,
+            sx.size_bytes() as f64,
+        )
+    }
+
+    /// Bias-gradient column reduction.
+    pub fn bias_add_grad(&mut self, x: NodeId) -> NodeId {
+        let sx = self.spec(x).clone();
+        let d = sx.shape.dims();
+        let last = *d.last().expect("bias_add_grad needs rank >= 1");
+        let elems = sx.shape.num_elements() as f64;
+        let out = TensorSpec::new(sx.dtype, Shape::of(&[last]));
+        self.push(
+            OpKind::BiasAddGrad,
+            "bias_add_grad",
+            vec![x],
+            out,
+            elems,
+            sx.size_bytes() as f64,
+        )
+    }
+
+    /// Softmax cross-entropy loss (per-example logits in, scalar loss out).
+    pub fn softmax_cross_entropy(&mut self, logits: NodeId, labels: NodeId) -> NodeId {
+        let sl = self.spec(logits).clone();
+        let elems = sl.shape.num_elements() as f64;
+        let bytes = (sl.size_bytes() + self.spec(labels).size_bytes()) as f64;
+        let out = TensorSpec::new(DType::F32, Shape::scalar());
+        self.push(
+            OpKind::SoftmaxCrossEntropy,
+            "xent",
+            vec![logits, labels],
+            out,
+            12.0 * elems,
+            bytes,
+        )
+    }
+
+    /// Cross-replica gradient reduction (`all-reduce` in profiles).
+    pub fn all_reduce(&mut self, x: NodeId) -> NodeId {
+        let sx = self.spec(x).clone();
+        let elems = sx.shape.num_elements() as f64;
+        let bytes = 2.0 * sx.size_bytes() as f64;
+        let out = sx;
+        self.push(
+            OpKind::CrossReplicaSum,
+            "all_reduce",
+            vec![x],
+            out,
+            elems,
+            bytes,
+        )
+    }
+
+    /// Embedding-table gather: `ids` rows from `table`.
+    pub fn gather(&mut self, table: NodeId, ids: NodeId) -> NodeId {
+        let st = self.spec(table).clone();
+        let si = self.spec(ids).clone();
+        let width = *st.shape.dims().last().expect("embedding table rank >= 1");
+        let mut out_dims = si.shape.dims().to_vec();
+        out_dims.push(width);
+        let out = TensorSpec::new(st.dtype, Shape::of(&out_dims));
+        let bytes = 2.0 * out.size_bytes() as f64;
+        self.push(
+            OpKind::GatherV2,
+            "gather",
+            vec![table, ids],
+            out,
+            0.0,
+            bytes,
+        )
+    }
+
+    /// Fused Adam update of a parameter from its gradient.
+    pub fn apply_adam(&mut self, param: NodeId, grad: NodeId) -> NodeId {
+        let sp = self.spec(param).clone();
+        let elems = sp.shape.num_elements() as f64;
+        let bytes = 4.0 * sp.size_bytes() as f64; // param, grad, two moments
+        let out = sp;
+        self.push(
+            OpKind::ResourceApplyAdam,
+            "apply_adam",
+            vec![param, grad],
+            out,
+            10.0 * elems,
+            bytes,
+        )
+    }
+
+    /// HBM-to-HBM copy.
+    pub fn copy(&mut self, x: NodeId) -> NodeId {
+        let sx = self.spec(x).clone();
+        let bytes = 2.0 * sx.size_bytes() as f64;
+        let out = sx;
+        self.push(OpKind::Copy, "copy", vec![x], out, 0.0, bytes)
+    }
+
+    /// Finalizes the graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outputs` is empty or references foreign nodes.
+    pub fn finish(self, outputs: &[NodeId]) -> Graph {
+        assert!(!outputs.is_empty(), "a graph needs at least one output");
+        for &o in outputs {
+            assert!(
+                o.index() < self.nodes.len(),
+                "output {o:?} does not exist in graph `{}`",
+                self.name
+            );
+        }
+        Graph::from_parts(self.name, self.nodes, outputs.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dtype_sizes() {
+        assert_eq!(DType::F32.size_bytes(), 4);
+        assert_eq!(DType::BF16.size_bytes(), 2);
+        assert_eq!(DType::U8.size_bytes(), 1);
+    }
+
+    #[test]
+    fn shape_basics() {
+        let s = Shape::of(&[2, 3, 4]);
+        assert_eq!(s.num_elements(), 24);
+        assert_eq!(s.rank(), 3);
+        assert_eq!(Shape::scalar().num_elements(), 1);
+        assert_eq!(s.to_string(), "[2,3,4]");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dims_rejected() {
+        let _ = Shape::of(&[2, 0]);
+    }
+
+    #[test]
+    fn matmul_shapes_and_flops() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.input("x", DType::BF16, Shape::of(&[8, 32, 64]));
+        let w = b.parameter("w", DType::BF16, Shape::of(&[64, 16]));
+        let y = b.matmul(x, w);
+        let g = b.finish(&[y]);
+        let node = g.node(y);
+        assert_eq!(node.output.shape, Shape::of(&[8, 32, 16]));
+        assert_eq!(node.flops, 2.0 * 8.0 * 32.0 * 64.0 * 16.0);
+        assert!(node.kind.uses_mxu());
+    }
+
+    #[test]
+    #[should_panic(expected = "contraction mismatch")]
+    fn matmul_rejects_bad_contraction() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.input("x", DType::BF16, Shape::of(&[4, 8]));
+        let w = b.parameter("w", DType::BF16, Shape::of(&[9, 2]));
+        let _ = b.matmul(x, w);
+    }
+
+    #[test]
+    fn conv2d_same_padding_output() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.input("x", DType::BF16, Shape::of(&[4, 224, 224, 3]));
+        let y = b.conv2d(x, (7, 7), 64, 2);
+        let g = b.finish(&[y]);
+        assert_eq!(g.node(y).output.shape, Shape::of(&[4, 112, 112, 64]));
+    }
+
+    #[test]
+    fn conv_backprop_costs_match_forward() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.input("x", DType::BF16, Shape::of(&[4, 56, 56, 64]));
+        let fwd = b.conv2d(x, (3, 3), 64, 1);
+        let gf = b.conv2d_backprop_filter(x, (3, 3), 64, 1);
+        let gi = b.conv2d_backprop_input(x, (3, 3), 64, 1);
+        let g = b.finish(&[fwd, gf, gi]);
+        assert_eq!(g.node(fwd).flops, g.node(gf).flops);
+        assert_eq!(g.node(fwd).flops, g.node(gi).flops);
+    }
+
+    #[test]
+    fn reshape_preserves_elements_and_costs_memory_only() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.input("x", DType::BF16, Shape::of(&[4, 6]));
+        let y = b.reshape(x, Shape::of(&[24]));
+        let g = b.finish(&[y]);
+        assert_eq!(g.node(y).flops, 0.0);
+        assert_eq!(g.node(y).hbm_bytes, 2.0 * 48.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "preserve element count")]
+    fn reshape_rejects_count_change() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.input("x", DType::BF16, Shape::of(&[4, 6]));
+        let _ = b.reshape(x, Shape::of(&[25]));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid permutation")]
+    fn transpose_rejects_bad_perm() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.input("x", DType::BF16, Shape::of(&[4, 6]));
+        let _ = b.transpose(x, &[0, 0]);
+    }
+
+    #[test]
+    fn transpose_permutes_dims() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.input("x", DType::BF16, Shape::of(&[2, 3, 5]));
+        let y = b.transpose(x, &[2, 0, 1]);
+        let g = b.finish(&[y]);
+        assert_eq!(g.node(y).output.shape, Shape::of(&[5, 2, 3]));
+    }
+
+    #[test]
+    fn binary_broadcasts_to_larger() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.input("x", DType::BF16, Shape::of(&[8, 16]));
+        let bias = b.parameter("b", DType::BF16, Shape::of(&[16]));
+        let y = b.binary(OpKind::Add, x, bias);
+        let g = b.finish(&[y]);
+        assert_eq!(g.node(y).output.shape, Shape::of(&[8, 16]));
+    }
+
+    #[test]
+    #[should_panic(expected = "element-wise")]
+    fn binary_rejects_non_elementwise_kind() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.input("x", DType::BF16, Shape::of(&[8]));
+        let _ = b.binary(OpKind::MatMul, x, x);
+    }
+
+    #[test]
+    fn gather_appends_table_width() {
+        let mut b = GraphBuilder::new("t");
+        let table = b.parameter("emb", DType::BF16, Shape::of(&[30000, 768]));
+        let ids = b.input("ids", DType::I32, Shape::of(&[32, 128]));
+        let y = b.gather(table, ids);
+        let g = b.finish(&[y]);
+        assert_eq!(g.node(y).output.shape, Shape::of(&[32, 128, 768]));
+    }
+
+    #[test]
+    fn graph_totals_accumulate() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.input("x", DType::BF16, Shape::of(&[8, 8]));
+        let w = b.parameter("w", DType::BF16, Shape::of(&[8, 8]));
+        let y = b.matmul(x, w);
+        let z = b.relu(y);
+        let g = b.finish(&[z]);
+        assert_eq!(
+            g.total_flops(),
+            g.nodes().iter().map(|n| n.flops).sum::<f64>()
+        );
+        assert!(g.total_hbm_bytes() > 0.0);
+    }
+
+    #[test]
+    fn topological_invariant_holds() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.input("x", DType::BF16, Shape::of(&[8, 8]));
+        let w = b.parameter("w", DType::BF16, Shape::of(&[8, 8]));
+        let y = b.matmul(x, w);
+        let z = b.relu(y);
+        let g = b.finish(&[z]);
+        for node in g.nodes() {
+            for input in &node.inputs {
+                assert!(input.index() < node.id.index());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one output")]
+    fn finish_requires_outputs() {
+        let b = GraphBuilder::new("t");
+        let _ = b.finish(&[]);
+    }
+
+    #[test]
+    fn op_names_match_table_ii_spelling() {
+        assert_eq!(OpKind::Fusion.name(), "fusion");
+        assert_eq!(OpKind::CrossReplicaSum.name(), "all-reduce");
+        assert_eq!(OpKind::FusedBatchNormV3.name(), "FusedBatchNormV3");
+        assert_eq!(OpKind::InfeedDequeueTuple.name(), "InfeedDequeueTuple");
+    }
+
+    #[test]
+    fn op_classification_is_consistent() {
+        for kind in [
+            OpKind::MatMul,
+            OpKind::Conv2D,
+            OpKind::Conv2DBackpropFilter,
+            OpKind::Conv2DBackpropInput,
+        ] {
+            assert!(kind.uses_mxu());
+            assert!(!kind.is_elementwise());
+        }
+        assert!(OpKind::Reshape.is_memory_only());
+        assert!(!OpKind::Reshape.uses_mxu());
+        assert!(OpKind::Relu.is_elementwise());
+        assert!(OpKind::Input.is_boundary());
+    }
+}

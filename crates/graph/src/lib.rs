@@ -1,0 +1,40 @@
+//! # tpupoint-graph
+//!
+//! A TensorFlow-like computation-graph substrate for the TPUPoint
+//! reproduction. Cloud TPUs are programmed exclusively through TensorFlow
+//! (Section II-B of the paper); TPUPoint observes the op-level events that
+//! the TensorFlow/XLA stack executes and adjusts the input-pipeline
+//! parameters that the user's `tf.data` code defines. This crate provides
+//! both surfaces:
+//!
+//! * [`graph`] — typed tensors ([`DType`], [`Shape`], [`TensorSpec`]), an op
+//!   vocabulary matching the names that appear in real TPU profiles
+//!   ([`OpKind`]), and a validated graph builder ([`Graph`], [`GraphBuilder`]),
+//! * [`fusion`] — an XLA-style fusion pass that merges element-wise
+//!   neighborhoods (optionally around an MXU root) into `fusion` ops,
+//!   reducing HBM round-trips exactly the way the paper describes the XLA
+//!   `fusion` operator,
+//! * [`pipeline`] — the host input-pipeline specification whose knobs
+//!   (parallel decode calls, prefetch depth, read-ahead, …) are the
+//!   *adjustable parameters* that TPUPoint-Optimizer tunes.
+//!
+//! ```
+//! use tpupoint_graph::{GraphBuilder, DType, Shape};
+//!
+//! let mut b = GraphBuilder::new("mlp");
+//! let x = b.input("x", DType::BF16, Shape::of(&[32, 128]));
+//! let w = b.parameter("w", DType::BF16, Shape::of(&[128, 256]));
+//! let h = b.matmul(x, w);
+//! let a = b.relu(h);
+//! let graph = b.finish(&[a]);
+//! assert_eq!(graph.node_count(), 4);
+//! let fused = tpupoint_graph::fusion::fuse(&graph);
+//! assert!(fused.node_count() <= graph.node_count());
+//! ```
+
+pub mod fusion;
+pub mod graph;
+pub mod pipeline;
+
+pub use graph::{DType, Graph, GraphBuilder, NodeId, OpKind, Shape, TensorSpec};
+pub use pipeline::{AdjustError, AdjustableParam, PipelineSpec};

@@ -1,0 +1,306 @@
+//! Host input-pipeline specification and its adjustable parameters.
+//!
+//! A TPU training program's `tf.data` pipeline — read from Cloud Storage,
+//! decode/augment in parallel, shuffle, batch, prefetch, infeed — is where
+//! the paper's dominant bottlenecks (infeed and data preparation) arise.
+//! TPUPoint-Optimizer's *adjustable parameters* (Section VII-A) are exactly
+//! the knobs of this pipeline: "buffer size, the number of threads dedicated
+//! to an operation, and the order of operations that can be rearranged while
+//! maintaining correctness".
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Description of a workload's host input pipeline.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PipelineSpec {
+    /// Examples per training batch. Fixed by the model definition — *not*
+    /// adjustable, since changing it changes training results.
+    pub batch_size: u64,
+    /// Worker threads decoding/augmenting examples (`num_parallel_calls`).
+    pub num_parallel_calls: u32,
+    /// Decoded batches buffered ahead of the infeed (`prefetch(depth)`).
+    pub prefetch_depth: u32,
+    /// Raw batches read ahead from storage.
+    pub read_ahead: u32,
+    /// Hardware infeed queue capacity, in batches.
+    pub infeed_queue_depth: u32,
+    /// Shuffle buffer size in examples. Adjusting it reorders training
+    /// examples, i.e. changes program output.
+    pub shuffle_buffer: u64,
+    /// Number of separate per-batch host transform passes (cast, pad,
+    /// mask). Reorderable/mergeable without changing output: fewer passes
+    /// mean fewer sweeps over the batch.
+    pub host_transform_passes: u32,
+}
+
+impl PipelineSpec {
+    /// A reasonable default pipeline, similar to the TF TPU reference
+    /// models: parallel decode on 8 threads, moderate buffering.
+    pub fn tuned_default(batch_size: u64) -> Self {
+        PipelineSpec {
+            batch_size,
+            num_parallel_calls: 8,
+            prefetch_depth: 8,
+            read_ahead: 8,
+            infeed_queue_depth: 4,
+            shuffle_buffer: 4 * batch_size,
+            host_transform_passes: 2,
+        }
+    }
+
+    /// A naive pipeline as an unoptimized programmer would write it:
+    /// single-threaded decode, minimal buffering, redundant transform
+    /// passes. Used for the paper's naive-implementation experiments
+    /// (Figures 15 and 16).
+    pub fn naive(batch_size: u64) -> Self {
+        PipelineSpec {
+            batch_size,
+            num_parallel_calls: 1,
+            prefetch_depth: 1,
+            read_ahead: 1,
+            infeed_queue_depth: 1,
+            shuffle_buffer: batch_size,
+            host_transform_passes: 4,
+        }
+    }
+}
+
+/// Error returned when a parameter adjustment is rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdjustError {
+    /// The parameter that was being adjusted.
+    pub param: AdjustableParam,
+    /// The rejected value.
+    pub value: i64,
+    /// Inclusive valid range.
+    pub range: (i64, i64),
+}
+
+impl fmt::Display for AdjustError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "value {} for {} outside valid range [{}, {}]",
+            self.value, self.param, self.range.0, self.range.1
+        )
+    }
+}
+
+impl std::error::Error for AdjustError {}
+
+/// A tunable knob of the input pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AdjustableParam {
+    /// `num_parallel_calls` decode threads.
+    NumParallelCalls,
+    /// Prefetch buffer depth in batches.
+    PrefetchDepth,
+    /// Storage read-ahead in batches.
+    ReadAhead,
+    /// Hardware infeed queue depth in batches.
+    InfeedQueueDepth,
+    /// Shuffle buffer size in examples (output-affecting!).
+    ShuffleBuffer,
+    /// Number of host transform passes (op-order/merge optimization).
+    HostTransformPasses,
+}
+
+impl AdjustableParam {
+    /// All knobs, in the order the optimizer scans them.
+    pub fn all() -> &'static [AdjustableParam] {
+        &[
+            AdjustableParam::NumParallelCalls,
+            AdjustableParam::PrefetchDepth,
+            AdjustableParam::ReadAhead,
+            AdjustableParam::InfeedQueueDepth,
+            AdjustableParam::HostTransformPasses,
+            AdjustableParam::ShuffleBuffer,
+        ]
+    }
+
+    /// Inclusive valid range of the knob.
+    pub fn range(self) -> (i64, i64) {
+        match self {
+            AdjustableParam::NumParallelCalls => (1, 64),
+            AdjustableParam::PrefetchDepth => (1, 64),
+            AdjustableParam::ReadAhead => (1, 64),
+            AdjustableParam::InfeedQueueDepth => (1, 16),
+            AdjustableParam::ShuffleBuffer => (1, 1 << 24),
+            AdjustableParam::HostTransformPasses => (1, 8),
+        }
+    }
+
+    /// True if changing this knob can change program *output* (not just
+    /// performance). TPUPoint-Optimizer must reject such changes to keep
+    /// its "tuning does not affect program-execution output" guarantee.
+    pub fn affects_output(self) -> bool {
+        matches!(self, AdjustableParam::ShuffleBuffer)
+    }
+
+    /// Reads the knob's current value.
+    pub fn get(self, spec: &PipelineSpec) -> i64 {
+        match self {
+            AdjustableParam::NumParallelCalls => spec.num_parallel_calls as i64,
+            AdjustableParam::PrefetchDepth => spec.prefetch_depth as i64,
+            AdjustableParam::ReadAhead => spec.read_ahead as i64,
+            AdjustableParam::InfeedQueueDepth => spec.infeed_queue_depth as i64,
+            AdjustableParam::ShuffleBuffer => spec.shuffle_buffer as i64,
+            AdjustableParam::HostTransformPasses => spec.host_transform_passes as i64,
+        }
+    }
+
+    /// Writes a new value after validating it against [`Self::range`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdjustError`] if `value` is outside the knob's range; the
+    /// spec is left unchanged. The optimizer uses this to discover which
+    /// parameters are actually adjustable.
+    pub fn set(self, spec: &mut PipelineSpec, value: i64) -> Result<(), AdjustError> {
+        let range = self.range();
+        if value < range.0 || value > range.1 {
+            return Err(AdjustError {
+                param: self,
+                value,
+                range,
+            });
+        }
+        match self {
+            AdjustableParam::NumParallelCalls => spec.num_parallel_calls = value as u32,
+            AdjustableParam::PrefetchDepth => spec.prefetch_depth = value as u32,
+            AdjustableParam::ReadAhead => spec.read_ahead = value as u32,
+            AdjustableParam::InfeedQueueDepth => spec.infeed_queue_depth = value as u32,
+            AdjustableParam::ShuffleBuffer => spec.shuffle_buffer = value as u64,
+            AdjustableParam::HostTransformPasses => spec.host_transform_passes = value as u32,
+        }
+        Ok(())
+    }
+
+    /// The next value to try above `current` (multiplicative for buffers
+    /// and threads, -1 for transform passes where *fewer* is better), or
+    /// `None` at the range edge.
+    pub fn step_up(self, current: i64) -> Option<i64> {
+        let (_, hi) = self.range();
+        let next = match self {
+            AdjustableParam::HostTransformPasses => current + 1,
+            _ => current * 2,
+        };
+        (next <= hi).then_some(next)
+    }
+
+    /// The next value to try below `current`, or `None` at the range edge.
+    pub fn step_down(self, current: i64) -> Option<i64> {
+        let (lo, _) = self.range();
+        let next = match self {
+            AdjustableParam::HostTransformPasses => current - 1,
+            _ => current / 2,
+        };
+        (next >= lo && next != current).then_some(next)
+    }
+}
+
+impl fmt::Display for AdjustableParam {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AdjustableParam::NumParallelCalls => "num_parallel_calls",
+            AdjustableParam::PrefetchDepth => "prefetch_depth",
+            AdjustableParam::ReadAhead => "read_ahead",
+            AdjustableParam::InfeedQueueDepth => "infeed_queue_depth",
+            AdjustableParam::ShuffleBuffer => "shuffle_buffer",
+            AdjustableParam::HostTransformPasses => "host_transform_passes",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuned_beats_naive_on_every_throughput_knob() {
+        let tuned = PipelineSpec::tuned_default(64);
+        let naive = PipelineSpec::naive(64);
+        assert!(tuned.num_parallel_calls > naive.num_parallel_calls);
+        assert!(tuned.prefetch_depth > naive.prefetch_depth);
+        assert!(tuned.read_ahead > naive.read_ahead);
+        assert!(tuned.infeed_queue_depth > naive.infeed_queue_depth);
+        assert!(tuned.host_transform_passes < naive.host_transform_passes);
+        assert_eq!(tuned.batch_size, naive.batch_size);
+    }
+
+    #[test]
+    fn get_set_round_trip() {
+        let mut spec = PipelineSpec::tuned_default(32);
+        for &p in AdjustableParam::all() {
+            let v = p.get(&spec);
+            p.set(&mut spec, v).expect("current value is always valid");
+            assert_eq!(p.get(&spec), v);
+        }
+    }
+
+    #[test]
+    fn set_rejects_out_of_range_and_leaves_spec_unchanged() {
+        let mut spec = PipelineSpec::tuned_default(32);
+        let before = spec.clone();
+        let err = AdjustableParam::NumParallelCalls
+            .set(&mut spec, 0)
+            .expect_err("0 threads is invalid");
+        assert_eq!(err.param, AdjustableParam::NumParallelCalls);
+        assert_eq!(spec, before);
+        let err2 = AdjustableParam::InfeedQueueDepth
+            .set(&mut spec, 1000)
+            .expect_err("1000 exceeds the range");
+        assert_eq!(err2.range, (1, 16));
+        assert_eq!(spec, before);
+    }
+
+    #[test]
+    fn only_shuffle_buffer_affects_output() {
+        for &p in AdjustableParam::all() {
+            assert_eq!(
+                p.affects_output(),
+                p == AdjustableParam::ShuffleBuffer,
+                "{p}"
+            );
+        }
+    }
+
+    #[test]
+    fn stepping_respects_range_edges() {
+        let p = AdjustableParam::InfeedQueueDepth;
+        assert_eq!(p.step_up(8), Some(16));
+        assert_eq!(p.step_up(16), None);
+        assert_eq!(p.step_down(2), Some(1));
+        assert_eq!(p.step_down(1), None);
+    }
+
+    #[test]
+    fn transform_passes_step_additively() {
+        let p = AdjustableParam::HostTransformPasses;
+        assert_eq!(p.step_up(2), Some(3));
+        assert_eq!(p.step_down(2), Some(1));
+        assert_eq!(p.step_down(1), None);
+        assert_eq!(p.step_up(8), None);
+    }
+
+    #[test]
+    fn buffers_step_multiplicatively() {
+        let p = AdjustableParam::PrefetchDepth;
+        assert_eq!(p.step_up(8), Some(16));
+        assert_eq!(p.step_down(8), Some(4));
+    }
+
+    #[test]
+    fn adjust_error_displays_context() {
+        let err = AdjustError {
+            param: AdjustableParam::PrefetchDepth,
+            value: 99,
+            range: (1, 64),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("prefetch_depth"));
+        assert!(msg.contains("99"));
+    }
+}

@@ -1,0 +1,141 @@
+//! Property tests: the fusion pass preserves graph semantics on randomly
+//! generated op chains.
+
+use proptest::prelude::*;
+use tpupoint_graph::{fusion, DType, Graph, GraphBuilder, NodeId, OpKind, Shape};
+
+/// A step in a randomly generated op chain.
+#[derive(Debug, Clone, Copy)]
+enum ChainOp {
+    MatmulSquare,
+    Relu,
+    Tanh,
+    BiasAdd,
+    Reshape,
+    Transpose,
+    BatchNorm,
+    AddResidual,
+}
+
+fn chain_op_strategy() -> impl Strategy<Value = ChainOp> {
+    prop_oneof![
+        Just(ChainOp::MatmulSquare),
+        Just(ChainOp::Relu),
+        Just(ChainOp::Tanh),
+        Just(ChainOp::BiasAdd),
+        Just(ChainOp::Reshape),
+        Just(ChainOp::Transpose),
+        Just(ChainOp::BatchNorm),
+        Just(ChainOp::AddResidual),
+    ]
+}
+
+/// Builds a graph by applying the chain to a `[16, 32]` input.
+fn build_chain(ops: &[ChainOp]) -> Graph {
+    let mut b = GraphBuilder::new("prop");
+    let x = b.input("x", DType::BF16, Shape::of(&[16, 32]));
+    let w = b.parameter("w", DType::BF16, Shape::of(&[32, 32]));
+    let mut cur: NodeId = x;
+    let mut residual: NodeId = x;
+    let mut square = true; // shape is [16, 32] whenever true
+    for op in ops {
+        match op {
+            ChainOp::MatmulSquare => {
+                if !square {
+                    cur = b.reshape(cur, Shape::of(&[16, 32]));
+                    square = true;
+                }
+                cur = b.matmul(cur, w);
+                residual = cur;
+            }
+            ChainOp::Relu => cur = b.relu(cur),
+            ChainOp::Tanh => cur = b.unary(OpKind::Tanh, cur),
+            ChainOp::BiasAdd => cur = b.unary(OpKind::BiasAdd, cur),
+            ChainOp::Reshape => {
+                cur = b.reshape(cur, Shape::of(&[32, 16]));
+                square = false;
+            }
+            ChainOp::Transpose => {
+                cur = b.transpose(cur, &[1, 0]);
+                square = !square;
+            }
+            ChainOp::BatchNorm => cur = b.layer_norm(cur),
+            ChainOp::AddResidual => {
+                // Only valid when shapes still agree.
+                let same_shape = square && residual == cur;
+                if same_shape {
+                    cur = b.relu(cur);
+                } else {
+                    cur = b.binary(OpKind::Add, cur, cur);
+                }
+            }
+        }
+    }
+    b.finish(&[cur])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn fusion_conserves_flops(ops in proptest::collection::vec(chain_op_strategy(), 1..24)) {
+        let graph = build_chain(&ops);
+        let fused = fusion::fuse(&graph);
+        let diff = (graph.total_flops() - fused.total_flops()).abs();
+        prop_assert!(diff < 1e-6, "flops changed: {} vs {}", graph.total_flops(), fused.total_flops());
+    }
+
+    #[test]
+    fn fusion_never_adds_nodes_or_hbm_traffic(
+        ops in proptest::collection::vec(chain_op_strategy(), 1..24)
+    ) {
+        let graph = build_chain(&ops);
+        let fused = fusion::fuse(&graph);
+        prop_assert!(fused.node_count() <= graph.node_count());
+        prop_assert!(fused.total_hbm_bytes() <= graph.total_hbm_bytes() + 1e-6);
+    }
+
+    #[test]
+    fn fused_graph_is_topologically_ordered_with_valid_inputs(
+        ops in proptest::collection::vec(chain_op_strategy(), 1..24)
+    ) {
+        let graph = build_chain(&ops);
+        let fused = fusion::fuse(&graph);
+        for node in fused.nodes() {
+            for input in &node.inputs {
+                prop_assert!(input.index() < node.id.index());
+            }
+        }
+        for &out in fused.outputs() {
+            prop_assert!(out.index() < fused.node_count());
+        }
+    }
+
+    #[test]
+    fn output_tensor_is_preserved(ops in proptest::collection::vec(chain_op_strategy(), 1..24)) {
+        let graph = build_chain(&ops);
+        let fused = fusion::fuse(&graph);
+        let orig_out = &graph.node(graph.outputs()[0]).output;
+        let fused_out = &fused.node(fused.outputs()[0]).output;
+        prop_assert_eq!(orig_out, fused_out);
+    }
+
+    #[test]
+    fn layout_ops_survive_fusion(ops in proptest::collection::vec(chain_op_strategy(), 1..24)) {
+        let graph = build_chain(&ops);
+        let fused = fusion::fuse(&graph);
+        let count = |g: &Graph, k: OpKind| g.nodes().iter().filter(|n| n.kind == k).count();
+        prop_assert_eq!(count(&graph, OpKind::Reshape), count(&fused, OpKind::Reshape));
+        prop_assert_eq!(count(&graph, OpKind::Transpose), count(&fused, OpKind::Transpose));
+    }
+
+    #[test]
+    fn fusion_is_idempotent(ops in proptest::collection::vec(chain_op_strategy(), 1..16)) {
+        let graph = build_chain(&ops);
+        let once = fusion::fuse(&graph);
+        let twice = fusion::fuse(&once);
+        prop_assert_eq!(once.node_count(), twice.node_count());
+        let diff = (once.total_hbm_bytes() - twice.total_hbm_bytes()).abs();
+        prop_assert!(diff < 1e-6);
+    }
+}

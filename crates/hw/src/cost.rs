@@ -1,0 +1,212 @@
+//! Roofline-style analytic cost model for TPU operations.
+//!
+//! An operation is characterized by the work it performs ([`OpWork`]): FLOPs
+//! executed, bytes moved through HBM, and whether the matrix units carry the
+//! compute. The model charges
+//!
+//! `duration = overhead + max(compute_time, memory_time)`
+//!
+//! where compute runs at (efficiency-derated) MXU peak or at vector-unit
+//! rate, and memory runs at HBM bandwidth. The MXU-busy portion of the
+//! duration is reported separately because TPUPoint-Profiler surfaces MXU
+//! utilization alongside each profile (Section III-A).
+
+use serde::{Deserialize, Serialize};
+use tpupoint_simcore::SimDuration;
+
+/// The work performed by one operation instance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OpWork {
+    /// Floating-point operations executed.
+    pub flops: f64,
+    /// Bytes read from plus written to HBM.
+    pub hbm_bytes: f64,
+    /// True if the compute runs on the matrix units.
+    pub uses_mxu: bool,
+}
+
+impl OpWork {
+    /// Work for a matrix-unit operation (MatMul, convolution, fusions
+    /// containing them).
+    pub fn mxu(flops: f64, hbm_bytes: f64) -> Self {
+        OpWork {
+            flops,
+            hbm_bytes,
+            uses_mxu: true,
+        }
+    }
+
+    /// Work for a vector/scalar operation (element-wise math, reductions).
+    pub fn vector(flops: f64, hbm_bytes: f64) -> Self {
+        OpWork {
+            flops,
+            hbm_bytes,
+            uses_mxu: false,
+        }
+    }
+
+    /// Work for a pure data-movement operation (reshape, transpose, copy):
+    /// no arithmetic, only HBM traffic.
+    pub fn memory(hbm_bytes: f64) -> Self {
+        OpWork {
+            flops: 0.0,
+            hbm_bytes,
+            uses_mxu: false,
+        }
+    }
+
+    /// Scales both FLOPs and bytes by `factor`, e.g. for batch-size changes.
+    pub fn scaled(self, factor: f64) -> Self {
+        OpWork {
+            flops: self.flops * factor,
+            hbm_bytes: self.hbm_bytes * factor,
+            uses_mxu: self.uses_mxu,
+        }
+    }
+}
+
+/// Analytic timing model of a single TPU core.
+///
+/// Built from a chip spec via [`crate::TpuChipSpec::core_model`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TpuCoreModel {
+    /// Peak MXU FLOPS of the core.
+    pub peak_flops: f64,
+    /// Achievable fraction of peak on real workloads.
+    pub mxu_efficiency: f64,
+    /// Peak FLOPS of the scalar/vector units.
+    pub vector_flops: f64,
+    /// HBM bandwidth in bytes per second.
+    pub hbm_bytes_per_sec: f64,
+    /// Fixed dispatch overhead per operation, microseconds.
+    pub op_overhead_us: f64,
+}
+
+impl TpuCoreModel {
+    /// Duration of one operation and the MXU-busy share of it.
+    ///
+    /// Returns `(wall_duration, mxu_busy_duration)`. The MXU-busy share is
+    /// the op's useful arithmetic at full peak throughput — dividing the
+    /// accumulated MXU time by wall time yields FLOP utilization, the
+    /// quantity the Cloud TPU profiler reports.
+    pub fn op_duration(&self, work: &OpWork) -> (SimDuration, SimDuration) {
+        let compute_secs = if work.flops <= 0.0 {
+            0.0
+        } else if work.uses_mxu {
+            work.flops / (self.peak_flops * self.mxu_efficiency)
+        } else {
+            work.flops / self.vector_flops
+        };
+        let memory_secs = if work.hbm_bytes <= 0.0 {
+            0.0
+        } else {
+            work.hbm_bytes / self.hbm_bytes_per_sec
+        };
+        let busy_secs = compute_secs.max(memory_secs);
+        let total = SimDuration::from_secs_f64(busy_secs + self.op_overhead_us / 1e6);
+        // MXU-busy time is *useful* work at full peak: achieved FLOPs
+        // divided by peak FLOPS. Utilization figures (Figure 11) divide
+        // this by wall time, giving true FLOP utilization; the efficiency
+        // derating only slows the wall clock.
+        let mxu = if work.uses_mxu {
+            SimDuration::from_secs_f64(work.flops.max(0.0) / self.peak_flops)
+        } else {
+            SimDuration::ZERO
+        };
+        (total, mxu.min(total))
+    }
+
+    /// Convenience: wall duration only.
+    pub fn wall_duration(&self, work: &OpWork) -> SimDuration {
+        self.op_duration(work).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::TpuChipSpec;
+
+    fn v2_core() -> TpuCoreModel {
+        TpuChipSpec::v2().core_model()
+    }
+
+    #[test]
+    fn compute_bound_matmul_scales_with_flops() {
+        let core = v2_core();
+        let small = core.wall_duration(&OpWork::mxu(1.0e9, 1.0e3));
+        let big = core.wall_duration(&OpWork::mxu(10.0e9, 1.0e3));
+        assert!(big > small);
+        // Ratio close to 10 once overhead is subtracted.
+        let overhead = SimDuration::from_secs_f64(core.op_overhead_us / 1e6);
+        let s = (small - overhead).as_micros() as f64;
+        let b = (big - overhead).as_micros() as f64;
+        assert!((b / s - 10.0).abs() < 0.2, "ratio was {}", b / s);
+    }
+
+    #[test]
+    fn memory_bound_op_charges_bandwidth() {
+        let core = v2_core();
+        // 700 MB at 700 GB/s = 1 ms (plus overhead).
+        let (dur, mxu) = core.op_duration(&OpWork::memory(700.0e6));
+        assert!((dur.as_millis_f64() - 1.0).abs() < 0.01, "dur {dur}");
+        assert_eq!(mxu, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn roofline_takes_the_max_not_the_sum() {
+        let core = v2_core();
+        // Compute time: 1e10 / (22.5e12 * .55) = 0.808ms;
+        // memory time:  7e8 / 7e11 = 1 ms → memory wins.
+        let w = OpWork::mxu(1.0e10, 700.0e6);
+        let (dur, mxu) = core.op_duration(&w);
+        assert!((dur.as_millis_f64() - 1.0).abs() < 0.02, "dur {dur}");
+        // MXU busy is useful FLOPs at full peak: 1e10 / 22.5e12 = 0.444ms.
+        assert!(mxu < dur);
+        assert!((mxu.as_millis_f64() - 0.444).abs() < 0.02, "mxu {mxu}");
+    }
+
+    #[test]
+    fn vector_ops_do_not_report_mxu_time() {
+        let core = v2_core();
+        let (dur, mxu) = core.op_duration(&OpWork::vector(1.0e9, 1.0e6));
+        assert!(dur > SimDuration::ZERO);
+        assert_eq!(mxu, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn v3_core_is_twice_as_fast_on_compute_bound_mxu_work() {
+        let v2 = TpuChipSpec::v2().core_model();
+        let v3 = TpuChipSpec::v3().core_model();
+        let w = OpWork::mxu(50.0e9, 1.0e3); // strongly compute bound
+        let overhead = SimDuration::from_secs_f64(v2.op_overhead_us / 1e6);
+        let d2 = (v2.wall_duration(&w) - overhead).as_micros() as f64;
+        let d3 = (v3.wall_duration(&w) - overhead).as_micros() as f64;
+        assert!((d2 / d3 - 2.0).abs() < 0.05, "speedup {}", d2 / d3);
+    }
+
+    #[test]
+    fn zero_work_costs_only_overhead() {
+        let core = v2_core();
+        let (dur, mxu) = core.op_duration(&OpWork::vector(0.0, 0.0));
+        assert_eq!(dur, SimDuration::from_secs_f64(core.op_overhead_us / 1e6));
+        assert_eq!(mxu, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn scaled_work_scales_both_axes() {
+        let w = OpWork::mxu(2.0, 4.0).scaled(3.0);
+        assert_eq!(w.flops, 6.0);
+        assert_eq!(w.hbm_bytes, 12.0);
+        assert!(w.uses_mxu);
+    }
+
+    #[test]
+    fn mxu_busy_never_exceeds_wall_duration() {
+        let core = v2_core();
+        for (flops, bytes) in [(1e6, 1e9), (1e12, 1e3), (1e9, 1e9), (0.0, 0.0)] {
+            let (dur, mxu) = core.op_duration(&OpWork::mxu(flops, bytes));
+            assert!(mxu <= dur, "flops={flops} bytes={bytes}");
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! TPU chip specifications.
+//!
+//! Numbers come from Section II of the paper and Google's public Cloud TPU
+//! documentation: a TPUv2 chip has two cores, each with one 128×128 MXU and
+//! 8 GiB of HBM, delivering a combined 45 TFLOPS; a TPUv3 chip doubles the
+//! MXUs per core and the HBM (32 GiB, 90 TFLOPS) while holding power
+//! constant.
+
+use crate::cost::TpuCoreModel;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Cloud TPU generation offered through Google Cloud Platform / TFRC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum TpuGeneration {
+    /// Second-generation Cloud TPU (first publicly available).
+    V2,
+    /// Third-generation Cloud TPU.
+    V3,
+}
+
+impl fmt::Display for TpuGeneration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TpuGeneration::V2 => write!(f, "TPUv2"),
+            TpuGeneration::V3 => write!(f, "TPUv3"),
+        }
+    }
+}
+
+/// Specification of a single Cloud TPU chip.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TpuChipSpec {
+    /// Generation this spec describes.
+    pub generation: TpuGeneration,
+    /// Independent cores per chip.
+    pub cores: u8,
+    /// Matrix units per core.
+    pub mxus_per_core: u8,
+    /// Chip-wide peak throughput in TFLOPS (bfloat16 multiply-accumulate).
+    pub peak_tflops: f64,
+    /// Total high-bandwidth memory per chip, GiB.
+    pub hbm_gib: f64,
+    /// HBM bandwidth per core, GB/s.
+    pub hbm_gbps_per_core: f64,
+    /// Peak throughput of the scalar/vector units per core, GFLOPS. Used for
+    /// element-wise ops that bypass the MXUs.
+    pub vector_gflops_per_core: f64,
+    /// Fraction of peak the MXUs achieve on well-tiled work; real systolic
+    /// arrays lose cycles to pipeline fill/drain and padding.
+    pub mxu_efficiency: f64,
+    /// Fixed per-operation dispatch overhead, microseconds. Covers program
+    /// launch, synchronization flags, and DMA descriptor setup.
+    pub op_overhead_us: f64,
+}
+
+impl TpuChipSpec {
+    /// The TPUv2 chip: 2 cores × 1 MXU, 45 TFLOPS, 16 GiB HBM
+    /// (8 GiB per core), 700 GB/s HBM per core.
+    pub fn v2() -> Self {
+        TpuChipSpec {
+            generation: TpuGeneration::V2,
+            cores: 2,
+            mxus_per_core: 1,
+            peak_tflops: 45.0,
+            hbm_gib: 16.0,
+            hbm_gbps_per_core: 700.0,
+            vector_gflops_per_core: 800.0,
+            mxu_efficiency: 0.55,
+            op_overhead_us: 1.5,
+        }
+    }
+
+    /// The TPUv3 chip: 2 cores × 2 MXUs, 90 TFLOPS, 32 GiB HBM, faster HBM.
+    pub fn v3() -> Self {
+        TpuChipSpec {
+            generation: TpuGeneration::V3,
+            cores: 2,
+            mxus_per_core: 2,
+            peak_tflops: 90.0,
+            hbm_gib: 32.0,
+            hbm_gbps_per_core: 900.0,
+            vector_gflops_per_core: 900.0,
+            mxu_efficiency: 0.55,
+            op_overhead_us: 1.5,
+        }
+    }
+
+    /// Builds the spec for a generation.
+    pub fn for_generation(generation: TpuGeneration) -> Self {
+        match generation {
+            TpuGeneration::V2 => Self::v2(),
+            TpuGeneration::V3 => Self::v3(),
+        }
+    }
+
+    /// Peak FLOPS of a single core (chip peak split evenly across cores).
+    pub fn peak_flops_per_core(&self) -> f64 {
+        self.peak_tflops * 1e12 / self.cores as f64
+    }
+
+    /// Total MXUs on the chip.
+    pub fn total_mxus(&self) -> u8 {
+        self.cores * self.mxus_per_core
+    }
+
+    /// HBM capacity per core in bytes.
+    pub fn hbm_bytes_per_core(&self) -> f64 {
+        self.hbm_gib * 1024.0 * 1024.0 * 1024.0 / self.cores as f64
+    }
+
+    /// Builds the per-core analytic cost model for this chip.
+    pub fn core_model(&self) -> TpuCoreModel {
+        TpuCoreModel {
+            peak_flops: self.peak_flops_per_core(),
+            mxu_efficiency: self.mxu_efficiency,
+            vector_flops: self.vector_gflops_per_core * 1e9,
+            hbm_bytes_per_sec: self.hbm_gbps_per_core * 1e9,
+            op_overhead_us: self.op_overhead_us,
+        }
+    }
+
+    /// Builds a chip-level aggregate cost model: all cores working on one
+    /// (data-parallel) batch. The runtime uses this to execute a whole
+    /// batch's graph on "the TPU" without modeling per-core sharding.
+    pub fn chip_model(&self) -> TpuCoreModel {
+        TpuCoreModel {
+            peak_flops: self.peak_tflops * 1e12,
+            mxu_efficiency: self.mxu_efficiency,
+            vector_flops: self.vector_gflops_per_core * 1e9 * self.cores as f64,
+            hbm_bytes_per_sec: self.hbm_gbps_per_core * 1e9 * self.cores as f64,
+            op_overhead_us: self.op_overhead_us,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v3_doubles_v2_headline_numbers() {
+        let v2 = TpuChipSpec::v2();
+        let v3 = TpuChipSpec::v3();
+        assert_eq!(v3.peak_tflops, 2.0 * v2.peak_tflops);
+        assert_eq!(v3.hbm_gib, 2.0 * v2.hbm_gib);
+        assert_eq!(v3.total_mxus(), 2 * v2.total_mxus());
+        assert_eq!(v2.cores, v3.cores);
+    }
+
+    #[test]
+    fn per_core_numbers_divide_chip_numbers() {
+        let v2 = TpuChipSpec::v2();
+        assert_eq!(v2.peak_flops_per_core(), 22.5e12);
+        assert_eq!(v2.hbm_bytes_per_core(), 8.0 * 1024.0 * 1024.0 * 1024.0);
+    }
+
+    #[test]
+    fn for_generation_round_trips() {
+        assert_eq!(
+            TpuChipSpec::for_generation(TpuGeneration::V2),
+            TpuChipSpec::v2()
+        );
+        assert_eq!(
+            TpuChipSpec::for_generation(TpuGeneration::V3),
+            TpuChipSpec::v3()
+        );
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(TpuGeneration::V2.to_string(), "TPUv2");
+        assert_eq!(TpuGeneration::V3.to_string(), "TPUv3");
+    }
+}

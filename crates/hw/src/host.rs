@@ -1,0 +1,164 @@
+//! The Compute Engine host that drives a Cloud TPU.
+//!
+//! The paper's experimental platform (Section V) is a 16-core, 2-way-SMT
+//! Intel Skylake VM with 104 GB of memory and 250 GB of persistent disk.
+//! The host runs the TensorFlow client/master/worker processes and, most
+//! importantly for TPU utilization, the input pipeline: reading records from
+//! Cloud Storage, decoding/augmenting them, batching, and pushing batches
+//! through the infeed.
+
+use serde::{Deserialize, Serialize};
+use tpupoint_simcore::SimDuration;
+
+/// Specification of the host VM.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HostSpec {
+    /// Physical cores.
+    pub cores: u32,
+    /// SMT ways per core.
+    pub smt: u32,
+    /// Main memory, GiB.
+    pub mem_gib: f64,
+    /// Per-thread record-decode throughput for JPEG-like payloads, MB/s.
+    /// Text workloads decode faster; the workload descriptors scale this.
+    pub decode_mbps_per_thread: f64,
+    /// Throughput of miscellaneous per-batch host work (casts, padding,
+    /// masking) in MB/s per thread.
+    pub transform_mbps_per_thread: f64,
+}
+
+impl HostSpec {
+    /// The paper's n1-standard-style Skylake host.
+    pub fn skylake_n1() -> Self {
+        HostSpec {
+            cores: 16,
+            smt: 2,
+            mem_gib: 104.0,
+            decode_mbps_per_thread: 180.0,
+            transform_mbps_per_thread: 900.0,
+        }
+    }
+
+    /// Total hardware threads available for pipeline work.
+    pub fn hardware_threads(&self) -> u32 {
+        self.cores * self.smt
+    }
+
+    /// Time for `threads` parallel workers to decode `bytes` of input.
+    ///
+    /// Parallel efficiency falls off once threads exceed physical cores
+    /// (SMT threads contribute ~35% of a core on decode-type work).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn decode_duration(&self, bytes: f64, threads: u32) -> SimDuration {
+        self.parallel_duration(bytes, threads, self.decode_mbps_per_thread)
+    }
+
+    /// Time for `threads` parallel workers to run lightweight per-batch
+    /// transforms (cast, pad, mask) over `bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn transform_duration(&self, bytes: f64, threads: u32) -> SimDuration {
+        self.parallel_duration(bytes, threads, self.transform_mbps_per_thread)
+    }
+
+    /// Time for `threads` workers to complete a fixed amount of per-batch
+    /// pipeline work measured as single-thread microseconds (record
+    /// parsing, batching, padding — cost not proportional to raw bytes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn fixed_work_duration(&self, single_thread_us: f64, threads: u32) -> SimDuration {
+        assert!(threads > 0, "at least one worker thread is required");
+        let effective = self.effective_threads(threads);
+        SimDuration::from_secs_f64(single_thread_us.max(0.0) / 1e6 / effective)
+    }
+
+    fn effective_threads(&self, threads: u32) -> f64 {
+        let full = threads.min(self.cores) as f64;
+        let smt_extra = threads
+            .saturating_sub(self.cores)
+            .min(self.cores * (self.smt - 1)) as f64;
+        full + 0.35 * smt_extra
+    }
+
+    fn parallel_duration(&self, bytes: f64, threads: u32, mbps_per_thread: f64) -> SimDuration {
+        assert!(threads > 0, "at least one worker thread is required");
+        let rate = mbps_per_thread * 1e6 * self.effective_threads(threads);
+        SimDuration::from_secs_f64(bytes / rate)
+    }
+}
+
+impl Default for HostSpec {
+    fn default() -> Self {
+        Self::skylake_n1()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_host_shape() {
+        let h = HostSpec::skylake_n1();
+        assert_eq!(h.cores, 16);
+        assert_eq!(h.hardware_threads(), 32);
+    }
+
+    #[test]
+    fn more_threads_decode_faster_up_to_cores() {
+        let h = HostSpec::skylake_n1();
+        let one = h.decode_duration(1.0e9, 1);
+        let eight = h.decode_duration(1.0e9, 8);
+        let sixteen = h.decode_duration(1.0e9, 16);
+        assert!(eight < one);
+        assert!(sixteen < eight);
+        // Linear within physical cores.
+        let ratio = one.as_micros() as f64 / sixteen.as_micros() as f64;
+        assert!((ratio - 16.0).abs() < 0.1, "ratio {ratio}");
+    }
+
+    #[test]
+    fn smt_threads_help_sublinearly() {
+        let h = HostSpec::skylake_n1();
+        let t16 = h.decode_duration(1.0e9, 16).as_micros() as f64;
+        let t32 = h.decode_duration(1.0e9, 32).as_micros() as f64;
+        let speedup = t16 / t32;
+        assert!(speedup > 1.2 && speedup < 1.5, "smt speedup {speedup}");
+    }
+
+    #[test]
+    fn oversubscription_beyond_smt_adds_nothing() {
+        let h = HostSpec::skylake_n1();
+        assert_eq!(h.decode_duration(1.0e9, 32), h.decode_duration(1.0e9, 64));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_threads_rejected() {
+        let h = HostSpec::skylake_n1();
+        let _ = h.decode_duration(1.0, 0);
+    }
+
+    #[test]
+    fn fixed_work_scales_with_threads() {
+        let h = HostSpec::skylake_n1();
+        let one = h.fixed_work_duration(16_000.0, 1);
+        let sixteen = h.fixed_work_duration(16_000.0, 16);
+        assert_eq!(one.as_micros(), 16_000);
+        assert_eq!(sixteen.as_micros(), 1_000);
+        assert_eq!(h.fixed_work_duration(0.0, 4), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn transform_is_faster_than_decode() {
+        let h = HostSpec::skylake_n1();
+        assert!(h.transform_duration(1.0e8, 4) < h.decode_duration(1.0e8, 4));
+    }
+}

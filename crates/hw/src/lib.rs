@@ -1,0 +1,36 @@
+//! # tpupoint-hw
+//!
+//! Hardware models for the simulated Cloud-TPU platform: TPU chip
+//! specifications (TPUv2 and TPUv3, Section II of the TPUPoint paper), the
+//! Compute Engine host, the storage and infeed links between them, and the
+//! roofline-style analytic cost model that converts an operation's work
+//! (FLOPs and bytes) into a simulated duration.
+//!
+//! None of Google's internal microarchitecture is public, so the models are
+//! first-order: a matrix unit delivers a fraction of peak FLOPS, memory-bound
+//! operations run at HBM bandwidth, and every dispatch pays a fixed overhead.
+//! This is sufficient for TPUPoint, which only ever observes *profiles* (op
+//! durations, idle time, MXU utilization), not cycle-accurate state.
+//!
+//! ```
+//! use tpupoint_hw::{TpuChipSpec, OpWork, TpuGeneration};
+//!
+//! let v2 = TpuChipSpec::v2();
+//! let v3 = TpuChipSpec::v3();
+//! assert_eq!(v2.generation, TpuGeneration::V2);
+//! let work = OpWork::mxu(2.0e9, 8.0e6); // 2 GFLOP matmul touching 8 MB
+//! let core2 = v2.core_model();
+//! let core3 = v3.core_model();
+//! // The same op is faster on a v3 core (twice the MXUs).
+//! assert!(core3.op_duration(&work).0 < core2.op_duration(&work).0);
+//! ```
+
+pub mod cost;
+pub mod device;
+pub mod host;
+pub mod link;
+
+pub use cost::{OpWork, TpuCoreModel};
+pub use device::{TpuChipSpec, TpuGeneration};
+pub use host::HostSpec;
+pub use link::LinkSpec;

@@ -1,0 +1,91 @@
+//! Data links: Cloud Storage to host, and host to TPU (infeed/outfeed).
+//!
+//! In the Cloud TPU architecture (Section II-B) the Storage Bucket acts as
+//! persistent memory and the TPU as a coprocessor; both hang off the host
+//! over network/PCIe-class links whose bandwidth bounds how fast batches can
+//! be staged and fed.
+
+use serde::{Deserialize, Serialize};
+use tpupoint_simcore::SimDuration;
+
+/// A point-to-point link with fixed bandwidth and per-transfer latency.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// Sustained bandwidth, GB/s.
+    pub gbps: f64,
+    /// Fixed per-transfer latency, microseconds (RPC setup, DMA descriptors).
+    pub latency_us: f64,
+}
+
+impl LinkSpec {
+    /// Cloud Storage → host: a fast regional GCS connection.
+    pub fn cloud_storage() -> Self {
+        LinkSpec {
+            gbps: 1.2,
+            latency_us: 400.0,
+        }
+    }
+
+    /// Host → TPU infeed over the accelerator interconnect.
+    pub fn infeed() -> Self {
+        LinkSpec {
+            gbps: 8.0,
+            latency_us: 30.0,
+        }
+    }
+
+    /// TPU → host outfeed. Results (losses, summaries) are small, so the
+    /// effective bandwidth matters less than the latency.
+    pub fn outfeed() -> Self {
+        LinkSpec {
+            gbps: 8.0,
+            latency_us: 30.0,
+        }
+    }
+
+    /// Time to move `bytes` across the link.
+    pub fn transfer_duration(&self, bytes: f64) -> SimDuration {
+        let secs = self.latency_us / 1e6 + bytes.max(0.0) / (self.gbps * 1e9);
+        SimDuration::from_secs_f64(secs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_includes_latency() {
+        let link = LinkSpec {
+            gbps: 1.0,
+            latency_us: 100.0,
+        };
+        // 1 MB at 1 GB/s = 1 ms, plus 100 us latency.
+        let d = link.transfer_duration(1.0e6);
+        assert_eq!(d.as_micros(), 1_100);
+    }
+
+    #[test]
+    fn zero_bytes_costs_latency_only() {
+        let link = LinkSpec::infeed();
+        assert_eq!(
+            link.transfer_duration(0.0),
+            SimDuration::from_secs_f64(link.latency_us / 1e6)
+        );
+    }
+
+    #[test]
+    fn negative_bytes_clamp_to_zero() {
+        let link = LinkSpec::infeed();
+        assert_eq!(link.transfer_duration(-5.0), link.transfer_duration(0.0));
+    }
+
+    #[test]
+    fn infeed_is_faster_than_storage() {
+        let big = 64.0e6;
+        assert!(
+            LinkSpec::infeed().transfer_duration(big)
+                < LinkSpec::cloud_storage().transfer_duration(big)
+        );
+    }
+}

@@ -1,0 +1,87 @@
+//! Property tests on the analytic cost model and device specs.
+
+use proptest::prelude::*;
+use tpupoint_hw::{HostSpec, LinkSpec, OpWork, TpuChipSpec};
+
+fn work_strategy() -> impl Strategy<Value = OpWork> {
+    (0.0f64..1e13, 0.0f64..1e10, any::<bool>()).prop_map(|(flops, bytes, mxu)| OpWork {
+        flops,
+        hbm_bytes: bytes,
+        uses_mxu: mxu,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn wall_duration_is_monotone_in_flops(work in work_strategy(), extra in 1.0f64..1e12) {
+        let core = TpuChipSpec::v2().chip_model();
+        let more = OpWork { flops: work.flops + extra, ..work };
+        prop_assert!(core.wall_duration(&more) >= core.wall_duration(&work));
+    }
+
+    #[test]
+    fn wall_duration_is_monotone_in_bytes(work in work_strategy(), extra in 1.0f64..1e10) {
+        let core = TpuChipSpec::v2().chip_model();
+        let more = OpWork { hbm_bytes: work.hbm_bytes + extra, ..work };
+        prop_assert!(core.wall_duration(&more) >= core.wall_duration(&work));
+    }
+
+    #[test]
+    fn mxu_busy_never_exceeds_wall(work in work_strategy()) {
+        for chip in [TpuChipSpec::v2(), TpuChipSpec::v3()] {
+            let (wall, mxu) = chip.chip_model().op_duration(&work);
+            prop_assert!(mxu <= wall, "{chip:?} {work:?}");
+            if !work.uses_mxu {
+                prop_assert!(mxu.is_zero());
+            }
+        }
+    }
+
+    #[test]
+    fn v3_is_never_slower_than_v2(work in work_strategy()) {
+        let v2 = TpuChipSpec::v2().chip_model();
+        let v3 = TpuChipSpec::v3().chip_model();
+        prop_assert!(v3.wall_duration(&work) <= v2.wall_duration(&work));
+    }
+
+    #[test]
+    fn scaling_work_scales_duration_superlinearly_never(
+        work in work_strategy(), factor in 1.0f64..16.0
+    ) {
+        // Roofline: duration(k*work) <= k * duration(work) + overhead slack.
+        let core = TpuChipSpec::v2().chip_model();
+        let one = core.wall_duration(&work).as_micros() as f64;
+        let scaled = core.wall_duration(&work.scaled(factor)).as_micros() as f64;
+        prop_assert!(scaled <= factor * one + 2.0, "{scaled} vs {factor} * {one}");
+    }
+
+    #[test]
+    fn link_transfers_are_monotone_and_latency_floored(
+        bytes in 0.0f64..1e10, extra in 1.0f64..1e9
+    ) {
+        for link in [LinkSpec::cloud_storage(), LinkSpec::infeed(), LinkSpec::outfeed()] {
+            let d1 = link.transfer_duration(bytes);
+            let d2 = link.transfer_duration(bytes + extra);
+            prop_assert!(d2 >= d1);
+            prop_assert!(d1.as_micros() as f64 >= link.latency_us.floor() - 1.0);
+        }
+    }
+
+    #[test]
+    fn host_parallelism_never_hurts(bytes in 1.0f64..1e10, threads in 1u32..63) {
+        let host = HostSpec::skylake_n1();
+        let fewer = host.decode_duration(bytes, threads);
+        let more = host.decode_duration(bytes, threads + 1);
+        prop_assert!(more <= fewer);
+    }
+
+    #[test]
+    fn fixed_work_is_inverse_in_effective_threads(us in 1.0f64..1e7) {
+        let host = HostSpec::skylake_n1();
+        let one = host.fixed_work_duration(us, 1).as_micros() as f64;
+        let four = host.fixed_work_duration(us, 4).as_micros() as f64;
+        prop_assert!((one / four - 4.0).abs() < 0.05, "{one} vs {four}");
+    }
+}

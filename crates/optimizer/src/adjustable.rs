@@ -1,0 +1,110 @@
+//! Adjustable-parameter discovery (the paper's program-analysis stage).
+//!
+//! "TPUPoint-Optimizer first identifies adjustable parameters originally
+//! defined by the user … If any of these adjustable parameters cause
+//! errors when altered, TPUPoint-Optimizer will not treat them as
+//! adjustable" (Section VII-A). On top of the error probe, the output
+//! guard excludes parameters whose adjustment would change program output.
+
+use tpupoint_graph::{AdjustableParam, PipelineSpec};
+
+/// Why a parameter was excluded from tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExclusionReason {
+    /// Both neighboring values were rejected by validation, so altering
+    /// the parameter "causes errors".
+    CausesErrors,
+    /// Changing the parameter changes program output; the output-quality
+    /// guard forbids touching it.
+    AffectsOutput,
+}
+
+/// Result of the discovery pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Discovery {
+    /// Parameters the tuner may adjust, in scan order.
+    pub adjustable: Vec<AdjustableParam>,
+    /// Excluded parameters with their reasons.
+    pub excluded: Vec<(AdjustableParam, ExclusionReason)>,
+}
+
+/// Probes every knob of `pipeline` and classifies it.
+pub fn discover(pipeline: &PipelineSpec) -> Discovery {
+    let mut adjustable = Vec::new();
+    let mut excluded = Vec::new();
+    for &param in AdjustableParam::all() {
+        if param.affects_output() {
+            excluded.push((param, ExclusionReason::AffectsOutput));
+            continue;
+        }
+        let current = param.get(pipeline);
+        let neighbors = [param.step_up(current), param.step_down(current)];
+        let mut works = false;
+        for candidate in neighbors.into_iter().flatten() {
+            let mut probe = pipeline.clone();
+            if param.set(&mut probe, candidate).is_ok() {
+                works = true;
+                break;
+            }
+        }
+        if works {
+            adjustable.push(param);
+        } else {
+            excluded.push((param, ExclusionReason::CausesErrors));
+        }
+    }
+    Discovery {
+        adjustable,
+        excluded,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_pipeline_has_adjustable_throughput_knobs() {
+        let d = discover(&PipelineSpec::tuned_default(64));
+        for p in [
+            AdjustableParam::NumParallelCalls,
+            AdjustableParam::PrefetchDepth,
+            AdjustableParam::ReadAhead,
+            AdjustableParam::InfeedQueueDepth,
+            AdjustableParam::HostTransformPasses,
+        ] {
+            assert!(d.adjustable.contains(&p), "{p} should be adjustable");
+        }
+    }
+
+    #[test]
+    fn shuffle_buffer_is_guarded_out() {
+        let d = discover(&PipelineSpec::tuned_default(64));
+        assert!(d.excluded.contains(&(
+            AdjustableParam::ShuffleBuffer,
+            ExclusionReason::AffectsOutput
+        )));
+        assert!(!d.adjustable.contains(&AdjustableParam::ShuffleBuffer));
+    }
+
+    #[test]
+    fn knob_pinned_at_both_range_edges_is_excluded() {
+        // InfeedQueueDepth range is [1, 16]; a pipeline already at 16 can
+        // still step down, so construct the single-value case artificially
+        // by checking a 1-wide knob: HostTransformPasses at 1 can step up.
+        // The only way both neighbors fail is a range of width zero, which
+        // no current knob has — so discovery finds every non-output knob.
+        let naive = PipelineSpec::naive(32);
+        let d = discover(&naive);
+        assert_eq!(d.adjustable.len(), AdjustableParam::all().len() - 1);
+        assert_eq!(d.excluded.len(), 1);
+    }
+
+    #[test]
+    fn discovery_does_not_mutate_the_pipeline() {
+        let p = PipelineSpec::tuned_default(32);
+        let before = p.clone();
+        let _ = discover(&p);
+        assert_eq!(p, before);
+    }
+}

@@ -1,0 +1,37 @@
+//! # tpupoint-optimizer
+//!
+//! TPUPoint-Optimizer (Section VII of the paper): automatic, online tuning
+//! of a workload's *adjustable parameters* — input-pipeline buffer sizes,
+//! thread counts, and reorderable host transforms — "without programmer
+//! input", while "ensur\[ing\] that tuning does not affect program-execution
+//! output".
+//!
+//! The three stages map directly onto the paper:
+//!
+//! 1. **Program analysis** ([`adjustable`]) — discover which parameters
+//!    are adjustable: knobs whose modification raises errors are dropped,
+//!    and knobs that change program *output* (the shuffle buffer) are
+//!    excluded by the output-quality guard.
+//! 2. **Critical-phase detection** ([`detect`]) — watch the profile stream
+//!    for the common bottleneck operator pattern (reshape / infeed /
+//!    fusion / outfeed) in the dominant phase, or a phase exceeding half
+//!    of aggregate execution time.
+//! 3. **Online tuning** ([`tune`]) — hill-climb each adjustable parameter:
+//!    keep stepping in a direction while measured throughput improves and
+//!    the output digest is unchanged; revert to the best (possibly
+//!    default) value otherwise. Measurement segments restart from the
+//!    nearest checkpoint rather than step zero (Section IV-C), modeled
+//!    here by running short jobs.
+//!
+//! [`TpuPointOptimizer`] ties the stages together and produces the
+//! before/after comparison behind Figures 14–16.
+
+pub mod adjustable;
+pub mod detect;
+pub mod optimizer;
+pub mod tune;
+
+pub use adjustable::{discover, Discovery, ExclusionReason};
+pub use detect::CriticalPhaseDetector;
+pub use optimizer::{OptimizerReport, TpuPointOptimizer};
+pub use tune::{Measure, SegmentRunner, Throughput, Trial, TrialOutcome, Tuner, TunerOptions};

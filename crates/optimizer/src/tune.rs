@@ -1,0 +1,403 @@
+//! The online hill-climbing tuner.
+//!
+//! "If performance improves and output does not change, TPUPoint-Optimizer
+//! continues adjusting parameter values in the same direction until an
+//! optimal value for that specific parameter is found. If no other
+//! neighboring values are better than the default value, TPUPoint-Optimizer
+//! will keep the default value" (Section VII-B).
+
+use tpupoint_graph::{AdjustableParam, PipelineSpec};
+use tpupoint_runtime::{JobConfig, TrainingJob};
+use tpupoint_simcore::trace::NullSink;
+use tpupoint_simcore::SimDuration;
+
+/// A throughput measurement of one candidate configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Throughput {
+    /// Steps per second over the measurement segment's steady window.
+    pub steps_per_sec: f64,
+    /// Output digest of the measured configuration.
+    pub output_digest: u64,
+    /// Steady-window time the measurement segment spent training.
+    pub segment_wall: SimDuration,
+    /// Training steps the segment completed (they still count toward the
+    /// job — tuning is online).
+    pub segment_steps: u64,
+}
+
+/// Measures candidate pipelines. Object-safe so tests can fake it.
+pub trait Measure {
+    /// Runs a measurement segment with `pipeline` and reports throughput.
+    fn measure(&mut self, pipeline: &PipelineSpec) -> Throughput;
+}
+
+/// Measures by running a short training segment of the real job — the
+/// simulation analogue of resuming from the phase's nearest checkpoint
+/// with instrumented code.
+#[derive(Debug)]
+pub struct SegmentRunner {
+    base: JobConfig,
+    segment_steps: u64,
+}
+
+impl SegmentRunner {
+    /// Creates a runner measuring `segment_steps`-step segments of `base`.
+    pub fn new(base: JobConfig, segment_steps: u64) -> Self {
+        SegmentRunner {
+            base,
+            segment_steps: segment_steps.max(8),
+        }
+    }
+}
+
+impl Measure for SegmentRunner {
+    fn measure(&mut self, pipeline: &PipelineSpec) -> Throughput {
+        let mut cfg = self.base.clone();
+        cfg.pipeline = pipeline.clone();
+        cfg.train_steps = self.segment_steps;
+        cfg.steps_per_eval = None;
+        cfg.eval_steps = 0;
+        cfg.checkpoint_every = 0;
+        cfg.warmup_steps = 2;
+        let report = TrainingJob::new(cfg).run(&mut NullSink);
+        Throughput {
+            steps_per_sec: report.throughput_steps_per_sec(),
+            // The guard must compare *semantic* output, which the segment
+            // inherits from the base config's pipeline-affecting fields.
+            output_digest: semantic_digest(&self.base, pipeline),
+            segment_wall: report.steady_window,
+            segment_steps: report.steps_completed,
+        }
+    }
+}
+
+/// Digest of output-affecting state for the guard: the base job's digest
+/// combined with every output-affecting pipeline knob.
+fn semantic_digest(base: &JobConfig, pipeline: &PipelineSpec) -> u64 {
+    let mut cfg = base.clone();
+    cfg.pipeline = pipeline.clone();
+    cfg.output_digest()
+}
+
+/// What happened to one candidate value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrialOutcome {
+    /// Improved throughput with unchanged output: adopted.
+    Accepted,
+    /// Did not improve throughput enough: reverted.
+    NoImprovement,
+    /// Changed the output digest: rejected by the guard.
+    OutputChanged,
+    /// Validation rejected the value.
+    Invalid,
+}
+
+/// Record of one candidate evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trial {
+    /// The knob under adjustment.
+    pub param: AdjustableParam,
+    /// Value before the trial.
+    pub from: i64,
+    /// Candidate value.
+    pub to: i64,
+    /// Steps/second measured (0 when invalid).
+    pub steps_per_sec: f64,
+    /// Outcome.
+    pub outcome: TrialOutcome,
+}
+
+/// Tuner options.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TunerOptions {
+    /// Minimum relative throughput gain to accept a candidate.
+    pub min_gain: f64,
+    /// Maximum accepted steps per parameter per direction.
+    pub max_steps_per_param: usize,
+    /// Coordinate-descent passes over the parameter list. Knobs interact
+    /// (more decode threads can make a deeper prefetch worthwhile), so a
+    /// second pass can find gains the first could not; scanning stops
+    /// early once a whole pass accepts nothing.
+    pub passes: usize,
+}
+
+impl Default for TunerOptions {
+    fn default() -> Self {
+        TunerOptions {
+            min_gain: 0.01,
+            max_steps_per_param: 6,
+            passes: 2,
+        }
+    }
+}
+
+/// Result of a tuning session.
+#[derive(Debug, Clone)]
+pub struct TuneOutcome {
+    /// The tuned pipeline.
+    pub pipeline: PipelineSpec,
+    /// Every candidate evaluation.
+    pub trials: Vec<Trial>,
+    /// Steady-window time spent inside measurement segments.
+    pub measured_time: SimDuration,
+    /// Training steps completed inside measurement segments. Tuning is
+    /// *online*: these steps still advance the job, so the net overhead is
+    /// `measured_time` minus the time those steps would have taken at the
+    /// tuned rate.
+    pub measured_steps: u64,
+}
+
+impl TuneOutcome {
+    /// Net online-tuning overhead given the final tuned throughput.
+    pub fn net_overhead(&self, tuned_steps_per_sec: f64) -> SimDuration {
+        if tuned_steps_per_sec <= 0.0 {
+            return self.measured_time;
+        }
+        let ideal = SimDuration::from_secs_f64(self.measured_steps as f64 / tuned_steps_per_sec);
+        self.measured_time.saturating_sub(ideal)
+    }
+}
+
+/// The hill-climbing tuner.
+#[derive(Debug)]
+pub struct Tuner {
+    options: TunerOptions,
+}
+
+impl Tuner {
+    /// Creates a tuner.
+    pub fn new(options: TunerOptions) -> Self {
+        Tuner { options }
+    }
+
+    /// Tunes `pipeline` over `params` using `measure`.
+    pub fn tune(
+        &self,
+        pipeline: &PipelineSpec,
+        params: &[AdjustableParam],
+        measure: &mut dyn Measure,
+    ) -> TuneOutcome {
+        let mut current = pipeline.clone();
+        let mut trials = Vec::new();
+        let mut measured_time = SimDuration::ZERO;
+        let mut measured_steps = 0u64;
+
+        let baseline = measure.measure(&current);
+        measured_time += baseline.segment_wall;
+        measured_steps += baseline.segment_steps;
+        let reference_digest = baseline.output_digest;
+        let mut best_tput = baseline.steps_per_sec;
+
+        for _pass in 0..self.options.passes.max(1) {
+            let mut pass_accepted = false;
+            for &param in params {
+                for direction_up in [true, false] {
+                    let mut accepted_any = false;
+                    for _ in 0..self.options.max_steps_per_param {
+                        let from = param.get(&current);
+                        let next = if direction_up {
+                            param.step_up(from)
+                        } else {
+                            param.step_down(from)
+                        };
+                        let Some(candidate) = next else { break };
+                        let mut probe = current.clone();
+                        if param.set(&mut probe, candidate).is_err() {
+                            trials.push(Trial {
+                                param,
+                                from,
+                                to: candidate,
+                                steps_per_sec: 0.0,
+                                outcome: TrialOutcome::Invalid,
+                            });
+                            break;
+                        }
+                        let t = measure.measure(&probe);
+                        measured_time += t.segment_wall;
+                        measured_steps += t.segment_steps;
+                        let outcome = if t.output_digest != reference_digest {
+                            TrialOutcome::OutputChanged
+                        } else if t.steps_per_sec > best_tput * (1.0 + self.options.min_gain) {
+                            TrialOutcome::Accepted
+                        } else {
+                            TrialOutcome::NoImprovement
+                        };
+                        trials.push(Trial {
+                            param,
+                            from,
+                            to: candidate,
+                            steps_per_sec: t.steps_per_sec,
+                            outcome,
+                        });
+                        if outcome == TrialOutcome::Accepted {
+                            best_tput = t.steps_per_sec;
+                            current = probe;
+                            accepted_any = true;
+                            pass_accepted = true;
+                        } else {
+                            break;
+                        }
+                    }
+                    // Only try the downward direction if upward never
+                    // helped.
+                    if accepted_any {
+                        break;
+                    }
+                }
+            }
+            if !pass_accepted {
+                break;
+            }
+        }
+        TuneOutcome {
+            pipeline: current,
+            trials,
+            measured_time,
+            measured_steps,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Fake measurement: throughput improves with prefetch depth up to 16,
+    /// then degrades; everything else is neutral.
+    struct FakeMeasure {
+        calls: usize,
+    }
+    impl Measure for FakeMeasure {
+        fn measure(&mut self, pipeline: &PipelineSpec) -> Throughput {
+            self.calls += 1;
+            let depth = pipeline.prefetch_depth as f64;
+            let score = if depth <= 16.0 { depth } else { 16.0 - depth };
+            Throughput {
+                steps_per_sec: 100.0 + score,
+                output_digest: 42,
+                segment_wall: SimDuration::from_secs(1),
+                segment_steps: 100,
+            }
+        }
+    }
+
+    #[test]
+    fn climbs_to_the_optimum_and_stops() {
+        let tuner = Tuner::new(TunerOptions::default());
+        let base = PipelineSpec::tuned_default(32); // prefetch 8
+        let outcome = tuner.tune(
+            &base,
+            &[AdjustableParam::PrefetchDepth],
+            &mut FakeMeasure { calls: 0 },
+        );
+        let (tuned, trials) = (outcome.pipeline.clone(), outcome.trials.clone());
+        assert_eq!(tuned.prefetch_depth, 16);
+        assert!(trials
+            .iter()
+            .any(|t| t.outcome == TrialOutcome::Accepted && t.to == 16));
+        // Attempted 32, saw degradation, stopped.
+        assert!(trials
+            .iter()
+            .any(|t| t.outcome == TrialOutcome::NoImprovement && t.to == 32));
+        assert!(outcome.measured_time >= SimDuration::from_secs(3));
+        assert!(outcome.measured_steps >= 300);
+        // Net overhead at the winning throughput is below the raw time.
+        assert!(outcome.net_overhead(116.0) < outcome.measured_time);
+    }
+
+    /// Throughput always "improves" but the digest changes: guard rejects.
+    struct OutputChanger;
+    impl Measure for OutputChanger {
+        fn measure(&mut self, pipeline: &PipelineSpec) -> Throughput {
+            Throughput {
+                steps_per_sec: pipeline.prefetch_depth as f64 * 100.0,
+                output_digest: pipeline.prefetch_depth as u64, // varies!
+                segment_wall: SimDuration::ZERO,
+                segment_steps: 0,
+            }
+        }
+    }
+
+    #[test]
+    fn output_guard_rejects_improvements_that_change_results() {
+        let tuner = Tuner::new(TunerOptions::default());
+        let base = PipelineSpec::tuned_default(32);
+        let outcome = tuner.tune(&base, &[AdjustableParam::PrefetchDepth], &mut OutputChanger);
+        assert_eq!(outcome.pipeline, base, "nothing may be adopted");
+        assert!(outcome
+            .trials
+            .iter()
+            .all(|t| t.outcome == TrialOutcome::OutputChanged));
+    }
+
+    /// Downward is better (fewer transform passes is faster).
+    struct FewerPassesBetter;
+    impl Measure for FewerPassesBetter {
+        fn measure(&mut self, pipeline: &PipelineSpec) -> Throughput {
+            Throughput {
+                steps_per_sec: 100.0 - pipeline.host_transform_passes as f64,
+                output_digest: 7,
+                segment_wall: SimDuration::ZERO,
+                segment_steps: 0,
+            }
+        }
+    }
+
+    #[test]
+    fn tries_downward_when_upward_fails() {
+        let tuner = Tuner::new(TunerOptions::default());
+        let base = PipelineSpec::naive(32); // passes = 4
+        let outcome = tuner.tune(
+            &base,
+            &[AdjustableParam::HostTransformPasses],
+            &mut FewerPassesBetter,
+        );
+        assert_eq!(outcome.pipeline.host_transform_passes, 1);
+    }
+
+    /// Nothing helps: defaults are kept.
+    struct Flat;
+    impl Measure for Flat {
+        fn measure(&mut self, _pipeline: &PipelineSpec) -> Throughput {
+            Throughput {
+                steps_per_sec: 100.0,
+                output_digest: 1,
+                segment_wall: SimDuration::ZERO,
+                segment_steps: 0,
+            }
+        }
+    }
+
+    #[test]
+    fn keeps_defaults_when_no_neighbor_wins() {
+        let tuner = Tuner::new(TunerOptions::default());
+        let base = PipelineSpec::tuned_default(32);
+        let params: Vec<_> = AdjustableParam::all()
+            .iter()
+            .copied()
+            .filter(|p| !p.affects_output())
+            .collect();
+        let outcome = tuner.tune(&base, &params, &mut Flat);
+        assert_eq!(outcome.pipeline, base);
+        assert!(outcome
+            .trials
+            .iter()
+            .all(|t| t.outcome == TrialOutcome::NoImprovement));
+    }
+
+    #[test]
+    fn segment_runner_measures_real_jobs() {
+        let mut cfg = JobConfig::demo();
+        cfg.jitter_sigma = 0.0;
+        let mut runner = SegmentRunner::new(cfg.clone(), 10);
+        let tuned = runner.measure(&PipelineSpec::tuned_default(32));
+        let naive = runner.measure(&PipelineSpec::naive(32));
+        assert!(tuned.steps_per_sec > 0.0);
+        assert!(naive.steps_per_sec <= tuned.steps_per_sec * 1.01);
+        // Both pipelines leave program output unchanged... except the
+        // shuffle buffer differs between tuned and naive defaults.
+        assert_ne!(tuned.output_digest, naive.output_digest);
+        let tuned2 = runner.measure(&PipelineSpec::tuned_default(32));
+        assert_eq!(tuned.output_digest, tuned2.output_digest);
+    }
+}

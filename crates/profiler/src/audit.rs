@@ -1,0 +1,165 @@
+//! Auditing of profile-window streams.
+//!
+//! The real profiling thread requests profiles back to back, but responses
+//! can be delayed or lost; gaps between windows mean unobserved execution
+//! and overlaps mean double-counted busy time. The audit quantifies both
+//! so downstream consumers know how trustworthy a profile is.
+
+use crate::window::WindowRecord;
+use serde::{Deserialize, Serialize};
+use tpupoint_simcore::SimDuration;
+
+/// Result of auditing a window stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WindowAudit {
+    /// Number of windows inspected.
+    pub windows: u64,
+    /// Total events across windows.
+    pub events: u64,
+    /// `(index of the window before the gap, gap duration)` for every gap
+    /// larger than the tolerance.
+    pub gaps: Vec<(u64, SimDuration)>,
+    /// `(index of the earlier window, overlap duration)` for every pair of
+    /// consecutive windows that overlap in time.
+    pub overlaps: Vec<(u64, SimDuration)>,
+    /// Total unobserved time (sum of gaps).
+    pub unobserved: SimDuration,
+    /// Span from the first window's start to the last window's end.
+    pub covered_span: SimDuration,
+    /// Largest single-window event count (for checking the 1M cap).
+    pub max_window_events: u64,
+    /// Longest single-window span (for checking the 60 s cap).
+    pub max_window_span: SimDuration,
+}
+
+impl WindowAudit {
+    /// Fraction of the covered span that fell into gaps.
+    pub fn unobserved_fraction(&self) -> f64 {
+        let span = self.covered_span.as_micros();
+        if span == 0 {
+            return 0.0;
+        }
+        (self.unobserved.as_micros() as f64 / span as f64).clamp(0.0, 1.0)
+    }
+
+    /// True when the stream is contiguous and within the given caps.
+    pub fn is_clean(&self, max_events: u64, max_span: SimDuration) -> bool {
+        self.gaps.is_empty()
+            && self.overlaps.is_empty()
+            && self.max_window_events <= max_events
+            && self.max_window_span <= max_span
+    }
+}
+
+/// Audits consecutive windows, flagging gaps longer than `gap_tolerance`.
+///
+/// Windows are expected in capture order; out-of-order streams show up as
+/// overlaps.
+pub fn audit_windows(windows: &[WindowRecord], gap_tolerance: SimDuration) -> WindowAudit {
+    let mut audit = WindowAudit {
+        windows: windows.len() as u64,
+        events: windows.iter().map(|w| w.events).sum(),
+        gaps: Vec::new(),
+        overlaps: Vec::new(),
+        unobserved: SimDuration::ZERO,
+        covered_span: SimDuration::ZERO,
+        max_window_events: windows.iter().map(|w| w.events).max().unwrap_or(0),
+        max_window_span: windows
+            .iter()
+            .map(|w| w.span())
+            .max()
+            .unwrap_or(SimDuration::ZERO),
+    };
+    if let (Some(first), Some(last)) = (windows.first(), windows.last()) {
+        if last.end > first.start {
+            audit.covered_span = last.end - first.start;
+        }
+    }
+    for pair in windows.windows(2) {
+        let (a, b) = (&pair[0], &pair[1]);
+        if b.start > a.end {
+            let gap = b.start - a.end;
+            if gap > gap_tolerance {
+                audit.gaps.push((a.index, gap));
+                audit.unobserved += gap;
+            }
+        } else if a.end > b.start {
+            audit.overlaps.push((a.index, a.end - b.start));
+        }
+    }
+    audit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpupoint_simcore::SimTime;
+
+    fn window(index: u64, start_us: u64, end_us: u64, events: u64) -> WindowRecord {
+        WindowRecord {
+            index,
+            start: SimTime::from_micros(start_us),
+            end: SimTime::from_micros(end_us),
+            events,
+            tpu_busy: SimDuration::ZERO,
+            mxu_busy: SimDuration::ZERO,
+            first_step: 0,
+            last_step: 0,
+        }
+    }
+
+    #[test]
+    fn contiguous_stream_is_clean() {
+        let windows = vec![
+            window(0, 0, 100, 10),
+            window(1, 100, 250, 12),
+            window(2, 250, 400, 9),
+        ];
+        let audit = audit_windows(&windows, SimDuration::ZERO);
+        assert!(audit.gaps.is_empty());
+        assert!(audit.overlaps.is_empty());
+        assert_eq!(audit.events, 31);
+        assert_eq!(audit.covered_span.as_micros(), 400);
+        assert!(audit.is_clean(100, SimDuration::from_micros(200)));
+        assert_eq!(audit.unobserved_fraction(), 0.0);
+    }
+
+    #[test]
+    fn gaps_are_detected_and_summed() {
+        let windows = vec![window(0, 0, 100, 5), window(1, 300, 400, 5)];
+        let audit = audit_windows(&windows, SimDuration::from_micros(50));
+        assert_eq!(audit.gaps, vec![(0, SimDuration::from_micros(200))]);
+        assert_eq!(audit.unobserved.as_micros(), 200);
+        assert!((audit.unobserved_fraction() - 0.5).abs() < 1e-9);
+        assert!(!audit.is_clean(100, SimDuration::from_secs(1)));
+    }
+
+    #[test]
+    fn small_gaps_within_tolerance_pass() {
+        let windows = vec![window(0, 0, 100, 5), window(1, 120, 200, 5)];
+        let audit = audit_windows(&windows, SimDuration::from_micros(50));
+        assert!(audit.gaps.is_empty());
+    }
+
+    #[test]
+    fn overlaps_are_flagged() {
+        let windows = vec![window(0, 0, 150, 5), window(1, 100, 200, 5)];
+        let audit = audit_windows(&windows, SimDuration::ZERO);
+        assert_eq!(audit.overlaps, vec![(0, SimDuration::from_micros(50))]);
+    }
+
+    #[test]
+    fn cap_violations_fail_cleanliness() {
+        let windows = vec![window(0, 0, 100, 2_000_000)];
+        let audit = audit_windows(&windows, SimDuration::ZERO);
+        assert_eq!(audit.max_window_events, 2_000_000);
+        assert!(!audit.is_clean(1_000_000, SimDuration::from_secs(60)));
+    }
+
+    #[test]
+    fn empty_stream_is_trivially_clean() {
+        let audit = audit_windows(&[], SimDuration::ZERO);
+        assert!(audit.is_clean(1, SimDuration::ZERO));
+        assert_eq!(audit.unobserved_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,42 @@
+//! # tpupoint-profiler
+//!
+//! TPUPoint-Profiler (Section III of the paper): converts the raw event
+//! stream of a (simulated) Cloud TPU training session into *statistical
+//! profile records* — per-step operator histograms plus per-window TPU idle
+//! time and MXU utilization — instead of storing every event.
+//!
+//! The real profiler runs a dedicated thread that periodically requests
+//! profiles from the TPU; each response carries at most 1,000,000 events
+//! spanning at most 60,000 ms. [`ProfilerSink`] reproduces that windowing:
+//! it consumes the trace online (as a [`tpupoint_simcore::trace::TraceSink`])
+//! and seals a [`window::WindowRecord`] whenever either cap is hit. Per-step
+//! aggregation happens simultaneously, producing the [`record::StepRecord`]s
+//! that TPUPoint-Analyzer clusters into phases.
+//!
+//! Records can be buffered in memory (optimizer mode) or streamed to
+//! storage as JSON lines (analyzer mode) via [`store::RecordStore`].
+//!
+//! ```
+//! use tpupoint_runtime::{JobConfig, TrainingJob};
+//! use tpupoint_profiler::{ProfilerOptions, ProfilerSink};
+//!
+//! let job = TrainingJob::new(JobConfig::demo());
+//! let mut sink = ProfilerSink::new(job.catalog().clone(), ProfilerOptions::default());
+//! let report = job.run(&mut sink);
+//! let profile = sink.finish();
+//! assert_eq!(profile.steps.len() as u64, report.steps_completed + 2); // + init & shutdown
+//! ```
+
+pub mod audit;
+pub mod profile;
+pub mod record;
+pub mod sink;
+pub mod store;
+pub mod window;
+
+pub use audit::{audit_windows, WindowAudit};
+pub use profile::Profile;
+pub use record::{OpStats, StepRecord};
+pub use sink::{ProfilerOptions, ProfilerSink};
+pub use store::{InMemoryStore, JsonlStore, RecordStore};
+pub use window::WindowRecord;

@@ -1,0 +1,466 @@
+//! The profiling sink: online aggregation of the event stream.
+
+use crate::profile::Profile;
+use crate::record::StepRecord;
+use crate::store::RecordStore;
+use crate::window::WindowRecord;
+use std::collections::HashMap;
+use tpupoint_simcore::trace::{OpCatalog, TraceEvent, TraceSink};
+use tpupoint_simcore::{SimDuration, SimRng, SimTime, Track};
+
+/// Caps and cadence of profile windows.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProfilerOptions {
+    /// Maximum wall span of one window. The Cloud TPU profiler caps a
+    /// profile at 60,000 ms.
+    pub window_max_span: SimDuration,
+    /// Maximum events in one window. The Cloud TPU profiler caps a profile
+    /// at 1,000,000 events.
+    pub window_max_events: u64,
+    /// Fault injection: probability that a whole profile response (one
+    /// window and all events within it) is lost in transit. The real
+    /// profiler tolerates lost gRPC responses by simply requesting the
+    /// next profile; losses surface as [`Profile::dropped_windows`].
+    pub drop_probability: f64,
+    /// Seed of the fault-injection stream.
+    pub fault_seed: u64,
+    /// User-specified breakpoint (Section III-A): once the runtime marks
+    /// this step, the profiler sends its "last request" — the current
+    /// window seals and no further events are recorded.
+    pub breakpoint_step: Option<u64>,
+}
+
+impl Default for ProfilerOptions {
+    fn default() -> Self {
+        ProfilerOptions {
+            window_max_span: SimDuration::from_millis(60_000),
+            window_max_events: 1_000_000,
+            drop_probability: 0.0,
+            fault_seed: 0xFA017,
+            breakpoint_step: None,
+        }
+    }
+}
+
+/// A [`TraceSink`] that builds statistical profile records online.
+///
+/// Attach to a [`tpupoint_runtime::TrainingJob`] run; call
+/// [`ProfilerSink::finish`] afterwards to obtain the [`Profile`].
+pub struct ProfilerSink {
+    catalog: OpCatalog,
+    options: ProfilerOptions,
+    model: String,
+    dataset: String,
+    steps: HashMap<u64, StepRecord>,
+    windows: Vec<WindowRecord>,
+    current: Option<WindowRecord>,
+    step_marks: Vec<(u64, SimTime)>,
+    checkpoints: Vec<(u64, SimTime)>,
+    store: Option<Box<dyn RecordStore>>,
+    events_seen: u64,
+    op_on_host: Vec<bool>,
+    fault_rng: SimRng,
+    current_dropped: bool,
+    dropped_windows: u64,
+    lost_events: u64,
+    stopped: bool,
+}
+
+impl std::fmt::Debug for ProfilerSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProfilerSink")
+            .field("events_seen", &self.events_seen)
+            .field("steps", &self.steps.len())
+            .field("windows_sealed", &self.windows.len())
+            .finish()
+    }
+}
+
+impl ProfilerSink {
+    /// Creates a sink that buffers everything in memory.
+    pub fn new(catalog: OpCatalog, options: ProfilerOptions) -> Self {
+        ProfilerSink {
+            catalog,
+            options,
+            model: String::new(),
+            dataset: String::new(),
+            steps: HashMap::new(),
+            windows: Vec::new(),
+            current: None,
+            step_marks: Vec::new(),
+            checkpoints: Vec::new(),
+            store: None,
+            events_seen: 0,
+            op_on_host: Vec::new(),
+            fault_rng: SimRng::seed_from(options.fault_seed),
+            current_dropped: false,
+            dropped_windows: 0,
+            lost_events: 0,
+            stopped: false,
+        }
+    }
+
+    /// Creates a sink that additionally streams sealed records to `store`
+    /// (the analyzer-mode recording thread).
+    pub fn with_store(
+        catalog: OpCatalog,
+        options: ProfilerOptions,
+        store: Box<dyn RecordStore>,
+    ) -> Self {
+        let mut sink = Self::new(catalog, options);
+        sink.store = Some(store);
+        sink
+    }
+
+    /// Labels the profile with its model/dataset (purely informational).
+    pub fn set_source(&mut self, model: &str, dataset: &str) {
+        self.model = model.to_owned();
+        self.dataset = dataset.to_owned();
+    }
+
+    /// Events consumed so far.
+    pub fn events_seen(&self) -> u64 {
+        self.events_seen
+    }
+
+    fn seal_window(&mut self) {
+        if let Some(window) = self.current.take() {
+            if self.current_dropped {
+                // The profile response was lost: neither recorded nor kept.
+                self.dropped_windows += 1;
+                self.lost_events += window.events;
+                return;
+            }
+            if let Some(store) = self.store.as_mut() {
+                // Recording failures must not kill the training run; the
+                // real recording thread logs and continues.
+                let _ = store.put_window(&window);
+            }
+            self.windows.push(window);
+        }
+    }
+
+    fn window_for(&mut self, event: &TraceEvent) -> &mut WindowRecord {
+        let needs_seal = match &self.current {
+            Some(w) => {
+                w.events >= self.options.window_max_events
+                    || event.start.saturating_since(w.start) > self.options.window_max_span
+            }
+            None => false,
+        };
+        if needs_seal {
+            self.seal_window();
+        }
+        if self.current.is_none() {
+            // A new profile request goes out; its response may be lost.
+            self.current_dropped = self.fault_rng.chance(self.options.drop_probability);
+            self.current = Some(WindowRecord {
+                index: self.windows.len() as u64,
+                start: event.start,
+                end: event.start,
+                events: 0,
+                tpu_busy: SimDuration::ZERO,
+                mxu_busy: SimDuration::ZERO,
+                first_step: u64::MAX,
+                last_step: 0,
+            });
+        }
+        self.current.as_mut().expect("just ensured")
+    }
+
+    /// Seals the final window and returns the finished profile, sorted by
+    /// step number. Also flushes the store, if any.
+    pub fn finish(mut self) -> Profile {
+        self.seal_window();
+        let mut steps: Vec<StepRecord> = self.steps.into_values().collect();
+        steps.sort_by_key(|r| r.step);
+        if let Some(store) = self.store.as_mut() {
+            for record in &steps {
+                let _ = store.put_step(record);
+            }
+            let _ = store.flush();
+        }
+        let op_names: Vec<String> = self.catalog.iter().map(|(_, n)| n.to_owned()).collect();
+        let op_uses_mxu: Vec<bool> = self
+            .catalog
+            .iter()
+            .map(|(id, _)| self.catalog.attrs(id).uses_mxu)
+            .collect();
+        let mut op_on_host = self.op_on_host;
+        op_on_host.resize(op_names.len(), true);
+        Profile {
+            model: self.model,
+            dataset: self.dataset,
+            op_names,
+            op_uses_mxu,
+            op_on_host,
+            steps,
+            windows: self.windows,
+            step_marks: self.step_marks,
+            checkpoints: self.checkpoints,
+            dropped_windows: self.dropped_windows,
+            lost_events: self.lost_events,
+        }
+    }
+}
+
+impl TraceSink for ProfilerSink {
+    fn record(&mut self, event: &TraceEvent) {
+        if self.stopped {
+            return;
+        }
+        self.events_seen += 1;
+        // Track which side each op runs on (host/storage vs TPU core).
+        let idx = event.op.0 as usize;
+        if idx >= self.op_on_host.len() {
+            self.op_on_host.resize(idx + 1, true);
+        }
+        self.op_on_host[idx] = !matches!(event.track, Track::TpuCore(_));
+        // Window accounting first: it decides whether this event belongs
+        // to a lost profile response.
+        let step = event.step.unwrap_or(0);
+        let window = self.window_for(event);
+        window.events += 1;
+        if event.end() > window.end {
+            window.end = event.end();
+        }
+        if let Track::TpuCore(_) = event.track {
+            window.tpu_busy += event.dur;
+            window.mxu_busy += event.mxu_dur;
+        }
+        window.first_step = window.first_step.min(step);
+        window.last_step = window.last_step.max(step);
+        if self.current_dropped {
+            // Events of a lost response never reach the records.
+            return;
+        }
+        // Per-step statistical aggregation.
+        self.steps
+            .entry(step)
+            .or_insert_with(|| StepRecord::new(step))
+            .absorb(event.op, event.track, event.start, event.dur, event.mxu_dur);
+    }
+
+    fn on_step(&mut self, step: u64, at: SimTime) {
+        if self.stopped {
+            return;
+        }
+        self.step_marks.push((step, at));
+        if self.options.breakpoint_step == Some(step) {
+            // The profiling thread sends its last request and detaches;
+            // training continues unobserved.
+            self.seal_window();
+            self.stopped = true;
+        }
+    }
+
+    fn on_checkpoint(&mut self, step: u64, at: SimTime) {
+        if self.stopped {
+            return;
+        }
+        self.checkpoints.push((step, at));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::InMemoryStore;
+    use tpupoint_runtime::{JobConfig, TrainingJob};
+    use tpupoint_simcore::trace::OpAttrs;
+    use tpupoint_simcore::OpId;
+
+    fn event(op: u32, step: u64, start_us: u64, dur_us: u64) -> TraceEvent {
+        TraceEvent {
+            op: OpId(op),
+            track: Track::TpuCore(0),
+            start: SimTime::from_micros(start_us),
+            dur: SimDuration::from_micros(dur_us),
+            mxu_dur: SimDuration::ZERO,
+            step: Some(step),
+        }
+    }
+
+    fn small_catalog() -> OpCatalog {
+        let mut c = OpCatalog::new();
+        c.intern("fusion", OpAttrs { uses_mxu: true });
+        c.intern("Reshape", OpAttrs::default());
+        c
+    }
+
+    #[test]
+    fn events_aggregate_into_step_records() {
+        let mut sink = ProfilerSink::new(small_catalog(), ProfilerOptions::default());
+        sink.record(&event(0, 1, 0, 10));
+        sink.record(&event(0, 1, 10, 10));
+        sink.record(&event(1, 2, 20, 5));
+        let profile = sink.finish();
+        assert_eq!(profile.steps.len(), 2);
+        assert_eq!(profile.steps[0].step, 1);
+        assert_eq!(profile.steps[0].ops[&OpId(0)].count, 2);
+        assert_eq!(profile.steps[1].step, 2);
+    }
+
+    #[test]
+    fn windows_seal_at_event_cap() {
+        let options = ProfilerOptions {
+            window_max_events: 3,
+            ..ProfilerOptions::default()
+        };
+        let mut sink = ProfilerSink::new(small_catalog(), options);
+        for i in 0..7 {
+            sink.record(&event(0, 1, i * 10, 5));
+        }
+        let profile = sink.finish();
+        assert_eq!(profile.windows.len(), 3);
+        assert_eq!(profile.windows[0].events, 3);
+        assert_eq!(profile.windows[1].events, 3);
+        assert_eq!(profile.windows[2].events, 1);
+    }
+
+    #[test]
+    fn windows_seal_at_span_cap() {
+        let options = ProfilerOptions {
+            window_max_span: SimDuration::from_micros(100),
+            ..ProfilerOptions::default()
+        };
+        let mut sink = ProfilerSink::new(small_catalog(), options);
+        sink.record(&event(0, 1, 0, 5));
+        sink.record(&event(0, 1, 50, 5));
+        sink.record(&event(0, 2, 200, 5)); // beyond 100us from window start
+        let profile = sink.finish();
+        assert_eq!(profile.windows.len(), 2);
+        assert_eq!(profile.windows[0].events, 2);
+        assert_eq!(profile.windows[1].first_step, 2);
+    }
+
+    #[test]
+    fn window_indices_are_sequential() {
+        let options = ProfilerOptions {
+            window_max_events: 2,
+            ..ProfilerOptions::default()
+        };
+        let mut sink = ProfilerSink::new(small_catalog(), options);
+        for i in 0..6 {
+            sink.record(&event(0, 1, i, 1));
+        }
+        let profile = sink.finish();
+        let indices: Vec<u64> = profile.windows.iter().map(|w| w.index).collect();
+        assert_eq!(indices, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn full_job_profile_has_all_steps_and_marks() {
+        let job = TrainingJob::new(JobConfig::demo());
+        let mut sink = ProfilerSink::new(job.catalog().clone(), ProfilerOptions::default());
+        sink.set_source(&job.config().model, &job.config().dataset.name);
+        let report = job.run(&mut sink);
+        let profile = sink.finish();
+        assert_eq!(profile.step_marks.len() as u64, report.steps_completed);
+        // Host/TPU attribution: fusion runs on the TPU, decode on the host.
+        let fusion = profile.op_id("fusion").expect("fusion occurred");
+        assert!(!profile.op_on_host[fusion.0 as usize]);
+        let xfer = profile
+            .op_id("TransferBufferToInfeedLocked")
+            .expect("transfer occurred");
+        assert!(profile.op_on_host[xfer.0 as usize]);
+        // init (0) + steps + shutdown record.
+        assert_eq!(profile.steps.len() as u64, report.steps_completed + 2);
+        assert_eq!(profile.model, "demo-mlp");
+        assert_eq!(
+            profile.checkpoints.len(),
+            job.config().checkpoint_plan().len()
+        );
+        // The profiler's steady metrics should be close to the runtime's
+        // ground truth (same definition, same window).
+        let idle = profile.steady_tpu_idle_fraction();
+        assert!((idle - report.tpu_idle_fraction()).abs() < 0.05);
+    }
+
+    #[test]
+    fn store_receives_sealed_records() {
+        let job = TrainingJob::new(JobConfig::demo());
+        let store = Box::new(InMemoryStore::new());
+        let mut sink = ProfilerSink::with_store(
+            job.catalog().clone(),
+            ProfilerOptions {
+                window_max_span: SimDuration::from_millis(50),
+                ..ProfilerOptions::default()
+            },
+            store,
+        );
+        let report = job.run(&mut sink);
+        let profile = sink.finish();
+        assert!(profile.windows.len() > 1, "short windows should seal often");
+        assert_eq!(profile.steps.len() as u64, report.steps_completed + 2);
+    }
+
+    #[test]
+    fn dropped_responses_lose_their_windows_and_events() {
+        let options = ProfilerOptions {
+            window_max_events: 10,
+            drop_probability: 0.5,
+            fault_seed: 3,
+            ..ProfilerOptions::default()
+        };
+        let mut sink = ProfilerSink::new(small_catalog(), options);
+        for i in 0..200 {
+            sink.record(&event(0, 1 + i / 10, i * 5, 2));
+        }
+        let profile = sink.finish();
+        assert!(profile.dropped_windows > 0, "some responses must drop");
+        assert!(profile.lost_events > 0);
+        assert!(
+            profile.windows.len() as u64 + profile.dropped_windows == 20,
+            "{} kept + {} dropped",
+            profile.windows.len(),
+            profile.dropped_windows
+        );
+        let recorded: u64 = profile.steps.iter().map(|r| r.total_invocations()).sum();
+        assert_eq!(recorded + profile.lost_events, 200);
+        assert!(profile.loss_fraction() > 0.0 && profile.loss_fraction() < 1.0);
+    }
+
+    #[test]
+    fn zero_drop_probability_loses_nothing() {
+        let mut sink = ProfilerSink::new(small_catalog(), ProfilerOptions::default());
+        for i in 0..50 {
+            sink.record(&event(0, 1, i, 1));
+        }
+        let profile = sink.finish();
+        assert_eq!(profile.dropped_windows, 0);
+        assert_eq!(profile.lost_events, 0);
+        assert_eq!(profile.loss_fraction(), 0.0);
+    }
+
+    #[test]
+    fn breakpoint_stops_profiling_but_not_training() {
+        let job = TrainingJob::new(JobConfig::demo());
+        let options = ProfilerOptions {
+            breakpoint_step: Some(10),
+            ..ProfilerOptions::default()
+        };
+        let mut sink = ProfilerSink::new(job.catalog().clone(), options);
+        let report = job.run(&mut sink);
+        let profile = sink.finish();
+        // Training ran to completion...
+        assert_eq!(
+            report.steps_completed as usize,
+            job.config().step_plan().len()
+        );
+        // ...but the profile covers only steps up to the breakpoint.
+        let max_marked = profile.step_marks.iter().map(|(s, _)| *s).max().unwrap();
+        assert_eq!(max_marked, 10);
+        assert!(profile.steps.iter().all(|r| r.step <= 11));
+    }
+
+    #[test]
+    fn unstepped_events_land_in_step_zero() {
+        let mut sink = ProfilerSink::new(small_catalog(), ProfilerOptions::default());
+        let mut ev = event(0, 9, 0, 1);
+        ev.step = None;
+        sink.record(&ev);
+        let profile = sink.finish();
+        assert_eq!(profile.steps[0].step, 0);
+    }
+}

@@ -1,0 +1,219 @@
+//! Recording backends for profile records.
+//!
+//! The paper's profiler either buffers records in host memory (optimizer
+//! mode) or has a recording thread persist them to Cloud Storage (analyzer
+//! mode). [`InMemoryStore`] and [`JsonlStore`] are those two backends; the
+//! JSONL files stand in for the Storage Bucket.
+
+use crate::record::StepRecord;
+use crate::window::WindowRecord;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// Destination for sealed profile records.
+pub trait RecordStore {
+    /// Persists one step record.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the backing medium.
+    fn put_step(&mut self, record: &StepRecord) -> io::Result<()>;
+
+    /// Persists one window record.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the backing medium.
+    fn put_window(&mut self, record: &WindowRecord) -> io::Result<()>;
+
+    /// Flushes buffered writes.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the backing medium.
+    fn flush(&mut self) -> io::Result<()>;
+}
+
+/// Buffers records in memory (the profiler's optimizer mode).
+#[derive(Debug, Default)]
+pub struct InMemoryStore {
+    steps: Vec<StepRecord>,
+    windows: Vec<WindowRecord>,
+}
+
+impl InMemoryStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stored step records.
+    pub fn steps(&self) -> &[StepRecord] {
+        &self.steps
+    }
+
+    /// Stored window records.
+    pub fn windows(&self) -> &[WindowRecord] {
+        &self.windows
+    }
+}
+
+impl RecordStore for InMemoryStore {
+    fn put_step(&mut self, record: &StepRecord) -> io::Result<()> {
+        self.steps.push(record.clone());
+        Ok(())
+    }
+
+    fn put_window(&mut self, record: &WindowRecord) -> io::Result<()> {
+        self.windows.push(record.clone());
+        Ok(())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Streams records as JSON lines into `<dir>/steps.jsonl` and
+/// `<dir>/windows.jsonl` (the profiler's analyzer mode).
+#[derive(Debug)]
+pub struct JsonlStore {
+    dir: PathBuf,
+    steps: BufWriter<File>,
+    windows: BufWriter<File>,
+}
+
+impl JsonlStore {
+    /// Creates (or truncates) the record files under `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `dir` cannot be created or the files cannot be
+    /// opened.
+    pub fn create(dir: &Path) -> io::Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        Ok(JsonlStore {
+            dir: dir.to_owned(),
+            steps: BufWriter::new(File::create(dir.join("steps.jsonl"))?),
+            windows: BufWriter::new(File::create(dir.join("windows.jsonl"))?),
+        })
+    }
+
+    /// The directory records are written to.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Reads back all step records from `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on I/O failure or malformed JSON.
+    pub fn load_steps(dir: &Path) -> io::Result<Vec<StepRecord>> {
+        load_jsonl(&dir.join("steps.jsonl"))
+    }
+
+    /// Reads back all window records from `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on I/O failure or malformed JSON.
+    pub fn load_windows(dir: &Path) -> io::Result<Vec<WindowRecord>> {
+        load_jsonl(&dir.join("windows.jsonl"))
+    }
+}
+
+fn load_jsonl<T: serde::de::DeserializeOwned>(path: &Path) -> io::Result<Vec<T>> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut out = Vec::new();
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        out.push(serde_json::from_str(&line).map_err(io::Error::other)?);
+    }
+    Ok(out)
+}
+
+impl RecordStore for JsonlStore {
+    fn put_step(&mut self, record: &StepRecord) -> io::Result<()> {
+        serde_json::to_writer(&mut self.steps, record).map_err(io::Error::other)?;
+        self.steps.write_all(b"\n")
+    }
+
+    fn put_window(&mut self, record: &WindowRecord) -> io::Result<()> {
+        serde_json::to_writer(&mut self.windows, record).map_err(io::Error::other)?;
+        self.windows.write_all(b"\n")
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.steps.flush()?;
+        self.windows.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpupoint_simcore::{OpId, SimDuration, SimTime, Track};
+
+    fn sample_step(step: u64) -> StepRecord {
+        let mut r = StepRecord::new(step);
+        r.absorb(
+            OpId(1),
+            Track::TpuCore(0),
+            SimTime::from_micros(10),
+            SimDuration::from_micros(5),
+            SimDuration::from_micros(2),
+        );
+        r
+    }
+
+    fn sample_window() -> WindowRecord {
+        WindowRecord {
+            index: 0,
+            start: SimTime::from_micros(0),
+            end: SimTime::from_micros(100),
+            events: 3,
+            tpu_busy: SimDuration::from_micros(40),
+            mxu_busy: SimDuration::from_micros(10),
+            first_step: 1,
+            last_step: 2,
+        }
+    }
+
+    #[test]
+    fn in_memory_store_accumulates() {
+        let mut store = InMemoryStore::new();
+        store.put_step(&sample_step(1)).unwrap();
+        store.put_step(&sample_step(2)).unwrap();
+        store.put_window(&sample_window()).unwrap();
+        assert_eq!(store.steps().len(), 2);
+        assert_eq!(store.windows().len(), 1);
+    }
+
+    #[test]
+    fn jsonl_store_round_trips() {
+        let dir = std::env::temp_dir().join(format!("tpupoint-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut store = JsonlStore::create(&dir).unwrap();
+            store.put_step(&sample_step(7)).unwrap();
+            store.put_window(&sample_window()).unwrap();
+            store.flush().unwrap();
+        }
+        let steps = JsonlStore::load_steps(&dir).unwrap();
+        let windows = JsonlStore::load_windows(&dir).unwrap();
+        assert_eq!(steps, vec![sample_step(7)]);
+        assert_eq!(windows, vec![sample_window()]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn loading_missing_dir_errors() {
+        let missing = Path::new("/definitely/not/here");
+        assert!(JsonlStore::load_steps(missing).is_err());
+    }
+}

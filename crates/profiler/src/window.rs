@@ -1,0 +1,97 @@
+//! Profile windows: the 60,000 ms / 1,000,000-event capped responses the
+//! Cloud TPU profiling service returns (Section III-A).
+
+use serde::{Deserialize, Serialize};
+use tpupoint_simcore::{SimDuration, SimTime};
+
+/// Metadata of one sealed profile window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WindowRecord {
+    /// Sequence number of the window within the run.
+    pub index: u64,
+    /// Earliest event start inside the window.
+    pub start: SimTime,
+    /// Latest event end inside the window.
+    pub end: SimTime,
+    /// Events captured.
+    pub events: u64,
+    /// TPU busy time inside the window.
+    pub tpu_busy: SimDuration,
+    /// MXU-active time inside the window.
+    pub mxu_busy: SimDuration,
+    /// Inclusive range of profile steps the window overlaps.
+    pub first_step: u64,
+    /// See `first_step`.
+    pub last_step: u64,
+}
+
+impl WindowRecord {
+    /// Wall span of the window.
+    pub fn span(&self) -> SimDuration {
+        if self.end >= self.start {
+            self.end - self.start
+        } else {
+            SimDuration::ZERO
+        }
+    }
+
+    /// TPU idle fraction over the window — the per-profile idle metadata
+    /// the paper's profiler attaches to each response.
+    pub fn tpu_idle_fraction(&self) -> f64 {
+        let span = self.span().as_micros() as f64;
+        if span <= 0.0 {
+            return 0.0;
+        }
+        (1.0 - self.tpu_busy.as_micros() as f64 / span).clamp(0.0, 1.0)
+    }
+
+    /// MXU utilization over the window.
+    pub fn mxu_utilization(&self) -> f64 {
+        let span = self.span().as_micros() as f64;
+        if span <= 0.0 {
+            return 0.0;
+        }
+        (self.mxu_busy.as_micros() as f64 / span).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window(span_us: u64, busy_us: u64, mxu_us: u64) -> WindowRecord {
+        WindowRecord {
+            index: 0,
+            start: SimTime::from_micros(1_000),
+            end: SimTime::from_micros(1_000 + span_us),
+            events: 10,
+            tpu_busy: SimDuration::from_micros(busy_us),
+            mxu_busy: SimDuration::from_micros(mxu_us),
+            first_step: 1,
+            last_step: 4,
+        }
+    }
+
+    #[test]
+    fn idle_and_mxu_fractions() {
+        let w = window(1_000, 600, 150);
+        assert!((w.tpu_idle_fraction() - 0.4).abs() < 1e-9);
+        assert!((w.mxu_utilization() - 0.15).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fractions_clamp_to_unit_interval() {
+        let w = window(100, 500, 500); // busy exceeds span (overlap artifact)
+        assert_eq!(w.tpu_idle_fraction(), 0.0);
+        assert_eq!(w.mxu_utilization(), 1.0);
+    }
+
+    #[test]
+    fn empty_window_yields_zero_metrics() {
+        let mut w = window(0, 0, 0);
+        w.end = w.start;
+        assert_eq!(w.span(), SimDuration::ZERO);
+        assert_eq!(w.tpu_idle_fraction(), 0.0);
+        assert_eq!(w.mxu_utilization(), 0.0);
+    }
+}

@@ -1,0 +1,439 @@
+//! The host decode/transform stage: the heart of data preparation.
+//!
+//! Models the parallel `tf.data` map stage as a single server whose service
+//! time already accounts for `num_parallel_calls` worker threads (via the
+//! host model's parallel-efficiency curve). Each batch emits the decode op
+//! appropriate to the data kind followed by `host_transform_passes`
+//! transform ops; occasionally a data-dependent *operator substitution*
+//! swaps one transform for a different op, changing the step's operator set
+//! the way ragged real-world inputs do.
+
+use super::tags;
+use crate::config::{DataKind, StepKind};
+use crate::hostops::HostOps;
+use std::rc::Rc;
+use tpupoint_simcore::{
+    trace::TraceEvent, Ctx, OpId, PopOutcome, Process, PushOutcome, QueueId, Signal, SimDuration,
+    Track,
+};
+
+const TAG_WORK_DONE: u64 = 20;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Idle,
+    WaitingItem,
+    Working,
+    Pushing,
+    Done,
+}
+
+/// Pops raw batches, spends the modeled decode+transform time, and pushes
+/// prepared batches into the prefetch queue.
+#[derive(Debug)]
+pub struct DecodeStage {
+    raw_q: QueueId,
+    prefetch_q: QueueId,
+    kind: DataKind,
+    ops: HostOps,
+    decode_dur: SimDuration,
+    pass_dur: SimDuration,
+    passes: u32,
+    substitution_prob: f64,
+    jitter_sigma: f64,
+    /// Batches per pass over the dataset.
+    epoch_steps: u64,
+    /// Iterator-restart stall paid at each epoch boundary.
+    epoch_stall: SimDuration,
+    /// The step plan; evaluation batches skip augmentation and cost a
+    /// fraction of a training batch on the host.
+    plan: Rc<Vec<StepKind>>,
+    state: State,
+    current: u64,
+}
+
+/// Host-cost multiplier for evaluation batches (no augmentation, no
+/// shuffling).
+const EVAL_HOST_FACTOR: f64 = 0.3;
+
+impl DecodeStage {
+    /// Creates the stage.
+    ///
+    /// `decode_dur` and `pass_dur` are the per-batch durations of the
+    /// decode op and of each transform pass, already adjusted for thread
+    /// count and profiling overhead.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        raw_q: QueueId,
+        prefetch_q: QueueId,
+        kind: DataKind,
+        ops: HostOps,
+        decode_dur: SimDuration,
+        pass_dur: SimDuration,
+        passes: u32,
+        substitution_prob: f64,
+        jitter_sigma: f64,
+        epoch_steps: u64,
+        epoch_stall: SimDuration,
+        plan: Rc<Vec<StepKind>>,
+    ) -> Self {
+        DecodeStage {
+            raw_q,
+            prefetch_q,
+            kind,
+            ops,
+            decode_dur,
+            pass_dur,
+            passes,
+            substitution_prob,
+            jitter_sigma,
+            epoch_steps: epoch_steps.max(1),
+            epoch_stall,
+            plan,
+            state: State::Idle,
+            current: 0,
+        }
+    }
+
+    /// The decode op plus the roster of transform-pass ops for a data kind.
+    fn op_roster(&self) -> (OpId, [OpId; 6]) {
+        match self.kind {
+            DataKind::Image => (
+                self.ops.decode_jpeg,
+                [
+                    self.ops.resize_bicubic,
+                    self.ops.cast,
+                    self.ops.sub,
+                    self.ops.maximum,
+                    self.ops.minimum,
+                    self.ops.cast,
+                ],
+            ),
+            DataKind::Text => (
+                self.ops.cast,
+                [
+                    self.ops.sub,
+                    self.ops.maximum,
+                    self.ops.minimum,
+                    self.ops.cast,
+                    self.ops.sub,
+                    self.ops.maximum,
+                ],
+            ),
+            DataKind::ImageDetection => (
+                self.ops.decode_jpeg,
+                [
+                    self.ops.resize_bicubic,
+                    self.ops.build_padded_output,
+                    self.ops.cast,
+                    self.ops.sub,
+                    self.ops.maximum,
+                    self.ops.minimum,
+                ],
+            ),
+        }
+    }
+
+    fn take_next(&mut self, ctx: &mut Ctx<'_>) {
+        match ctx.try_pop(self.raw_q) {
+            PopOutcome::Item(batch) => self.work_on(batch, ctx),
+            PopOutcome::WouldBlock => self.state = State::WaitingItem,
+            PopOutcome::Closed => {
+                ctx.close_queue(self.prefetch_q);
+                self.state = State::Done;
+            }
+        }
+    }
+
+    fn work_on(&mut self, batch: u64, ctx: &mut Ctx<'_>) {
+        self.current = batch;
+        let step = Some(batch + 1);
+        let (decode_op, roster) = self.op_roster();
+        // Graded, data-dependent operator substitutions: real pipelines
+        // occasionally take different code paths (ragged records, retry
+        // reads). A light substitution swaps one pass op; heavier ones
+        // swap two or three ops, so consecutive-step similarities land at
+        // roughly (n-1)/n, (n-2)/n, and (n-3)/n — spreading OLS phase
+        // breaks across the high-threshold region of Figure 6.
+        let light = ctx.rng().chance(self.substitution_prob);
+        let heavy = light && ctx.rng().chance(0.35);
+        let heavier = heavy && ctx.rng().chance(0.35);
+        let mut t = ctx.now();
+
+        // Epoch boundary: the input iterator restarts and the shuffle
+        // buffer refills before this batch can decode.
+        if batch > 0 && batch.is_multiple_of(self.epoch_steps) && !self.epoch_stall.is_zero() {
+            let stall = self
+                .epoch_stall
+                .mul_f64(ctx.rng().lognormal_jitter(self.jitter_sigma));
+            ctx.emit(TraceEvent {
+                op: self.ops.iterator_get_next,
+                track: Track::Host,
+                start: t,
+                dur: stall,
+                mxu_dur: SimDuration::ZERO,
+                step,
+            });
+            t += stall;
+        }
+
+        let eval_factor = match self.plan.get(batch as usize) {
+            Some(StepKind::Eval) => EVAL_HOST_FACTOR,
+            _ => 1.0,
+        };
+        let decode_emit = if heavier {
+            self.ops.get_next_as_optional
+        } else {
+            decode_op
+        };
+        let d = self
+            .decode_dur
+            .mul_f64(eval_factor * ctx.rng().lognormal_jitter(self.jitter_sigma));
+        ctx.emit(TraceEvent {
+            op: decode_emit,
+            track: Track::Host,
+            start: t,
+            dur: d,
+            mxu_dur: SimDuration::ZERO,
+            step,
+        });
+        t += d;
+
+        for i in 0..self.passes as usize {
+            let mut op = roster[i % roster.len()];
+            if light && i + 1 == self.passes as usize {
+                op = self.ops.lsra;
+            }
+            if heavy && i == 0 {
+                op = self.ops.iterator_get_next;
+            }
+            let d = self
+                .pass_dur
+                .mul_f64(eval_factor * ctx.rng().lognormal_jitter(self.jitter_sigma));
+            ctx.emit(TraceEvent {
+                op,
+                track: Track::Host,
+                start: t,
+                dur: d,
+                mxu_dur: SimDuration::ZERO,
+                step,
+            });
+            t += d;
+        }
+        ctx.schedule_in(t - ctx.now(), TAG_WORK_DONE);
+        self.state = State::Working;
+    }
+
+    fn push_out(&mut self, ctx: &mut Ctx<'_>) {
+        match ctx.try_push(self.prefetch_q, self.current) {
+            PushOutcome::Stored => self.take_next(ctx),
+            PushOutcome::WouldBlock => self.state = State::Pushing,
+        }
+    }
+}
+
+impl Process for DecodeStage {
+    fn on_signal(&mut self, sig: Signal, ctx: &mut Ctx<'_>) {
+        match (self.state, sig) {
+            (State::Idle, Signal::Poke(tags::START)) => self.take_next(ctx),
+            (State::WaitingItem, Signal::QueueReady(q)) if q == self.raw_q => self.take_next(ctx),
+            (State::Working, Signal::Timer(TAG_WORK_DONE)) => self.push_out(ctx),
+            (State::Pushing, Signal::QueueReady(q)) if q == self.prefetch_q => self.push_out(ctx),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpupoint_simcore::trace::{OpCatalog, VecSink};
+    use tpupoint_simcore::{Engine, ProcessId};
+
+    struct Feeder {
+        raw_q: QueueId,
+        n: u64,
+        target: ProcessId,
+    }
+    impl Process for Feeder {
+        fn on_signal(&mut self, _sig: Signal, ctx: &mut Ctx<'_>) {
+            for b in 0..self.n {
+                assert_eq!(ctx.try_push(self.raw_q, b), PushOutcome::Stored);
+            }
+            ctx.close_queue(self.raw_q);
+            ctx.wake(self.target, tags::START);
+        }
+    }
+
+    fn run_stage(kind: DataKind, n: u64, passes: u32, sub_prob: f64) -> (VecSink, OpCatalog) {
+        let mut engine = Engine::new(11);
+        let raw_q = engine.create_queue(64);
+        let prefetch_q = engine.create_queue(64);
+        let mut catalog = OpCatalog::new();
+        let ops = HostOps::intern(&mut catalog);
+        let stage = engine.add_process(Box::new(DecodeStage::new(
+            raw_q,
+            prefetch_q,
+            kind,
+            ops,
+            SimDuration::from_millis(5),
+            SimDuration::from_millis(1),
+            passes,
+            sub_prob,
+            0.0,
+            u64::MAX,
+            SimDuration::ZERO,
+            std::rc::Rc::new(vec![crate::config::StepKind::Train; n as usize]),
+        )));
+        let feeder = engine.add_process(Box::new(Feeder {
+            raw_q,
+            n,
+            target: stage,
+        }));
+        engine.start(feeder);
+        let mut sink = VecSink::new();
+        engine.run(&mut sink);
+        (sink, catalog)
+    }
+
+    #[test]
+    fn emits_decode_plus_passes_per_batch() {
+        let (sink, _) = run_stage(DataKind::Image, 3, 2, 0.0);
+        // 3 batches x (1 decode + 2 passes).
+        assert_eq!(sink.events.len(), 9);
+    }
+
+    #[test]
+    fn image_batches_lead_with_jpeg_decode() {
+        let (sink, catalog) = run_stage(DataKind::Image, 1, 2, 0.0);
+        assert_eq!(catalog.name(sink.events[0].op), "DecodeAndCropJpeg");
+        assert_eq!(catalog.name(sink.events[1].op), "ResizeBicubic");
+    }
+
+    #[test]
+    fn detection_batches_build_padded_outputs() {
+        let (sink, catalog) = run_stage(DataKind::ImageDetection, 1, 3, 0.0);
+        let names: Vec<_> = sink.events.iter().map(|e| catalog.name(e.op)).collect();
+        assert!(names.contains(&"BuildPaddedOutput"));
+    }
+
+    #[test]
+    fn text_batches_skip_image_ops() {
+        let (sink, catalog) = run_stage(DataKind::Text, 2, 3, 0.0);
+        for ev in &sink.events {
+            let name = catalog.name(ev.op);
+            assert_ne!(name, "DecodeAndCropJpeg");
+            assert_ne!(name, "ResizeBicubic");
+        }
+    }
+
+    #[test]
+    fn substitution_swaps_the_final_pass() {
+        let (sink, catalog) = run_stage(DataKind::Text, 50, 2, 1.0);
+        // With probability 1.0 every batch's last pass becomes LSRAv2.
+        let lsra = sink
+            .events
+            .iter()
+            .filter(|e| catalog.name(e.op) == "LSRAv2")
+            .count();
+        assert_eq!(lsra, 50);
+    }
+
+    #[test]
+    fn no_substitution_without_probability() {
+        let (sink, catalog) = run_stage(DataKind::Text, 50, 2, 0.0);
+        assert!(!sink.events.iter().any(|e| catalog.name(e.op) == "LSRAv2"));
+    }
+
+    #[test]
+    fn epoch_boundaries_pay_the_iterator_restart_stall() {
+        let mut engine = Engine::new(4);
+        let raw_q = engine.create_queue(64);
+        let prefetch_q = engine.create_queue(64);
+        let mut catalog = OpCatalog::new();
+        let ops = HostOps::intern(&mut catalog);
+        // Epoch every 3 batches; stall of 5ms.
+        let stage = engine.add_process(Box::new(DecodeStage::new(
+            raw_q,
+            prefetch_q,
+            DataKind::Text,
+            ops,
+            SimDuration::from_millis(1),
+            SimDuration::from_micros(100),
+            1,
+            0.0,
+            0.0,
+            3,
+            SimDuration::from_millis(5),
+            std::rc::Rc::new(vec![crate::config::StepKind::Train; 8]),
+        )));
+        let feeder = engine.add_process(Box::new(Feeder {
+            raw_q,
+            n: 8,
+            target: stage,
+        }));
+        engine.start(feeder);
+        let mut sink = VecSink::new();
+        engine.run(&mut sink);
+        // Batches 3 and 6 cross epoch boundaries → 2 IteratorGetNext
+        // stall events of 5ms each.
+        let stalls: Vec<_> = sink
+            .events
+            .iter()
+            .filter(|e| catalog.name(e.op) == "IteratorGetNext")
+            .collect();
+        assert_eq!(stalls.len(), 2);
+        assert!(stalls.iter().all(|e| e.dur.as_micros() == 5_000));
+        assert_eq!(stalls[0].step, Some(4)); // batch index 3 → step 4
+        assert_eq!(stalls[1].step, Some(7));
+    }
+
+    #[test]
+    fn eval_batches_cost_a_fraction_of_train_batches() {
+        let mut engine = Engine::new(4);
+        let raw_q = engine.create_queue(64);
+        let prefetch_q = engine.create_queue(64);
+        let mut catalog = OpCatalog::new();
+        let ops = HostOps::intern(&mut catalog);
+        use crate::config::StepKind::{Eval, Train};
+        let stage = engine.add_process(Box::new(DecodeStage::new(
+            raw_q,
+            prefetch_q,
+            DataKind::Text,
+            ops,
+            SimDuration::from_millis(10),
+            SimDuration::from_millis(1),
+            1,
+            0.0,
+            0.0,
+            u64::MAX,
+            SimDuration::ZERO,
+            std::rc::Rc::new(vec![Train, Eval]),
+        )));
+        let feeder = engine.add_process(Box::new(Feeder {
+            raw_q,
+            n: 2,
+            target: stage,
+        }));
+        engine.start(feeder);
+        let mut sink = VecSink::new();
+        engine.run(&mut sink);
+        let decode_durs: Vec<u64> = sink
+            .events
+            .iter()
+            .filter(|e| catalog.name(e.op) == "Cast")
+            .map(|e| e.dur.as_micros())
+            .collect();
+        // Train decode 10ms; eval decode 3ms (x0.3).
+        assert_eq!(decode_durs[0], 10_000);
+        assert_eq!(decode_durs[1], 3_000);
+    }
+
+    #[test]
+    fn batch_events_are_time_ordered_within_a_batch() {
+        let (sink, _) = run_stage(DataKind::Image, 1, 4, 0.0);
+        for pair in sink.events.windows(2) {
+            assert!(pair[1].start >= pair[0].end());
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! The simulated processes that make up a training session.
+//!
+//! Data flows left to right through bounded queues:
+//!
+//! ```text
+//! StorageReader → raw_q → DecodeStage → prefetch_q → InfeedEngine
+//!     → infeed_q → TpuProc → outfeed_q → OutfeedConsumer
+//! ```
+//!
+//! [`session::SessionProc`] brackets the pipeline with initialization and
+//! shutdown, and services the TPU's checkpoint requests.
+
+pub mod decode;
+pub mod infeed;
+pub mod outfeed;
+pub mod session;
+pub mod storage;
+pub mod tpu;
+
+/// Poke tags exchanged between actors.
+pub mod tags {
+    /// Session → pipeline actors: begin work.
+    pub const START: u64 = 1;
+    /// Session → TPU: checkpoint finished, continue stepping.
+    pub const RESUME: u64 = 2;
+    /// TPU → session: all steps done, tear the system down.
+    pub const SHUTDOWN: u64 = u64::MAX;
+    /// TPU → session: checkpoint request; the low bits carry the profile
+    /// step number.
+    pub const CHECKPOINT_BASE: u64 = 1 << 32;
+}
+
+use tpupoint_simcore::{OpId, SimDuration};
+
+/// One operation of a compiled TPU step: interned name plus modeled
+/// durations.
+#[derive(Debug, Clone, Copy)]
+pub struct StepOp {
+    /// Interned profile name.
+    pub op: OpId,
+    /// Wall duration before jitter.
+    pub dur: SimDuration,
+    /// MXU-busy portion of `dur`.
+    pub mxu: SimDuration,
+}
+
+/// A graph lowered to a flat schedule of timed operations.
+#[derive(Debug, Clone, Default)]
+pub struct StepCosts {
+    /// Operations in execution order.
+    pub ops: Vec<StepOp>,
+    /// Sum of all op durations.
+    pub total: SimDuration,
+}
+
+impl StepCosts {
+    /// Builds the schedule from timed ops.
+    pub fn new(ops: Vec<StepOp>) -> Self {
+        let total = ops.iter().map(|o| o.dur).sum();
+        StepCosts { ops, total }
+    }
+}

@@ -1,0 +1,215 @@
+//! The outfeed consumer: host side of the TPU→host result path.
+//!
+//! `OutfeedDequeueTuple` is emitted with a duration that includes the time
+//! the host spent *waiting* for the TPU to produce results — the reason it
+//! is the single most frequent top host operator in the paper's Table II.
+
+use super::tags;
+use crate::hostops::HostOps;
+use tpupoint_simcore::{
+    trace::TraceEvent, Ctx, PopOutcome, Process, QueueId, Signal, SimDuration, SimTime, Track,
+};
+
+const TAG_PROCESSED: u64 = 50;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Idle,
+    Waiting,
+    Processing,
+    Done,
+}
+
+/// Pops loop-boundary result tokens from the outfeed queue and performs the
+/// host-side bookkeeping for each chunk (`RunGraph`, `Send`, `Recv`).
+#[derive(Debug)]
+pub struct OutfeedConsumer {
+    outfeed_q: QueueId,
+    ops: HostOps,
+    run_graph_dur: SimDuration,
+    rpc_dur: SimDuration,
+    jitter_sigma: f64,
+    state: State,
+    wait_started: Option<SimTime>,
+}
+
+impl OutfeedConsumer {
+    /// Creates the consumer; `run_graph_dur` is the host dispatch cost per
+    /// loop chunk, `rpc_dur` the cost of each gRPC leg.
+    pub fn new(
+        outfeed_q: QueueId,
+        ops: HostOps,
+        run_graph_dur: SimDuration,
+        rpc_dur: SimDuration,
+        jitter_sigma: f64,
+    ) -> Self {
+        OutfeedConsumer {
+            outfeed_q,
+            ops,
+            run_graph_dur,
+            rpc_dur,
+            jitter_sigma,
+            state: State::Idle,
+            wait_started: None,
+        }
+    }
+
+    fn take_next(&mut self, ctx: &mut Ctx<'_>) {
+        if self.wait_started.is_none() {
+            self.wait_started = Some(ctx.now());
+        }
+        match ctx.try_pop(self.outfeed_q) {
+            PopOutcome::Item(step) => self.process(step, ctx),
+            PopOutcome::WouldBlock => self.state = State::Waiting,
+            PopOutcome::Closed => self.state = State::Done,
+        }
+    }
+
+    fn process(&mut self, step: u64, ctx: &mut Ctx<'_>) {
+        let started = self.wait_started.take().expect("wait start recorded");
+        let step = Some(step);
+        // Dequeue op: waiting time plus a small copy cost.
+        let copy =
+            SimDuration::from_micros(150).mul_f64(ctx.rng().lognormal_jitter(self.jitter_sigma));
+        let deq_dur = (ctx.now() - started) + copy;
+        ctx.emit(TraceEvent {
+            op: self.ops.outfeed_dequeue,
+            track: Track::Host,
+            start: started,
+            dur: deq_dur,
+            mxu_dur: SimDuration::ZERO,
+            step,
+        });
+        let mut t = ctx.now() + copy;
+        for (op, dur) in [
+            (self.ops.run_graph, self.run_graph_dur),
+            (self.ops.send, self.rpc_dur),
+            (self.ops.recv, self.rpc_dur),
+        ] {
+            let dur = dur.mul_f64(ctx.rng().lognormal_jitter(self.jitter_sigma));
+            ctx.emit(TraceEvent {
+                op,
+                track: Track::Host,
+                start: t,
+                dur,
+                mxu_dur: SimDuration::ZERO,
+                step,
+            });
+            t += dur;
+        }
+        ctx.schedule_in(t - ctx.now(), TAG_PROCESSED);
+        self.state = State::Processing;
+    }
+}
+
+impl Process for OutfeedConsumer {
+    fn on_signal(&mut self, sig: Signal, ctx: &mut Ctx<'_>) {
+        match (self.state, sig) {
+            (State::Idle, Signal::Poke(tags::START)) => self.take_next(ctx),
+            (State::Waiting, Signal::QueueReady(q)) if q == self.outfeed_q => self.take_next(ctx),
+            (State::Processing, Signal::Timer(TAG_PROCESSED)) => self.take_next(ctx),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpupoint_simcore::trace::{OpCatalog, VecSink};
+    use tpupoint_simcore::{Engine, ProcessId, PushOutcome, SimDuration};
+
+    /// Pushes chunk tokens with a gap, then closes.
+    struct SlowProducer {
+        q: QueueId,
+        n: u64,
+        gap: SimDuration,
+        sent: u64,
+        target: ProcessId,
+        kicked: bool,
+    }
+    impl Process for SlowProducer {
+        fn on_signal(&mut self, _sig: Signal, ctx: &mut Ctx<'_>) {
+            if !self.kicked {
+                self.kicked = true;
+                ctx.wake(self.target, tags::START);
+            }
+            if self.sent == self.n {
+                ctx.close_queue(self.q);
+                return;
+            }
+            assert_eq!(ctx.try_push(self.q, self.sent + 1), PushOutcome::Stored);
+            self.sent += 1;
+            ctx.schedule_in(self.gap, 0);
+        }
+    }
+
+    fn run_consumer(n: u64, gap_ms: u64) -> (VecSink, OpCatalog) {
+        let mut engine = Engine::new(8);
+        let q = engine.create_queue(16);
+        let mut catalog = OpCatalog::new();
+        let ops = HostOps::intern(&mut catalog);
+        let consumer = engine.add_process(Box::new(OutfeedConsumer::new(
+            q,
+            ops,
+            SimDuration::from_millis(1),
+            SimDuration::from_micros(200),
+            0.0,
+        )));
+        let producer = engine.add_process(Box::new(SlowProducer {
+            q,
+            n,
+            gap: SimDuration::from_millis(gap_ms),
+            sent: 0,
+            target: consumer,
+            kicked: false,
+        }));
+        engine.start(producer);
+        let mut sink = VecSink::new();
+        engine.run(&mut sink);
+        (sink, catalog)
+    }
+
+    #[test]
+    fn each_chunk_produces_the_host_quartet() {
+        let (sink, catalog) = run_consumer(3, 0);
+        let count = |name: &str| {
+            sink.events
+                .iter()
+                .filter(|e| catalog.name(e.op) == name)
+                .count()
+        };
+        assert_eq!(count("OutfeedDequeueTuple"), 3);
+        assert_eq!(count("RunGraph"), 3);
+        assert_eq!(count("Send"), 3);
+        assert_eq!(count("Recv"), 3);
+    }
+
+    #[test]
+    fn dequeue_duration_absorbs_waiting() {
+        // Producer emits every 50ms; consumer processes in ~1.4ms, so each
+        // dequeue waits ~48ms.
+        let (sink, catalog) = run_consumer(3, 50);
+        let waits: Vec<u64> = sink
+            .events
+            .iter()
+            .filter(|e| catalog.name(e.op) == "OutfeedDequeueTuple")
+            .map(|e| e.dur.as_micros())
+            .collect();
+        assert!(
+            waits.iter().skip(1).all(|&w| w > 40_000),
+            "dequeues should absorb producer gaps: {waits:?}"
+        );
+    }
+
+    #[test]
+    fn immediate_items_cost_only_copy_time() {
+        let (sink, catalog) = run_consumer(2, 0);
+        let first = sink
+            .events
+            .iter()
+            .find(|e| catalog.name(e.op) == "OutfeedDequeueTuple")
+            .expect("dequeue present");
+        assert!(first.dur.as_micros() <= 200);
+    }
+}

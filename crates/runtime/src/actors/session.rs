@@ -1,0 +1,297 @@
+//! The session manager: initialization, checkpoint service, shutdown.
+//!
+//! Plays the role of the TensorFlow client/master: it brings the TPU system
+//! up (`InitializeHostForDistributedTpu`, `RestoreV2`, XLA compile /
+//! `StartProgram`), then starts the pipeline actors; during training it
+//! services the TPU's checkpoint requests (`SaveV2` to cloud storage); at
+//! the end it tears the system down.
+
+use super::tags;
+use crate::hostops::HostOps;
+use crate::metrics::SharedMetrics;
+use tpupoint_simcore::{
+    trace::TraceEvent, Ctx, Process, ProcessId, Signal, SimDuration, SimTime, Track,
+};
+
+const TAG_INIT_DONE: u64 = 60;
+const TAG_CKPT_DONE: u64 = 61;
+const TAG_END: u64 = 62;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Boot,
+    Initializing,
+    Serving,
+    Checkpointing,
+    ShuttingDown,
+    Ended,
+}
+
+/// The session actor. Construct it *after* reserving its id via
+/// [`tpupoint_simcore::Engine::next_process_id`] so the TPU actor can be
+/// given the session's id first.
+#[derive(Debug)]
+pub struct SessionProc {
+    metrics: SharedMetrics,
+    ops: HostOps,
+    /// Actors to poke once initialization completes.
+    pipeline: Vec<ProcessId>,
+    /// The TPU actor, poked with `RESUME` after each checkpoint.
+    tpu: ProcessId,
+    init_dur: SimDuration,
+    restore_dur: SimDuration,
+    compile_dur: SimDuration,
+    save_dur: SimDuration,
+    /// Profile step assigned to shutdown events.
+    final_step: u64,
+    jitter_sigma: f64,
+    state: State,
+    pending_ckpt_step: u64,
+}
+
+impl SessionProc {
+    /// Creates the session manager.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        metrics: SharedMetrics,
+        ops: HostOps,
+        pipeline: Vec<ProcessId>,
+        tpu: ProcessId,
+        init_dur: SimDuration,
+        restore_dur: SimDuration,
+        compile_dur: SimDuration,
+        save_dur: SimDuration,
+        final_step: u64,
+        jitter_sigma: f64,
+    ) -> Self {
+        SessionProc {
+            metrics,
+            ops,
+            pipeline,
+            tpu,
+            init_dur,
+            restore_dur,
+            compile_dur,
+            save_dur,
+            final_step,
+            jitter_sigma,
+            state: State::Boot,
+            pending_ckpt_step: 0,
+        }
+    }
+
+    fn emit_host(
+        &self,
+        ctx: &mut Ctx<'_>,
+        op: tpupoint_simcore::OpId,
+        start: SimTime,
+        dur: SimDuration,
+        step: u64,
+    ) -> SimTime {
+        ctx.emit(TraceEvent {
+            op,
+            track: Track::Host,
+            start,
+            dur,
+            mxu_dur: SimDuration::ZERO,
+            step: Some(step),
+        });
+        start + dur
+    }
+
+    fn initialize(&mut self, ctx: &mut Ctx<'_>) {
+        let j =
+            |ctx: &mut Ctx<'_>, d: SimDuration, s: f64| d.mul_f64(ctx.rng().lognormal_jitter(s));
+        let sigma = self.jitter_sigma;
+        let mut t = ctx.now();
+        let init = j(ctx, self.init_dur, sigma);
+        t = self.emit_host(ctx, self.ops.init_tpu, t, init, 0);
+        let restore = j(ctx, self.restore_dur, sigma);
+        t = self.emit_host(ctx, self.ops.restore, t, restore, 0);
+        let compile = j(ctx, self.compile_dur, sigma);
+        t = self.emit_host(ctx, self.ops.start_program, t, compile, 0);
+        ctx.schedule_in(t - ctx.now(), TAG_INIT_DONE);
+        self.state = State::Initializing;
+    }
+
+    fn start_pipeline(&mut self, ctx: &mut Ctx<'_>) {
+        for &pid in &self.pipeline {
+            ctx.wake(pid, tags::START);
+        }
+        self.state = State::Serving;
+    }
+
+    fn checkpoint(&mut self, step: u64, ctx: &mut Ctx<'_>) {
+        self.pending_ckpt_step = step;
+        let dur = self
+            .save_dur
+            .mul_f64(ctx.rng().lognormal_jitter(self.jitter_sigma));
+        self.emit_host(ctx, self.ops.save, ctx.now(), dur, step);
+        ctx.mark_checkpoint(step);
+        self.metrics
+            .borrow_mut()
+            .checkpoints
+            .push((step, ctx.now()));
+        ctx.schedule_in(dur, TAG_CKPT_DONE);
+        self.state = State::Checkpointing;
+    }
+
+    fn shutdown(&mut self, ctx: &mut Ctx<'_>) {
+        let dur =
+            SimDuration::from_millis(800).mul_f64(ctx.rng().lognormal_jitter(self.jitter_sigma));
+        self.emit_host(ctx, self.ops.disconnect, ctx.now(), dur, self.final_step);
+        ctx.schedule_in(dur, TAG_END);
+        self.state = State::ShuttingDown;
+    }
+}
+
+impl Process for SessionProc {
+    fn on_signal(&mut self, sig: Signal, ctx: &mut Ctx<'_>) {
+        match (self.state, sig) {
+            (State::Boot, Signal::Start) => self.initialize(ctx),
+            (State::Initializing, Signal::Timer(TAG_INIT_DONE)) => self.start_pipeline(ctx),
+            (State::Serving, Signal::Poke(tag)) if tag == tags::SHUTDOWN => self.shutdown(ctx),
+            (State::Serving, Signal::Poke(tag)) if tag >= tags::CHECKPOINT_BASE => {
+                self.checkpoint(tag - tags::CHECKPOINT_BASE, ctx)
+            }
+            (State::Checkpointing, Signal::Timer(TAG_CKPT_DONE)) => {
+                ctx.wake(self.tpu, tags::RESUME);
+                self.state = State::Serving;
+            }
+            (State::ShuttingDown, Signal::Timer(TAG_END)) => {
+                self.metrics.borrow_mut().session_end = Some(ctx.now());
+                self.state = State::Ended;
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::shared_metrics;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    use tpupoint_simcore::trace::{OpCatalog, VecSink};
+    use tpupoint_simcore::Engine;
+
+    /// Records pokes it receives and immediately asks for one checkpoint,
+    /// then shutdown.
+    struct FakeTpu {
+        session: Rc<RefCell<Option<ProcessId>>>,
+        log: Rc<RefCell<Vec<u64>>>,
+        asked_ckpt: bool,
+    }
+    impl Process for FakeTpu {
+        fn on_signal(&mut self, sig: Signal, ctx: &mut Ctx<'_>) {
+            if let Signal::Poke(tag) = sig {
+                self.log.borrow_mut().push(tag);
+                let session = self.session.borrow().expect("session id set");
+                if tag == tags::START && !self.asked_ckpt {
+                    self.asked_ckpt = true;
+                    ctx.wake(session, tags::CHECKPOINT_BASE + 7);
+                } else if tag == tags::RESUME {
+                    ctx.wake(session, tags::SHUTDOWN);
+                }
+            }
+        }
+    }
+
+    fn run_session() -> (VecSink, OpCatalog, Vec<u64>, SharedMetrics) {
+        let mut engine = Engine::new(1);
+        let mut catalog = OpCatalog::new();
+        let ops = HostOps::intern(&mut catalog);
+        let metrics = shared_metrics();
+        let session_cell = Rc::new(RefCell::new(None));
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let tpu = engine.add_process(Box::new(FakeTpu {
+            session: session_cell.clone(),
+            log: log.clone(),
+            asked_ckpt: false,
+        }));
+        let session = engine.add_process(Box::new(SessionProc::new(
+            metrics.clone(),
+            ops,
+            vec![tpu],
+            tpu,
+            SimDuration::from_secs(2),
+            SimDuration::from_millis(500),
+            SimDuration::from_secs(10),
+            SimDuration::from_millis(300),
+            99,
+            0.0,
+        )));
+        *session_cell.borrow_mut() = Some(session);
+        engine.start(session);
+        let mut sink = VecSink::new();
+        engine.run(&mut sink);
+        let pokes = log.borrow().clone();
+        (sink, catalog, pokes, metrics)
+    }
+
+    #[test]
+    fn init_sequence_precedes_pipeline_start() {
+        let (sink, catalog, log, _) = run_session();
+        let names: Vec<_> = sink.events.iter().map(|e| catalog.name(e.op)).collect();
+        let init_pos = names
+            .iter()
+            .position(|n| *n == "InitializeHostForDistributedTpu")
+            .expect("init emitted");
+        let restore_pos = names
+            .iter()
+            .position(|n| *n == "RestoreV2")
+            .expect("restore");
+        let compile_pos = names
+            .iter()
+            .position(|n| *n == "StartProgram")
+            .expect("compile");
+        assert!(init_pos < restore_pos && restore_pos < compile_pos);
+        assert_eq!(log.first(), Some(&tags::START));
+        // Pipeline started only after 12.5s of init work.
+        let init_total: u64 = 2_000_000 + 500_000 + 10_000_000;
+        assert!(sink.events[0].start.as_micros() == 0);
+        let start_poke_time = init_total;
+        let _ = start_poke_time;
+    }
+
+    #[test]
+    fn checkpoint_saves_then_resumes() {
+        let (sink, catalog, log, metrics) = run_session();
+        assert!(sink
+            .events
+            .iter()
+            .any(|e| catalog.name(e.op) == "SaveV2" && e.step == Some(7)));
+        assert!(log.contains(&tags::RESUME));
+        assert_eq!(metrics.borrow().checkpoints.len(), 1);
+        assert_eq!(sink.checkpoints.len(), 1);
+        assert_eq!(sink.checkpoints[0].0, 7);
+    }
+
+    #[test]
+    fn shutdown_records_session_end() {
+        let (sink, catalog, _, metrics) = run_session();
+        let disconnect = sink
+            .events
+            .iter()
+            .find(|e| catalog.name(e.op) == "DisconnectHostFromDistributedTPUSystem")
+            .expect("disconnect emitted");
+        assert_eq!(disconnect.step, Some(99));
+        let end = metrics.borrow().session_end.expect("session ended");
+        assert_eq!(end, disconnect.end());
+    }
+
+    #[test]
+    fn init_events_carry_step_zero() {
+        let (sink, catalog, _, _) = run_session();
+        for ev in &sink.events {
+            let name = catalog.name(ev.op);
+            if name == "InitializeHostForDistributedTpu"
+                || name == "RestoreV2"
+                || name == "StartProgram"
+            {
+                assert_eq!(ev.step, Some(0), "{name}");
+            }
+        }
+    }
+}

@@ -1,0 +1,441 @@
+//! The TPU actor: executes one graph per step, stalls on infeed,
+//! checkpoints, and loop boundaries.
+
+use super::{tags, StepCosts};
+use crate::config::StepKind;
+use crate::metrics::SharedMetrics;
+use std::collections::HashSet;
+use tpupoint_simcore::{
+    trace::TraceEvent, Ctx, OpId, PopOutcome, Process, ProcessId, PushOutcome, QueueId, Signal,
+    SimDuration, SimTime, Track,
+};
+
+const TAG_STEP_DONE: u64 = 40;
+const TAG_CHUNK_STALL: u64 = 41;
+
+/// Host↔TPU round-trip pause at each `iterations_per_loop` boundary.
+const CHUNK_STALL: SimDuration = SimDuration::from_micros(1_500);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Idle,
+    WaitBatch,
+    Running,
+    PushingOutfeed,
+    ChunkStall,
+    CheckpointStall,
+    Done,
+}
+
+/// Executes the step plan: pops a batch from the infeed queue per step,
+/// "runs" the appropriate graph by emitting its timed ops, pushes results
+/// to the outfeed at loop boundaries, and requests checkpoints from the
+/// session actor.
+#[derive(Debug)]
+pub struct TpuProc {
+    metrics: SharedMetrics,
+    infeed_q: QueueId,
+    outfeed_q: QueueId,
+    session: ProcessId,
+    plan: Vec<StepKind>,
+    checkpoint_after: HashSet<u64>,
+    train_costs: StepCosts,
+    eval_costs: StepCosts,
+    infeed_dequeue_op: OpId,
+    infeed_dequeue_dur: SimDuration,
+    outfeed_enqueue_op: OpId,
+    iterations_per_loop: u64,
+    warmup_steps: u64,
+    jitter_sigma: f64,
+    cur: usize,
+    state: State,
+    step_started: SimTime,
+    step_total: SimDuration,
+}
+
+impl TpuProc {
+    /// Creates the TPU actor.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        metrics: SharedMetrics,
+        infeed_q: QueueId,
+        outfeed_q: QueueId,
+        session: ProcessId,
+        plan: Vec<StepKind>,
+        checkpoint_after: Vec<u64>,
+        train_costs: StepCosts,
+        eval_costs: StepCosts,
+        infeed_dequeue_op: OpId,
+        infeed_dequeue_dur: SimDuration,
+        outfeed_enqueue_op: OpId,
+        iterations_per_loop: u64,
+        warmup_steps: u64,
+        jitter_sigma: f64,
+    ) -> Self {
+        TpuProc {
+            metrics,
+            infeed_q,
+            outfeed_q,
+            session,
+            plan,
+            checkpoint_after: checkpoint_after.into_iter().collect(),
+            train_costs,
+            eval_costs,
+            infeed_dequeue_op,
+            infeed_dequeue_dur,
+            outfeed_enqueue_op,
+            iterations_per_loop: iterations_per_loop.max(1),
+            warmup_steps,
+            jitter_sigma,
+            cur: 0,
+            state: State::Idle,
+            step_started: SimTime::ZERO,
+            step_total: SimDuration::ZERO,
+        }
+    }
+
+    /// 1-based profile step number of the step at plan index `cur`.
+    fn step_no(&self) -> u64 {
+        self.cur as u64 + 1
+    }
+
+    fn try_start_step(&mut self, ctx: &mut Ctx<'_>) {
+        if self.cur == self.plan.len() {
+            self.finish(ctx);
+            return;
+        }
+        match ctx.try_pop(self.infeed_q) {
+            PopOutcome::Item(_) => self.run_step(ctx),
+            PopOutcome::WouldBlock => self.state = State::WaitBatch,
+            PopOutcome::Closed => self.finish(ctx),
+        }
+    }
+
+    /// Extra slowdown for the first steps (cold caches, lazy
+    /// initialization); decays linearly to 1.0 at `warmup_steps`.
+    fn warmup_factor(&self) -> f64 {
+        if (self.cur as u64) < self.warmup_steps {
+            let remaining = (self.warmup_steps - self.cur as u64) as f64;
+            1.0 + 1.5 * remaining / self.warmup_steps as f64
+        } else {
+            1.0
+        }
+    }
+
+    fn run_step(&mut self, ctx: &mut Ctx<'_>) {
+        let step = self.step_no();
+        let kind = self.plan[self.cur];
+        self.step_started = ctx.now();
+        {
+            let mut m = self.metrics.borrow_mut();
+            if m.first_step_start.is_none() {
+                m.first_step_start = Some(ctx.now());
+            }
+        }
+        let warmup = self.warmup_factor();
+        let mut t = ctx.now();
+        let mut busy = SimDuration::ZERO;
+        let mut mxu = SimDuration::ZERO;
+
+        let deq = self
+            .infeed_dequeue_dur
+            .mul_f64(ctx.rng().lognormal_jitter(self.jitter_sigma));
+        ctx.emit(TraceEvent {
+            op: self.infeed_dequeue_op,
+            track: Track::TpuCore(0),
+            start: t,
+            dur: deq,
+            mxu_dur: SimDuration::ZERO,
+            step: Some(step),
+        });
+        t += deq;
+        busy += deq;
+
+        let costs = match kind {
+            StepKind::Train => self.train_costs.clone(),
+            StepKind::Eval => self.eval_costs.clone(),
+        };
+        for op in &costs.ops {
+            let factor = warmup * ctx.rng().lognormal_jitter(self.jitter_sigma);
+            let dur = op.dur.mul_f64(factor);
+            let mxu_dur = op.mxu.mul_f64(factor).min(dur);
+            ctx.emit(TraceEvent {
+                op: op.op,
+                track: Track::TpuCore(0),
+                start: t,
+                dur,
+                mxu_dur,
+                step: Some(step),
+            });
+            t += dur;
+            busy += dur;
+            mxu += mxu_dur;
+        }
+
+        {
+            let mut m = self.metrics.borrow_mut();
+            m.tpu_busy += busy;
+            m.mxu_busy += mxu;
+        }
+        self.step_total = t - ctx.now();
+        ctx.schedule_in(self.step_total, TAG_STEP_DONE);
+        self.state = State::Running;
+    }
+
+    fn step_done(&mut self, ctx: &mut Ctx<'_>) {
+        let step = self.step_no();
+        let kind = self.plan[self.cur];
+        {
+            let mut m = self.metrics.borrow_mut();
+            m.last_step_end = Some(ctx.now());
+            m.steps_completed += 1;
+            if kind == StepKind::Train {
+                m.train_steps_completed += 1;
+            }
+            m.step_walls.push(ctx.now() - self.step_started);
+        }
+        ctx.mark_step(step);
+        let last = self.cur + 1 == self.plan.len();
+        // Checkpoints force a loop boundary too: the host has to dequeue
+        // results and fetch variables before it can write a checkpoint.
+        if step.is_multiple_of(self.iterations_per_loop)
+            || last
+            || self.checkpoint_after.contains(&step)
+        {
+            let dur = SimDuration::from_micros(80);
+            ctx.emit(TraceEvent {
+                op: self.outfeed_enqueue_op,
+                track: Track::TpuCore(0),
+                start: ctx.now(),
+                dur,
+                mxu_dur: SimDuration::ZERO,
+                step: Some(step),
+            });
+            self.push_outfeed(ctx);
+        } else {
+            self.post_step(ctx);
+        }
+    }
+
+    fn push_outfeed(&mut self, ctx: &mut Ctx<'_>) {
+        match ctx.try_push(self.outfeed_q, self.step_no()) {
+            PushOutcome::Stored => self.after_outfeed(ctx),
+            PushOutcome::WouldBlock => self.state = State::PushingOutfeed,
+        }
+    }
+
+    fn after_outfeed(&mut self, ctx: &mut Ctx<'_>) {
+        // Loop boundary: the host re-dispatches the device loop.
+        let last = self.cur + 1 == self.plan.len();
+        if !last {
+            self.state = State::ChunkStall;
+            ctx.schedule_in(CHUNK_STALL, TAG_CHUNK_STALL);
+        } else {
+            self.post_step(ctx);
+        }
+    }
+
+    fn post_step(&mut self, ctx: &mut Ctx<'_>) {
+        let step = self.step_no();
+        self.cur += 1;
+        if self.checkpoint_after.contains(&step) {
+            ctx.wake(self.session, tags::CHECKPOINT_BASE + step);
+            self.state = State::CheckpointStall;
+        } else {
+            self.try_start_step(ctx);
+        }
+    }
+
+    fn finish(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.close_queue(self.outfeed_q);
+        ctx.wake(self.session, tags::SHUTDOWN);
+        self.state = State::Done;
+    }
+}
+
+impl Process for TpuProc {
+    fn on_signal(&mut self, sig: Signal, ctx: &mut Ctx<'_>) {
+        match (self.state, sig) {
+            (State::Idle, Signal::Poke(tags::START)) => self.try_start_step(ctx),
+            (State::WaitBatch, Signal::QueueReady(q)) if q == self.infeed_q => {
+                self.try_start_step(ctx)
+            }
+            (State::Running, Signal::Timer(TAG_STEP_DONE)) => self.step_done(ctx),
+            (State::PushingOutfeed, Signal::QueueReady(q)) if q == self.outfeed_q => {
+                self.push_outfeed(ctx)
+            }
+            (State::ChunkStall, Signal::Timer(TAG_CHUNK_STALL)) => self.post_step(ctx),
+            (State::CheckpointStall, Signal::Poke(tags::RESUME)) => self.try_start_step(ctx),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actors::StepOp;
+    use crate::metrics::shared_metrics;
+    use tpupoint_simcore::trace::{OpAttrs, OpCatalog, VecSink};
+    use tpupoint_simcore::Engine;
+
+    struct Feeder {
+        q: QueueId,
+        n: u64,
+        tpu: ProcessId,
+    }
+    impl Process for Feeder {
+        fn on_signal(&mut self, _sig: Signal, ctx: &mut Ctx<'_>) {
+            for b in 0..self.n {
+                let _ = ctx.try_push(self.q, b);
+            }
+            ctx.wake(self.tpu, tags::START);
+        }
+    }
+
+    /// Session stub that immediately resumes checkpoints and records pokes.
+    struct SessionStub {
+        tpu: std::rc::Rc<std::cell::RefCell<Option<ProcessId>>>,
+        checkpoints: std::rc::Rc<std::cell::RefCell<Vec<u64>>>,
+        shutdowns: std::rc::Rc<std::cell::RefCell<u32>>,
+    }
+    impl Process for SessionStub {
+        fn on_signal(&mut self, sig: Signal, ctx: &mut Ctx<'_>) {
+            if let Signal::Poke(tag) = sig {
+                if tag == tags::SHUTDOWN {
+                    *self.shutdowns.borrow_mut() += 1;
+                } else if tag >= tags::CHECKPOINT_BASE {
+                    self.checkpoints
+                        .borrow_mut()
+                        .push(tag - tags::CHECKPOINT_BASE);
+                    let tpu = self.tpu.borrow().expect("tpu id set before run");
+                    ctx.wake(tpu, tags::RESUME);
+                }
+            }
+        }
+    }
+
+    struct Harness {
+        sink: VecSink,
+        catalog: OpCatalog,
+        metrics: SharedMetrics,
+        checkpoints: Vec<u64>,
+        shutdowns: u32,
+    }
+
+    fn run_tpu(plan: Vec<StepKind>, checkpoints: Vec<u64>, iterations_per_loop: u64) -> Harness {
+        let mut engine = Engine::new(2);
+        let infeed_q = engine.create_queue(1024);
+        let outfeed_q = engine.create_queue(64);
+        let mut catalog = OpCatalog::new();
+        let fusion = catalog.intern("fusion", OpAttrs { uses_mxu: true });
+        let reshape = catalog.intern("Reshape", OpAttrs::default());
+        let deq = catalog.intern("InfeedDequeueTuple", OpAttrs::default());
+        let enq = catalog.intern("OutfeedEnqueueTuple", OpAttrs::default());
+        let train = StepCosts::new(vec![
+            StepOp {
+                op: fusion,
+                dur: SimDuration::from_millis(10),
+                mxu: SimDuration::from_millis(7),
+            },
+            StepOp {
+                op: reshape,
+                dur: SimDuration::from_millis(3),
+                mxu: SimDuration::ZERO,
+            },
+        ]);
+        let eval = StepCosts::new(vec![StepOp {
+            op: fusion,
+            dur: SimDuration::from_millis(4),
+            mxu: SimDuration::from_millis(2),
+        }]);
+        let metrics = shared_metrics();
+        let ckpt_log = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let shutdown_log = std::rc::Rc::new(std::cell::RefCell::new(0));
+        let tpu_cell = std::rc::Rc::new(std::cell::RefCell::new(None));
+        let n = plan.len() as u64;
+        let session = engine.add_process(Box::new(SessionStub {
+            tpu: tpu_cell.clone(),
+            checkpoints: ckpt_log.clone(),
+            shutdowns: shutdown_log.clone(),
+        }));
+        let tpu = engine.add_process(Box::new(TpuProc::new(
+            metrics.clone(),
+            infeed_q,
+            outfeed_q,
+            session,
+            plan,
+            checkpoints,
+            train,
+            eval,
+            deq,
+            SimDuration::from_micros(100),
+            enq,
+            iterations_per_loop,
+            0,
+            0.0,
+        )));
+        *tpu_cell.borrow_mut() = Some(tpu);
+        let feeder = engine.add_process(Box::new(Feeder {
+            q: infeed_q,
+            n,
+            tpu,
+        }));
+        engine.start(feeder);
+        let mut sink = VecSink::new();
+        engine.run(&mut sink);
+        let checkpoints = ckpt_log.borrow().clone();
+        let shutdowns = *shutdown_log.borrow();
+        Harness {
+            sink,
+            catalog,
+            metrics,
+            checkpoints,
+            shutdowns,
+        }
+    }
+
+    #[test]
+    fn steps_execute_and_mark() {
+        let h = run_tpu(vec![StepKind::Train; 5], vec![], 100);
+        assert_eq!(h.metrics.borrow().steps_completed, 5);
+        assert_eq!(h.sink.steps.len(), 5);
+        assert_eq!(h.shutdowns, 1);
+        let _ = &h.catalog;
+    }
+
+    #[test]
+    fn eval_steps_use_eval_costs() {
+        let h = run_tpu(vec![StepKind::Train, StepKind::Eval], vec![], 100);
+        let walls = &h.metrics.borrow().step_walls;
+        assert!(walls[0] > walls[1], "train steps are longer than eval");
+    }
+
+    #[test]
+    fn checkpoints_stall_and_resume() {
+        let h = run_tpu(vec![StepKind::Train; 4], vec![2], 100);
+        assert_eq!(h.checkpoints, vec![2]);
+        assert_eq!(h.metrics.borrow().steps_completed, 4);
+    }
+
+    #[test]
+    fn outfeed_fires_at_loop_boundaries() {
+        let h = run_tpu(vec![StepKind::Train; 6], vec![], 2);
+        let enq = h
+            .sink
+            .events
+            .iter()
+            .filter(|e| h.catalog.name(e.op) == "OutfeedEnqueueTuple")
+            .count();
+        assert_eq!(enq, 3);
+    }
+
+    #[test]
+    fn busy_time_accumulates() {
+        let h = run_tpu(vec![StepKind::Train; 3], vec![], 100);
+        let m = h.metrics.borrow();
+        // 3 steps x (0.1ms dequeue + 13ms ops).
+        assert_eq!(m.tpu_busy.as_micros(), 3 * (100 + 13_000));
+        assert_eq!(m.mxu_busy.as_micros(), 3 * 7_000);
+    }
+}

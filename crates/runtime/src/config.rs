@@ -1,0 +1,392 @@
+//! Job configuration: dataset descriptors, training schedules, and the
+//! complete description of a simulated training session.
+
+use serde::{Deserialize, Serialize};
+use tpupoint_graph::{DType, Graph, GraphBuilder, OpKind, PipelineSpec, Shape};
+use tpupoint_hw::{HostSpec, TpuChipSpec};
+
+/// Broad class of input data; selects which host preprocessing ops appear
+/// in the trace and how expensive decoding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataKind {
+    /// JPEG-like images (decode + resize pipelines).
+    Image,
+    /// Tokenized text (cheap decode, padding/masking transforms).
+    Text,
+    /// Images plus variable-size annotations (detection workloads); adds
+    /// padded-output construction and more op-set variability.
+    ImageDetection,
+}
+
+/// A dataset as the input pipeline sees it: Table I's size columns plus the
+/// per-record characteristics that drive host-side cost.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetSpec {
+    /// Dataset name, e.g. `"ImageNet"`.
+    pub name: String,
+    /// Total stored size in bytes (Table I's "Dataset Size").
+    pub size_bytes: u64,
+    /// Number of training examples.
+    pub num_examples: u64,
+    /// Broad data class.
+    pub kind: DataKind,
+    /// Calibration multiplier on host preparation cost; captures
+    /// per-dataset decode complexity beyond raw byte counts.
+    pub host_cost_factor: f64,
+    /// Fixed per-batch host pipeline work (record parsing, batching,
+    /// padding, session dispatch) in single-thread microseconds; divided
+    /// by the effective worker-thread count. The main calibration lever
+    /// for workloads whose host cost is not byte-proportional.
+    pub host_us_per_batch: f64,
+}
+
+impl DatasetSpec {
+    /// Average stored bytes per record.
+    pub fn record_bytes(&self) -> u64 {
+        (self.size_bytes / self.num_examples.max(1)).max(1)
+    }
+
+    /// Raw bytes the pipeline stages for one batch.
+    pub fn raw_batch_bytes(&self, batch_size: u64) -> u64 {
+        self.record_bytes() * batch_size
+    }
+
+    /// Returns a copy with the stored size (and example count) scaled by
+    /// `factor`, used for the paper's reduced-dataset experiments
+    /// (Figures 12 and 13).
+    pub fn reduced(&self, factor: f64) -> DatasetSpec {
+        assert!(factor > 0.0 && factor <= 1.0, "factor must be in (0, 1]");
+        DatasetSpec {
+            name: format!("{}-reduced", self.name),
+            size_bytes: ((self.size_bytes as f64) * factor) as u64,
+            num_examples: ((self.num_examples as f64) * factor).max(1.0) as u64,
+            ..self.clone()
+        }
+    }
+}
+
+/// What a single profile step executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StepKind {
+    /// A training step (forward + backward + update).
+    Train,
+    /// An evaluation step (forward + metrics).
+    Eval,
+}
+
+/// Complete description of one simulated training session.
+///
+/// Build one from a workload definition (see the `tpupoint-workloads`
+/// crate) or from [`JobConfig::demo`] for tests.
+#[derive(Debug, Clone)]
+pub struct JobConfig {
+    /// Model name (e.g. `"ResNet-50"`).
+    pub model: String,
+    /// Fused training-step graph.
+    pub train_graph: Graph,
+    /// Fused evaluation-step graph.
+    pub eval_graph: Graph,
+    /// Host input pipeline.
+    pub pipeline: PipelineSpec,
+    /// Input dataset.
+    pub dataset: DatasetSpec,
+    /// TPU chip the job runs on.
+    pub chip: TpuChipSpec,
+    /// Host VM.
+    pub host: HostSpec,
+    /// Number of training steps.
+    pub train_steps: u64,
+    /// Steps executed per host↔TPU loop (outfeed cadence).
+    pub iterations_per_loop: u64,
+    /// Run an eval segment after every this many training steps
+    /// (`None` = single eval at the end).
+    pub steps_per_eval: Option<u64>,
+    /// Steps per eval segment.
+    pub eval_steps: u64,
+    /// Write a checkpoint every this many training steps.
+    pub checkpoint_every: u64,
+    /// Initial steps that run slower (cold caches, lazy initialization).
+    pub warmup_steps: u64,
+    /// Simulation seed.
+    pub seed: u64,
+    /// Log-normal sigma applied to every op duration.
+    pub jitter_sigma: f64,
+    /// Per-step probability that a data-dependent operator substitution
+    /// occurs (changes the step's op *set*; drives OLS fragmentation at
+    /// high similarity thresholds).
+    pub substitution_prob: f64,
+    /// Fractional extra host cost while profiling is active (the paper's
+    /// sub-10% profiling overhead).
+    pub host_overhead_frac: f64,
+}
+
+impl JobConfig {
+    /// Total checkpoint size: the byte size of all trainable parameters.
+    pub fn model_bytes(&self) -> u64 {
+        self.train_graph
+            .nodes()
+            .iter()
+            .filter(|n| n.kind == OpKind::Parameter)
+            .map(|n| n.output.size_bytes())
+            .sum()
+    }
+
+    /// Bytes transferred over the infeed per batch: the training graph's
+    /// input tensors.
+    pub fn batch_device_bytes(&self) -> u64 {
+        self.train_graph
+            .nodes()
+            .iter()
+            .filter(|n| n.kind == OpKind::Input)
+            .map(|n| n.output.size_bytes())
+            .sum()
+    }
+
+    /// The full step schedule: training steps with eval segments
+    /// interleaved per `steps_per_eval`, plus a final eval segment.
+    pub fn step_plan(&self) -> Vec<StepKind> {
+        let mut plan = Vec::new();
+        let chunk = self.steps_per_eval.unwrap_or(self.train_steps).max(1);
+        let mut trained = 0;
+        while trained < self.train_steps {
+            let n = chunk.min(self.train_steps - trained);
+            plan.extend(std::iter::repeat_n(StepKind::Train, n as usize));
+            trained += n;
+            plan.extend(std::iter::repeat_n(
+                StepKind::Eval,
+                self.eval_steps as usize,
+            ));
+        }
+        plan
+    }
+
+    /// Profile-step indices (1-based, in plan order) after which a
+    /// checkpoint is written: every `checkpoint_every` *training* steps and
+    /// after the final training step.
+    pub fn checkpoint_plan(&self) -> Vec<u64> {
+        let plan = self.step_plan();
+        let mut out = Vec::new();
+        let mut trained = 0u64;
+        for (i, kind) in plan.iter().enumerate() {
+            if *kind == StepKind::Train {
+                trained += 1;
+                let last_train = trained == self.train_steps;
+                if (self.checkpoint_every > 0 && trained.is_multiple_of(self.checkpoint_every))
+                    || last_train
+                {
+                    out.push(i as u64 + 1);
+                }
+            }
+        }
+        out.dedup();
+        out
+    }
+
+    /// A deterministic digest of everything that affects *program output*
+    /// (as opposed to performance): model, dataset, batch size, step
+    /// counts, and the output-affecting pipeline knobs. TPUPoint-Optimizer
+    /// compares digests to guarantee its tuning preserved results.
+    pub fn output_digest(&self) -> u64 {
+        // FNV-1a over the semantic fields.
+        let mut h: u64 = 0xcbf29ce484222325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        };
+        eat(self.model.as_bytes());
+        eat(self.dataset.name.as_bytes());
+        eat(&self.pipeline.batch_size.to_le_bytes());
+        eat(&self.pipeline.shuffle_buffer.to_le_bytes());
+        eat(&self.train_steps.to_le_bytes());
+        eat(&self.eval_steps.to_le_bytes());
+        eat(&self.seed.to_le_bytes());
+        h
+    }
+
+    /// A small MLP training job for tests and examples: ~20 steps, one
+    /// eval segment, one checkpoint.
+    pub fn demo() -> JobConfig {
+        fn train_graph() -> Graph {
+            let mut b = GraphBuilder::new("demo-mlp");
+            let x = b.input("x", DType::BF16, Shape::of(&[32, 2048]));
+            let labels = b.input("y", DType::I32, Shape::of(&[32]));
+            let w1 = b.parameter("w1", DType::BF16, Shape::of(&[2048, 4096]));
+            let w2 = b.parameter("w2", DType::BF16, Shape::of(&[4096, 256]));
+            let h = b.matmul(x, w1);
+            let a = b.relu(h);
+            let r = b.reshape(a, Shape::of(&[32, 4096]));
+            let logits = b.matmul(r, w2);
+            let loss = b.softmax_cross_entropy(logits, labels);
+            let g1 = b.matmul(r, w2); // gradient matmuls
+            let g2 = b.matmul(x, w1);
+            let up1 = b.apply_adam(w1, g2);
+            let up2 = b.apply_adam(w2, g1);
+            let ar = b.all_reduce(logits);
+            b.finish(&[loss, up1, up2, ar])
+        }
+        fn eval_graph() -> Graph {
+            let mut b = GraphBuilder::new("demo-mlp-eval");
+            let x = b.input("x", DType::BF16, Shape::of(&[32, 2048]));
+            let labels = b.input("y", DType::I32, Shape::of(&[32]));
+            let w1 = b.parameter("w1", DType::BF16, Shape::of(&[2048, 4096]));
+            let w2 = b.parameter("w2", DType::BF16, Shape::of(&[4096, 256]));
+            let h = b.matmul(x, w1);
+            let a = b.relu(h);
+            let logits = b.matmul(a, w2);
+            let loss = b.softmax_cross_entropy(logits, labels);
+            let mean = b.reduce_mean(logits);
+            b.finish(&[loss, mean])
+        }
+        JobConfig {
+            model: "demo-mlp".to_owned(),
+            train_graph: tpupoint_graph::fusion::fuse(&train_graph()),
+            eval_graph: tpupoint_graph::fusion::fuse(&eval_graph()),
+            pipeline: PipelineSpec::tuned_default(32),
+            dataset: DatasetSpec {
+                name: "demo-data".to_owned(),
+                size_bytes: 64 * 1024 * 1024,
+                num_examples: 50_000,
+                kind: DataKind::Text,
+                host_cost_factor: 1.0,
+                host_us_per_batch: 0.0,
+            },
+            chip: TpuChipSpec::v2(),
+            host: HostSpec::skylake_n1(),
+            train_steps: 20,
+            iterations_per_loop: 5,
+            steps_per_eval: Some(10),
+            eval_steps: 2,
+            checkpoint_every: 10,
+            warmup_steps: 2,
+            seed: 7,
+            jitter_sigma: 0.03,
+            substitution_prob: 0.02,
+            host_overhead_frac: 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_bytes_divides_size() {
+        let d = DatasetSpec {
+            name: "d".into(),
+            size_bytes: 1000,
+            num_examples: 10,
+            kind: DataKind::Text,
+            host_cost_factor: 1.0,
+            host_us_per_batch: 0.0,
+        };
+        assert_eq!(d.record_bytes(), 100);
+        assert_eq!(d.raw_batch_bytes(4), 400);
+    }
+
+    #[test]
+    fn reduced_scales_size_and_examples() {
+        let d = DatasetSpec {
+            name: "coco".into(),
+            size_bytes: 1000,
+            num_examples: 100,
+            kind: DataKind::ImageDetection,
+            host_cost_factor: 1.0,
+            host_us_per_batch: 0.0,
+        };
+        let half = d.reduced(0.5);
+        assert_eq!(half.size_bytes, 500);
+        assert_eq!(half.num_examples, 50);
+        assert!(half.name.contains("reduced"));
+        // Record size is unchanged: same data, fewer records.
+        assert_eq!(half.record_bytes(), d.record_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "factor")]
+    fn reduced_rejects_bad_factor() {
+        let d = DatasetSpec {
+            name: "d".into(),
+            size_bytes: 10,
+            num_examples: 1,
+            kind: DataKind::Text,
+            host_cost_factor: 1.0,
+            host_us_per_batch: 0.0,
+        };
+        let _ = d.reduced(0.0);
+    }
+
+    #[test]
+    fn step_plan_interleaves_eval_segments() {
+        let mut c = JobConfig::demo();
+        c.train_steps = 6;
+        c.steps_per_eval = Some(3);
+        c.eval_steps = 2;
+        let plan = c.step_plan();
+        use StepKind::*;
+        assert_eq!(
+            plan,
+            vec![Train, Train, Train, Eval, Eval, Train, Train, Train, Eval, Eval]
+        );
+    }
+
+    #[test]
+    fn step_plan_without_periodic_eval_has_single_tail_eval() {
+        let mut c = JobConfig::demo();
+        c.train_steps = 4;
+        c.steps_per_eval = None;
+        c.eval_steps = 1;
+        let plan = c.step_plan();
+        assert_eq!(plan.len(), 5);
+        assert_eq!(plan[4], StepKind::Eval);
+    }
+
+    #[test]
+    fn checkpoint_plan_lands_on_training_steps() {
+        let mut c = JobConfig::demo();
+        c.train_steps = 6;
+        c.steps_per_eval = Some(3);
+        c.eval_steps = 2;
+        c.checkpoint_every = 3;
+        // plan: T T T E E T T T E E  → ckpt after 3rd train (index 3) and
+        // 6th train (index 8).
+        assert_eq!(c.checkpoint_plan(), vec![3, 8]);
+    }
+
+    #[test]
+    fn model_bytes_counts_parameters_only() {
+        let c = JobConfig::demo();
+        // w1: 2048*4096*2 bytes, w2: 4096*256*2 bytes.
+        assert_eq!(c.model_bytes(), 2048 * 4096 * 2 + 4096 * 256 * 2);
+    }
+
+    #[test]
+    fn batch_device_bytes_counts_inputs() {
+        let c = JobConfig::demo();
+        // x: 32*2048*2, y: 32*4.
+        assert_eq!(c.batch_device_bytes(), 32 * 2048 * 2 + 32 * 4);
+    }
+
+    #[test]
+    fn output_digest_ignores_performance_knobs() {
+        let a = JobConfig::demo();
+        let mut b = JobConfig::demo();
+        b.pipeline.prefetch_depth = 32;
+        b.pipeline.num_parallel_calls = 64;
+        b.host_overhead_frac = 0.5;
+        assert_eq!(a.output_digest(), b.output_digest());
+    }
+
+    #[test]
+    fn output_digest_tracks_semantic_changes() {
+        let a = JobConfig::demo();
+        let mut b = JobConfig::demo();
+        b.pipeline.shuffle_buffer *= 2;
+        assert_ne!(a.output_digest(), b.output_digest());
+        let mut c = JobConfig::demo();
+        c.train_steps += 1;
+        assert_ne!(a.output_digest(), c.output_digest());
+    }
+}

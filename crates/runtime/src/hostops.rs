@@ -1,0 +1,156 @@
+//! Host-side operation vocabulary.
+//!
+//! These are the CPU-side operator names that appear in real Cloud TPU
+//! profiles (the "Host Operations" rows of Table II in the paper). The TPU
+//! side's names come from [`tpupoint_graph::OpKind`]; the host side has no
+//! graph, so its ops are declared here and interned into the shared
+//! [`OpCatalog`] at job setup.
+
+use tpupoint_simcore::trace::{OpAttrs, OpCatalog};
+use tpupoint_simcore::OpId;
+
+/// Blocking dequeue of step results from the TPU outfeed. Its duration
+/// includes the time spent *waiting* for the TPU, which is why it tops the
+/// paper's host-operator rankings.
+pub const OUTFEED_DEQUEUE_TUPLE: &str = "OutfeedDequeueTuple";
+/// Blocking transfer of a prepared batch into the hardware infeed queue;
+/// the other headline host operator.
+pub const TRANSFER_BUFFER_TO_INFEED_LOCKED: &str = "TransferBufferToInfeedLocked";
+/// Session-level graph dispatch for one `iterations_per_loop` chunk.
+pub const RUN_GRAPH: &str = "RunGraph";
+/// gRPC send to the TPU worker.
+pub const SEND: &str = "Send";
+/// gRPC receive from the TPU worker.
+pub const RECV: &str = "Recv";
+/// Flattening/linearization of a batch into infeed wire format.
+pub const LINEARIZE_X32: &str = "LinearizeX32";
+/// Internal host runtime bookkeeping op observed in real profiles.
+pub const LSRA_V2: &str = "LSRAv2";
+/// Host-side enqueue notification paired with the infeed transfer.
+pub const INFEED_ENQUEUE_TUPLE: &str = "InfeedEnqueueTuple";
+/// One-time TPU system initialization.
+pub const INITIALIZE_HOST_FOR_DISTRIBUTED_TPU: &str = "InitializeHostForDistributedTpu";
+/// Checkpoint restore from cloud storage.
+pub const RESTORE_V2: &str = "RestoreV2";
+/// Checkpoint save to cloud storage.
+pub const SAVE_V2: &str = "SaveV2";
+/// One-time TPU system teardown.
+pub const DISCONNECT_HOST_FROM_DISTRIBUTED_TPU_SYSTEM: &str =
+    "DisconnectHostFromDistributedTPUSystem";
+/// XLA program upload/launch at session start.
+pub const START_PROGRAM: &str = "StartProgram";
+/// Padding of ragged host outputs (detection workloads).
+pub const BUILD_PADDED_OUTPUT: &str = "BuildPaddedOutput";
+/// JPEG decode plus crop (image input pipelines).
+pub const DECODE_AND_CROP_JPEG: &str = "DecodeAndCropJpeg";
+/// Bicubic image resize (image input pipelines).
+pub const RESIZE_BICUBIC: &str = "ResizeBicubic";
+/// Host tensor transform: element-wise maximum (augmentation/clipping).
+pub const MAXIMUM: &str = "Maximum";
+/// Host tensor transform: element-wise minimum.
+pub const MINIMUM: &str = "Minimum";
+/// Host tensor transform: subtraction (normalization).
+pub const SUB: &str = "Sub";
+/// Host tensor transform: dtype cast.
+pub const CAST: &str = "Cast";
+/// Storage read of raw records.
+pub const STORAGE_READ: &str = "StorageRead";
+/// `tf.data` iterator pull observed when the pipeline restructures.
+pub const ITERATOR_GET_NEXT: &str = "IteratorGetNext";
+/// Optional-iterator pull observed on ragged/data-dependent batches.
+pub const GET_NEXT_AS_OPTIONAL: &str = "GetNextAsOptional";
+
+/// Interned host op ids, created once per job.
+#[derive(Debug, Clone, Copy)]
+pub struct HostOps {
+    pub outfeed_dequeue: OpId,
+    pub transfer_to_infeed: OpId,
+    pub run_graph: OpId,
+    pub send: OpId,
+    pub recv: OpId,
+    pub linearize: OpId,
+    pub lsra: OpId,
+    pub infeed_enqueue: OpId,
+    pub init_tpu: OpId,
+    pub restore: OpId,
+    pub save: OpId,
+    pub disconnect: OpId,
+    pub start_program: OpId,
+    pub build_padded_output: OpId,
+    pub decode_jpeg: OpId,
+    pub resize_bicubic: OpId,
+    pub maximum: OpId,
+    pub minimum: OpId,
+    pub sub: OpId,
+    pub cast: OpId,
+    pub storage_read: OpId,
+    pub iterator_get_next: OpId,
+    pub get_next_as_optional: OpId,
+}
+
+impl HostOps {
+    /// Interns every host op into `catalog`.
+    pub fn intern(catalog: &mut OpCatalog) -> HostOps {
+        let mut op = |name: &str| catalog.intern(name, OpAttrs { uses_mxu: false });
+        HostOps {
+            outfeed_dequeue: op(OUTFEED_DEQUEUE_TUPLE),
+            transfer_to_infeed: op(TRANSFER_BUFFER_TO_INFEED_LOCKED),
+            run_graph: op(RUN_GRAPH),
+            send: op(SEND),
+            recv: op(RECV),
+            linearize: op(LINEARIZE_X32),
+            lsra: op(LSRA_V2),
+            infeed_enqueue: op(INFEED_ENQUEUE_TUPLE),
+            init_tpu: op(INITIALIZE_HOST_FOR_DISTRIBUTED_TPU),
+            restore: op(RESTORE_V2),
+            save: op(SAVE_V2),
+            disconnect: op(DISCONNECT_HOST_FROM_DISTRIBUTED_TPU_SYSTEM),
+            start_program: op(START_PROGRAM),
+            build_padded_output: op(BUILD_PADDED_OUTPUT),
+            decode_jpeg: op(DECODE_AND_CROP_JPEG),
+            resize_bicubic: op(RESIZE_BICUBIC),
+            maximum: op(MAXIMUM),
+            minimum: op(MINIMUM),
+            sub: op(SUB),
+            cast: op(CAST),
+            storage_read: op(STORAGE_READ),
+            iterator_get_next: op(ITERATOR_GET_NEXT),
+            get_next_as_optional: op(GET_NEXT_AS_OPTIONAL),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_registers_all_names() {
+        let mut catalog = OpCatalog::new();
+        let ops = HostOps::intern(&mut catalog);
+        assert_eq!(catalog.name(ops.outfeed_dequeue), OUTFEED_DEQUEUE_TUPLE);
+        assert_eq!(
+            catalog.name(ops.transfer_to_infeed),
+            TRANSFER_BUFFER_TO_INFEED_LOCKED
+        );
+        assert_eq!(catalog.name(ops.storage_read), STORAGE_READ);
+        assert!(catalog.len() >= 23);
+    }
+
+    #[test]
+    fn host_ops_never_use_mxu() {
+        let mut catalog = OpCatalog::new();
+        let ops = HostOps::intern(&mut catalog);
+        assert!(!catalog.attrs(ops.outfeed_dequeue).uses_mxu);
+        assert!(!catalog.attrs(ops.decode_jpeg).uses_mxu);
+    }
+
+    #[test]
+    fn interning_twice_is_stable() {
+        let mut catalog = OpCatalog::new();
+        let a = HostOps::intern(&mut catalog);
+        let b = HostOps::intern(&mut catalog);
+        assert_eq!(a.save, b.save);
+        assert_eq!(a.recv, b.recv);
+    }
+}

@@ -1,0 +1,46 @@
+//! # tpupoint-runtime
+//!
+//! The TPUEstimator-style training-job executor. This crate stands in for
+//! the TensorFlow + Cloud-TPU runtime stack: given a model graph, an input
+//! pipeline, a dataset descriptor, and a TPU generation, it simulates an
+//! entire training session on the discrete-event engine and streams a
+//! profile-grade event trace — the exact surface the real TPUPoint-Profiler
+//! taps via the Cloud TPU profiling service.
+//!
+//! A simulated session reproduces the structure of a real one:
+//!
+//! 1. **Initialization** — `InitializeHostForDistributedTpu`, `RestoreV2`
+//!    from cloud storage, an XLA compile (`RunGraph`), `StartProgram`.
+//! 2. **The steady pipeline** — a storage reader, a parallel decode stage,
+//!    and an infeed engine feed batches through bounded buffers to the TPU
+//!    actor, which executes the (fused) graph once per step; every
+//!    `iterations_per_loop` steps results flow back through the outfeed.
+//! 3. **Interruptions** — periodic evaluation segments, checkpoint saves
+//!    (`SaveV2`) that stall the TPU, warm-up steps that run slower, and
+//!    occasional operator substitutions that real data-dependent pipelines
+//!    exhibit.
+//! 4. **Shutdown** — final save and `DisconnectHostFromDistributedTPUSystem`.
+//!
+//! The emitted trace carries per-op wall/MXU durations and step numbers, so
+//! the profiler can compute exactly the statistics the paper's profiler
+//! records: per-step operator histograms, TPU idle time, and MXU
+//! utilization.
+//!
+//! ```
+//! use tpupoint_runtime::{JobConfig, TrainingJob};
+//! use tpupoint_simcore::trace::NullSink;
+//!
+//! let config = JobConfig::demo(); // small MLP training job
+//! let report = TrainingJob::new(config).run(&mut NullSink);
+//! assert!(report.steps_completed > 0);
+//! assert!(report.tpu_idle_fraction() >= 0.0 && report.tpu_idle_fraction() <= 1.0);
+//! ```
+
+pub mod actors;
+pub mod config;
+pub mod hostops;
+pub mod job;
+pub mod metrics;
+
+pub use config::{DataKind, DatasetSpec, JobConfig, StepKind};
+pub use job::{RunReport, TrainingJob};

@@ -1,0 +1,72 @@
+//! Shared run metrics accumulated by the actors during simulation.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use tpupoint_simcore::{SimDuration, SimTime};
+
+/// Counters the pipeline actors update as the simulation runs. One instance
+/// is shared (via [`SharedMetrics`]) by every actor of a job.
+#[derive(Debug, Default, Clone)]
+pub struct RunMetrics {
+    /// Total TPU compute time (op wall durations).
+    pub tpu_busy: SimDuration,
+    /// Total MXU-active time.
+    pub mxu_busy: SimDuration,
+    /// Profile steps completed (train + eval).
+    pub steps_completed: u64,
+    /// Training steps completed.
+    pub train_steps_completed: u64,
+    /// Instant the first step started computing.
+    pub first_step_start: Option<SimTime>,
+    /// Instant the last step finished computing.
+    pub last_step_end: Option<SimTime>,
+    /// `(profile_step, time)` of every checkpoint written.
+    pub checkpoints: Vec<(u64, SimTime)>,
+    /// Wall-clock end of the session (after shutdown).
+    pub session_end: Option<SimTime>,
+    /// Wall duration of each profile step, in plan order.
+    pub step_walls: Vec<SimDuration>,
+}
+
+/// Shared handle to [`RunMetrics`]. The engine is single-threaded, so a
+/// plain `Rc<RefCell<..>>` suffices.
+pub type SharedMetrics = Rc<RefCell<RunMetrics>>;
+
+/// Creates a fresh shared metrics handle.
+pub fn shared_metrics() -> SharedMetrics {
+    Rc::new(RefCell::new(RunMetrics::default()))
+}
+
+impl RunMetrics {
+    /// The window over which utilization metrics are computed: first step
+    /// start to last step end. Returns `None` before any step completed.
+    pub fn steady_window(&self) -> Option<SimDuration> {
+        match (self.first_step_start, self.last_step_end) {
+            (Some(a), Some(b)) if b > a => Some(b - a),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_window_requires_both_endpoints() {
+        let mut m = RunMetrics::default();
+        assert!(m.steady_window().is_none());
+        m.first_step_start = Some(SimTime::from_micros(100));
+        assert!(m.steady_window().is_none());
+        m.last_step_end = Some(SimTime::from_micros(600));
+        assert_eq!(m.steady_window(), Some(SimDuration::from_micros(500)));
+    }
+
+    #[test]
+    fn shared_handle_is_actually_shared() {
+        let shared = shared_metrics();
+        let clone = shared.clone();
+        clone.borrow_mut().steps_completed = 5;
+        assert_eq!(shared.borrow().steps_completed, 5);
+    }
+}

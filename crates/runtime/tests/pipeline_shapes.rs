@@ -1,0 +1,127 @@
+//! Integration: the simulated pipeline reacts to its knobs the way a real
+//! input pipeline does.
+
+use tpupoint_graph::PipelineSpec;
+use tpupoint_runtime::{JobConfig, TrainingJob};
+use tpupoint_simcore::trace::NullSink;
+
+fn host_bound_config() -> JobConfig {
+    let mut cfg = JobConfig::demo();
+    cfg.jitter_sigma = 0.0;
+    cfg.train_steps = 60;
+    cfg.steps_per_eval = None;
+    cfg.eval_steps = 0;
+    cfg.dataset.host_us_per_batch = 150_000.0;
+    cfg
+}
+
+#[test]
+fn more_decode_threads_reduce_idle_until_the_tpu_binds() {
+    let mut last_window = f64::INFINITY;
+    let mut improved = 0;
+    for threads in [1, 2, 4, 8, 16] {
+        let mut cfg = host_bound_config();
+        cfg.pipeline.num_parallel_calls = threads;
+        let report = TrainingJob::new(cfg).run(&mut NullSink);
+        let window = report.steady_window.as_secs_f64();
+        assert!(
+            window <= last_window * 1.001,
+            "threads {threads}: window grew {window} > {last_window}"
+        );
+        if window < last_window * 0.98 {
+            improved += 1;
+        }
+        last_window = window;
+    }
+    assert!(improved >= 2, "thread scaling must help somewhere");
+}
+
+#[test]
+fn deeper_prefetch_never_hurts() {
+    let walls: Vec<f64> = [1u32, 4, 16, 64]
+        .into_iter()
+        .map(|depth| {
+            let mut cfg = host_bound_config();
+            cfg.pipeline.prefetch_depth = depth;
+            TrainingJob::new(cfg)
+                .run(&mut NullSink)
+                .steady_window
+                .as_secs_f64()
+        })
+        .collect();
+    for pair in walls.windows(2) {
+        assert!(pair[1] <= pair[0] * 1.001, "{walls:?}");
+    }
+}
+
+#[test]
+fn fewer_transform_passes_speed_the_host() {
+    let mut cfg_many = host_bound_config();
+    cfg_many.pipeline.host_transform_passes = 6;
+    let mut cfg_few = host_bound_config();
+    cfg_few.pipeline.host_transform_passes = 1;
+    let many = TrainingJob::new(cfg_many).run(&mut NullSink);
+    let few = TrainingJob::new(cfg_few).run(&mut NullSink);
+    assert!(few.steady_window <= many.steady_window);
+}
+
+#[test]
+fn checkpoint_cadence_matches_the_plan_under_any_pipeline() {
+    for pipeline in [PipelineSpec::tuned_default(32), PipelineSpec::naive(32)] {
+        let mut cfg = JobConfig::demo();
+        cfg.pipeline = pipeline;
+        cfg.train_steps = 30;
+        cfg.checkpoint_every = 7;
+        let expected = cfg.checkpoint_plan();
+        let report = TrainingJob::new(cfg).run(&mut NullSink);
+        let at: Vec<u64> = report.checkpoints.iter().map(|(s, _)| *s).collect();
+        assert_eq!(at, expected);
+    }
+}
+
+#[test]
+fn eval_steps_are_cheaper_than_train_steps() {
+    let mut cfg = JobConfig::demo();
+    cfg.jitter_sigma = 0.0;
+    cfg.train_steps = 10;
+    cfg.steps_per_eval = Some(5);
+    cfg.eval_steps = 5;
+    cfg.warmup_steps = 0;
+    let report = TrainingJob::new(cfg.clone()).run(&mut NullSink);
+    let plan = cfg.step_plan();
+    // Average compute wall of train vs eval steps.
+    let mut train = (0.0, 0u32);
+    let mut eval = (0.0, 0u32);
+    for (kind, wall) in plan.iter().zip(&report.step_walls) {
+        match kind {
+            tpupoint_runtime::StepKind::Train => {
+                train.0 += wall.as_secs_f64();
+                train.1 += 1;
+            }
+            tpupoint_runtime::StepKind::Eval => {
+                eval.0 += wall.as_secs_f64();
+                eval.1 += 1;
+            }
+        }
+    }
+    let train_avg = train.0 / train.1 as f64;
+    let eval_avg = eval.0 / eval.1 as f64;
+    assert!(
+        eval_avg < train_avg,
+        "eval {eval_avg} should be cheaper than train {train_avg}"
+    );
+}
+
+#[test]
+fn host_overhead_fraction_scales_the_wall_in_host_bound_runs() {
+    let base = host_bound_config();
+    let mut profiled = base.clone();
+    profiled.host_overhead_frac = 0.10;
+    let r0 = TrainingJob::new(base).run(&mut NullSink);
+    let r1 = TrainingJob::new(profiled).run(&mut NullSink);
+    let ratio = r1.steady_window.as_secs_f64() / r0.steady_window.as_secs_f64();
+    assert!(
+        (1.02..1.15).contains(&ratio),
+        "10% host overhead should cost roughly that much: {ratio}"
+    );
+}

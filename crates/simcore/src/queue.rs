@@ -1,0 +1,261 @@
+//! Bounded FIFO queues with blocking semantics.
+//!
+//! These model the buffered hand-off points of a TPU training pipeline: the
+//! host-side prefetch buffer, the hardware infeed queue, and the outfeed
+//! queue. Producers that fill a queue and consumers that drain one register
+//! as *waiters* and are woken (via a [`crate::Signal::QueueReady`] event)
+//! when space or items become available.
+//!
+//! Payloads are `u64` tokens (batch sequence numbers); all per-batch
+//! metadata in the simulator is uniform within a run, so a token is enough.
+
+use std::collections::VecDeque;
+
+use crate::engine::ProcessId;
+
+/// Identifier of a queue within a [`QueueTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct QueueId(pub(crate) usize);
+
+/// Result of a push attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushOutcome {
+    /// The item was enqueued.
+    Stored,
+    /// The queue was full; the caller has been registered as a push waiter
+    /// and will receive `QueueReady` when space frees up.
+    WouldBlock,
+}
+
+/// Result of a pop attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PopOutcome {
+    /// An item was dequeued.
+    Item(u64),
+    /// The queue was empty but still open; the caller has been registered as
+    /// a pop waiter and will receive `QueueReady` when an item arrives.
+    WouldBlock,
+    /// The queue is closed and drained; no more items will ever arrive.
+    Closed,
+}
+
+#[derive(Debug)]
+struct BoundedQueue {
+    items: VecDeque<u64>,
+    capacity: usize,
+    closed: bool,
+    push_waiters: VecDeque<ProcessId>,
+    pop_waiters: VecDeque<ProcessId>,
+}
+
+impl BoundedQueue {
+    fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            items: VecDeque::new(),
+            capacity,
+            closed: false,
+            push_waiters: VecDeque::new(),
+            pop_waiters: VecDeque::new(),
+        }
+    }
+}
+
+/// The set of queues in a simulation, owned by the engine.
+#[derive(Debug, Default)]
+pub struct QueueTable {
+    queues: Vec<BoundedQueue>,
+}
+
+impl QueueTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a queue holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero; a zero-capacity hand-off would deadlock
+    /// the event-driven processes, which cannot rendezvous.
+    pub fn create(&mut self, capacity: usize) -> QueueId {
+        assert!(capacity > 0, "queue capacity must be at least 1");
+        let id = QueueId(self.queues.len());
+        self.queues.push(BoundedQueue::new(capacity));
+        id
+    }
+
+    /// Attempts to enqueue `item` on behalf of `who`. On `WouldBlock`, `who`
+    /// is registered as a push waiter. Returns the outcome plus an optional
+    /// pop waiter that should be woken.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is closed: pushing after close is a programming
+    /// error in the producer.
+    pub fn push(
+        &mut self,
+        q: QueueId,
+        item: u64,
+        who: ProcessId,
+    ) -> (PushOutcome, Option<ProcessId>) {
+        let queue = &mut self.queues[q.0];
+        assert!(!queue.closed, "push to closed queue {q:?}");
+        if queue.items.len() >= queue.capacity {
+            if !queue.push_waiters.contains(&who) {
+                queue.push_waiters.push_back(who);
+            }
+            return (PushOutcome::WouldBlock, None);
+        }
+        queue.items.push_back(item);
+        (PushOutcome::Stored, queue.pop_waiters.pop_front())
+    }
+
+    /// Attempts to dequeue on behalf of `who`. On `WouldBlock`, `who` is
+    /// registered as a pop waiter. Returns the outcome plus an optional push
+    /// waiter that should be woken.
+    pub fn pop(&mut self, q: QueueId, who: ProcessId) -> (PopOutcome, Option<ProcessId>) {
+        let queue = &mut self.queues[q.0];
+        match queue.items.pop_front() {
+            Some(item) => (PopOutcome::Item(item), queue.push_waiters.pop_front()),
+            None if queue.closed => (PopOutcome::Closed, None),
+            None => {
+                if !queue.pop_waiters.contains(&who) {
+                    queue.pop_waiters.push_back(who);
+                }
+                (PopOutcome::WouldBlock, None)
+            }
+        }
+    }
+
+    /// Marks the queue closed: existing items still drain, then pops return
+    /// [`PopOutcome::Closed`]. Returns all pop waiters, which must be woken
+    /// so they can observe the close.
+    pub fn close(&mut self, q: QueueId) -> Vec<ProcessId> {
+        let queue = &mut self.queues[q.0];
+        queue.closed = true;
+        queue.pop_waiters.drain(..).collect()
+    }
+
+    /// Current number of buffered items.
+    pub fn len(&self, q: QueueId) -> usize {
+        self.queues[q.0].items.len()
+    }
+
+    /// True if the queue holds no items.
+    pub fn is_empty(&self, q: QueueId) -> bool {
+        self.queues[q.0].items.is_empty()
+    }
+
+    /// The queue's capacity.
+    pub fn capacity(&self, q: QueueId) -> usize {
+        self.queues[q.0].capacity
+    }
+
+    /// True once [`QueueTable::close`] has been called.
+    pub fn is_closed(&self, q: QueueId) -> bool {
+        self.queues[q.0].closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P0: ProcessId = ProcessId(0);
+    const P1: ProcessId = ProcessId(1);
+
+    #[test]
+    fn push_pop_fifo_order() {
+        let mut t = QueueTable::new();
+        let q = t.create(4);
+        assert_eq!(t.push(q, 10, P0).0, PushOutcome::Stored);
+        assert_eq!(t.push(q, 11, P0).0, PushOutcome::Stored);
+        assert_eq!(t.pop(q, P1).0, PopOutcome::Item(10));
+        assert_eq!(t.pop(q, P1).0, PopOutcome::Item(11));
+    }
+
+    #[test]
+    fn full_queue_blocks_and_wakes_producer() {
+        let mut t = QueueTable::new();
+        let q = t.create(1);
+        assert_eq!(t.push(q, 1, P0).0, PushOutcome::Stored);
+        assert_eq!(t.push(q, 2, P0).0, PushOutcome::WouldBlock);
+        // Consumer pops; the blocked producer is returned for wakeup.
+        let (out, wake) = t.pop(q, P1);
+        assert_eq!(out, PopOutcome::Item(1));
+        assert_eq!(wake, Some(P0));
+    }
+
+    #[test]
+    fn empty_queue_blocks_and_wakes_consumer() {
+        let mut t = QueueTable::new();
+        let q = t.create(1);
+        assert_eq!(t.pop(q, P1).0, PopOutcome::WouldBlock);
+        let (out, wake) = t.push(q, 7, P0);
+        assert_eq!(out, PushOutcome::Stored);
+        assert_eq!(wake, Some(P1));
+    }
+
+    #[test]
+    fn waiters_are_not_duplicated() {
+        let mut t = QueueTable::new();
+        let q = t.create(1);
+        assert_eq!(t.pop(q, P1).0, PopOutcome::WouldBlock);
+        assert_eq!(t.pop(q, P1).0, PopOutcome::WouldBlock);
+        let (_, wake) = t.push(q, 1, P0);
+        assert_eq!(wake, Some(P1));
+        // P1 was registered once; a second push wakes nobody.
+        let _ = t.pop(q, P1); // drain
+        let (_, wake2) = t.push(q, 2, P0);
+        assert_eq!(wake2, None);
+    }
+
+    #[test]
+    fn close_drains_then_reports_closed() {
+        let mut t = QueueTable::new();
+        let q = t.create(2);
+        t.push(q, 1, P0);
+        let woken = t.close(q);
+        assert!(woken.is_empty());
+        assert!(t.is_closed(q));
+        assert_eq!(t.pop(q, P1).0, PopOutcome::Item(1));
+        assert_eq!(t.pop(q, P1).0, PopOutcome::Closed);
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers() {
+        let mut t = QueueTable::new();
+        let q = t.create(1);
+        assert_eq!(t.pop(q, P1).0, PopOutcome::WouldBlock);
+        let woken = t.close(q);
+        assert_eq!(woken, vec![P1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "closed queue")]
+    fn push_after_close_panics() {
+        let mut t = QueueTable::new();
+        let q = t.create(1);
+        t.close(q);
+        let _ = t.push(q, 1, P0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let mut t = QueueTable::new();
+        let _ = t.create(0);
+    }
+
+    #[test]
+    fn len_and_capacity_track_state() {
+        let mut t = QueueTable::new();
+        let q = t.create(3);
+        assert!(t.is_empty(q));
+        assert_eq!(t.capacity(q), 3);
+        t.push(q, 1, P0);
+        t.push(q, 2, P0);
+        assert_eq!(t.len(q), 2);
+    }
+}

@@ -1,0 +1,170 @@
+//! Seeded randomness for simulations.
+//!
+//! Every stochastic element of the simulator (operation-duration jitter,
+//! rare-event injection) draws from a [`SimRng`] owned by the engine, so a
+//! given seed always reproduces the identical event stream.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic random-number generator used throughout a simulation.
+///
+/// Wraps [`StdRng`] and adds the small set of distributions the simulator
+/// needs (uniform, Bernoulli, and log-normal jitter) without pulling in a
+/// full distributions crate.
+///
+/// ```
+/// use tpupoint_simcore::SimRng;
+/// let mut a = SimRng::seed_from(7);
+/// let mut b = SimRng::seed_from(7);
+/// assert_eq!(a.uniform_u64(0, 100), b.uniform_u64(0, 100));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+    /// Cached second sample from the Box–Muller transform.
+    gauss_spare: Option<f64>,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+            gauss_spare: None,
+        }
+    }
+
+    /// Derives an independent child generator; used to give each workload or
+    /// component its own stream so adding draws in one place does not perturb
+    /// another.
+    pub fn fork(&mut self, salt: u64) -> SimRng {
+        let seed = self.inner.gen::<u64>() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        SimRng::seed_from(seed)
+    }
+
+    /// Uniform integer in `[lo, hi]` (inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "uniform_u64 range is empty");
+        self.inner.gen_range(lo..=hi)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn uniform_f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        self.inner.gen::<f64>() < p
+    }
+
+    /// Standard normal sample via the Box–Muller transform.
+    pub fn standard_normal(&mut self) -> f64 {
+        if let Some(z) = self.gauss_spare.take() {
+            return z;
+        }
+        // Box–Muller requires u1 in (0, 1]; gen() yields [0, 1).
+        let u1: f64 = 1.0 - self.inner.gen::<f64>();
+        let u2: f64 = self.inner.gen::<f64>();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.gauss_spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Multiplicative log-normal jitter with median 1.0 and the given sigma
+    /// (standard deviation of the underlying normal, in log space).
+    ///
+    /// A sigma of 0.0 always returns exactly 1.0; typical simulator use is
+    /// sigma in `[0.01, 0.1]`, i.e. a few percent of run-to-run variation,
+    /// mirroring the noise in real profiles that keeps clustering inputs
+    /// non-degenerate.
+    pub fn lognormal_jitter(&mut self, sigma: f64) -> f64 {
+        if sigma <= 0.0 {
+            return 1.0;
+        }
+        (self.standard_normal() * sigma).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from(123);
+        let mut b = SimRng::seed_from(123);
+        for _ in 0..100 {
+            assert_eq!(a.uniform_u64(0, 1_000_000), b.uniform_u64(0, 1_000_000));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::seed_from(1);
+        let mut b = SimRng::seed_from(2);
+        let same = (0..32)
+            .filter(|_| a.uniform_u64(0, u64::MAX) == b.uniform_u64(0, u64::MAX))
+            .count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn forked_streams_are_independent_and_deterministic() {
+        let mut parent1 = SimRng::seed_from(9);
+        let mut parent2 = SimRng::seed_from(9);
+        let mut c1 = parent1.fork(5);
+        let mut c2 = parent2.fork(5);
+        assert_eq!(c1.uniform_u64(0, u64::MAX), c2.uniform_u64(0, u64::MAX));
+        // Different salt gives a different stream.
+        let mut parent3 = SimRng::seed_from(9);
+        let mut c3 = parent3.fork(6);
+        assert_ne!(c1.uniform_u64(0, u64::MAX), c3.uniform_u64(0, u64::MAX));
+    }
+
+    #[test]
+    fn standard_normal_moments_are_sane() {
+        let mut rng = SimRng::seed_from(42);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.standard_normal()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean} too far from 0");
+        assert!((var - 1.0).abs() < 0.05, "variance {var} too far from 1");
+    }
+
+    #[test]
+    fn lognormal_jitter_zero_sigma_is_identity() {
+        let mut rng = SimRng::seed_from(7);
+        for _ in 0..10 {
+            assert_eq!(rng.lognormal_jitter(0.0), 1.0);
+        }
+    }
+
+    #[test]
+    fn lognormal_jitter_is_positive_and_near_one() {
+        let mut rng = SimRng::seed_from(7);
+        let n = 10_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.lognormal_jitter(0.05)).collect();
+        assert!(samples.iter().all(|&x| x > 0.0));
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.01, "mean {mean} should be ~1");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::seed_from(3);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        // Out-of-range probabilities clamp instead of panicking.
+        assert!(rng.chance(2.0));
+        assert!(!rng.chance(-1.0));
+    }
+}

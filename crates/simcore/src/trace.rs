@@ -1,0 +1,275 @@
+//! Trace layer: interned operation names and streamed trace events.
+//!
+//! The simulated runtime emits one [`TraceEvent`] per executed operation,
+//! mirroring the event stream a Cloud TPU profile response carries. Events
+//! are *streamed* to a [`TraceSink`] rather than accumulated, because full
+//! traces for long trainings (ResNet runs >100k steps) would not fit in
+//! memory — the same motivation the paper gives for TPUPoint-Profiler's
+//! statistical records.
+
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of an interned operation name.
+///
+/// Cheap to copy and compare; resolve back to the name via
+/// [`OpCatalog::name`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct OpId(pub u32);
+
+/// The execution resource a trace event occupied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Track {
+    /// Host (Compute Engine VM) CPU work: input pipeline, infeed/outfeed
+    /// transfers, session management.
+    Host,
+    /// Work on a TPU core, identified by core index within the chip.
+    TpuCore(u8),
+    /// Cloud-storage (Storage Bucket) reads and writes.
+    Storage,
+}
+
+impl fmt::Display for Track {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Track::Host => write!(f, "host"),
+            Track::TpuCore(c) => write!(f, "tpu/core{c}"),
+            Track::Storage => write!(f, "storage"),
+        }
+    }
+}
+
+/// One executed operation: what ran, where, when, for how long, and how much
+/// of that time the matrix units were busy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Interned operation name.
+    pub op: OpId,
+    /// Resource the operation occupied.
+    pub track: Track,
+    /// Start instant.
+    pub start: SimTime,
+    /// Wall duration of the operation.
+    pub dur: SimDuration,
+    /// Portion of `dur` during which MXUs were actively computing. Zero for
+    /// non-matrix operations and for all host/storage work.
+    pub mxu_dur: SimDuration,
+    /// Training step the operation belongs to, if any. Session-level work
+    /// (initialization, restores, final saves) carries `None`.
+    pub step: Option<u64>,
+}
+
+impl TraceEvent {
+    /// Instant the operation finished.
+    pub fn end(&self) -> SimTime {
+        self.start + self.dur
+    }
+}
+
+/// Receives the streamed event trace of a simulation run.
+///
+/// Implementations must not assume global ordering beyond: events on the
+/// *same* track arrive in nondecreasing `start` order.
+pub trait TraceSink {
+    /// Called once per executed operation.
+    fn record(&mut self, event: &TraceEvent);
+
+    /// Called when the runtime advances to a new training step.
+    fn on_step(&mut self, _step: u64, _at: SimTime) {}
+
+    /// Called when the runtime writes a model checkpoint at `step`.
+    fn on_checkpoint(&mut self, _step: u64, _at: SimTime) {}
+}
+
+/// A sink that discards everything; useful for timing-only simulations.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&mut self, _event: &TraceEvent) {}
+}
+
+/// A sink that stores every event in memory. Only suitable for short runs
+/// and tests.
+#[derive(Debug, Default, Clone)]
+pub struct VecSink {
+    /// All recorded events in arrival order.
+    pub events: Vec<TraceEvent>,
+    /// `(step, time)` markers in arrival order.
+    pub steps: Vec<(u64, SimTime)>,
+    /// `(step, time)` checkpoint markers in arrival order.
+    pub checkpoints: Vec<(u64, SimTime)>,
+}
+
+impl VecSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl TraceSink for VecSink {
+    fn record(&mut self, event: &TraceEvent) {
+        self.events.push(*event);
+    }
+
+    fn on_step(&mut self, step: u64, at: SimTime) {
+        self.steps.push((step, at));
+    }
+
+    fn on_checkpoint(&mut self, step: u64, at: SimTime) {
+        self.checkpoints.push((step, at));
+    }
+}
+
+/// Static attributes of an operation name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct OpAttrs {
+    /// True if the operation drives the matrix units (MatMul, convolutions,
+    /// fusions containing them).
+    pub uses_mxu: bool,
+}
+
+/// Interns operation names, assigning stable [`OpId`]s.
+///
+/// Names are interned in first-seen order, so a catalog built by a
+/// deterministic simulation assigns the same ids on every run.
+///
+/// ```
+/// use tpupoint_simcore::trace::{OpCatalog, OpAttrs};
+/// let mut catalog = OpCatalog::new();
+/// let matmul = catalog.intern("MatMul", OpAttrs { uses_mxu: true });
+/// assert_eq!(catalog.name(matmul), "MatMul");
+/// assert!(catalog.attrs(matmul).uses_mxu);
+/// assert_eq!(catalog.intern("MatMul", OpAttrs::default()), matmul);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct OpCatalog {
+    names: Vec<String>,
+    attrs: Vec<OpAttrs>,
+    index: HashMap<String, OpId>,
+}
+
+impl OpCatalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its id. Attributes are fixed by the first
+    /// interning of a name; later calls ignore `attrs`.
+    pub fn intern(&mut self, name: &str, attrs: OpAttrs) -> OpId {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = OpId(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        self.attrs.push(attrs);
+        self.index.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up an already-interned name.
+    pub fn get(&self, name: &str) -> Option<OpId> {
+        self.index.get(name).copied()
+    }
+
+    /// Resolves an id back to its name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this catalog.
+    pub fn name(&self, id: OpId) -> &str {
+        &self.names[id.0 as usize]
+    }
+
+    /// Attributes of an interned operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this catalog.
+    pub fn attrs(&self, id: OpId) -> OpAttrs {
+        self.attrs[id.0 as usize]
+    }
+
+    /// Number of distinct interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if no names have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(id, name)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (OpId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (OpId(i as u32), n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_ordered() {
+        let mut c = OpCatalog::new();
+        let a = c.intern("fusion", OpAttrs { uses_mxu: true });
+        let b = c.intern("Reshape", OpAttrs::default());
+        assert_eq!(a, OpId(0));
+        assert_eq!(b, OpId(1));
+        assert_eq!(c.intern("fusion", OpAttrs::default()), a);
+        assert_eq!(c.len(), 2);
+        assert!(c.attrs(a).uses_mxu, "first-interned attrs win");
+    }
+
+    #[test]
+    fn get_only_finds_interned_names() {
+        let mut c = OpCatalog::new();
+        assert!(c.get("MatMul").is_none());
+        let id = c.intern("MatMul", OpAttrs { uses_mxu: true });
+        assert_eq!(c.get("MatMul"), Some(id));
+    }
+
+    #[test]
+    fn iter_returns_all_pairs_in_order() {
+        let mut c = OpCatalog::new();
+        c.intern("a", OpAttrs::default());
+        c.intern("b", OpAttrs::default());
+        let pairs: Vec<_> = c.iter().map(|(id, n)| (id.0, n.to_owned())).collect();
+        assert_eq!(pairs, vec![(0, "a".to_owned()), (1, "b".to_owned())]);
+    }
+
+    #[test]
+    fn vec_sink_accumulates_everything() {
+        let mut sink = VecSink::new();
+        let ev = TraceEvent {
+            op: OpId(0),
+            track: Track::Host,
+            start: SimTime::from_micros(5),
+            dur: SimDuration::from_micros(10),
+            mxu_dur: SimDuration::ZERO,
+            step: Some(1),
+        };
+        sink.record(&ev);
+        sink.on_step(1, SimTime::from_micros(5));
+        sink.on_checkpoint(1, SimTime::from_micros(20));
+        assert_eq!(sink.events.len(), 1);
+        assert_eq!(sink.events[0].end().as_micros(), 15);
+        assert_eq!(sink.steps, vec![(1, SimTime::from_micros(5))]);
+        assert_eq!(sink.checkpoints, vec![(1, SimTime::from_micros(20))]);
+    }
+
+    #[test]
+    fn track_display_is_stable() {
+        assert_eq!(Track::Host.to_string(), "host");
+        assert_eq!(Track::TpuCore(1).to_string(), "tpu/core1");
+        assert_eq!(Track::Storage.to_string(), "storage");
+    }
+}

@@ -1,0 +1,306 @@
+//! The `TpuPoint` object: Start → train → Stop, plus analysis and
+//! optimization entry points.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use tpupoint_analyzer::{checkpoint::PhaseCheckpoint, Analyzer, PhaseSet};
+use tpupoint_optimizer::{OptimizerReport, TpuPointOptimizer};
+use tpupoint_profiler::{JsonlStore, Profile, ProfilerOptions, ProfilerSink};
+use tpupoint_runtime::{JobConfig, RunReport, TrainingJob};
+
+/// A profiled training session: the runtime's ground-truth report plus the
+/// profiler's statistical view.
+#[derive(Debug, Clone)]
+pub struct ProfiledRun {
+    /// Ground-truth run metrics from the simulator.
+    pub report: RunReport,
+    /// The statistical profile TPUPoint-Profiler captured.
+    pub profile: Profile,
+}
+
+/// Results of running TPUPoint-Analyzer on a profile.
+#[derive(Debug, Clone)]
+pub struct AnalysisArtifacts {
+    /// Phases from the online linear scan at the configured threshold.
+    pub ols_phases: PhaseSet,
+    /// Nearest checkpoint per OLS phase.
+    pub phase_checkpoints: Vec<Option<PhaseCheckpoint>>,
+    /// Path of the Chrome-tracing JSON, when an output directory is set.
+    pub trace_path: Option<PathBuf>,
+    /// Path of the phase CSV, when an output directory is set.
+    pub csv_path: Option<PathBuf>,
+}
+
+/// Configuration-first builder for [`TpuPoint`].
+#[derive(Debug, Clone)]
+pub struct TpuPointBuilder {
+    analyzer: bool,
+    output_dir: Option<PathBuf>,
+    profiler_options: ProfilerOptions,
+    ols_threshold: f64,
+    profiling_overhead_frac: f64,
+}
+
+impl Default for TpuPointBuilder {
+    fn default() -> Self {
+        TpuPointBuilder {
+            analyzer: true,
+            output_dir: None,
+            profiler_options: ProfilerOptions::default(),
+            ols_threshold: 0.7,
+            profiling_overhead_frac: 0.03,
+        }
+    }
+}
+
+impl TpuPointBuilder {
+    /// Enables analyzer mode: profile records are also persisted to the
+    /// output directory (the paper's `Start(analyzer=true)`).
+    pub fn analyzer(mut self, enabled: bool) -> Self {
+        self.analyzer = enabled;
+        self
+    }
+
+    /// Directory for recorded profiles and visualization files.
+    pub fn output_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.output_dir = Some(dir.into());
+        self
+    }
+
+    /// Overrides the profiler's window caps.
+    pub fn profiler_options(mut self, options: ProfilerOptions) -> Self {
+        self.profiler_options = options;
+        self
+    }
+
+    /// OLS similarity threshold used by [`TpuPoint::analyze`].
+    pub fn ols_threshold(mut self, threshold: f64) -> Self {
+        self.ols_threshold = threshold;
+        self
+    }
+
+    /// Fractional host slowdown caused by the profiling thread.
+    pub fn profiling_overhead(mut self, frac: f64) -> Self {
+        self.profiling_overhead_frac = frac.max(0.0);
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> TpuPoint {
+        TpuPoint { options: self }
+    }
+}
+
+/// A started profiler, mirroring Figure 2's imperative flow:
+///
+/// ```
+/// use tpupoint::{TpuPoint, runtime::{JobConfig, TrainingJob}};
+///
+/// let job = TrainingJob::new(JobConfig::demo());
+/// let tp = TpuPoint::builder().analyzer(false).build();
+/// let mut tpprofiler = tp.start(&job);     // tpprofiler.Start(...)
+/// let report = job.run(&mut tpprofiler);   // estimator.train(...)
+/// let profile = tpprofiler.stop();         // tpprofiler.Stop()
+/// assert_eq!(profile.step_marks.len() as u64, report.steps_completed);
+/// ```
+///
+/// The handle is a [`tpupoint_simcore::trace::TraceSink`], so it plugs
+/// directly into [`TrainingJob::run`]. Prefer [`TpuPoint::profile`] when
+/// you do not need to interleave your own logic between start and stop.
+#[derive(Debug)]
+pub struct ProfilerHandle {
+    sink: ProfilerSink,
+}
+
+impl ProfilerHandle {
+    /// Events observed so far.
+    pub fn events_seen(&self) -> u64 {
+        self.sink.events_seen()
+    }
+
+    /// Stops profiling and returns the captured profile (the paper's
+    /// `Stop()`, which also kicks off post-processing when analyzer mode
+    /// is on — here, the caller passes the profile to
+    /// [`TpuPoint::analyze`]).
+    pub fn stop(self) -> Profile {
+        self.sink.finish()
+    }
+}
+
+impl tpupoint_simcore::trace::TraceSink for ProfilerHandle {
+    fn record(&mut self, event: &tpupoint_simcore::trace::TraceEvent) {
+        self.sink.record(event);
+    }
+
+    fn on_step(&mut self, step: u64, at: tpupoint_simcore::SimTime) {
+        self.sink.on_step(step, at);
+    }
+
+    fn on_checkpoint(&mut self, step: u64, at: tpupoint_simcore::SimTime) {
+        self.sink.on_checkpoint(step, at);
+    }
+}
+
+/// The TPUPoint toolchain handle.
+#[derive(Debug, Clone)]
+pub struct TpuPoint {
+    options: TpuPointBuilder,
+}
+
+impl TpuPoint {
+    /// Starts building a `TpuPoint`.
+    pub fn builder() -> TpuPointBuilder {
+        TpuPointBuilder::default()
+    }
+
+    /// Starts a profiler for `job` (the paper's `Start()`): the returned
+    /// handle is the trace sink to pass to [`TrainingJob::run`]. Note that
+    /// the profiling overhead on the host is only modeled when the job's
+    /// config carries a non-zero `host_overhead_frac`;
+    /// [`TpuPoint::profile`] sets it automatically.
+    pub fn start(&self, job: &TrainingJob) -> ProfilerHandle {
+        let mut sink = ProfilerSink::new(job.catalog().clone(), self.options.profiler_options);
+        sink.set_source(&job.config().model, &job.config().dataset.name);
+        ProfilerHandle { sink }
+    }
+
+    /// Profiles an entire training session (the paper's Start → train →
+    /// Stop sequence). Profiling overhead is charged to the host while the
+    /// profiler runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if analyzer-mode recording to the output directory
+    /// fails.
+    pub fn profile(&self, mut config: JobConfig) -> io::Result<ProfiledRun> {
+        config.host_overhead_frac += self.options.profiling_overhead_frac;
+        let job = TrainingJob::new(config);
+        let mut sink = if self.options.analyzer {
+            if let Some(dir) = &self.options.output_dir {
+                let store = JsonlStore::create(&dir.join("records"))?;
+                ProfilerSink::with_store(
+                    job.catalog().clone(),
+                    self.options.profiler_options,
+                    Box::new(store),
+                )
+            } else {
+                ProfilerSink::new(job.catalog().clone(), self.options.profiler_options)
+            }
+        } else {
+            ProfilerSink::new(job.catalog().clone(), self.options.profiler_options)
+        };
+        sink.set_source(&job.config().model, &job.config().dataset.name);
+        let report = job.run(&mut sink);
+        let profile = sink.finish();
+        Ok(ProfiledRun { report, profile })
+    }
+
+    /// Runs TPUPoint-Analyzer: OLS phases at the configured threshold,
+    /// checkpoint association, and (with an output directory) the
+    /// Chrome-tracing JSON and CSV files.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the visualization files cannot be written.
+    pub fn analyze(&self, profile: &Profile) -> io::Result<AnalysisArtifacts> {
+        let analyzer = Analyzer::new(profile);
+        let ols_phases = analyzer.ols_phases(self.options.ols_threshold);
+        let phase_checkpoints = analyzer.checkpoints_for(&ols_phases);
+        let (trace_path, csv_path) = match &self.options.output_dir {
+            Some(dir) => {
+                std::fs::create_dir_all(dir)?;
+                let trace = dir.join(format!("{}-trace.json", profile.model));
+                let csv = dir.join(format!("{}-phases.csv", profile.model));
+                let steps = dir.join(format!("{}-steps.csv", profile.model));
+                analyzer.write_chrome_trace(&ols_phases, std::fs::File::create(&trace)?)?;
+                analyzer.write_phase_csv(&ols_phases, std::fs::File::create(&csv)?)?;
+                analyzer.write_step_csv(std::fs::File::create(&steps)?)?;
+                (Some(trace), Some(csv))
+            }
+            None => (None, None),
+        };
+        Ok(AnalysisArtifacts {
+            ols_phases,
+            phase_checkpoints,
+            trace_path,
+            csv_path,
+        })
+    }
+
+    /// Runs TPUPoint-Optimizer on a job.
+    pub fn optimize(&self, config: JobConfig) -> OptimizerReport {
+        TpuPointOptimizer::new(config).optimize()
+    }
+
+    /// The configured output directory, if any.
+    pub fn output_dir(&self) -> Option<&Path> {
+        self.options.output_dir.as_deref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> JobConfig {
+        JobConfig::demo()
+    }
+
+    #[test]
+    fn profile_produces_matching_report_and_profile() {
+        let tp = TpuPoint::builder().analyzer(false).build();
+        let run = tp.profile(demo()).expect("in-memory profiling");
+        assert_eq!(
+            run.profile.step_marks.len() as u64,
+            run.report.steps_completed
+        );
+        assert_eq!(run.profile.model, "demo-mlp");
+    }
+
+    #[test]
+    fn profiling_overhead_is_applied() {
+        let slow = TpuPoint::builder()
+            .analyzer(false)
+            .profiling_overhead(0.5)
+            .build();
+        let fast = TpuPoint::builder()
+            .analyzer(false)
+            .profiling_overhead(0.0)
+            .build();
+        let mut cfg = demo();
+        cfg.jitter_sigma = 0.0;
+        cfg.pipeline = tpupoint_graph::PipelineSpec::naive(cfg.pipeline.batch_size);
+        cfg.dataset.host_us_per_batch = 100_000.0;
+        let r_slow = slow.profile(cfg.clone()).unwrap();
+        let r_fast = fast.profile(cfg).unwrap();
+        assert!(r_slow.report.session_wall > r_fast.report.session_wall);
+    }
+
+    #[test]
+    fn analyze_writes_artifacts_when_output_dir_set() {
+        let dir = std::env::temp_dir().join(format!("tpupoint-facade-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let tp = TpuPoint::builder().analyzer(true).output_dir(&dir).build();
+        let run = tp.profile(demo()).expect("profiling with store");
+        let analysis = tp.analyze(&run.profile).expect("analysis");
+        assert!(analysis
+            .trace_path
+            .as_ref()
+            .expect("trace written")
+            .exists());
+        assert!(analysis.csv_path.as_ref().expect("csv written").exists());
+        assert!(dir.join("records/steps.jsonl").exists());
+        assert!(!analysis.ols_phases.is_empty());
+        assert_eq!(analysis.phase_checkpoints.len(), analysis.ols_phases.len());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn optimize_delegates_and_preserves_output() {
+        let tp = TpuPoint::builder().build();
+        let mut cfg = demo();
+        cfg.train_steps = 20;
+        let report = tp.optimize(cfg);
+        assert!(report.output_preserved());
+    }
+}

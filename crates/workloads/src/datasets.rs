@@ -1,0 +1,134 @@
+//! The datasets of Table I, with their exact published sizes.
+
+use tpupoint_runtime::{DataKind, DatasetSpec};
+
+const MIB: u64 = 1024 * 1024;
+const GIB: u64 = 1024 * MIB;
+
+/// Stanford Question Answering Dataset: 422.27 MiB, ~87.6k training
+/// examples.
+pub fn squad() -> DatasetSpec {
+    DatasetSpec {
+        name: "SQuAD".to_owned(),
+        size_bytes: (422.27 * MIB as f64) as u64,
+        num_examples: 87_599,
+        kind: DataKind::Text,
+        host_cost_factor: 1.0,
+        host_us_per_batch: 0.0,
+    }
+}
+
+/// Microsoft Research Paraphrase Corpus: 2.85 MiB, 3,668 examples.
+pub fn mrpc() -> DatasetSpec {
+    DatasetSpec {
+        name: "MRPC".to_owned(),
+        size_bytes: (2.85 * MIB as f64) as u64,
+        num_examples: 3_668,
+        kind: DataKind::Text,
+        host_cost_factor: 1.0,
+        host_us_per_batch: 0.0,
+    }
+}
+
+/// Multi-Genre Natural Language Inference: 430.61 MiB, 392,702 examples.
+pub fn mnli() -> DatasetSpec {
+    DatasetSpec {
+        name: "MNLI".to_owned(),
+        size_bytes: (430.61 * MIB as f64) as u64,
+        num_examples: 392_702,
+        kind: DataKind::Text,
+        host_cost_factor: 1.0,
+        host_us_per_batch: 0.0,
+    }
+}
+
+/// Corpus of Linguistic Acceptability: 1.44 MiB, 8,551 examples.
+pub fn cola() -> DatasetSpec {
+    DatasetSpec {
+        name: "CoLA".to_owned(),
+        size_bytes: (1.44 * MIB as f64) as u64,
+        num_examples: 8_551,
+        kind: DataKind::Text,
+        host_cost_factor: 1.0,
+        host_us_per_batch: 0.0,
+    }
+}
+
+/// CIFAR-10: 178.87 MiB, 60,000 32×32 images.
+pub fn cifar10() -> DatasetSpec {
+    DatasetSpec {
+        name: "CIFAR10".to_owned(),
+        size_bytes: (178.87 * MIB as f64) as u64,
+        num_examples: 60_000,
+        kind: DataKind::Image,
+        host_cost_factor: 1.0,
+        host_us_per_batch: 0.0,
+    }
+}
+
+/// MNIST: 56.21 MiB, 60,000 28×28 images.
+pub fn mnist() -> DatasetSpec {
+    DatasetSpec {
+        name: "MNIST".to_owned(),
+        size_bytes: (56.21 * MIB as f64) as u64,
+        num_examples: 60_000,
+        kind: DataKind::Image,
+        host_cost_factor: 1.0,
+        host_us_per_batch: 0.0,
+    }
+}
+
+/// Common Objects in Context: 48.49 GiB, ~118k annotated images.
+pub fn coco() -> DatasetSpec {
+    DatasetSpec {
+        name: "COCO".to_owned(),
+        size_bytes: (48.49 * GIB as f64) as u64,
+        num_examples: 118_287,
+        kind: DataKind::ImageDetection,
+        host_cost_factor: 1.0,
+        host_us_per_batch: 0.0,
+    }
+}
+
+/// ImageNet (ILSVRC-2012 train): 143.38 GiB, ~1.28M images.
+pub fn imagenet() -> DatasetSpec {
+    DatasetSpec {
+        name: "ImageNet".to_owned(),
+        size_bytes: (143.38 * GIB as f64) as u64,
+        num_examples: 1_281_167,
+        kind: DataKind::Image,
+        host_cost_factor: 1.0,
+        host_us_per_batch: 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_one_sizes_are_reproduced() {
+        assert_eq!(squad().size_bytes, 442_782_187);
+        assert_eq!(mrpc().num_examples, 3_668);
+        assert_eq!(coco().size_bytes / GIB, 48);
+        assert_eq!(imagenet().size_bytes / GIB, 143);
+    }
+
+    #[test]
+    fn record_sizes_are_plausible() {
+        // ImageNet JPEGs average ~100 KB; COCO images ~400 KB; text
+        // records are small.
+        let im = imagenet().record_bytes();
+        assert!((80_000..150_000).contains(&im), "imagenet record {im}");
+        let co = coco().record_bytes();
+        assert!((300_000..500_000).contains(&co), "coco record {co}");
+        assert!(squad().record_bytes() < 10_000);
+    }
+
+    #[test]
+    fn kinds_match_workload_types() {
+        assert_eq!(squad().kind, DataKind::Text);
+        assert_eq!(cifar10().kind, DataKind::Image);
+        assert_eq!(coco().kind, DataKind::ImageDetection);
+    }
+}

@@ -1,0 +1,42 @@
+//! # tpupoint-workloads
+//!
+//! The paper's workload suite (Table I) as simulated training jobs:
+//!
+//! | Workload  | Model      | Datasets                       | Type |
+//! |-----------|------------|--------------------------------|------|
+//! | BERT      | BERT-base  | SQuAD, MRPC, MNLI, CoLA        | NLP  |
+//! | DCGAN     | DCGAN      | CIFAR-10, MNIST                | image generation |
+//! | QANet     | QANet      | SQuAD                          | Q/A NLP |
+//! | RetinaNet | RetinaNet  | COCO                           | object detection |
+//! | ResNet    | ResNet-50  | ImageNet (+ CIFAR-10 reduced)  | classification |
+//!
+//! Each model is built as a [`tpupoint_graph::Graph`] whose operator mix
+//! and arithmetic volume approximate the real network (forward plus a
+//! backward pass of roughly 2× forward FLOPs, normalization, reshapes and
+//! transposes, gradient all-reduce, and optimizer updates). Datasets carry
+//! the exact byte sizes of Table I, so the host-side pipeline cost — the
+//! paper's central bottleneck — scales the way the real inputs do.
+//!
+//! [`suite::WorkloadId`] enumerates every workload×dataset pair of the
+//! evaluation, including the reduced-dataset runs of Figures 12–13, and
+//! [`suite::build`] produces a ready-to-run [`tpupoint_runtime::JobConfig`]
+//! for any of them on either TPU generation.
+//!
+//! ```
+//! use tpupoint_workloads::{build, BuildOptions, WorkloadId};
+//! use tpupoint_hw::TpuGeneration;
+//!
+//! let config = build(
+//!     WorkloadId::DcganCifar10,
+//!     TpuGeneration::V2,
+//!     &BuildOptions { scale: 0.01, ..BuildOptions::default() },
+//! );
+//! assert_eq!(config.model, "DCGAN");
+//! assert_eq!(config.pipeline.batch_size, 1024);
+//! ```
+
+pub mod datasets;
+pub mod models;
+pub mod suite;
+
+pub use suite::{build, BuildOptions, Variant, WorkloadId};

@@ -1,0 +1,186 @@
+//! BERT (Devlin et al.) as used by the paper's NLP workloads: max
+//! sequence length 128, batch size 32 (Table I). Six transformer blocks
+//! stand in for BERT-base's twelve; hidden and FFN widths are the real
+//! 768/3072.
+
+use super::{dense_backward, training_tail};
+use tpupoint_graph::{fusion, DType, Graph, GraphBuilder, NodeId, OpKind, Shape};
+
+const HIDDEN: u64 = 768;
+const FFN: u64 = 3072;
+const VOCAB: u64 = 30_522;
+const LAYERS: usize = 6;
+
+struct Encoder {
+    output: NodeId,
+    params: Vec<NodeId>,
+}
+
+fn encoder_stack(b: &mut GraphBuilder, batch: u64, seq: u64, backward: bool) -> Encoder {
+    let ids = b.input("input_ids", DType::I32, Shape::of(&[batch, seq]));
+    let mask = b.input("input_mask", DType::I32, Shape::of(&[batch, seq]));
+    let _ = mask;
+    let table = b.parameter("embeddings", DType::BF16, Shape::of(&[VOCAB, HIDDEN]));
+    let mut params = vec![table];
+    let emb = b.gather(table, ids);
+    let mut x = b.layer_norm(emb); // [batch, seq, hidden]
+    for layer in 0..LAYERS {
+        let w_qkv = b.parameter(
+            &format!("l{layer}.w_qkv"),
+            DType::BF16,
+            Shape::of(&[HIDDEN, 3 * HIDDEN]),
+        );
+        let w_o = b.parameter(
+            &format!("l{layer}.w_o"),
+            DType::BF16,
+            Shape::of(&[HIDDEN, HIDDEN]),
+        );
+        let w_ff1 = b.parameter(
+            &format!("l{layer}.w_ff1"),
+            DType::BF16,
+            Shape::of(&[HIDDEN, FFN]),
+        );
+        let w_ff2 = b.parameter(
+            &format!("l{layer}.w_ff2"),
+            DType::BF16,
+            Shape::of(&[FFN, HIDDEN]),
+        );
+        params.extend([w_qkv, w_o, w_ff1, w_ff2]);
+
+        // Attention.
+        let flat = b.reshape(x, Shape::of(&[batch * seq, HIDDEN]));
+        let qkv = b.matmul(flat, w_qkv); // [bs, 3h]
+        let _heads = b.reshape(qkv, Shape::of(&[batch, seq, 3 * HIDDEN]));
+        let keys_t = b.transpose(x, &[0, 2, 1]); // [batch, hidden, seq]
+        let scores = b.matmul(x, keys_t); // [batch, seq, seq]
+        let probs = b.softmax(scores);
+        let context = b.matmul(probs, x); // [batch, seq, hidden]
+        let ctx_flat = b.reshape(context, Shape::of(&[batch * seq, HIDDEN]));
+        let attn_out = b.matmul(ctx_flat, w_o);
+        let attn3 = b.reshape(attn_out, Shape::of(&[batch, seq, HIDDEN]));
+        let res1 = b.binary(OpKind::Add, attn3, x);
+        let norm1 = b.layer_norm(res1);
+
+        // Feed-forward.
+        let n_flat = b.reshape(norm1, Shape::of(&[batch * seq, HIDDEN]));
+        let h1 = b.matmul(n_flat, w_ff1);
+        let act = b.unary(OpKind::Tanh, h1); // GELU stand-in
+        let h2 = b.matmul(act, w_ff2);
+        let h23 = b.reshape(h2, Shape::of(&[batch, seq, HIDDEN]));
+        let res2 = b.binary(OpKind::Add, h23, norm1);
+        x = b.layer_norm(res2);
+
+        if backward {
+            let _ = dense_backward(b, n_flat, w_ff1);
+            let _ = dense_backward(b, act, w_ff2);
+            let _ = dense_backward(b, ctx_flat, w_o);
+            let _ = dense_backward(b, flat, w_qkv);
+            let g = b.layer_norm(x);
+            let _ = b.unary(OpKind::ReluGrad, g);
+        }
+    }
+    Encoder { output: x, params }
+}
+
+/// BERT fine-tuning training step (XLA-fused).
+pub fn train_graph(batch: u64, seq: u64) -> Graph {
+    fusion::fuse(&train_graph_raw(batch, seq))
+}
+
+/// BERT fine-tuning training step before fusion (for ablations).
+pub fn train_graph_raw(batch: u64, seq: u64) -> Graph {
+    let mut b = GraphBuilder::new("BERT");
+    let labels = {
+        // Declared before the stack so inputs stay grouped in the graph.
+        b.input("labels", DType::I32, Shape::of(&[batch]))
+    };
+    let enc = encoder_stack(&mut b, batch, seq, true);
+    let w_cls = b.parameter("classifier", DType::BF16, Shape::of(&[HIDDEN, 2]));
+    let pooled = b.reshape(enc.output, Shape::of(&[batch, seq * HIDDEN]));
+    let first_tok = b.reshape(pooled, Shape::of(&[batch * seq, HIDDEN]));
+    let logits = b.matmul(first_tok, w_cls);
+    let loss = b.softmax_cross_entropy(logits, labels);
+    let mut params = enc.params;
+    params.push(w_cls);
+    let mut outs = training_tail(&mut b, enc.output, &params);
+    outs.push(loss);
+    b.finish(&outs)
+}
+
+/// BERT evaluation step: forward pass plus accuracy-style reductions.
+pub fn eval_graph(batch: u64, seq: u64) -> Graph {
+    let mut b = GraphBuilder::new("BERT-eval");
+    let labels = b.input("labels", DType::I32, Shape::of(&[batch]));
+    let enc = encoder_stack(&mut b, batch, seq, false);
+    let w_cls = b.parameter("classifier", DType::BF16, Shape::of(&[HIDDEN, 2]));
+    let flat = b.reshape(enc.output, Shape::of(&[batch * seq, HIDDEN]));
+    let logits = b.matmul(flat, w_cls);
+    // Metrics reuse operator kinds already present in the training graph,
+    // so an eval step's operator *set* is a subset of a train step's and
+    // Eq. 1's min-normalized similarity merges them into one OLS phase.
+    let loss = b.softmax_cross_entropy(logits, labels);
+    let norm = b.l2_loss(logits);
+    fusion::fuse(&b.finish(&[loss, norm]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn train_graph_has_transformer_scale_arithmetic() {
+        let g = train_graph(32, 128);
+        // 6 layers x (qkv + out + 2 ffn + attention) forward plus ~2x
+        // backward at batch 32, seq 128, hidden 768 lands in the
+        // hundreds-of-GFLOPs range.
+        let gflops = g.total_flops() / 1e9;
+        assert!(
+            (100.0..4_000.0).contains(&gflops),
+            "BERT step = {gflops} GFLOPs"
+        );
+    }
+
+    #[test]
+    fn train_graph_contains_the_expected_op_mix() {
+        let g = train_graph(32, 128);
+        let has = |k: OpKind| g.nodes().iter().any(|n| n.kind == k);
+        for kind in [
+            OpKind::MatMul,
+            OpKind::Reshape,
+            OpKind::Transpose,
+            OpKind::LayerNorm,
+            OpKind::GatherV2,
+            OpKind::CrossReplicaSum,
+            OpKind::ResourceApplyAdam,
+            OpKind::L2Loss,
+            OpKind::Fusion,
+        ] {
+            assert!(has(kind), "missing {kind}");
+        }
+    }
+
+    #[test]
+    fn eval_graph_is_smaller_and_has_eval_only_ops() {
+        let train = train_graph(32, 128);
+        let eval = eval_graph(32, 128);
+        assert!(eval.node_count() < train.node_count());
+        assert!(eval.total_flops() < train.total_flops() / 2.0);
+        // Eval op kinds are a subset of train op kinds (Eq. 1 merging).
+        use std::collections::BTreeSet;
+        let kinds = |g: &Graph| -> BTreeSet<OpKind> { g.nodes().iter().map(|n| n.kind).collect() };
+        assert!(kinds(&eval).is_subset(&kinds(&train)));
+    }
+
+    #[test]
+    fn parameter_bytes_are_tens_of_megabytes() {
+        let g = train_graph(32, 128);
+        let bytes: u64 = g
+            .nodes()
+            .iter()
+            .filter(|n| n.kind == OpKind::Parameter)
+            .map(|n| n.output.size_bytes())
+            .sum();
+        let mb = bytes / (1024 * 1024);
+        assert!((80..200).contains(&mb), "BERT params = {mb} MB");
+    }
+}

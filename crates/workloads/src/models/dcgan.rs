@@ -1,0 +1,157 @@
+//! DCGAN (Radford et al.): image generation at batch size 1024
+//! (Table I). The generator upsamples by reshaping channel depth into
+//! spatial extent between stride-1 convolutions; the discriminator is a
+//! strided conv stack with leaky-ReLU (`Maximum`) activations.
+
+use super::{conv_block_backward, training_tail};
+use tpupoint_graph::{fusion, DType, Graph, GraphBuilder, NodeId, OpKind, Shape};
+
+const NOISE: u64 = 100;
+
+fn generator(b: &mut GraphBuilder, batch: u64) -> (NodeId, Vec<NodeId>) {
+    let z = b.input("noise", DType::BF16, Shape::of(&[batch, NOISE]));
+    let w_proj = b.parameter("g.project", DType::BF16, Shape::of(&[NOISE, 4 * 4 * 512]));
+    let mut params = vec![w_proj];
+    let proj = b.matmul(z, w_proj);
+    let mut x = b.reshape(proj, Shape::of(&[batch, 4, 4, 512]));
+    // Each stage: reshape-upsample (2x spatial, channels preserved in
+    // element count) then a stride-1 conv that doubles channels.
+    for (stage, (h, c)) in [(8u64, 128u64), (16, 64), (32, 32)].into_iter().enumerate() {
+        x = b.reshape(x, Shape::of(&[batch, h, h, c]));
+        let conv = b.conv2d(x, (5, 5), c * 2, 1);
+        // Bias add fuses with the conv into an XLA `fusion` kernel.
+        let biased = b.unary(OpKind::BiasAdd, conv);
+        let norm = b.batch_norm(biased);
+        x = b.relu(norm);
+        let w = b.parameter(
+            &format!("g.conv{stage}"),
+            DType::BF16,
+            Shape::of(&[5, 5, c, c * 2]),
+        );
+        params.push(w);
+    }
+    // Final image head: 3 channels, tanh (fuses with the conv).
+    let head = b.conv2d(x, (5, 5), 3, 1);
+    let img = b.unary(OpKind::Tanh, head);
+    (img, params)
+}
+
+fn discriminator(
+    b: &mut GraphBuilder,
+    image: NodeId,
+    batch: u64,
+    prefix: &str,
+) -> (NodeId, Vec<NodeId>) {
+    let mut params = Vec::new();
+    let mut x = image;
+    let mut in_c = 3u64;
+    for (stage, c) in [64u64, 128, 256].into_iter().enumerate() {
+        let conv = b.conv2d(x, (5, 5), c, 2);
+        let biased = b.unary(OpKind::BiasAdd, conv);
+        let norm = b.batch_norm(biased);
+        x = b.binary(OpKind::Maximum, norm, norm); // leaky ReLU stand-in
+        let w = b.parameter(
+            &format!("{prefix}.conv{stage}"),
+            DType::BF16,
+            Shape::of(&[5, 5, in_c, c]),
+        );
+        params.push(w);
+        in_c = c;
+    }
+    let w_fc = b.parameter(
+        &format!("{prefix}.fc"),
+        DType::BF16,
+        Shape::of(&[4 * 4 * 256, 1]),
+    );
+    params.push(w_fc);
+    let flat = b.reshape(x, Shape::of(&[batch, 4 * 4 * 256]));
+    let logit = b.matmul(flat, w_fc);
+    (logit, params)
+}
+
+/// DCGAN training step (XLA-fused).
+pub fn train_graph(batch: u64) -> Graph {
+    fusion::fuse(&train_graph_raw(batch))
+}
+
+/// DCGAN training step before fusion (for ablations).
+pub fn train_graph_raw(batch: u64) -> Graph {
+    let mut b = GraphBuilder::new("DCGAN");
+    let real = b.input("real_images", DType::BF16, Shape::of(&[batch, 32, 32, 3]));
+    let (fake, g_params) = generator(&mut b, batch);
+    let (d_fake, d_params) = discriminator(&mut b, fake, batch, "d");
+    let (d_real, _) = discriminator(&mut b, real, batch, "d_shared");
+    let g_loss = b.reduce_sum(d_fake);
+    let d_gap = b.binary(OpKind::Sub, d_real, d_fake);
+    let d_loss = b.reduce_sum(d_gap);
+    // Backward: discriminator convs on both paths, one generator stage.
+    let _ = conv_block_backward(&mut b, real, (5, 5), 64, 2);
+    let _ = conv_block_backward(&mut b, fake, (5, 5), 64, 2);
+    let up = b.reshape(fake, Shape::of(&[batch, 16, 16, 12]));
+    let _ = conv_block_backward(&mut b, up, (5, 5), 24, 1);
+    let mut params = g_params;
+    params.extend(d_params);
+    let mut outs = training_tail(&mut b, fake, &params);
+    outs.push(g_loss);
+    outs.push(d_loss);
+    b.finish(&outs)
+}
+
+/// DCGAN evaluation step: generate images and score them.
+pub fn eval_graph(batch: u64) -> Graph {
+    let mut b = GraphBuilder::new("DCGAN-eval");
+    let (fake, _) = generator(&mut b, batch);
+    let (d_fake, _) = discriminator(&mut b, fake, batch, "d");
+    // Score with operator kinds the training graph already uses so eval
+    // steps merge into the training phase under Eq. 1.
+    let score = b.reduce_sum(d_fake);
+    let gap = b.binary(OpKind::Sub, d_fake, d_fake);
+    let spread = b.reduce_sum(gap);
+    fusion::fuse(&b.finish(&[score, spread]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_produces_images_discriminator_scores_them() {
+        let g = train_graph(1024);
+        let has = |k: OpKind| g.nodes().iter().any(|n| n.kind == k);
+        // Forward convs fuse with their bias adds into MXU fusion kernels.
+        assert!(g
+            .nodes()
+            .iter()
+            .any(|n| n.kind == OpKind::Fusion && n.uses_mxu));
+        assert!(has(OpKind::Reshape));
+        assert!(has(OpKind::Conv2DBackpropFilter));
+        assert!(has(OpKind::FusedBatchNormGradV3));
+    }
+
+    #[test]
+    fn train_flops_fit_small_image_gan() {
+        let g = train_graph(1024);
+        let gflops = g.total_flops() / 1e9;
+        assert!(
+            (50.0..10_000.0).contains(&gflops),
+            "DCGAN step = {gflops} GFLOPs"
+        );
+    }
+
+    #[test]
+    fn eval_graph_lacks_backward_ops() {
+        let e = eval_graph(1024);
+        assert!(!e
+            .nodes()
+            .iter()
+            .any(|n| n.kind == OpKind::Conv2DBackpropFilter));
+        assert!(e.nodes().iter().any(|n| n.kind == OpKind::Sum));
+    }
+
+    #[test]
+    fn batch_size_scales_arithmetic() {
+        let small = train_graph(256);
+        let big = train_graph(1024);
+        assert!(big.total_flops() > 3.0 * small.total_flops());
+    }
+}

@@ -1,0 +1,153 @@
+//! QANet (Yu et al.): reading comprehension combining local convolution
+//! with global self-attention, batch size 32 on SQuAD (Table I). Five
+//! encoder blocks stand in for the published stack; each block is
+//! conv → conv → self-attention → feed-forward with layer norms.
+
+use super::{dense_backward, training_tail};
+use tpupoint_graph::{fusion, DType, Graph, GraphBuilder, NodeId, OpKind, Shape};
+
+const HIDDEN: u64 = 128;
+const SEQ: u64 = 400;
+const VOCAB: u64 = 90_000;
+const BLOCKS: usize = 5;
+
+struct Encoder {
+    output: NodeId,
+    params: Vec<NodeId>,
+}
+
+fn encoder(b: &mut GraphBuilder, batch: u64, backward: bool) -> Encoder {
+    let ids = b.input("context_ids", DType::I32, Shape::of(&[batch, SEQ]));
+    let q_ids = b.input("question_ids", DType::I32, Shape::of(&[batch, 64]));
+    let table = b.parameter("embeddings", DType::BF16, Shape::of(&[VOCAB, HIDDEN]));
+    let mut params = vec![table];
+    let ctx = b.gather(table, ids); // [batch, SEQ, HIDDEN]
+    let que = b.gather(table, q_ids);
+    let _ = que;
+    let mut x = b.layer_norm(ctx);
+    for blk in 0..BLOCKS {
+        // Depthwise-separable convs, modeled as NHWC convs on
+        // [batch, 1, SEQ, HIDDEN].
+        let as_img = b.reshape(x, Shape::of(&[batch, 1, SEQ, HIDDEN]));
+        let c1 = b.conv2d(as_img, (1, 7), HIDDEN, 1);
+        let r1 = b.relu(c1);
+        let c2 = b.conv2d(r1, (1, 7), HIDDEN, 1);
+        let r2 = b.relu(c2);
+        let back = b.reshape(r2, Shape::of(&[batch, SEQ, HIDDEN]));
+        let n1 = b.layer_norm(back);
+        // Self-attention.
+        let w_atn = b.parameter(
+            &format!("b{blk}.w_atn"),
+            DType::BF16,
+            Shape::of(&[HIDDEN, HIDDEN]),
+        );
+        let flat = b.reshape(n1, Shape::of(&[batch * SEQ, HIDDEN]));
+        let proj = b.matmul(flat, w_atn);
+        let _p3 = b.reshape(proj, Shape::of(&[batch, SEQ, HIDDEN]));
+        let keys_t = b.transpose(n1, &[0, 2, 1]);
+        let scores = b.matmul(n1, keys_t);
+        let probs = b.softmax(scores);
+        let context = b.matmul(probs, n1);
+        let n2 = b.layer_norm(context);
+        // Feed-forward.
+        let w_ff = b.parameter(
+            &format!("b{blk}.w_ff"),
+            DType::BF16,
+            Shape::of(&[HIDDEN, HIDDEN]),
+        );
+        let n2f = b.reshape(n2, Shape::of(&[batch * SEQ, HIDDEN]));
+        let ff = b.matmul(n2f, w_ff);
+        let act = b.relu(ff);
+        let act3 = b.reshape(act, Shape::of(&[batch, SEQ, HIDDEN]));
+        let res = b.binary(OpKind::Add, act3, n2);
+        x = b.layer_norm(res);
+        params.extend([w_atn, w_ff]);
+        if backward {
+            let _ = dense_backward(b, flat, w_atn);
+            let _ = dense_backward(b, n2f, w_ff);
+            let _ = b.conv2d_backprop_filter(as_img, (1, 7), HIDDEN, 1);
+            let _ = b.conv2d_backprop_input(as_img, (1, 7), HIDDEN, 1);
+            let g = b.unary(OpKind::ReluGrad, act);
+            let _ = g;
+        }
+    }
+    Encoder { output: x, params }
+}
+
+/// QANet training step (XLA-fused).
+pub fn train_graph(batch: u64) -> Graph {
+    fusion::fuse(&train_graph_raw(batch))
+}
+
+/// QANet training step before fusion (for ablations).
+pub fn train_graph_raw(batch: u64) -> Graph {
+    let mut b = GraphBuilder::new("QANet");
+    let starts = b.input("start_positions", DType::I32, Shape::of(&[batch]));
+    let enc = encoder(&mut b, batch, true);
+    let w_span = b.parameter("span.w", DType::BF16, Shape::of(&[HIDDEN, 2]));
+    let flat = b.reshape(enc.output, Shape::of(&[batch * SEQ, HIDDEN]));
+    let logits = b.matmul(flat, w_span);
+    let loss = b.softmax_cross_entropy(logits, starts);
+    let mut params = enc.params;
+    params.push(w_span);
+    let mut outs = training_tail(&mut b, enc.output, &params);
+    outs.push(loss);
+    b.finish(&outs)
+}
+
+/// QANet evaluation step: forward plus span-accuracy reductions.
+pub fn eval_graph(batch: u64) -> Graph {
+    let mut b = GraphBuilder::new("QANet-eval");
+    let starts = b.input("start_positions", DType::I32, Shape::of(&[batch]));
+    let enc = encoder(&mut b, batch, false);
+    let w_span = b.parameter("span.w", DType::BF16, Shape::of(&[HIDDEN, 2]));
+    let flat = b.reshape(enc.output, Shape::of(&[batch * SEQ, HIDDEN]));
+    let logits = b.matmul(flat, w_span);
+    // Span metrics with training-graph op kinds only (Eq. 1 merging).
+    let em = b.softmax_cross_entropy(logits, starts);
+    let f1 = b.l2_loss(logits);
+    fusion::fuse(&b.finish(&[em, f1]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixes_convolution_and_attention() {
+        let g = train_graph(32);
+        let has = |k: OpKind| g.nodes().iter().any(|n| n.kind == k);
+        // Forward convs fuse with their activations into MXU fusion
+        // kernels; the backward convs remain visible.
+        assert!(
+            g.nodes()
+                .iter()
+                .any(|n| n.kind == OpKind::Fusion && n.uses_mxu),
+            "local convolution (fused)"
+        );
+        assert!(has(OpKind::Conv2DBackpropFilter), "conv backward");
+        assert!(has(OpKind::MatMul), "global self-attention");
+        assert!(has(OpKind::Softmax) || has(OpKind::Fusion));
+        assert!(has(OpKind::GatherV2));
+    }
+
+    #[test]
+    fn flops_are_moderate_for_batch_32() {
+        let g = train_graph(32);
+        let gflops = g.total_flops() / 1e9;
+        assert!(
+            (50.0..5_000.0).contains(&gflops),
+            "QANet step = {gflops} GFLOPs"
+        );
+    }
+
+    #[test]
+    fn eval_has_metrics_but_no_backward() {
+        let e = eval_graph(32);
+        assert!(e.nodes().iter().any(|n| n.kind == OpKind::L2Loss));
+        assert!(!e
+            .nodes()
+            .iter()
+            .any(|n| n.kind == OpKind::Conv2DBackpropFilter));
+    }
+}

@@ -1,0 +1,155 @@
+//! ResNet-50 (He et al.): image classification at batch size 1024 on
+//! 224×224 inputs (Table I). Eight bottleneck blocks stand in for the
+//! published sixteen; the stem, strided stage transitions, and the final
+//! dense classifier are as in the original.
+
+use super::{conv_block, conv_block_backward, training_tail};
+use tpupoint_graph::{fusion, DType, Graph, GraphBuilder, NodeId, OpKind, Shape};
+
+/// `(blocks, channels, stride-of-first-block)` per stage; halved depth.
+const STAGES: [(usize, u64, u64); 4] = [(2, 64, 1), (2, 128, 2), (2, 256, 2), (2, 512, 2)];
+
+struct Backbone {
+    output: NodeId,
+    params: Vec<NodeId>,
+    /// `(input, filter, channels, stride)` of convolutions to differentiate.
+    bwd_sites: Vec<(NodeId, (u64, u64), u64, u64)>,
+}
+
+fn backbone(b: &mut GraphBuilder, batch: u64, image: u64) -> Backbone {
+    let x = b.input("images", DType::BF16, Shape::of(&[batch, image, image, 3]));
+    let mut params = Vec::new();
+    let mut bwd_sites = vec![(x, (7, 7), 64u64, 2u64)];
+    let mut cur = conv_block(b, x, (7, 7), 64, 2);
+    let stem_w = b.parameter("stem.w", DType::BF16, Shape::of(&[7, 7, 3, 64]));
+    params.push(stem_w);
+    for (si, (blocks, ch, first_stride)) in STAGES.into_iter().enumerate() {
+        for blk in 0..blocks {
+            let stride = if blk == 0 { first_stride } else { 1 };
+            // Bottleneck: 1x1 reduce, 3x3, 1x1 expand.
+            bwd_sites.push((cur, (1, 1), ch, stride));
+            let c1 = conv_block(b, cur, (1, 1), ch, stride);
+            bwd_sites.push((c1, (3, 3), ch, 1));
+            let c2 = conv_block(b, c1, (3, 3), ch, 1);
+            let c3 = b.conv2d(c2, (1, 1), ch * 4, 1);
+            let n3 = b.batch_norm(c3);
+            // Residual add (projection shortcut folded into the add cost).
+            let res = b.binary(OpKind::Add, n3, n3);
+            cur = b.relu(res);
+            let w = b.parameter(
+                &format!("s{si}b{blk}.w"),
+                DType::BF16,
+                Shape::of(&[3, 3, ch, ch * 4]),
+            );
+            params.push(w);
+        }
+    }
+    Backbone {
+        output: cur,
+        params,
+        bwd_sites,
+    }
+}
+
+/// ResNet-50 training step (XLA-fused).
+pub fn train_graph(batch: u64, image: u64) -> Graph {
+    fusion::fuse(&train_graph_raw(batch, image))
+}
+
+/// ResNet-50 training step before fusion (for ablations).
+pub fn train_graph_raw(batch: u64, image: u64) -> Graph {
+    let mut b = GraphBuilder::new("ResNet-50");
+    let labels = b.input("labels", DType::I32, Shape::of(&[batch]));
+    let net = backbone(&mut b, batch, image);
+    // Global average pool (approximated by reshapes; the final stage
+    // yields [batch, image/16, image/16, 2048] given the stem's stride-2
+    // and the three stride-2 stage transitions).
+    let pooled_len = 2048u64;
+    let pooled = {
+        let spatial = (image / 16) * (image / 16);
+        let r = b.reshape(net.output, Shape::of(&[batch, spatial, pooled_len]));
+        b.reshape(r, Shape::of(&[batch * spatial, pooled_len]))
+    };
+    let w_fc = b.parameter("fc.w", DType::BF16, Shape::of(&[pooled_len, 1000]));
+    let logits = b.matmul(pooled, w_fc);
+    let loss = b.softmax_cross_entropy(logits, labels);
+    // Backward pass over every conv site.
+    for &(x, hw, oc, stride) in &net.bwd_sites {
+        let _ = conv_block_backward(&mut b, x, hw, oc, stride);
+    }
+    let mut params = net.params;
+    params.push(w_fc);
+    let mut outs = training_tail(&mut b, net.output, &params);
+    outs.push(loss);
+    b.finish(&outs)
+}
+
+/// ResNet-50 evaluation step: forward plus top-1 metric reductions.
+pub fn eval_graph(batch: u64, image: u64) -> Graph {
+    let mut b = GraphBuilder::new("ResNet-50-eval");
+    let labels = b.input("labels", DType::I32, Shape::of(&[batch]));
+    let net = backbone(&mut b, batch, image);
+    let w_fc = b.parameter("fc.w", DType::BF16, Shape::of(&[2048, 1000]));
+    let flat = {
+        let spatial = (image / 16) * (image / 16);
+        let r = b.reshape(net.output, Shape::of(&[batch, spatial, 2048]));
+        b.reshape(r, Shape::of(&[batch * spatial, 2048]))
+    };
+    let logits = b.matmul(flat, w_fc);
+    // Top-1 metric built from training-graph op kinds (Eq. 1 merging).
+    let acc = b.softmax_cross_entropy(logits, labels);
+    let norm = b.l2_loss(logits);
+    fusion::fuse(&b.finish(&[acc, norm]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn train_step_is_teraflop_scale_at_batch_1024() {
+        let g = train_graph(1024, 224);
+        let tflops = g.total_flops() / 1e12;
+        assert!(
+            (2.0..40.0).contains(&tflops),
+            "ResNet step = {tflops} TFLOPs"
+        );
+    }
+
+    #[test]
+    fn conv_mix_dominates() {
+        let g = train_graph(256, 224);
+        let conv_flops: f64 = g
+            .nodes()
+            .iter()
+            .filter(|n| n.uses_mxu)
+            .map(|n| n.flops)
+            .sum();
+        assert!(conv_flops / g.total_flops() > 0.8);
+    }
+
+    #[test]
+    fn backward_ops_present() {
+        let g = train_graph(256, 224);
+        let has = |k: OpKind| g.nodes().iter().any(|n| n.kind == k);
+        assert!(has(OpKind::Conv2DBackpropFilter));
+        assert!(has(OpKind::Conv2DBackpropInput));
+        assert!(has(OpKind::FusedBatchNormGradV3));
+    }
+
+    #[test]
+    fn eval_graph_is_forward_only() {
+        let e = eval_graph(256, 224);
+        assert!(!e
+            .nodes()
+            .iter()
+            .any(|n| n.kind == OpKind::Conv2DBackpropFilter));
+    }
+
+    #[test]
+    fn smaller_images_cost_less() {
+        let small = train_graph(256, 32);
+        let big = train_graph(256, 224);
+        assert!(big.total_flops() > 10.0 * small.total_flops());
+    }
+}

@@ -1,0 +1,145 @@
+//! RetinaNet (Lin et al.): one-stage object detection with a ResNet
+//! backbone, feature-pyramid network, and dense class/box heads; batch
+//! size 64 on 640×640 COCO images (Table I).
+
+use super::{conv_block, conv_block_backward, training_tail};
+use tpupoint_graph::{fusion, DType, Graph, GraphBuilder, NodeId, OpKind, Shape};
+
+struct Net {
+    class_logits: NodeId,
+    box_regress: NodeId,
+    params: Vec<NodeId>,
+    bwd_sites: Vec<(NodeId, (u64, u64), u64, u64)>,
+}
+
+fn network(b: &mut GraphBuilder, batch: u64, image: u64) -> Net {
+    let x = b.input("images", DType::BF16, Shape::of(&[batch, image, image, 3]));
+    // Anchor boxes arrive from the host pipeline alongside the images.
+    let anchors = b.input("anchor_boxes", DType::BF16, Shape::of(&[batch, 1000, 4]));
+    let _ = anchors;
+    let mut params = Vec::new();
+    let mut bwd_sites: Vec<(NodeId, (u64, u64), u64, u64)> = vec![(x, (7, 7), 64, 2)];
+    // Backbone: stem plus four downsampling conv stages (reduced ResNet).
+    let mut cur = conv_block(b, x, (7, 7), 64, 2);
+    let stem_w = b.parameter("stem.w", DType::BF16, Shape::of(&[7, 7, 3, 64]));
+    params.push(stem_w);
+    for (si, ch) in [128u64, 256, 512, 512].into_iter().enumerate() {
+        bwd_sites.push((cur, (3, 3), ch, 2));
+        cur = conv_block(b, cur, (3, 3), ch, 2);
+        let w = b.parameter(
+            &format!("backbone{si}.w"),
+            DType::BF16,
+            Shape::of(&[3, 3, ch, ch]),
+        );
+        params.push(w);
+    }
+    // FPN lateral + output convs on the top feature map.
+    let lateral = conv_block(b, cur, (1, 1), 256, 1);
+    let fpn = conv_block(b, lateral, (3, 3), 256, 1);
+    let fpn_w = b.parameter("fpn.w", DType::BF16, Shape::of(&[3, 3, 512, 256]));
+    params.push(fpn_w);
+    bwd_sites.push((lateral, (3, 3), 256, 1));
+    // Heads: four convs each for classification and box regression.
+    let mut cls = fpn;
+    let mut boxr = fpn;
+    for i in 0..4 {
+        cls = conv_block(b, cls, (3, 3), 256, 1);
+        boxr = conv_block(b, boxr, (3, 3), 256, 1);
+        let w = b.parameter(
+            &format!("head{i}.w"),
+            DType::BF16,
+            Shape::of(&[3, 3, 256, 512]),
+        );
+        params.push(w);
+    }
+    bwd_sites.push((fpn, (3, 3), 256, 1));
+    bwd_sites.push((fpn, (3, 3), 256, 1));
+    // Output projections: 91 COCO classes x 9 anchors, 4 box coords x 9.
+    let class_logits = b.conv2d(cls, (3, 3), 91 * 9, 1);
+    let box_regress = b.conv2d(boxr, (3, 3), 4 * 9, 1);
+    Net {
+        class_logits,
+        box_regress,
+        params,
+        bwd_sites,
+    }
+}
+
+/// RetinaNet training step (XLA-fused).
+pub fn train_graph(batch: u64, image: u64) -> Graph {
+    fusion::fuse(&train_graph_raw(batch, image))
+}
+
+/// RetinaNet training step before fusion (for ablations), with
+/// focal-loss-style element-wise math.
+pub fn train_graph_raw(batch: u64, image: u64) -> Graph {
+    let mut b = GraphBuilder::new("RetinaNet");
+    let net = network(&mut b, batch, image);
+    // Focal loss: softmax, pow/scale (Mul), masking (Maximum/Minimum).
+    // The element-wise chain is single-consumer, so it fuses.
+    let probs = b.softmax(net.class_logits);
+    let focal = b.unary(OpKind::Mul, probs);
+    let masked = b.unary(OpKind::Maximum, focal);
+    let cls_loss = b.reduce_sum(masked);
+    let clipped = b.unary(OpKind::Minimum, net.box_regress);
+    let box_loss = b.l2_loss(clipped);
+    for &(x, hw, oc, stride) in &net.bwd_sites {
+        let _ = conv_block_backward(&mut b, x, hw, oc, stride);
+    }
+    let mut outs = training_tail(&mut b, net.class_logits, &net.params);
+    outs.push(cls_loss);
+    outs.push(box_loss);
+    b.finish(&outs)
+}
+
+/// RetinaNet evaluation step: forward detection plus COCO-metric style
+/// reductions.
+pub fn eval_graph(batch: u64, image: u64) -> Graph {
+    let mut b = GraphBuilder::new("RetinaNet-eval");
+    let net = network(&mut b, batch, image);
+    let probs = b.softmax(net.class_logits);
+    // COCO-style proxies from training-graph op kinds (Eq. 1 merging).
+    let map_proxy = b.reduce_sum(probs);
+    let det_count = b.l2_loss(net.box_regress);
+    fusion::fuse(&b.finish(&[map_proxy, det_count]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detection_step_is_teraflop_scale() {
+        let g = train_graph(64, 640);
+        let tflops = g.total_flops() / 1e12;
+        assert!(
+            (1.0..60.0).contains(&tflops),
+            "RetinaNet step = {tflops} TFLOPs"
+        );
+    }
+
+    #[test]
+    fn has_detection_specific_op_mix() {
+        let g = train_graph(8, 640);
+        let has = |k: OpKind| g.nodes().iter().any(|n| n.kind == k);
+        assert!(has(OpKind::Conv2D));
+        assert!(has(OpKind::L2Loss));
+        assert!(has(OpKind::Conv2DBackpropInput));
+        // Focal-loss element-wise chain fuses.
+        assert!(has(OpKind::Fusion));
+    }
+
+    #[test]
+    fn eval_graph_is_cheaper() {
+        let t = train_graph(8, 640);
+        let e = eval_graph(8, 640);
+        assert!(e.total_flops() < t.total_flops() / 2.0);
+    }
+
+    #[test]
+    fn image_size_drives_cost() {
+        let small = train_graph(8, 320);
+        let big = train_graph(8, 640);
+        assert!(big.total_flops() > 3.0 * small.total_flops());
+    }
+}

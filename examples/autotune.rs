@@ -1,0 +1,90 @@
+//! TPUPoint-Optimizer on a naive implementation (Section VII).
+//!
+//! Builds the QANet workload with the paper's "naive implementation"
+//! pipeline (single-threaded decode, minimal buffering, redundant
+//! transform passes), runs the optimizer, and prints every tuning trial
+//! plus the before/after idle and MXU numbers of Figures 15–16.
+//!
+//! ```text
+//! cargo run --release --example autotune
+//! ```
+
+use tpupoint::optimizer::TrialOutcome;
+use tpupoint::prelude::*;
+
+fn main() {
+    let config = build(
+        WorkloadId::QanetSquad,
+        TpuGeneration::V2,
+        &BuildOptions {
+            scale: 0.004,
+            variant: Variant::Naive,
+            ..BuildOptions::default()
+        },
+    );
+    println!(
+        "naive {} pipeline: {} decode threads, prefetch {}, {} transform passes",
+        config.model,
+        config.pipeline.num_parallel_calls,
+        config.pipeline.prefetch_depth,
+        config.pipeline.host_transform_passes
+    );
+
+    let report = TpuPointOptimizer::new(config).optimize();
+
+    println!("\nadjustable parameters: {:?}", report.discovery.adjustable);
+    println!(
+        "excluded: {:?}",
+        report
+            .discovery
+            .excluded
+            .iter()
+            .map(|(p, r)| format!("{p} ({r:?})"))
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "critical phase detected: {}",
+        report.critical_phase_detected
+    );
+
+    println!("\ntuning trials:");
+    for trial in &report.trials {
+        let marker = match trial.outcome {
+            TrialOutcome::Accepted => "ACCEPT",
+            TrialOutcome::NoImprovement => "revert",
+            TrialOutcome::OutputChanged => "GUARD!",
+            TrialOutcome::Invalid => "error ",
+        };
+        println!(
+            "  [{marker}] {:22} {:>5} -> {:<5} {:>8.2} steps/s",
+            trial.param.to_string(),
+            trial.from,
+            trial.to,
+            trial.steps_per_sec
+        );
+    }
+
+    println!("\ntuned pipeline: {:?}", report.tuned_pipeline);
+    println!(
+        "\nthroughput: {:.2} -> {:.2} steps/s ({:.3}x)",
+        report.baseline.throughput_steps_per_sec(),
+        report.optimized.throughput_steps_per_sec(),
+        report.throughput_speedup()
+    );
+    println!(
+        "TPU idle:   {:.1}% -> {:.1}%",
+        report.baseline.tpu_idle_fraction() * 100.0,
+        report.optimized.tpu_idle_fraction() * 100.0
+    );
+    println!(
+        "MXU util:   {:.1}% -> {:.1}%",
+        report.baseline.mxu_utilization() * 100.0,
+        report.optimized.mxu_utilization() * 100.0
+    );
+    println!(
+        "output preserved: {} (digest {:#x})",
+        report.output_preserved(),
+        report.optimized.output_digest
+    );
+    println!("online tuning overhead: {}", report.tuning_overhead);
+}

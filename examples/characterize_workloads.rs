@@ -1,0 +1,65 @@
+//! Characterize the paper's workload suite (Sections V–VI).
+//!
+//! Profiles every Table I workload on both TPU generations and prints the
+//! observations the paper derives: phase counts (Observation 1), top-3
+//! coverage (Observation 2), idle time and MXU utilization (Observations
+//! 3–5), and the common time-consuming operators.
+//!
+//! ```text
+//! cargo run --release --example characterize_workloads
+//! ```
+
+use tpupoint::prelude::*;
+
+fn main() -> std::io::Result<()> {
+    let tp = TpuPoint::builder().analyzer(false).build();
+    println!(
+        "{:18} {:>9} {:>12} {:>12} {:>10} {:>10}",
+        "workload", "phases", "top3 cover", "idle v2/v3", "mxu v2/v3", "steps"
+    );
+    let mut idle_sums = (0.0, 0.0);
+    let mut mxu_sums = (0.0, 0.0);
+    for id in WorkloadId::paper_nine() {
+        let opts = BuildOptions {
+            scale: id.default_sim_scale(),
+            ..BuildOptions::default()
+        };
+        let v2 = tp.profile(build(id, TpuGeneration::V2, &opts))?;
+        let v3 = tp.profile(build(id, TpuGeneration::V3, &opts))?;
+        let analyzer = Analyzer::new(&v2.profile);
+        let phases = analyzer.ols_phases(0.7);
+        let (i2, i3) = (
+            v2.profile.steady_tpu_idle_fraction(),
+            v3.profile.steady_tpu_idle_fraction(),
+        );
+        let (m2, m3) = (
+            v2.profile.steady_mxu_utilization(),
+            v3.profile.steady_mxu_utilization(),
+        );
+        idle_sums.0 += i2;
+        idle_sums.1 += i3;
+        mxu_sums.0 += m2;
+        mxu_sums.1 += m3;
+        println!(
+            "{:18} {:>9} {:>11.1}% {:>5.1}/{:>4.1}% {:>5.1}/{:>3.1}% {:>10}",
+            id.label(),
+            phases.len(),
+            phases.coverage_top(3) * 100.0,
+            i2 * 100.0,
+            i3 * 100.0,
+            m2 * 100.0,
+            m3 * 100.0,
+            v2.report.steps_completed,
+        );
+    }
+    let n = WorkloadId::paper_nine().len() as f64;
+    println!(
+        "\naverages: idle {:.1}% (v2) / {:.1}% (v3)   mxu {:.1}% (v2) / {:.1}% (v3)",
+        idle_sums.0 / n * 100.0,
+        idle_sums.1 / n * 100.0,
+        mxu_sums.0 / n * 100.0,
+        mxu_sums.1 / n * 100.0
+    );
+    println!("paper:     idle 38.9% (v2) / 43.5% (v3)   mxu 22.7% (v2) / 11.3% (v3)");
+    Ok(())
+}

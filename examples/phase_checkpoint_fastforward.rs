@@ -1,0 +1,77 @@
+//! Phase-targeted fast-forwarding via checkpoints (Section IV-C).
+//!
+//! TPUPoint associates each detected phase with the nearest model
+//! checkpoint so an application can be "modified based on a targeted phase
+//! and executed without starting from step zero". This example profiles a
+//! ResNet run, lists each phase's nearest checkpoint, then fast-forwards
+//! to a late region of training and shows the saving over replaying from
+//! step zero.
+//!
+//! ```text
+//! cargo run --release --example phase_checkpoint_fastforward
+//! ```
+
+use tpupoint::prelude::*;
+
+fn main() -> std::io::Result<()> {
+    let config = build(
+        WorkloadId::ResnetImagenet,
+        TpuGeneration::V2,
+        &BuildOptions {
+            scale: 0.004,
+            ..BuildOptions::default()
+        },
+    );
+    let tp = TpuPoint::builder().analyzer(false).build();
+    let run = tp.profile(config.clone())?;
+    let analysis = tp.analyze(&run.profile)?;
+
+    // Every phase carries its nearest checkpoint.
+    let phases = &analysis.ols_phases;
+    for (phase, ckpt) in phases.phases.iter().zip(&analysis.phase_checkpoints) {
+        let share = phase.total_time.as_micros() as f64 / phases.total_time.as_micros() as f64;
+        println!(
+            "phase {}: steps {:>5}..{:<5} ({:>5.1}% of time) — {}",
+            phase.id,
+            phase.steps.first().copied().unwrap_or(0),
+            phase.steps.last().copied().unwrap_or(0),
+            share * 100.0,
+            ckpt.map(|c| format!("nearest checkpoint @ step {}", c.checkpoint_step))
+                .unwrap_or_else(|| "no checkpoint".to_owned()),
+        );
+    }
+
+    // Suppose the behaviour we want to re-examine with different
+    // parameters lives in the last quarter of training (late learning-rate
+    // decay, say). Find the latest checkpoint at or before that region.
+    let target_step = config.train_steps * 3 / 4;
+    let resume_from = run
+        .report
+        .checkpoints
+        .iter()
+        .map(|(s, _)| *s)
+        .filter(|&s| s <= target_step)
+        .max()
+        .expect("checkpoints were written during the run");
+    println!(
+        "\ntarget region: step {target_step}+; latest checkpoint before it: step {resume_from}"
+    );
+
+    // Fast-forward: replay only the steps from that checkpoint onward.
+    // (In the simulation, a restart is a fresh session over fewer steps.)
+    let mut resumed = config.clone();
+    resumed.train_steps = config.train_steps - resume_from;
+    resumed.steps_per_eval = None;
+    resumed.eval_steps = 0;
+    resumed.checkpoint_every = 0;
+    let resumed_run = tp.profile(resumed)?;
+
+    let full_wall = run.report.session_wall.as_secs_f64();
+    let resumed_wall = resumed_run.report.session_wall.as_secs_f64();
+    println!("replaying everything from step zero: {full_wall:.1}s of simulated time");
+    println!(
+        "resuming at checkpoint@{resume_from} and finishing: {resumed_wall:.1}s ({:.1}% saved)",
+        (1.0 - resumed_wall / full_wall) * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,86 @@
+//! Quickstart: the paper's Figure 2 workflow end to end.
+//!
+//! Profiles one simulated DCGAN training session on a TPUv2, runs
+//! TPUPoint-Analyzer over the captured profile, and prints the phases,
+//! their checkpoints, and the headline utilization numbers.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use tpupoint::prelude::*;
+
+fn main() -> std::io::Result<()> {
+    // 1. Pick a workload (DCGAN on CIFAR-10, Table I defaults) at a small
+    //    simulation scale so the example finishes in well under a second.
+    let config = build(
+        WorkloadId::DcganCifar10,
+        TpuGeneration::V2,
+        &BuildOptions {
+            scale: 0.02,
+            ..BuildOptions::default()
+        },
+    );
+    println!(
+        "workload: {} on {} ({} train steps, batch {})",
+        config.model, config.dataset.name, config.train_steps, config.pipeline.batch_size
+    );
+
+    // 2. Start the profiler, run training, stop — all in one call.
+    let tp = TpuPoint::builder()
+        .analyzer(true)
+        .output_dir("results/quickstart")
+        .build();
+    let run = tp.profile(config)?;
+    println!(
+        "profiled {} steps: wall {:.1}s, TPU idle {:.1}%, MXU util {:.1}%",
+        run.report.steps_completed,
+        run.report.session_wall.as_secs_f64(),
+        run.profile.steady_tpu_idle_fraction() * 100.0,
+        run.profile.steady_mxu_utilization() * 100.0,
+    );
+
+    // 3. Post-execution analysis: phases via the online linear scan.
+    let analysis = tp.analyze(&run.profile)?;
+    println!(
+        "OLS found {} phases; top 3 cover {:.1}% of execution time",
+        analysis.ols_phases.len(),
+        analysis.ols_phases.coverage_top(3) * 100.0
+    );
+    for (phase, checkpoint) in analysis
+        .ols_phases
+        .phases
+        .iter()
+        .zip(&analysis.phase_checkpoints)
+    {
+        let ckpt = checkpoint
+            .map(|c| format!("checkpoint@{} (distance {})", c.checkpoint_step, c.distance))
+            .unwrap_or_else(|| "no checkpoint".to_owned());
+        println!(
+            "  phase {}: steps {}..{} ({} steps) — {}",
+            phase.id,
+            phase.steps.first().copied().unwrap_or(0),
+            phase.steps.last().copied().unwrap_or(0),
+            phase.steps.len(),
+            ckpt
+        );
+    }
+
+    // 4. The most time-consuming operators of the longest phase.
+    let analyzer = Analyzer::new(&run.profile);
+    if let Some(top) = analyzer.top_operators_of_longest(&analysis.ols_phases, 5) {
+        println!("top TPU ops of the longest phase:");
+        for (name, dur, count) in &top.tpu {
+            println!("  {name:28} {count:6} calls, {dur}");
+        }
+        println!("top host ops of the longest phase:");
+        for (name, dur, count) in &top.host {
+            println!("  {name:28} {count:6} calls, {dur}");
+        }
+    }
+
+    if let Some(path) = &analysis.trace_path {
+        println!("chrome://tracing file: {}", path.display());
+    }
+    Ok(())
+}

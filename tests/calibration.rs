@@ -1,0 +1,92 @@
+//! Integration: the calibrated platform stays on the paper's Figure 10/11
+//! numbers. Guards the constants in `tpupoint-workloads` against
+//! regressions from substrate changes — if one of these fails after an
+//! intentional model change, re-run the calibration probe
+//! (`cargo run -p tpupoint-bench --release --bin probe`) and update the
+//! suite's constants.
+
+use tpupoint::prelude::*;
+
+/// `(workload, idle v2, mxu v2)` — the calibration targets.
+const TARGETS: [(WorkloadId, f64, f64); 9] = [
+    (WorkloadId::BertMrpc, 0.40, 0.18),
+    (WorkloadId::BertSquad, 0.33, 0.22),
+    (WorkloadId::BertCola, 0.42, 0.17),
+    (WorkloadId::BertMnli, 0.33, 0.22),
+    (WorkloadId::DcganCifar10, 0.50, 0.12),
+    (WorkloadId::DcganMnist, 0.55, 0.10),
+    (WorkloadId::QanetSquad, 0.30, 0.16),
+    (WorkloadId::RetinanetCoco, 0.35, 0.46),
+    (WorkloadId::ResnetImagenet, 0.18, 0.45),
+];
+
+fn profile(id: WorkloadId, generation: TpuGeneration) -> Profile {
+    let tp = TpuPoint::builder().analyzer(false).build();
+    let cfg = build(
+        id,
+        generation,
+        &BuildOptions {
+            scale: id.default_sim_scale(),
+            ..BuildOptions::default()
+        },
+    );
+    tp.profile(cfg).expect("in-memory profiling").profile
+}
+
+#[test]
+fn tpuv2_per_workload_calibration_holds() {
+    for (id, idle_t, mxu_t) in TARGETS {
+        let p = profile(id, TpuGeneration::V2);
+        let idle = p.steady_tpu_idle_fraction();
+        let mxu = p.steady_mxu_utilization();
+        assert!(
+            (idle - idle_t).abs() < 0.03,
+            "{id}: idle {idle:.3} vs target {idle_t:.3}"
+        );
+        assert!(
+            (mxu - mxu_t).abs() < 0.03,
+            "{id}: mxu {mxu:.3} vs target {mxu_t:.3}"
+        );
+    }
+}
+
+#[test]
+fn suite_averages_match_the_papers_headline_numbers() {
+    // Paper: idle 38.90% v2 / 43.53% v3; MXU 22.72% v2 / 11.34% v3.
+    let mut idle = (0.0, 0.0);
+    let mut mxu = (0.0, 0.0);
+    for (id, _, _) in TARGETS {
+        let v2 = profile(id, TpuGeneration::V2);
+        let v3 = profile(id, TpuGeneration::V3);
+        idle.0 += v2.steady_tpu_idle_fraction();
+        idle.1 += v3.steady_tpu_idle_fraction();
+        mxu.0 += v2.steady_mxu_utilization();
+        mxu.1 += v3.steady_mxu_utilization();
+    }
+    let n = TARGETS.len() as f64;
+    assert!(
+        (idle.0 / n - 0.389).abs() < 0.04,
+        "v2 idle avg {}",
+        idle.0 / n
+    );
+    assert!(
+        (idle.1 / n - 0.435).abs() < 0.04,
+        "v3 idle avg {}",
+        idle.1 / n
+    );
+    assert!((mxu.0 / n - 0.227).abs() < 0.03, "v2 mxu avg {}", mxu.0 / n);
+    assert!((mxu.1 / n - 0.113).abs() < 0.03, "v3 mxu avg {}", mxu.1 / n);
+}
+
+#[test]
+fn every_workload_keeps_three_ols_phases_at_70() {
+    for (id, _, _) in TARGETS {
+        let p = profile(id, TpuGeneration::V2);
+        let phases = Analyzer::new(&p).ols_phases(0.7);
+        assert!(
+            (3..=4).contains(&phases.len()),
+            "{id}: {} phases at the 70% threshold",
+            phases.len()
+        );
+    }
+}

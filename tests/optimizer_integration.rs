@@ -1,0 +1,96 @@
+//! Integration: TPUPoint-Optimizer end to end on real workloads.
+
+use tpupoint::optimizer::{TpuPointOptimizer, TrialOutcome};
+use tpupoint::prelude::*;
+
+fn naive(id: WorkloadId, scale: f64) -> JobConfig {
+    build(
+        id,
+        TpuGeneration::V2,
+        &BuildOptions {
+            scale,
+            variant: Variant::Naive,
+            ..BuildOptions::default()
+        },
+    )
+}
+
+#[test]
+fn optimizer_rescues_a_naive_qanet() {
+    let report = TpuPointOptimizer::new(naive(WorkloadId::QanetSquad, 0.002)).optimize();
+    assert!(report.critical_phase_detected);
+    assert!(
+        report.throughput_speedup() > 1.5,
+        "naive pipelines leave large gains: {}",
+        report.throughput_speedup()
+    );
+    assert!(
+        report.optimized.tpu_idle_fraction() < report.baseline.tpu_idle_fraction(),
+        "idle must fall"
+    );
+    assert!(
+        report.optimized.mxu_utilization() > report.baseline.mxu_utilization(),
+        "MXU utilization must rise"
+    );
+    assert!(report.output_preserved());
+}
+
+#[test]
+fn optimizer_accepts_thread_increases_on_naive_pipelines() {
+    let report = TpuPointOptimizer::new(naive(WorkloadId::RetinanetCoco, 0.004)).optimize();
+    let accepted: Vec<_> = report
+        .trials
+        .iter()
+        .filter(|t| t.outcome == TrialOutcome::Accepted)
+        .collect();
+    assert!(!accepted.is_empty(), "some candidate must win");
+    assert!(
+        report.tuned_pipeline.num_parallel_calls > report.initial_pipeline.num_parallel_calls,
+        "single-threaded decode is the naive pipeline's biggest sin"
+    );
+}
+
+#[test]
+fn optimizer_never_touches_output_affecting_knobs() {
+    let cfg = naive(WorkloadId::QanetSquad, 0.002);
+    let shuffle_before = cfg.pipeline.shuffle_buffer;
+    let report = TpuPointOptimizer::new(cfg).optimize();
+    assert_eq!(report.tuned_pipeline.shuffle_buffer, shuffle_before);
+    assert!(report
+        .discovery
+        .excluded
+        .iter()
+        .any(|(p, _)| p.to_string() == "shuffle_buffer"));
+}
+
+#[test]
+fn tuned_defaults_still_leave_the_papers_headroom() {
+    // The reference (tuned) pipelines on long-running workloads gain the
+    // paper's ~1.1-1.2x from dynamic tuning.
+    let cfg = build(
+        WorkloadId::QanetSquad,
+        TpuGeneration::V2,
+        &BuildOptions {
+            scale: 0.004,
+            ..BuildOptions::default()
+        },
+    );
+    let report = TpuPointOptimizer::new(cfg).optimize();
+    let speedup = report.throughput_speedup();
+    assert!(
+        (1.02..1.4).contains(&speedup),
+        "tuned-default speedup {speedup} out of the paper's band"
+    );
+}
+
+#[test]
+fn optimizer_overhead_is_bounded() {
+    let report = TpuPointOptimizer::new(naive(WorkloadId::QanetSquad, 0.002)).optimize();
+    // Online tuning overhead must be far below the baseline run itself.
+    assert!(
+        report.tuning_overhead.as_secs_f64() < report.baseline.session_wall.as_secs_f64(),
+        "overhead {} vs run {}",
+        report.tuning_overhead,
+        report.baseline.session_wall
+    );
+}

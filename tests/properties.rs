@@ -1,0 +1,155 @@
+//! Property-based tests spanning the stack: invariants that must hold for
+//! arbitrary (bounded) configurations.
+
+use proptest::prelude::*;
+use tpupoint::analyzer::{ols, Analyzer};
+use tpupoint::prelude::*;
+use tpupoint::profiler::StepRecord;
+use tpupoint::sim::{OpId, SimDuration, SimTime, Track};
+
+fn record_from_ops(step: u64, ops: &[u32]) -> StepRecord {
+    let mut r = StepRecord::new(step);
+    for (i, &op) in ops.iter().enumerate() {
+        r.absorb(
+            OpId(op),
+            Track::TpuCore(0),
+            SimTime::from_micros(step * 1_000 + i as u64),
+            SimDuration::from_micros(5 + op as u64),
+            SimDuration::ZERO,
+        );
+    }
+    r
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Equation 1 is symmetric, bounded, and 1 on self.
+    #[test]
+    fn step_similarity_axioms(
+        a in proptest::collection::vec(0u32..24, 1..16),
+        b in proptest::collection::vec(0u32..24, 1..16),
+    ) {
+        let ra = record_from_ops(1, &a);
+        let rb = record_from_ops(2, &b);
+        let sab = ols::step_similarity(&ra, &rb);
+        let sba = ols::step_similarity(&rb, &ra);
+        prop_assert!((sab - sba).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&sab));
+        prop_assert_eq!(ols::step_similarity(&ra, &ra), 1.0);
+    }
+
+    /// OLS segments form a contiguous exact cover of the records for any
+    /// threshold.
+    #[test]
+    fn ols_segments_cover_exactly(
+        sets in proptest::collection::vec(
+            proptest::collection::vec(0u32..12, 1..8), 1..40),
+        threshold in 0.0f64..=1.0,
+    ) {
+        let records: Vec<StepRecord> = sets
+            .iter()
+            .enumerate()
+            .map(|(i, ops)| record_from_ops(i as u64, ops))
+            .collect();
+        let segments = ols::scan(&records, &ols::OlsConfig { threshold });
+        prop_assert_eq!(segments.first().map(|s| s.start), Some(0));
+        prop_assert_eq!(segments.last().map(|s| s.end), Some(records.len()));
+        for pair in segments.windows(2) {
+            prop_assert_eq!(pair[0].end, pair[1].start);
+        }
+        let covered: usize = segments.iter().map(|s| s.end - s.start).sum();
+        prop_assert_eq!(covered, records.len());
+    }
+
+    /// Raising the threshold never reduces the number of OLS phases.
+    #[test]
+    fn ols_phase_count_is_monotone(
+        sets in proptest::collection::vec(
+            proptest::collection::vec(0u32..10, 1..8), 2..30),
+    ) {
+        let records: Vec<StepRecord> = sets
+            .iter()
+            .enumerate()
+            .map(|(i, ops)| record_from_ops(i as u64, ops))
+            .collect();
+        let thresholds = [0.0, 0.25, 0.5, 0.75, 1.0];
+        let counts = ols::threshold_sweep(&records, &thresholds);
+        for pair in counts.windows(2) {
+            prop_assert!(pair[1].1 >= pair[0].1, "{:?}", counts);
+        }
+    }
+}
+
+/// Simulator conservation: every planned step completes exactly once,
+/// regardless of pipeline shape.
+#[test]
+fn steps_conserve_across_pipeline_shapes() {
+    for (prefetch, read_ahead, infeed, threads) in
+        [(1, 1, 1, 1), (2, 8, 4, 8), (64, 64, 16, 64), (1, 64, 1, 32)]
+    {
+        let mut cfg = build(
+            WorkloadId::DcganMnist,
+            TpuGeneration::V2,
+            &BuildOptions {
+                scale: 0.005,
+                ..BuildOptions::default()
+            },
+        );
+        cfg.pipeline.prefetch_depth = prefetch;
+        cfg.pipeline.read_ahead = read_ahead;
+        cfg.pipeline.infeed_queue_depth = infeed;
+        cfg.pipeline.num_parallel_calls = threads;
+        let plan_len = cfg.step_plan().len() as u64;
+        let tp = TpuPoint::builder().analyzer(false).build();
+        let run = tp.profile(cfg).expect("profiling");
+        assert_eq!(
+            run.report.steps_completed, plan_len,
+            "pipeline ({prefetch},{read_ahead},{infeed},{threads}) lost steps"
+        );
+    }
+}
+
+/// Phase coverage fractions always sum to at most 1 and the full set
+/// covers everything.
+#[test]
+fn coverage_fractions_are_a_partition() {
+    let tp = TpuPoint::builder().analyzer(false).build();
+    let cfg = build(
+        WorkloadId::BertCola,
+        TpuGeneration::V2,
+        &BuildOptions {
+            scale: 0.2,
+            ..BuildOptions::default()
+        },
+    );
+    let run = tp.profile(cfg).unwrap();
+    let analyzer = Analyzer::new(&run.profile);
+    for threshold in [0.0, 0.5, 0.7, 0.9, 1.0] {
+        let set = analyzer.ols_phases(threshold);
+        let total: f64 = set.top_coverages(usize::MAX).iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "threshold {threshold}: {total}");
+        let member_steps: usize = set.phases.iter().map(|p| p.steps.len()).sum();
+        assert_eq!(member_steps, run.profile.steps.len());
+    }
+}
+
+/// k-means SSE is monotonically nonincreasing in k on real profiles.
+#[test]
+fn kmeans_sse_monotone_on_real_profile() {
+    let tp = TpuPoint::builder().analyzer(false).build();
+    let cfg = build(
+        WorkloadId::DcganCifar10,
+        TpuGeneration::V2,
+        &BuildOptions {
+            scale: 0.01,
+            ..BuildOptions::default()
+        },
+    );
+    let run = tp.profile(cfg).unwrap();
+    let analyzer = Analyzer::new(&run.profile);
+    let sweep = analyzer.kmeans_sweep(1..=10);
+    for pair in sweep.windows(2) {
+        assert!(pair[1].1 <= pair[0].1 + 1e-6, "{sweep:?}");
+    }
+}
