@@ -24,6 +24,7 @@ pub struct Analyzer<'a> {
 impl<'a> Analyzer<'a> {
     /// Builds the analyzer, extracting PCA-reduced step features.
     pub fn new(profile: &'a Profile) -> Self {
+        let _span = tpupoint_obs::span!("analyzer.pca", steps = profile.steps.len());
         let features = FeatureMatrix::from_profile(profile).reduced(MAX_DIMS);
         Analyzer { profile, features }
     }
@@ -40,17 +41,20 @@ impl<'a> Analyzer<'a> {
 
     /// k-means sum-of-squared-distances sweep (Figure 4).
     pub fn kmeans_sweep(&self, range: std::ops::RangeInclusive<usize>) -> Vec<(usize, f64)> {
+        let _span = tpupoint_obs::span!("analyzer.kmeans", k_max = *range.end());
         kmeans::sweep(&self.features, range, &KmeansConfig::default())
     }
 
     /// SimPoint-style BIC sweep over k; an alternative to the elbow
     /// method (see `bic` module docs).
     pub fn kmeans_bic_sweep(&self, range: std::ops::RangeInclusive<usize>) -> Vec<(usize, f64)> {
+        let _span = tpupoint_obs::span!("analyzer.kmeans", k_max = *range.end(), bic = true);
         crate::bic::sweep(&self.features, range, &KmeansConfig::default())
     }
 
     /// Phases from k-means with the given k (Figure 9 uses k = 5).
     pub fn kmeans_phases(&self, k: usize) -> PhaseSet {
+        let _span = tpupoint_obs::span!("analyzer.kmeans", k = k);
         let result = kmeans::run(
             &self.features,
             &KmeansConfig {
@@ -69,6 +73,7 @@ impl<'a> Analyzer<'a> {
     ///
     /// Returns [`DbscanError::MemoryLimit`] on oversized inputs.
     pub fn dbscan_sweep(&self) -> Result<Vec<(usize, f64, usize)>, DbscanError> {
+        let _span = tpupoint_obs::span!("analyzer.dbscan", sweep = true);
         dbscan::sweep(
             &self.features,
             &dbscan::paper_grid(),
@@ -83,6 +88,7 @@ impl<'a> Analyzer<'a> {
     ///
     /// Returns [`DbscanError::MemoryLimit`] on oversized inputs.
     pub fn dbscan_phases(&self, min_samples: usize) -> Result<PhaseSet, DbscanError> {
+        let _span = tpupoint_obs::span!("analyzer.dbscan", min_samples = min_samples);
         let result = dbscan::run(
             &self.features,
             &DbscanConfig {
@@ -95,12 +101,14 @@ impl<'a> Analyzer<'a> {
 
     /// OLS phase counts across thresholds (Figure 6).
     pub fn ols_threshold_sweep(&self, thresholds: &[f64]) -> Vec<(f64, usize)> {
+        let _span = tpupoint_obs::span!("analyzer.ols", thresholds = thresholds.len());
         ols::threshold_sweep(&self.profile.steps, thresholds)
     }
 
     /// Phases from the online linear scan at `threshold` (Figure 7 uses
     /// 0.7).
     pub fn ols_phases(&self, threshold: f64) -> PhaseSet {
+        let _span = tpupoint_obs::span!("analyzer.ols", threshold = threshold);
         let segments = ols::scan(&self.profile.steps, &OlsConfig { threshold });
         PhaseSet::from_segments(&self.profile.steps, &segments)
     }

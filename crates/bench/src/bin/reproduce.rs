@@ -40,14 +40,24 @@ fn main() -> ExitCode {
     }
 
     let suite = Suite::new();
-    let started = std::time::Instant::now();
+    // Timing comes from the obs self-tracer instead of ad-hoc Instants:
+    // each experiment runs under a span, and the per/total durations are
+    // read back from the `span.bench.experiment` histogram.
+    let experiment_hist = tpupoint_obs::metrics().histogram("span.bench.experiment");
+    let mut total_us = 0u64;
     for id in &requested {
-        let t0 = std::time::Instant::now();
-        match experiments::run(id, &suite, &out_dir) {
+        let before_us = experiment_hist.snapshot().sum;
+        let result = {
+            let _span = tpupoint_obs::span!("bench.experiment", id = id.as_str());
+            experiments::run(id, &suite, &out_dir)
+        };
+        let elapsed_us = experiment_hist.snapshot().sum.saturating_sub(before_us);
+        total_us += elapsed_us;
+        match result {
             Ok(summary) => {
                 println!(
                     "{summary}  [{id} done in {:.2}s]\n",
-                    t0.elapsed().as_secs_f64()
+                    elapsed_us as f64 / 1e6
                 );
             }
             Err(err) => {
@@ -60,7 +70,7 @@ fn main() -> ExitCode {
         "wrote {} experiment(s) to {} in {:.1}s",
         requested.len(),
         out_dir.display(),
-        started.elapsed().as_secs_f64()
+        total_us as f64 / 1e6
     );
     ExitCode::SUCCESS
 }

@@ -1,5 +1,9 @@
 //! Tiny flag parser: `--key value` pairs, `--flag` booleans, and
 //! positional arguments, with helpful errors.
+//!
+//! Every subcommand declares the options and flags it understands; an
+//! unrecognized `--option` is rejected with a "did you mean" hint instead
+//! of being silently swallowed as a key/value pair.
 
 use std::collections::BTreeMap;
 
@@ -15,23 +19,37 @@ pub struct Args {
 }
 
 impl Args {
-    /// Parses `argv`, treating `known_flags` as value-less switches.
+    /// Parses `argv` against the subcommand's vocabulary:
+    /// `known_options` take a value (`--key value`), `known_flags` are
+    /// value-less switches.
     ///
     /// # Errors
     ///
-    /// Returns a message when an option is missing its value.
-    pub fn parse(argv: &[String], known_flags: &[&str]) -> Result<Args, String> {
+    /// Returns a message when an option is missing its value or is not in
+    /// the vocabulary (with a closest-match suggestion when one is near).
+    pub fn parse(
+        argv: &[String],
+        known_options: &[&str],
+        known_flags: &[&str],
+    ) -> Result<Args, String> {
         let mut args = Args::default();
         let mut it = argv.iter().peekable();
         while let Some(arg) = it.next() {
             if let Some(name) = arg.strip_prefix("--") {
                 if known_flags.contains(&name) {
                     args.flags.push(name.to_owned());
-                } else {
+                } else if known_options.contains(&name) {
                     let value = it
                         .next()
                         .ok_or_else(|| format!("--{name} requires a value"))?;
                     args.options.insert(name.to_owned(), value.clone());
+                } else {
+                    let mut msg = format!("unknown option `--{name}`");
+                    let candidates = known_options.iter().chain(known_flags);
+                    if let Some(near) = closest_match(name, candidates) {
+                        msg.push_str(&format!("; did you mean `--{near}`?"));
+                    }
+                    return Err(msg);
                 }
             } else {
                 args.positional.push(arg.clone());
@@ -77,6 +95,42 @@ impl Args {
     }
 }
 
+/// The known name closest to `unknown`, when close enough to be a likely
+/// typo: within edit distance 2, or a prefix/extension of the unknown
+/// name (so `--thresh` suggests `--threshold`).
+fn closest_match<'a>(
+    unknown: &str,
+    candidates: impl Iterator<Item = &'a &'a str>,
+) -> Option<&'a str> {
+    let mut best: Option<(usize, &str)> = None;
+    for candidate in candidates {
+        if candidate.starts_with(unknown) || unknown.starts_with(candidate) {
+            return Some(candidate);
+        }
+        let distance = edit_distance(unknown, candidate);
+        if best.is_none_or(|(d, _)| distance < d) {
+            best = Some((distance, candidate));
+        }
+    }
+    best.filter(|&(d, _)| d <= 2).map(|(_, name)| name)
+}
+
+/// Levenshtein distance over bytes; option names are ASCII.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let (a, b) = (a.as_bytes(), b.as_bytes());
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let substitute = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = substitute.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -89,6 +143,7 @@ mod tests {
     fn parses_options_flags_and_positionals() {
         let args = Args::parse(
             &argv(&["file.json", "--threshold", "0.8", "--naive", "extra"]),
+            &["threshold"],
             &["naive"],
         )
         .unwrap();
@@ -100,24 +155,63 @@ mod tests {
 
     #[test]
     fn missing_value_is_an_error() {
-        let err = Args::parse(&argv(&["--out"]), &[]).unwrap_err();
+        let err = Args::parse(&argv(&["--out"]), &["out"], &[]).unwrap_err();
         assert!(err.contains("--out"));
     }
 
     #[test]
     fn typed_getters_parse_and_default() {
-        let args = Args::parse(&argv(&["--scale", "0.5"]), &[]).unwrap();
+        let args = Args::parse(&argv(&["--scale", "0.5"]), &["scale"], &[]).unwrap();
         assert_eq!(args.get_or("scale", 1.0_f64).unwrap(), 0.5);
         assert_eq!(args.get_or("seed", 42_u64).unwrap(), 42);
         assert!(args.get_or::<f64>("scale", 1.0).is_ok());
-        let bad = Args::parse(&argv(&["--scale", "abc"]), &[]).unwrap();
+        let bad = Args::parse(&argv(&["--scale", "abc"]), &["scale"], &[]).unwrap();
         assert!(bad.get_or::<f64>("scale", 1.0).is_err());
     }
 
     #[test]
     fn positional0_errors_helpfully() {
-        let args = Args::parse(&argv(&[]), &[]).unwrap();
+        let args = Args::parse(&argv(&[]), &[], &[]).unwrap();
         let err = args.positional0("a profile path").unwrap_err();
         assert!(err.contains("profile path"));
+    }
+
+    #[test]
+    fn unknown_option_is_rejected() {
+        let err = Args::parse(&argv(&["--bogus", "1"]), &["out"], &["naive"]).unwrap_err();
+        assert!(err.contains("unknown option `--bogus`"), "{err}");
+    }
+
+    #[test]
+    fn typo_gets_a_did_you_mean_hint() {
+        let err =
+            Args::parse(&argv(&["--thresold", "0.8"]), &["threshold", "out"], &[]).unwrap_err();
+        assert!(err.contains("did you mean `--threshold`?"), "{err}");
+    }
+
+    #[test]
+    fn prefix_typo_suggests_the_long_name() {
+        let err = Args::parse(&argv(&["--thresh", "0.8"]), &["threshold"], &[]).unwrap_err();
+        assert!(err.contains("did you mean `--threshold`?"), "{err}");
+    }
+
+    #[test]
+    fn flag_names_are_also_suggested() {
+        let err = Args::parse(&argv(&["--nave"]), &["out"], &["naive"]).unwrap_err();
+        assert!(err.contains("did you mean `--naive`?"), "{err}");
+    }
+
+    #[test]
+    fn far_off_names_get_no_suggestion() {
+        let err = Args::parse(&argv(&["--zzzzqqq", "1"]), &["out"], &[]).unwrap_err();
+        assert!(err.contains("unknown option"), "{err}");
+        assert!(!err.contains("did you mean"), "{err}");
+    }
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert_eq!(edit_distance("abc", "abc"), 0);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
     }
 }

@@ -1,6 +1,7 @@
 //! Subcommand implementations.
 
 use crate::args::Args;
+use crate::obs::{obs_report_cmd, ObsSession, OBS_OPTIONS};
 use std::fs::File;
 use std::path::PathBuf;
 use tpupoint::analyzer::PhaseSet;
@@ -36,6 +37,17 @@ USAGE:
 
   tpupoint audit <profile.json>
       Audit the profile's window stream for gaps, overlaps, and losses.
+
+  tpupoint obs-report <metrics.json>
+      Summarize a --metrics-out file: per-stage wall time, analyzer
+      algorithm runtimes, profiler overhead, and window health.
+
+OBSERVABILITY (profile, analyze, optimize):
+  --metrics-out <path>   Write the command's own metrics (counters,
+                         gauges, histograms) to <path>.
+  --self-trace <path>    Write a Chrome-tracing JSON of the command's
+                         internal spans to <path>.
+  --obs-format json|prom Format for --metrics-out (default json).
 ";
 
 /// Dispatches a parsed command line.
@@ -52,6 +64,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         Some("compare") => compare_cmd(&argv[1..]),
         Some("report") => report(&argv[1..]),
         Some("audit") => audit(&argv[1..]),
+        Some("obs-report") => obs_report_cmd(&argv[1..]),
         Some("--help") | Some("-h") | None => {
             println!("{USAGE}");
             Ok(())
@@ -108,8 +121,17 @@ fn workloads() -> Result<(), String> {
     Ok(())
 }
 
+const BUILD_OPTIONS: [&str; 4] = ["workload", "generation", "scale", "seed"];
+
+fn with_obs<'a>(options: &[&'a str]) -> Vec<&'a str> {
+    options.iter().chain(OBS_OPTIONS.iter()).copied().collect()
+}
+
 fn profile(argv: &[String]) -> Result<(), String> {
-    let args = Args::parse(argv, &["naive"])?;
+    let mut options = with_obs(&BUILD_OPTIONS);
+    options.push("out");
+    let args = Args::parse(argv, &options, &["naive"])?;
+    let session = ObsSession::start(&args)?;
     let config = build_from_args(&args)?;
     let out: PathBuf = args.get("out").unwrap_or("tpupoint-out").into();
     let tp = TpuPoint::builder().analyzer(true).output_dir(&out).build();
@@ -137,7 +159,7 @@ fn profile(argv: &[String]) -> Result<(), String> {
         run.profile.checkpoints.len()
     );
     println!("profile written to {}", path.display());
-    Ok(())
+    session.finish()
 }
 
 fn load_profile(path: &str) -> Result<Profile, String> {
@@ -146,7 +168,12 @@ fn load_profile(path: &str) -> Result<Profile, String> {
 }
 
 fn analyze(argv: &[String]) -> Result<(), String> {
-    let args = Args::parse(argv, &[])?;
+    let args = Args::parse(
+        argv,
+        &with_obs(&["algorithm", "threshold", "k", "min-samples", "out"]),
+        &[],
+    )?;
+    let session = ObsSession::start(&args)?;
     let path = args.positional0("profile.json path")?;
     let profile = load_profile(path)?;
     let analyzer = Analyzer::new(&profile);
@@ -197,7 +224,7 @@ fn analyze(argv: &[String]) -> Result<(), String> {
             .map_err(|e| e.to_string())?;
         println!("wrote {} and {}", trace.display(), csv.display());
     }
-    Ok(())
+    session.finish()
 }
 
 fn fmt_ops(rows: &[(String, SimDuration, u64)]) -> String {
@@ -208,7 +235,8 @@ fn fmt_ops(rows: &[(String, SimDuration, u64)]) -> String {
 }
 
 fn optimize(argv: &[String]) -> Result<(), String> {
-    let args = Args::parse(argv, &["naive"])?;
+    let args = Args::parse(argv, &with_obs(&BUILD_OPTIONS), &["naive"])?;
+    let session = ObsSession::start(&args)?;
     let config = build_from_args(&args)?;
     let report = TpuPointOptimizer::new(config).optimize();
     println!(
@@ -245,11 +273,11 @@ fn optimize(argv: &[String]) -> Result<(), String> {
         report.output_preserved(),
         report.tuning_overhead
     );
-    Ok(())
+    session.finish()
 }
 
 fn compare_cmd(argv: &[String]) -> Result<(), String> {
-    let args = Args::parse(argv, &[])?;
+    let args = Args::parse(argv, &["top"], &[])?;
     let a = args.positional0("first profile path")?;
     let b = args
         .positional
@@ -263,7 +291,7 @@ fn compare_cmd(argv: &[String]) -> Result<(), String> {
 }
 
 fn report(argv: &[String]) -> Result<(), String> {
-    let args = Args::parse(argv, &[])?;
+    let args = Args::parse(argv, &[], &[])?;
     let path = args.positional0("profile.json path")?;
     let profile = load_profile(path)?;
     print!("{}", tpupoint::analyzer::characterize(&profile));
@@ -271,7 +299,7 @@ fn report(argv: &[String]) -> Result<(), String> {
 }
 
 fn audit(argv: &[String]) -> Result<(), String> {
-    let args = Args::parse(argv, &[])?;
+    let args = Args::parse(argv, &[], &[])?;
     let path = args.positional0("profile.json path")?;
     let profile = load_profile(path)?;
     let audit = audit_windows(&profile.windows, SimDuration::from_millis(1));

@@ -10,6 +10,7 @@
 
 mod args;
 mod commands;
+mod obs;
 
 use std::process::ExitCode;
 

@@ -1,0 +1,392 @@
+//! The metrics registry: named counters, gauges, and log-scale
+//! histograms behind cheap handles.
+//!
+//! Handles are `Arc`-backed, so looking one up once and updating it in a
+//! loop costs a single atomic add per update. Lookups themselves take a
+//! short mutex on the name table; instrumented code is expected to hoist
+//! them out of hot loops.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of log-scale histogram buckets; bucket `i` covers values in
+/// `[2^i, 2^(i+1))`, with bucket 0 also holding zero.
+const BUCKETS: usize = 64;
+
+/// A monotonically increasing counter.
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Counter").field(&self.get()).finish()
+    }
+}
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge holding the most recently written `f64`.
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl std::fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Gauge").field(&self.get()).finish()
+    }
+}
+
+impl Gauge {
+    /// Overwrites the value.
+    pub fn set(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// A histogram over `u64` samples with power-of-two buckets.
+///
+/// Designed for durations in microseconds and for size-like quantities
+/// (events per window): log-scale buckets give useful resolution from
+/// single-digit values to hours without configuration.
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let snap = self.snapshot();
+        f.debug_struct("Histogram")
+            .field("count", &snap.count)
+            .field("sum", &snap.sum)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Histogram {
+    fn new() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, value: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the histogram's state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(i, b)| {
+                    let n = b.load(Ordering::Relaxed);
+                    (n > 0).then_some((bucket_upper_bound(i), n))
+                })
+                .collect(),
+        }
+    }
+}
+
+fn bucket_index(value: u64) -> usize {
+    63 - value.max(1).leading_zeros() as usize
+}
+
+/// Inclusive upper bound of bucket `i`, i.e. `2^(i+1) - 1`.
+fn bucket_upper_bound(i: usize) -> u64 {
+    if i + 1 >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << (i + 1)) - 1
+    }
+}
+
+/// Point-in-time view of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Number of samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Non-empty buckets as `(inclusive_upper_bound, count)`, ascending.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Snapshot of the samples recorded since `earlier` was taken.
+    ///
+    /// `min`/`max` cannot be un-merged, so the diff keeps the later
+    /// values; counts, sums, and buckets subtract exactly.
+    pub fn since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let earlier_buckets: BTreeMap<u64, u64> = earlier.buckets.iter().copied().collect();
+        HistogramSnapshot {
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            min: self.min,
+            max: self.max,
+            buckets: self
+                .buckets
+                .iter()
+                .filter_map(|&(le, n)| {
+                    let remaining =
+                        n.saturating_sub(earlier_buckets.get(&le).copied().unwrap_or(0));
+                    (remaining > 0).then_some((le, remaining))
+                })
+                .collect(),
+        }
+    }
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+/// A cheap, cloneable handle to a metrics registry.
+#[derive(Clone, Default)]
+pub struct Metrics {
+    registry: Arc<Registry>,
+}
+
+impl Metrics {
+    /// Creates an empty registry. Most callers want the process-wide
+    /// registry from [`crate::metrics`] instead; separate registries are
+    /// for tests.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// The counter with the given name, created on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut table = self.registry.counters.lock().expect("counter table");
+        table
+            .entry(name.to_owned())
+            .or_insert_with(|| Counter(Arc::new(AtomicU64::new(0))))
+            .clone()
+    }
+
+    /// The gauge with the given name, created on first use (at 0.0).
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut table = self.registry.gauges.lock().expect("gauge table");
+        table
+            .entry(name.to_owned())
+            .or_insert_with(|| Gauge(Arc::new(AtomicU64::new(0f64.to_bits()))))
+            .clone()
+    }
+
+    /// The histogram with the given name, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut table = self.registry.histograms.lock().expect("histogram table");
+        table
+            .entry(name.to_owned())
+            .or_insert_with(|| Arc::new(Histogram::new()))
+            .clone()
+    }
+
+    /// A consistent-enough point-in-time view of every metric. Values
+    /// are read with relaxed ordering; the snapshot is exact whenever no
+    /// other thread is concurrently updating.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .registry
+                .counters
+                .lock()
+                .expect("counter table")
+                .iter()
+                .map(|(name, c)| (name.clone(), c.get()))
+                .collect(),
+            gauges: self
+                .registry
+                .gauges
+                .lock()
+                .expect("gauge table")
+                .iter()
+                .map(|(name, g)| (name.clone(), g.get()))
+                .collect(),
+            histograms: self
+                .registry
+                .histograms
+                .lock()
+                .expect("histogram table")
+                .iter()
+                .map(|(name, h)| (name.clone(), h.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// Point-in-time view of a whole registry; what the exporters and
+/// [`crate::ObsReport`] consume.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// The activity between `earlier` and `self`, for scoping one run's
+    /// metrics out of a long-lived registry: counters and histograms
+    /// subtract; gauges keep their latest value; metrics that saw no
+    /// activity in the interval are omitted (gauges excepted).
+    pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .filter_map(|(name, &value)| {
+                    let delta =
+                        value.saturating_sub(earlier.counters.get(name).copied().unwrap_or(0));
+                    (delta > 0).then(|| (name.clone(), delta))
+                })
+                .collect(),
+            gauges: self.gauges.clone(),
+            histograms: self
+                .histograms
+                .iter()
+                .filter_map(|(name, hist)| {
+                    let delta = match earlier.histograms.get(name) {
+                        Some(prev) => hist.since(prev),
+                        None => hist.clone(),
+                    };
+                    (delta.count > 0).then(|| (name.clone(), delta))
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_share_state_across_handles() {
+        let metrics = Metrics::new();
+        let a = metrics.counter("x");
+        let b = metrics.counter("x");
+        a.inc();
+        b.add(4);
+        assert_eq!(metrics.counter("x").get(), 5);
+        assert_eq!(metrics.snapshot().counters["x"], 5);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let metrics = Metrics::new();
+        metrics.gauge("g").set(1.5);
+        metrics.gauge("g").set(-2.25);
+        assert_eq!(metrics.snapshot().gauges["g"], -2.25);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log_scale() {
+        let metrics = Metrics::new();
+        let h = metrics.histogram("h");
+        for v in [0, 1, 2, 3, 900, 1000] {
+            h.record(v);
+        }
+        let snap = &metrics.snapshot().histograms["h"];
+        assert_eq!(snap.count, 6);
+        assert_eq!(snap.sum, 1906);
+        assert_eq!(snap.min, 0);
+        assert_eq!(snap.max, 1000);
+        // 0 and 1 share bucket [1,2); 2 and 3 share [2,4); 900 and 1000
+        // share [512,1024).
+        assert_eq!(snap.buckets, vec![(1, 2), (3, 2), (1023, 2)]);
+        assert!((snap.mean() - 1906.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bucket_index_covers_extremes() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(u64::MAX), 63);
+        assert_eq!(bucket_upper_bound(63), u64::MAX);
+    }
+
+    #[test]
+    fn snapshot_diff_scopes_one_interval() {
+        let metrics = Metrics::new();
+        metrics.counter("c").add(3);
+        metrics.histogram("h").record(10);
+        let before = metrics.snapshot();
+        metrics.counter("c").add(2);
+        metrics.counter("quiet").get();
+        metrics.histogram("h").record(10);
+        metrics.histogram("h").record(100);
+        metrics.gauge("g").set(7.0);
+        let delta = metrics.snapshot().since(&before);
+        assert_eq!(delta.counters.get("c"), Some(&2));
+        // Metrics with no activity in the window drop out of the diff.
+        assert!(!delta.counters.contains_key("quiet"));
+        let h = &delta.histograms["h"];
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 110);
+        assert_eq!(h.buckets, vec![(15, 1), (127, 1)]);
+        assert_eq!(delta.gauges["g"], 7.0);
+    }
+}

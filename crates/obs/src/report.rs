@@ -1,0 +1,294 @@
+//! [`ObsReport`]: the maintainer-facing summary of a metrics snapshot.
+//!
+//! Collapses the raw registry into the four questions the ISSUE-level
+//! workflow keeps asking: where did the wall time go (per stage), what
+//! did profiling itself cost (overhead ratio), did the profiler's window
+//! pipeline stay healthy, and how do the phase-detection algorithms
+//! compare in runtime.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::metrics::MetricsSnapshot;
+
+/// Wall time attributed to one instrumentation stage (the first
+/// dot-separated segment of a span name: `analyzer`, `profiler`, ...).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageTime {
+    /// Stage name.
+    pub name: String,
+    /// Total wall time across the stage's spans, microseconds.
+    pub total_us: u64,
+    /// Number of spans recorded for the stage.
+    pub spans: u64,
+}
+
+/// Runtime of one analyzer algorithm (`span.analyzer.<algorithm>`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlgorithmRuntime {
+    /// Algorithm name: `kmeans`, `dbscan`, `ols`, `pca`, ...
+    pub name: String,
+    /// Number of recorded runs.
+    pub runs: u64,
+    /// Total wall time, microseconds.
+    pub total_us: u64,
+    /// Mean wall time per run, microseconds.
+    pub mean_us: f64,
+}
+
+/// Health of the profiler's window pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowHealth {
+    /// Windows sealed and kept.
+    pub sealed: u64,
+    /// Windows lost to simulated collection faults.
+    pub dropped: u64,
+    /// Events recorded into kept windows.
+    pub events_recorded: u64,
+    /// Events lost with dropped windows.
+    pub events_lost: u64,
+    /// Coverage gaps found by the window audit.
+    pub gaps: u64,
+    /// Window overlaps found by the audit.
+    pub overlaps: u64,
+    /// Fraction of the profiled span not covered by any window.
+    pub unobserved_fraction: f64,
+    /// Whether the audit found no gaps, overlaps, or losses.
+    pub clean: bool,
+}
+
+/// Summary computed from a [`MetricsSnapshot`]; see the module docs.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ObsReport {
+    /// Per-stage wall time, sorted by descending total.
+    pub stages: Vec<StageTime>,
+    /// Per-algorithm analyzer runtimes, sorted by descending total.
+    pub algorithms: Vec<AlgorithmRuntime>,
+    /// Instrumented-to-uninstrumented wall-clock ratio for the profiled
+    /// job, when the profiler recorded one (gauge
+    /// `profiler.overhead_ratio`).
+    pub overhead_ratio: Option<f64>,
+    /// Window-pipeline health, when profiler counters are present.
+    pub window_health: Option<WindowHealth>,
+}
+
+impl ObsReport {
+    /// Builds the report from a snapshot.
+    pub fn from_snapshot(snapshot: &MetricsSnapshot) -> ObsReport {
+        let mut stages: BTreeMap<&str, StageTime> = BTreeMap::new();
+        let mut algorithms = Vec::new();
+        for (name, hist) in &snapshot.histograms {
+            let Some(span_name) = name.strip_prefix("span.") else {
+                continue;
+            };
+            let stage = span_name.split('.').next().unwrap_or(span_name);
+            let entry = stages.entry(stage).or_insert_with(|| StageTime {
+                name: stage.to_owned(),
+                total_us: 0,
+                spans: 0,
+            });
+            entry.total_us += hist.sum;
+            entry.spans += hist.count;
+            if let Some(algorithm) = span_name.strip_prefix("analyzer.") {
+                algorithms.push(AlgorithmRuntime {
+                    name: algorithm.to_owned(),
+                    runs: hist.count,
+                    total_us: hist.sum,
+                    mean_us: hist.mean(),
+                });
+            }
+        }
+        let mut stages: Vec<StageTime> = stages.into_values().collect();
+        stages.sort_by(|a, b| b.total_us.cmp(&a.total_us).then(a.name.cmp(&b.name)));
+        algorithms.sort_by(|a, b| b.total_us.cmp(&a.total_us).then(a.name.cmp(&b.name)));
+
+        let counter = |name: &str| snapshot.counters.get(name).copied().unwrap_or(0);
+        let gauge = |name: &str| snapshot.gauges.get(name).copied();
+        let has_profiler_counters = snapshot
+            .counters
+            .keys()
+            .any(|name| name.starts_with("profiler."));
+        let window_health = has_profiler_counters.then(|| {
+            let dropped = counter("profiler.windows_dropped");
+            let events_lost = counter("profiler.events_lost");
+            let gaps = gauge("audit.gaps").unwrap_or(0.0) as u64;
+            let overlaps = gauge("audit.overlaps").unwrap_or(0.0) as u64;
+            WindowHealth {
+                sealed: counter("profiler.windows_sealed"),
+                dropped,
+                events_recorded: counter("profiler.events_recorded"),
+                events_lost,
+                gaps,
+                overlaps,
+                unobserved_fraction: gauge("audit.unobserved_fraction").unwrap_or(0.0),
+                clean: dropped == 0 && events_lost == 0 && gaps == 0 && overlaps == 0,
+            }
+        });
+
+        ObsReport {
+            stages,
+            algorithms,
+            overhead_ratio: gauge("profiler.overhead_ratio"),
+            window_health,
+        }
+    }
+
+    /// Human-readable rendering, the `tpupoint obs-report` output.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("== observability report ==\n");
+
+        out.push_str("\nper-stage wall time:\n");
+        if self.stages.is_empty() {
+            out.push_str("  (no spans recorded)\n");
+        }
+        for stage in &self.stages {
+            let _ = writeln!(
+                out,
+                "  {:<12} {:>12}  ({} spans)",
+                stage.name,
+                format_us(stage.total_us),
+                stage.spans
+            );
+        }
+
+        out.push_str("\nanalyzer algorithm runtimes:\n");
+        if self.algorithms.is_empty() {
+            out.push_str("  (no analyzer spans recorded)\n");
+        }
+        for algorithm in &self.algorithms {
+            let _ = writeln!(
+                out,
+                "  {:<12} {:>12} total over {} runs ({}/run)",
+                algorithm.name,
+                format_us(algorithm.total_us),
+                algorithm.runs,
+                format_us(algorithm.mean_us.round() as u64)
+            );
+        }
+
+        match self.overhead_ratio {
+            Some(ratio) => {
+                let _ = writeln!(
+                    out,
+                    "\nprofiler overhead: {:.2}% (instrumented/uninstrumented wall ratio {ratio:.4})",
+                    (ratio - 1.0) * 100.0
+                );
+            }
+            None => out.push_str("\nprofiler overhead: (not measured)\n"),
+        }
+
+        match &self.window_health {
+            Some(health) => {
+                let _ = writeln!(
+                    out,
+                    "\nwindow pipeline: {} sealed, {} dropped, {} events recorded, {} lost",
+                    health.sealed, health.dropped, health.events_recorded, health.events_lost
+                );
+                let _ = writeln!(
+                    out,
+                    "window audit:    {} gaps, {} overlaps, {:.2}% unobserved -> {}",
+                    health.gaps,
+                    health.overlaps,
+                    health.unobserved_fraction * 100.0,
+                    if health.clean { "clean" } else { "NOT CLEAN" }
+                );
+            }
+            None => out.push_str("\nwindow pipeline: (no profiler activity)\n"),
+        }
+        out
+    }
+}
+
+fn format_us(us: u64) -> String {
+    if us >= 1_000_000 {
+        format!("{:.3}s", us as f64 / 1e6)
+    } else if us >= 1_000 {
+        format!("{:.3}ms", us as f64 / 1e3)
+    } else {
+        format!("{us}us")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Metrics;
+
+    fn instrumented_snapshot() -> MetricsSnapshot {
+        let metrics = Metrics::new();
+        metrics.histogram("span.analyzer.kmeans").record(4000);
+        metrics.histogram("span.analyzer.kmeans").record(6000);
+        metrics.histogram("span.analyzer.dbscan").record(20_000);
+        metrics.histogram("span.analyzer.ols").record(500);
+        metrics.histogram("span.profiler.seal_window").record(50);
+        metrics.histogram("span.runtime.step").record(100);
+        metrics.counter("profiler.windows_sealed").add(8);
+        metrics.counter("profiler.windows_dropped").add(1);
+        metrics.counter("profiler.events_recorded").add(4000);
+        metrics.counter("profiler.events_lost").add(120);
+        metrics.gauge("profiler.overhead_ratio").set(1.03);
+        metrics.gauge("audit.gaps").set(1.0);
+        metrics.gauge("audit.unobserved_fraction").set(0.05);
+        metrics.snapshot()
+    }
+
+    #[test]
+    fn stages_aggregate_and_sort_by_total_time() {
+        let report = ObsReport::from_snapshot(&instrumented_snapshot());
+        let names: Vec<&str> = report.stages.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["analyzer", "runtime", "profiler"]);
+        let analyzer = &report.stages[0];
+        assert_eq!(analyzer.total_us, 30_500);
+        assert_eq!(analyzer.spans, 4);
+    }
+
+    #[test]
+    fn algorithms_report_runs_and_means() {
+        let report = ObsReport::from_snapshot(&instrumented_snapshot());
+        let names: Vec<&str> = report.algorithms.iter().map(|a| a.name.as_str()).collect();
+        assert_eq!(names, vec!["dbscan", "kmeans", "ols"]);
+        let kmeans = report
+            .algorithms
+            .iter()
+            .find(|a| a.name == "kmeans")
+            .unwrap();
+        assert_eq!(kmeans.runs, 2);
+        assert_eq!(kmeans.total_us, 10_000);
+        assert!((kmeans.mean_us - 5000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn window_health_reflects_drops_and_audit_gauges() {
+        let report = ObsReport::from_snapshot(&instrumented_snapshot());
+        let health = report.window_health.expect("profiler counters present");
+        assert_eq!(health.sealed, 8);
+        assert_eq!(health.dropped, 1);
+        assert_eq!(health.events_lost, 120);
+        assert_eq!(health.gaps, 1);
+        assert!(!health.clean);
+        assert_eq!(report.overhead_ratio, Some(1.03));
+    }
+
+    #[test]
+    fn empty_snapshot_renders_placeholders() {
+        let report = ObsReport::from_snapshot(&MetricsSnapshot::default());
+        assert!(report.stages.is_empty());
+        assert!(report.window_health.is_none());
+        let text = report.render();
+        assert!(text.contains("(no spans recorded)"));
+        assert!(text.contains("(not measured)"));
+        assert!(text.contains("(no profiler activity)"));
+    }
+
+    #[test]
+    fn render_mentions_each_section() {
+        let text = ObsReport::from_snapshot(&instrumented_snapshot()).render();
+        assert!(text.contains("per-stage wall time"));
+        assert!(text.contains("analyzer"));
+        assert!(text.contains("kmeans"));
+        assert!(text.contains("profiler overhead: 3.00%"));
+        assert!(text.contains("NOT CLEAN"));
+        assert!(text.contains("5.00% unobserved"));
+    }
+}

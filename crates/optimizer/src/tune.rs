@@ -177,6 +177,9 @@ impl Tuner {
         params: &[AdjustableParam],
         measure: &mut dyn Measure,
     ) -> TuneOutcome {
+        let _span = tpupoint_obs::span!("optimizer.tune", params = params.len());
+        let trial_counter = tpupoint_obs::metrics().counter("optimizer.trials");
+        let accepted_counter = tpupoint_obs::metrics().counter("optimizer.trials_accepted");
         let mut current = pipeline.clone();
         let mut trials = Vec::new();
         let mut measured_time = SimDuration::ZERO;
@@ -212,7 +215,11 @@ impl Tuner {
                             });
                             break;
                         }
-                        let t = measure.measure(&probe);
+                        let t = {
+                            let _trial_span = tpupoint_obs::span!("optimizer.trial");
+                            trial_counter.inc();
+                            measure.measure(&probe)
+                        };
                         measured_time += t.segment_wall;
                         measured_steps += t.segment_steps;
                         let outcome = if t.output_digest != reference_digest {
@@ -230,6 +237,7 @@ impl Tuner {
                             outcome,
                         });
                         if outcome == TrialOutcome::Accepted {
+                            accepted_counter.inc();
                             best_tput = t.steps_per_sec;
                             current = probe;
                             accepted_any = true;

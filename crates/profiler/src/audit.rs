@@ -84,7 +84,10 @@ pub fn audit_windows(windows: &[WindowRecord], gap_tolerance: SimDuration) -> Wi
                 audit.unobserved += gap;
             }
         } else if a.end > b.start {
-            audit.overlaps.push((a.index, a.end - b.start));
+            // Clip to the shared region so a window fully contained in
+            // its predecessor doesn't overstate the overlap.
+            let overlap_end = if b.end < a.end { b.end } else { a.end };
+            audit.overlaps.push((a.index, overlap_end - b.start));
         }
     }
     audit
@@ -161,5 +164,75 @@ mod tests {
         let audit = audit_windows(&[], SimDuration::ZERO);
         assert!(audit.is_clean(1, SimDuration::ZERO));
         assert_eq!(audit.unobserved_fraction(), 0.0);
+        assert_eq!(audit.windows, 0);
+        assert_eq!(audit.events, 0);
+        assert_eq!(audit.covered_span, SimDuration::ZERO);
+        assert_eq!(audit.max_window_events, 0);
+        assert_eq!(audit.max_window_span, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn single_window_covers_exactly_itself() {
+        let audit = audit_windows(&[window(0, 50, 350, 42)], SimDuration::ZERO);
+        assert!(audit.gaps.is_empty());
+        assert!(audit.overlaps.is_empty());
+        assert_eq!(audit.windows, 1);
+        assert_eq!(audit.covered_span.as_micros(), 300);
+        assert_eq!(audit.max_window_span.as_micros(), 300);
+        assert_eq!(audit.max_window_events, 42);
+        assert!(audit.is_clean(42, SimDuration::from_micros(300)));
+    }
+
+    #[test]
+    fn zero_duration_windows_neither_gap_nor_overlap() {
+        // Degenerate instant windows (start == end) can show up when a
+        // profile response arrives with no observed execution in it.
+        let windows = vec![
+            window(0, 100, 100, 0),
+            window(1, 100, 100, 0),
+            window(2, 100, 200, 3),
+        ];
+        let audit = audit_windows(&windows, SimDuration::ZERO);
+        assert!(audit.gaps.is_empty(), "{:?}", audit.gaps);
+        assert!(audit.overlaps.is_empty(), "{:?}", audit.overlaps);
+        assert_eq!(audit.covered_span.as_micros(), 100);
+        assert_eq!(audit.unobserved_fraction(), 0.0);
+        // A stream of only instant windows has zero covered span, which
+        // must not divide-by-zero in the fraction.
+        let degenerate = audit_windows(&[window(0, 5, 5, 0)], SimDuration::ZERO);
+        assert_eq!(degenerate.covered_span, SimDuration::ZERO);
+        assert_eq!(degenerate.unobserved_fraction(), 0.0);
+    }
+
+    #[test]
+    fn gap_exactly_at_tolerance_is_not_flagged() {
+        // The tolerance is inclusive: only gaps strictly larger count.
+        let windows = vec![window(0, 0, 100, 1), window(1, 150, 200, 1)];
+        let at = audit_windows(&windows, SimDuration::from_micros(50));
+        assert!(at.gaps.is_empty(), "{:?}", at.gaps);
+        assert_eq!(at.unobserved, SimDuration::ZERO);
+        let just_over = audit_windows(&windows, SimDuration::from_micros(49));
+        assert_eq!(just_over.gaps, vec![(0, SimDuration::from_micros(50))]);
+    }
+
+    #[test]
+    fn fully_overlapping_windows_report_the_shorter_span() {
+        // The second window sits entirely inside the first; the overlap
+        // reported is the shared region (the inner window's whole span),
+        // and the covered span still runs first-start to last-end.
+        let windows = vec![window(0, 0, 400, 10), window(1, 100, 300, 4)];
+        let audit = audit_windows(&windows, SimDuration::ZERO);
+        assert_eq!(audit.overlaps, vec![(0, SimDuration::from_micros(200))]);
+        assert!(audit.gaps.is_empty());
+        assert_eq!(audit.covered_span.as_micros(), 300);
+        assert!(!audit.is_clean(100, SimDuration::from_secs(1)));
+    }
+
+    #[test]
+    fn identical_windows_overlap_completely() {
+        let windows = vec![window(0, 0, 200, 5), window(1, 0, 200, 5)];
+        let audit = audit_windows(&windows, SimDuration::ZERO);
+        assert_eq!(audit.overlaps, vec![(0, SimDuration::from_micros(200))]);
+        assert_eq!(audit.covered_span.as_micros(), 200);
     }
 }

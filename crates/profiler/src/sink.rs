@@ -5,8 +5,35 @@ use crate::record::StepRecord;
 use crate::store::RecordStore;
 use crate::window::WindowRecord;
 use std::collections::HashMap;
+use std::sync::Arc;
+use tpupoint_obs::{Counter, Histogram};
 use tpupoint_simcore::trace::{OpCatalog, TraceEvent, TraceSink};
 use tpupoint_simcore::{SimDuration, SimRng, SimTime, Track};
+
+/// Observability handles, resolved once per sink so the per-event and
+/// per-window hot paths pay a single atomic add per update.
+struct SinkMetrics {
+    events_recorded: Counter,
+    events_lost: Counter,
+    windows_sealed: Counter,
+    windows_dropped: Counter,
+    window_events: Arc<Histogram>,
+    window_span_us: Arc<Histogram>,
+}
+
+impl SinkMetrics {
+    fn new() -> Self {
+        let metrics = tpupoint_obs::metrics();
+        SinkMetrics {
+            events_recorded: metrics.counter("profiler.events_recorded"),
+            events_lost: metrics.counter("profiler.events_lost"),
+            windows_sealed: metrics.counter("profiler.windows_sealed"),
+            windows_dropped: metrics.counter("profiler.windows_dropped"),
+            window_events: metrics.histogram("profiler.window_events"),
+            window_span_us: metrics.histogram("profiler.window_span_us"),
+        }
+    }
+}
 
 /// Caps and cadence of profile windows.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -64,6 +91,7 @@ pub struct ProfilerSink {
     dropped_windows: u64,
     lost_events: u64,
     stopped: bool,
+    obs: SinkMetrics,
 }
 
 impl std::fmt::Debug for ProfilerSink {
@@ -97,6 +125,7 @@ impl ProfilerSink {
             dropped_windows: 0,
             lost_events: 0,
             stopped: false,
+            obs: SinkMetrics::new(),
         }
     }
 
@@ -125,12 +154,21 @@ impl ProfilerSink {
 
     fn seal_window(&mut self) {
         if let Some(window) = self.current.take() {
+            let _span = tpupoint_obs::span!("profiler.seal_window");
             if self.current_dropped {
                 // The profile response was lost: neither recorded nor kept.
                 self.dropped_windows += 1;
                 self.lost_events += window.events;
+                self.obs.windows_dropped.inc();
+                self.obs.events_lost.add(window.events);
                 return;
             }
+            self.obs.windows_sealed.inc();
+            self.obs.events_recorded.add(window.events);
+            self.obs.window_events.record(window.events);
+            self.obs
+                .window_span_us
+                .record(window.end.saturating_since(window.start).as_micros());
             if let Some(store) = self.store.as_mut() {
                 // Recording failures must not kill the training run; the
                 // real recording thread logs and continues.

@@ -5,6 +5,8 @@ use super::{tags, StepCosts};
 use crate::config::StepKind;
 use crate::metrics::SharedMetrics;
 use std::collections::HashSet;
+use std::sync::Arc;
+use tpupoint_obs::{Counter, Histogram};
 use tpupoint_simcore::{
     trace::TraceEvent, Ctx, OpId, PopOutcome, Process, ProcessId, PushOutcome, QueueId, Signal,
     SimDuration, SimTime, Track,
@@ -51,6 +53,27 @@ pub struct TpuProc {
     state: State,
     step_started: SimTime,
     step_total: SimDuration,
+    obs: StepObs,
+}
+
+/// Observability handles for the per-step boundary, resolved once per
+/// actor so the step-completion path pays one atomic add per metric.
+#[derive(Debug)]
+struct StepObs {
+    steps: Counter,
+    train_steps: Counter,
+    step_sim_us: Arc<Histogram>,
+}
+
+impl StepObs {
+    fn new() -> Self {
+        let metrics = tpupoint_obs::metrics();
+        StepObs {
+            steps: metrics.counter("runtime.steps"),
+            train_steps: metrics.counter("runtime.train_steps"),
+            step_sim_us: metrics.histogram("runtime.step_sim_us"),
+        }
+    }
 }
 
 impl TpuProc {
@@ -91,6 +114,7 @@ impl TpuProc {
             state: State::Idle,
             step_started: SimTime::ZERO,
             step_total: SimDuration::ZERO,
+            obs: StepObs::new(),
         }
     }
 
@@ -194,6 +218,13 @@ impl TpuProc {
             }
             m.step_walls.push(ctx.now() - self.step_started);
         }
+        self.obs.steps.inc();
+        if kind == StepKind::Train {
+            self.obs.train_steps.inc();
+        }
+        self.obs
+            .step_sim_us
+            .record((ctx.now() - self.step_started).as_micros());
         ctx.mark_step(step);
         let last = self.cur + 1 == self.plan.len();
         // Checkpoints force a loop boundary too: the host has to dequeue

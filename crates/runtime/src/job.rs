@@ -135,6 +135,8 @@ impl TrainingJob {
         let c = &self.config;
         let plan = c.step_plan();
         assert!(!plan.is_empty(), "job must have at least one step");
+        let _span =
+            tpupoint_obs::span!("runtime.job", steps = plan.len(), model = c.model.as_str());
         let metrics = shared_metrics();
         let mut engine = Engine::new(c.seed);
 

@@ -173,6 +173,11 @@ impl TpuPoint {
     /// Returns an error if analyzer-mode recording to the output directory
     /// fails.
     pub fn profile(&self, mut config: JobConfig) -> io::Result<ProfiledRun> {
+        let _span = tpupoint_obs::span!(
+            "tpupoint.profile",
+            analyzer = self.options.analyzer,
+            overhead_frac = self.options.profiling_overhead_frac
+        );
         config.host_overhead_frac += self.options.profiling_overhead_frac;
         let job = TrainingJob::new(config);
         let mut sink = if self.options.analyzer {
@@ -192,7 +197,29 @@ impl TpuPoint {
         sink.set_source(&job.config().model, &job.config().dataset.name);
         let report = job.run(&mut sink);
         let profile = sink.finish();
+        self.publish_run_gauges(&profile);
         Ok(ProfiledRun { report, profile })
+    }
+
+    /// Publishes the run-level observability gauges: the modeled
+    /// instrumented-vs-uninstrumented wall ratio and the window-audit
+    /// health of the captured profile.
+    fn publish_run_gauges(&self, profile: &Profile) {
+        let metrics = tpupoint_obs::metrics();
+        metrics
+            .gauge("profiler.overhead_ratio")
+            .set(1.0 + self.options.profiling_overhead_frac);
+        let audit = tpupoint_profiler::audit_windows(
+            &profile.windows,
+            tpupoint_simcore::SimDuration::from_millis(1),
+        );
+        metrics.gauge("audit.gaps").set(audit.gaps.len() as f64);
+        metrics
+            .gauge("audit.overlaps")
+            .set(audit.overlaps.len() as f64);
+        metrics
+            .gauge("audit.unobserved_fraction")
+            .set(audit.unobserved_fraction());
     }
 
     /// Runs TPUPoint-Analyzer: OLS phases at the configured threshold,

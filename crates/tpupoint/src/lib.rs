@@ -35,8 +35,8 @@
 //! ```
 //!
 //! The sub-crates are re-exported under topic modules: [`sim`], [`hw`],
-//! [`graph`], [`runtime`], [`profiler`], [`analyzer`], [`optimizer`], and
-//! [`workloads`].
+//! [`graph`], [`runtime`], [`profiler`], [`analyzer`], [`optimizer`],
+//! [`workloads`], and [`obs`].
 
 pub mod facade;
 
@@ -80,6 +80,13 @@ pub mod optimizer {
 /// The paper's workload suite.
 pub mod workloads {
     pub use tpupoint_workloads::*;
+}
+
+/// Self-observability: the metrics registry, span tracer, exporters, and
+/// the [`obs::ObsReport`] summarizer the toolchain instruments itself
+/// with.
+pub mod obs {
+    pub use tpupoint_obs::*;
 }
 
 /// Convenience imports for examples and the benchmark harness.

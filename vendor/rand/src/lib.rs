@@ -1,0 +1,246 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Provides the narrow surface the workspace uses — `rngs::StdRng`,
+//! `SeedableRng::seed_from_u64`, `Rng::gen`, and `Rng::gen_range` over
+//! integer ranges — backed by xoshiro256++ seeded through splitmix64.
+//! The generator is deterministic per seed, which is all the simulator
+//! requires; it makes no cryptographic claims.
+
+/// Seeding support; mirrors the subset of `rand::SeedableRng` in use.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling trait implemented by generator types.
+pub trait Rng {
+    /// The next raw 64-bit output.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform sample of type `T`.
+    fn gen<T: Sample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// A uniform sample from an integer range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Item
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+/// Types that can be sampled uniformly from raw generator output.
+pub trait Sample {
+    /// Draws one sample.
+    fn sample<R: Rng>(rng: &mut R) -> Self;
+}
+
+impl Sample for u64 {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Sample for u32 {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Sample for usize {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Sample for bool {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Sample for f64 {
+    /// Uniform in `[0, 1)` using the top 53 bits, matching the standard
+    /// `(x >> 11) * 2^-53` construction.
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Ranges usable with [`Rng::gen_range`].
+pub trait SampleRange {
+    /// Element type produced by the range.
+    type Item;
+
+    /// Draws a uniform sample from the range.
+    fn sample_from<R: Rng>(self, rng: &mut R) -> Self::Item;
+}
+
+/// Uniform draw from `[0, width)` by rejection sampling, so every value is
+/// equally likely (no modulo bias). `width` must be non-zero.
+fn below<R: Rng>(rng: &mut R, width: u64) -> u64 {
+    debug_assert!(width > 0);
+    // Largest multiple of `width` that fits in u64; rejecting raw samples
+    // at or above it leaves each residue class equally represented.
+    let zone = u64::MAX - (u64::MAX % width + 1) % width;
+    loop {
+        let raw = rng.next_u64();
+        if raw <= zone {
+            return raw % width;
+        }
+    }
+}
+
+macro_rules! int_ranges {
+    ($($t:ty),*) => {$(
+        impl SampleRange for std::ops::Range<$t> {
+            type Item = $t;
+
+            fn sample_from<R: Rng>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let width = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(below(rng, width) as $t)
+            }
+        }
+
+        impl SampleRange for std::ops::RangeInclusive<$t> {
+            type Item = $t;
+
+            fn sample_from<R: Rng>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let width = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if width == 0 {
+                    // Full-width range: every raw draw is valid.
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(below(rng, width) as $t)
+            }
+        }
+    )*};
+}
+int_ranges!(u64, usize, u32, i64);
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic generator: xoshiro256++ with splitmix64 seeding.
+    ///
+    /// Not the same algorithm as the real `rand::rngs::StdRng` (ChaCha12),
+    /// but it satisfies the same contract this workspace relies on:
+    /// `Debug + Clone`, identical streams for identical seeds, and good
+    /// statistical quality for simulation use.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut s = seed;
+            StdRng {
+                state: [
+                    splitmix64(&mut s),
+                    splitmix64(&mut s),
+                    splitmix64(&mut s),
+                    splitmix64(&mut s),
+                ],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.state;
+            let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+            let t = s1 << 17;
+            let mut s2 = s2 ^ s0;
+            let mut s3 = s3 ^ s1;
+            let s1 = s1 ^ s2;
+            let s0 = s0 ^ s3;
+            s2 ^= t;
+            s3 = s3.rotate_left(45);
+            self.state = [s0, s1, s2, s3];
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(99);
+        let mut b = StdRng::seed_from_u64(99);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(100);
+        assert_ne!(StdRng::seed_from_u64(99).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_samples_lie_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = rng.gen::<f64>();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn f64_mean_is_near_half() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 50_000;
+        let mean = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(10u64..=20);
+            assert!((10..=20).contains(&x));
+            let y = rng.gen_range(5usize..8);
+            assert!((5..8).contains(&y));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_every_value() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.gen_range(0usize..4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn full_width_inclusive_range_works() {
+        let mut rng = StdRng::seed_from_u64(11);
+        // Must not hang or panic on the zero-width modulus case.
+        let _ = rng.gen_range(0u64..=u64::MAX);
+    }
+}

@@ -1,0 +1,392 @@
+//! The owned value data model shared by `serde` and `serde_json`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// JSON object representation. A `BTreeMap` keeps output deterministic
+/// (keys sorted), which the repository's golden files and tests rely on.
+pub type Map = BTreeMap<String, Value>;
+
+/// A JSON number: unsigned, signed, or floating point.
+#[derive(Debug, Clone, Copy)]
+pub enum Number {
+    /// Non-negative integer.
+    U(u64),
+    /// Negative integer.
+    I(i64),
+    /// Floating point.
+    F(f64),
+}
+
+impl Number {
+    /// The number as `u64`, if representable exactly.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::U(n) => Some(n),
+            Number::I(n) => u64::try_from(n).ok(),
+            Number::F(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => Some(f as u64),
+            Number::F(_) => None,
+        }
+    }
+
+    /// The number as `i64`, if representable exactly.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::U(n) => i64::try_from(n).ok(),
+            Number::I(n) => Some(n),
+            Number::F(f) if f.fract() == 0.0 && f >= i64::MIN as f64 && f <= i64::MAX as f64 => {
+                Some(f as i64)
+            }
+            Number::F(_) => None,
+        }
+    }
+
+    /// The number as `f64` (lossy for huge integers).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::U(n) => n as f64,
+            Number::I(n) => n as f64,
+            Number::F(f) => f,
+        }
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Number::U(a), Number::U(b)) => a == b,
+            (Number::I(a), Number::I(b)) => a == b,
+            (Number::F(a), Number::F(b)) => a == b,
+            // Cross-representation comparisons go through exact integer
+            // views first, falling back to float equality.
+            _ => match (self.as_i64(), other.as_i64()) {
+                (Some(a), Some(b)) => a == b,
+                _ => match (self.as_u64(), other.as_u64()) {
+                    (Some(a), Some(b)) => a == b,
+                    _ => self.as_f64() == other.as_f64(),
+                },
+            },
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Number::U(n) => write!(f, "{n}"),
+            Number::I(n) => write!(f, "{n}"),
+            Number::F(x) => {
+                if x.is_finite() {
+                    // Rust's float Display picks the shortest decimal
+                    // string that parses back to the same f64.
+                    if x.fract() == 0.0 && x.abs() < 1e15 {
+                        write!(f, "{x:.1}")
+                    } else {
+                        write!(f, "{x}")
+                    }
+                } else {
+                    // JSON has no NaN/Infinity; real serde_json errors
+                    // here. Null keeps output parseable instead.
+                    write!(f, "null")
+                }
+            }
+        }
+    }
+}
+
+/// An owned JSON-like value.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// JSON `null`.
+    #[default]
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number.
+    Number(Number),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object.
+    Object(Map),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// The value as a borrowed string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64`.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The value as `i64`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// The value as a borrowed array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as a borrowed object.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(map) => Some(map),
+            _ => None,
+        }
+    }
+
+    /// True for `Value::Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Object member by key; `None` when absent or not an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+
+    /// Renders to a JSON string; `pretty` uses 2-space indentation.
+    pub fn to_json_string(&self, pretty: bool) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out, if pretty { Some(0) } else { None });
+        out
+    }
+
+    /// Writes the value as JSON; `indent` of `None` means compact.
+    pub(crate) fn write_json(&self, out: &mut String, indent: Option<usize>) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => out.push_str(&n.to_string()),
+            Value::String(s) => write_escaped(s, out),
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent.map(|d| d + 1));
+                    item.write_json(out, indent.map(|d| d + 1));
+                }
+                newline_indent(out, indent);
+                out.push(']');
+            }
+            Value::Object(map) => {
+                if map.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent.map(|d| d + 1));
+                    write_escaped(key, out);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    value.write_json(out, indent.map(|d| d + 1));
+                }
+                newline_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>) {
+    if let Some(depth) = indent {
+        out.push('\n');
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Compact JSON rendering.
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        self.write_json(&mut out, None);
+        f.write_str(&out)
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, index: usize) -> &Value {
+        self.as_array().and_then(|a| a.get(index)).unwrap_or(&NULL)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl PartialEq<Value> for &str {
+    fn eq(&self, other: &Value) -> bool {
+        other.as_str() == Some(*self)
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+macro_rules! value_eq_number {
+    ($($t:ty => $variant:ident),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                match self {
+                    Value::Number(n) => *n == Number::$variant(*other as _),
+                    _ => false,
+                }
+            }
+        }
+    )*};
+}
+value_eq_number!(u64 => U, u32 => U, usize => U, i64 => I, i32 => I, f64 => F);
+
+macro_rules! value_from {
+    ($($t:ty => $body:expr),* $(,)?) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                #[allow(clippy::redundant_closure_call)]
+                ($body)(v)
+            }
+        }
+    )*};
+}
+value_from! {
+    bool => Value::Bool,
+    u64 => |v| Value::Number(Number::U(v)),
+    u32 => |v: u32| Value::Number(Number::U(u64::from(v))),
+    usize => |v: usize| Value::Number(Number::U(v as u64)),
+    i64 => |v: i64| if v >= 0 { Value::Number(Number::U(v as u64)) } else { Value::Number(Number::I(v)) },
+    i32 => |v: i32| Value::from(i64::from(v)),
+    f64 => |v| Value::Number(Number::F(v)),
+    String => Value::String,
+    &str => |v: &str| Value::String(v.to_owned()),
+    Vec<Value> => Value::Array,
+    Map => Value::Object,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_missing_keys_yields_null() {
+        let v = Value::Object(Map::new());
+        assert!(v["nope"].is_null());
+        assert!(v["nope"]["deeper"].is_null());
+    }
+
+    #[test]
+    fn string_comparisons_work_both_ways() {
+        let v = Value::String("abc".into());
+        assert!(v == "abc");
+        assert!("abc" == v);
+        assert!(v != "abd");
+    }
+
+    #[test]
+    fn escaping_round_trips_through_display() {
+        let v = Value::String("a\"b\\c\nd".into());
+        assert_eq!(v.to_string(), r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn number_equality_crosses_representations() {
+        assert_eq!(Number::U(5), Number::I(5));
+        assert_eq!(Number::U(5), Number::F(5.0));
+        assert_ne!(Number::U(5), Number::F(5.5));
+    }
+}

@@ -1,0 +1,498 @@
+//! `#[derive(Serialize, Deserialize)]` for the offline serde stand-in.
+//!
+//! The container that builds this workspace has no crates.io access, so
+//! `syn`/`quote` are unavailable; the item is parsed directly from the
+//! `proc_macro` token stream. Supported shapes — which cover every derive
+//! site in this repository — are:
+//!
+//! * structs with named fields (honoring `#[serde(default)]`),
+//! * tuple structs (newtypes serialize transparently, wider ones as
+//!   arrays),
+//! * unit structs,
+//! * enums whose variants are unit or tuple variants (externally tagged,
+//!   matching serde's default representation).
+//!
+//! Generics, struct variants, and other serde attributes are rejected
+//! with a compile error naming the construct.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+enum Shape {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    arity: usize,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(message) => {
+            return format!("compile_error!({message:?});").parse().unwrap();
+        }
+    };
+    let code = match (&item, mode) {
+        (Item::Struct { name, shape }, Mode::Serialize) => struct_serialize(name, shape),
+        (Item::Struct { name, shape }, Mode::Deserialize) => struct_deserialize(name, shape),
+        (Item::Enum { name, variants }, Mode::Serialize) => enum_serialize(name, variants),
+        (Item::Enum { name, variants }, Mode::Deserialize) => enum_deserialize(name, variants),
+    };
+    code.parse().unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let tok = self.tokens.get(self.pos).cloned();
+        if tok.is_some() {
+            self.pos += 1;
+        }
+        tok
+    }
+
+    /// Skips leading `#[...]` attribute groups, returning whether any of
+    /// them was `#[serde(default)]`.
+    fn skip_attrs(&mut self) -> bool {
+        let mut has_default = false;
+        while matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            self.next();
+            if let Some(TokenTree::Group(group)) = self.next() {
+                has_default |= attr_is_serde_default(&group.stream());
+            }
+        }
+        has_default
+    }
+
+    /// Skips `pub`, `pub(crate)`, and friends.
+    fn skip_visibility(&mut self) {
+        if matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+            self.next();
+            if matches!(
+                self.peek(),
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+            ) {
+                self.next();
+            }
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String, String> {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => Ok(i.to_string()),
+            other => Err(format!("expected {what}, found {other:?}")),
+        }
+    }
+}
+
+fn attr_is_serde_default(stream: &TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    match tokens.as_slice() {
+        [TokenTree::Ident(name), TokenTree::Group(args)] if name.to_string() == "serde" => args
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "default")),
+        _ => false,
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut cursor = Cursor::new(input);
+    cursor.skip_attrs();
+    cursor.skip_visibility();
+    let kind = cursor.expect_ident("`struct` or `enum`")?;
+    let name = cursor.expect_ident("item name")?;
+    if matches!(cursor.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde stand-in derive does not support generics (on `{name}`)"
+        ));
+    }
+    match kind.as_str() {
+        "struct" => {
+            let shape = match cursor.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+                other => return Err(format!("unsupported struct body: {other:?}")),
+            };
+            Ok(Item::Struct { name, shape })
+        }
+        "enum" => {
+            let body = match cursor.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => return Err(format!("unsupported enum body: {other:?}")),
+            };
+            Ok(Item::Enum {
+                name,
+                variants: parse_variants(body)?,
+            })
+        }
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut cursor = Cursor::new(stream);
+    let mut fields = Vec::new();
+    loop {
+        let default = cursor.skip_attrs();
+        cursor.skip_visibility();
+        let Some(TokenTree::Ident(name)) = cursor.next() else {
+            break;
+        };
+        fields.push(Field {
+            name: name.to_string(),
+            default,
+        });
+        // Skip `: Type` up to the next top-level comma. Group tokens hide
+        // their inner commas; only `<`/`>` puncts need depth tracking.
+        let mut angle_depth = 0i32;
+        while let Some(tok) = cursor.next() {
+            if let TokenTree::Punct(p) = &tok {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut saw_token = false;
+    let mut angle_depth = 0i32;
+    for tok in stream {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    count += 1;
+                    saw_token = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        saw_token = true;
+    }
+    if saw_token {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut cursor = Cursor::new(stream);
+    let mut variants = Vec::new();
+    loop {
+        cursor.skip_attrs();
+        let Some(tok) = cursor.next() else { break };
+        let TokenTree::Ident(name) = tok else {
+            return Err(format!("expected enum variant, found {tok:?}"));
+        };
+        let arity = match cursor.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                cursor.next();
+                n
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                return Err(format!(
+                    "serde stand-in derive does not support struct variants (`{name}`)"
+                ));
+            }
+            _ => 0,
+        };
+        variants.push(Variant {
+            name: name.to_string(),
+            arity,
+        });
+        // Skip a possible discriminant, then the separating comma.
+        let mut angle_depth = 0i32;
+        while let Some(tok) = cursor.peek() {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        cursor.next();
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            cursor.next();
+        }
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (plain source strings, parsed back into a TokenStream)
+// ---------------------------------------------------------------------------
+
+fn struct_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Named(fields) => {
+            let inserts: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "map.insert(::std::string::String::from({n:?}), \
+                         ::serde::Serialize::to_value(&self.{n}));\n",
+                        n = f.name
+                    )
+                })
+                .collect();
+            format!("let mut map = ::serde::Map::new();\n{inserts}::serde::Value::Object(map)")
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_owned(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::Unit => "::serde::Value::Null".to_owned(),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn struct_deserialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Named(fields) => {
+            let field_inits: String = fields
+                .iter()
+                .map(|f| {
+                    let missing = if f.default {
+                        "::std::default::Default::default()".to_owned()
+                    } else {
+                        format!("::serde::de::missing_field({:?}, {name:?})?", f.name)
+                    };
+                    format!(
+                        "{n}: match map.get({n:?}) {{\n\
+                             ::std::option::Option::Some(v) => ::serde::Deserialize::from_value(v)?,\n\
+                             ::std::option::Option::None => {missing},\n\
+                         }},\n",
+                        n = f.name
+                    )
+                })
+                .collect();
+            format!(
+                "let map = value.as_object().ok_or_else(|| \
+                     ::serde::Error::expected(\"object\", {name:?}))?;\n\
+                 ::std::result::Result::Ok({name} {{\n{field_inits}}})"
+            )
+        }
+        Shape::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(value)?))")
+        }
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = value.as_array().ok_or_else(|| \
+                     ::serde::Error::expected(\"array\", {name:?}))?;\n\
+                 if items.len() != {n} {{\n\
+                     return ::std::result::Result::Err(::serde::Error::expected(\
+                         \"array of length {n}\", {name:?}));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name}({fields}))",
+                fields = items.join(", ")
+            )
+        }
+        Shape::Unit => format!("::std::result::Result::Ok({name})"),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn enum_serialize(name: &str, variants: &[Variant]) -> String {
+    let arms: String = variants
+        .iter()
+        .map(|v| match v.arity {
+            0 => format!(
+                "{name}::{v} => ::serde::Value::String(::std::string::String::from({v:?})),\n",
+                v = v.name
+            ),
+            1 => format!(
+                "{name}::{v}(f0) => {{\n\
+                     let mut map = ::serde::Map::new();\n\
+                     map.insert(::std::string::String::from({v:?}), \
+                         ::serde::Serialize::to_value(f0));\n\
+                     ::serde::Value::Object(map)\n\
+                 }}\n",
+                v = v.name
+            ),
+            n => {
+                let binds: Vec<String> = (0..n).map(|i| format!("f{i}")).collect();
+                let items: Vec<String> = binds
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                    .collect();
+                format!(
+                    "{name}::{v}({binds}) => {{\n\
+                         let mut map = ::serde::Map::new();\n\
+                         map.insert(::std::string::String::from({v:?}), \
+                             ::serde::Value::Array(vec![{items}]));\n\
+                         ::serde::Value::Object(map)\n\
+                     }}\n",
+                    v = v.name,
+                    binds = binds.join(", "),
+                    items = items.join(", ")
+                )
+            }
+        })
+        .collect();
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{\n{arms}}}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: String = variants
+        .iter()
+        .filter(|v| v.arity == 0)
+        .map(|v| {
+            format!(
+                "{v:?} => ::std::result::Result::Ok({name}::{v}),\n",
+                v = v.name
+            )
+        })
+        .collect();
+    let tagged_arms: String = variants
+        .iter()
+        .filter(|v| v.arity > 0)
+        .map(|v| {
+            if v.arity == 1 {
+                format!(
+                    "{v:?} => ::std::result::Result::Ok({name}::{v}(\
+                         ::serde::Deserialize::from_value(inner)?)),\n",
+                    v = v.name
+                )
+            } else {
+                let items: Vec<String> = (0..v.arity)
+                    .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                    .collect();
+                format!(
+                    "{v:?} => {{\n\
+                         let items = inner.as_array().ok_or_else(|| \
+                             ::serde::Error::expected(\"array\", {name:?}))?;\n\
+                         if items.len() != {n} {{\n\
+                             return ::std::result::Result::Err(::serde::Error::expected(\
+                                 \"array of length {n}\", {name:?}));\n\
+                         }}\n\
+                         ::std::result::Result::Ok({name}::{v}({fields}))\n\
+                     }}\n",
+                    v = v.name,
+                    n = v.arity,
+                    fields = items.join(", ")
+                )
+            }
+        })
+        .collect();
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::Error> {{\n\
+                 match value {{\n\
+                     ::serde::Value::String(tag) => match tag.as_str() {{\n\
+                         {unit_arms}\
+                         other => ::std::result::Result::Err(::serde::Error::msg(\
+                             format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Object(map) if map.len() == 1 => {{\n\
+                         let (tag, inner) = map.iter().next().expect(\"len checked\");\n\
+                         match tag.as_str() {{\n\
+                             {tagged_arms}\
+                             other => ::std::result::Result::Err(::serde::Error::msg(\
+                                 format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     _ => ::std::result::Result::Err(::serde::Error::expected(\
+                         \"string or single-key object\", {name:?})),\n\
+                 }}\n\
+             }}\n\
+         }}"
+    )
+}

@@ -1,0 +1,266 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Re-uses the value model from the `serde` stand-in and adds a JSON text
+//! layer: a recursive-descent parser, compact and pretty writers, and the
+//! `json!` construction macro. The API mirrors the subset of real
+//! `serde_json` this repository uses.
+
+use std::fmt;
+use std::io;
+
+pub use serde::{Map, Number, Value};
+
+mod parse;
+
+/// Error type covering both syntax errors from parsing and data-model
+/// mismatches surfaced while converting to a concrete type.
+#[derive(Debug)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    fn new(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(err: serde::Error) -> Self {
+        Error::new(err.to_string())
+    }
+}
+
+impl From<io::Error> for Error {
+    fn from(err: io::Error) -> Self {
+        Error::new(err.to_string())
+    }
+}
+
+/// Result alias matching `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Converts any serializable value into a [`Value`].
+pub fn to_value<T: serde::Serialize>(value: &T) -> Result<Value> {
+    Ok(value.to_value())
+}
+
+/// Converts a [`Value`] into a concrete deserializable type.
+pub fn from_value<T: serde::de::DeserializeOwned>(value: Value) -> Result<T> {
+    Ok(T::from_value(&value)?)
+}
+
+/// Serializes to a compact JSON string.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String> {
+    Ok(value.to_value().to_string())
+}
+
+/// Serializes to a pretty (2-space indented) JSON string.
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String> {
+    Ok(value.to_value().to_json_string(true))
+}
+
+/// Writes compact JSON to an `io::Write`.
+pub fn to_writer<W: io::Write, T: serde::Serialize>(mut writer: W, value: &T) -> Result<()> {
+    writer.write_all(to_string(value)?.as_bytes())?;
+    Ok(())
+}
+
+/// Writes pretty JSON to an `io::Write`.
+pub fn to_writer_pretty<W: io::Write, T: serde::Serialize>(mut writer: W, value: &T) -> Result<()> {
+    writer.write_all(to_string_pretty(value)?.as_bytes())?;
+    Ok(())
+}
+
+/// Parses a JSON string into a concrete type.
+pub fn from_str<T: serde::de::DeserializeOwned>(input: &str) -> Result<T> {
+    let value = parse::parse(input)?;
+    Ok(T::from_value(&value)?)
+}
+
+/// Parses JSON bytes into a concrete type.
+pub fn from_slice<T: serde::de::DeserializeOwned>(input: &[u8]) -> Result<T> {
+    let text = std::str::from_utf8(input).map_err(|e| Error::new(e.to_string()))?;
+    from_str(text)
+}
+
+/// Reads all of `reader` and parses it as JSON.
+pub fn from_reader<R: io::Read, T: serde::de::DeserializeOwned>(mut reader: R) -> Result<T> {
+    let mut buf = String::new();
+    reader.read_to_string(&mut buf)?;
+    from_str(&buf)
+}
+
+/// Builds a [`Value`] from JSON-looking syntax.
+///
+/// Object and array literals recurse; any other expression goes through
+/// [`serde::Serialize::to_value`], so `json!({"k": some_struct})` works for
+/// any serializable type, including `Option` (where `None` becomes `null`).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($items:tt)* ]) => { $crate::json_array!([ $($items)* ]) };
+    ({ $($body:tt)* }) => { $crate::json_object!({ $($body)* }) };
+    ($other:expr) => { ::serde::Serialize::to_value(&$other) };
+}
+
+/// Internal: array literal support for [`json!`].
+///
+/// A TT-muncher so that multi-token expressions (`-2`, `a + b`) work as
+/// elements alongside nested object/array literals.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_array {
+    ([ $($items:tt)* ]) => {{
+        #[allow(unused_mut, clippy::vec_init_then_push)]
+        {
+            let mut items: ::std::vec::Vec<$crate::Value> = ::std::vec::Vec::new();
+            $crate::json_array_inner!(items, $($items)*);
+            $crate::Value::Array(items)
+        }
+    }};
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_array_inner {
+    ($vec:ident,) => {};
+    ($vec:ident) => {};
+    ($vec:ident, null $(, $($rest:tt)*)?) => {
+        $vec.push($crate::Value::Null);
+        $crate::json_array_inner!($vec $(, $($rest)*)?);
+    };
+    ($vec:ident, { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $vec.push($crate::json_object!({ $($inner)* }));
+        $crate::json_array_inner!($vec $(, $($rest)*)?);
+    };
+    ($vec:ident, [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $vec.push($crate::json_array!([ $($inner)* ]));
+        $crate::json_array_inner!($vec $(, $($rest)*)?);
+    };
+    ($vec:ident, $value:expr $(, $($rest:tt)*)?) => {
+        $vec.push(::serde::Serialize::to_value(&$value));
+        $crate::json_array_inner!($vec $(, $($rest)*)?);
+    };
+}
+
+/// Internal: object literal support for [`json!`].
+///
+/// A TT-muncher: each step consumes one `"key": value` pair, where the
+/// value is either a braced object, a bracketed array, or a plain
+/// expression (matched up to the next top-level comma).
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_object {
+    ({ $($body:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut map = $crate::Map::new();
+        $crate::json_object_inner!(map, $($body)*);
+        $crate::Value::Object(map)
+    }};
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_object_inner {
+    ($map:ident,) => {};
+    ($map:ident) => {};
+    ($map:ident, $key:tt : null $(, $($rest:tt)*)?) => {
+        $map.insert($crate::json_key!($key), $crate::Value::Null);
+        $crate::json_object_inner!($map, $($($rest)*)?);
+    };
+    ($map:ident, $key:tt : { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $map.insert($crate::json_key!($key), $crate::json_object!({ $($inner)* }));
+        $crate::json_object_inner!($map, $($($rest)*)?);
+    };
+    ($map:ident, $key:tt : [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $map.insert($crate::json_key!($key), $crate::json_array!([ $($inner)* ]));
+        $crate::json_object_inner!($map, $($($rest)*)?);
+    };
+    ($map:ident, $key:tt : $value:expr $(, $($rest:tt)*)?) => {
+        $map.insert($crate::json_key!($key), ::serde::Serialize::to_value(&$value));
+        $crate::json_object_inner!($map, $($($rest)*)?);
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_key {
+    ($key:literal) => {
+        ::std::string::String::from($key)
+    };
+    ($key:expr) => {
+        ::std::string::String::from($key)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_builds_nested_structures() {
+        let name = "resnet";
+        let v = json!({
+            "model": name,
+            "k": 4,
+            "nested": { "ok": true, "items": [1, 2, 3] },
+            "missing": null,
+        });
+        assert_eq!(v["model"], "resnet");
+        assert_eq!(v["k"], 4u64);
+        assert_eq!(v["nested"]["ok"], true);
+        assert_eq!(v["nested"]["items"][2], 3u64);
+        assert!(v["missing"].is_null());
+    }
+
+    #[test]
+    fn json_macro_accepts_expressions_and_options() {
+        let some: Option<u32> = Some(7);
+        let none: Option<u32> = None;
+        let v = json!({ "some": some, "none": none, "sum": 2 + 3 });
+        assert_eq!(v["some"], 7u64);
+        assert!(v["none"].is_null());
+        assert_eq!(v["sum"], 5u64);
+    }
+
+    #[test]
+    fn round_trip_through_text() {
+        let v = json!({
+            "a": [1.5, -2, "x\n"],
+            "b": { "c": false },
+        });
+        let compact = to_string(&v).unwrap();
+        let back: Value = from_str(&compact).unwrap();
+        assert_eq!(back, v);
+        let pretty = to_string_pretty(&v).unwrap();
+        let back2: Value = from_str(&pretty).unwrap();
+        assert_eq!(back2, v);
+        assert!(pretty.contains('\n'));
+    }
+
+    #[test]
+    fn parse_errors_mention_position() {
+        let err = from_str::<Value>("{\"a\": }").unwrap_err();
+        assert!(err.to_string().contains("offset"), "{err}");
+    }
+
+    #[test]
+    fn from_reader_and_slice_agree() {
+        let text = br#"{"k": [true, null, 1e3]}"#;
+        let a: Value = from_slice(text).unwrap();
+        let b: Value = from_reader(&text[..]).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a["k"][2], 1000.0);
+    }
+}
