@@ -11,6 +11,27 @@ use crate::viz;
 use std::io;
 use tpupoint_profiler::Profile;
 
+/// Tuning knobs for [`Analyzer`] construction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnalyzerOptions {
+    /// Worker-pool size for the parallel sweeps. `0` (the default) leaves
+    /// the process-wide pool untouched — auto-sized from
+    /// `TPUPOINT_THREADS` or the machine on first use — so constructing
+    /// an analyzer never undoes an explicit `--threads` choice.
+    pub threads: usize,
+    /// Warm-start the k-means k-sweep ([`KmeansConfig::warm_start`]).
+    pub warm_start: bool,
+}
+
+impl Default for AnalyzerOptions {
+    fn default() -> Self {
+        AnalyzerOptions {
+            threads: 0,
+            warm_start: true,
+        }
+    }
+}
+
 /// Post-execution analyzer over one [`Profile`].
 ///
 /// Construction extracts and reduces the feature matrix once; every
@@ -19,14 +40,46 @@ use tpupoint_profiler::Profile;
 pub struct Analyzer<'a> {
     profile: &'a Profile,
     features: FeatureMatrix,
+    options: AnalyzerOptions,
 }
 
 impl<'a> Analyzer<'a> {
     /// Builds the analyzer, extracting PCA-reduced step features.
     pub fn new(profile: &'a Profile) -> Self {
-        let _span = tpupoint_obs::span!("analyzer.pca", steps = profile.steps.len());
+        Analyzer::with_options(profile, AnalyzerOptions::default())
+    }
+
+    /// Builds the analyzer with explicit tuning knobs. A non-zero
+    /// `options.threads` re-sizes the process-wide pool first, so feature
+    /// extraction below already runs at the requested width.
+    pub fn with_options(profile: &'a Profile, options: AnalyzerOptions) -> Self {
+        if options.threads != 0 {
+            tpupoint_par::set_threads(options.threads);
+        }
+        let _span = tpupoint_obs::span!(
+            "analyzer.pca",
+            steps = profile.steps.len(),
+            threads = tpupoint_par::current_threads()
+        );
         let features = FeatureMatrix::from_profile(profile).reduced(MAX_DIMS);
-        Analyzer { profile, features }
+        Analyzer {
+            profile,
+            features,
+            options,
+        }
+    }
+
+    /// The tuning knobs this analyzer was built with.
+    pub fn options(&self) -> AnalyzerOptions {
+        self.options
+    }
+
+    /// The k-means configuration the sweeps use.
+    fn kmeans_config(&self) -> KmeansConfig {
+        KmeansConfig {
+            warm_start: self.options.warm_start,
+            ..KmeansConfig::default()
+        }
     }
 
     /// The profile under analysis.
@@ -42,14 +95,14 @@ impl<'a> Analyzer<'a> {
     /// k-means sum-of-squared-distances sweep (Figure 4).
     pub fn kmeans_sweep(&self, range: std::ops::RangeInclusive<usize>) -> Vec<(usize, f64)> {
         let _span = tpupoint_obs::span!("analyzer.kmeans", k_max = *range.end());
-        kmeans::sweep(&self.features, range, &KmeansConfig::default())
+        kmeans::sweep(&self.features, range, &self.kmeans_config())
     }
 
     /// SimPoint-style BIC sweep over k; an alternative to the elbow
     /// method (see `bic` module docs).
     pub fn kmeans_bic_sweep(&self, range: std::ops::RangeInclusive<usize>) -> Vec<(usize, f64)> {
         let _span = tpupoint_obs::span!("analyzer.kmeans", k_max = *range.end(), bic = true);
-        crate::bic::sweep(&self.features, range, &KmeansConfig::default())
+        crate::bic::sweep(&self.features, range, &self.kmeans_config())
     }
 
     /// Phases from k-means with the given k (Figure 9 uses k = 5).

@@ -17,6 +17,65 @@ use std::fmt;
 /// Label DBSCAN gives to unclustered points.
 pub const NOISE: isize = -1;
 
+/// Row count below which the neighbor-cache build stays serial.
+const PAR_NEIGHBOR_MIN_ROWS: usize = 128;
+
+/// Pairwise eps-neighborhoods of a matrix, computed once and shared by
+/// every run of a [`sweep`] — the sweep varies only `min_samples`, so
+/// recomputing the O(n²) neighbor scan per grid point is pure waste.
+///
+/// Each list keeps ascending row order (the same order the previous
+/// inline `(0..n).filter` scan produced), so BFS expansion and therefore
+/// the cluster labels are bit-identical to the uncached implementation.
+#[derive(Debug, Clone)]
+pub struct NeighborCache {
+    eps: f64,
+    lists: Vec<Vec<usize>>,
+}
+
+impl NeighborCache {
+    /// Builds the cache for `matrix` at radius `eps`. Rows are scanned
+    /// independently, so the build fans out over the pool for large
+    /// matrices with identical results at any thread count.
+    pub fn build(matrix: &FeatureMatrix, eps: f64) -> Self {
+        let _span = tpupoint_obs::span!("dbscan.neighbor_cache");
+        let n = matrix.len();
+        let eps2 = eps * eps;
+        let scan = |i: usize| -> Vec<usize> {
+            (0..n)
+                .filter(|&j| dist2(&matrix.rows[i], &matrix.rows[j]) <= eps2)
+                .collect()
+        };
+        let pool = tpupoint_par::pool();
+        let lists = if n >= PAR_NEIGHBOR_MIN_ROWS && pool.size() > 1 {
+            pool.par_map_index(n, scan)
+        } else {
+            (0..n).map(scan).collect()
+        };
+        NeighborCache { eps, lists }
+    }
+
+    /// The radius the cache was built for.
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    /// Rows covered by the cache.
+    pub fn len(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Whether the cache covers zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.lists.is_empty()
+    }
+
+    /// Neighbors of row `i` (including `i` itself), ascending.
+    pub fn neighbors(&self, i: usize) -> &[usize] {
+        &self.lists[i]
+    }
+}
+
 /// DBSCAN configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DbscanConfig {
@@ -131,27 +190,29 @@ pub fn run(matrix: &FeatureMatrix, config: &DbscanConfig) -> Result<DbscanResult
         }
     }
     let eps = config.eps.unwrap_or_else(|| auto_eps(matrix));
-    let eps2 = eps * eps;
-    let min_samples = config.min_samples.max(1);
+    let cache = NeighborCache::build(matrix, eps);
+    Ok(run_with_cache(&cache, config.min_samples))
+}
 
+/// Runs DBSCAN against a prebuilt [`NeighborCache`]. The BFS itself is
+/// serial (its expansion order defines the labels); the parallelism and
+/// the savings both live in the shared cache.
+pub fn run_with_cache(cache: &NeighborCache, min_samples: usize) -> DbscanResult {
+    let n = cache.len();
+    let min_samples = min_samples.max(1);
     let mut labels = vec![isize::MIN; n]; // MIN = unvisited
     let mut cluster: isize = 0;
-    let neighbors = |i: usize| -> Vec<usize> {
-        (0..n)
-            .filter(|&j| dist2(&matrix.rows[i], &matrix.rows[j]) <= eps2)
-            .collect()
-    };
     for i in 0..n {
         if labels[i] != isize::MIN {
             continue;
         }
-        let nbrs = neighbors(i);
+        let nbrs = cache.neighbors(i);
         if nbrs.len() < min_samples {
             labels[i] = NOISE;
             continue;
         }
         labels[i] = cluster;
-        let mut queue: VecDeque<usize> = nbrs.into_iter().collect();
+        let mut queue: VecDeque<usize> = nbrs.iter().copied().collect();
         while let Some(j) = queue.pop_front() {
             if labels[j] == NOISE {
                 labels[j] = cluster; // border point adopted by the cluster
@@ -160,46 +221,49 @@ pub fn run(matrix: &FeatureMatrix, config: &DbscanConfig) -> Result<DbscanResult
                 continue;
             }
             labels[j] = cluster;
-            let jn = neighbors(j);
+            let jn = cache.neighbors(j);
             if jn.len() >= min_samples {
-                queue.extend(jn);
+                queue.extend(jn.iter().copied());
             }
         }
         cluster += 1;
     }
-    Ok(DbscanResult {
+    DbscanResult {
         labels,
         clusters: cluster as usize,
-        eps,
-    })
+        eps: cache.eps(),
+    }
 }
 
 /// Sweeps `min_samples` over the paper's grid (default 5..=180 step 25),
 /// returning `(min_samples, noise_ratio, clusters)` triples — Figure 5.
 ///
+/// eps and the O(n²) neighbor lists are computed once and shared by every
+/// grid point; the per-point runs then fan out over the pool (each BFS is
+/// independent given the cache, and results are ordered by grid index).
+///
 /// # Errors
 ///
-/// Propagates [`DbscanError`] from the underlying runs.
+/// Returns [`DbscanError::MemoryLimit`] when the input exceeds
+/// `base.max_points`.
 pub fn sweep(
     matrix: &FeatureMatrix,
     grid: &[usize],
     base: &DbscanConfig,
 ) -> Result<Vec<(usize, f64, usize)>, DbscanError> {
+    let n = matrix.len();
+    if let Some(limit) = base.max_points {
+        if n > limit {
+            return Err(DbscanError::MemoryLimit { points: n, limit });
+        }
+    }
     // eps is computed once so the sweep varies only min_samples.
     let eps = base.eps.unwrap_or_else(|| auto_eps(matrix));
-    grid.iter()
-        .map(|&m| {
-            let result = run(
-                matrix,
-                &DbscanConfig {
-                    eps: Some(eps),
-                    min_samples: m,
-                    max_points: base.max_points,
-                },
-            )?;
-            Ok((m, result.noise_ratio(), result.clusters))
-        })
-        .collect()
+    let cache = NeighborCache::build(matrix, eps);
+    Ok(tpupoint_par::pool().par_map(grid, |_, &m| {
+        let result = run_with_cache(&cache, m);
+        (m, result.noise_ratio(), result.clusters)
+    }))
 }
 
 /// The paper's sweep grid: 5 to 180 in steps of 25.
@@ -344,6 +408,64 @@ mod tests {
     #[test]
     fn paper_grid_matches_figure_5() {
         assert_eq!(paper_grid(), vec![5, 30, 55, 80, 105, 130, 155, 180]);
+    }
+
+    #[test]
+    fn cached_sweep_matches_per_run_results() {
+        let m = blobs(&[50, 30, 12]);
+        let base = DbscanConfig {
+            eps: Some(3.0),
+            ..DbscanConfig::default()
+        };
+        let grid = vec![5, 10, 20, 40];
+        for &(ms, noise, clusters) in &sweep(&m, &grid, &base).unwrap() {
+            let solo = run(
+                &m,
+                &DbscanConfig {
+                    min_samples: ms,
+                    ..base
+                },
+            )
+            .unwrap();
+            assert_eq!((noise, clusters), (solo.noise_ratio(), solo.clusters));
+        }
+    }
+
+    #[test]
+    fn sweep_enforces_memory_limit() {
+        let m = blobs(&[50]);
+        let err = sweep(
+            &m,
+            &paper_grid(),
+            &DbscanConfig {
+                eps: Some(1.0),
+                min_samples: 5,
+                max_points: Some(10),
+            },
+        )
+        .expect_err("limit exceeded");
+        assert_eq!(
+            err,
+            DbscanError::MemoryLimit {
+                points: 50,
+                limit: 10
+            }
+        );
+    }
+
+    #[test]
+    fn sweep_is_bit_identical_across_thread_counts() {
+        // Big enough to cross PAR_NEIGHBOR_MIN_ROWS so the pooled cache
+        // build actually runs.
+        let m = blobs(&[120, 80, 40]);
+        tpupoint_par::set_threads(1);
+        let serial = sweep(&m, &paper_grid(), &DbscanConfig::default()).unwrap();
+        tpupoint_par::set_threads(4);
+        assert_eq!(
+            sweep(&m, &paper_grid(), &DbscanConfig::default()).unwrap(),
+            serial
+        );
+        tpupoint_par::set_threads(0);
     }
 
     #[test]

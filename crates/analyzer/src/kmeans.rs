@@ -1,10 +1,25 @@
 //! k-means clustering, "implemented like SimPoint does" (Section IV-A):
 //! run for k = 1..15 and pick the knee of the sum-of-squared-distances
 //! curve with the elbow method.
+//!
+//! Two layers of performance work live here, both bit-deterministic for
+//! any thread count:
+//!
+//! * the per-iteration **assignment step** fans out over the pool for
+//!   large step counts (each row's nearest centroid is independent);
+//! * the k-**sweep** either runs every k in parallel (cold start) or
+//!   **warm-starts** run k from run k-1's final centroids plus one
+//!   k-means++ pick ([`KmeansConfig::warm_start`], the default), which
+//!   replaces `n_init` full restarts per k with a single Lloyd descent
+//!   and keeps the SSD curve monotone non-increasing by construction.
 
 use crate::elbow::elbow_index;
 use crate::features::{dist2, FeatureMatrix};
 use tpupoint_simcore::SimRng;
+
+/// Row count below which the assignment step stays serial; smaller
+/// matrices lose more to task hand-off than they gain from the pool.
+const PAR_ASSIGN_MIN_ROWS: usize = 256;
 
 /// Configuration of one k-means run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -17,6 +32,10 @@ pub struct KmeansConfig {
     pub n_init: usize,
     /// RNG seed for k-means++ initialization.
     pub seed: u64,
+    /// Seed run k of a [`sweep`] from run k-1's centroids plus one
+    /// k-means++ pick instead of `n_init` fresh restarts. Ignored by
+    /// single [`run`]s.
+    pub warm_start: bool,
 }
 
 impl Default for KmeansConfig {
@@ -26,6 +45,7 @@ impl Default for KmeansConfig {
             max_iters: 50,
             n_init: 3,
             seed: 0x7e57,
+            warm_start: true,
         }
     }
 }
@@ -68,10 +88,28 @@ pub fn run(matrix: &FeatureMatrix, config: &KmeansConfig) -> KmeansResult {
     best.expect("at least one restart ran")
 }
 
-fn lloyd(matrix: &FeatureMatrix, k: usize, max_iters: usize, rng: &mut SimRng) -> KmeansResult {
+/// One weighted k-means++ pick against the current squared distances.
+fn kmeanspp_pick(min_d2: &[f64], rng: &mut SimRng) -> usize {
+    let n = min_d2.len();
+    let total: f64 = min_d2.iter().sum();
+    if total <= 0.0 {
+        return rng.uniform_u64(0, n as u64 - 1) as usize;
+    }
+    let mut target = rng.uniform_f64() * total;
+    let mut chosen = n - 1;
+    for (i, &w) in min_d2.iter().enumerate() {
+        target -= w;
+        if target <= 0.0 {
+            chosen = i;
+            break;
+        }
+    }
+    chosen
+}
+
+/// k-means++ seeding of `k` centroids.
+fn seed_centroids(matrix: &FeatureMatrix, k: usize, rng: &mut SimRng) -> Vec<Vec<f64>> {
     let n = matrix.len();
-    let d = matrix.dims();
-    // k-means++ seeding.
     let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
     centroids.push(matrix.rows[rng.uniform_u64(0, n as u64 - 1) as usize].clone());
     let mut min_d2: Vec<f64> = matrix
@@ -80,47 +118,60 @@ fn lloyd(matrix: &FeatureMatrix, k: usize, max_iters: usize, rng: &mut SimRng) -
         .map(|r| dist2(r, &centroids[0]))
         .collect();
     while centroids.len() < k {
-        let total: f64 = min_d2.iter().sum();
-        let idx = if total <= 0.0 {
-            rng.uniform_u64(0, n as u64 - 1) as usize
-        } else {
-            let mut target = rng.uniform_f64() * total;
-            let mut chosen = n - 1;
-            for (i, &w) in min_d2.iter().enumerate() {
-                target -= w;
-                if target <= 0.0 {
-                    chosen = i;
-                    break;
-                }
-            }
-            chosen
-        };
+        let idx = kmeanspp_pick(&min_d2, rng);
         centroids.push(matrix.rows[idx].clone());
         let latest = centroids.last().expect("just pushed");
         for (i, row) in matrix.rows.iter().enumerate() {
             min_d2[i] = min_d2[i].min(dist2(row, latest));
         }
     }
+    centroids
+}
 
+/// The nearest centroid of one row.
+fn nearest(row: &[f64], centroids: &[Vec<f64>]) -> usize {
+    let mut best_c = 0;
+    let mut best_d = f64::INFINITY;
+    for (c, centroid) in centroids.iter().enumerate() {
+        let dd = dist2(row, centroid);
+        if dd < best_d {
+            best_d = dd;
+            best_c = c;
+        }
+    }
+    best_c
+}
+
+/// Lloyd iterations from the given initial centroids.
+///
+/// The assignment step — the O(rows × k × dims) hot loop — fans out over
+/// the pool for large matrices; every row's nearest centroid is computed
+/// independently and the SSE is folded serially in row order, so the
+/// result is bit-identical for any thread count.
+fn lloyd_from(
+    matrix: &FeatureMatrix,
+    mut centroids: Vec<Vec<f64>>,
+    max_iters: usize,
+) -> KmeansResult {
+    let n = matrix.len();
+    let d = matrix.dims();
+    let k = centroids.len();
+    let pool = tpupoint_par::pool();
+    let parallel = n >= PAR_ASSIGN_MIN_ROWS && pool.size() > 1;
     let mut assignments = vec![0usize; n];
     for _ in 0..max_iters {
         // Assign.
-        let mut changed = false;
-        for (i, row) in matrix.rows.iter().enumerate() {
-            let mut best_c = 0;
-            let mut best_d = f64::INFINITY;
-            for (c, centroid) in centroids.iter().enumerate() {
-                let dd = dist2(row, centroid);
-                if dd < best_d {
-                    best_d = dd;
-                    best_c = c;
-                }
-            }
-            if assignments[i] != best_c {
-                assignments[i] = best_c;
-                changed = true;
-            }
-        }
+        let fresh: Vec<usize> = if parallel {
+            pool.par_map(&matrix.rows, |_, row| nearest(row, &centroids))
+        } else {
+            matrix
+                .rows
+                .iter()
+                .map(|row| nearest(row, &centroids))
+                .collect()
+        };
+        let changed = fresh != assignments;
+        assignments = fresh;
         // Update.
         let mut sums = vec![vec![0.0; d]; k];
         let mut counts = vec![0usize; k];
@@ -143,12 +194,19 @@ fn lloyd(matrix: &FeatureMatrix, k: usize, max_iters: usize, rng: &mut SimRng) -
         }
     }
 
-    let sse = matrix
-        .rows
-        .iter()
-        .zip(&assignments)
-        .map(|(row, &c)| dist2(row, &centroids[c]))
-        .sum();
+    let row_d2: Vec<f64> = if parallel {
+        pool.par_map(&matrix.rows, |i, row| {
+            dist2(row, &centroids[assignments[i]])
+        })
+    } else {
+        matrix
+            .rows
+            .iter()
+            .zip(&assignments)
+            .map(|(row, &c)| dist2(row, &centroids[c]))
+            .collect()
+    };
+    let sse = row_d2.iter().sum();
     KmeansResult {
         assignments,
         centroids,
@@ -156,19 +214,72 @@ fn lloyd(matrix: &FeatureMatrix, k: usize, max_iters: usize, rng: &mut SimRng) -
     }
 }
 
+fn lloyd(matrix: &FeatureMatrix, k: usize, max_iters: usize, rng: &mut SimRng) -> KmeansResult {
+    let centroids = seed_centroids(matrix, k, rng);
+    lloyd_from(matrix, centroids, max_iters)
+}
+
+/// One warm-started sweep step: the previous run's final centroids plus a
+/// single k-means++ pick, then one Lloyd descent. Adding a centroid can
+/// only shrink each row's nearest-centroid distance and Lloyd never
+/// increases the SSE, so `result.sse <= previous.sse` by construction.
+fn run_warm(
+    matrix: &FeatureMatrix,
+    previous: &KmeansResult,
+    config: &KmeansConfig,
+) -> KmeansResult {
+    let mut rng = SimRng::seed_from(
+        config
+            .seed
+            .wrapping_add((previous.centroids.len() as u64 + 1).wrapping_mul(0x51ab)),
+    );
+    let mut centroids = previous.centroids.clone();
+    let min_d2: Vec<f64> = matrix
+        .rows
+        .iter()
+        .zip(&previous.assignments)
+        .map(|(row, &c)| dist2(row, &centroids[c]))
+        .collect();
+    centroids.push(matrix.rows[kmeanspp_pick(&min_d2, &mut rng)].clone());
+    lloyd_from(matrix, centroids, config.max_iters)
+}
+
 /// Sweeps k over `range`, returning `(k, sse)` pairs — the data behind
 /// Figure 4.
+///
+/// With [`KmeansConfig::warm_start`] (the default) the sweep walks k
+/// upward, seeding each run from the previous one; the per-iteration
+/// assignment step still uses the pool. With `warm_start` off every k is
+/// an independent fresh run and the sweep itself fans out over the pool.
+/// Both modes produce the same output for any thread count.
 pub fn sweep(
     matrix: &FeatureMatrix,
     range: std::ops::RangeInclusive<usize>,
     config: &KmeansConfig,
 ) -> Vec<(usize, f64)> {
-    range
-        .map(|k| {
-            let result = run(matrix, &KmeansConfig { k, ..*config });
-            (k, result.sse)
-        })
-        .collect()
+    let n = matrix.len();
+    if config.warm_start && n > 0 {
+        let mut out = Vec::new();
+        let mut previous: Option<KmeansResult> = None;
+        for k in range {
+            let result = match &previous {
+                // Warm-start only while k actually grows the centroid
+                // set (k is capped at the row count in `run`).
+                Some(prev) if k.min(n) == prev.centroids.len() + 1 => {
+                    run_warm(matrix, prev, config)
+                }
+                _ => run(matrix, &KmeansConfig { k, ..*config }),
+            };
+            out.push((k, result.sse));
+            previous = Some(result);
+        }
+        return out;
+    }
+    let ks: Vec<usize> = range.collect();
+    tpupoint_par::pool().par_map(&ks, |_, &k| {
+        let result = run(matrix, &KmeansConfig { k, ..*config });
+        (k, result.sse)
+    })
 }
 
 /// Applies the elbow method to a sweep, returning the chosen k.
@@ -273,6 +384,63 @@ mod tests {
         };
         let result = run(&m, &KmeansConfig::default());
         assert!(result.assignments.is_empty());
+    }
+
+    #[test]
+    fn warm_sweep_is_monotone_non_increasing() {
+        let m = blobs();
+        let s = sweep(
+            &m,
+            1..=10,
+            &KmeansConfig {
+                warm_start: true,
+                ..KmeansConfig::default()
+            },
+        );
+        for pair in s.windows(2) {
+            assert!(pair[1].1 <= pair[0].1 + 1e-12, "ssd increased: {pair:?}");
+        }
+    }
+
+    #[test]
+    fn cold_sweep_matches_independent_runs() {
+        let m = blobs();
+        let config = KmeansConfig {
+            warm_start: false,
+            ..KmeansConfig::default()
+        };
+        let s = sweep(&m, 1..=6, &config);
+        let independent: Vec<(usize, f64)> = (1..=6)
+            .map(|k| (k, run(&m, &KmeansConfig { k, ..config }).sse))
+            .collect();
+        assert_eq!(s, independent);
+    }
+
+    #[test]
+    fn parallel_assignment_is_bit_identical_to_serial() {
+        // Big enough to cross PAR_ASSIGN_MIN_ROWS so the pooled
+        // assignment path actually runs.
+        let mut rng = SimRng::seed_from(9);
+        let rows: Vec<Vec<f64>> = (0..600)
+            .map(|_| {
+                vec![
+                    rng.uniform_f64() * 8.0,
+                    rng.uniform_f64() * 8.0,
+                    rng.uniform_f64(),
+                ]
+            })
+            .collect();
+        let m = FeatureMatrix {
+            steps: (0..600u64).collect(),
+            rows,
+        };
+        tpupoint_par::set_threads(1);
+        let serial_run = run(&m, &KmeansConfig::default());
+        let serial_sweep = sweep(&m, 1..=5, &KmeansConfig::default());
+        tpupoint_par::set_threads(4);
+        assert_eq!(run(&m, &KmeansConfig::default()), serial_run);
+        assert_eq!(sweep(&m, 1..=5, &KmeansConfig::default()), serial_sweep);
+        tpupoint_par::set_threads(0);
     }
 
     #[test]

@@ -25,6 +25,11 @@
 //! * [`viz`] — the Chrome-tracing JSON and CSV visualization files
 //!   (Section IV-B, Figure 3).
 //!
+//! The sweeps and feature extraction fan out over the `tpupoint-par`
+//! scoped pool (sized by [`AnalyzerOptions::threads`], `--threads`, or
+//! `TPUPOINT_THREADS`); every parallel path is bit-identical to the
+//! serial one, so phase boundaries never depend on the thread count.
+//!
 //! ```
 //! use tpupoint_runtime::{JobConfig, TrainingJob};
 //! use tpupoint_profiler::{ProfilerOptions, ProfilerSink};
@@ -53,9 +58,9 @@ pub mod phases;
 pub mod report;
 pub mod viz;
 
-pub use analyzer::Analyzer;
+pub use analyzer::{Analyzer, AnalyzerOptions};
 pub use compare::{compare, ProfileComparison};
-pub use dbscan::{DbscanConfig, DbscanError, DbscanResult};
+pub use dbscan::{DbscanConfig, DbscanError, DbscanResult, NeighborCache};
 pub use elbow::elbow_index;
 pub use features::FeatureMatrix;
 pub use kmeans::{KmeansConfig, KmeansResult};

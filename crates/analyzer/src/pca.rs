@@ -7,6 +7,39 @@
 // Dense matrix math reads clearest with explicit indices.
 #![allow(clippy::needless_range_loop)]
 
+/// Row count below which mean/covariance accumulation stays serial.
+const PAR_COV_MIN_ROWS: usize = 512;
+
+/// Fixed number of accumulation chunks for mean and covariance. The chunk
+/// structure depends only on the row count — never on the thread count —
+/// and partials are merged serially in chunk order, so the floating-point
+/// result is bit-identical for any pool size. Both the serial and the
+/// parallel path run the same chunked accumulation.
+const COV_CHUNKS: usize = 64;
+
+/// Splits `0..n` into the fixed [`COV_CHUNKS`] structure and folds `f`'s
+/// per-chunk partials with `merge`, in chunk order.
+fn chunked_accumulate<R: Send>(
+    n: usize,
+    f: impl Fn(std::ops::Range<usize>) -> R + Sync,
+    mut acc: R,
+    mut merge: impl FnMut(&mut R, R),
+) -> R {
+    let chunk_len = n.div_ceil(COV_CHUNKS).max(1);
+    let n_chunks = n.div_ceil(chunk_len);
+    let chunk = |c: usize| c * chunk_len..((c + 1) * chunk_len).min(n);
+    let pool = tpupoint_par::pool();
+    let partials: Vec<R> = if n >= PAR_COV_MIN_ROWS && pool.size() > 1 {
+        pool.par_map_index(n_chunks, |c| f(chunk(c)))
+    } else {
+        (0..n_chunks).map(|c| f(chunk(c))).collect()
+    };
+    for partial in partials {
+        merge(&mut acc, partial);
+    }
+    acc
+}
+
 /// Projects row vectors onto their top `k` principal components.
 ///
 /// Centers the data, forms the covariance matrix, diagonalizes it with
@@ -32,29 +65,55 @@ pub fn project(rows: &[Vec<f64>], k: usize) -> Vec<Vec<f64>> {
     }
 
     // Center.
-    let mut mean = vec![0.0; d];
-    for row in rows {
-        for (m, x) in mean.iter_mut().zip(row) {
-            *m += x;
-        }
-    }
+    let mut mean = chunked_accumulate(
+        n,
+        |range| {
+            let mut sum = vec![0.0; d];
+            for row in &rows[range] {
+                for (m, x) in sum.iter_mut().zip(row) {
+                    *m += x;
+                }
+            }
+            sum
+        },
+        vec![0.0; d],
+        |acc, partial| {
+            for (m, x) in acc.iter_mut().zip(&partial) {
+                *m += x;
+            }
+        },
+    );
     for m in &mut mean {
         *m /= n as f64;
     }
 
     // Covariance (d × d, symmetric).
-    let mut cov = vec![vec![0.0; d]; d];
-    for row in rows {
-        for i in 0..d {
-            let xi = row[i] - mean[i];
-            if xi == 0.0 {
-                continue;
+    let mut cov = chunked_accumulate(
+        n,
+        |range| {
+            let mut cov = vec![vec![0.0; d]; d];
+            for row in &rows[range] {
+                for i in 0..d {
+                    let xi = row[i] - mean[i];
+                    if xi == 0.0 {
+                        continue;
+                    }
+                    for j in i..d {
+                        cov[i][j] += xi * (row[j] - mean[j]);
+                    }
+                }
             }
-            for j in i..d {
-                cov[i][j] += xi * (row[j] - mean[j]);
+            cov
+        },
+        vec![vec![0.0; d]; d],
+        |acc, partial| {
+            for (ai, pi) in acc.iter_mut().zip(&partial) {
+                for (a, p) in ai.iter_mut().zip(pi) {
+                    *a += p;
+                }
             }
-        }
-    }
+        },
+    );
     let denom = (n.max(2) - 1) as f64;
     for i in 0..d {
         for j in i..d {
@@ -208,6 +267,23 @@ mod tests {
         let projected = project(&constant, 2);
         // All components have zero variance: rows become empty.
         assert!(projected.iter().all(|r| r.is_empty()));
+    }
+
+    #[test]
+    fn projection_is_bit_identical_across_thread_counts() {
+        // Big enough to cross PAR_COV_MIN_ROWS so the pooled covariance
+        // accumulation actually runs.
+        let rows: Vec<Vec<f64>> = (0..700)
+            .map(|i| {
+                let t = i as f64;
+                vec![t.sin() * 3.0, (t * 0.7).cos(), t % 5.0, (t * 1.3).sin()]
+            })
+            .collect();
+        tpupoint_par::set_threads(1);
+        let serial = project(&rows, 3);
+        tpupoint_par::set_threads(4);
+        assert_eq!(project(&rows, 3), serial);
+        tpupoint_par::set_threads(0);
     }
 
     #[test]

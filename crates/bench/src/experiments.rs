@@ -34,6 +34,7 @@ pub const ALL: &[&str] = &[
     "ablation_pipeline",
     "ablation_substitution",
     "ablation_seeds",
+    "bench_analyzer",
 ];
 
 /// Runs one experiment by id, writing CSVs under `out_dir` and returning a
@@ -64,6 +65,7 @@ pub fn run(id: &str, suite: &Suite, out_dir: &Path) -> io::Result<String> {
         "ablation_pipeline" => ablation_pipeline(suite, out_dir),
         "ablation_substitution" => ablation_substitution(suite, out_dir),
         "ablation_seeds" => ablation_seeds(suite, out_dir),
+        "bench_analyzer" => bench_analyzer(suite, out_dir),
         other => Err(io::Error::new(
             io::ErrorKind::InvalidInput,
             format!("unknown experiment `{other}`; known: {ALL:?}"),
@@ -725,6 +727,143 @@ fn ablation_seeds(suite: &Suite, out_dir: &Path) -> io::Result<String> {
         "seed,tpu_idle_fraction,mxu_utilization,ols_phases_70,top3_coverage",
         rows,
     )?;
+    Ok(summary)
+}
+
+/// Analyzer parallel-engine benchmark: the three sweep hot paths timed in
+/// the baseline configuration (one worker, cold-start k-means, one full
+/// neighbor scan per DBSCAN grid point — what the analyzer did before the
+/// parallel engine) and on the current engine (shared neighbor cache,
+/// warm-started k-means, 4 workers). Writes `BENCH_analyzer.json` with
+/// the serial-vs-parallel wall times alongside the CSV summary.
+fn bench_analyzer(suite: &Suite, out_dir: &Path) -> io::Result<String> {
+    use std::time::Instant;
+    use tpupoint::analyzer::{AnalyzerOptions, DbscanConfig, KmeansConfig};
+
+    const THREADS: usize = 4;
+    let id = WorkloadId::DcganCifar10;
+    let profile = &suite.tuned(id, TpuGeneration::V2).profile;
+    let us = |t: Instant| t.elapsed().as_secs_f64() * 1e6;
+
+    // Baseline: one worker, pre-parallel-engine algorithms.
+    tpupoint_par::set_threads(1);
+    let t = Instant::now();
+    let serial_analyzer = Analyzer::with_options(
+        profile,
+        AnalyzerOptions {
+            threads: 1,
+            ..AnalyzerOptions::default()
+        },
+    );
+    let serial_pca_us = us(t);
+    let features = serial_analyzer.features();
+    let cold = KmeansConfig {
+        warm_start: false,
+        ..KmeansConfig::default()
+    };
+    let t = Instant::now();
+    let serial_kmeans = kmeans::sweep(features, 1..=15, &cold);
+    let serial_kmeans_us = us(t);
+    let t = Instant::now();
+    let eps = dbscan::auto_eps(features);
+    let mut serial_dbscan = Vec::new();
+    for m in dbscan::paper_grid() {
+        let result = dbscan::run(
+            features,
+            &DbscanConfig {
+                eps: Some(eps),
+                min_samples: m,
+                ..DbscanConfig::default()
+            },
+        )
+        .map_err(|e| io::Error::other(e.to_string()))?;
+        serial_dbscan.push((m, result.noise_ratio(), result.clusters));
+    }
+    let serial_dbscan_us = us(t);
+
+    // Parallel engine: shared cache, warm start, THREADS workers.
+    let t = Instant::now();
+    let analyzer = Analyzer::with_options(
+        profile,
+        AnalyzerOptions {
+            threads: THREADS,
+            ..AnalyzerOptions::default()
+        },
+    );
+    let parallel_pca_us = us(t);
+    let t = Instant::now();
+    let parallel_kmeans = analyzer.kmeans_sweep(1..=15);
+    let parallel_kmeans_us = us(t);
+    let t = Instant::now();
+    let parallel_dbscan = analyzer
+        .dbscan_sweep()
+        .map_err(|e| io::Error::other(e.to_string()))?;
+    let parallel_dbscan_us = us(t);
+    tpupoint_par::set_threads(0);
+
+    // The shared cache must reproduce the per-run baseline bit for bit,
+    // and the warm-started SSD curve must stay monotone non-increasing.
+    assert_eq!(
+        parallel_dbscan, serial_dbscan,
+        "shared neighbor cache changed DBSCAN results"
+    );
+    for pair in parallel_kmeans.windows(2) {
+        assert!(pair[1].1 <= pair[0].1 + 1e-12, "warm sweep rose: {pair:?}");
+    }
+
+    let serial_total_us = serial_pca_us + serial_kmeans_us + serial_dbscan_us;
+    let parallel_total_us = parallel_pca_us + parallel_kmeans_us + parallel_dbscan_us;
+    let speedup = |serial: f64, parallel: f64| serial / parallel.max(1.0);
+    let doc = serde_json::json!({
+        "workload": id.label(),
+        "threads": THREADS,
+        "sweeps": {
+            "kmeans": {
+                "serial_us": serial_kmeans_us,
+                "parallel_us": parallel_kmeans_us,
+                "speedup": speedup(serial_kmeans_us, parallel_kmeans_us),
+                "serial_elbow_k": kmeans::elbow_k(&serial_kmeans),
+                "parallel_elbow_k": kmeans::elbow_k(&parallel_kmeans),
+            },
+            "dbscan": {
+                "serial_us": serial_dbscan_us,
+                "parallel_us": parallel_dbscan_us,
+                "speedup": speedup(serial_dbscan_us, parallel_dbscan_us),
+                "results_identical": true,
+            },
+            "pca": {
+                "serial_us": serial_pca_us,
+                "parallel_us": parallel_pca_us,
+                "speedup": speedup(serial_pca_us, parallel_pca_us),
+            },
+        },
+        "end_to_end": {
+            "serial_us": serial_total_us,
+            "parallel_us": parallel_total_us,
+            "speedup": speedup(serial_total_us, parallel_total_us),
+        },
+    });
+    std::fs::create_dir_all(out_dir)?;
+    let json = serde_json::to_string_pretty(&doc).map_err(|e| io::Error::other(e.to_string()))?;
+    std::fs::write(out_dir.join("BENCH_analyzer.json"), json)?;
+
+    let mut summary = format!(
+        "Analyzer parallel-engine benchmark ({}, {THREADS} threads vs serial baseline):\n",
+        id.label()
+    );
+    for (name, serial, parallel) in [
+        ("k-means sweep", serial_kmeans_us, parallel_kmeans_us),
+        ("DBSCAN sweep", serial_dbscan_us, parallel_dbscan_us),
+        ("PCA + features", serial_pca_us, parallel_pca_us),
+        ("end to end", serial_total_us, parallel_total_us),
+    ] {
+        summary.push_str(&format!(
+            "  {name:16} {:>9.1} ms -> {:>9.1} ms  ({:.2}x)\n",
+            serial / 1e3,
+            parallel / 1e3,
+            speedup(serial, parallel)
+        ));
+    }
     Ok(summary)
 }
 

@@ -23,7 +23,10 @@ USAGE:
 
   tpupoint analyze <profile.json> [--algorithm ols|kmeans|dbscan]
                    [--threshold F] [--k N] [--min-samples N] [--out DIR]
+                   [--threads N]
       Detect phases and print coverage, top operators, and checkpoints.
+      --threads sizes the analyzer worker pool (default: TPUPOINT_THREADS
+      or all cores); results are identical for any value.
 
   tpupoint optimize --workload <id> [--generation v2|v3] [--scale F]
                     [--naive]
@@ -170,13 +173,26 @@ fn load_profile(path: &str) -> Result<Profile, String> {
 fn analyze(argv: &[String]) -> Result<(), String> {
     let args = Args::parse(
         argv,
-        &with_obs(&["algorithm", "threshold", "k", "min-samples", "out"]),
+        &with_obs(&[
+            "algorithm",
+            "threshold",
+            "k",
+            "min-samples",
+            "out",
+            "threads",
+        ]),
         &[],
     )?;
     let session = ObsSession::start(&args)?;
     let path = args.positional0("profile.json path")?;
     let profile = load_profile(path)?;
-    let analyzer = Analyzer::new(&profile);
+    let analyzer = Analyzer::with_options(
+        &profile,
+        tpupoint::analyzer::AnalyzerOptions {
+            threads: args.get_or("threads", 0)?,
+            ..Default::default()
+        },
+    );
     let algorithm = args.get("algorithm").unwrap_or("ols");
     let set: PhaseSet = match algorithm {
         "ols" => analyzer.ols_phases(args.get_or("threshold", 0.7)?),

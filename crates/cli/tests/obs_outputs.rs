@@ -85,24 +85,38 @@ fn profile_run_emits_metrics_trace_and_obs_report() {
         .and_then(|v| v.as_f64())
         .is_some_and(|ratio| ratio >= 1.0));
 
-    // 2. The self-trace is Chrome-tracing JSON: a traceEvents array of
-    // complete ("X") events with names and durations.
+    // 2. The self-trace is Chrome-tracing JSON: thread-name metadata
+    // ("M") events naming each lane, then complete ("X") span events
+    // with names and durations.
     let trace = read_json(&trace_path);
     let events = trace
         .as_object()
         .and_then(|o| o.get("traceEvents"))
         .and_then(|v| v.as_array())
         .expect("traceEvents array");
-    assert!(!events.is_empty(), "trace must contain spans");
+    let mut spans = Vec::new();
     for event in events {
         let event = event.as_object().expect("trace event object");
-        assert_eq!(event.get("ph").and_then(|v| v.as_str()), Some("X"));
-        assert!(event.get("name").and_then(|v| v.as_str()).is_some());
-        assert!(event.get("ts").is_some() && event.get("dur").is_some());
+        match event.get("ph").and_then(|v| v.as_str()) {
+            Some("M") => {
+                assert_eq!(
+                    event.get("name").and_then(|v| v.as_str()),
+                    Some("thread_name")
+                );
+                assert!(event.get("tid").is_some());
+            }
+            Some("X") => {
+                assert!(event.get("name").and_then(|v| v.as_str()).is_some());
+                assert!(event.get("ts").is_some() && event.get("dur").is_some());
+                spans.push(event);
+            }
+            other => panic!("unexpected trace phase {other:?}"),
+        }
     }
-    let names: Vec<&str> = events
+    assert!(!spans.is_empty(), "trace must contain spans");
+    let names: Vec<&str> = spans
         .iter()
-        .filter_map(|e| e.as_object()?.get("name")?.as_str())
+        .filter_map(|e| e.get("name")?.as_str())
         .collect();
     assert!(names.contains(&"runtime.job"), "{names:?}");
     assert!(names.contains(&"tpupoint.profile"), "{names:?}");

@@ -29,7 +29,9 @@ mod trace;
 pub use export::{to_json, to_prometheus};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Metrics, MetricsSnapshot};
 pub use report::{AlgorithmRuntime, ObsReport, StageTime, WindowHealth};
-pub use trace::{ArgValue, SpanEvent, SpanGuard, Tracer};
+pub use trace::{
+    current_tid, register_thread_lane, ArgValue, SpanEvent, SpanGuard, Tracer, MAIN_TID,
+};
 
 use std::sync::OnceLock;
 

@@ -6,9 +6,42 @@
 //! enabled the span is additionally kept as an event and can be exported
 //! as Chrome-tracing JSON (`chrome://tracing`, Perfetto).
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
+
+/// The tid every thread reports until it registers a lane of its own.
+pub const MAIN_TID: u64 = 1;
+
+/// Next tid handed out by [`register_thread_lane`].
+static NEXT_TID: AtomicU64 = AtomicU64::new(MAIN_TID + 1);
+
+thread_local! {
+    /// The Chrome-trace tid spans from this thread are attributed to.
+    static CURRENT_TID: Cell<u64> = const { Cell::new(MAIN_TID) };
+}
+
+/// Registers the calling thread as its own span lane in the Chrome trace:
+/// allocates a fresh tid, attributes every subsequent span from this
+/// thread to it, and names the lane `label` via a `thread_name` metadata
+/// event in the export. Returns the tid (idempotent per thread: a second
+/// call keeps the first tid and only updates the label).
+pub fn register_thread_lane(label: &str) -> u64 {
+    let tid = CURRENT_TID.with(|cell| {
+        if cell.get() == MAIN_TID {
+            cell.set(NEXT_TID.fetch_add(1, Ordering::Relaxed));
+        }
+        cell.get()
+    });
+    crate::tracer().name_lane(tid, label);
+    tid
+}
+
+/// The tid spans from the calling thread are attributed to.
+pub fn current_tid() -> u64 {
+    CURRENT_TID.with(Cell::get)
+}
 
 /// A span argument value; rendered into the trace's `args` object.
 #[derive(Debug, Clone, PartialEq)]
@@ -69,6 +102,9 @@ pub struct SpanEvent {
     pub ts_us: u64,
     /// Span duration in microseconds.
     pub dur_us: u64,
+    /// Lane of the recording thread ([`MAIN_TID`] unless the thread
+    /// called [`register_thread_lane`]).
+    pub tid: u64,
     /// Key/value arguments attached at the span site.
     pub args: Vec<(&'static str, ArgValue)>,
 }
@@ -86,6 +122,8 @@ pub struct Tracer {
     enabled: AtomicBool,
     epoch: Instant,
     events: Mutex<Vec<SpanEvent>>,
+    /// `(tid, label)` pairs for named lanes, in registration order.
+    lanes: Mutex<Vec<(u64, String)>>,
 }
 
 impl Default for Tracer {
@@ -101,6 +139,16 @@ impl Tracer {
             enabled: AtomicBool::new(false),
             epoch: Instant::now(),
             events: Mutex::new(Vec::new()),
+            lanes: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Names (or renames) the lane `tid` for the Chrome export.
+    pub fn name_lane(&self, tid: u64, label: &str) {
+        let mut lanes = self.lanes.lock().expect("lane table");
+        match lanes.iter_mut().find(|(t, _)| *t == tid) {
+            Some((_, existing)) => *existing = label.to_owned(),
+            None => lanes.push((tid, label.to_owned())),
         }
     }
 
@@ -144,15 +192,25 @@ impl Tracer {
     pub fn to_chrome_json(&self) -> String {
         let events = self.events.lock().expect("trace buffer");
         let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
-        for (i, event) in events.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
+        out.push_str(&format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{MAIN_TID},\
+             \"args\":{{\"name\":\"main\"}}}}"
+        ));
+        for (tid, label) in self.lanes.lock().expect("lane table").iter() {
             out.push_str(&format!(
-                "{{\"name\":{},\"cat\":{},\"ph\":\"X\",\"pid\":1,\"tid\":1,\
+                ",{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\
+                 \"args\":{{\"name\":{}}}}}",
+                json_string(label)
+            ));
+        }
+        for event in events.iter() {
+            out.push(',');
+            out.push_str(&format!(
+                "{{\"name\":{},\"cat\":{},\"ph\":\"X\",\"pid\":1,\"tid\":{},\
                  \"ts\":{},\"dur\":{}",
                 json_string(event.name),
                 json_string(event.category()),
+                event.tid,
                 event.ts_us,
                 event.dur_us,
             ));
@@ -211,6 +269,7 @@ impl Drop for SpanGuard {
                 name: self.name,
                 ts_us,
                 dur_us,
+                tid: current_tid(),
                 args: std::mem::take(&mut self.args),
             });
         }
@@ -247,6 +306,7 @@ mod tests {
             name: "analyzer.kmeans",
             ts_us: 10,
             dur_us: 250,
+            tid: MAIN_TID,
             args: vec![
                 ("k", ArgValue::U64(4)),
                 ("label", ArgValue::Str("a\"b".into())),
@@ -256,6 +316,7 @@ mod tests {
             name: "profiler.seal",
             ts_us: 400,
             dur_us: 3,
+            tid: 7,
             args: vec![],
         });
         let json = tracer.to_chrome_json();
@@ -266,6 +327,29 @@ mod tests {
         assert!(json.contains("\"ph\":\"X\""));
         assert!(json.contains("\"args\":{\"k\":4,\"label\":\"a\\\"b\"}"));
         assert!(json.contains("\"cat\":\"profiler\""));
+        // Each span carries its recording thread's lane.
+        assert!(json.contains("\"tid\":7"));
+        // The main lane is always named.
+        assert!(json.contains("\"name\":\"thread_name\""));
+        assert!(json.contains("{\"name\":\"main\"}"));
+    }
+
+    #[test]
+    fn registered_lanes_get_named_metadata_and_fresh_tids() {
+        let handle = std::thread::spawn(|| {
+            let first = register_thread_lane("worker-a");
+            let second = register_thread_lane("worker-a-renamed");
+            assert_eq!(first, second, "registration is idempotent per thread");
+            assert_eq!(current_tid(), first);
+            first
+        });
+        let tid = handle.join().expect("lane thread");
+        assert!(tid > MAIN_TID);
+        assert_eq!(current_tid(), MAIN_TID, "main thread lane is untouched");
+        let json = crate::tracer().to_chrome_json();
+        assert!(json.contains(&format!("\"tid\":{tid}")), "{json}");
+        assert!(json.contains("worker-a-renamed"), "{json}");
+        assert!(!json.contains("\"worker-a\""), "rename replaces the label");
     }
 
     #[test]
@@ -288,6 +372,7 @@ mod tests {
             name: "x",
             ts_us: 0,
             dur_us: 1,
+            tid: MAIN_TID,
             args: vec![],
         });
         assert_eq!(tracer.len(), 1);

@@ -1,0 +1,108 @@
+//! # tpupoint-par
+//!
+//! A small dependency-free scoped thread pool for the analyzer's offline
+//! hot paths (k-means k-sweeps, DBSCAN min-samples sweeps, PCA, feature
+//! extraction). The container this reproduction builds in has no crates.io
+//! access, so the parallelism layer is grown in-tree, vendored-style,
+//! instead of pulling rayon.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Determinism.** Every parallel result is ordered by input index and
+//!    bit-identical to the serial run for any thread count, so phase
+//!    boundaries, elbow picks, and noise ratios stay reproducible.
+//! 2. **No deadlocks under nesting.** A thread waiting on a scope executes
+//!    queued jobs instead of blocking, so `par_map` inside `par_map` (the
+//!    k-sweep calling the parallel assignment step) cannot starve.
+//! 3. **Observability.** Workers register their own trace lanes (real
+//!    tids in the Chrome export), and the pool publishes `par.workers` /
+//!    `par.queue_depth` gauges, a `par.tasks` counter, and the
+//!    `span.par.task` duration histogram through [`tpupoint_obs`].
+//!
+//! The process-wide pool is sized from `TPUPOINT_THREADS` (a positive
+//! integer) or, failing that, `std::thread::available_parallelism()`;
+//! [`set_threads`] re-sizes it at runtime (the CLI's `--threads`).
+
+mod pool;
+
+pub use pool::{Scope, ThreadPool};
+
+use std::sync::{Arc, Mutex};
+
+static GLOBAL: Mutex<Option<Arc<ThreadPool>>> = Mutex::new(None);
+
+/// The process-wide pool, created on first use with [`auto_threads`]
+/// participants (or whatever the latest [`set_threads`] call asked for).
+pub fn pool() -> Arc<ThreadPool> {
+    let mut global = GLOBAL.lock().expect("global pool");
+    match &*global {
+        Some(pool) => Arc::clone(pool),
+        None => {
+            let pool = Arc::new(ThreadPool::new(auto_threads()));
+            *global = Some(Arc::clone(&pool));
+            pool
+        }
+    }
+}
+
+/// Re-sizes the process-wide pool; `0` means auto ([`auto_threads`]).
+/// In-flight users of the old pool finish on it undisturbed — its worker
+/// threads shut down once the last handle drops.
+pub fn set_threads(threads: usize) {
+    let size = if threads == 0 {
+        auto_threads()
+    } else {
+        threads
+    };
+    let mut global = GLOBAL.lock().expect("global pool");
+    if global.as_ref().is_some_and(|pool| pool.size() == size) {
+        return;
+    }
+    *global = Some(Arc::new(ThreadPool::new(size)));
+}
+
+/// Participants of the process-wide pool.
+pub fn current_threads() -> usize {
+    pool().size()
+}
+
+/// The default pool size: `TPUPOINT_THREADS` when set to a positive
+/// integer, otherwise the machine's available parallelism.
+pub fn auto_threads() -> usize {
+    std::env::var("TPUPOINT_THREADS")
+        .ok()
+        .and_then(|raw| raw.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_pool_is_shared_and_resizable() {
+        set_threads(3);
+        assert_eq!(current_threads(), 3);
+        let a = pool();
+        let b = pool();
+        assert!(Arc::ptr_eq(&a, &b));
+        set_threads(3); // same size: the pool instance is kept
+        assert!(Arc::ptr_eq(&a, &pool()));
+        set_threads(2);
+        assert_eq!(current_threads(), 2);
+        // The old handle keeps working while the new pool serves.
+        assert_eq!(a.par_map_index(4, |i| i), vec![0, 1, 2, 3]);
+        set_threads(0);
+        assert_eq!(current_threads(), auto_threads());
+    }
+
+    #[test]
+    fn auto_threads_is_positive() {
+        assert!(auto_threads() >= 1);
+    }
+}

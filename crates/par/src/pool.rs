@@ -1,0 +1,415 @@
+//! The pool itself: fixed workers, a shared FIFO queue, scoped spawns,
+//! and chunked deterministic `par_map`.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Chunks handed out per participant in [`ThreadPool::par_map`]; more
+/// than one so a slow chunk does not leave the other participants idle.
+const CHUNKS_PER_PARTICIPANT: usize = 4;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// The shared job queue plus its instrumentation handles.
+struct Queue {
+    /// `(jobs, shutdown)` behind one lock so workers can observe both.
+    state: Mutex<(VecDeque<Job>, bool)>,
+    ready: Condvar,
+    depth: tpupoint_obs::Gauge,
+    tasks: tpupoint_obs::Counter,
+}
+
+impl Queue {
+    fn new() -> Self {
+        let metrics = tpupoint_obs::metrics();
+        Queue {
+            state: Mutex::new((VecDeque::new(), false)),
+            ready: Condvar::new(),
+            depth: metrics.gauge("par.queue_depth"),
+            tasks: metrics.counter("par.tasks"),
+        }
+    }
+
+    fn push(&self, job: Job) {
+        let mut state = self.state.lock().expect("queue");
+        state.0.push_back(job);
+        self.depth.set(state.0.len() as f64);
+        self.tasks.inc();
+        drop(state);
+        self.ready.notify_one();
+    }
+
+    /// Pops one job without blocking.
+    fn try_pop(&self) -> Option<Job> {
+        let mut state = self.state.lock().expect("queue");
+        let job = state.0.pop_front();
+        if job.is_some() {
+            self.depth.set(state.0.len() as f64);
+        }
+        job
+    }
+
+    /// Blocks until a job is available or shutdown is flagged with the
+    /// queue drained (workers finish queued work before exiting).
+    fn pop_or_shutdown(&self) -> Option<Job> {
+        let mut state = self.state.lock().expect("queue");
+        loop {
+            if let Some(job) = state.0.pop_front() {
+                self.depth.set(state.0.len() as f64);
+                return Some(job);
+            }
+            if state.1 {
+                return None;
+            }
+            state = self.ready.wait(state).expect("queue");
+        }
+    }
+
+    fn shutdown(&self) {
+        self.state.lock().expect("queue").1 = true;
+        self.ready.notify_all();
+    }
+}
+
+/// A fixed-size scoped thread pool.
+///
+/// `threads` counts *participants*: the pool spawns `threads - 1` worker
+/// threads and the calling thread contributes the final lane during
+/// [`ThreadPool::par_map`] and while waiting in [`ThreadPool::scope`]
+/// (it executes queued jobs instead of blocking, which also makes nested
+/// `par_map` calls deadlock-free). A pool of size 1 runs everything
+/// inline on the caller.
+pub struct ThreadPool {
+    queue: Arc<Queue>,
+    workers: Vec<JoinHandle<()>>,
+    size: usize,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("size", &self.size)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ThreadPool {
+    /// Builds a pool with `threads` participants (minimum 1).
+    pub fn new(threads: usize) -> Self {
+        let size = threads.max(1);
+        let queue = Arc::new(Queue::new());
+        tpupoint_obs::metrics()
+            .gauge("par.workers")
+            .set(size as f64);
+        let workers = (1..size)
+            .map(|i| {
+                let queue = Arc::clone(&queue);
+                std::thread::Builder::new()
+                    .name(format!("tpupoint-par-{i}"))
+                    .spawn(move || {
+                        tpupoint_obs::register_thread_lane(&format!("par-worker-{i}"));
+                        while let Some(job) = queue.pop_or_shutdown() {
+                            run_job(job);
+                        }
+                    })
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        ThreadPool {
+            queue,
+            workers,
+            size,
+        }
+    }
+
+    /// Number of participants (worker threads + the caller).
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Runs one queued job on the current thread, if any is waiting.
+    fn try_run_one(&self) -> bool {
+        match self.queue.try_pop() {
+            Some(job) => {
+                run_job(job);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Runs `body` with a [`Scope`] on which non-`'static` tasks can be
+    /// spawned. Returns only after every spawned task finished; while
+    /// waiting, the caller executes queued pool jobs. The first panic —
+    /// from the body or any task — is propagated to the caller after all
+    /// tasks completed.
+    pub fn scope<'env, F, R>(&self, body: F) -> R
+    where
+        F: FnOnce(&Scope<'_, 'env>) -> R,
+    {
+        let scope = Scope {
+            pool: self,
+            state: Arc::new(ScopeState::default()),
+            _env: PhantomData,
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| body(&scope)));
+        // All spawned tasks borrow from `'env`, so the wait below must
+        // happen even when the body panicked.
+        self.wait_scope(&scope.state);
+        match result {
+            Err(payload) => resume_unwind(payload),
+            Ok(value) => {
+                let panicked = scope.state.panic.lock().expect("panic slot").take();
+                match panicked {
+                    Some(payload) => resume_unwind(payload),
+                    None => value,
+                }
+            }
+        }
+    }
+
+    fn wait_scope(&self, state: &ScopeState) {
+        loop {
+            if *state.pending.lock().expect("pending") == 0 {
+                return;
+            }
+            // Help drain the queue instead of blocking: with every worker
+            // parked in a nested wait, the queued tasks of the inner
+            // scope would otherwise never run.
+            if self.try_run_one() {
+                continue;
+            }
+            let pending = state.pending.lock().expect("pending");
+            if *pending == 0 {
+                return;
+            }
+            // A job can land in the queue between try_pop and wait; the
+            // timeout bounds that race instead of a queue-side condvar.
+            let _ = state
+                .done
+                .wait_timeout(pending, Duration::from_millis(1))
+                .expect("pending");
+        }
+    }
+
+    /// Maps `f` over `items` in parallel. The output is ordered by input
+    /// index and bit-identical to the serial `items.iter().map(..)` run
+    /// for any pool size: each element is computed independently and
+    /// reassembled in order.
+    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        self.par_map_index(items.len(), |i| f(i, &items[i]))
+    }
+
+    /// Index-range form of [`ThreadPool::par_map`]: evaluates `f(0..n)`
+    /// with chunked work-claiming and returns results in index order.
+    pub fn par_map_index<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        if self.size <= 1 || n <= 1 {
+            return (0..n).map(f).collect();
+        }
+        let chunk_len = n.div_ceil(self.size * CHUNKS_PER_PARTICIPANT).max(1);
+        let n_chunks = n.div_ceil(chunk_len);
+        let slots: Vec<Mutex<Option<Vec<R>>>> = (0..n_chunks).map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+        let work = || loop {
+            let c = cursor.fetch_add(1, Ordering::Relaxed);
+            if c >= n_chunks {
+                break;
+            }
+            let start = c * chunk_len;
+            let end = ((c + 1) * chunk_len).min(n);
+            let out: Vec<R> = (start..end).map(&f).collect();
+            *slots[c].lock().expect("chunk slot") = Some(out);
+        };
+        let participants = self.size.min(n_chunks);
+        self.scope(|s| {
+            for _ in 1..participants {
+                s.spawn(work);
+            }
+            work();
+        });
+        slots
+            .into_iter()
+            .flat_map(|slot| {
+                slot.into_inner()
+                    .expect("chunk slot")
+                    .expect("every chunk was computed")
+            })
+            .collect()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.queue.shutdown();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Runs a job under a span so pool activity shows up in each worker's
+/// trace lane and in the `span.par.task` duration histogram.
+fn run_job(job: Job) {
+    let _span = tpupoint_obs::span!("par.task");
+    job();
+}
+
+#[derive(Default)]
+struct ScopeState {
+    pending: Mutex<usize>,
+    done: Condvar,
+    panic: Mutex<Option<Box<dyn Any + Send + 'static>>>,
+}
+
+/// Spawn handle passed to the closure of [`ThreadPool::scope`].
+pub struct Scope<'pool, 'env> {
+    pool: &'pool ThreadPool,
+    state: Arc<ScopeState>,
+    /// Invariant over `'env`, exactly like `std::thread::Scope`.
+    _env: PhantomData<&'env mut &'env ()>,
+}
+
+impl<'env> Scope<'_, 'env> {
+    /// Queues `task` on the pool. The task may borrow from `'env`; the
+    /// surrounding [`ThreadPool::scope`] call joins it before returning.
+    /// A panicking task is caught and re-thrown from `scope`.
+    pub fn spawn<F>(&self, task: F)
+    where
+        F: FnOnce() + Send + 'env,
+    {
+        *self.state.pending.lock().expect("pending") += 1;
+        let state = Arc::clone(&self.state);
+        let wrapped = move || {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(task)) {
+                let mut slot = state.panic.lock().expect("panic slot");
+                slot.get_or_insert(payload);
+            }
+            let mut pending = state.pending.lock().expect("pending");
+            *pending -= 1;
+            if *pending == 0 {
+                state.done.notify_all();
+            }
+        };
+        let job: Box<dyn FnOnce() + Send + 'env> = Box::new(wrapped);
+        // SAFETY: only the lifetime is erased. `ThreadPool::scope` joins
+        // every spawned task before returning (even on panic), so the
+        // job cannot outlive the `'env` borrows it captures.
+        let job: Job = unsafe { std::mem::transmute(job) };
+        self.pool.queue.push(job);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_of_one_runs_inline() {
+        let pool = ThreadPool::new(1);
+        assert_eq!(pool.size(), 1);
+        let out = pool.par_map_index(5, |i| i * 2);
+        assert_eq!(out, vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        let pool = ThreadPool::new(4);
+        let items: Vec<usize> = (0..1000).collect();
+        let out = pool.par_map(&items, |i, &x| {
+            assert_eq!(i, x);
+            x * x
+        });
+        let expected: Vec<usize> = (0..1000).map(|x| x * x).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn par_map_handles_fewer_items_than_participants() {
+        let pool = ThreadPool::new(8);
+        assert_eq!(pool.par_map_index(3, |i| i + 1), vec![1, 2, 3]);
+        assert_eq!(pool.par_map_index(0, |i| i), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn scope_joins_all_tasks() {
+        let pool = ThreadPool::new(4);
+        let counter = AtomicUsize::new(0);
+        pool.scope(|s| {
+            for _ in 0..64 {
+                s.spawn(|| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn task_panic_propagates_to_the_caller() {
+        let pool = ThreadPool::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                s.spawn(|| panic!("task exploded"));
+            });
+        }));
+        let payload = result.expect_err("panic must cross the scope");
+        let message = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(message, "task exploded");
+        // The pool survives a panicked scope.
+        assert_eq!(pool.par_map_index(4, |i| i), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn par_map_panic_propagates_and_pool_survives() {
+        let pool = ThreadPool::new(4);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.par_map_index(100, |i| {
+                if i == 57 {
+                    panic!("item 57");
+                }
+                i
+            })
+        }));
+        assert!(result.is_err());
+        assert_eq!(pool.par_map_index(3, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn nested_par_map_does_not_deadlock() {
+        let pool = ThreadPool::new(2);
+        let out = pool.par_map_index(4, |i| {
+            let inner = pool.par_map_index(8, move |j| i * 8 + j);
+            inner.iter().sum::<usize>()
+        });
+        let expected: Vec<usize> = (0..4).map(|i| (0..8).map(|j| i * 8 + j).sum()).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn queue_metrics_are_published() {
+        let pool = ThreadPool::new(2);
+        let before = tpupoint_obs::metrics().counter("par.tasks").get();
+        pool.par_map_index(100, |i| i);
+        let after = tpupoint_obs::metrics().counter("par.tasks").get();
+        assert!(after > before, "tasks were queued: {before} -> {after}");
+        let snap = tpupoint_obs::metrics().snapshot();
+        assert!(snap.gauges.contains_key("par.queue_depth"));
+        assert!(snap.gauges.contains_key("par.workers"));
+        assert!(snap.histograms.contains_key("span.par.task"));
+    }
+}

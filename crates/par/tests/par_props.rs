@@ -1,0 +1,72 @@
+//! Property tests: `par_map` is order-preserving and bit-identical to the
+//! serial map for arbitrary inputs and pool sizes, and panics always
+//! propagate to the caller no matter which item throws.
+
+use proptest::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Once;
+use tpupoint_par::ThreadPool;
+
+/// The deliberate panics below fire on pool worker threads, where the
+/// default hook would print a backtrace per case; silence exactly those.
+fn silence_expected_panics() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let expected = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|m| m.contains("poisoned item"));
+            if !expected {
+                previous(info);
+            }
+        }));
+    });
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn par_map_matches_serial_map_in_order(
+        items in proptest::collection::vec(0u64..1_000_000, 0..300),
+        threads in 1usize..9,
+    ) {
+        let pool = ThreadPool::new(threads);
+        let f = |x: u64| x.wrapping_mul(0x9E3779B97F4A7C15).rotate_left(17);
+        let serial: Vec<u64> = items.iter().map(|&x| f(x)).collect();
+        let parallel = pool.par_map(&items, |_, &x| f(x));
+        prop_assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn par_map_index_is_the_identity_permutation(
+        n in 0usize..500,
+        threads in 1usize..9,
+    ) {
+        let pool = ThreadPool::new(threads);
+        let out = pool.par_map_index(n, |i| i);
+        prop_assert_eq!(out, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn any_panicking_item_reaches_the_caller(
+        n in 1usize..120,
+        seed in 0u64..u64::MAX,
+        threads in 1usize..9,
+    ) {
+        silence_expected_panics();
+        let pool = ThreadPool::new(threads);
+        let bad = (seed % n as u64) as usize;
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.par_map_index(n, |i| {
+                assert_ne!(i, bad, "poisoned item");
+                i
+            })
+        }));
+        prop_assert!(result.is_err(), "panic at {bad}/{n} must propagate");
+        // The pool stays usable after the unwound call.
+        prop_assert_eq!(pool.par_map_index(3, |i| i), vec![0, 1, 2]);
+    }
+}

@@ -3,7 +3,7 @@
 
 use std::io;
 use std::path::{Path, PathBuf};
-use tpupoint_analyzer::{checkpoint::PhaseCheckpoint, Analyzer, PhaseSet};
+use tpupoint_analyzer::{checkpoint::PhaseCheckpoint, Analyzer, AnalyzerOptions, PhaseSet};
 use tpupoint_optimizer::{OptimizerReport, TpuPointOptimizer};
 use tpupoint_profiler::{JsonlStore, Profile, ProfilerOptions, ProfilerSink};
 use tpupoint_runtime::{JobConfig, RunReport, TrainingJob};
@@ -39,6 +39,7 @@ pub struct TpuPointBuilder {
     profiler_options: ProfilerOptions,
     ols_threshold: f64,
     profiling_overhead_frac: f64,
+    threads: usize,
 }
 
 impl Default for TpuPointBuilder {
@@ -49,6 +50,7 @@ impl Default for TpuPointBuilder {
             profiler_options: ProfilerOptions::default(),
             ols_threshold: 0.7,
             profiling_overhead_frac: 0.03,
+            threads: 0,
         }
     }
 }
@@ -82,6 +84,14 @@ impl TpuPointBuilder {
     /// Fractional host slowdown caused by the profiling thread.
     pub fn profiling_overhead(mut self, frac: f64) -> Self {
         self.profiling_overhead_frac = frac.max(0.0);
+        self
+    }
+
+    /// Analyzer worker threads; `0` (the default) auto-sizes from
+    /// `TPUPOINT_THREADS` or the machine. Results are identical for any
+    /// value — only wall time changes.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 
@@ -230,7 +240,13 @@ impl TpuPoint {
     ///
     /// Returns an error if the visualization files cannot be written.
     pub fn analyze(&self, profile: &Profile) -> io::Result<AnalysisArtifacts> {
-        let analyzer = Analyzer::new(profile);
+        let analyzer = Analyzer::with_options(
+            profile,
+            AnalyzerOptions {
+                threads: self.options.threads,
+                ..AnalyzerOptions::default()
+            },
+        );
         let ols_phases = analyzer.ols_phases(self.options.ols_threshold);
         let phase_checkpoints = analyzer.checkpoints_for(&ols_phases);
         let (trace_path, csv_path) = match &self.options.output_dir {

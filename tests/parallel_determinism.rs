@@ -1,0 +1,88 @@
+//! Integration: analyzer results are bit-identical for any worker-pool
+//! size. Phase boundaries, elbow picks, and DBSCAN noise ratios must
+//! never depend on how many threads happen to run the sweeps.
+
+use tpupoint::analyzer::{kmeans, Analyzer, AnalyzerOptions};
+use tpupoint::prelude::*;
+
+fn profile_of(id: WorkloadId, scale: f64) -> Profile {
+    let config = build(
+        id,
+        TpuGeneration::V2,
+        &BuildOptions {
+            scale,
+            seed: 7,
+            ..BuildOptions::default()
+        },
+    );
+    let tp = TpuPoint::builder().analyzer(false).build();
+    tp.profile(config).unwrap().profile
+}
+
+/// Everything the analyzer derives from one profile at one pool size.
+#[derive(Debug, PartialEq)]
+struct Derived {
+    kmeans_sweep: Vec<(usize, f64)>,
+    elbow_k: Option<usize>,
+    kmeans_phases: Vec<(u64, u64)>,
+    dbscan_sweep: Vec<(usize, f64, usize)>,
+    ols_phases: Vec<(u64, u64)>,
+}
+
+fn derive(profile: &Profile, threads: usize) -> Derived {
+    let analyzer = Analyzer::with_options(
+        profile,
+        AnalyzerOptions {
+            threads,
+            ..AnalyzerOptions::default()
+        },
+    );
+    let kmeans_sweep = analyzer.kmeans_sweep(1..=8);
+    let elbow_k = kmeans::elbow_k(&kmeans_sweep);
+    let boundaries = |set: &tpupoint::analyzer::PhaseSet| -> Vec<(u64, u64)> {
+        set.phases
+            .iter()
+            .map(|p| (*p.steps.first().unwrap(), *p.steps.last().unwrap()))
+            .collect()
+    };
+    Derived {
+        elbow_k,
+        kmeans_phases: boundaries(&analyzer.kmeans_phases(5)),
+        dbscan_sweep: analyzer.dbscan_sweep().expect("within limits"),
+        ols_phases: boundaries(&analyzer.ols_phases(0.7)),
+        kmeans_sweep,
+    }
+}
+
+#[test]
+fn thread_count_never_changes_analysis_results() {
+    for (id, scale) in [
+        (WorkloadId::BertMrpc, 0.3),
+        (WorkloadId::DcganCifar10, 0.05),
+    ] {
+        let profile = profile_of(id, scale);
+        let serial = derive(&profile, 1);
+        for threads in [2, 4, 8] {
+            let parallel = derive(&profile, threads);
+            assert_eq!(parallel, serial, "{id:?} diverged at {threads} threads");
+        }
+        tpupoint_par::set_threads(0);
+        // The noise-ratio curve is monotone in min-samples regardless of
+        // how the sweep was scheduled.
+        for pair in serial.dbscan_sweep.windows(2) {
+            assert!(pair[1].1 >= pair[0].1 - 1e-9, "{pair:?}");
+        }
+    }
+}
+
+#[test]
+fn facade_threads_knob_matches_default_analysis() {
+    let profile = profile_of(WorkloadId::BertMrpc, 0.2);
+    let wide = TpuPoint::builder().analyzer(false).threads(4).build();
+    let narrow = TpuPoint::builder().analyzer(false).threads(1).build();
+    let a = wide.analyze(&profile).unwrap();
+    let b = narrow.analyze(&profile).unwrap();
+    tpupoint_par::set_threads(0);
+    assert_eq!(a.ols_phases, b.ols_phases);
+    assert_eq!(a.phase_checkpoints, b.phase_checkpoints);
+}
