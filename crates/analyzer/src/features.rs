@@ -195,6 +195,8 @@ mod tests {
             checkpoints: vec![],
             dropped_windows: 0,
             lost_events: 0,
+            store_errors: 0,
+            store_error: None,
         }
     }
 

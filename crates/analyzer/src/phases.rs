@@ -280,6 +280,8 @@ mod tests {
             checkpoints: vec![],
             dropped_windows: 0,
             lost_events: 0,
+            store_errors: 0,
+            store_error: None,
         };
         let set = PhaseSet::from_labels(&recs, &[0, 0, 1, 0]);
         let top = top_operators(&profile, &set.phases[0], 5);

@@ -91,6 +91,18 @@ pub fn characterize(profile: &Profile) -> String {
             String::new()
         }
     );
+    if profile.store_errors > 0 {
+        let _ = writeln!(
+            out,
+            "  RECORDING DEGRADED: {} store error(s){}",
+            profile.store_errors,
+            profile
+                .store_error
+                .as_deref()
+                .map(|e| format!("; first: {e}"))
+                .unwrap_or_default()
+        );
+    }
     let _ = writeln!(
         out,
         "  TPU idle {:.1}%, MXU (FLOP) utilization {:.1}%",

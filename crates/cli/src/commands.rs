@@ -18,15 +18,23 @@ USAGE:
       List every workload of the suite with its Table I parameters.
 
   tpupoint profile --workload <id> [--generation v2|v3] [--scale F]
-                   [--seed N] [--naive] [--out DIR]
+                   [--seed N] [--naive] [--out DIR] [--store-retries N]
+                   [--store-fault-prob F] [--store-fault-seed N]
       Simulate and profile a training session; writes <DIR>/profile.json.
+      --store-retries bounds record-store retries before spilling to
+      memory (default 3; 0 disables resilience). --store-fault-prob
+      injects store failures with the given per-call probability
+      (deterministic under --store-fault-seed) to exercise that path.
 
   tpupoint analyze <profile.json> [--algorithm ols|kmeans|dbscan]
                    [--threshold F] [--k N] [--min-samples N] [--out DIR]
-                   [--threads N]
+                   [--threads N] [--recover]
       Detect phases and print coverage, top operators, and checkpoints.
       --threads sizes the analyzer worker pool (default: TPUPOINT_THREADS
-      or all cores); results are identical for any value.
+      or all cores); results are identical for any value. With --recover
+      the argument is a records directory (e.g. <out>/records) from a
+      possibly crashed run: the valid record prefix is salvaged past any
+      torn tail and analyzed, with the losses reported.
 
   tpupoint optimize --workload <id> [--generation v2|v3] [--scale F]
                     [--naive]
@@ -132,12 +140,28 @@ fn with_obs<'a>(options: &[&'a str]) -> Vec<&'a str> {
 
 fn profile(argv: &[String]) -> Result<(), String> {
     let mut options = with_obs(&BUILD_OPTIONS);
-    options.push("out");
+    options.extend([
+        "out",
+        "store-retries",
+        "store-fault-prob",
+        "store-fault-seed",
+    ]);
     let args = Args::parse(argv, &options, &["naive"])?;
     let session = ObsSession::start(&args)?;
     let config = build_from_args(&args)?;
     let out: PathBuf = args.get("out").unwrap_or("tpupoint-out").into();
-    let tp = TpuPoint::builder().analyzer(true).output_dir(&out).build();
+    let fault_prob: f64 = args.get_or("store-fault-prob", 0.0)?;
+    if !(0.0..=1.0).contains(&fault_prob) {
+        return Err(format!(
+            "--store-fault-prob must be in [0, 1], got {fault_prob}"
+        ));
+    }
+    let tp = TpuPoint::builder()
+        .analyzer(true)
+        .output_dir(&out)
+        .store_retries(args.get_or("store-retries", 3)?)
+        .store_fault(fault_prob, args.get_or("store-fault-seed", 0xFA117)?)
+        .build();
     let run = tp
         .profile(config)
         .map_err(|e| format!("profiling failed: {e}"))?;
@@ -161,6 +185,19 @@ fn profile(argv: &[String]) -> Result<(), String> {
         run.profile.windows.len(),
         run.profile.checkpoints.len()
     );
+    if run.profile.store_errors > 0 {
+        eprintln!(
+            "warning: {} record-store error(s) surfaced past the retry layer{}; \
+             the persisted record stream under {} may be incomplete",
+            run.profile.store_errors,
+            run.profile
+                .store_error
+                .as_deref()
+                .map(|e| format!(" (first: {e})"))
+                .unwrap_or_default(),
+            out.join("records").display()
+        );
+    }
     println!("profile written to {}", path.display());
     session.finish()
 }
@@ -168,6 +205,39 @@ fn profile(argv: &[String]) -> Result<(), String> {
 fn load_profile(path: &str) -> Result<Profile, String> {
     let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
     Profile::load_json(file).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+/// Salvages a profile from a (possibly crashed) record directory and
+/// reports what the recovery could and could not produce.
+fn recover_profile(dir: &str) -> Result<Profile, String> {
+    let summary = tpupoint::profiler::JsonlStore::recover(std::path::Path::new(dir))
+        .map_err(|e| format!("cannot recover records from {dir}: {e}"))?;
+    println!(
+        "recovered {} step record(s) and {} window(s) from {dir} ({})",
+        summary.steps.len(),
+        summary.windows.len(),
+        if summary.sealed_files {
+            "sealed stream"
+        } else {
+            "unsealed .part stream of a crashed writer"
+        }
+    );
+    if summary.skipped_step_lines > 0 || summary.skipped_window_lines > 0 {
+        println!(
+            "  skipped torn tail: {} step line(s), {} window line(s)",
+            summary.skipped_step_lines, summary.skipped_window_lines
+        );
+    }
+    let (missing_steps, missing_windows) = summary.missing_acknowledged();
+    if missing_steps > 0 || missing_windows > 0 {
+        println!(
+            "  WARNING: {missing_steps} acknowledged step(s) and \
+             {missing_windows} acknowledged window(s) are missing"
+        );
+    } else if summary.manifest.is_some() {
+        println!("  every acknowledged record survived");
+    }
+    Ok(summary.to_profile())
 }
 
 fn analyze(argv: &[String]) -> Result<(), String> {
@@ -181,11 +251,16 @@ fn analyze(argv: &[String]) -> Result<(), String> {
             "out",
             "threads",
         ]),
-        &[],
+        &["recover"],
     )?;
     let session = ObsSession::start(&args)?;
-    let path = args.positional0("profile.json path")?;
-    let profile = load_profile(path)?;
+    let profile = if args.flag("recover") {
+        let dir = args.positional0("records directory")?;
+        recover_profile(dir)?
+    } else {
+        let path = args.positional0("profile.json path")?;
+        load_profile(path)?
+    };
     let analyzer = Analyzer::with_options(
         &profile,
         tpupoint::analyzer::AnalyzerOptions {
@@ -390,6 +465,55 @@ mod tests {
         run(&["compare", &p, &p, "--top", "5"]).unwrap();
         run(&["audit", &p]).unwrap();
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn faulty_profile_and_recover_analyze_round_trip() {
+        let dir = std::env::temp_dir().join(format!("tpupoint-cli-fault-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = dir.to_str().unwrap().to_owned();
+        run(&[
+            "profile",
+            "--workload",
+            "bert-mrpc",
+            "--scale",
+            "0.1",
+            "--out",
+            &out,
+            "--store-fault-prob",
+            "0.4",
+            "--store-retries",
+            "8",
+            "--store-fault-seed",
+            "11",
+        ])
+        .unwrap();
+        let records = dir.join("records");
+        assert!(
+            records.join("steps.jsonl").exists(),
+            "sealed despite faults"
+        );
+        run(&["analyze", records.to_str().unwrap(), "--recover"]).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn out_of_range_fault_probability_is_rejected() {
+        let err = run(&[
+            "profile",
+            "--workload",
+            "bert-mrpc",
+            "--store-fault-prob",
+            "1.5",
+        ])
+        .unwrap_err();
+        assert!(err.contains("[0, 1]"), "{err}");
+    }
+
+    #[test]
+    fn recover_on_missing_directory_is_a_clear_error() {
+        let err = run(&["analyze", "/definitely/not/here", "--recover"]).unwrap_err();
+        assert!(err.contains("cannot recover records"), "{err}");
     }
 
     #[test]

@@ -28,7 +28,7 @@ mod trace;
 
 pub use export::{to_json, to_prometheus};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Metrics, MetricsSnapshot};
-pub use report::{AlgorithmRuntime, ObsReport, StageTime, WindowHealth};
+pub use report::{AlgorithmRuntime, ObsReport, StageTime, StoreHealth, WindowHealth};
 pub use trace::{
     current_tid, register_thread_lane, ArgValue, SpanEvent, SpanGuard, Tracer, MAIN_TID,
 };

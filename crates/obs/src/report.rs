@@ -57,6 +57,26 @@ pub struct WindowHealth {
     pub clean: bool,
 }
 
+/// Health of the profiler's record-store layer (retry/spill resilience).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreHealth {
+    /// Store operations that failed after exhausting retries (surfaced to
+    /// the profile) plus transient failures the retry layer absorbed.
+    pub errors: u64,
+    /// Retry attempts performed by the resilience layer.
+    pub retries: u64,
+    /// Records spilled to the in-memory fallback queue.
+    pub records_spilled: u64,
+    /// Spill-queue depth at snapshot time; nonzero means records were
+    /// still awaiting delivery when the run ended.
+    pub spill_depth: u64,
+    /// Total simulated retry backoff, microseconds.
+    pub backoff_us: u64,
+    /// True when nothing is pending delivery: either no faults occurred,
+    /// or the retry/spill layer absorbed all of them.
+    pub lossless: bool,
+}
+
 /// Summary computed from a [`MetricsSnapshot`]; see the module docs.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct ObsReport {
@@ -70,6 +90,8 @@ pub struct ObsReport {
     pub overhead_ratio: Option<f64>,
     /// Window-pipeline health, when profiler counters are present.
     pub window_health: Option<WindowHealth>,
+    /// Record-store resilience health, when store metrics are present.
+    pub store_health: Option<StoreHealth>,
 }
 
 impl ObsReport {
@@ -125,11 +147,33 @@ impl ObsReport {
             }
         });
 
+        let has_store_metrics = snapshot
+            .counters
+            .keys()
+            .chain(snapshot.gauges.keys())
+            .any(|name| name.starts_with("profiler.store_") || name == "profiler.records_spilled");
+        let store_health = has_store_metrics.then(|| {
+            let errors = counter("profiler.store_errors");
+            let spill_depth = gauge("profiler.store_spill_depth").unwrap_or(0.0) as u64;
+            StoreHealth {
+                errors,
+                retries: counter("profiler.store_retries"),
+                records_spilled: counter("profiler.records_spilled"),
+                spill_depth,
+                backoff_us: snapshot
+                    .histograms
+                    .get("profiler.store_backoff_us")
+                    .map_or(0, |h| h.sum),
+                lossless: spill_depth == 0,
+            }
+        });
+
         ObsReport {
             stages,
             algorithms,
             overhead_ratio: gauge("profiler.overhead_ratio"),
             window_health,
+            store_health,
         }
     }
 
@@ -195,6 +239,32 @@ impl ObsReport {
                 );
             }
             None => out.push_str("\nwindow pipeline: (no profiler activity)\n"),
+        }
+
+        match &self.store_health {
+            Some(store) => {
+                let _ = writeln!(
+                    out,
+                    "record store:    {} errors, {} retries, {} spilled (pending {}) -> {}",
+                    store.errors,
+                    store.retries,
+                    store.records_spilled,
+                    store.spill_depth,
+                    if store.lossless {
+                        "lossless"
+                    } else {
+                        "RECORDS PENDING"
+                    }
+                );
+                if store.backoff_us > 0 {
+                    let _ = writeln!(
+                        out,
+                        "retry backoff:   {} total (simulated)",
+                        format_us(store.backoff_us)
+                    );
+                }
+            }
+            None => out.push_str("record store:    (no store activity)\n"),
         }
         out
     }
@@ -275,10 +345,47 @@ mod tests {
         let report = ObsReport::from_snapshot(&MetricsSnapshot::default());
         assert!(report.stages.is_empty());
         assert!(report.window_health.is_none());
+        assert!(report.store_health.is_none());
         let text = report.render();
         assert!(text.contains("(no spans recorded)"));
         assert!(text.contains("(not measured)"));
         assert!(text.contains("(no profiler activity)"));
+        assert!(text.contains("(no store activity)"));
+    }
+
+    #[test]
+    fn store_health_reflects_resilience_counters() {
+        let metrics = Metrics::new();
+        metrics.counter("profiler.store_errors").add(4);
+        metrics.counter("profiler.store_retries").add(6);
+        metrics.counter("profiler.records_spilled").add(2);
+        metrics.gauge("profiler.store_spill_depth").set(0.0);
+        metrics.histogram("profiler.store_backoff_us").record(1_500);
+        metrics.histogram("profiler.store_backoff_us").record(2_500);
+        let report = ObsReport::from_snapshot(&metrics.snapshot());
+        let store = report.store_health.as_ref().expect("store metrics present");
+        assert_eq!(store.errors, 4);
+        assert_eq!(store.retries, 6);
+        assert_eq!(store.records_spilled, 2);
+        assert_eq!(store.spill_depth, 0);
+        assert_eq!(store.backoff_us, 4_000);
+        assert!(store.lossless, "nothing left pending");
+        let text = report.render();
+        assert!(text.contains("4 errors, 6 retries, 2 spilled"), "{text}");
+        assert!(text.contains("lossless"), "{text}");
+        assert!(text.contains("retry backoff:   4.000ms"), "{text}");
+    }
+
+    #[test]
+    fn pending_spilled_records_flag_the_store_unhealthy() {
+        let metrics = Metrics::new();
+        metrics.counter("profiler.store_errors").add(9);
+        metrics.counter("profiler.records_spilled").add(3);
+        metrics.gauge("profiler.store_spill_depth").set(3.0);
+        let report = ObsReport::from_snapshot(&metrics.snapshot());
+        let store = report.store_health.as_ref().expect("store metrics present");
+        assert!(!store.lossless);
+        assert!(report.render().contains("RECORDS PENDING"));
     }
 
     #[test]

@@ -30,6 +30,7 @@
 pub mod audit;
 pub mod profile;
 pub mod record;
+pub mod resilience;
 pub mod sink;
 pub mod store;
 pub mod window;
@@ -37,6 +38,9 @@ pub mod window;
 pub use audit::{audit_windows, WindowAudit};
 pub use profile::Profile;
 pub use record::{OpStats, StepRecord};
+pub use resilience::{FaultConfig, FaultStore, RetryPolicy, RetryStore};
 pub use sink::{ProfilerOptions, ProfilerSink};
-pub use store::{InMemoryStore, JsonlStore, RecordStore};
+pub use store::{
+    InMemoryStore, JsonlStore, RecordStore, RecoveredLoad, RecoverySummary, StoreManifest,
+};
 pub use window::WindowRecord;

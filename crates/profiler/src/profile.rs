@@ -38,6 +38,14 @@ pub struct Profile {
     /// Events inside dropped windows.
     #[serde(default)]
     pub lost_events: u64,
+    /// Record-store operations that failed while recording (after any
+    /// retry/spill resilience); the in-memory profile is complete, but the
+    /// persisted record stream may not be.
+    #[serde(default)]
+    pub store_errors: u64,
+    /// The first store error observed, for diagnostics.
+    #[serde(default)]
+    pub store_error: Option<String>,
 }
 
 impl Profile {
@@ -98,6 +106,13 @@ impl Profile {
         let first = records.iter().map(|r| r.first_start).min()?;
         let last = records.iter().map(|r| r.last_end).max()?;
         (last > first).then(|| last - first)
+    }
+
+    /// True when capture or recording lost anything: dropped profile
+    /// responses or failed store operations. A clean profile means both
+    /// the in-memory view and the persisted record stream are complete.
+    pub fn is_degraded(&self) -> bool {
+        self.dropped_windows > 0 || self.store_errors > 0
     }
 
     /// Fraction of observed events lost to dropped profile responses.
@@ -173,6 +188,8 @@ mod tests {
             checkpoints: vec![(3, SimTime::from_micros(400))],
             dropped_windows: 0,
             lost_events: 0,
+            store_errors: 0,
+            store_error: None,
         }
     }
 
@@ -223,6 +240,8 @@ mod tests {
             checkpoints: vec![],
             dropped_windows: 0,
             lost_events: 0,
+            store_errors: 0,
+            store_error: None,
         };
         assert_eq!(p.steady_tpu_idle_fraction(), 0.0);
         assert_eq!(p.steady_mxu_utilization(), 0.0);

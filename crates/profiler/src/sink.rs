@@ -17,6 +17,7 @@ struct SinkMetrics {
     events_lost: Counter,
     windows_sealed: Counter,
     windows_dropped: Counter,
+    store_errors: Counter,
     window_events: Arc<Histogram>,
     window_span_us: Arc<Histogram>,
 }
@@ -29,6 +30,7 @@ impl SinkMetrics {
             events_lost: metrics.counter("profiler.events_lost"),
             windows_sealed: metrics.counter("profiler.windows_sealed"),
             windows_dropped: metrics.counter("profiler.windows_dropped"),
+            store_errors: metrics.counter("profiler.store_errors"),
             window_events: metrics.histogram("profiler.window_events"),
             window_span_us: metrics.histogram("profiler.window_span_us"),
         }
@@ -90,6 +92,8 @@ pub struct ProfilerSink {
     current_dropped: bool,
     dropped_windows: u64,
     lost_events: u64,
+    store_errors: u64,
+    first_store_error: Option<String>,
     stopped: bool,
     obs: SinkMetrics,
 }
@@ -124,6 +128,8 @@ impl ProfilerSink {
             current_dropped: false,
             dropped_windows: 0,
             lost_events: 0,
+            store_errors: 0,
+            first_store_error: None,
             stopped: false,
             obs: SinkMetrics::new(),
         }
@@ -141,10 +147,28 @@ impl ProfilerSink {
         sink
     }
 
-    /// Labels the profile with its model/dataset (purely informational).
+    /// Labels the profile with its model/dataset (purely informational);
+    /// forwarded to the store's manifest when one is attached.
     pub fn set_source(&mut self, model: &str, dataset: &str) {
         self.model = model.to_owned();
         self.dataset = dataset.to_owned();
+        if let Some(store) = self.store.as_mut() {
+            store.set_meta(model, dataset);
+        }
+    }
+
+    /// Accounts one store-operation result: failures are counted
+    /// (`profiler.store_errors`), the first is remembered, and recording
+    /// continues — a storage outage must never kill the training run, but
+    /// it must not be silent either.
+    fn note_store_result(&mut self, what: &str, result: std::io::Result<()>) {
+        if let Err(err) = result {
+            self.store_errors += 1;
+            self.obs.store_errors.inc();
+            if self.first_store_error.is_none() {
+                self.first_store_error = Some(format!("{what}: {err}"));
+            }
+        }
     }
 
     /// Events consumed so far.
@@ -170,9 +194,10 @@ impl ProfilerSink {
                 .window_span_us
                 .record(window.end.saturating_since(window.start).as_micros());
             if let Some(store) = self.store.as_mut() {
-                // Recording failures must not kill the training run; the
-                // real recording thread logs and continues.
-                let _ = store.put_window(&window);
+                // Recording failures must not kill the training run, but
+                // they are counted and surfaced via the profile.
+                let result = store.put_window(&window);
+                self.note_store_result("put_window", result);
             }
             self.windows.push(window);
         }
@@ -181,8 +206,11 @@ impl ProfilerSink {
     fn window_for(&mut self, event: &TraceEvent) -> &mut WindowRecord {
         let needs_seal = match &self.current {
             Some(w) => {
+                // Seal on a straddling event too: admitting an event whose
+                // *end* crosses the cap would extend the kept window past
+                // the profiler's 60,000 ms limit.
                 w.events >= self.options.window_max_events
-                    || event.start.saturating_since(w.start) > self.options.window_max_span
+                    || event.end().saturating_since(w.start) > self.options.window_max_span
             }
             None => false,
         };
@@ -210,13 +238,15 @@ impl ProfilerSink {
     /// step number. Also flushes the store, if any.
     pub fn finish(mut self) -> Profile {
         self.seal_window();
-        let mut steps: Vec<StepRecord> = self.steps.into_values().collect();
+        let mut steps: Vec<StepRecord> = std::mem::take(&mut self.steps).into_values().collect();
         steps.sort_by_key(|r| r.step);
-        if let Some(store) = self.store.as_mut() {
+        if let Some(mut store) = self.store.take() {
             for record in &steps {
-                let _ = store.put_step(record);
+                let result = store.put_step(record);
+                self.note_store_result("put_step", result);
             }
-            let _ = store.flush();
+            let result = store.seal();
+            self.note_store_result("seal", result);
         }
         let op_names: Vec<String> = self.catalog.iter().map(|(_, n)| n.to_owned()).collect();
         let op_uses_mxu: Vec<bool> = self
@@ -238,6 +268,8 @@ impl ProfilerSink {
             checkpoints: self.checkpoints,
             dropped_windows: self.dropped_windows,
             lost_events: self.lost_events,
+            store_errors: self.store_errors,
+            store_error: self.first_store_error,
         }
     }
 }
@@ -256,7 +288,6 @@ impl TraceSink for ProfilerSink {
         self.op_on_host[idx] = !matches!(event.track, Track::TpuCore(_));
         // Window accounting first: it decides whether this event belongs
         // to a lost profile response.
-        let step = event.step.unwrap_or(0);
         let window = self.window_for(event);
         window.events += 1;
         if event.end() > window.end {
@@ -266,13 +297,20 @@ impl TraceSink for ProfilerSink {
             window.tpu_busy += event.dur;
             window.mxu_busy += event.mxu_dur;
         }
-        window.first_step = window.first_step.min(step);
-        window.last_step = window.last_step.max(step);
+        // Unstepped events (session init, background transfers) carry no
+        // step; letting them default to 0 would drag `first_step` of every
+        // mid-training window down to 0.
+        if let Some(step) = event.step {
+            window.first_step = window.first_step.min(step);
+            window.last_step = window.last_step.max(step);
+        }
         if self.current_dropped {
             // Events of a lost response never reach the records.
             return;
         }
-        // Per-step statistical aggregation.
+        // Per-step statistical aggregation; unstepped events pool in the
+        // synthetic step-0 (session init) record.
+        let step = event.step.unwrap_or(0);
         self.steps
             .entry(step)
             .or_insert_with(|| StepRecord::new(step))
@@ -500,5 +538,112 @@ mod tests {
         sink.record(&ev);
         let profile = sink.finish();
         assert_eq!(profile.steps[0].step, 0);
+    }
+
+    #[test]
+    fn unstepped_events_do_not_drag_window_first_step_to_zero() {
+        let mut sink = ProfilerSink::new(small_catalog(), ProfilerOptions::default());
+        sink.record(&event(0, 40, 0, 5));
+        let mut unstepped = event(1, 0, 10, 5);
+        unstepped.step = None;
+        sink.record(&unstepped);
+        sink.record(&event(0, 41, 20, 5));
+        let profile = sink.finish();
+        assert_eq!(profile.windows.len(), 1);
+        assert_eq!(
+            profile.windows[0].first_step, 40,
+            "step=None must not count"
+        );
+        assert_eq!(profile.windows[0].last_step, 41);
+        assert_eq!(profile.windows[0].events, 3, "the event itself is kept");
+    }
+
+    #[test]
+    fn straddling_event_seals_instead_of_stretching_the_window() {
+        let options = ProfilerOptions {
+            window_max_span: SimDuration::from_micros(100),
+            ..ProfilerOptions::default()
+        };
+        let mut sink = ProfilerSink::new(small_catalog(), options);
+        sink.record(&event(0, 1, 0, 10));
+        // Starts inside the cap (95 < 100) but ends beyond it (115): the
+        // old start-only check admitted it and stretched the window.
+        sink.record(&event(0, 1, 95, 20));
+        let profile = sink.finish();
+        assert_eq!(profile.windows.len(), 2);
+        for w in &profile.windows {
+            assert!(
+                w.span() <= SimDuration::from_micros(100),
+                "window {} spans {:?}, beyond the cap",
+                w.index,
+                w.span()
+            );
+        }
+        assert_eq!(profile.windows[1].start, SimTime::from_micros(95));
+    }
+
+    #[test]
+    fn store_errors_are_counted_not_swallowed() {
+        use crate::resilience::{FaultConfig, FaultStore};
+        let store = FaultStore::new(
+            InMemoryStore::new(),
+            FaultConfig {
+                error_probability: 1.0,
+                ..FaultConfig::default()
+            },
+        );
+        let mut sink = ProfilerSink::with_store(
+            small_catalog(),
+            ProfilerOptions {
+                window_max_events: 2,
+                ..ProfilerOptions::default()
+            },
+            Box::new(store),
+        );
+        for i in 0..6 {
+            sink.record(&event(0, 1, i * 10, 5));
+        }
+        let profile = sink.finish();
+        // Every put_window, put_step, and the seal failed.
+        assert!(profile.store_errors >= 4, "got {}", profile.store_errors);
+        let first = profile.store_error.as_deref().expect("first error kept");
+        assert!(first.contains("injected fault"), "{first}");
+        assert!(profile.is_degraded());
+        // The in-memory profile itself is still complete.
+        assert_eq!(profile.windows.len(), 3);
+    }
+
+    #[test]
+    fn retry_store_keeps_profile_clean_under_transient_faults() {
+        use crate::resilience::{FaultConfig, FaultStore, RetryPolicy, RetryStore};
+        let fault = FaultStore::new(
+            InMemoryStore::new(),
+            FaultConfig {
+                error_probability: 0.3,
+                seed: 5,
+                ..FaultConfig::default()
+            },
+        );
+        let retry = RetryStore::with_policy(
+            fault,
+            RetryPolicy {
+                max_retries: 10,
+                ..RetryPolicy::default()
+            },
+        );
+        let mut sink = ProfilerSink::with_store(
+            small_catalog(),
+            ProfilerOptions {
+                window_max_events: 5,
+                ..ProfilerOptions::default()
+            },
+            Box::new(retry),
+        );
+        for i in 0..40 {
+            sink.record(&event(0, 1 + i / 10, i * 10, 5));
+        }
+        let profile = sink.finish();
+        assert_eq!(profile.store_errors, 0, "retries absorbed every fault");
+        assert!(!profile.is_degraded());
     }
 }

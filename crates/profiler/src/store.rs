@@ -4,9 +4,28 @@
 //! mode) or has a recording thread persist them to Cloud Storage (analyzer
 //! mode). [`InMemoryStore`] and [`JsonlStore`] are those two backends; the
 //! JSONL files stand in for the Storage Bucket.
+//!
+//! # Crash tolerance
+//!
+//! [`JsonlStore`] streams records into `steps.jsonl.part` and
+//! `windows.jsonl.part` while the run is live, tracking the acknowledged
+//! (flushed) counts in a small `manifest.json` that is always replaced
+//! atomically (written to `manifest.json.part`, then renamed). A clean
+//! shutdown calls [`RecordStore::seal`], which renames the `.part` record
+//! files to their final names and marks the manifest sealed. After a crash
+//! (`kill -9` mid-write) the directory holds a torn `.part` stream; every
+//! loader here recovers the valid record prefix past the torn tail instead
+//! of failing the whole load, and [`JsonlStore::recover`] cross-checks the
+//! manifest so callers can tell "everything acknowledged survived" from
+//! "N acknowledged records are missing".
+//!
+//! Resilience decorators (bounded retry with deterministic backoff,
+//! spill-to-memory, fault injection) live in [`crate::resilience`].
 
+use crate::profile::Profile;
 use crate::record::StepRecord;
 use crate::window::WindowRecord;
+use serde::{Deserialize, Serialize};
 use std::fs::File;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
@@ -27,12 +46,51 @@ pub trait RecordStore {
     /// Returns any I/O error from the backing medium.
     fn put_window(&mut self, record: &WindowRecord) -> io::Result<()>;
 
-    /// Flushes buffered writes.
+    /// Flushes buffered writes. After a successful flush every record put
+    /// so far counts as *acknowledged*: it must survive a crash of the
+    /// writer.
     ///
     /// # Errors
     ///
     /// Returns any I/O error from the backing medium.
     fn flush(&mut self) -> io::Result<()>;
+
+    /// Flushes and marks the record stream complete (a clean shutdown).
+    /// Defaults to [`RecordStore::flush`] for backends with no notion of
+    /// sealing.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the backing medium.
+    fn seal(&mut self) -> io::Result<()> {
+        self.flush()
+    }
+
+    /// Labels the stream with its source model/dataset (informational;
+    /// defaults to a no-op).
+    fn set_meta(&mut self, _model: &str, _dataset: &str) {}
+}
+
+impl RecordStore for Box<dyn RecordStore> {
+    fn put_step(&mut self, record: &StepRecord) -> io::Result<()> {
+        (**self).put_step(record)
+    }
+
+    fn put_window(&mut self, record: &WindowRecord) -> io::Result<()> {
+        (**self).put_window(record)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        (**self).flush()
+    }
+
+    fn seal(&mut self) -> io::Result<()> {
+        (**self).seal()
+    }
+
+    fn set_meta(&mut self, model: &str, dataset: &str) {
+        (**self).set_meta(model, dataset);
+    }
 }
 
 /// Buffers records in memory (the profiler's optimizer mode).
@@ -75,14 +133,145 @@ impl RecordStore for InMemoryStore {
     }
 }
 
-/// Streams records as JSON lines into `<dir>/steps.jsonl` and
-/// `<dir>/windows.jsonl` (the profiler's analyzer mode).
+/// Sidecar metadata of a [`JsonlStore`] directory, replaced atomically on
+/// every flush. The flushed counts are the store's acknowledgement
+/// watermark: records beyond them were never guaranteed durable.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct StoreManifest {
+    /// Model of the recorded run, when the profiler labeled it.
+    #[serde(default)]
+    pub model: String,
+    /// Dataset of the recorded run.
+    #[serde(default)]
+    pub dataset: String,
+    /// Step records acknowledged (written and flushed).
+    #[serde(default)]
+    pub steps_flushed: u64,
+    /// Window records acknowledged.
+    #[serde(default)]
+    pub windows_flushed: u64,
+    /// Whether the stream was sealed by a clean shutdown.
+    #[serde(default)]
+    pub sealed: bool,
+}
+
+/// One tolerant JSONL load: the valid record prefix plus how many trailing
+/// lines (torn or corrupt) were skipped to obtain it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveredLoad<T> {
+    /// Records parsed from the valid prefix.
+    pub records: Vec<T>,
+    /// Non-empty lines skipped after the first malformed one.
+    pub skipped_lines: usize,
+}
+
+/// Everything salvageable from a record directory, together with the
+/// accounting needed to say what (if anything) was lost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoverySummary {
+    /// Recovered step records, sorted by step number.
+    pub steps: Vec<StepRecord>,
+    /// Recovered window records, sorted by window index.
+    pub windows: Vec<WindowRecord>,
+    /// Torn/corrupt step lines skipped at the tail.
+    pub skipped_step_lines: usize,
+    /// Torn/corrupt window lines skipped at the tail.
+    pub skipped_window_lines: usize,
+    /// The manifest, when one survived.
+    pub manifest: Option<StoreManifest>,
+    /// True when the sealed (renamed) record files were found; false when
+    /// recovery had to read the in-progress `.part` stream of a crashed
+    /// writer.
+    pub sealed_files: bool,
+}
+
+impl RecoverySummary {
+    /// Acknowledged records the recovery could NOT produce:
+    /// `(missing_steps, missing_windows)` relative to the manifest's
+    /// flushed counts. Zero means every acknowledged record survived; the
+    /// unacknowledged suffix (post-last-flush) is not counted because the
+    /// store never promised it.
+    pub fn missing_acknowledged(&self) -> (u64, u64) {
+        match &self.manifest {
+            Some(m) => (
+                m.steps_flushed.saturating_sub(self.steps.len() as u64),
+                m.windows_flushed.saturating_sub(self.windows.len() as u64),
+            ),
+            None => (0, 0),
+        }
+    }
+
+    /// True when any line had to be skipped or any acknowledged record is
+    /// missing — i.e. the directory was left by a crashed writer.
+    pub fn is_torn(&self) -> bool {
+        let (ms, mw) = self.missing_acknowledged();
+        self.skipped_step_lines > 0 || self.skipped_window_lines > 0 || ms > 0 || mw > 0
+    }
+
+    /// Reconstructs a best-effort [`Profile`] from the recovered records,
+    /// good enough for the analyzer to cluster phases.
+    ///
+    /// The op-name catalog is not persisted with the records, so op names
+    /// are synthesized as `op<N>` placeholders. Step marks are synthesized
+    /// from the step records themselves (every step's last event end);
+    /// when three or more records survive, the highest step is treated as
+    /// the session-shutdown record, mirroring a live profile's shape.
+    pub fn to_profile(&self) -> Profile {
+        let op_count = self
+            .steps
+            .iter()
+            .flat_map(|r| r.ops.keys())
+            .map(|op| op.0 as usize + 1)
+            .max()
+            .unwrap_or(0);
+        let shutdown_step = if self.steps.len() >= 3 {
+            self.steps.iter().map(|r| r.step).max().unwrap_or(0)
+        } else {
+            u64::MAX
+        };
+        let step_marks = self
+            .steps
+            .iter()
+            .filter(|r| r.step > 0 && r.step < shutdown_step)
+            .map(|r| (r.step, r.last_end))
+            .collect();
+        let manifest = self.manifest.clone().unwrap_or_default();
+        Profile {
+            model: manifest.model,
+            dataset: manifest.dataset,
+            op_names: (0..op_count).map(|i| format!("op{i}")).collect(),
+            op_uses_mxu: vec![false; op_count],
+            op_on_host: vec![true; op_count],
+            steps: self.steps.clone(),
+            windows: self.windows.clone(),
+            step_marks,
+            checkpoints: Vec::new(),
+            dropped_windows: 0,
+            lost_events: 0,
+            store_errors: 0,
+            store_error: None,
+        }
+    }
+}
+
+/// Streams records as JSON lines into `<dir>/steps.jsonl.part` and
+/// `<dir>/windows.jsonl.part` (the profiler's analyzer mode), sealing them
+/// to `steps.jsonl` / `windows.jsonl` on clean shutdown. See the module
+/// docs for the crash-tolerance protocol.
 #[derive(Debug)]
 pub struct JsonlStore {
     dir: PathBuf,
     steps: BufWriter<File>,
     windows: BufWriter<File>,
+    manifest: StoreManifest,
+    steps_written: u64,
+    windows_written: u64,
 }
+
+const STEPS_FILE: &str = "steps.jsonl";
+const WINDOWS_FILE: &str = "windows.jsonl";
+const MANIFEST_FILE: &str = "manifest.json";
+const PART_SUFFIX: &str = ".part";
 
 impl JsonlStore {
     /// Creates (or truncates) the record files under `dir`.
@@ -93,11 +282,21 @@ impl JsonlStore {
     /// opened.
     pub fn create(dir: &Path) -> io::Result<Self> {
         std::fs::create_dir_all(dir)?;
-        Ok(JsonlStore {
+        // Clear any sealed files from a previous run so loaders never mix
+        // the old sealed stream with the new in-progress one.
+        for name in [STEPS_FILE, WINDOWS_FILE, MANIFEST_FILE] {
+            let _ = std::fs::remove_file(dir.join(name));
+        }
+        let store = JsonlStore {
             dir: dir.to_owned(),
-            steps: BufWriter::new(File::create(dir.join("steps.jsonl"))?),
-            windows: BufWriter::new(File::create(dir.join("windows.jsonl"))?),
-        })
+            steps: BufWriter::new(File::create(part_path(dir, STEPS_FILE))?),
+            windows: BufWriter::new(File::create(part_path(dir, WINDOWS_FILE))?),
+            manifest: StoreManifest::default(),
+            steps_written: 0,
+            windows_written: 0,
+        };
+        store.write_manifest()?;
+        Ok(store)
     }
 
     /// The directory records are written to.
@@ -105,52 +304,208 @@ impl JsonlStore {
         &self.dir
     }
 
-    /// Reads back all step records from `dir`.
-    ///
-    /// # Errors
-    ///
-    /// Returns an error on I/O failure or malformed JSON.
-    pub fn load_steps(dir: &Path) -> io::Result<Vec<StepRecord>> {
-        load_jsonl(&dir.join("steps.jsonl"))
+    /// Atomically replaces `manifest.json` (write `.part`, then rename).
+    fn write_manifest(&self) -> io::Result<()> {
+        let part = part_path(&self.dir, MANIFEST_FILE);
+        let text = serde_json::to_string(&self.manifest).map_err(io::Error::other)?;
+        std::fs::write(&part, text)?;
+        std::fs::rename(&part, self.dir.join(MANIFEST_FILE))
     }
 
-    /// Reads back all window records from `dir`.
+    /// Reads back all step records from `dir`, recovering past a torn
+    /// tail. Prefer [`JsonlStore::recover`] when the skip counts matter.
     ///
     /// # Errors
     ///
-    /// Returns an error on I/O failure or malformed JSON.
+    /// Returns an error when neither `steps.jsonl` nor its `.part` stream
+    /// exists or cannot be read.
+    pub fn load_steps(dir: &Path) -> io::Result<Vec<StepRecord>> {
+        Ok(load_jsonl(&record_path(dir, STEPS_FILE)?)?.records)
+    }
+
+    /// Reads back all window records from `dir`, recovering past a torn
+    /// tail.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when neither `windows.jsonl` nor its `.part`
+    /// stream exists or cannot be read.
     pub fn load_windows(dir: &Path) -> io::Result<Vec<WindowRecord>> {
-        load_jsonl(&dir.join("windows.jsonl"))
+        Ok(load_jsonl(&record_path(dir, WINDOWS_FILE)?)?.records)
+    }
+
+    /// Reads the manifest, when one exists.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the manifest exists but cannot be parsed.
+    pub fn load_manifest(dir: &Path) -> io::Result<Option<StoreManifest>> {
+        let path = dir.join(MANIFEST_FILE);
+        if !path.exists() {
+            return Ok(None);
+        }
+        let text = std::fs::read_to_string(path)?;
+        serde_json::from_str(&text)
+            .map(Some)
+            .map_err(io::Error::other)
+    }
+
+    /// Recovers everything salvageable from a record directory: the valid
+    /// prefix of both record streams (sealed files when present, the torn
+    /// `.part` streams of a crashed writer otherwise) plus the manifest
+    /// accounting.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `dir` holds no recognizable record stream at
+    /// all.
+    pub fn recover(dir: &Path) -> io::Result<RecoverySummary> {
+        let steps_path = record_path(dir, STEPS_FILE);
+        let windows_path = record_path(dir, WINDOWS_FILE);
+        if steps_path.is_err() && windows_path.is_err() {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!(
+                    "no record stream (steps.jsonl[.part]) under {}",
+                    dir.display()
+                ),
+            ));
+        }
+        let sealed_files = dir.join(STEPS_FILE).exists() || dir.join(WINDOWS_FILE).exists();
+        let steps = match steps_path {
+            Ok(path) => load_jsonl::<StepRecord>(&path)?,
+            Err(_) => RecoveredLoad {
+                records: Vec::new(),
+                skipped_lines: 0,
+            },
+        };
+        let windows = match windows_path {
+            Ok(path) => load_jsonl::<WindowRecord>(&path)?,
+            Err(_) => RecoveredLoad {
+                records: Vec::new(),
+                skipped_lines: 0,
+            },
+        };
+        let mut summary = RecoverySummary {
+            steps: steps.records,
+            windows: windows.records,
+            skipped_step_lines: steps.skipped_lines,
+            skipped_window_lines: windows.skipped_lines,
+            manifest: Self::load_manifest(dir).unwrap_or(None),
+            sealed_files,
+        };
+        summary.steps.sort_by_key(|r| r.step);
+        summary.windows.sort_by_key(|w| w.index);
+        Ok(summary)
     }
 }
 
-fn load_jsonl<T: serde::de::DeserializeOwned>(path: &Path) -> io::Result<Vec<T>> {
-    let reader = BufReader::new(File::open(path)?);
-    let mut out = Vec::new();
-    for line in reader.lines() {
-        let line = line?;
+/// The live path of a record file: the sealed name when present, else the
+/// in-progress `.part` stream.
+fn record_path(dir: &Path, name: &str) -> io::Result<PathBuf> {
+    let sealed = dir.join(name);
+    if sealed.exists() {
+        return Ok(sealed);
+    }
+    let part = part_path(dir, name);
+    if part.exists() {
+        return Ok(part);
+    }
+    Err(io::Error::new(
+        io::ErrorKind::NotFound,
+        format!("{} not found (nor its .part stream)", sealed.display()),
+    ))
+}
+
+fn part_path(dir: &Path, name: &str) -> PathBuf {
+    dir.join(format!("{name}{PART_SUFFIX}"))
+}
+
+/// Loads a JSONL file tolerantly: parses records until the first malformed
+/// line (a torn tail after a crash, or corruption), then stops and reports
+/// how many non-empty lines were left unparsed. A `kill -9` mid-write can
+/// only tear the final line, so the valid prefix is exactly the records
+/// fully written before the crash.
+fn load_jsonl<T: serde::de::DeserializeOwned>(path: &Path) -> io::Result<RecoveredLoad<T>> {
+    let mut reader = BufReader::new(File::open(path)?);
+    let mut records = Vec::new();
+    let mut skipped_lines = 0usize;
+    let mut torn = false;
+    let mut buf = Vec::new();
+    loop {
+        buf.clear();
+        // Read raw bytes: a torn tail may not even be valid UTF-8, and
+        // that must count as a skipped line, not a failed load.
+        if reader.read_until(b'\n', &mut buf)? == 0 {
+            break;
+        }
+        let line = String::from_utf8_lossy(&buf);
         if line.trim().is_empty() {
             continue;
         }
-        out.push(serde_json::from_str(&line).map_err(io::Error::other)?);
+        if torn {
+            skipped_lines += 1;
+            continue;
+        }
+        match serde_json::from_str(line.trim_end()) {
+            Ok(record) => records.push(record),
+            Err(_) => {
+                torn = true;
+                skipped_lines += 1;
+            }
+        }
     }
-    Ok(out)
+    Ok(RecoveredLoad {
+        records,
+        skipped_lines,
+    })
 }
 
 impl RecordStore for JsonlStore {
     fn put_step(&mut self, record: &StepRecord) -> io::Result<()> {
         serde_json::to_writer(&mut self.steps, record).map_err(io::Error::other)?;
-        self.steps.write_all(b"\n")
+        self.steps.write_all(b"\n")?;
+        self.steps_written += 1;
+        Ok(())
     }
 
     fn put_window(&mut self, record: &WindowRecord) -> io::Result<()> {
         serde_json::to_writer(&mut self.windows, record).map_err(io::Error::other)?;
-        self.windows.write_all(b"\n")
+        self.windows.write_all(b"\n")?;
+        self.windows_written += 1;
+        Ok(())
     }
 
     fn flush(&mut self) -> io::Result<()> {
         self.steps.flush()?;
-        self.windows.flush()
+        self.windows.flush()?;
+        // Only now are the written records acknowledged.
+        self.manifest.steps_flushed = self.steps_written;
+        self.manifest.windows_flushed = self.windows_written;
+        self.write_manifest()
+    }
+
+    fn seal(&mut self) -> io::Result<()> {
+        self.steps.flush()?;
+        self.windows.flush()?;
+        std::fs::rename(part_path(&self.dir, STEPS_FILE), self.dir.join(STEPS_FILE))?;
+        std::fs::rename(
+            part_path(&self.dir, WINDOWS_FILE),
+            self.dir.join(WINDOWS_FILE),
+        )?;
+        self.manifest.steps_flushed = self.steps_written;
+        self.manifest.windows_flushed = self.windows_written;
+        self.manifest.sealed = true;
+        self.write_manifest()
+    }
+
+    fn set_meta(&mut self, model: &str, dataset: &str) {
+        self.manifest.model = model.to_owned();
+        self.manifest.dataset = dataset.to_owned();
+        // Persist right away so a crash before the first flush still
+        // leaves a labeled manifest. Best-effort: a failure here recurs
+        // (and is counted) at the next flush, which rewrites the manifest.
+        let _ = self.write_manifest();
     }
 }
 
@@ -184,6 +539,12 @@ mod tests {
         }
     }
 
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("tpupoint-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
     #[test]
     fn in_memory_store_accumulates() {
         let mut store = InMemoryStore::new();
@@ -195,19 +556,121 @@ mod tests {
     }
 
     #[test]
-    fn jsonl_store_round_trips() {
-        let dir = std::env::temp_dir().join(format!("tpupoint-store-{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
+    fn jsonl_store_round_trips_after_seal() {
+        let dir = tmp_dir("roundtrip");
         {
             let mut store = JsonlStore::create(&dir).unwrap();
+            store.set_meta("demo-mlp", "synthetic");
             store.put_step(&sample_step(7)).unwrap();
             store.put_window(&sample_window()).unwrap();
-            store.flush().unwrap();
+            store.seal().unwrap();
         }
+        assert!(dir.join("steps.jsonl").exists(), "sealed file renamed");
+        assert!(!dir.join("steps.jsonl.part").exists());
         let steps = JsonlStore::load_steps(&dir).unwrap();
         let windows = JsonlStore::load_windows(&dir).unwrap();
         assert_eq!(steps, vec![sample_step(7)]);
         assert_eq!(windows, vec![sample_window()]);
+        let manifest = JsonlStore::load_manifest(&dir).unwrap().unwrap();
+        assert!(manifest.sealed);
+        assert_eq!(manifest.steps_flushed, 1);
+        assert_eq!(manifest.model, "demo-mlp");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unsealed_part_stream_is_loadable() {
+        let dir = tmp_dir("unsealed");
+        let mut store = JsonlStore::create(&dir).unwrap();
+        store.put_step(&sample_step(1)).unwrap();
+        store.flush().unwrap();
+        // No seal: the writer "crashed". The .part stream still loads.
+        let steps = JsonlStore::load_steps(&dir).unwrap();
+        assert_eq!(steps, vec![sample_step(1)]);
+        let manifest = JsonlStore::load_manifest(&dir).unwrap().unwrap();
+        assert!(!manifest.sealed);
+        assert_eq!(manifest.steps_flushed, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_recovers_valid_prefix() {
+        let dir = tmp_dir("torn");
+        let mut store = JsonlStore::create(&dir).unwrap();
+        for step in 1..=3 {
+            store.put_step(&sample_step(step)).unwrap();
+        }
+        store.flush().unwrap();
+        // Tear the tail: append half a record, as a kill -9 would leave.
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(dir.join("steps.jsonl.part"))
+            .unwrap();
+        f.write_all(b"{\"step\":4,\"ops\"").unwrap();
+        drop(store);
+
+        let summary = JsonlStore::recover(&dir).unwrap();
+        assert_eq!(summary.steps.len(), 3);
+        assert_eq!(summary.skipped_step_lines, 1);
+        assert_eq!(summary.missing_acknowledged(), (0, 0));
+        assert!(summary.is_torn());
+        assert!(!summary.sealed_files);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recovery_reports_missing_acknowledged_records() {
+        let dir = tmp_dir("missing");
+        let mut store = JsonlStore::create(&dir).unwrap();
+        for step in 1..=5 {
+            store.put_step(&sample_step(step)).unwrap();
+        }
+        store.flush().unwrap();
+        drop(store);
+        // Corrupt record 3 in place: everything acknowledged after it is
+        // lost to prefix recovery.
+        let path = dir.join("steps.jsonl.part");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        let mangled = format!(
+            "{}\n{}\nGARBAGE\n{}\n{}\n",
+            lines[0], lines[1], lines[3], lines[4]
+        );
+        std::fs::write(&path, mangled).unwrap();
+
+        let summary = JsonlStore::recover(&dir).unwrap();
+        assert_eq!(summary.steps.len(), 2);
+        assert_eq!(
+            summary.skipped_step_lines, 3,
+            "garbage line + 2 good ones after it"
+        );
+        assert_eq!(summary.missing_acknowledged().0, 3);
+        assert!(summary.is_torn());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recovered_profile_is_analyzable_shape() {
+        let dir = tmp_dir("to-profile");
+        let mut store = JsonlStore::create(&dir).unwrap();
+        store.set_meta("bert", "mrpc");
+        for step in 0..=6 {
+            store.put_step(&sample_step(step)).unwrap();
+        }
+        store.put_window(&sample_window()).unwrap();
+        store.seal().unwrap();
+        let summary = JsonlStore::recover(&dir).unwrap();
+        let profile = summary.to_profile();
+        assert_eq!(profile.model, "bert");
+        assert_eq!(profile.dataset, "mrpc");
+        assert_eq!(profile.steps.len(), 7);
+        assert_eq!(profile.windows.len(), 1);
+        assert_eq!(profile.op_names.len(), 2, "max OpId was 1");
+        // Marks exclude step 0 and the highest (shutdown) record.
+        let marked: Vec<u64> = profile.step_marks.iter().map(|(s, _)| *s).collect();
+        assert_eq!(marked, vec![1, 2, 3, 4, 5]);
+        assert_eq!(profile.training_records().len(), 5);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -215,5 +678,35 @@ mod tests {
     fn loading_missing_dir_errors() {
         let missing = Path::new("/definitely/not/here");
         assert!(JsonlStore::load_steps(missing).is_err());
+        assert!(JsonlStore::recover(missing).is_err());
+    }
+
+    #[test]
+    fn create_clears_previous_sealed_run() {
+        let dir = tmp_dir("recreate");
+        {
+            let mut store = JsonlStore::create(&dir).unwrap();
+            store.put_step(&sample_step(1)).unwrap();
+            store.seal().unwrap();
+        }
+        {
+            let mut store = JsonlStore::create(&dir).unwrap();
+            store.put_step(&sample_step(2)).unwrap();
+            store.put_step(&sample_step(3)).unwrap();
+            store.seal().unwrap();
+        }
+        let steps = JsonlStore::load_steps(&dir).unwrap();
+        assert_eq!(steps.len(), 2, "old sealed stream must not leak through");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn boxed_dyn_store_delegates() {
+        let mut store: Box<dyn RecordStore> = Box::new(InMemoryStore::new());
+        store.put_step(&sample_step(1)).unwrap();
+        store.put_window(&sample_window()).unwrap();
+        store.flush().unwrap();
+        store.seal().unwrap();
+        store.set_meta("m", "d");
     }
 }

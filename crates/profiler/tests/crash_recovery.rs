@@ -1,0 +1,229 @@
+//! Crash-tolerance integration tests: kill the writer at injected points,
+//! reload the record directory, and check the recovered prefix against
+//! what the store had acknowledged — plus property tests that the
+//! retry/spill layer never loses an acknowledged record.
+
+use proptest::prelude::*;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use tpupoint_profiler::{
+    FaultConfig, FaultStore, InMemoryStore, JsonlStore, RecordStore, RetryPolicy, RetryStore,
+    StepRecord, WindowRecord,
+};
+use tpupoint_simcore::{OpId, SimDuration, SimTime, Track};
+
+fn step(n: u64) -> StepRecord {
+    let mut r = StepRecord::new(n);
+    r.absorb(
+        OpId((n % 3) as u32),
+        Track::TpuCore(0),
+        SimTime::from_micros(n * 10),
+        SimDuration::from_micros(7),
+        SimDuration::from_micros(2),
+    );
+    r
+}
+
+fn window(i: u64) -> WindowRecord {
+    WindowRecord {
+        index: i,
+        start: SimTime::from_micros(i * 100),
+        end: SimTime::from_micros(i * 100 + 100),
+        events: 5,
+        tpu_busy: SimDuration::from_micros(60),
+        mxu_busy: SimDuration::from_micros(20),
+        first_step: i,
+        last_step: i + 1,
+    }
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tpupoint-crash-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Writes `total` records, flushing after every `flush_every`, then
+/// "kills" the writer at `kill_after` records: the store is leaked so no
+/// destructor flushes buffered data, exactly like a `kill -9`.
+fn crash_writer(dir: &Path, total: u64, flush_every: u64, kill_after: u64) -> u64 {
+    let mut store = JsonlStore::create(dir).unwrap();
+    store.set_meta("crash-model", "crash-data");
+    let mut flushed = 0;
+    for n in 0..total.min(kill_after) {
+        store.put_step(&step(n)).unwrap();
+        if (n + 1) % flush_every == 0 {
+            store.flush().unwrap();
+            flushed = n + 1;
+        }
+    }
+    // The crash: no flush, no seal, no Drop (which would flush buffers).
+    std::mem::forget(store);
+    flushed
+}
+
+#[test]
+fn kill_points_recover_at_least_the_acknowledged_prefix() {
+    for (tag, kill_after) in [("k3", 3u64), ("k10", 10), ("k17", 17), ("k29", 29)] {
+        let dir = tmp_dir(tag);
+        let flushed = crash_writer(&dir, 30, 5, kill_after);
+
+        let summary = JsonlStore::recover(&dir).unwrap();
+        assert!(!summary.sealed_files, "crashed run leaves .part streams");
+        assert_eq!(
+            summary.missing_acknowledged(),
+            (0, 0),
+            "every flushed record must survive the crash at {kill_after}"
+        );
+        assert!(
+            summary.steps.len() as u64 >= flushed,
+            "recovered {} < acknowledged {flushed}",
+            summary.steps.len()
+        );
+        // The recovered records are exactly the written prefix, in order.
+        for (i, r) in summary.steps.iter().enumerate() {
+            assert_eq!(r, &step(i as u64));
+        }
+        let manifest = summary.manifest.as_ref().expect("manifest survives");
+        assert!(!manifest.sealed);
+        assert_eq!(manifest.model, "crash-model");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+#[test]
+fn torn_tail_after_crash_is_skipped_not_fatal() {
+    let dir = tmp_dir("torn");
+    let flushed = crash_writer(&dir, 12, 4, 12);
+    assert_eq!(flushed, 12);
+    // The kill tore the final line mid-write.
+    let mut f = std::fs::OpenOptions::new()
+        .append(true)
+        .open(dir.join("steps.jsonl.part"))
+        .unwrap();
+    f.write_all(b"{\"step\":99,\"ops\":{\"trunc").unwrap();
+    drop(f);
+
+    let summary = JsonlStore::recover(&dir).unwrap();
+    assert_eq!(summary.steps.len(), 12);
+    assert_eq!(summary.skipped_step_lines, 1);
+    assert!(summary.is_torn());
+    assert_eq!(summary.missing_acknowledged(), (0, 0));
+    // The salvage is analyzable: profile shape survives.
+    let profile = summary.to_profile();
+    assert_eq!(profile.model, "crash-model");
+    assert_eq!(profile.steps.len(), 12);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn crash_behind_retry_layer_still_recovers_acknowledged_records() {
+    let dir = tmp_dir("retry-chain");
+    let jsonl = JsonlStore::create(&dir).unwrap();
+    let fault = FaultStore::new(
+        jsonl,
+        FaultConfig {
+            error_probability: 0.3,
+            seed: 21,
+            ..FaultConfig::default()
+        },
+    );
+    let mut store = RetryStore::with_policy(
+        fault,
+        RetryPolicy {
+            max_retries: 10,
+            ..RetryPolicy::default()
+        },
+    );
+    for n in 0..20 {
+        store.put_step(&step(n)).unwrap();
+    }
+    for i in 0..3 {
+        store.put_window(&window(i)).unwrap();
+    }
+    store.inner_mut().set_error_probability(0.0);
+    store.flush().unwrap();
+    assert_eq!(store.spilled_pending(), 0);
+    // Crash after the flush: leak the whole chain, no seal.
+    std::mem::forget(store);
+
+    let summary = JsonlStore::recover(&dir).unwrap();
+    assert_eq!(summary.missing_acknowledged(), (0, 0));
+    assert_eq!(summary.steps.len(), 20);
+    assert_eq!(summary.windows.len(), 3);
+    let recovered: Vec<u64> = summary.steps.iter().map(|r| r.step).collect();
+    assert_eq!(recovered, (0..20).collect::<Vec<_>>());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+proptest! {
+    /// Whatever the fault rate, seed, or record count: every put the
+    /// retry layer acknowledges is delivered (in order) once the backing
+    /// store recovers — no acknowledged record is ever lost.
+    #[test]
+    fn retry_over_faults_never_loses_an_acknowledged_record(
+        prob in 0u32..90,
+        seed in 0u64..50,
+        n in 1u64..60,
+    ) {
+        let fault = FaultStore::new(
+            InMemoryStore::new(),
+            FaultConfig {
+                error_probability: f64::from(prob) / 100.0,
+                seed,
+                ..FaultConfig::default()
+            },
+        );
+        let mut store = RetryStore::with_policy(
+            fault,
+            RetryPolicy { max_retries: 3, seed, ..RetryPolicy::default() },
+        );
+        for i in 0..n {
+            // The resilient layer acknowledges every put.
+            prop_assert!(store.put_step(&step(i)).is_ok());
+        }
+        // The backing store comes back; the final flush must drain all.
+        store.inner_mut().set_error_probability(0.0);
+        prop_assert!(store.flush().is_ok());
+        prop_assert_eq!(store.spilled_pending(), 0);
+        let delivered: Vec<u64> =
+            store.inner().inner().steps().iter().map(|r| r.step).collect();
+        prop_assert_eq!(delivered, (0..n).collect::<Vec<_>>());
+    }
+
+    /// A flushed JSONL stream plus arbitrary appended garbage always
+    /// recovers the full acknowledged prefix.
+    #[test]
+    fn any_garbage_tail_recovers_the_flushed_prefix(
+        n in 1u64..25,
+        garbage in proptest::collection::vec(0u32..256, 1usize..64),
+    ) {
+        let dir = std::env::temp_dir().join(format!(
+            "tpupoint-crash-prop-{}-{n}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut store = JsonlStore::create(&dir).unwrap();
+        for i in 0..n {
+            store.put_step(&step(i)).unwrap();
+        }
+        store.flush().unwrap();
+        std::mem::forget(store);
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(dir.join("steps.jsonl.part"))
+            .unwrap();
+        // Never a bare newline first: garbage joins the (empty) last line.
+        let garbage: Vec<u8> = garbage.iter().map(|&b| b as u8).collect();
+        f.write_all(b"{").unwrap();
+        f.write_all(&garbage).unwrap();
+        drop(f);
+
+        let summary = JsonlStore::recover(&dir).unwrap();
+        prop_assert_eq!(summary.missing_acknowledged(), (0, 0));
+        prop_assert!(summary.steps.len() as u64 >= n);
+        let recovered: Vec<u64> = summary.steps.iter().map(|r| r.step).collect();
+        prop_assert_eq!(&recovered[..n as usize], &(0..n).collect::<Vec<_>>()[..]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -5,7 +5,10 @@ use std::io;
 use std::path::{Path, PathBuf};
 use tpupoint_analyzer::{checkpoint::PhaseCheckpoint, Analyzer, AnalyzerOptions, PhaseSet};
 use tpupoint_optimizer::{OptimizerReport, TpuPointOptimizer};
-use tpupoint_profiler::{JsonlStore, Profile, ProfilerOptions, ProfilerSink};
+use tpupoint_profiler::{
+    FaultConfig, FaultStore, JsonlStore, Profile, ProfilerOptions, ProfilerSink, RecordStore,
+    RetryPolicy, RetryStore,
+};
 use tpupoint_runtime::{JobConfig, RunReport, TrainingJob};
 
 /// A profiled training session: the runtime's ground-truth report plus the
@@ -40,6 +43,9 @@ pub struct TpuPointBuilder {
     ols_threshold: f64,
     profiling_overhead_frac: f64,
     threads: usize,
+    store_retries: u32,
+    store_fault_prob: f64,
+    store_fault_seed: u64,
 }
 
 impl Default for TpuPointBuilder {
@@ -51,6 +57,9 @@ impl Default for TpuPointBuilder {
             ols_threshold: 0.7,
             profiling_overhead_frac: 0.03,
             threads: 0,
+            store_retries: RetryPolicy::default().max_retries,
+            store_fault_prob: 0.0,
+            store_fault_seed: FaultConfig::default().seed,
         }
     }
 }
@@ -92,6 +101,23 @@ impl TpuPointBuilder {
     /// value — only wall time changes.
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Retries per record-store operation before spilling to memory
+    /// (default 3; `0` disables the retry/spill decorator entirely, so
+    /// store failures surface directly in the profile).
+    pub fn store_retries(mut self, retries: u32) -> Self {
+        self.store_retries = retries;
+        self
+    }
+
+    /// Injects faults into the analyzer-mode record store: each store
+    /// operation fails independently with probability `probability`, from
+    /// a stream seeded by `seed` (deterministic replay).
+    pub fn store_fault(mut self, probability: f64, seed: u64) -> Self {
+        self.store_fault_prob = probability.clamp(0.0, 1.0);
+        self.store_fault_seed = seed;
         self
     }
 
@@ -192,11 +218,11 @@ impl TpuPoint {
         let job = TrainingJob::new(config);
         let mut sink = if self.options.analyzer {
             if let Some(dir) = &self.options.output_dir {
-                let store = JsonlStore::create(&dir.join("records"))?;
+                let store = self.build_store(&dir.join("records"))?;
                 ProfilerSink::with_store(
                     job.catalog().clone(),
                     self.options.profiler_options,
-                    Box::new(store),
+                    store,
                 )
             } else {
                 ProfilerSink::new(job.catalog().clone(), self.options.profiler_options)
@@ -209,6 +235,34 @@ impl TpuPoint {
         let profile = sink.finish();
         self.publish_run_gauges(&profile);
         Ok(ProfiledRun { report, profile })
+    }
+
+    /// Builds the analyzer-mode record store: the JSONL backend, wrapped
+    /// in fault injection when configured, wrapped in retry/spill
+    /// resilience unless retries are disabled.
+    fn build_store(&self, dir: &Path) -> io::Result<Box<dyn RecordStore>> {
+        let jsonl = JsonlStore::create(dir)?;
+        let mut store: Box<dyn RecordStore> = Box::new(jsonl);
+        if self.options.store_fault_prob > 0.0 {
+            store = Box::new(FaultStore::new(
+                store,
+                FaultConfig {
+                    error_probability: self.options.store_fault_prob,
+                    seed: self.options.store_fault_seed,
+                    ..FaultConfig::default()
+                },
+            ));
+        }
+        if self.options.store_retries > 0 {
+            store = Box::new(RetryStore::with_policy(
+                store,
+                RetryPolicy {
+                    max_retries: self.options.store_retries,
+                    ..RetryPolicy::default()
+                },
+            ));
+        }
+        Ok(store)
     }
 
     /// Publishes the run-level observability gauges: the modeled
@@ -335,6 +389,44 @@ mod tests {
         assert!(dir.join("records/steps.jsonl").exists());
         assert!(!analysis.ols_phases.is_empty());
         assert_eq!(analysis.phase_checkpoints.len(), analysis.ols_phases.len());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn faulty_store_with_retries_loses_no_acknowledged_record() {
+        let dir = std::env::temp_dir().join(format!("tpupoint-fault-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let tp = TpuPoint::builder()
+            .analyzer(true)
+            .output_dir(&dir)
+            .store_fault(0.5, 7)
+            .store_retries(10)
+            .build();
+        let run = tp.profile(demo()).expect("profiling survives faults");
+        // Every record the profiler produced must be on disk, despite the
+        // 50% per-call failure rate: the retry/spill layer absorbed it all.
+        let summary = tpupoint_profiler::JsonlStore::recover(&dir.join("records"))
+            .expect("records recoverable");
+        assert_eq!(summary.steps.len(), run.profile.steps.len());
+        assert_eq!(summary.windows.len(), run.profile.windows.len());
+        assert!(!summary.is_torn());
+        assert_eq!(run.profile.store_errors, 0, "retries hid the faults");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn faulty_store_without_retries_degrades_the_profile() {
+        let dir = std::env::temp_dir().join(format!("tpupoint-fault-raw-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let tp = TpuPoint::builder()
+            .analyzer(true)
+            .output_dir(&dir)
+            .store_fault(1.0, 7)
+            .store_retries(0)
+            .build();
+        let run = tp.profile(demo()).expect("profiling still completes");
+        assert!(run.profile.store_errors > 0);
+        assert!(run.profile.is_degraded());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
