@@ -35,6 +35,7 @@ pub const ALL: &[&str] = &[
     "ablation_substitution",
     "ablation_seeds",
     "bench_analyzer",
+    "bench_pipeline",
 ];
 
 /// Runs one experiment by id, writing CSVs under `out_dir` and returning a
@@ -66,6 +67,7 @@ pub fn run(id: &str, suite: &Suite, out_dir: &Path) -> io::Result<String> {
         "ablation_substitution" => ablation_substitution(suite, out_dir),
         "ablation_seeds" => ablation_seeds(suite, out_dir),
         "bench_analyzer" => bench_analyzer(suite, out_dir),
+        "bench_pipeline" => bench_pipeline(out_dir),
         other => Err(io::Error::new(
             io::ErrorKind::InvalidInput,
             format!("unknown experiment `{other}`; known: {ALL:?}"),
@@ -865,6 +867,126 @@ fn bench_analyzer(suite: &Suite, out_dir: &Path) -> io::Result<String> {
         ));
     }
     Ok(summary)
+}
+
+/// Pipelined-profiler benchmark: the same throttled record store (a fixed
+/// real sleep per store call, standing in for slow cloud storage) driven
+/// once by the serial sink — every window seal blocks the simulation
+/// thread — and once by the seal pipeline, which hands full windows to the
+/// shared worker pool. The reproduction target is the simulation thread's
+/// wall time: sealing off the critical path must recover (nearly) all of
+/// the store latency while producing byte-identical records. Writes
+/// `BENCH_pipeline.json`.
+fn bench_pipeline(out_dir: &Path) -> io::Result<String> {
+    use std::time::{Duration, Instant};
+    use tpupoint::profiler::{
+        JsonlStore, PipelineConfig, ProfilerSink, RecordStore, ThrottledStore,
+    };
+
+    const THREADS: usize = 4;
+    const THROTTLE_US: u64 = 500;
+    const WINDOW_MAX_EVENTS: u64 = 256;
+    let id = WorkloadId::DcganMnist;
+    let config = build(id, TpuGeneration::V2, &BuildOptions::default());
+    let options = ProfilerOptions {
+        window_max_events: WINDOW_MAX_EVENTS,
+        ..ProfilerOptions::default()
+    };
+    let us = |t: Instant| t.elapsed().as_secs_f64() * 1e6;
+    let tmp = std::env::temp_dir().join(format!("tpupoint-bench-pipeline-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&tmp);
+    let throttled = |dir: &Path| -> io::Result<Box<dyn RecordStore + Send>> {
+        Ok(Box::new(ThrottledStore::new(
+            JsonlStore::create(dir)?,
+            Duration::from_micros(THROTTLE_US),
+        )))
+    };
+    tpupoint_par::set_threads(THREADS);
+
+    // Serial lane: every store call runs on the simulation thread.
+    let serial_dir = tmp.join("serial");
+    let job = TrainingJob::new(config.clone());
+    let mut sink =
+        ProfilerSink::with_store(job.catalog().clone(), options, throttled(&serial_dir)?);
+    sink.set_source(&config.model, &config.dataset.name);
+    let t = Instant::now();
+    let serial_report = job.run(&mut sink);
+    let serial_run_us = us(t);
+    let t = Instant::now();
+    let serial_profile = sink.finish();
+    let serial_finish_us = us(t);
+
+    // Pipelined lane: windows seal on pool workers; the high-water mark is
+    // raised past the window count so the simulation thread never waits.
+    let pipelined_dir = tmp.join("pipelined");
+    let job = TrainingJob::new(config.clone());
+    let mut sink = ProfilerSink::with_pipelined_store(
+        job.catalog().clone(),
+        options,
+        throttled(&pipelined_dir)?,
+        PipelineConfig { high_water: 4096 },
+    );
+    sink.set_source(&config.model, &config.dataset.name);
+    let t = Instant::now();
+    let pipelined_report = job.run(&mut sink);
+    let pipelined_run_us = us(t);
+    let t = Instant::now();
+    let pipelined_profile = sink.finish();
+    let pipelined_finish_us = us(t);
+    tpupoint_par::set_threads(0);
+
+    // Off-critical-path sealing must not change a single byte of output.
+    assert_eq!(serial_report, pipelined_report, "run reports diverged");
+    assert_eq!(serial_profile, pipelined_profile, "profiles diverged");
+    for file in ["steps.jsonl", "windows.jsonl"] {
+        let a = std::fs::read(serial_dir.join(file))?;
+        let b = std::fs::read(pipelined_dir.join(file))?;
+        assert!(a == b, "{file} diverged between serial and pipelined lanes");
+        assert!(!a.is_empty(), "{file} empty — throttle saw no traffic");
+    }
+
+    let speedup = serial_run_us / pipelined_run_us.max(1.0);
+    let doc = serde_json::json!({
+        "workload": id.label(),
+        "threads": THREADS,
+        "store_throttle_us_per_op": THROTTLE_US,
+        "window_max_events": WINDOW_MAX_EVENTS,
+        "windows_sealed": serial_profile.windows.len(),
+        "steps_recorded": serial_profile.steps.len(),
+        "simulation_wall": {
+            "serial_us": serial_run_us,
+            "pipelined_us": pipelined_run_us,
+            "speedup": speedup,
+            "target_speedup": 1.2,
+        },
+        "drain_barrier": {
+            "serial_finish_us": serial_finish_us,
+            "pipelined_finish_us": pipelined_finish_us,
+        },
+        "end_to_end": {
+            "serial_us": serial_run_us + serial_finish_us,
+            "pipelined_us": pipelined_run_us + pipelined_finish_us,
+        },
+        "byte_identical": true,
+    });
+    std::fs::create_dir_all(out_dir)?;
+    let json = serde_json::to_string_pretty(&doc).map_err(|e| io::Error::other(e.to_string()))?;
+    std::fs::write(out_dir.join("BENCH_pipeline.json"), json)?;
+    std::fs::remove_dir_all(&tmp)?;
+
+    Ok(format!(
+        "Pipelined-profiler benchmark ({}, {THREADS} threads, {}us/store-op throttle):\n  \
+         simulation wall {:>9.1} ms -> {:>9.1} ms  ({speedup:.2}x, target >= 1.2x)\n  \
+         drain barrier   {:>9.1} ms -> {:>9.1} ms  (finish: steps + remaining queue)\n  \
+         {} windows sealed, records byte-identical across lanes\n",
+        id.label(),
+        THROTTLE_US,
+        serial_run_us / 1e3,
+        pipelined_run_us / 1e3,
+        serial_finish_us / 1e3,
+        pipelined_finish_us / 1e3,
+        serial_profile.windows.len(),
+    ))
 }
 
 #[cfg(test)]

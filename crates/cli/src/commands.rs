@@ -20,11 +20,15 @@ USAGE:
   tpupoint profile --workload <id> [--generation v2|v3] [--scale F]
                    [--seed N] [--naive] [--out DIR] [--store-retries N]
                    [--store-fault-prob F] [--store-fault-seed N]
+                   [--pipeline-profiler]
       Simulate and profile a training session; writes <DIR>/profile.json.
       --store-retries bounds record-store retries before spilling to
       memory (default 3; 0 disables resilience). --store-fault-prob
       injects store failures with the given per-call probability
       (deterministic under --store-fault-seed) to exercise that path.
+      --pipeline-profiler seals windows off the simulation thread on the
+      shared worker pool (TPUPOINT_THREADS); the recorded output is
+      byte-identical to the default serial path.
 
   tpupoint analyze <profile.json> [--algorithm ols|kmeans|dbscan]
                    [--threshold F] [--k N] [--min-samples N] [--out DIR]
@@ -146,7 +150,7 @@ fn profile(argv: &[String]) -> Result<(), String> {
         "store-fault-prob",
         "store-fault-seed",
     ]);
-    let args = Args::parse(argv, &options, &["naive"])?;
+    let args = Args::parse(argv, &options, &["naive", "pipeline-profiler"])?;
     let session = ObsSession::start(&args)?;
     let config = build_from_args(&args)?;
     let out: PathBuf = args.get("out").unwrap_or("tpupoint-out").into();
@@ -161,6 +165,7 @@ fn profile(argv: &[String]) -> Result<(), String> {
         .output_dir(&out)
         .store_retries(args.get_or("store-retries", 3)?)
         .store_fault(fault_prob, args.get_or("store-fault-seed", 0xFA117)?)
+        .pipeline_profiler(args.flag("pipeline-profiler"))
         .build();
     let run = tp
         .profile(config)

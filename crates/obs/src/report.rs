@@ -70,11 +70,30 @@ pub struct StoreHealth {
     /// Spill-queue depth at snapshot time; nonzero means records were
     /// still awaiting delivery when the run ended.
     pub spill_depth: u64,
+    /// Oldest spilled records shed when the bounded spill queue hit its
+    /// high-water mark during a sustained outage.
+    pub records_shed: u64,
     /// Total simulated retry backoff, microseconds.
     pub backoff_us: u64,
-    /// True when nothing is pending delivery: either no faults occurred,
-    /// or the retry/spill layer absorbed all of them.
+    /// True when nothing is pending delivery or lost: no faults occurred,
+    /// or the retry/spill layer absorbed all of them without shedding.
     pub lossless: bool,
+}
+
+/// Health of the pipelined (off-critical-path) seal queue.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineHealth {
+    /// Store operations drained by pipeline workers.
+    pub ops_drained: u64,
+    /// Total time spent applying drained operations, microseconds.
+    pub drain_us: u64,
+    /// Mean per-operation drain latency, microseconds.
+    pub mean_latency_us: f64,
+    /// Times the simulation thread blocked on the queue's high-water mark.
+    pub backpressure_waits: u64,
+    /// Seal-queue depth at snapshot time; nonzero means the snapshot was
+    /// taken before the drain barrier.
+    pub queue_depth: u64,
 }
 
 /// Summary computed from a [`MetricsSnapshot`]; see the module docs.
@@ -92,6 +111,8 @@ pub struct ObsReport {
     pub window_health: Option<WindowHealth>,
     /// Record-store resilience health, when store metrics are present.
     pub store_health: Option<StoreHealth>,
+    /// Seal-pipeline health, when the pipelined profiler ran.
+    pub pipeline_health: Option<PipelineHealth>,
 }
 
 impl ObsReport {
@@ -155,17 +176,28 @@ impl ObsReport {
         let store_health = has_store_metrics.then(|| {
             let errors = counter("profiler.store_errors");
             let spill_depth = gauge("profiler.store_spill_depth").unwrap_or(0.0) as u64;
+            let records_shed = counter("profiler.records_shed");
             StoreHealth {
                 errors,
                 retries: counter("profiler.store_retries"),
                 records_spilled: counter("profiler.records_spilled"),
                 spill_depth,
+                records_shed,
                 backoff_us: snapshot
                     .histograms
                     .get("profiler.store_backoff_us")
                     .map_or(0, |h| h.sum),
-                lossless: spill_depth == 0,
+                lossless: spill_depth == 0 && records_shed == 0,
             }
+        });
+
+        let seal_latency = snapshot.histograms.get("profiler.seal_latency_us");
+        let pipeline_health = seal_latency.map(|latency| PipelineHealth {
+            ops_drained: latency.count,
+            drain_us: latency.sum,
+            mean_latency_us: latency.mean(),
+            backpressure_waits: counter("profiler.seal_backpressure_waits"),
+            queue_depth: gauge("profiler.seal_queue_depth").unwrap_or(0.0) as u64,
         });
 
         ObsReport {
@@ -174,6 +206,7 @@ impl ObsReport {
             overhead_ratio: gauge("profiler.overhead_ratio"),
             window_health,
             store_health,
+            pipeline_health,
         }
     }
 
@@ -245,15 +278,16 @@ impl ObsReport {
             Some(store) => {
                 let _ = writeln!(
                     out,
-                    "record store:    {} errors, {} retries, {} spilled (pending {}) -> {}",
+                    "record store:    {} errors, {} retries, {} spilled (pending {}, shed {}) -> {}",
                     store.errors,
                     store.retries,
                     store.records_spilled,
                     store.spill_depth,
+                    store.records_shed,
                     if store.lossless {
                         "lossless"
                     } else {
-                        "RECORDS PENDING"
+                        "RECORDS LOST OR PENDING"
                     }
                 );
                 if store.backoff_us > 0 {
@@ -265,6 +299,18 @@ impl ObsReport {
                 }
             }
             None => out.push_str("record store:    (no store activity)\n"),
+        }
+
+        if let Some(pipeline) = &self.pipeline_health {
+            let _ = writeln!(
+                out,
+                "seal pipeline:   {} ops drained in {} ({}/op), {} backpressure waits, {} queued",
+                pipeline.ops_drained,
+                format_us(pipeline.drain_us),
+                format_us(pipeline.mean_latency_us.round() as u64),
+                pipeline.backpressure_waits,
+                pipeline.queue_depth
+            );
         }
         out
     }
@@ -385,7 +431,49 @@ mod tests {
         let report = ObsReport::from_snapshot(&metrics.snapshot());
         let store = report.store_health.as_ref().expect("store metrics present");
         assert!(!store.lossless);
-        assert!(report.render().contains("RECORDS PENDING"));
+        assert!(report.render().contains("RECORDS LOST OR PENDING"));
+    }
+
+    #[test]
+    fn shed_records_flag_the_store_unhealthy() {
+        let metrics = Metrics::new();
+        metrics.counter("profiler.records_spilled").add(8);
+        metrics.counter("profiler.records_shed").add(5);
+        metrics.gauge("profiler.store_spill_depth").set(0.0);
+        let report = ObsReport::from_snapshot(&metrics.snapshot());
+        let store = report.store_health.as_ref().expect("store metrics present");
+        assert_eq!(store.records_shed, 5);
+        assert!(!store.lossless, "shed records are lost records");
+        assert!(report.render().contains("shed 5"));
+    }
+
+    #[test]
+    fn pipeline_health_summarizes_seal_queue_metrics() {
+        let metrics = Metrics::new();
+        metrics.histogram("profiler.seal_latency_us").record(1_000);
+        metrics.histogram("profiler.seal_latency_us").record(3_000);
+        metrics.counter("profiler.seal_backpressure_waits").add(2);
+        metrics.gauge("profiler.seal_queue_depth").set(0.0);
+        let report = ObsReport::from_snapshot(&metrics.snapshot());
+        let pipeline = report
+            .pipeline_health
+            .as_ref()
+            .expect("seal metrics present");
+        assert_eq!(pipeline.ops_drained, 2);
+        assert_eq!(pipeline.drain_us, 4_000);
+        assert!((pipeline.mean_latency_us - 2_000.0).abs() < 1e-9);
+        assert_eq!(pipeline.backpressure_waits, 2);
+        assert_eq!(pipeline.queue_depth, 0);
+        let text = report.render();
+        assert!(text.contains("seal pipeline:   2 ops drained"), "{text}");
+        assert!(text.contains("2 backpressure waits"), "{text}");
+    }
+
+    #[test]
+    fn pipeline_section_is_omitted_without_seal_metrics() {
+        let report = ObsReport::from_snapshot(&instrumented_snapshot());
+        assert!(report.pipeline_health.is_none());
+        assert!(!report.render().contains("seal pipeline"));
     }
 
     #[test]

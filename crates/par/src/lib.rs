@@ -14,10 +14,14 @@
 //! 2. **No deadlocks under nesting.** A thread waiting on a scope executes
 //!    queued jobs instead of blocking, so `par_map` inside `par_map` (the
 //!    k-sweep calling the parallel assignment step) cannot starve.
-//! 3. **Observability.** Workers register their own trace lanes (real
+//! 3. **Load balance under skew.** `par_map` hands each participant a
+//!    contiguous share and claims size-aware blocks off its front; an idle
+//!    participant steals the tail half of a loaded share (counted by
+//!    `par.steals`), so one expensive region cannot serialize the map.
+//! 4. **Observability.** Workers register their own trace lanes (real
 //!    tids in the Chrome export), and the pool publishes `par.workers` /
-//!    `par.queue_depth` gauges, a `par.tasks` counter, and the
-//!    `span.par.task` duration histogram through [`tpupoint_obs`].
+//!    `par.queue_depth` gauges, `par.tasks` / `par.steals` counters, and
+//!    the `span.par.task` duration histogram through [`tpupoint_obs`].
 //!
 //! The process-wide pool is sized from `TPUPOINT_THREADS` (a positive
 //! integer) or, failing that, `std::thread::available_parallelism()`;

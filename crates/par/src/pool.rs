@@ -1,18 +1,23 @@
 //! The pool itself: fixed workers, a shared FIFO queue, scoped spawns,
-//! and chunked deterministic `par_map`.
+//! and work-stealing deterministic `par_map`.
 
 use std::any::Any;
 use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-/// Chunks handed out per participant in [`ThreadPool::par_map`]; more
-/// than one so a slow chunk does not leave the other participants idle.
-const CHUNKS_PER_PARTICIPANT: usize = 4;
+/// Size-aware claim granularity of [`ThreadPool::par_map`]: each
+/// participant peels blocks of about `n / (participants * this)` indices
+/// off the front of its own range, so per-block bookkeeping stays cheap
+/// while skewed items cannot hide a long tail inside one huge chunk.
+const BLOCKS_PER_PARTICIPANT: usize = 16;
+
+/// Upper bound on one claim block, keeping the final straggler short even
+/// for very large inputs.
+const MAX_BLOCK: usize = 1024;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
@@ -212,7 +217,15 @@ impl ThreadPool {
     }
 
     /// Index-range form of [`ThreadPool::par_map`]: evaluates `f(0..n)`
-    /// with chunked work-claiming and returns results in index order.
+    /// with work-stealing claim ranges and returns results in index order.
+    ///
+    /// Each participant starts with a contiguous share of `0..n` and
+    /// claims size-aware blocks from its front; a participant whose share
+    /// runs dry steals the tail half of another participant's unclaimed
+    /// range (which then becomes its own, further stealable, share). Every
+    /// index is computed exactly once, so the reassembled output is
+    /// bit-identical to the serial map regardless of thread count, skew,
+    /// or steal timing.
     pub fn par_map_index<R, F>(&self, n: usize, f: F) -> Vec<R>
     where
         R: Send,
@@ -221,35 +234,111 @@ impl ThreadPool {
         if self.size <= 1 || n <= 1 {
             return (0..n).map(f).collect();
         }
-        let chunk_len = n.div_ceil(self.size * CHUNKS_PER_PARTICIPANT).max(1);
-        let n_chunks = n.div_ceil(chunk_len);
-        let slots: Vec<Mutex<Option<Vec<R>>>> = (0..n_chunks).map(|_| Mutex::new(None)).collect();
-        let cursor = AtomicUsize::new(0);
-        let work = || loop {
-            let c = cursor.fetch_add(1, Ordering::Relaxed);
-            if c >= n_chunks {
-                break;
+        let participants = self.size.min(n);
+        let block = (n / (participants * BLOCKS_PER_PARTICIPANT)).clamp(1, MAX_BLOCK);
+        let ranges: Vec<RangeQueue> = (0..participants)
+            .map(|p| RangeQueue::new(p * n / participants, (p + 1) * n / participants))
+            .collect();
+        let segments: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::new());
+        let steals = tpupoint_obs::metrics().counter("par.steals");
+        let work = |me: usize| loop {
+            while let Some((start, end)) = ranges[me].claim_front(block) {
+                let out: Vec<R> = (start..end).map(&f).collect();
+                segments.lock().expect("segments").push((start, out));
             }
-            let start = c * chunk_len;
-            let end = ((c + 1) * chunk_len).min(n);
-            let out: Vec<R> = (start..end).map(&f).collect();
-            *slots[c].lock().expect("chunk slot") = Some(out);
+            // Local share exhausted: scan the ring for a victim with
+            // unclaimed work and steal from the tail of its range.
+            let stolen = (1..participants)
+                .map(|offset| (me + offset) % participants)
+                .find_map(|victim| ranges[victim].steal_tail(block));
+            match stolen {
+                Some((start, end)) => {
+                    steals.inc();
+                    ranges[me].refill(start, end);
+                }
+                None => break,
+            }
         };
-        let participants = self.size.min(n_chunks);
+        let work = &work;
         self.scope(|s| {
-            for _ in 1..participants {
-                s.spawn(work);
+            for p in 1..participants {
+                s.spawn(move || work(p));
             }
-            work();
+            work(0);
         });
-        slots
-            .into_iter()
-            .flat_map(|slot| {
-                slot.into_inner()
-                    .expect("chunk slot")
-                    .expect("every chunk was computed")
-            })
-            .collect()
+        let mut segments = segments.into_inner().expect("segments");
+        segments.sort_unstable_by_key(|&(start, _)| start);
+        let out: Vec<R> = segments.into_iter().flat_map(|(_, seg)| seg).collect();
+        assert_eq!(out.len(), n, "every index computed exactly once");
+        out
+    }
+
+    /// Queues a detached `'static` job on the pool. It runs on a worker
+    /// thread (or on any caller helping a scope wait). With no worker
+    /// threads (a pool of one) the job runs inline immediately, since no
+    /// other thread would ever pick it up.
+    pub fn spawn_detached<F>(&self, job: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        if self.workers.is_empty() {
+            run_job(Box::new(job));
+            return;
+        }
+        self.queue.push(Box::new(job));
+    }
+}
+
+/// One participant's range of unclaimed `par_map` indices: the owner
+/// claims blocks from the front, thieves take the tail half.
+struct RangeQueue {
+    /// `(next, end)` — the unclaimed indices are `next..end`.
+    span: Mutex<(usize, usize)>,
+}
+
+impl RangeQueue {
+    fn new(start: usize, end: usize) -> Self {
+        RangeQueue {
+            span: Mutex::new((start, end)),
+        }
+    }
+
+    /// Claims up to `block` indices off the front, for the owner.
+    fn claim_front(&self, block: usize) -> Option<(usize, usize)> {
+        let mut span = self.span.lock().expect("range");
+        if span.0 >= span.1 {
+            return None;
+        }
+        let end = (span.0 + block).min(span.1);
+        let claimed = (span.0, end);
+        span.0 = end;
+        Some(claimed)
+    }
+
+    /// Steals from the tail: the whole remainder when it is small,
+    /// otherwise the back half, leaving the front for the owner (which is
+    /// the half whose cache lines the owner is about to touch anyway).
+    fn steal_tail(&self, block: usize) -> Option<(usize, usize)> {
+        let mut span = self.span.lock().expect("range");
+        let remaining = span.1 - span.0;
+        if remaining == 0 {
+            return None;
+        }
+        let take = if remaining <= 2 * block {
+            remaining
+        } else {
+            remaining / 2
+        };
+        let old_end = span.1;
+        span.1 = old_end - take;
+        Some((old_end - take, old_end))
+    }
+
+    /// Installs a stolen range as the (empty) owner's new share.
+    fn refill(&self, start: usize, end: usize) {
+        let mut span = self.span.lock().expect("range");
+        debug_assert!(span.0 >= span.1, "refill of a non-empty range");
+        *span = (start, end);
     }
 }
 
@@ -317,6 +406,7 @@ impl<'env> Scope<'_, 'env> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
     #[test]
     fn pool_of_one_runs_inline() {
@@ -398,6 +488,69 @@ mod tests {
         });
         let expected: Vec<usize> = (0..4).map(|i| (0..8).map(|j| i * 8 + j).sum()).collect();
         assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn skewed_costs_still_produce_serial_results() {
+        // All the heavy items sit in participant 0's initial share, so the
+        // other participants must steal from its tail to finish.
+        let pool = ThreadPool::new(4);
+        let out = pool.par_map_index(64, |i| {
+            if i < 16 {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            i * 3 + 1
+        });
+        let expected: Vec<usize> = (0..64).map(|i| i * 3 + 1).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn idle_participants_steal_from_loaded_tails() {
+        let pool = ThreadPool::new(4);
+        let before = tpupoint_obs::metrics().counter("par.steals").get();
+        // Participant 0 owns indices 0..16, each 2ms; the rest are free.
+        // The other three participants drain their shares instantly and
+        // must steal to contribute at all.
+        pool.par_map_index(64, |i| {
+            if i < 16 {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            i
+        });
+        let after = tpupoint_obs::metrics().counter("par.steals").get();
+        assert!(
+            after > before,
+            "steals must occur under skew: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn spawn_detached_runs_on_workers() {
+        let pool = ThreadPool::new(2);
+        let flag = Arc::new(AtomicBool::new(false));
+        let seen = Arc::clone(&flag);
+        pool.spawn_detached(move || seen.store(true, Ordering::SeqCst));
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while !flag.load(Ordering::SeqCst) {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "detached job never ran"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn spawn_detached_on_pool_of_one_runs_inline() {
+        let pool = ThreadPool::new(1);
+        let ran = Arc::new(AtomicBool::new(false));
+        let seen = Arc::clone(&ran);
+        pool.spawn_detached(move || seen.store(true, Ordering::SeqCst));
+        assert!(
+            ran.load(Ordering::SeqCst),
+            "no workers: must run immediately"
+        );
     }
 
     #[test]

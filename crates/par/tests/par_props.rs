@@ -51,6 +51,44 @@ proptest! {
     }
 
     #[test]
+    fn skewed_costs_never_change_results(
+        items in proptest::collection::vec(0u64..1_000, 1..200),
+        threads in 1usize..9,
+    ) {
+        let pool = ThreadPool::new(threads);
+        // Cost skew: the item's value drives a variable amount of real
+        // work, so some blocks are far heavier than others and idle
+        // participants must steal to finish — results must not notice.
+        let f = |x: u64| {
+            let mut acc = x;
+            for _ in 0..(x % 64) * 40 {
+                acc = acc
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+            }
+            acc
+        };
+        let serial: Vec<u64> = items.iter().map(|&x| f(x)).collect();
+        prop_assert_eq!(pool.par_map(&items, |_, &x| f(x)), serial);
+    }
+
+    #[test]
+    fn nested_par_map_terminates_with_serial_results(
+        n in 1usize..40,
+        m in 1usize..40,
+        threads in 1usize..9,
+    ) {
+        let pool = ThreadPool::new(threads);
+        let expect: Vec<u64> = (0..n)
+            .map(|i| (0..m).map(|j| (i * m + j) as u64).sum())
+            .collect();
+        let out = pool.par_map_index(n, |i| {
+            pool.par_map_index(m, |j| (i * m + j) as u64).iter().sum::<u64>()
+        });
+        prop_assert_eq!(out, expect);
+    }
+
+    #[test]
     fn any_panicking_item_reaches_the_caller(
         n in 1usize..120,
         seed in 0u64..u64::MAX,

@@ -28,6 +28,7 @@
 //! ```
 
 pub mod audit;
+pub mod pipeline;
 pub mod profile;
 pub mod record;
 pub mod resilience;
@@ -36,9 +37,10 @@ pub mod store;
 pub mod window;
 
 pub use audit::{audit_windows, WindowAudit};
+pub use pipeline::{PipelineConfig, SealPipeline};
 pub use profile::Profile;
 pub use record::{OpStats, StepRecord};
-pub use resilience::{FaultConfig, FaultStore, RetryPolicy, RetryStore};
+pub use resilience::{FaultConfig, FaultStore, RetryPolicy, RetryStore, ThrottledStore};
 pub use sink::{ProfilerOptions, ProfilerSink};
 pub use store::{
     InMemoryStore, JsonlStore, RecordStore, RecoveredLoad, RecoverySummary, StoreManifest,

@@ -8,13 +8,18 @@
 //! - [`RetryStore`] retries each failed operation a bounded number of
 //!   times with deterministic (seeded) exponential backoff, then *spills*
 //!   the record to memory instead of dropping it. Every `put` it
-//!   acknowledges (returns `Ok`) is therefore never lost: the record is
-//!   either in the backing store or in the spill queue, which drains
-//!   opportunistically on later calls and definitively on
-//!   [`RecordStore::flush`]/[`RecordStore::seal`].
+//!   acknowledges (returns `Ok`) is preserved — in the backing store or in
+//!   the spill queue, which drains opportunistically on later calls and
+//!   definitively on [`RecordStore::flush`]/[`RecordStore::seal`] — up to
+//!   the spill queue's high-water mark ([`RetryPolicy::max_spill`]): a
+//!   sustained outage past that point sheds the oldest spilled records,
+//!   counted by `profiler.records_shed`, instead of growing host memory
+//!   without bound.
 //! - [`FaultStore`] injects failures in front of any store — a per-call
 //!   error probability plus periodic "stuck" outage windows — from a
 //!   seeded stream, so fault scenarios replay exactly.
+//! - [`ThrottledStore`] adds real per-operation latency for wall-clock
+//!   benchmarks of the pipelined sealing path.
 //!
 //! Backoff delays are computed and recorded (histogram
 //! `profiler.store_backoff_us`) but not slept: the simulator has no wall
@@ -48,6 +53,13 @@ pub struct RetryPolicy {
     /// [`crate::ProfilerOptions`]'s `fault_seed`, a fixed seed replays the
     /// identical schedule).
     pub seed: u64,
+    /// High-water mark of the spill queue. A sustained outage cannot grow
+    /// host memory without bound: once the queue holds this many records,
+    /// the *oldest* spilled record is shed for each new one (counted by
+    /// `profiler.records_shed`), keeping the freshest tail — the records
+    /// an analyzer of a partially-recorded run can least afford to lose
+    /// are the recent ones that were never flushed anywhere else.
+    pub max_spill: usize,
 }
 
 impl Default for RetryPolicy {
@@ -57,6 +69,7 @@ impl Default for RetryPolicy {
             base_backoff_us: 1_000,
             max_backoff_us: 100_000,
             seed: 0xBAC0FF,
+            max_spill: 100_000,
         }
     }
 }
@@ -72,6 +85,7 @@ struct RetryMetrics {
     errors: Counter,
     retries: Counter,
     spilled: Counter,
+    shed: Counter,
     spill_depth: Gauge,
     backoff_us: Arc<Histogram>,
 }
@@ -83,6 +97,7 @@ impl RetryMetrics {
             errors: metrics.counter("profiler.store_errors"),
             retries: metrics.counter("profiler.store_retries"),
             spilled: metrics.counter("profiler.records_spilled"),
+            shed: metrics.counter("profiler.records_shed"),
             spill_depth: metrics.gauge("profiler.store_spill_depth"),
             backoff_us: metrics.histogram("profiler.store_backoff_us"),
         }
@@ -95,6 +110,7 @@ pub struct RetryStore<S: RecordStore> {
     policy: RetryPolicy,
     rng: SimRng,
     spill: VecDeque<Spilled>,
+    shed_records: u64,
     total_backoff_us: u64,
     obs: RetryMetrics,
 }
@@ -122,6 +138,7 @@ impl<S: RecordStore> RetryStore<S> {
             policy,
             rng: SimRng::seed_from(policy.seed),
             spill: VecDeque::new(),
+            shed_records: 0,
             total_backoff_us: 0,
             obs: RetryMetrics::new(),
         }
@@ -145,6 +162,14 @@ impl<S: RecordStore> RetryStore<S> {
     /// Records currently spilled to memory, awaiting redelivery.
     pub fn spilled_pending(&self) -> usize {
         self.spill.len()
+    }
+
+    /// Records shed (oldest-first) because the spill queue hit its
+    /// high-water mark during a sustained outage. Shed records were
+    /// acknowledged but are gone: this count is the honest price of the
+    /// bounded queue, surfaced here and as `profiler.records_shed`.
+    pub fn records_shed(&self) -> u64 {
+        self.shed_records
     }
 
     /// Cumulative (simulated) backoff delay across all retries.
@@ -194,6 +219,13 @@ impl<S: RecordStore> RetryStore<S> {
     fn push_spill(&mut self, record: Spilled) {
         self.obs.errors.inc();
         self.obs.spilled.inc();
+        if self.spill.len() >= self.policy.max_spill.max(1) {
+            // High-water mark: shed the oldest record to admit the new
+            // one, keeping the queue bounded through any outage length.
+            self.spill.pop_front();
+            self.shed_records += 1;
+            self.obs.shed.inc();
+        }
         self.spill.push_back(record);
         self.obs.spill_depth.set(self.spill.len() as f64);
     }
@@ -293,6 +325,10 @@ impl<S: RecordStore> RecordStore for RetryStore<S> {
 
     fn set_meta(&mut self, model: &str, dataset: &str) {
         self.inner.set_meta(model, dataset);
+    }
+
+    fn set_catalog(&mut self, names: &[String], uses_mxu: &[bool], on_host: &[bool]) {
+        self.inner.set_catalog(names, uses_mxu, on_host);
     }
 }
 
@@ -430,6 +466,74 @@ impl<S: RecordStore> RecordStore for FaultStore<S> {
 
     fn set_meta(&mut self, model: &str, dataset: &str) {
         self.inner.set_meta(model, dataset);
+    }
+
+    // Metadata calls are not faulted (and not counted against the call
+    // stream): they carry no record payload, so fault scenarios replay
+    // identically whether or not the writer labels its stream.
+    fn set_catalog(&mut self, names: &[String], uses_mxu: &[bool], on_host: &[bool]) {
+        self.inner.set_catalog(names, uses_mxu, on_host);
+    }
+}
+
+/// Adds a fixed *real* (wall-clock) latency to every record operation,
+/// modeling the Cloud Storage round-trip the paper's background recording
+/// thread hides from the training loop. Unlike [`RetryStore`]'s simulated
+/// backoff this decorator actually sleeps, so it belongs in wall-clock
+/// benchmarks (`reproduce bench_pipeline`) and demos — not in the fast
+/// deterministic test suite.
+pub struct ThrottledStore<S: RecordStore> {
+    inner: S,
+    delay: std::time::Duration,
+}
+
+impl<S: RecordStore> std::fmt::Debug for ThrottledStore<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThrottledStore")
+            .field("delay", &self.delay)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<S: RecordStore> ThrottledStore<S> {
+    /// Wraps `inner`, sleeping `delay` before each record operation.
+    pub fn new(inner: S, delay: std::time::Duration) -> Self {
+        ThrottledStore { inner, delay }
+    }
+
+    /// Unwraps the decorator.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: RecordStore> RecordStore for ThrottledStore<S> {
+    fn put_step(&mut self, record: &StepRecord) -> io::Result<()> {
+        std::thread::sleep(self.delay);
+        self.inner.put_step(record)
+    }
+
+    fn put_window(&mut self, record: &WindowRecord) -> io::Result<()> {
+        std::thread::sleep(self.delay);
+        self.inner.put_window(record)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        std::thread::sleep(self.delay);
+        self.inner.flush()
+    }
+
+    fn seal(&mut self) -> io::Result<()> {
+        std::thread::sleep(self.delay);
+        self.inner.seal()
+    }
+
+    fn set_meta(&mut self, model: &str, dataset: &str) {
+        self.inner.set_meta(model, dataset);
+    }
+
+    fn set_catalog(&mut self, names: &[String], uses_mxu: &[bool], on_host: &[bool]) {
+        self.inner.set_catalog(names, uses_mxu, on_host);
     }
 }
 
@@ -585,6 +689,7 @@ mod tests {
                 base_backoff_us: 1_000,
                 max_backoff_us: 50_000,
                 seed: 1,
+                ..RetryPolicy::default()
             },
         );
         store.put_step(&step(1)).unwrap();

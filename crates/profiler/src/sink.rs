@@ -1,5 +1,6 @@
 //! The profiling sink: online aggregation of the event stream.
 
+use crate::pipeline::{PipelineConfig, SealPipeline};
 use crate::profile::Profile;
 use crate::record::StepRecord;
 use crate::store::RecordStore;
@@ -71,6 +72,15 @@ impl Default for ProfilerOptions {
     }
 }
 
+/// How sealed records reach the attached store: directly on the
+/// simulation thread, or through the bounded [`SealPipeline`] drained by
+/// `tpupoint-par` workers. Both lanes issue the identical operation
+/// sequence, so the sealed output is byte-for-byte the same.
+enum StoreLane {
+    Serial(Box<dyn RecordStore + Send>),
+    Pipelined(SealPipeline),
+}
+
 /// A [`TraceSink`] that builds statistical profile records online.
 ///
 /// Attach to a [`tpupoint_runtime::TrainingJob`] run; call
@@ -85,7 +95,7 @@ pub struct ProfilerSink {
     current: Option<WindowRecord>,
     step_marks: Vec<(u64, SimTime)>,
     checkpoints: Vec<(u64, SimTime)>,
-    store: Option<Box<dyn RecordStore>>,
+    store: Option<StoreLane>,
     events_seen: u64,
     op_on_host: Vec<bool>,
     fault_rng: SimRng,
@@ -136,24 +146,65 @@ impl ProfilerSink {
     }
 
     /// Creates a sink that additionally streams sealed records to `store`
-    /// (the analyzer-mode recording thread).
+    /// (the analyzer-mode recording thread), writing on the simulation
+    /// thread.
     pub fn with_store(
         catalog: OpCatalog,
         options: ProfilerOptions,
-        store: Box<dyn RecordStore>,
+        store: Box<dyn RecordStore + Send>,
     ) -> Self {
         let mut sink = Self::new(catalog, options);
-        sink.store = Some(store);
+        sink.store = Some(StoreLane::Serial(store));
         sink
     }
 
+    /// Creates a sink whose store operations are queued on a bounded
+    /// [`SealPipeline`] and drained by `tpupoint-par` workers, keeping
+    /// record encoding and storage writes off the simulation thread. The
+    /// sealed output is byte-identical to [`ProfilerSink::with_store`].
+    pub fn with_pipelined_store(
+        catalog: OpCatalog,
+        options: ProfilerOptions,
+        store: Box<dyn RecordStore + Send>,
+        config: PipelineConfig,
+    ) -> Self {
+        let mut sink = Self::new(catalog, options);
+        sink.store = Some(StoreLane::Pipelined(SealPipeline::new(store, config)));
+        sink
+    }
+
+    /// The catalog as parallel name/uses-MXU columns, for persistence.
+    fn catalog_columns(&self) -> (Vec<String>, Vec<bool>) {
+        let names: Vec<String> = self.catalog.iter().map(|(_, n)| n.to_owned()).collect();
+        let uses_mxu: Vec<bool> = self
+            .catalog
+            .iter()
+            .map(|(id, _)| self.catalog.attrs(id).uses_mxu)
+            .collect();
+        (names, uses_mxu)
+    }
+
     /// Labels the profile with its model/dataset (purely informational);
-    /// forwarded to the store's manifest when one is attached.
+    /// forwarded to the store's manifest when one is attached, along with
+    /// the op-name catalog so even a crashed run recovers real operator
+    /// names.
     pub fn set_source(&mut self, model: &str, dataset: &str) {
         self.model = model.to_owned();
         self.dataset = dataset.to_owned();
-        if let Some(store) = self.store.as_mut() {
-            store.set_meta(model, dataset);
+        let (names, uses_mxu) = self.catalog_columns();
+        // Host placement is learned during the run; until then every op
+        // defaults to host, matching the finished profile's default.
+        let on_host = vec![true; names.len()];
+        match self.store.as_mut() {
+            Some(StoreLane::Serial(store)) => {
+                store.set_meta(model, dataset);
+                store.set_catalog(&names, &uses_mxu, &on_host);
+            }
+            Some(StoreLane::Pipelined(pipeline)) => {
+                pipeline.set_meta(model, dataset);
+                pipeline.set_catalog(names, uses_mxu, on_host);
+            }
+            None => {}
         }
     }
 
@@ -193,10 +244,19 @@ impl ProfilerSink {
             self.obs
                 .window_span_us
                 .record(window.end.saturating_since(window.start).as_micros());
-            if let Some(store) = self.store.as_mut() {
-                // Recording failures must not kill the training run, but
-                // they are counted and surfaced via the profile.
-                let result = store.put_window(&window);
+            // Recording failures must not kill the training run, but they
+            // are counted and surfaced via the profile. On the pipelined
+            // lane the write happens on a pool worker; its result is
+            // merged into the same accounting at the finish barrier.
+            let serial_result = match self.store.as_mut() {
+                Some(StoreLane::Serial(store)) => Some(store.put_window(&window)),
+                Some(StoreLane::Pipelined(pipeline)) => {
+                    pipeline.put_window(&window);
+                    None
+                }
+                None => None,
+            };
+            if let Some(result) = serial_result {
                 self.note_store_result("put_window", result);
             }
             self.windows.push(window);
@@ -235,27 +295,40 @@ impl ProfilerSink {
     }
 
     /// Seals the final window and returns the finished profile, sorted by
-    /// step number. Also flushes the store, if any.
+    /// step number. Also seals the store, if any; on the pipelined lane
+    /// this is the drain barrier — it returns only after every queued
+    /// operation reached the store, so the profile's error accounting is
+    /// identical to the serial lane's.
     pub fn finish(mut self) -> Profile {
         self.seal_window();
         let mut steps: Vec<StepRecord> = std::mem::take(&mut self.steps).into_values().collect();
         steps.sort_by_key(|r| r.step);
-        if let Some(mut store) = self.store.take() {
-            for record in &steps {
-                let result = store.put_step(record);
-                self.note_store_result("put_step", result);
-            }
-            let result = store.seal();
-            self.note_store_result("seal", result);
-        }
-        let op_names: Vec<String> = self.catalog.iter().map(|(_, n)| n.to_owned()).collect();
-        let op_uses_mxu: Vec<bool> = self
-            .catalog
-            .iter()
-            .map(|(id, _)| self.catalog.attrs(id).uses_mxu)
-            .collect();
-        let mut op_on_host = self.op_on_host;
+        let (op_names, op_uses_mxu) = self.catalog_columns();
+        let mut op_on_host = std::mem::take(&mut self.op_on_host);
         op_on_host.resize(op_names.len(), true);
+        match self.store.take() {
+            Some(StoreLane::Serial(mut store)) => {
+                store.set_catalog(&op_names, &op_uses_mxu, &op_on_host);
+                for record in &steps {
+                    let result = store.put_step(record);
+                    self.note_store_result("put_step", result);
+                }
+                let result = store.seal();
+                self.note_store_result("seal", result);
+            }
+            Some(StoreLane::Pipelined(pipeline)) => {
+                pipeline.set_catalog(op_names.clone(), op_uses_mxu.clone(), op_on_host.clone());
+                for record in &steps {
+                    pipeline.put_step(record);
+                }
+                pipeline.seal();
+                pipeline.wait_idle();
+                for (what, err) in pipeline.take_errors() {
+                    self.note_store_result(what, Err(err));
+                }
+            }
+            None => {}
+        }
         Profile {
             model: self.model,
             dataset: self.dataset,

@@ -69,29 +69,48 @@ pub trait RecordStore {
     /// Labels the stream with its source model/dataset (informational;
     /// defaults to a no-op).
     fn set_meta(&mut self, _model: &str, _dataset: &str) {}
+
+    /// Persists the op-name catalog alongside the records, so a crashed
+    /// run can be recovered with real operator names instead of `op<N>`
+    /// placeholders. Defaults to a no-op for backends with no sidecar
+    /// metadata.
+    fn set_catalog(&mut self, _names: &[String], _uses_mxu: &[bool], _on_host: &[bool]) {}
 }
 
-impl RecordStore for Box<dyn RecordStore> {
-    fn put_step(&mut self, record: &StepRecord) -> io::Result<()> {
-        (**self).put_step(record)
-    }
+macro_rules! impl_record_store_for_box {
+    ($ty:ty) => {
+        impl RecordStore for $ty {
+            fn put_step(&mut self, record: &StepRecord) -> io::Result<()> {
+                (**self).put_step(record)
+            }
 
-    fn put_window(&mut self, record: &WindowRecord) -> io::Result<()> {
-        (**self).put_window(record)
-    }
+            fn put_window(&mut self, record: &WindowRecord) -> io::Result<()> {
+                (**self).put_window(record)
+            }
 
-    fn flush(&mut self) -> io::Result<()> {
-        (**self).flush()
-    }
+            fn flush(&mut self) -> io::Result<()> {
+                (**self).flush()
+            }
 
-    fn seal(&mut self) -> io::Result<()> {
-        (**self).seal()
-    }
+            fn seal(&mut self) -> io::Result<()> {
+                (**self).seal()
+            }
 
-    fn set_meta(&mut self, model: &str, dataset: &str) {
-        (**self).set_meta(model, dataset);
-    }
+            fn set_meta(&mut self, model: &str, dataset: &str) {
+                (**self).set_meta(model, dataset);
+            }
+
+            fn set_catalog(&mut self, names: &[String], uses_mxu: &[bool], on_host: &[bool]) {
+                (**self).set_catalog(names, uses_mxu, on_host);
+            }
+        }
+    };
 }
+
+impl_record_store_for_box!(Box<dyn RecordStore>);
+// The `+ Send` trait object is what the pipelined sealing path hands to
+// pool workers; see [`crate::pipeline`].
+impl_record_store_for_box!(Box<dyn RecordStore + Send>);
 
 /// Buffers records in memory (the profiler's optimizer mode).
 #[derive(Debug, Default)]
@@ -153,6 +172,18 @@ pub struct StoreManifest {
     /// Whether the stream was sealed by a clean shutdown.
     #[serde(default)]
     pub sealed: bool,
+    /// Op names indexed by op id, persisted so recovery can label the
+    /// records of a crashed run. Empty for streams written before the
+    /// catalog was recorded.
+    #[serde(default)]
+    pub op_names: Vec<String>,
+    /// Whether each op drives the MXUs, indexed like `op_names`.
+    #[serde(default)]
+    pub op_uses_mxu: Vec<bool>,
+    /// Whether each op was observed on the host side, indexed like
+    /// `op_names`.
+    #[serde(default)]
+    pub op_on_host: Vec<bool>,
 }
 
 /// One tolerant JSONL load: the valid record prefix plus how many trailing
@@ -211,11 +242,13 @@ impl RecoverySummary {
     /// Reconstructs a best-effort [`Profile`] from the recovered records,
     /// good enough for the analyzer to cluster phases.
     ///
-    /// The op-name catalog is not persisted with the records, so op names
-    /// are synthesized as `op<N>` placeholders. Step marks are synthesized
-    /// from the step records themselves (every step's last event end);
-    /// when three or more records survive, the highest step is treated as
-    /// the session-shutdown record, mirroring a live profile's shape.
+    /// The op catalog comes from the manifest when the writer persisted
+    /// one ([`RecordStore::set_catalog`]); ops beyond it — or all ops, for
+    /// streams recorded before the catalog was stored — fall back to
+    /// `op<N>` placeholders. Step marks are synthesized from the step
+    /// records themselves (every step's last event end); when three or
+    /// more records survive, the highest step is treated as the
+    /// session-shutdown record, mirroring a live profile's shape.
     pub fn to_profile(&self) -> Profile {
         let op_count = self
             .steps
@@ -236,12 +269,21 @@ impl RecoverySummary {
             .map(|r| (r.step, r.last_end))
             .collect();
         let manifest = self.manifest.clone().unwrap_or_default();
+        let op_count = op_count.max(manifest.op_names.len());
+        let mut op_names = manifest.op_names;
+        for i in op_names.len()..op_count {
+            op_names.push(format!("op{i}"));
+        }
+        let mut op_uses_mxu = manifest.op_uses_mxu;
+        op_uses_mxu.resize(op_count, false);
+        let mut op_on_host = manifest.op_on_host;
+        op_on_host.resize(op_count, true);
         Profile {
             model: manifest.model,
             dataset: manifest.dataset,
-            op_names: (0..op_count).map(|i| format!("op{i}")).collect(),
-            op_uses_mxu: vec![false; op_count],
-            op_on_host: vec![true; op_count],
+            op_names,
+            op_uses_mxu,
+            op_on_host,
             steps: self.steps.clone(),
             windows: self.windows.clone(),
             step_marks,
@@ -505,6 +547,15 @@ impl RecordStore for JsonlStore {
         // Persist right away so a crash before the first flush still
         // leaves a labeled manifest. Best-effort: a failure here recurs
         // (and is counted) at the next flush, which rewrites the manifest.
+        let _ = self.write_manifest();
+    }
+
+    fn set_catalog(&mut self, names: &[String], uses_mxu: &[bool], on_host: &[bool]) {
+        self.manifest.op_names = names.to_vec();
+        self.manifest.op_uses_mxu = uses_mxu.to_vec();
+        self.manifest.op_on_host = on_host.to_vec();
+        // Same best-effort persistence as set_meta: a crash at any later
+        // point must still recover real operator names.
         let _ = self.write_manifest();
     }
 }

@@ -137,6 +137,10 @@ impl TrainingJob {
         assert!(!plan.is_empty(), "job must have at least one step");
         let _span =
             tpupoint_obs::span!("runtime.job", steps = plan.len(), model = c.model.as_str());
+        // Host (real) wall time of the simulation loop, published as a
+        // gauge rather than a report field: RunReport is compared for
+        // bit-identity across runs, and wall clocks never agree twice.
+        let host_wall_start = std::time::Instant::now();
         let metrics = shared_metrics();
         let mut engine = Engine::new(c.seed);
 
@@ -284,6 +288,9 @@ impl TrainingJob {
             .session_end
             .unwrap_or_else(|| panic!("session for `{}` never shut down (deadlock?)", c.model));
         let steady_window = m.steady_window().unwrap_or(SimDuration::ZERO);
+        tpupoint_obs::metrics()
+            .gauge("runtime.host_wall_us")
+            .set(host_wall_start.elapsed().as_micros() as f64);
         let digest = c.output_digest();
         RunReport {
             model: c.model.clone(),

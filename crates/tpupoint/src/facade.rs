@@ -6,8 +6,8 @@ use std::path::{Path, PathBuf};
 use tpupoint_analyzer::{checkpoint::PhaseCheckpoint, Analyzer, AnalyzerOptions, PhaseSet};
 use tpupoint_optimizer::{OptimizerReport, TpuPointOptimizer};
 use tpupoint_profiler::{
-    FaultConfig, FaultStore, JsonlStore, Profile, ProfilerOptions, ProfilerSink, RecordStore,
-    RetryPolicy, RetryStore,
+    FaultConfig, FaultStore, JsonlStore, PipelineConfig, Profile, ProfilerOptions, ProfilerSink,
+    RecordStore, RetryPolicy, RetryStore,
 };
 use tpupoint_runtime::{JobConfig, RunReport, TrainingJob};
 
@@ -46,6 +46,7 @@ pub struct TpuPointBuilder {
     store_retries: u32,
     store_fault_prob: f64,
     store_fault_seed: u64,
+    pipeline_profiler: bool,
 }
 
 impl Default for TpuPointBuilder {
@@ -60,6 +61,7 @@ impl Default for TpuPointBuilder {
             store_retries: RetryPolicy::default().max_retries,
             store_fault_prob: 0.0,
             store_fault_seed: FaultConfig::default().seed,
+            pipeline_profiler: false,
         }
     }
 }
@@ -118,6 +120,16 @@ impl TpuPointBuilder {
     pub fn store_fault(mut self, probability: f64, seed: u64) -> Self {
         self.store_fault_prob = probability.clamp(0.0, 1.0);
         self.store_fault_seed = seed;
+        self
+    }
+
+    /// Moves analyzer-mode window sealing off the simulation thread: full
+    /// windows are handed to a bounded queue drained by the shared
+    /// [`tpupoint_par`] pool, so the training loop never blocks on the
+    /// record store. Sealed output is byte-identical to the serial path
+    /// for any thread count.
+    pub fn pipeline_profiler(mut self, enabled: bool) -> Self {
+        self.pipeline_profiler = enabled;
         self
     }
 
@@ -219,11 +231,20 @@ impl TpuPoint {
         let mut sink = if self.options.analyzer {
             if let Some(dir) = &self.options.output_dir {
                 let store = self.build_store(&dir.join("records"))?;
-                ProfilerSink::with_store(
-                    job.catalog().clone(),
-                    self.options.profiler_options,
-                    store,
-                )
+                if self.options.pipeline_profiler {
+                    ProfilerSink::with_pipelined_store(
+                        job.catalog().clone(),
+                        self.options.profiler_options,
+                        store,
+                        PipelineConfig::default(),
+                    )
+                } else {
+                    ProfilerSink::with_store(
+                        job.catalog().clone(),
+                        self.options.profiler_options,
+                        store,
+                    )
+                }
             } else {
                 ProfilerSink::new(job.catalog().clone(), self.options.profiler_options)
             }
@@ -240,9 +261,9 @@ impl TpuPoint {
     /// Builds the analyzer-mode record store: the JSONL backend, wrapped
     /// in fault injection when configured, wrapped in retry/spill
     /// resilience unless retries are disabled.
-    fn build_store(&self, dir: &Path) -> io::Result<Box<dyn RecordStore>> {
+    fn build_store(&self, dir: &Path) -> io::Result<Box<dyn RecordStore + Send>> {
         let jsonl = JsonlStore::create(dir)?;
-        let mut store: Box<dyn RecordStore> = Box::new(jsonl);
+        let mut store: Box<dyn RecordStore + Send> = Box::new(jsonl);
         if self.options.store_fault_prob > 0.0 {
             store = Box::new(FaultStore::new(
                 store,

@@ -76,6 +76,48 @@ fn thread_count_never_changes_analysis_results() {
 }
 
 #[test]
+fn pipelined_profiling_feeds_identical_analysis() {
+    let config = build(
+        WorkloadId::DcganCifar10,
+        TpuGeneration::V2,
+        &BuildOptions {
+            scale: 0.05,
+            seed: 7,
+            ..BuildOptions::default()
+        },
+    );
+    let dir = |tag: &str| {
+        let d = std::env::temp_dir().join(format!("tpupoint-pardet-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    };
+    let serial_dir = dir("serial");
+    let serial = TpuPoint::builder()
+        .analyzer(true)
+        .output_dir(&serial_dir)
+        .build()
+        .profile(config.clone())
+        .unwrap();
+    tpupoint_par::set_threads(4);
+    let pipe_dir = dir("pipe");
+    let pipelined = TpuPoint::builder()
+        .analyzer(true)
+        .output_dir(&pipe_dir)
+        .pipeline_profiler(true)
+        .build()
+        .profile(config)
+        .unwrap();
+    assert_eq!(pipelined.profile, serial.profile);
+    // The downstream analysis (itself running on the work-stealing pool)
+    // sees no difference either.
+    assert_eq!(derive(&pipelined.profile, 4), derive(&serial.profile, 1));
+    tpupoint_par::set_threads(0);
+    for d in [serial_dir, pipe_dir] {
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+}
+
+#[test]
 fn facade_threads_knob_matches_default_analysis() {
     let profile = profile_of(WorkloadId::BertMrpc, 0.2);
     let wide = TpuPoint::builder().analyzer(false).threads(4).build();

@@ -1,0 +1,137 @@
+//! Integration: the pipelined profiler (off-critical-path window sealing
+//! on the shared worker pool) is a byte-for-byte drop-in for the serial
+//! sink. For every pool size, the sealed JSONL streams, the manifest, and
+//! the finished [`Profile`] must be identical to the serial run — and
+//! seeded store-fault scenarios must replay the exact same error
+//! sequence, because determinism that breaks under faults is no
+//! determinism at all.
+
+use std::path::{Path, PathBuf};
+use tpupoint::prelude::*;
+use tpupoint::profiler::ProfilerOptions;
+use tpupoint::TpuPoint;
+
+fn config() -> JobConfig {
+    build(
+        WorkloadId::DcganCifar10,
+        TpuGeneration::V2,
+        &BuildOptions {
+            scale: 0.05,
+            seed: 7,
+            ..BuildOptions::default()
+        },
+    )
+}
+
+/// Small windows so the run seals many of them — the pipelined path gets
+/// real traffic, not one window at shutdown.
+fn options() -> ProfilerOptions {
+    ProfilerOptions {
+        window_max_events: 64,
+        ..ProfilerOptions::default()
+    }
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tpupoint-pipedet-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn run_lane(dir: &Path, pipelined: bool, fault: Option<(f64, u64, u32)>) -> ProfiledRun {
+    let mut builder = TpuPoint::builder()
+        .analyzer(true)
+        .output_dir(dir)
+        .profiler_options(options())
+        .pipeline_profiler(pipelined);
+    if let Some((prob, seed, retries)) = fault {
+        builder = builder.store_fault(prob, seed).store_retries(retries);
+    } else {
+        builder = builder.store_retries(0);
+    }
+    builder.build().profile(config()).expect("profiling run")
+}
+
+fn record_bytes(dir: &Path) -> Vec<(&'static str, Vec<u8>)> {
+    ["steps.jsonl", "windows.jsonl", "manifest.json"]
+        .into_iter()
+        .map(|file| {
+            let bytes = std::fs::read(dir.join("records").join(file))
+                .unwrap_or_else(|e| panic!("{file} missing under {}: {e}", dir.display()));
+            (file, bytes)
+        })
+        .collect()
+}
+
+#[test]
+fn pipelined_sealing_is_byte_identical_for_every_pool_size() {
+    let serial_dir = tmp_dir("serial");
+    let serial = run_lane(&serial_dir, false, None);
+    let serial_bytes = record_bytes(&serial_dir);
+    assert!(
+        !serial.profile.windows.is_empty(),
+        "fixture must seal windows"
+    );
+
+    for threads in [1usize, 2, 4, 8] {
+        tpupoint_par::set_threads(threads);
+        let dir = tmp_dir(&format!("pipe-{threads}"));
+        let pipelined = run_lane(&dir, true, None);
+        assert_eq!(
+            pipelined.report, serial.report,
+            "ground-truth run diverged at {threads} threads"
+        );
+        assert_eq!(
+            pipelined.profile, serial.profile,
+            "profile diverged at {threads} threads"
+        );
+        for ((file, a), (_, b)) in serial_bytes.iter().zip(record_bytes(&dir)) {
+            assert!(
+                *a == b,
+                "{file} not byte-identical to serial at {threads} threads"
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+    tpupoint_par::set_threads(0);
+    std::fs::remove_dir_all(&serial_dir).unwrap();
+}
+
+#[test]
+fn seeded_faults_replay_identically_through_the_pipeline() {
+    // Retries on: the seeded fault stream is absorbed the same way on
+    // both lanes, so the sealed bytes still match.
+    let serial_dir = tmp_dir("fault-serial");
+    let serial = run_lane(&serial_dir, false, Some((0.3, 21, 10)));
+    let serial_bytes = record_bytes(&serial_dir);
+    assert_eq!(serial.profile.store_errors, 0, "retries absorb the faults");
+
+    tpupoint_par::set_threads(4);
+    let pipe_dir = tmp_dir("fault-pipe");
+    let pipelined = run_lane(&pipe_dir, true, Some((0.3, 21, 10)));
+    assert_eq!(pipelined.profile, serial.profile);
+    for ((file, a), (_, b)) in serial_bytes.iter().zip(record_bytes(&pipe_dir)) {
+        assert!(*a == b, "{file} diverged under seeded faults");
+    }
+
+    // Retries off: both lanes must surface the *same* error accounting.
+    let raw_serial_dir = tmp_dir("rawfault-serial");
+    let raw_serial = run_lane(&raw_serial_dir, false, Some((0.4, 9, 0)));
+    let raw_pipe_dir = tmp_dir("rawfault-pipe");
+    let raw_pipelined = run_lane(&raw_pipe_dir, true, Some((0.4, 9, 0)));
+    tpupoint_par::set_threads(0);
+    assert!(raw_serial.profile.store_errors > 0, "fixture must fault");
+    assert_eq!(
+        raw_pipelined.profile.store_errors,
+        raw_serial.profile.store_errors
+    );
+    assert_eq!(
+        raw_pipelined.profile.store_error,
+        raw_serial.profile.store_error
+    );
+    assert_eq!(raw_pipelined.profile, raw_serial.profile);
+
+    for dir in [serial_dir, pipe_dir, raw_serial_dir, raw_pipe_dir] {
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
