@@ -145,8 +145,13 @@ impl DbscanResult {
     }
 }
 
-/// Chooses eps as 1.5 × the median distance to the 4th-nearest neighbor,
-/// estimated on at most 512 sampled rows.
+/// Chooses eps as 1.5 × the median distance to the 4th-nearest neighbor.
+/// The median is estimated over at most 512 sampled seed rows, but each
+/// seed's 4th-nearest neighbor is found against the *full* matrix: the
+/// 4th-nearest within a 1-in-`stride` subsample is really the
+/// ~`4×stride`-th neighbor of the full data, so restricting the search to
+/// the sample inflates eps and (time-weighted) phase coverage degrades as
+/// dense step clusters get merged across real boundaries.
 pub fn auto_eps(matrix: &FeatureMatrix) -> f64 {
     let n = matrix.len();
     if n < 2 {
@@ -156,16 +161,17 @@ pub fn auto_eps(matrix: &FeatureMatrix) -> f64 {
     let sample: Vec<usize> = (0..n).step_by(stride).collect();
     let mut knn: Vec<f64> = Vec::with_capacity(sample.len());
     for &i in &sample {
-        let mut d: Vec<f64> = sample
-            .iter()
-            .filter(|&&j| j != i)
-            .map(|&j| matrix.dist2(i, j))
+        let mut d: Vec<f64> = (0..n)
+            .filter(|&j| j != i)
+            .map(|j| matrix.dist2(i, j))
             .collect();
         if d.is_empty() {
             continue;
         }
         let k = 3.min(d.len() - 1);
-        d.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        d.select_nth_unstable_by(k, |a, b| {
+            a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal)
+        });
         knn.push(d[k].sqrt());
     }
     if knn.is_empty() {

@@ -38,14 +38,17 @@ pub struct Segment {
 }
 
 impl Segment {
-    /// Number of steps in the segment.
+    /// Number of steps in the segment. Saturates to zero for inverted
+    /// bounds (`start > end`), matching [`Segment::is_empty`] — the scan
+    /// never produces such a segment, but hand-built ones must not panic
+    /// where `is_empty` calmly reports `true`.
     pub fn len(&self) -> usize {
-        self.end - self.start
+        self.end.saturating_sub(self.start)
     }
 
-    /// True for an empty segment (never produced by the scan).
+    /// True for a segment holding no steps (never produced by the scan).
     pub fn is_empty(&self) -> bool {
-        self.start >= self.end
+        self.len() == 0
     }
 }
 

@@ -40,6 +40,25 @@ USAGE:
       possibly crashed run: the valid record prefix is salvaged past any
       torn tail and analyzed, with the losses reported.
 
+  tpupoint serve --workload <id> [--generation v2|v3] [--scale F]
+                 [--seed N] [--naive] [--out DIR]
+                 [--metrics-listen HOST:PORT] [--pace-us N]
+                 [--store-retries N] [--store-fault-prob F]
+                 [--store-fault-seed N] [--recorded-backoff]
+      Run the job as a long-lived daemon on a wall-clock recording
+      thread, serving live observability over HTTP (default listen
+      127.0.0.1:9090; port 0 picks an ephemeral port):
+        GET  /metrics   Prometheus text exposition of all live series
+        GET  /healthz   200 ok, or 503 + degradation causes
+        GET  /status    JSON: step, OLS phase, windows, spill depth
+        POST /quit      graceful shutdown (as does Ctrl-C / SIGINT)
+      --pace-us paces the job by sleeping N real microseconds per step
+      (default 500; 0 runs at batch speed). Retry backoff is actually
+      slept on this lane unless --recorded-backoff restores the batch
+      recorded-not-slept behavior. Graceful shutdown seals all .part
+      record files and flushes a final scrape to <DIR>/metrics.prom;
+      the recorded JSONL is byte-identical to a batch run of the seed.
+
   tpupoint optimize --workload <id> [--generation v2|v3] [--scale F]
                     [--naive]
       Run TPUPoint-Optimizer and print the tuning report.
@@ -74,6 +93,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
     match argv.first().map(String::as_str) {
         Some("workloads") => workloads(),
         Some("profile") => profile(&argv[1..]),
+        Some("serve") => serve(&argv[1..]),
         Some("analyze") => analyze(&argv[1..]),
         Some("optimize") => optimize(&argv[1..]),
         Some("compare") => compare_cmd(&argv[1..]),
@@ -203,6 +223,70 @@ fn profile(argv: &[String]) -> Result<(), String> {
             out.join("records").display()
         );
     }
+    println!("profile written to {}", path.display());
+    session.finish()
+}
+
+fn serve(argv: &[String]) -> Result<(), String> {
+    let mut options = with_obs(&BUILD_OPTIONS);
+    options.extend([
+        "out",
+        "metrics-listen",
+        "pace-us",
+        "store-retries",
+        "store-fault-prob",
+        "store-fault-seed",
+    ]);
+    let args = Args::parse(argv, &options, &["naive", "recorded-backoff"])?;
+    let session = ObsSession::start(&args)?;
+    let config = build_from_args(&args)?;
+    let out: PathBuf = args.get("out").unwrap_or("tpupoint-out").into();
+    let fault_prob: f64 = args.get_or("store-fault-prob", 0.0)?;
+    if !(0.0..=1.0).contains(&fault_prob) {
+        return Err(format!(
+            "--store-fault-prob must be in [0, 1], got {fault_prob}"
+        ));
+    }
+    let listen = args.get("metrics-listen").unwrap_or("127.0.0.1:9090");
+    let tp = TpuPoint::builder()
+        .analyzer(true)
+        .output_dir(&out)
+        .store_retries(args.get_or("store-retries", 3)?)
+        .store_fault(fault_prob, args.get_or("store-fault-seed", 0xFA117)?)
+        .serve(listen)
+        .serve_pace_us(args.get_or("pace-us", 500)?)
+        .serve_real_backoff(!args.flag("recorded-backoff"))
+        .serve_sigint(true)
+        .build();
+    let serving = tp
+        .serve(config)
+        .map_err(|e| format!("serve failed to start: {e}"))?;
+    let addr = serving.addr();
+    println!("serving on http://{addr}");
+    println!("  GET /metrics  GET /healthz  GET /status  POST /quit  (Ctrl-C to stop)");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    let run = serving
+        .wait()
+        .map_err(|e| format!("serve run failed: {e}"))?;
+    std::fs::create_dir_all(&out).map_err(|e| e.to_string())?;
+    let path = out.join("profile.json");
+    run.profile
+        .save_json(File::create(&path).map_err(|e| e.to_string())?)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "served {} ({}): {} steps, {} windows, {} checkpoints",
+        run.profile.model,
+        run.profile.dataset,
+        run.report.steps_completed,
+        run.profile.windows.len(),
+        run.profile.checkpoints.len()
+    );
+    println!(
+        "sealed records under {}; final scrape at {}",
+        out.join("records").display(),
+        out.join("metrics.prom").display()
+    );
     println!("profile written to {}", path.display());
     session.finish()
 }
@@ -537,6 +621,30 @@ mod tests {
     fn bad_generation_is_rejected() {
         let err = run(&["profile", "--workload", "bert-mrpc", "--generation", "v4"]).unwrap_err();
         assert!(err.contains("v2 or v3"));
+    }
+
+    #[test]
+    fn serve_at_batch_speed_completes_and_seals_records() {
+        let dir = std::env::temp_dir().join(format!("tpupoint-cli-serve-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        run(&[
+            "serve",
+            "--workload",
+            "bert-mrpc",
+            "--scale",
+            "0.1",
+            "--out",
+            dir.to_str().unwrap(),
+            "--metrics-listen",
+            "127.0.0.1:0",
+            "--pace-us",
+            "0",
+        ])
+        .unwrap();
+        assert!(dir.join("profile.json").exists());
+        assert!(dir.join("metrics.prom").exists());
+        assert!(dir.join("records/steps.jsonl").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

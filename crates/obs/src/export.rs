@@ -76,34 +76,114 @@ pub fn to_json(snapshot: &MetricsSnapshot) -> String {
 /// Renders the snapshot in the Prometheus text exposition format.
 ///
 /// Metric names are sanitized (`.` and `-` become `_`) and prefixed with
-/// `tpupoint_`; histograms expand into the conventional `_bucket`
-/// (cumulative, with a final `+Inf`), `_sum`, and `_count` series.
+/// `tpupoint_`; every series carries a `# HELP` and `# TYPE` header, and
+/// histograms expand into the conventional `_bucket` (cumulative, with a
+/// final `+Inf`), `_sum`, and `_count` series.
 pub fn to_prometheus(snapshot: &MetricsSnapshot) -> String {
+    to_prometheus_labeled(snapshot, &[])
+}
+
+/// [`to_prometheus`] with a set of constant labels attached to every
+/// series — serve mode uses this to stamp each scrape with the workload
+/// it observes. Label values are escaped per the exposition format.
+pub fn to_prometheus_labeled(snapshot: &MetricsSnapshot, labels: &[(&str, &str)]) -> String {
+    let plain = label_block(labels, None);
     let mut out = String::new();
     for (name, value) in &snapshot.counters {
         let prom = prom_name(name);
-        out.push_str(&format!("# TYPE {prom} counter\n{prom} {value}\n"));
+        push_headers(&mut out, &prom, name, "counter");
+        out.push_str(&format!("{prom}{plain} {value}\n"));
     }
     for (name, value) in &snapshot.gauges {
         let prom = prom_name(name);
-        out.push_str(&format!(
-            "# TYPE {prom} gauge\n{prom} {}\n",
-            float_json(*value)
-        ));
+        push_headers(&mut out, &prom, name, "gauge");
+        out.push_str(&format!("{prom}{plain} {}\n", float_json(*value)));
     }
     for (name, hist) in &snapshot.histograms {
         let prom = prom_name(name);
-        out.push_str(&format!("# TYPE {prom} histogram\n"));
+        push_headers(&mut out, &prom, name, "histogram");
         let mut cumulative = 0u64;
         for (le, count) in &hist.buckets {
             cumulative += count;
-            out.push_str(&format!("{prom}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+            let with_le = label_block(labels, Some(&le.to_string()));
+            out.push_str(&format!("{prom}_bucket{with_le} {cumulative}\n"));
         }
-        out.push_str(&format!("{prom}_bucket{{le=\"+Inf\"}} {}\n", hist.count));
-        out.push_str(&format!("{prom}_sum {}\n", hist.sum));
-        out.push_str(&format!("{prom}_count {}\n", hist.count));
+        let inf = label_block(labels, Some("+Inf"));
+        out.push_str(&format!("{prom}_bucket{inf} {}\n", hist.count));
+        out.push_str(&format!("{prom}_sum{plain} {}\n", hist.sum));
+        out.push_str(&format!("{prom}_count{plain} {}\n", hist.count));
     }
     out
+}
+
+fn push_headers(out: &mut String, prom: &str, raw: &str, kind: &str) {
+    out.push_str(&format!(
+        "# HELP {prom} {}\n# TYPE {prom} {kind}\n",
+        prom_escape_help(&help_text(raw))
+    ));
+}
+
+/// Renders a `{k="v",...}` label block; empty labels (and no `le`) render
+/// as the empty string so unlabeled series keep their bare form.
+fn label_block(labels: &[(&str, &str)], le: Option<&str>) -> String {
+    let mut pairs: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", prom_escape_label(v)))
+        .collect();
+    if let Some(le) = le {
+        pairs.push(format!("le=\"{le}\""));
+    }
+    if pairs.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", pairs.join(","))
+    }
+}
+
+/// Escapes a `# HELP` text: `\` and newlines per the exposition format.
+pub fn prom_escape_help(text: &str) -> String {
+    text.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Escapes a label value: `\`, `"`, and newlines per the exposition
+/// format.
+pub fn prom_escape_label(value: &str) -> String {
+    value
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Human description served on the `# HELP` line of a series.
+fn help_text(name: &str) -> String {
+    let known = match name {
+        "profiler.store_errors" => "Record-store operations that failed, including transient failures later absorbed by the retry layer",
+        "profiler.store_retries" => "Retry attempts performed by the record-store resilience layer",
+        "profiler.records_spilled" => "Records diverted to the in-memory spill queue while the backing store was down",
+        "profiler.records_shed" => "Oldest spilled records shed at the spill queue's high-water mark",
+        "profiler.store_spill_depth" => "Spilled records still awaiting redelivery to the backing store",
+        "profiler.store_backoff_us" => "Jittered exponential retry backoff per attempt, microseconds",
+        "profiler.windows_sealed" => "Profile windows sealed and kept",
+        "profiler.windows_dropped" => "Profile windows lost to simulated collection faults",
+        "profiler.events_recorded" => "Trace events recorded into kept windows",
+        "profiler.events_lost" => "Trace events lost with dropped windows",
+        "profiler.seal_latency_us" => "Wall time applying one drained seal-pipeline operation, microseconds",
+        "profiler.seal_backpressure_waits" => "Times the simulation thread blocked on the seal queue's high-water mark",
+        "profiler.seal_queue_depth" => "Operations queued in the seal pipeline",
+        "profiler.overhead_ratio" => "Modeled instrumented-to-uninstrumented wall-clock ratio",
+        "audit.gaps" => "Coverage gaps found by the window audit",
+        "audit.overlaps" => "Window overlaps found by the window audit",
+        "audit.unobserved_fraction" => "Fraction of the profiled span not covered by any window",
+        "obs.http_requests" => "HTTP requests served by the live observability endpoint",
+        _ => "",
+    };
+    if !known.is_empty() {
+        return known.to_owned();
+    }
+    if let Some(span) = name.strip_prefix("span.") {
+        return format!("Wall time of `{span}` spans, microseconds");
+    }
+    format!("TPUPoint self-observability series `{name}`")
 }
 
 fn prom_name(name: &str) -> String {
@@ -174,5 +254,51 @@ mod tests {
         assert!(text.contains("tpupoint_span_analyzer_kmeans_bucket{le=\"+Inf\"} 3"));
         assert!(text.contains("tpupoint_span_analyzer_kmeans_sum 4500"));
         assert!(text.contains("tpupoint_span_analyzer_kmeans_count 3"));
+    }
+
+    #[test]
+    fn prometheus_export_carries_help_lines() {
+        let text = to_prometheus(&sample());
+        assert!(
+            text.contains("# HELP tpupoint_profiler_windows_sealed Profile windows sealed"),
+            "{text}"
+        );
+        assert!(
+            text.contains("# HELP tpupoint_span_analyzer_kmeans Wall time of `analyzer.kmeans`"),
+            "{text}"
+        );
+        // Every TYPE line is preceded by its HELP line.
+        assert_eq!(
+            text.matches("# HELP").count(),
+            text.matches("# TYPE").count()
+        );
+    }
+
+    #[test]
+    fn constant_labels_attach_to_every_series_and_compose_with_le() {
+        let text = to_prometheus_labeled(&sample(), &[("workload", "bert-mrpc")]);
+        assert!(text.contains("tpupoint_profiler_windows_sealed{workload=\"bert-mrpc\"} 12"));
+        assert!(text.contains(
+            "tpupoint_span_analyzer_kmeans_bucket{workload=\"bert-mrpc\",le=\"+Inf\"} 3"
+        ));
+        assert!(text.contains("tpupoint_span_analyzer_kmeans_sum{workload=\"bert-mrpc\"} 4500"));
+        // HELP/TYPE headers stay unlabeled.
+        assert!(text.contains("# TYPE tpupoint_profiler_windows_sealed counter\n"));
+    }
+
+    #[test]
+    fn label_values_and_help_text_are_escaped() {
+        assert_eq!(prom_escape_label("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+        assert_eq!(
+            prom_escape_help("line\nbreak\\slash"),
+            "line\\nbreak\\\\slash"
+        );
+        let metrics = Metrics::new();
+        metrics.counter("weird").inc();
+        let text = to_prometheus_labeled(&metrics.snapshot(), &[("path", "C:\\tmp\n\"x\"")]);
+        assert!(
+            text.contains("tpupoint_weird{path=\"C:\\\\tmp\\n\\\"x\\\"\"} 1"),
+            "{text}"
+        );
     }
 }

@@ -1,0 +1,346 @@
+//! A dependency-free HTTP/1.1 endpoint for live observability.
+//!
+//! The paper's profiler runs *alongside* a live training job; serve mode
+//! gives this reproduction the matching scrape surface. [`MetricsServer`]
+//! binds a `std::net::TcpListener`, answers on a dedicated accept thread,
+//! and routes four paths:
+//!
+//! * `GET /metrics` — the Prometheus text exposition of the process
+//!   registry (see [`crate::to_prometheus_labeled`]);
+//! * `GET /healthz` — degradation-aware health: `200 ok` while the run is
+//!   clean, `503 degraded` once store errors, shed records, spilled
+//!   backlog, or seal-queue backpressure appear ([`Health`]);
+//! * `GET /status` — a JSON view of the live run (current step, OLS
+//!   phase, window counts, spill depth), assembled by the caller's hook;
+//! * `POST /quit` — requests graceful shutdown of the serving process.
+//!
+//! The server owns no policy: every response body comes from a
+//! [`ServeHooks`] closure, so `crates/obs` stays dependency-free and the
+//! profiler/runtime layers decide what "status" means.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use std::{fmt, io};
+
+use crate::metrics::MetricsSnapshot;
+
+/// Degradation-aware health of a serving run, as reported by
+/// `GET /healthz`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Health {
+    /// One human-readable `name value` line per active degradation;
+    /// empty means healthy.
+    pub degradations: Vec<String>,
+}
+
+impl Health {
+    /// A clean bill of health.
+    pub fn healthy() -> Health {
+        Health::default()
+    }
+
+    /// Whether no degradation is active (HTTP 200 vs 503).
+    pub fn is_healthy(&self) -> bool {
+        self.degradations.is_empty()
+    }
+
+    /// Derives health from a metrics snapshot: store errors, shed
+    /// records, a pending spill backlog, and seal-queue backpressure all
+    /// degrade the run.
+    pub fn from_snapshot(snapshot: &MetricsSnapshot) -> Health {
+        let counter = |name: &str| snapshot.counters.get(name).copied().unwrap_or(0);
+        let gauge = |name: &str| snapshot.gauges.get(name).copied().unwrap_or(0.0);
+        let mut degradations = Vec::new();
+        let mut flag = |name: &str, value: u64| {
+            if value > 0 {
+                degradations.push(format!("{name} {value}"));
+            }
+        };
+        flag("store_errors", counter("profiler.store_errors"));
+        flag("records_shed", counter("profiler.records_shed"));
+        flag(
+            "store_spill_depth",
+            gauge("profiler.store_spill_depth") as u64,
+        );
+        flag(
+            "seal_backpressure_waits",
+            counter("profiler.seal_backpressure_waits"),
+        );
+        Health { degradations }
+    }
+
+    /// The `/healthz` body: `ok`, or `degraded` plus one line per cause.
+    pub fn body(&self) -> String {
+        if self.is_healthy() {
+            return "ok\n".to_owned();
+        }
+        let mut out = String::from("degraded\n");
+        for degradation in &self.degradations {
+            out.push_str(degradation);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Response providers for the four routes. Each hook runs on the accept
+/// thread, once per request.
+pub struct ServeHooks {
+    /// Body of `GET /metrics` (Prometheus text exposition).
+    pub metrics: Box<dyn Fn() -> String + Send + Sync>,
+    /// Health behind `GET /healthz`.
+    pub health: Box<dyn Fn() -> Health + Send + Sync>,
+    /// JSON body of `GET /status`.
+    pub status: Box<dyn Fn() -> String + Send + Sync>,
+    /// Invoked by `POST /quit`; should request graceful shutdown of the
+    /// run that owns the server.
+    pub quit: Box<dyn Fn() + Send + Sync>,
+}
+
+impl fmt::Debug for ServeHooks {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ServeHooks").finish_non_exhaustive()
+    }
+}
+
+/// The live observability endpoint; see the module docs.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and starts
+    /// answering on a background thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind/spawn error.
+    pub fn bind(addr: &str, hooks: ServeHooks) -> io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("tpupoint-metrics-http".to_owned())
+            .spawn(move || accept_loop(&listener, &hooks, &accept_stop))?;
+        Ok(MetricsServer {
+            addr,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The actually-bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the server thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // The accept loop blocks in accept(); poke it awake so it can
+        // observe the stop flag.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(250));
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, hooks: &ServeHooks, stop: &AtomicBool) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        if let Ok(stream) = stream {
+            handle(stream, hooks);
+        }
+    }
+}
+
+fn handle(mut stream: TcpStream, hooks: &ServeHooks) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let Ok(clone) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(clone);
+    let mut request = String::new();
+    if reader.read_line(&mut request).is_err() {
+        return;
+    }
+    let mut parts = request.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    // Drain the header block so the peer sees its request fully read
+    // before the response closes the connection.
+    loop {
+        let mut header = String::new();
+        match reader.read_line(&mut header) {
+            Ok(0) | Err(_) => break,
+            Ok(_) if header == "\r\n" || header == "\n" => break,
+            Ok(_) => {}
+        }
+    }
+    crate::metrics().counter("obs.http_requests").inc();
+    let (status, content_type, body) = match (method, path) {
+        ("GET", "/metrics") => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            (hooks.metrics)(),
+        ),
+        ("GET", "/healthz") => {
+            let health = (hooks.health)();
+            let status = if health.is_healthy() {
+                "200 OK"
+            } else {
+                "503 Service Unavailable"
+            };
+            (status, "text/plain; charset=utf-8", health.body())
+        }
+        ("GET", "/status") => ("200 OK", "application/json", (hooks.status)()),
+        ("POST", "/quit") | ("GET", "/quit") => {
+            (hooks.quit)();
+            (
+                "200 OK",
+                "text/plain; charset=utf-8",
+                "quitting\n".to_owned(),
+            )
+        }
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            format!("no route for {method} {path}\n"),
+        ),
+    };
+    let _ = write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Metrics;
+    use std::io::Read;
+
+    fn fixed_hooks(quit_flag: Arc<AtomicBool>) -> ServeHooks {
+        ServeHooks {
+            metrics: Box::new(|| "tpupoint_up 1\n".to_owned()),
+            health: Box::new(Health::healthy),
+            status: Box::new(|| "{\"step\":7}".to_owned()),
+            quit: Box::new(move || quit_flag.store(true, Ordering::SeqCst)),
+        }
+    }
+
+    fn request(addr: SocketAddr, line: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(stream, "{line} HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let (head, body) = response.split_once("\r\n\r\n").expect("full response");
+        let status = head.lines().next().unwrap_or("").to_owned();
+        (status, body.to_owned())
+    }
+
+    #[test]
+    fn routes_serve_their_hooks() {
+        let quit = Arc::new(AtomicBool::new(false));
+        let server = MetricsServer::bind("127.0.0.1:0", fixed_hooks(Arc::clone(&quit))).unwrap();
+        let addr = server.local_addr();
+        let (status, body) = request(addr, "GET /metrics");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert_eq!(body, "tpupoint_up 1\n");
+        let (status, body) = request(addr, "GET /healthz");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert_eq!(body, "ok\n");
+        let (status, body) = request(addr, "GET /status");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert_eq!(body, "{\"step\":7}");
+        let (status, _) = request(addr, "GET /nowhere");
+        assert_eq!(status, "HTTP/1.1 404 Not Found");
+        assert!(!quit.load(Ordering::SeqCst));
+        let (status, body) = request(addr, "POST /quit");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert_eq!(body, "quitting\n");
+        assert!(quit.load(Ordering::SeqCst));
+        server.shutdown();
+    }
+
+    #[test]
+    fn degraded_health_serves_503_with_causes() {
+        let hooks = ServeHooks {
+            metrics: Box::new(String::new),
+            health: Box::new(|| Health {
+                degradations: vec!["store_errors 4".to_owned()],
+            }),
+            status: Box::new(String::new),
+            quit: Box::new(|| {}),
+        };
+        let server = MetricsServer::bind("127.0.0.1:0", hooks).unwrap();
+        let (status, body) = request(server.local_addr(), "GET /healthz");
+        assert_eq!(status, "HTTP/1.1 503 Service Unavailable");
+        assert_eq!(body, "degraded\nstore_errors 4\n");
+    }
+
+    #[test]
+    fn health_derives_from_degradation_metrics() {
+        let metrics = Metrics::new();
+        assert!(Health::from_snapshot(&metrics.snapshot()).is_healthy());
+        metrics.counter("profiler.store_errors").add(4);
+        metrics.counter("profiler.seal_backpressure_waits").add(2);
+        metrics.gauge("profiler.store_spill_depth").set(3.0);
+        let health = Health::from_snapshot(&metrics.snapshot());
+        assert!(!health.is_healthy());
+        assert_eq!(
+            health.degradations,
+            vec![
+                "store_errors 4".to_owned(),
+                "store_spill_depth 3".to_owned(),
+                "seal_backpressure_waits 2".to_owned(),
+            ]
+        );
+        assert!(health.body().starts_with("degraded\n"));
+    }
+
+    #[test]
+    fn zeroed_degradation_metrics_stay_healthy() {
+        let metrics = Metrics::new();
+        metrics.counter("profiler.store_errors");
+        metrics.gauge("profiler.store_spill_depth");
+        let health = Health::from_snapshot(&metrics.snapshot());
+        assert!(health.is_healthy());
+        assert_eq!(health.body(), "ok\n");
+    }
+
+    #[test]
+    fn shutdown_joins_and_frees_the_port() {
+        let server =
+            MetricsServer::bind("127.0.0.1:0", fixed_hooks(Arc::new(AtomicBool::new(false))))
+                .unwrap();
+        let addr = server.local_addr();
+        server.shutdown();
+        // The listener is gone: a fresh bind of the same port succeeds.
+        let rebound = TcpListener::bind(addr).expect("port released");
+        drop(rebound);
+    }
+}

@@ -22,13 +22,17 @@
 //! per metric update).
 
 mod export;
+mod http;
 mod metrics;
 mod report;
 mod trace;
 
-pub use export::{to_json, to_prometheus};
+pub use export::{
+    prom_escape_help, prom_escape_label, to_json, to_prometheus, to_prometheus_labeled,
+};
+pub use http::{Health, MetricsServer, ServeHooks};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Metrics, MetricsSnapshot};
-pub use report::{AlgorithmRuntime, ObsReport, StageTime, StoreHealth, WindowHealth};
+pub use report::{AlgorithmRuntime, ObsReport, StageTime, StoreHealth, WindowAudit, WindowHealth};
 pub use trace::{
     current_tid, register_thread_lane, ArgValue, SpanEvent, SpanGuard, Tracer, MAIN_TID,
 };

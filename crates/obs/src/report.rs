@@ -36,6 +36,21 @@ pub struct AlgorithmRuntime {
     pub mean_us: f64,
 }
 
+/// Results of the window-coverage audit, when one actually ran. Kept
+/// separate from [`WindowHealth`] so a run where the audit never executed
+/// is distinguishable from one where it ran and found nothing — the
+/// `audit.unobserved_fraction` gauge is the sentinel: it is published
+/// whenever the audit runs, even when the answer is `0.0`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowAudit {
+    /// Coverage gaps found by the audit.
+    pub gaps: u64,
+    /// Window overlaps found by the audit.
+    pub overlaps: u64,
+    /// Fraction of the profiled span not covered by any window.
+    pub unobserved_fraction: f64,
+}
+
 /// Health of the profiler's window pipeline.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WindowHealth {
@@ -47,13 +62,12 @@ pub struct WindowHealth {
     pub events_recorded: u64,
     /// Events lost with dropped windows.
     pub events_lost: u64,
-    /// Coverage gaps found by the window audit.
-    pub gaps: u64,
-    /// Window overlaps found by the audit.
-    pub overlaps: u64,
-    /// Fraction of the profiled span not covered by any window.
-    pub unobserved_fraction: f64,
-    /// Whether the audit found no gaps, overlaps, or losses.
+    /// Coverage-audit results; `None` when the audit never ran.
+    pub audit: Option<WindowAudit>,
+    /// Whether the pipeline lost nothing and the audit (if it ran) found
+    /// no gaps or overlaps. A run without an audit can still be `clean`
+    /// on the loss counters alone — the render makes the missing audit
+    /// explicit instead of silently vouching for coverage.
     pub clean: bool,
 }
 
@@ -154,17 +168,24 @@ impl ObsReport {
         let window_health = has_profiler_counters.then(|| {
             let dropped = counter("profiler.windows_dropped");
             let events_lost = counter("profiler.events_lost");
-            let gaps = gauge("audit.gaps").unwrap_or(0.0) as u64;
-            let overlaps = gauge("audit.overlaps").unwrap_or(0.0) as u64;
+            // The audit publishes `audit.unobserved_fraction` whenever it
+            // runs (even at 0.0), so its absence means "audit never ran"
+            // rather than "audit found nothing".
+            let audit = gauge("audit.unobserved_fraction").map(|unobserved_fraction| WindowAudit {
+                gaps: gauge("audit.gaps").unwrap_or(0.0) as u64,
+                overlaps: gauge("audit.overlaps").unwrap_or(0.0) as u64,
+                unobserved_fraction,
+            });
+            let audit_clean = audit
+                .as_ref()
+                .is_none_or(|a| a.gaps == 0 && a.overlaps == 0);
             WindowHealth {
                 sealed: counter("profiler.windows_sealed"),
                 dropped,
                 events_recorded: counter("profiler.events_recorded"),
                 events_lost,
-                gaps,
-                overlaps,
-                unobserved_fraction: gauge("audit.unobserved_fraction").unwrap_or(0.0),
-                clean: dropped == 0 && events_lost == 0 && gaps == 0 && overlaps == 0,
+                audit,
+                clean: dropped == 0 && events_lost == 0 && audit_clean,
             }
         });
 
@@ -262,14 +283,19 @@ impl ObsReport {
                     "\nwindow pipeline: {} sealed, {} dropped, {} events recorded, {} lost",
                     health.sealed, health.dropped, health.events_recorded, health.events_lost
                 );
-                let _ = writeln!(
-                    out,
-                    "window audit:    {} gaps, {} overlaps, {:.2}% unobserved -> {}",
-                    health.gaps,
-                    health.overlaps,
-                    health.unobserved_fraction * 100.0,
-                    if health.clean { "clean" } else { "NOT CLEAN" }
-                );
+                match &health.audit {
+                    Some(audit) => {
+                        let _ = writeln!(
+                            out,
+                            "window audit:    {} gaps, {} overlaps, {:.2}% unobserved -> {}",
+                            audit.gaps,
+                            audit.overlaps,
+                            audit.unobserved_fraction * 100.0,
+                            if health.clean { "clean" } else { "NOT CLEAN" }
+                        );
+                    }
+                    None => out.push_str("window audit:    not run\n"),
+                }
             }
             None => out.push_str("\nwindow pipeline: (no profiler activity)\n"),
         }
@@ -381,9 +407,43 @@ mod tests {
         assert_eq!(health.sealed, 8);
         assert_eq!(health.dropped, 1);
         assert_eq!(health.events_lost, 120);
-        assert_eq!(health.gaps, 1);
+        let audit = health.audit.as_ref().expect("audit gauges present");
+        assert_eq!(audit.gaps, 1);
+        assert!((audit.unobserved_fraction - 0.05).abs() < 1e-12);
         assert!(!health.clean);
         assert_eq!(report.overhead_ratio, Some(1.03));
+    }
+
+    #[test]
+    fn missing_audit_gauge_reports_not_run_instead_of_clean_zero() {
+        // Profiler counters present, but the window audit never executed:
+        // `audit.unobserved_fraction` was never published. The report must
+        // say so instead of claiming a perfect 0.00%-unobserved audit.
+        let metrics = Metrics::new();
+        metrics.counter("profiler.windows_sealed").add(4);
+        metrics.counter("profiler.events_recorded").add(900);
+        let report = ObsReport::from_snapshot(&metrics.snapshot());
+        let health = report
+            .window_health
+            .as_ref()
+            .expect("profiler counters present");
+        assert!(health.audit.is_none(), "no audit gauges -> no audit");
+        assert!(health.clean, "loss counters alone are clean");
+        let text = report.render();
+        assert!(text.contains("window audit:    not run"), "{text}");
+        assert!(!text.contains("unobserved"), "{text}");
+
+        // Whereas an audit that ran and measured exactly 0.0 still prints
+        // its figures.
+        metrics.gauge("audit.unobserved_fraction").set(0.0);
+        let report = ObsReport::from_snapshot(&metrics.snapshot());
+        let health = report
+            .window_health
+            .as_ref()
+            .expect("profiler counters present");
+        let audit = health.audit.as_ref().expect("audit ran");
+        assert_eq!(audit.unobserved_fraction, 0.0);
+        assert!(report.render().contains("0.00% unobserved -> clean"));
     }
 
     #[test]

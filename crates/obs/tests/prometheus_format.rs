@@ -1,0 +1,67 @@
+//! Golden-file lock on the Prometheus text exposition format.
+//!
+//! The serve-mode scrape surface is consumed by external tooling
+//! (Prometheus, curl-in-CI), so its exact shape — HELP/TYPE headers,
+//! cumulative `_bucket` expansion, label composition, and escaping — is a
+//! compatibility contract. This test renders a fixed registry and compares
+//! it byte-for-byte with the checked-in golden file; any intentional
+//! format change must update `tests/golden/prometheus.txt` alongside.
+
+use tpupoint_obs::{to_prometheus_labeled, Metrics};
+
+const GOLDEN: &str = include_str!("golden/prometheus.txt");
+
+fn fixed_registry() -> Metrics {
+    let metrics = Metrics::new();
+    metrics.counter("profiler.store_errors").add(4);
+    metrics.counter("profiler.windows_sealed").add(12);
+    // Registered but never incremented: must still export at zero.
+    metrics.counter("profiler.records_shed");
+    metrics.gauge("profiler.overhead_ratio").set(1.03);
+    metrics.gauge("profiler.store_spill_depth").set(0.0);
+    let seal = metrics.histogram("profiler.seal_latency_us");
+    seal.record(900);
+    seal.record(1500);
+    seal.record(2100);
+    // A name outside the known-help table, exercising the span fallback.
+    metrics.histogram("span.analyzer.kmeans").record(4096);
+    // Nasty name characters are sanitized into the prom name.
+    metrics.counter("weird-name.with chars").inc();
+    metrics
+}
+
+#[test]
+fn exposition_matches_the_golden_file() {
+    let text = to_prometheus_labeled(
+        &fixed_registry().snapshot(),
+        // A label value needing every escape: backslash, quote, newline.
+        &[("workload", "bert-mrpc"), ("path", "C:\\tmp\n\"x\"")],
+    );
+    assert_eq!(
+        text, GOLDEN,
+        "Prometheus exposition drifted from tests/golden/prometheus.txt; \
+         if the change is intentional, update the golden file"
+    );
+}
+
+#[test]
+fn golden_file_is_self_consistent() {
+    // Sanity on the golden file itself, so a bad regeneration can't lock
+    // in a broken format: paired HELP/TYPE headers, cumulative buckets,
+    // and the escaped label block on every sample line.
+    let help = GOLDEN.matches("# HELP ").count();
+    let typ = GOLDEN.matches("# TYPE ").count();
+    assert_eq!(help, typ);
+    assert!(help >= 7, "one header pair per series, got {help}");
+    for line in GOLDEN.lines().filter(|l| !l.starts_with('#')) {
+        assert!(
+            line.contains("workload=\"bert-mrpc\""),
+            "unlabeled sample line: {line}"
+        );
+        assert!(
+            line.contains("path=\"C:\\\\tmp\\n\\\"x\\\"\""),
+            "unescaped label value: {line}"
+        );
+    }
+    assert!(GOLDEN.contains("le=\"+Inf\""));
+}

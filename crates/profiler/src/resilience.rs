@@ -21,10 +21,13 @@
 //! - [`ThrottledStore`] adds real per-operation latency for wall-clock
 //!   benchmarks of the pipelined sealing path.
 //!
-//! Backoff delays are computed and recorded (histogram
-//! `profiler.store_backoff_us`) but not slept: the simulator has no wall
-//! clock, and tests must stay fast. The delay schedule is still the real
-//! one a production recorder would use.
+//! Backoff delays are always computed and recorded (histogram
+//! `profiler.store_backoff_us`). In batch mode they are *not* slept: the
+//! simulator has no wall clock, and tests must stay fast. Serve mode's
+//! wall-clock recording thread flips [`RetryPolicy::sleep_backoff`] on,
+//! and the identical seeded schedule is then actually slept — same
+//! delays, now spent in real time, exactly as a production recorder
+//! would.
 //!
 //! Observability: counters `profiler.store_errors` (failed backing-store
 //! operations), `profiler.store_retries` (retry attempts),
@@ -60,6 +63,12 @@ pub struct RetryPolicy {
     /// an analyzer of a partially-recorded run can least afford to lose
     /// are the recent ones that were never flushed anywhere else.
     pub max_spill: usize,
+    /// When `true`, each backoff delay is actually slept
+    /// (`std::thread::sleep`) in addition to being recorded. Batch runs
+    /// keep this off so the deterministic suites stay fast; serve mode's
+    /// wall-clock recording thread turns it on so the retry schedule is
+    /// spent in real time.
+    pub sleep_backoff: bool,
 }
 
 impl Default for RetryPolicy {
@@ -70,6 +79,7 @@ impl Default for RetryPolicy {
             max_backoff_us: 100_000,
             seed: 0xBAC0FF,
             max_spill: 100_000,
+            sleep_backoff: false,
         }
     }
 }
@@ -210,6 +220,9 @@ impl<S: RecordStore> RetryStore<S> {
                     self.total_backoff_us += delay;
                     self.obs.backoff_us.record(delay);
                     self.obs.retries.inc();
+                    if self.policy.sleep_backoff {
+                        std::thread::sleep(std::time::Duration::from_micros(delay));
+                    }
                     attempt += 1;
                 }
             }
@@ -696,6 +709,30 @@ mod tests {
         // 30 retries, jitter < 1.5x: total stays under 30 * 75ms.
         assert!(store.total_backoff() < SimDuration::from_micros(30 * 75_000));
         assert!(store.total_backoff() > SimDuration::from_micros(500));
+    }
+
+    #[test]
+    fn sleep_backoff_spends_the_recorded_schedule_on_the_wall_clock() {
+        let mut store = RetryStore::with_policy(
+            DownStore,
+            RetryPolicy {
+                max_retries: 2,
+                base_backoff_us: 2_000,
+                max_backoff_us: 10_000,
+                sleep_backoff: true,
+                ..RetryPolicy::default()
+            },
+        );
+        let start = std::time::Instant::now();
+        store.put_step(&step(1)).unwrap();
+        let elapsed = start.elapsed();
+        let recorded = store.total_backoff();
+        // Two retries, jitter >= 0.5x: at least 2ms recorded, all slept.
+        assert!(recorded >= SimDuration::from_micros(2_000), "{recorded:?}");
+        assert!(
+            elapsed >= std::time::Duration::from_micros(recorded.as_micros()),
+            "recorded {recorded:?} but only {elapsed:?} elapsed"
+        );
     }
 
     #[test]

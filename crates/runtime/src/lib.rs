@@ -40,7 +40,9 @@ pub mod actors;
 pub mod config;
 pub mod hostops;
 pub mod job;
+pub mod live;
 pub mod metrics;
 
 pub use config::{DataKind, DatasetSpec, JobConfig, StepKind};
 pub use job::{RunReport, TrainingJob};
+pub use live::{LiveSink, LiveStatus};

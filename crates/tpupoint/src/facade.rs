@@ -37,16 +37,20 @@ pub struct AnalysisArtifacts {
 /// Configuration-first builder for [`TpuPoint`].
 #[derive(Debug, Clone)]
 pub struct TpuPointBuilder {
-    analyzer: bool,
-    output_dir: Option<PathBuf>,
-    profiler_options: ProfilerOptions,
-    ols_threshold: f64,
-    profiling_overhead_frac: f64,
-    threads: usize,
-    store_retries: u32,
-    store_fault_prob: f64,
-    store_fault_seed: u64,
-    pipeline_profiler: bool,
+    pub(crate) analyzer: bool,
+    pub(crate) output_dir: Option<PathBuf>,
+    pub(crate) profiler_options: ProfilerOptions,
+    pub(crate) ols_threshold: f64,
+    pub(crate) profiling_overhead_frac: f64,
+    pub(crate) threads: usize,
+    pub(crate) store_retries: u32,
+    pub(crate) store_fault_prob: f64,
+    pub(crate) store_fault_seed: u64,
+    pub(crate) pipeline_profiler: bool,
+    pub(crate) serve_listen: Option<String>,
+    pub(crate) serve_pace_us: u64,
+    pub(crate) serve_real_backoff: bool,
+    pub(crate) serve_sigint: bool,
 }
 
 impl Default for TpuPointBuilder {
@@ -62,6 +66,10 @@ impl Default for TpuPointBuilder {
             store_fault_prob: 0.0,
             store_fault_seed: FaultConfig::default().seed,
             pipeline_profiler: false,
+            serve_listen: None,
+            serve_pace_us: 500,
+            serve_real_backoff: true,
+            serve_sigint: false,
         }
     }
 }
@@ -133,6 +141,41 @@ impl TpuPointBuilder {
         self
     }
 
+    /// Enables serve mode at the given listen address (e.g.
+    /// `127.0.0.1:9090`, or port `0` for an ephemeral port): a later
+    /// [`TpuPoint::serve`] runs the job on a wall-clock recording thread
+    /// and exposes `/metrics`, `/healthz`, `/status`, and `/quit` over
+    /// HTTP at this address.
+    pub fn serve(mut self, listen: impl Into<String>) -> Self {
+        self.serve_listen = Some(listen.into());
+        self
+    }
+
+    /// Real milliseconds-scale pacing per training step on the serve
+    /// lane (default 500 µs). `0` disables pacing — the job runs at
+    /// batch speed while still serving scrapes.
+    pub fn serve_pace_us(mut self, pace_us: u64) -> Self {
+        self.serve_pace_us = pace_us;
+        self
+    }
+
+    /// Whether serve mode's recording thread actually sleeps the
+    /// recorded retry-backoff schedule
+    /// ([`RetryPolicy::sleep_backoff`]; default `true`). Batch
+    /// [`TpuPoint::profile`] never sleeps regardless.
+    pub fn serve_real_backoff(mut self, enabled: bool) -> Self {
+        self.serve_real_backoff = enabled;
+        self
+    }
+
+    /// Installs a SIGINT handler while serving so Ctrl-C triggers the
+    /// same graceful shutdown as `POST /quit` (default off; tests keep
+    /// the process signal state untouched).
+    pub fn serve_sigint(mut self, enabled: bool) -> Self {
+        self.serve_sigint = enabled;
+        self
+    }
+
     /// Finishes the builder.
     pub fn build(self) -> TpuPoint {
         TpuPoint { options: self }
@@ -192,7 +235,7 @@ impl tpupoint_simcore::trace::TraceSink for ProfilerHandle {
 /// The TPUPoint toolchain handle.
 #[derive(Debug, Clone)]
 pub struct TpuPoint {
-    options: TpuPointBuilder,
+    pub(crate) options: TpuPointBuilder,
 }
 
 impl TpuPoint {
@@ -230,7 +273,7 @@ impl TpuPoint {
         let job = TrainingJob::new(config);
         let mut sink = if self.options.analyzer {
             if let Some(dir) = &self.options.output_dir {
-                let store = self.build_store(&dir.join("records"))?;
+                let store = self.build_store(&dir.join("records"), false)?;
                 if self.options.pipeline_profiler {
                     ProfilerSink::with_pipelined_store(
                         job.catalog().clone(),
@@ -260,8 +303,14 @@ impl TpuPoint {
 
     /// Builds the analyzer-mode record store: the JSONL backend, wrapped
     /// in fault injection when configured, wrapped in retry/spill
-    /// resilience unless retries are disabled.
-    fn build_store(&self, dir: &Path) -> io::Result<Box<dyn RecordStore + Send>> {
+    /// resilience unless retries are disabled. `sleep_backoff` selects
+    /// the wall-clock lane: serve mode passes `true` so the recorded
+    /// retry schedule is actually slept.
+    pub(crate) fn build_store(
+        &self,
+        dir: &Path,
+        sleep_backoff: bool,
+    ) -> io::Result<Box<dyn RecordStore + Send>> {
         let jsonl = JsonlStore::create(dir)?;
         let mut store: Box<dyn RecordStore + Send> = Box::new(jsonl);
         if self.options.store_fault_prob > 0.0 {
@@ -279,6 +328,7 @@ impl TpuPoint {
                 store,
                 RetryPolicy {
                     max_retries: self.options.store_retries,
+                    sleep_backoff,
                     ..RetryPolicy::default()
                 },
             ));
@@ -289,7 +339,7 @@ impl TpuPoint {
     /// Publishes the run-level observability gauges: the modeled
     /// instrumented-vs-uninstrumented wall ratio and the window-audit
     /// health of the captured profile.
-    fn publish_run_gauges(&self, profile: &Profile) {
+    pub(crate) fn publish_run_gauges(&self, profile: &Profile) {
         let metrics = tpupoint_obs::metrics();
         metrics
             .gauge("profiler.overhead_ratio")

@@ -39,8 +39,10 @@
 //! [`workloads`], and [`obs`].
 
 pub mod facade;
+pub mod serve;
 
 pub use facade::{AnalysisArtifacts, ProfiledRun, ProfilerHandle, TpuPoint, TpuPointBuilder};
+pub use serve::ServeSession;
 
 /// The discrete-event simulation engine.
 pub mod sim {

@@ -110,13 +110,10 @@ fn clustering_methods_agree_on_few_dominant_phases() {
     let kmeans = analyzer.kmeans_phases(5);
     let ols = analyzer.ols_phases(0.7);
     let dbscan = analyzer.dbscan_phases(10).expect("fits memory limit");
-    // DBSCAN fragments borderline steps into noise more readily than the
-    // centroid/threshold methods, so its coverage bound is looser: the
-    // exact figure moves a few points with the simulator's jitter stream.
     for (name, floor, set) in [
         ("kmeans", 0.8, &kmeans),
         ("ols", 0.8, &ols),
-        ("dbscan", 0.75, &dbscan),
+        ("dbscan", 0.8, &dbscan),
     ] {
         assert!(
             set.coverage_top(3) > floor,

@@ -62,6 +62,24 @@ proptest! {
         prop_assert_eq!(covered, records.len());
     }
 
+    /// `Segment::len` and `Segment::is_empty` agree for ANY bounds,
+    /// including the inverted ones the scan never produces: `len` must
+    /// saturate (no underflow panic) exactly where `is_empty` is true.
+    #[test]
+    fn segment_len_and_is_empty_are_consistent(
+        start in 0usize..2_000,
+        end in 0usize..2_000,
+    ) {
+        let segment = ols::Segment { start, end };
+        prop_assert_eq!(segment.len(), end.saturating_sub(start));
+        // The `len() == 0` comparison IS the property under test.
+        #[allow(clippy::len_zero)]
+        {
+            prop_assert_eq!(segment.is_empty(), segment.len() == 0);
+        }
+        prop_assert_eq!(segment.is_empty(), start >= end);
+    }
+
     /// Raising the threshold never reduces the number of OLS phases.
     #[test]
     fn ols_phase_count_is_monotone(

@@ -1,0 +1,128 @@
+//! Serve-mode loopback integration: scrape a live `tpupoint serve` run
+//! over real TCP, shut it down gracefully, and prove the recorded JSONL
+//! is byte-identical to a batch run of the same seed.
+
+use std::collections::BTreeSet;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use tpupoint::prelude::*;
+use tpupoint::workloads::{build, BuildOptions, WorkloadId};
+
+fn request(addr: SocketAddr, line: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to serve endpoint");
+    write!(stream, "{line} HTTP/1.1\r\nHost: loopback\r\n\r\n").unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    let (head, body) = response.split_once("\r\n\r\n").expect("complete response");
+    (
+        head.lines().next().unwrap_or("").to_owned(),
+        body.to_owned(),
+    )
+}
+
+fn config() -> JobConfig {
+    build(
+        WorkloadId::BertMrpc,
+        TpuGeneration::V2,
+        &BuildOptions {
+            scale: 0.1,
+            ..BuildOptions::default()
+        },
+    )
+}
+
+#[test]
+fn serve_scrapes_live_and_shutdown_matches_batch_byte_for_byte() {
+    let base = std::env::temp_dir().join(format!("tpupoint-serve-loop-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let serve_dir = base.join("serve");
+
+    let tp = TpuPoint::builder()
+        .analyzer(true)
+        .output_dir(&serve_dir)
+        .serve("127.0.0.1:0")
+        .serve_pace_us(300)
+        .build();
+    let session = tp.serve(config()).expect("serve starts");
+    let addr = session.addr();
+
+    // Live scrape while the paced job is still running.
+    let (status, metrics) = request(addr, "GET /metrics");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    let series: BTreeSet<&str> = metrics
+        .lines()
+        .filter(|line| !line.starts_with('#') && !line.is_empty())
+        .map(|line| {
+            line.split(['{', ' '])
+                .next()
+                .expect("series name")
+        })
+        .collect();
+    assert!(
+        series.len() >= 10,
+        "expected >= 10 Prometheus series, got {}: {series:?}",
+        series.len()
+    );
+    assert!(
+        series.contains("tpupoint_profiler_store_errors"),
+        "{series:?}"
+    );
+    assert!(
+        series.contains("tpupoint_profiler_seal_latency_us_bucket"),
+        "seal-pipeline histogram missing: {series:?}"
+    );
+    assert!(
+        metrics.contains("workload=\"BERT\""),
+        "scrape carries the workload label"
+    );
+
+    let (status, health) = request(addr, "GET /healthz");
+    assert_eq!(status, "HTTP/1.1 200 OK", "no faults injected: {health}");
+    assert!(health.starts_with("ok"), "{health}");
+
+    let (status, live) = request(addr, "GET /status");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert!(live.contains("\"step\""), "{live}");
+    assert!(live.contains("\"ols_phase\""), "{live}");
+
+    // Graceful shutdown over HTTP, then wait for the sealed run.
+    let (status, body) = request(addr, "POST /quit");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert_eq!(body, "quitting\n");
+    let run = session.wait().expect("run completes after quit");
+    assert!(run.report.steps_completed > 0);
+
+    // Zero `.part` files: everything the run produced is sealed.
+    let records = serve_dir.join("records");
+    let leftovers: Vec<String> = std::fs::read_dir(&records)
+        .expect("records directory exists")
+        .filter_map(Result::ok)
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|name| name.ends_with(".part"))
+        .collect();
+    assert!(
+        leftovers.is_empty(),
+        "unsealed files after quit: {leftovers:?}"
+    );
+    assert!(
+        serve_dir.join("metrics.prom").exists(),
+        "final scrape flushed"
+    );
+
+    // The wall-clock lane only adds pacing and (optionally) backoff
+    // sleeps; the recorded profile must be byte-identical to a batch
+    // run of the same configuration and seed.
+    let batch_dir = base.join("batch");
+    let batch = TpuPoint::builder()
+        .analyzer(true)
+        .output_dir(&batch_dir)
+        .build();
+    batch.profile(config()).expect("batch run");
+    for file in ["steps.jsonl", "windows.jsonl"] {
+        let served = std::fs::read(records.join(file)).expect(file);
+        let batched = std::fs::read(batch_dir.join("records").join(file)).expect(file);
+        assert_eq!(served, batched, "{file} diverged between serve and batch");
+    }
+
+    std::fs::remove_dir_all(&base).unwrap();
+}
