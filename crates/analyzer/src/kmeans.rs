@@ -89,7 +89,7 @@ pub fn run(matrix: &FeatureMatrix, config: &KmeansConfig) -> KmeansResult {
 }
 
 /// One weighted k-means++ pick against the current squared distances.
-fn kmeanspp_pick(min_d2: &[f64], rng: &mut SimRng) -> usize {
+pub(crate) fn kmeanspp_pick(min_d2: &[f64], rng: &mut SimRng) -> usize {
     let n = min_d2.len();
     let total: f64 = min_d2.iter().sum();
     if total <= 0.0 {
@@ -108,7 +108,7 @@ fn kmeanspp_pick(min_d2: &[f64], rng: &mut SimRng) -> usize {
 }
 
 /// k-means++ seeding of `k` centroids.
-fn seed_centroids(matrix: &FeatureMatrix, k: usize, rng: &mut SimRng) -> Vec<Vec<f64>> {
+pub(crate) fn seed_centroids(matrix: &FeatureMatrix, k: usize, rng: &mut SimRng) -> Vec<Vec<f64>> {
     let n = matrix.len();
     let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
     centroids.push(matrix.rows[rng.uniform_u64(0, n as u64 - 1) as usize].clone());
@@ -129,7 +129,7 @@ fn seed_centroids(matrix: &FeatureMatrix, k: usize, rng: &mut SimRng) -> Vec<Vec
 }
 
 /// The nearest centroid of one row.
-fn nearest(row: &[f64], centroids: &[Vec<f64>]) -> usize {
+pub(crate) fn nearest(row: &[f64], centroids: &[Vec<f64>]) -> usize {
     let mut best_c = 0;
     let mut best_d = f64::INFINITY;
     for (c, centroid) in centroids.iter().enumerate() {
@@ -148,7 +148,7 @@ fn nearest(row: &[f64], centroids: &[Vec<f64>]) -> usize {
 /// the pool for large matrices; every row's nearest centroid is computed
 /// independently and the SSE is folded serially in row order, so the
 /// result is bit-identical for any thread count.
-fn lloyd_from(
+pub(crate) fn lloyd_from(
     matrix: &FeatureMatrix,
     mut centroids: Vec<Vec<f64>>,
     max_iters: usize,

@@ -56,6 +56,7 @@ pub mod ols;
 pub mod pca;
 pub mod phases;
 pub mod report;
+pub mod streaming;
 pub mod viz;
 
 pub use analyzer::{Analyzer, AnalyzerOptions};
@@ -67,3 +68,4 @@ pub use kmeans::{KmeansConfig, KmeansResult};
 pub use ols::{step_similarity, OlsConfig};
 pub use phases::{Phase, PhaseSet};
 pub use report::{characterize, Bottleneck};
+pub use streaming::{replay, StreamingAnalyzer, StreamingConfig, StreamingReplay, STREAM_CADENCE};

@@ -153,7 +153,7 @@ pub fn project(rows: &[Vec<f64>], k: usize) -> Vec<Vec<f64>> {
 /// Cyclic Jacobi eigendecomposition of a symmetric matrix. Returns
 /// `(eigenvalues, eigenvector_columns)` where column `c` of the returned
 /// matrix is the eigenvector for `eigenvalues[c]`.
-fn jacobi_eigen(mut a: Vec<Vec<f64>>) -> (Vec<f64>, Vec<Vec<f64>>) {
+pub(crate) fn jacobi_eigen(mut a: Vec<Vec<f64>>) -> (Vec<f64>, Vec<Vec<f64>>) {
     let d = a.len();
     let mut v: Vec<Vec<f64>> = (0..d)
         .map(|i| (0..d).map(|j| if i == j { 1.0 } else { 0.0 }).collect())

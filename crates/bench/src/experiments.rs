@@ -36,6 +36,7 @@ pub const ALL: &[&str] = &[
     "ablation_seeds",
     "bench_analyzer",
     "bench_pipeline",
+    "bench_streaming",
 ];
 
 /// Runs one experiment by id, writing CSVs under `out_dir` and returning a
@@ -68,6 +69,7 @@ pub fn run(id: &str, suite: &Suite, out_dir: &Path) -> io::Result<String> {
         "ablation_seeds" => ablation_seeds(suite, out_dir),
         "bench_analyzer" => bench_analyzer(suite, out_dir),
         "bench_pipeline" => bench_pipeline(out_dir),
+        "bench_streaming" => bench_streaming(out_dir),
         other => Err(io::Error::new(
             io::ErrorKind::InvalidInput,
             format!("unknown experiment `{other}`; known: {ALL:?}"),
@@ -986,6 +988,89 @@ fn bench_pipeline(out_dir: &Path) -> io::Result<String> {
         serial_finish_us / 1e3,
         pipelined_finish_us / 1e3,
         serial_profile.windows.len(),
+    ))
+}
+
+/// Streaming early-stop benchmark: the same paced serve run twice — once
+/// to completion and once with `--stop-on-stable` — measuring the real
+/// wall-clock win from skipping the paced tail after the live phase
+/// structure latches. Early stop cancels only the pacing: the remaining
+/// steps rush at batch speed, so both runs' recorded JSONL must stay
+/// byte-identical. Writes `BENCH_streaming.json`.
+fn bench_streaming(out_dir: &Path) -> io::Result<String> {
+    use std::time::Instant;
+
+    const PACE_US: u64 = 2_000;
+    const STABLE_K: u64 = 3;
+    let id = WorkloadId::BertMrpc;
+    let config = || {
+        build(
+            id,
+            TpuGeneration::V2,
+            &BuildOptions {
+                scale: 0.3,
+                seed: 7,
+                ..BuildOptions::default()
+            },
+        )
+    };
+    let tmp = std::env::temp_dir().join(format!("tpupoint-bench-streaming-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&tmp);
+
+    let serve_once = |dir: &Path, stop: Option<u64>| -> io::Result<(f64, u64)> {
+        let mut builder = TpuPoint::builder()
+            .analyzer(true)
+            .output_dir(dir)
+            .serve("127.0.0.1:0")
+            .serve_pace_us(PACE_US);
+        if let Some(k) = stop {
+            builder = builder.stop_on_stable(k);
+        }
+        let t = Instant::now();
+        let run = builder.build().serve(config())?.wait()?;
+        Ok((t.elapsed().as_secs_f64() * 1e6, run.report.steps_completed))
+    };
+
+    let full_dir = tmp.join("full");
+    let (full_us, steps) = serve_once(&full_dir, None)?;
+    let early_dir = tmp.join("early");
+    let (early_us, early_steps) = serve_once(&early_dir, Some(STABLE_K))?;
+
+    // Early stop skips pacing, never recording.
+    assert_eq!(steps, early_steps, "early stop lost recorded steps");
+    for file in ["steps.jsonl", "windows.jsonl"] {
+        let a = std::fs::read(full_dir.join("records").join(file))?;
+        let b = std::fs::read(early_dir.join("records").join(file))?;
+        assert!(a == b, "{file} diverged under --stop-on-stable");
+        assert!(!a.is_empty(), "{file} empty");
+    }
+
+    let speedup = full_us / early_us.max(1.0);
+    let doc = serde_json::json!({
+        "workload": id.label(),
+        "scale": 0.3,
+        "pace_us_per_step": PACE_US,
+        "stop_on_stable_k": STABLE_K,
+        "steps_recorded": steps,
+        "serve_wall": {
+            "full_us": full_us,
+            "early_stop_us": early_us,
+            "speedup": speedup,
+        },
+        "byte_identical_records": true,
+    });
+    std::fs::create_dir_all(out_dir)?;
+    let json = serde_json::to_string_pretty(&doc).map_err(|e| io::Error::other(e.to_string()))?;
+    std::fs::write(out_dir.join("BENCH_streaming.json"), json)?;
+    std::fs::remove_dir_all(&tmp)?;
+
+    Ok(format!(
+        "Streaming early-stop benchmark ({}, {PACE_US}us/step pace, K = {STABLE_K}):\n  \
+         serve wall {:>9.1} ms -> {:>9.1} ms  ({speedup:.2}x via --stop-on-stable)\n  \
+         {steps} steps recorded either way, records byte-identical\n",
+        id.label(),
+        full_us / 1e3,
+        early_us / 1e3,
     ))
 }
 

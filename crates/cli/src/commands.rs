@@ -20,7 +20,7 @@ USAGE:
   tpupoint profile --workload <id> [--generation v2|v3] [--scale F]
                    [--seed N] [--naive] [--out DIR] [--store-retries N]
                    [--store-fault-prob F] [--store-fault-seed N]
-                   [--pipeline-profiler]
+                   [--pipeline-profiler] [--paired-baseline]
       Simulate and profile a training session; writes <DIR>/profile.json.
       --store-retries bounds record-store retries before spilling to
       memory (default 3; 0 disables resilience). --store-fault-prob
@@ -28,29 +28,36 @@ USAGE:
       (deterministic under --store-fault-seed) to exercise that path.
       --pipeline-profiler seals windows off the simulation thread on the
       shared worker pool (TPUPOINT_THREADS); the recorded output is
-      byte-identical to the default serial path.
+      byte-identical to the default serial path. --paired-baseline also
+      runs an uninstrumented twin of the job and reports the *measured*
+      instrumented-to-baseline wall ratio instead of the modeled bound.
 
   tpupoint analyze <profile.json> [--algorithm ols|kmeans|dbscan]
                    [--threshold F] [--k N] [--min-samples N] [--out DIR]
-                   [--threads N] [--recover]
+                   [--threads N] [--recover] [--prefix-stable]
       Detect phases and print coverage, top operators, and checkpoints.
       --threads sizes the analyzer worker pool (default: TPUPOINT_THREADS
       or all cores); results are identical for any value. With --recover
       the argument is a records directory (e.g. <out>/records) from a
       possibly crashed run: the valid record prefix is salvaged past any
-      torn tail and analyzed, with the losses reported.
+      torn tail and analyzed, with the losses reported. --prefix-stable
+      replays the streaming analyzer over the profile and, once its phase
+      assignments stabilize, analyzes only that prefix of the steps — a
+      SeqPoint-style answer to \"how little of the run characterizes it\".
 
   tpupoint serve --workload <id> [--generation v2|v3] [--scale F]
                  [--seed N] [--naive] [--out DIR]
                  [--metrics-listen HOST:PORT] [--pace-us N]
                  [--store-retries N] [--store-fault-prob F]
                  [--store-fault-seed N] [--recorded-backoff]
+                 [--stop-on-stable K] [--paired-baseline]
       Run the job as a long-lived daemon on a wall-clock recording
       thread, serving live observability over HTTP (default listen
       127.0.0.1:9090; port 0 picks an ephemeral port):
         GET  /metrics   Prometheus text exposition of all live series
         GET  /healthz   200 ok, or 503 + degradation causes
         GET  /status    JSON: step, OLS phase, windows, spill depth
+        GET  /phases    JSON: live streaming-analyzer phase structure
         POST /quit      graceful shutdown (as does Ctrl-C / SIGINT)
       --pace-us paces the job by sleeping N real microseconds per step
       (default 500; 0 runs at batch speed). Retry backoff is actually
@@ -58,6 +65,10 @@ USAGE:
       recorded-not-slept behavior. Graceful shutdown seals all .part
       record files and flushes a final scrape to <DIR>/metrics.prom;
       the recorded JSONL is byte-identical to a batch run of the seed.
+      --stop-on-stable K ends the paced run early (exactly like /quit)
+      once the live phase assignments hold stable for K consecutive
+      analyzer updates; the remaining steps rush at batch speed so the
+      recorded profile stays complete.
 
   tpupoint optimize --workload <id> [--generation v2|v3] [--scale F]
                     [--naive]
@@ -170,7 +181,11 @@ fn profile(argv: &[String]) -> Result<(), String> {
         "store-fault-prob",
         "store-fault-seed",
     ]);
-    let args = Args::parse(argv, &options, &["naive", "pipeline-profiler"])?;
+    let args = Args::parse(
+        argv,
+        &options,
+        &["naive", "pipeline-profiler", "paired-baseline"],
+    )?;
     let session = ObsSession::start(&args)?;
     let config = build_from_args(&args)?;
     let out: PathBuf = args.get("out").unwrap_or("tpupoint-out").into();
@@ -186,6 +201,7 @@ fn profile(argv: &[String]) -> Result<(), String> {
         .store_retries(args.get_or("store-retries", 3)?)
         .store_fault(fault_prob, args.get_or("store-fault-seed", 0xFA117)?)
         .pipeline_profiler(args.flag("pipeline-profiler"))
+        .paired_baseline(args.flag("paired-baseline"))
         .build();
     let run = tp
         .profile(config)
@@ -236,8 +252,13 @@ fn serve(argv: &[String]) -> Result<(), String> {
         "store-retries",
         "store-fault-prob",
         "store-fault-seed",
+        "stop-on-stable",
     ]);
-    let args = Args::parse(argv, &options, &["naive", "recorded-backoff"])?;
+    let args = Args::parse(
+        argv,
+        &options,
+        &["naive", "recorded-backoff", "paired-baseline"],
+    )?;
     let session = ObsSession::start(&args)?;
     let config = build_from_args(&args)?;
     let out: PathBuf = args.get("out").unwrap_or("tpupoint-out").into();
@@ -248,7 +269,7 @@ fn serve(argv: &[String]) -> Result<(), String> {
         ));
     }
     let listen = args.get("metrics-listen").unwrap_or("127.0.0.1:9090");
-    let tp = TpuPoint::builder()
+    let mut builder = TpuPoint::builder()
         .analyzer(true)
         .output_dir(&out)
         .store_retries(args.get_or("store-retries", 3)?)
@@ -257,13 +278,22 @@ fn serve(argv: &[String]) -> Result<(), String> {
         .serve_pace_us(args.get_or("pace-us", 500)?)
         .serve_real_backoff(!args.flag("recorded-backoff"))
         .serve_sigint(true)
-        .build();
+        .paired_baseline(args.flag("paired-baseline"));
+    if let Some(raw) = args.get("stop-on-stable") {
+        let k: u64 = raw
+            .parse()
+            .map_err(|_| format!("--stop-on-stable got unparsable value `{raw}`"))?;
+        builder = builder.stop_on_stable(k);
+    }
+    let tp = builder.build();
     let serving = tp
         .serve(config)
         .map_err(|e| format!("serve failed to start: {e}"))?;
     let addr = serving.addr();
     println!("serving on http://{addr}");
-    println!("  GET /metrics  GET /healthz  GET /status  POST /quit  (Ctrl-C to stop)");
+    println!(
+        "  GET /metrics  GET /healthz  GET /status  GET /phases  POST /quit  (Ctrl-C to stop)"
+    );
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
     let run = serving
@@ -340,16 +370,19 @@ fn analyze(argv: &[String]) -> Result<(), String> {
             "out",
             "threads",
         ]),
-        &["recover"],
+        &["recover", "prefix-stable"],
     )?;
     let session = ObsSession::start(&args)?;
-    let profile = if args.flag("recover") {
+    let mut profile = if args.flag("recover") {
         let dir = args.positional0("records directory")?;
         recover_profile(dir)?
     } else {
         let path = args.positional0("profile.json path")?;
         load_profile(path)?
     };
+    if args.flag("prefix-stable") {
+        profile = prefix_stable(profile);
+    }
     let analyzer = Analyzer::with_options(
         &profile,
         tpupoint::analyzer::AnalyzerOptions {
@@ -405,6 +438,35 @@ fn analyze(argv: &[String]) -> Result<(), String> {
         println!("wrote {} and {}", trace.display(), csv.display());
     }
     session.finish()
+}
+
+/// Replays the streaming analyzer over `profile` and, if its phase
+/// assignments stabilized, truncates the profile to that stable prefix
+/// (the `--prefix-stable` early-stop answer). Falls back to the full
+/// profile when the run never stabilized.
+fn prefix_stable(profile: Profile) -> Profile {
+    use tpupoint::analyzer::{replay, StreamingConfig};
+    let replayed = replay(&profile, StreamingConfig::default());
+    match replayed.stable_at_step {
+        Some(step) => {
+            let prefix = profile.prefix_through(step);
+            println!(
+                "streaming analyzer stable at step {step}; analyzing the \
+                 {}-step prefix of {} recorded steps",
+                prefix.steps.len(),
+                profile.steps.len()
+            );
+            prefix
+        }
+        None => {
+            println!(
+                "streaming analyzer never stabilized over {} steps; \
+                 analyzing the full profile",
+                profile.steps.len()
+            );
+            profile
+        }
+    }
 }
 
 fn fmt_ops(rows: &[(String, SimDuration, u64)]) -> String {
@@ -550,6 +612,7 @@ mod tests {
         let p = profile_path.to_str().unwrap().to_owned();
         run(&["analyze", &p, "--algorithm", "ols"]).unwrap();
         run(&["analyze", &p, "--algorithm", "kmeans", "--k", "4"]).unwrap();
+        run(&["analyze", &p, "--algorithm", "kmeans", "--prefix-stable"]).unwrap();
         run(&["report", &p]).unwrap();
         run(&["compare", &p, &p, "--top", "5"]).unwrap();
         run(&["audit", &p]).unwrap();
@@ -639,6 +702,9 @@ mod tests {
             "127.0.0.1:0",
             "--pace-us",
             "0",
+            "--stop-on-stable",
+            "3",
+            "--paired-baseline",
         ])
         .unwrap();
         assert!(dir.join("profile.json").exists());

@@ -94,7 +94,29 @@ pub fn to_prometheus_labeled(snapshot: &MetricsSnapshot, labels: &[(&str, &str)]
         push_headers(&mut out, &prom, name, "counter");
         out.push_str(&format!("{prom}{plain} {value}\n"));
     }
+    // `analyzer.phase_occupancy.<N>` gauges are one *family*: they share
+    // a single HELP/TYPE header and export as a `phase="N"` label on one
+    // series name. The registry itself has no labeled series, so the
+    // phase id rides in the dotted name until this point. BTreeMap
+    // ordering keeps the family contiguous, so the header is emitted
+    // once, before the first member.
+    let mut phase_header_done = false;
     for (name, value) in &snapshot.gauges {
+        if let Some(phase) = name.strip_prefix(PHASE_OCCUPANCY_PREFIX) {
+            if phase.chars().all(|c| c.is_ascii_digit()) && !phase.is_empty() {
+                let family = PHASE_OCCUPANCY_PREFIX.trim_end_matches('.');
+                let prom = prom_name(family);
+                if !phase_header_done {
+                    push_headers(&mut out, &prom, family, "gauge");
+                    phase_header_done = true;
+                }
+                let mut with_phase = labels.to_vec();
+                with_phase.push(("phase", phase));
+                let block = label_block(&with_phase, None);
+                out.push_str(&format!("{prom}{block} {}\n", float_json(*value)));
+                continue;
+            }
+        }
         let prom = prom_name(name);
         push_headers(&mut out, &prom, name, "gauge");
         out.push_str(&format!("{prom}{plain} {}\n", float_json(*value)));
@@ -115,6 +137,10 @@ pub fn to_prometheus_labeled(snapshot: &MetricsSnapshot, labels: &[(&str, &str)]
     }
     out
 }
+
+/// Gauge-name prefix whose suffix is a phase id, exported as a
+/// `phase="N"` label on the family series.
+const PHASE_OCCUPANCY_PREFIX: &str = "analyzer.phase_occupancy.";
 
 fn push_headers(out: &mut String, prom: &str, raw: &str, kind: &str) {
     out.push_str(&format!(
@@ -170,7 +196,13 @@ fn help_text(name: &str) -> String {
         "profiler.seal_latency_us" => "Wall time applying one drained seal-pipeline operation, microseconds",
         "profiler.seal_backpressure_waits" => "Times the simulation thread blocked on the seal queue's high-water mark",
         "profiler.seal_queue_depth" => "Operations queued in the seal pipeline",
-        "profiler.overhead_ratio" => "Modeled instrumented-to-uninstrumented wall-clock ratio",
+        "profiler.overhead_ratio" => "Instrumented-to-uninstrumented wall-clock ratio (measured when profiler.overhead_measured is set, modeled otherwise)",
+        "profiler.overhead_measured" => "1 when the overhead ratio was measured against an uninstrumented twin run; absent when modeled",
+        "analyzer.phase_occupancy" => "Training steps currently assigned to each streaming-analyzer phase",
+        "analyzer.phase_stability" => "Fraction of previously-labeled sampled steps whose phase assignment survived the latest streaming update",
+        "analyzer.phase_count" => "Phases with at least one assigned step in the streaming analyzer",
+        "analyzer.stable_windows" => "Consecutive streaming updates at or above the stability threshold",
+        "analyzer.last_transition_step" => "Step of the most recent phase-label change in the streaming timeline",
         "audit.gaps" => "Coverage gaps found by the window audit",
         "audit.overlaps" => "Window overlaps found by the window audit",
         "audit.unobserved_fraction" => "Fraction of the profiled span not covered by any window",
@@ -284,6 +316,51 @@ mod tests {
         assert!(text.contains("tpupoint_span_analyzer_kmeans_sum{workload=\"bert-mrpc\"} 4500"));
         // HELP/TYPE headers stay unlabeled.
         assert!(text.contains("# TYPE tpupoint_profiler_windows_sealed counter\n"));
+    }
+
+    #[test]
+    fn phase_occupancy_gauges_export_as_one_labeled_family() {
+        let metrics = Metrics::new();
+        metrics.gauge("analyzer.phase_occupancy.0").set(12.0);
+        metrics.gauge("analyzer.phase_occupancy.1").set(30.0);
+        metrics.gauge("analyzer.phase_stability").set(0.97);
+        let text = to_prometheus_labeled(&metrics.snapshot(), &[("workload", "bert-mrpc")]);
+        assert!(
+            text.contains(
+                "tpupoint_analyzer_phase_occupancy{workload=\"bert-mrpc\",phase=\"0\"} 12"
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains(
+                "tpupoint_analyzer_phase_occupancy{workload=\"bert-mrpc\",phase=\"1\"} 30"
+            ),
+            "{text}"
+        );
+        // One HELP/TYPE header for the whole family, none per member.
+        assert_eq!(
+            text.matches("# TYPE tpupoint_analyzer_phase_occupancy gauge")
+                .count(),
+            1,
+            "{text}"
+        );
+        // Unsuffixed analyzer gauges keep their bare form.
+        assert!(
+            text.contains("tpupoint_analyzer_phase_stability{workload=\"bert-mrpc\"} 0.97"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn non_numeric_phase_suffix_falls_back_to_a_plain_series() {
+        let metrics = Metrics::new();
+        metrics.gauge("analyzer.phase_occupancy.odd-name").set(1.0);
+        let text = to_prometheus(&metrics.snapshot());
+        assert!(
+            text.contains("tpupoint_analyzer_phase_occupancy_odd_name 1"),
+            "{text}"
+        );
+        assert!(!text.contains("phase=\""), "{text}");
     }
 
     #[test]

@@ -12,6 +12,9 @@
 //!   backlog, or seal-queue backpressure appear ([`Health`]);
 //! * `GET /status` — a JSON view of the live run (current step, OLS
 //!   phase, window counts, spill depth), assembled by the caller's hook;
+//! * `GET /phases` — the streaming analyzer's live phase structure
+//!   (centroids, occupancy, transition timeline, stability; see
+//!   [`crate::PhasesReport`]);
 //! * `POST /quit` — requests graceful shutdown of the serving process.
 //!
 //! The server owns no policy: every response body comes from a
@@ -96,6 +99,10 @@ pub struct ServeHooks {
     pub health: Box<dyn Fn() -> Health + Send + Sync>,
     /// JSON body of `GET /status`.
     pub status: Box<dyn Fn() -> String + Send + Sync>,
+    /// JSON body of `GET /phases` — conventionally
+    /// [`crate::PhasesReport::to_json`] over the streaming analyzer's
+    /// latest snapshot.
+    pub phases: Box<dyn Fn() -> String + Send + Sync>,
     /// Invoked by `POST /quit`; should request graceful shutdown of the
     /// run that owns the server.
     pub quit: Box<dyn Fn() + Send + Sync>,
@@ -215,6 +222,7 @@ fn handle(mut stream: TcpStream, hooks: &ServeHooks) {
             (status, "text/plain; charset=utf-8", health.body())
         }
         ("GET", "/status") => ("200 OK", "application/json", (hooks.status)()),
+        ("GET", "/phases") => ("200 OK", "application/json", (hooks.phases)()),
         ("POST", "/quit") | ("GET", "/quit") => {
             (hooks.quit)();
             (
@@ -248,6 +256,7 @@ mod tests {
             metrics: Box::new(|| "tpupoint_up 1\n".to_owned()),
             health: Box::new(Health::healthy),
             status: Box::new(|| "{\"step\":7}".to_owned()),
+            phases: Box::new(|| crate::PhasesReport::default().to_json()),
             quit: Box::new(move || quit_flag.store(true, Ordering::SeqCst)),
         }
     }
@@ -276,6 +285,10 @@ mod tests {
         let (status, body) = request(addr, "GET /status");
         assert_eq!(status, "HTTP/1.1 200 OK");
         assert_eq!(body, "{\"step\":7}");
+        let (status, body) = request(addr, "GET /phases");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert!(body.contains("\"phases\": []"), "{body}");
+        assert!(body.contains("\"stability\": 0"), "{body}");
         let (status, _) = request(addr, "GET /nowhere");
         assert_eq!(status, "HTTP/1.1 404 Not Found");
         assert!(!quit.load(Ordering::SeqCst));
@@ -294,6 +307,7 @@ mod tests {
                 degradations: vec!["store_errors 4".to_owned()],
             }),
             status: Box::new(String::new),
+            phases: Box::new(String::new),
             quit: Box::new(|| {}),
         };
         let server = MetricsServer::bind("127.0.0.1:0", hooks).unwrap();

@@ -24,6 +24,7 @@
 mod export;
 mod http;
 mod metrics;
+mod phases;
 mod report;
 mod trace;
 
@@ -32,7 +33,10 @@ pub use export::{
 };
 pub use http::{Health, MetricsServer, ServeHooks};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Metrics, MetricsSnapshot};
-pub use report::{AlgorithmRuntime, ObsReport, StageTime, StoreHealth, WindowAudit, WindowHealth};
+pub use phases::{PhaseStat, PhaseTransition, PhasesReport};
+pub use report::{
+    AlgorithmRuntime, ObsReport, PhaseHealth, StageTime, StoreHealth, WindowAudit, WindowHealth,
+};
 pub use trace::{
     current_tid, register_thread_lane, ArgValue, SpanEvent, SpanGuard, Tracer, MAIN_TID,
 };

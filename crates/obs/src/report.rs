@@ -71,6 +71,26 @@ pub struct WindowHealth {
     pub clean: bool,
 }
 
+/// Live phase structure from the streaming analyzer, when one ran. Kept
+/// as an `Option` on [`ObsReport`] following the [`WindowAudit`]
+/// convention: the `analyzer.phase_stability` gauge is the sentinel — it
+/// is published on every streaming update, even when the score is `0.0`,
+/// so its absence means the streaming analyzer never ran rather than
+/// that it ran and found nothing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseHealth {
+    /// Phases with at least one assigned step.
+    pub phases: u64,
+    /// Fraction of sampled steps whose assignment survived the latest
+    /// update unchanged.
+    pub stability: f64,
+    /// Consecutive updates at or above the stability threshold.
+    pub stable_windows: u64,
+    /// Step of the most recent phase transition; `None` when the
+    /// timeline has no transition yet.
+    pub last_transition_step: Option<u64>,
+}
+
 /// Health of the profiler's record-store layer (retry/spill resilience).
 #[derive(Debug, Clone, PartialEq)]
 pub struct StoreHealth {
@@ -121,6 +141,12 @@ pub struct ObsReport {
     /// job, when the profiler recorded one (gauge
     /// `profiler.overhead_ratio`).
     pub overhead_ratio: Option<f64>,
+    /// Whether the overhead ratio was *measured* against a paired
+    /// uninstrumented twin run (gauge `profiler.overhead_measured`)
+    /// rather than modeled as `1 + profiling_overhead_frac`.
+    pub overhead_measured: bool,
+    /// Streaming-analyzer phase structure, when one ran.
+    pub phase_health: Option<PhaseHealth>,
     /// Window-pipeline health, when profiler counters are present.
     pub window_health: Option<WindowHealth>,
     /// Record-store resilience health, when store metrics are present.
@@ -221,10 +247,22 @@ impl ObsReport {
             queue_depth: gauge("profiler.seal_queue_depth").unwrap_or(0.0) as u64,
         });
 
+        // `analyzer.phase_stability` is published on every streaming
+        // update (even at 0.0), so its absence means "streaming analyzer
+        // never ran" — the same sentinel convention as the window audit.
+        let phase_health = gauge("analyzer.phase_stability").map(|stability| PhaseHealth {
+            phases: gauge("analyzer.phase_count").unwrap_or(0.0) as u64,
+            stability,
+            stable_windows: gauge("analyzer.stable_windows").unwrap_or(0.0) as u64,
+            last_transition_step: gauge("analyzer.last_transition_step").map(|s| s as u64),
+        });
+
         ObsReport {
             stages,
             algorithms,
             overhead_ratio: gauge("profiler.overhead_ratio"),
+            overhead_measured: gauge("profiler.overhead_measured").is_some_and(|v| v > 0.0),
+            phase_health,
             window_health,
             store_health,
             pipeline_health,
@@ -267,13 +305,33 @@ impl ObsReport {
 
         match self.overhead_ratio {
             Some(ratio) => {
+                let source = if self.overhead_measured {
+                    "measured against an uninstrumented twin"
+                } else {
+                    "modeled"
+                };
                 let _ = writeln!(
                     out,
-                    "\nprofiler overhead: {:.2}% (instrumented/uninstrumented wall ratio {ratio:.4})",
+                    "\nprofiler overhead: {:.2}% (instrumented/uninstrumented wall ratio {ratio:.4}, {source})",
                     (ratio - 1.0) * 100.0
                 );
             }
             None => out.push_str("\nprofiler overhead: (not measured)\n"),
+        }
+
+        match &self.phase_health {
+            Some(phase) => {
+                let last = match phase.last_transition_step {
+                    Some(step) => format!("last transition @ step {step}"),
+                    None => "no transitions".to_owned(),
+                };
+                let _ = writeln!(
+                    out,
+                    "streaming analyzer: {} phases, stability {:.2} (stable for {} windows), {last}",
+                    phase.phases, phase.stability, phase.stable_windows
+                );
+            }
+            None => out.push_str("streaming analyzer: not run\n"),
         }
 
         match &self.window_health {
@@ -444,6 +502,70 @@ mod tests {
         let audit = health.audit.as_ref().expect("audit ran");
         assert_eq!(audit.unobserved_fraction, 0.0);
         assert!(report.render().contains("0.00% unobserved -> clean"));
+    }
+
+    #[test]
+    fn missing_phase_gauges_report_not_run() {
+        let report = ObsReport::from_snapshot(&instrumented_snapshot());
+        assert!(report.phase_health.is_none());
+        let text = report.render();
+        assert!(text.contains("streaming analyzer: not run"), "{text}");
+    }
+
+    #[test]
+    fn phase_health_reflects_streaming_gauges() {
+        let metrics = Metrics::new();
+        metrics.gauge("analyzer.phase_stability").set(0.97);
+        metrics.gauge("analyzer.phase_count").set(3.0);
+        metrics.gauge("analyzer.stable_windows").set(4.0);
+        metrics.gauge("analyzer.last_transition_step").set(120.0);
+        let report = ObsReport::from_snapshot(&metrics.snapshot());
+        let phase = report
+            .phase_health
+            .as_ref()
+            .expect("stability gauge present");
+        assert_eq!(phase.phases, 3);
+        assert!((phase.stability - 0.97).abs() < 1e-12);
+        assert_eq!(phase.stable_windows, 4);
+        assert_eq!(phase.last_transition_step, Some(120));
+        let text = report.render();
+        assert!(
+            text.contains("streaming analyzer: 3 phases, stability 0.97"),
+            "{text}"
+        );
+        assert!(text.contains("last transition @ step 120"), "{text}");
+    }
+
+    #[test]
+    fn phase_health_without_transitions_prints_none() {
+        // A streaming run whose timeline never changed label publishes
+        // stability but no `analyzer.last_transition_step` gauge.
+        let metrics = Metrics::new();
+        metrics.gauge("analyzer.phase_stability").set(1.0);
+        metrics.gauge("analyzer.phase_count").set(1.0);
+        let report = ObsReport::from_snapshot(&metrics.snapshot());
+        let phase = report.phase_health.as_ref().expect("ran");
+        assert_eq!(phase.last_transition_step, None);
+        assert!(report.render().contains("no transitions"));
+    }
+
+    #[test]
+    fn overhead_source_distinguishes_measured_from_modeled() {
+        let metrics = Metrics::new();
+        metrics.gauge("profiler.overhead_ratio").set(1.021);
+        let modeled = ObsReport::from_snapshot(&metrics.snapshot());
+        assert!(!modeled.overhead_measured);
+        assert!(modeled.render().contains("ratio 1.0210, modeled"));
+        metrics.gauge("profiler.overhead_measured").set(1.0);
+        let measured = ObsReport::from_snapshot(&metrics.snapshot());
+        assert!(measured.overhead_measured);
+        assert!(
+            measured
+                .render()
+                .contains("ratio 1.0210, measured against an uninstrumented twin"),
+            "{}",
+            measured.render()
+        );
     }
 
     #[test]

@@ -1,0 +1,76 @@
+//! Golden-file lock on the `GET /phases` JSON shape.
+//!
+//! The live phases endpoint is consumed by external tooling (dashboards,
+//! curl-in-CI), so its exact rendering — key order, float formatting,
+//! array layout — is a compatibility contract just like the Prometheus
+//! exposition. This test renders a fixed [`PhasesReport`] and compares it
+//! byte-for-byte with the checked-in golden file; any intentional format
+//! change must update `tests/golden/phases.json` alongside.
+
+use tpupoint_obs::{PhaseStat, PhaseTransition, PhasesReport};
+
+const GOLDEN: &str = include_str!("golden/phases.json");
+
+fn fixed_report() -> PhasesReport {
+    PhasesReport {
+        phases: vec![
+            PhaseStat {
+                id: 0,
+                occupancy: 24,
+                share: 0.6,
+                // Mixed float shapes: fraction, integral, zero.
+                centroid: vec![0.25, 1.0, 0.0],
+            },
+            PhaseStat {
+                id: 1,
+                occupancy: 16,
+                share: 0.4,
+                centroid: vec![0.75, 0.125],
+            },
+        ],
+        stability: 0.9375,
+        stable_windows: 3,
+        updates: 7,
+        steps_assigned: 40,
+        last_transition_step: Some(33),
+        transitions: vec![
+            PhaseTransition { step: 17, phase: 1 },
+            PhaseTransition { step: 33, phase: 0 },
+        ],
+    }
+}
+
+#[test]
+fn phases_json_matches_the_golden_file() {
+    assert_eq!(
+        fixed_report().to_json(),
+        GOLDEN,
+        "/phases JSON drifted from tests/golden/phases.json; \
+         if the change is intentional, update the golden file"
+    );
+}
+
+#[test]
+fn golden_file_is_self_consistent() {
+    // Sanity on the golden file itself, so a bad regeneration can't lock
+    // in a broken shape: balanced braces/brackets and every contract key
+    // present exactly once at the top level.
+    assert_eq!(GOLDEN.matches('{').count(), GOLDEN.matches('}').count());
+    assert_eq!(GOLDEN.matches('[').count(), GOLDEN.matches(']').count());
+    for key in [
+        "\"phases\"",
+        "\"stability\"",
+        "\"stable_windows\"",
+        "\"updates\"",
+        "\"steps_assigned\"",
+        "\"last_transition_step\"",
+        "\"transitions\"",
+    ] {
+        assert_eq!(
+            GOLDEN.matches(&format!("\n  {key}: ")).count(),
+            1,
+            "top-level key {key} missing or duplicated"
+        );
+    }
+    assert!(GOLDEN.ends_with("]\n}\n"), "trailing shape changed");
+}

@@ -81,6 +81,20 @@ impl Profile {
         &self.steps[lo..hi]
     }
 
+    /// The profile truncated to steps at or below `step`: records,
+    /// windows, step marks, and checkpoints past the cut are dropped.
+    /// Used by `analyze --prefix-stable` to characterize only the prefix
+    /// the streaming analyzer declared stable.
+    #[must_use]
+    pub fn prefix_through(&self, step: u64) -> Profile {
+        let mut prefix = self.clone();
+        prefix.steps.retain(|r| r.step <= step);
+        prefix.windows.retain(|w| w.first_step <= step);
+        prefix.step_marks.retain(|&(s, _)| s <= step);
+        prefix.checkpoints.retain(|&(s, _)| s <= step);
+        prefix
+    }
+
     /// TPU idle fraction over the stepped portion of the run, computed from
     /// the statistical records exactly as TPUPoint reports it (Figure 10).
     pub fn steady_tpu_idle_fraction(&self) -> f64 {

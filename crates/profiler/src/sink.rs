@@ -81,6 +81,13 @@ enum StoreLane {
     Pipelined(SealPipeline),
 }
 
+/// Callback handed batches of newly completed [`StepRecord`]s while the
+/// run is still in flight (the streaming-analyzer feed). Batches arrive
+/// in ascending step order, on the simulation thread, and each step is
+/// delivered at most once; the observer only *reads* records, so the
+/// sealed store output is byte-identical with or without one attached.
+pub type SealObserver = Box<dyn FnMut(&[StepRecord]) + Send>;
+
 /// A [`TraceSink`] that builds statistical profile records online.
 ///
 /// Attach to a [`tpupoint_runtime::TrainingJob`] run; call
@@ -106,6 +113,15 @@ pub struct ProfilerSink {
     first_store_error: Option<String>,
     stopped: bool,
     obs: SinkMetrics,
+    observer: Option<SealObserver>,
+    /// Steps at or above this bound have not been delivered to the
+    /// observer yet (exclusive watermark).
+    delivered_through: u64,
+    /// Deliver completed steps to the observer every this many step
+    /// marks, in addition to every sealed window (0 = seals only). The
+    /// default window caps rarely trigger on short simulated jobs, so
+    /// seal events alone would starve a live consumer.
+    observer_cadence: u64,
 }
 
 impl std::fmt::Debug for ProfilerSink {
@@ -142,6 +158,39 @@ impl ProfilerSink {
             first_store_error: None,
             stopped: false,
             obs: SinkMetrics::new(),
+            observer: None,
+            delivered_through: 0,
+            observer_cadence: 0,
+        }
+    }
+
+    /// Attaches a streaming observer fed with completed step records at
+    /// every sealed window and, when `cadence > 0`, every `cadence`
+    /// step marks. See [`SealObserver`] for the delivery contract.
+    pub fn set_seal_observer(&mut self, observer: SealObserver, cadence: u64) {
+        self.observer = Some(observer);
+        self.observer_cadence = cadence;
+    }
+
+    /// Delivers every not-yet-delivered step record below `hi_exclusive`
+    /// to the observer, in ascending step order.
+    fn deliver_completed(&mut self, hi_exclusive: u64) {
+        let Some(observer) = self.observer.as_mut() else {
+            return;
+        };
+        if hi_exclusive <= self.delivered_through {
+            return;
+        }
+        let mut batch: Vec<StepRecord> = self
+            .steps
+            .values()
+            .filter(|r| r.step >= self.delivered_through && r.step < hi_exclusive)
+            .cloned()
+            .collect();
+        batch.sort_by_key(|r| r.step);
+        self.delivered_through = hi_exclusive;
+        if !batch.is_empty() {
+            observer(&batch);
         }
     }
 
@@ -259,7 +308,12 @@ impl ProfilerSink {
             if let Some(result) = serial_result {
                 self.note_store_result("put_window", result);
             }
+            // Steps below the window's last step are complete; the last
+            // step itself may straddle into the next window, so it stays
+            // undelivered until a later seal or cadence tick.
+            let completed_below = window.last_step;
             self.windows.push(window);
+            self.deliver_completed(completed_below);
         }
     }
 
@@ -303,6 +357,15 @@ impl ProfilerSink {
         self.seal_window();
         let mut steps: Vec<StepRecord> = std::mem::take(&mut self.steps).into_values().collect();
         steps.sort_by_key(|r| r.step);
+        // Flush the undelivered tail to the observer so it has seen
+        // every step exactly once by the time the profile exists.
+        if let Some(observer) = self.observer.as_mut() {
+            let from = steps.partition_point(|r| r.step < self.delivered_through);
+            if from < steps.len() {
+                observer(&steps[from..]);
+            }
+            self.delivered_through = u64::MAX;
+        }
         let (op_names, op_uses_mxu) = self.catalog_columns();
         let mut op_on_host = std::mem::take(&mut self.op_on_host);
         op_on_host.resize(op_names.len(), true);
@@ -395,6 +458,13 @@ impl TraceSink for ProfilerSink {
             return;
         }
         self.step_marks.push((step, at));
+        // The cadence tick keeps a live observer fed even when the
+        // window caps never trigger. One step of slack: step `step` just
+        // completed, but pipelined events for it may still be in flight,
+        // so only steps strictly below it are delivered.
+        if self.observer_cadence > 0 && step > 0 && step.is_multiple_of(self.observer_cadence) {
+            self.deliver_completed(step);
+        }
         if self.options.breakpoint_step == Some(step) {
             // The profiling thread sends its last request and detaches;
             // training continues unobserved.
@@ -524,6 +594,66 @@ mod tests {
         // ground truth (same definition, same window).
         let idle = profile.steady_tpu_idle_fraction();
         assert!((idle - report.tpu_idle_fraction()).abs() < 0.05);
+    }
+
+    #[test]
+    fn seal_observer_sees_every_step_once_in_order() {
+        use std::sync::{Arc, Mutex};
+        let job = TrainingJob::new(JobConfig::demo());
+        let mut sink = ProfilerSink::new(job.catalog().clone(), ProfilerOptions::default());
+        let batches: Arc<Mutex<Vec<Vec<u64>>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink_batches = Arc::clone(&batches);
+        sink.set_seal_observer(
+            Box::new(move |records| {
+                sink_batches
+                    .lock()
+                    .unwrap()
+                    .push(records.iter().map(|r| r.step).collect());
+            }),
+            4,
+        );
+        job.run(&mut sink);
+        let profile = sink.finish();
+        let batches = batches.lock().unwrap();
+        assert!(
+            batches.len() > 2,
+            "cadence delivery fired mid-run, not only at finish: {batches:?}"
+        );
+        let delivered: Vec<u64> = batches.iter().flatten().copied().collect();
+        let mut sorted = delivered.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(delivered, sorted, "ascending, no duplicates");
+        let all: Vec<u64> = profile.steps.iter().map(|r| r.step).collect();
+        assert_eq!(delivered, all, "every profile step delivered exactly once");
+    }
+
+    #[test]
+    fn seal_observer_fires_on_window_seals_without_cadence() {
+        use std::sync::{Arc, Mutex};
+        let job = TrainingJob::new(JobConfig::demo());
+        let mut sink = ProfilerSink::new(
+            job.catalog().clone(),
+            ProfilerOptions {
+                window_max_span: SimDuration::from_millis(50),
+                ..ProfilerOptions::default()
+            },
+        );
+        let batches: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink_batches = Arc::clone(&batches);
+        sink.set_seal_observer(
+            Box::new(move |records| sink_batches.lock().unwrap().push(records.len())),
+            0,
+        );
+        job.run(&mut sink);
+        let profile = sink.finish();
+        assert!(profile.windows.len() > 1);
+        // Seals alone (cadence 0) still deliver, before the finish flush.
+        assert!(
+            batches.lock().unwrap().len() > 1,
+            "{:?}",
+            batches.lock().unwrap()
+        );
     }
 
     #[test]

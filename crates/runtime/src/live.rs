@@ -36,6 +36,8 @@ pub struct LiveStatus {
     phase: AtomicU64,
     phase_changes: AtomicU64,
     checkpoints: AtomicU64,
+    stream_phases: AtomicU64,
+    stream_stable_for: AtomicU64,
     done: AtomicBool,
 }
 
@@ -65,6 +67,25 @@ impl LiveStatus {
     /// Checkpoints written so far.
     pub fn checkpoints(&self) -> u64 {
         self.checkpoints.load(Ordering::Relaxed)
+    }
+
+    /// Phases the streaming analyzer currently distinguishes (0 until
+    /// its first update).
+    pub fn stream_phases(&self) -> u64 {
+        self.stream_phases.load(Ordering::Relaxed)
+    }
+
+    /// Consecutive streaming-analyzer updates whose phase assignments
+    /// stayed stable — the `--stop-on-stable` early-exit counter.
+    pub fn stream_stable_for(&self) -> u64 {
+        self.stream_stable_for.load(Ordering::Relaxed)
+    }
+
+    /// Publishes the streaming analyzer's latest state (called from the
+    /// profiler's seal-observer hook on the simulation thread).
+    pub fn set_stream_state(&self, phases: u64, stable_for: u64) {
+        self.stream_phases.store(phases, Ordering::Relaxed);
+        self.stream_stable_for.store(stable_for, Ordering::Relaxed);
     }
 
     /// Whether the job has finished (set by the serve driver after the

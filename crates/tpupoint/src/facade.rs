@@ -51,6 +51,8 @@ pub struct TpuPointBuilder {
     pub(crate) serve_pace_us: u64,
     pub(crate) serve_real_backoff: bool,
     pub(crate) serve_sigint: bool,
+    pub(crate) paired_baseline: bool,
+    pub(crate) stop_on_stable: Option<u64>,
 }
 
 impl Default for TpuPointBuilder {
@@ -70,6 +72,8 @@ impl Default for TpuPointBuilder {
             serve_pace_us: 500,
             serve_real_backoff: true,
             serve_sigint: false,
+            paired_baseline: false,
+            stop_on_stable: None,
         }
     }
 }
@@ -176,6 +180,30 @@ impl TpuPointBuilder {
         self
     }
 
+    /// Also runs an *uninstrumented* twin of every profiled job (same
+    /// config and seed, no profiling overhead, events discarded) and
+    /// reports the **measured** instrumented-to-uninstrumented wall
+    /// ratio instead of the modeled `1 + profiling_overhead_frac`. Both
+    /// walls are simulated time, so the measurement is deterministic
+    /// and unaffected by serve-mode pacing; the measured ratio is
+    /// usually *below* the modeled bound because pipeline overlap
+    /// absorbs part of the host slowdown.
+    pub fn paired_baseline(mut self, enabled: bool) -> Self {
+        self.paired_baseline = enabled;
+        self
+    }
+
+    /// SeqPoint-style early stop for serve mode: end the run gracefully
+    /// (exactly like `POST /quit`) once the streaming analyzer's phase
+    /// assignments have been stable for `k` consecutive updates. The
+    /// remaining steps still execute at batch speed, so the recorded
+    /// profile stays complete — only the paced wall-clock tail is
+    /// skipped.
+    pub fn stop_on_stable(mut self, k: u64) -> Self {
+        self.stop_on_stable = Some(k);
+        self
+    }
+
     /// Finishes the builder.
     pub fn build(self) -> TpuPoint {
         TpuPoint { options: self }
@@ -269,6 +297,17 @@ impl TpuPoint {
             analyzer = self.options.analyzer,
             overhead_frac = self.options.profiling_overhead_frac
         );
+        // The paired baseline runs the *clean* config — before the
+        // profiling overhead is charged — so its simulated wall is what
+        // an uninstrumented run of the same seed would take.
+        let baseline_wall = if self.options.paired_baseline {
+            let _twin_span = tpupoint_obs::span!("tpupoint.paired_baseline");
+            let twin = TrainingJob::new(config.clone());
+            let report = twin.run(&mut tpupoint_simcore::trace::NullSink);
+            Some(report.session_wall)
+        } else {
+            None
+        };
         config.host_overhead_frac += self.options.profiling_overhead_frac;
         let job = TrainingJob::new(config);
         let mut sink = if self.options.analyzer {
@@ -297,7 +336,10 @@ impl TpuPoint {
         sink.set_source(&job.config().model, &job.config().dataset.name);
         let report = job.run(&mut sink);
         let profile = sink.finish();
-        self.publish_run_gauges(&profile);
+        let measured = baseline_wall.map(|baseline| {
+            report.session_wall.as_micros() as f64 / baseline.as_micros().max(1) as f64
+        });
+        self.publish_run_gauges(&profile, measured);
         Ok(ProfiledRun { report, profile })
     }
 
@@ -336,14 +378,26 @@ impl TpuPoint {
         Ok(store)
     }
 
-    /// Publishes the run-level observability gauges: the modeled
-    /// instrumented-vs-uninstrumented wall ratio and the window-audit
-    /// health of the captured profile.
-    pub(crate) fn publish_run_gauges(&self, profile: &Profile) {
+    /// Publishes the run-level observability gauges: the
+    /// instrumented-vs-uninstrumented wall ratio (measured against the
+    /// paired-baseline twin when one ran, modeled as
+    /// `1 + profiling_overhead_frac` otherwise) and the window-audit
+    /// health of the captured profile. The `profiler.overhead_measured`
+    /// marker gauge is only ever set on the measured path — obs-report
+    /// uses its presence to label the ratio's provenance.
+    pub(crate) fn publish_run_gauges(&self, profile: &Profile, measured_ratio: Option<f64>) {
         let metrics = tpupoint_obs::metrics();
-        metrics
-            .gauge("profiler.overhead_ratio")
-            .set(1.0 + self.options.profiling_overhead_frac);
+        match measured_ratio {
+            Some(ratio) => {
+                metrics.gauge("profiler.overhead_ratio").set(ratio);
+                metrics.gauge("profiler.overhead_measured").set(1.0);
+            }
+            None => {
+                metrics
+                    .gauge("profiler.overhead_ratio")
+                    .set(1.0 + self.options.profiling_overhead_frac);
+            }
+        }
         let audit = tpupoint_profiler::audit_windows(
             &profile.windows,
             tpupoint_simcore::SimDuration::from_millis(1),
@@ -442,6 +496,32 @@ mod tests {
         let r_slow = slow.profile(cfg.clone()).unwrap();
         let r_fast = fast.profile(cfg).unwrap();
         assert!(r_slow.report.session_wall > r_fast.report.session_wall);
+    }
+
+    #[test]
+    fn paired_baseline_emits_a_measured_overhead_ratio() {
+        let tp = TpuPoint::builder()
+            .analyzer(false)
+            .profiling_overhead(0.5)
+            .paired_baseline(true)
+            .build();
+        // Host-bound configuration so the charged host overhead actually
+        // moves the session wall: no jitter, no pipelining, slow host.
+        let mut cfg = demo();
+        cfg.jitter_sigma = 0.0;
+        cfg.pipeline = tpupoint_graph::PipelineSpec::naive(cfg.pipeline.batch_size);
+        cfg.dataset.host_us_per_batch = 100_000.0;
+        tp.profile(cfg).expect("profiling with twin");
+        let snapshot = tpupoint_obs::metrics().snapshot();
+        assert_eq!(
+            snapshot.gauges.get("profiler.overhead_measured"),
+            Some(&1.0),
+            "measured marker emitted"
+        );
+        let ratio = snapshot.gauges["profiler.overhead_ratio"];
+        // Measured against the twin: strictly above 1 (overhead is real)
+        // and at most the modeled 1.5 bound (overlap can only absorb).
+        assert!(ratio > 1.0 && ratio <= 1.5 + 1e-9, "measured ratio {ratio}");
     }
 
     #[test]

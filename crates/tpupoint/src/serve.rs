@@ -31,6 +31,9 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use std::sync::Mutex;
+
+use tpupoint_analyzer::{StreamingAnalyzer, StreamingConfig, STREAM_CADENCE};
 use tpupoint_obs::{to_prometheus_labeled, Health, MetricsServer, ServeHooks};
 use tpupoint_profiler::{PipelineConfig, ProfilerSink};
 use tpupoint_runtime::{JobConfig, LiveSink, LiveStatus, TrainingJob};
@@ -98,6 +101,14 @@ fn preregister_series() {
         "profiler.store_spill_depth",
         "profiler.seal_queue_depth",
         "profiler.overhead_ratio",
+        // The streaming analyzer always runs in serve mode, so its
+        // scalar gauges are part of the schema from scrape #1. Per-phase
+        // occupancy gauges appear with the first update (the phase count
+        // is not known up front), and `analyzer.last_transition_step`
+        // only once a transition exists.
+        "analyzer.phase_stability",
+        "analyzer.phase_count",
+        "analyzer.stable_windows",
     ] {
         metrics.gauge(gauge);
     }
@@ -120,6 +131,8 @@ pub struct ServeSession {
     workload: String,
     tp: TpuPoint,
     sigint: bool,
+    stop_on_stable: Option<u64>,
+    baseline_wall: Option<tpupoint_simcore::SimDuration>,
 }
 
 impl ServeSession {
@@ -154,12 +167,26 @@ impl ServeSession {
             if self.sigint && sigint::hit() {
                 self.quit.store(true, Ordering::SeqCst);
             }
+            // SeqPoint-style early stop: once the streaming phase
+            // assignments have been stable for K consecutive updates,
+            // the remaining paced steps add no new phase information —
+            // quit gracefully (the job rushes its tail at batch speed,
+            // so the recorded profile stays complete and byte-identical
+            // to batch).
+            if let Some(k) = self.stop_on_stable {
+                if self.status.stream_stable_for() >= k {
+                    self.quit.store(true, Ordering::SeqCst);
+                }
+            }
             std::thread::sleep(Duration::from_millis(20));
         }
         let run = job
             .join()
             .map_err(|_| io::Error::other("serve recording thread panicked"))??;
-        self.tp.publish_run_gauges(&run.profile);
+        let measured = self.baseline_wall.map(|baseline| {
+            run.report.session_wall.as_micros() as f64 / baseline.as_micros().max(1) as f64
+        });
+        self.tp.publish_run_gauges(&run.profile, measured);
         self.status.set_done();
         if let Some(dir) = &self.output_dir {
             let scrape = to_prometheus_labeled(
@@ -195,6 +222,17 @@ impl TpuPoint {
             sigint::install();
         }
 
+        // The paired-baseline twin runs the clean config at batch speed
+        // before the paced job starts; both walls are simulated time, so
+        // serve-mode pacing never skews the measured ratio.
+        let baseline_wall = if options.paired_baseline {
+            let _twin_span = tpupoint_obs::span!("tpupoint.paired_baseline");
+            let twin = TrainingJob::new(config.clone());
+            let report = twin.run(&mut tpupoint_simcore::trace::NullSink);
+            Some(report.session_wall)
+        } else {
+            None
+        };
         config.host_overhead_frac += options.profiling_overhead_frac;
         let job = TrainingJob::new(config);
         let workload = job.config().model.clone();
@@ -221,6 +259,50 @@ impl TpuPoint {
 
         let status = LiveStatus::new();
         let quit = Arc::new(AtomicBool::new(false));
+
+        // The streaming analyzer rides the profiler's seal-observer
+        // hook: completed step records arrive on the recording thread
+        // (at seals and every STREAM_CADENCE step marks), the phase
+        // structure re-clusters incrementally, and the fresh state is
+        // published to the registry gauges and the shared LiveStatus.
+        // The observer only reads records, so the sealed JSONL output
+        // stays byte-identical to a batch run.
+        let streaming = Arc::new(Mutex::new(StreamingAnalyzer::new(
+            StreamingConfig::default(),
+        )));
+        let n_ops = job.catalog().len();
+        let observer_analyzer = Arc::clone(&streaming);
+        let observer_status = Arc::clone(&status);
+        sink.set_seal_observer(
+            Box::new(move |records| {
+                let mut analyzer = observer_analyzer.lock().expect("streaming lock");
+                analyzer.observe_seal(records, n_ops);
+                let metrics = tpupoint_obs::metrics();
+                metrics
+                    .gauge("analyzer.phase_stability")
+                    .set(analyzer.stability());
+                metrics
+                    .gauge("analyzer.phase_count")
+                    .set(analyzer.phase_count() as f64);
+                metrics
+                    .gauge("analyzer.stable_windows")
+                    .set(analyzer.stable_windows() as f64);
+                let report = analyzer.report();
+                if let Some(step) = report.last_transition_step {
+                    metrics
+                        .gauge("analyzer.last_transition_step")
+                        .set(step as f64);
+                }
+                for phase in &report.phases {
+                    metrics
+                        .gauge(&format!("analyzer.phase_occupancy.{}", phase.id))
+                        .set(phase.occupancy as f64);
+                }
+                observer_status
+                    .set_stream_state(analyzer.phase_count() as u64, analyzer.stable_windows());
+            }),
+            STREAM_CADENCE as u64,
+        );
         let mut live = LiveSink::new(
             sink,
             Arc::clone(&status),
@@ -238,6 +320,7 @@ impl TpuPoint {
 
         let hook_workload = workload.clone();
         let hook_status = Arc::clone(&status);
+        let hook_phases = Arc::clone(&streaming);
         let hook_quit = Arc::clone(&quit);
         let server = MetricsServer::bind(
             &listen,
@@ -258,7 +341,9 @@ impl TpuPoint {
                         concat!(
                             "{{\"step\": {}, \"ols_phase\": {}, \"checkpoints\": {}, ",
                             "\"windows_sealed\": {}, \"windows_dropped\": {}, ",
-                            "\"spill_depth\": {}, \"seal_queue_depth\": {}, \"done\": {}}}\n"
+                            "\"spill_depth\": {}, \"seal_queue_depth\": {}, ",
+                            "\"stream_phases\": {}, \"stream_stable_for\": {}, ",
+                            "\"done\": {}}}\n"
                         ),
                         hook_status.current_step(),
                         hook_status.ols_phase(),
@@ -267,8 +352,17 @@ impl TpuPoint {
                         counter("profiler.windows_dropped"),
                         gauge("profiler.store_spill_depth"),
                         gauge("profiler.seal_queue_depth"),
+                        hook_status.stream_phases(),
+                        hook_status.stream_stable_for(),
                         hook_status.is_done(),
                     )
+                }),
+                phases: Box::new(move || {
+                    hook_phases
+                        .lock()
+                        .expect("streaming lock")
+                        .report()
+                        .to_json()
                 }),
                 quit: Box::new(move || hook_quit.store(true, Ordering::SeqCst)),
             },
@@ -283,6 +377,8 @@ impl TpuPoint {
             workload,
             tp: self.clone(),
             sigint: options.serve_sigint,
+            stop_on_stable: options.stop_on_stable,
+            baseline_wall,
         })
     }
 }

@@ -21,14 +21,23 @@ fn request(addr: SocketAddr, line: &str) -> (String, String) {
 }
 
 fn config() -> JobConfig {
+    // Scale 0.3 gives the run enough steps (116, ~15 streaming updates)
+    // for the live phase tracker to latch stability before shutdown.
     build(
         WorkloadId::BertMrpc,
         TpuGeneration::V2,
         &BuildOptions {
-            scale: 0.1,
+            scale: 0.3,
             ..BuildOptions::default()
         },
     )
+}
+
+/// Extracts the integer value of `"key": N` from a flat JSON body.
+fn json_u64(body: &str, key: &str) -> Option<u64> {
+    let tail = body.split(&format!("\"{key}\": ")).nth(1)?;
+    let digits: String = tail.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
 }
 
 #[test]
@@ -52,11 +61,7 @@ fn serve_scrapes_live_and_shutdown_matches_batch_byte_for_byte() {
     let series: BTreeSet<&str> = metrics
         .lines()
         .filter(|line| !line.starts_with('#') && !line.is_empty())
-        .map(|line| {
-            line.split(['{', ' '])
-                .next()
-                .expect("series name")
-        })
+        .map(|line| line.split(['{', ' ']).next().expect("series name"))
         .collect();
     assert!(
         series.len() >= 10,
@@ -84,6 +89,45 @@ fn serve_scrapes_live_and_shutdown_matches_batch_byte_for_byte() {
     assert_eq!(status, "HTTP/1.1 200 OK");
     assert!(live.contains("\"step\""), "{live}");
     assert!(live.contains("\"ols_phase\""), "{live}");
+    assert!(live.contains("\"stream_phases\""), "{live}");
+    assert!(live.contains("\"stream_stable_for\""), "{live}");
+
+    // The live phase endpoint must report a non-empty *stable* phase set
+    // before shutdown: poll until the streaming analyzer latches.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    let phases = loop {
+        let (status, body) = request(addr, "GET /phases");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        if json_u64(&body, "stable_windows").is_some_and(|w| w >= 3) {
+            break body;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "streaming analyzer never latched stability; last /phases: {body}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    };
+    assert!(
+        phases.contains("\"id\": 0"),
+        "non-empty phase set: {phases}"
+    );
+    assert!(phases.contains("\"centroid\": ["), "{phases}");
+    assert!(phases.contains("\"occupancy\": "), "{phases}");
+    assert!(
+        json_u64(&phases, "steps_assigned").is_some_and(|n| n > 0),
+        "{phases}"
+    );
+
+    // The per-phase series reached the Prometheus exposition too.
+    let (_, metrics) = request(addr, "GET /metrics");
+    assert!(
+        metrics.contains("tpupoint_analyzer_phase_occupancy{") && metrics.contains("phase=\"0\""),
+        "per-phase occupancy family missing from /metrics"
+    );
+    assert!(
+        metrics.contains("tpupoint_analyzer_phase_stability"),
+        "stability gauge missing from /metrics"
+    );
 
     // Graceful shutdown over HTTP, then wait for the sealed run.
     let (status, body) = request(addr, "POST /quit");

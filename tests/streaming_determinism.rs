@@ -1,0 +1,139 @@
+//! Integration: the streaming analyzer's phase timeline is bit-identical
+//! for any worker-pool size, converges to the offline k-means phase
+//! assignment within bounded disagreement, and its stability latch marks
+//! a prefix that still characterizes the run (the `--prefix-stable`
+//! contract).
+
+use std::collections::BTreeSet;
+
+use tpupoint::analyzer::features::MAX_DIMS;
+use tpupoint::analyzer::{
+    kmeans, replay, Analyzer, AnalyzerOptions, FeatureMatrix, KmeansConfig, StreamingConfig,
+    StreamingReplay,
+};
+use tpupoint::prelude::*;
+
+fn profile_of(id: WorkloadId, scale: f64) -> Profile {
+    let config = build(
+        id,
+        TpuGeneration::V2,
+        &BuildOptions {
+            scale,
+            seed: 7,
+            ..BuildOptions::default()
+        },
+    );
+    let tp = TpuPoint::builder().analyzer(false).build();
+    tp.profile(config).unwrap().profile
+}
+
+/// Everything externally observable about one replay, comparable across
+/// pool sizes: the rendered `/phases` JSON (centroids, occupancy,
+/// transitions, stability) plus the raw per-step labels and the latch.
+fn timeline(profile: &Profile) -> (String, Vec<(u64, usize)>, Option<u64>) {
+    let StreamingReplay {
+        analyzer,
+        stable_at_step,
+        ..
+    } = replay(profile, StreamingConfig::default());
+    let labels = analyzer
+        .assignments()
+        .iter()
+        .map(|(&step, &label)| (step, label))
+        .collect();
+    (analyzer.report().to_json(), labels, stable_at_step)
+}
+
+#[test]
+fn thread_count_never_changes_the_streaming_timeline() {
+    for (id, scale) in [
+        (WorkloadId::BertMrpc, 0.3),
+        (WorkloadId::DcganCifar10, 0.05),
+    ] {
+        let profile = profile_of(id, scale);
+        tpupoint_par::set_threads(1);
+        let serial = timeline(&profile);
+        for threads in [2, 4, 8] {
+            tpupoint_par::set_threads(threads);
+            let parallel = timeline(&profile);
+            assert_eq!(parallel, serial, "{id:?} diverged at {threads} threads");
+        }
+        tpupoint_par::set_threads(0);
+        assert_eq!(
+            serial.1.len(),
+            profile.steps.len(),
+            "every recorded step is assigned a phase"
+        );
+    }
+}
+
+/// Fraction of steps whose streaming label disagrees with the offline
+/// k-means label, after greedily aligning the two label alphabets by
+/// confusion-matrix overlap (cluster ids are arbitrary on both sides).
+fn offline_disagreement(profile: &Profile) -> f64 {
+    let streaming = replay(profile, StreamingConfig::default());
+    let matrix = FeatureMatrix::from_profile(profile).reduced(MAX_DIMS);
+    let offline = kmeans::run(&matrix, &KmeansConfig::default());
+    let assignments = streaming.analyzer.assignments();
+    let mut counts: Vec<((usize, usize), usize)> = Vec::new();
+    let mut total = 0usize;
+    for (i, step) in matrix.steps.iter().enumerate() {
+        let label = *assignments.get(step).expect("streaming assigned the step");
+        let pair = (label, offline.assignments[i]);
+        match counts.iter_mut().find(|(p, _)| *p == pair) {
+            Some((_, c)) => *c += 1,
+            None => counts.push((pair, 1)),
+        }
+        total += 1;
+    }
+    counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let (mut used_s, mut used_o) = (BTreeSet::new(), BTreeSet::new());
+    let mut matched = 0usize;
+    for ((s, o), c) in counts {
+        if !used_s.contains(&s) && !used_o.contains(&o) {
+            used_s.insert(s);
+            used_o.insert(o);
+            matched += c;
+        }
+    }
+    1.0 - matched as f64 / total.max(1) as f64
+}
+
+#[test]
+fn streaming_matches_offline_phase_assignment_within_ten_percent() {
+    for (id, scale) in [
+        (WorkloadId::BertMrpc, 0.3),
+        (WorkloadId::DcganCifar10, 0.05),
+    ] {
+        let profile = profile_of(id, scale);
+        let disagreement = offline_disagreement(&profile);
+        assert!(
+            disagreement <= 0.10,
+            "{id:?}: streaming vs offline disagreement {:.1}% exceeds 10%",
+            disagreement * 100.0
+        );
+    }
+}
+
+#[test]
+fn stable_prefix_still_characterizes_the_run() {
+    let profile = profile_of(WorkloadId::BertMrpc, 0.3);
+    let replayed = replay(&profile, StreamingConfig::default());
+    let step = replayed
+        .stable_at_step
+        .expect("a steady training run stabilizes");
+    let prefix = profile.prefix_through(step);
+    assert!(
+        prefix.steps.len() < profile.steps.len(),
+        "stability latched on a strict prefix ({} of {} steps)",
+        prefix.steps.len(),
+        profile.steps.len()
+    );
+    let analyzer = Analyzer::with_options(&prefix, AnalyzerOptions::default());
+    let set = analyzer.kmeans_phases(5);
+    assert!(
+        set.coverage_top(3) >= 0.80,
+        "top-3 coverage on the stable prefix fell to {:.2}",
+        set.coverage_top(3)
+    );
+}
