@@ -4,11 +4,18 @@
 //! cargo run -p tpupoint-bench --release --bin reproduce            # all
 //! cargo run -p tpupoint-bench --release --bin reproduce -- fig10  # one
 //! cargo run -p tpupoint-bench --release --bin reproduce -- --out results fig4 fig6
+//! cargo run -p tpupoint-bench --release --bin reproduce -- --grid fig10 fig12
 //! ```
 //!
 //! CSV series land in `results/` (or `--out <dir>`); a summary of each
 //! experiment prints to stdout. See EXPERIMENTS.md for the paper-versus-
 //! measured comparison.
+//!
+//! `--grid` runs the requested experiments concurrently on the shared
+//! worker pool (sized by `TPUPOINT_THREADS`), sharing one suite cache so
+//! each workload cell is still profiled exactly once. The `bench_*`
+//! experiments always run serially afterwards — they resize the pool and
+//! measure wall time, which concurrency would corrupt.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -17,6 +24,7 @@ use tpupoint_bench::{experiments, Suite};
 fn main() -> ExitCode {
     let mut out_dir = PathBuf::from("results");
     let mut requested: Vec<String> = Vec::new();
+    let mut grid = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -27,9 +35,12 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--grid" => grid = true,
             "--help" | "-h" => {
-                println!("usage: reproduce [--out DIR] [EXPERIMENT...]");
+                println!("usage: reproduce [--out DIR] [--grid] [EXPERIMENT...]");
                 println!("experiments: {}", experiments::ALL.join(" "));
+                println!("--grid runs experiments concurrently on the shared pool");
+                println!("       (bench_* experiments still run serially afterwards)");
                 return ExitCode::SUCCESS;
             }
             other => requested.push(other.to_owned()),
@@ -40,12 +51,48 @@ fn main() -> ExitCode {
     }
 
     let suite = Suite::new();
+    let mut total_us = 0u64;
+
+    let (parallel, serial): (Vec<String>, Vec<String>) = if grid {
+        requested
+            .into_iter()
+            .partition(|id| experiments::grid_safe(id))
+    } else {
+        (Vec::new(), requested)
+    };
+    let experiment_count = parallel.len() + serial.len();
+
+    if !parallel.is_empty() {
+        // Per-experiment timing uses a local Instant: the global span
+        // histogram would charge every experiment with everyone's overlap.
+        let outcomes = tpupoint_par::pool().par_map(&parallel, |_, id| {
+            let t = std::time::Instant::now();
+            let result = experiments::run(id, &suite, &out_dir);
+            (t.elapsed().as_micros() as u64, result)
+        });
+        let wall = outcomes.iter().map(|(us, _)| *us).max().unwrap_or(0);
+        total_us += wall;
+        for (id, (elapsed_us, result)) in parallel.iter().zip(outcomes) {
+            match result {
+                Ok(summary) => {
+                    println!(
+                        "{summary}  [{id} done in {:.2}s, grid]\n",
+                        elapsed_us as f64 / 1e6
+                    );
+                }
+                Err(err) => {
+                    eprintln!("experiment {id} failed: {err}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+
     // Timing comes from the obs self-tracer instead of ad-hoc Instants:
     // each experiment runs under a span, and the per/total durations are
     // read back from the `span.bench.experiment` histogram.
     let experiment_hist = tpupoint_obs::metrics().histogram("span.bench.experiment");
-    let mut total_us = 0u64;
-    for id in &requested {
+    for id in &serial {
         let before_us = experiment_hist.snapshot().sum;
         let result = {
             let _span = tpupoint_obs::span!("bench.experiment", id = id.as_str());
@@ -68,7 +115,7 @@ fn main() -> ExitCode {
     }
     println!(
         "wrote {} experiment(s) to {} in {:.1}s",
-        requested.len(),
+        experiment_count,
         out_dir.display(),
         total_us as f64 / 1e6
     );

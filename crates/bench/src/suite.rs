@@ -1,23 +1,48 @@
 //! Cached profiled runs of the workload suite, shared across experiments.
 
-use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use tpupoint::prelude::*;
+
+type Key = (WorkloadId, TpuGeneration, u8);
+
+/// One cache slot. The outer map lock is held only long enough to find or
+/// insert the slot; the slot's own lock serializes the (expensive) profiling
+/// of that cell, so concurrent requests for *different* cells profile in
+/// parallel while concurrent requests for the *same* cell profile it exactly
+/// once.
+#[derive(Default)]
+struct CacheCell(Mutex<Option<Arc<ProfiledRun>>>);
 
 /// Lazily profiles each (workload, generation, variant) once and caches
 /// the result; every figure draws from the same runs, exactly as the
 /// paper's figures all come from one set of profiled executions.
+///
+/// The cache is thread-safe: experiments may request cells concurrently
+/// (e.g. from a `tpupoint_par::par_map` grid sweep) and each cell is still
+/// profiled exactly once.
 #[derive(Default)]
 pub struct Suite {
-    #[allow(clippy::type_complexity)]
-    cache: RefCell<BTreeMap<(WorkloadId, TpuGeneration, u8), Rc<ProfiledRun>>>,
+    cache: Mutex<BTreeMap<Key, Arc<CacheCell>>>,
+    profiles_run: AtomicU64,
+    sim_lanes: usize,
 }
 
 impl Suite {
     /// Creates an empty cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty cache whose profiled runs use the laned simulation
+    /// engine with `lanes` shards. Results are byte-identical to the
+    /// default serial engine — only wall time changes.
+    pub fn with_sim_lanes(lanes: usize) -> Self {
+        Suite {
+            sim_lanes: lanes,
+            ..Self::default()
+        }
     }
 
     fn variant_key(variant: Variant) -> u8 {
@@ -40,28 +65,52 @@ impl Suite {
         )
     }
 
+    /// Number of profiling runs actually executed (cache misses). Always
+    /// the number of distinct cells requested, regardless of concurrency.
+    pub fn profiles_run(&self) -> u64 {
+        self.profiles_run.load(Ordering::Relaxed)
+    }
+
+    /// Profiles every given cell, in parallel on the shared
+    /// [`tpupoint_par`] pool, so later cache hits are instant. Duplicate
+    /// cells in the input are profiled once.
+    pub fn prewarm(&self, cells: &[(WorkloadId, TpuGeneration, Variant)]) {
+        tpupoint_par::pool().par_map(cells, |_, &(id, generation, variant)| {
+            self.profiled(id, generation, variant);
+        });
+    }
+
     /// Profiled run of a workload (cached).
     pub fn profiled(
         &self,
         id: WorkloadId,
         generation: TpuGeneration,
         variant: Variant,
-    ) -> Rc<ProfiledRun> {
+    ) -> Arc<ProfiledRun> {
         let key = (id, generation, Self::variant_key(variant));
-        if let Some(hit) = self.cache.borrow().get(&key) {
+        let cell = {
+            let mut table = self.cache.lock().expect("suite cache poisoned");
+            table.entry(key).or_default().clone()
+        };
+        let mut slot = cell.0.lock().expect("suite cell poisoned");
+        if let Some(hit) = slot.as_ref() {
             return hit.clone();
         }
-        let tp = TpuPoint::builder().analyzer(false).build();
-        let run = Rc::new(
+        self.profiles_run.fetch_add(1, Ordering::Relaxed);
+        let tp = TpuPoint::builder()
+            .analyzer(false)
+            .sim_lanes(self.sim_lanes.max(1))
+            .build();
+        let run = Arc::new(
             tp.profile(self.config(id, generation, variant))
                 .expect("in-memory profiling cannot fail"),
         );
-        self.cache.borrow_mut().insert(key, run.clone());
+        *slot = Some(run.clone());
         run
     }
 
     /// Profiled run of the tuned variant.
-    pub fn tuned(&self, id: WorkloadId, generation: TpuGeneration) -> Rc<ProfiledRun> {
+    pub fn tuned(&self, id: WorkloadId, generation: TpuGeneration) -> Arc<ProfiledRun> {
         self.profiled(id, generation, Variant::Tuned)
     }
 }
@@ -75,8 +124,9 @@ mod tests {
         let suite = Suite::new();
         let a = suite.tuned(WorkloadId::BertMrpc, TpuGeneration::V2);
         let b = suite.tuned(WorkloadId::BertMrpc, TpuGeneration::V2);
-        assert!(Rc::ptr_eq(&a, &b));
+        assert!(Arc::ptr_eq(&a, &b));
         assert!(a.report.steps_completed > 0);
+        assert_eq!(suite.profiles_run(), 1);
     }
 
     #[test]
@@ -84,10 +134,44 @@ mod tests {
         let suite = Suite::new();
         let tuned = suite.profiled(WorkloadId::BertMrpc, TpuGeneration::V2, Variant::Tuned);
         let naive = suite.profiled(WorkloadId::BertMrpc, TpuGeneration::V2, Variant::Naive);
-        assert!(!Rc::ptr_eq(&tuned, &naive));
+        assert!(!Arc::ptr_eq(&tuned, &naive));
         assert!(
             naive.report.tpu_idle_fraction() >= tuned.report.tpu_idle_fraction(),
             "naive pipelines idle the TPU at least as much"
         );
+    }
+
+    #[test]
+    fn concurrent_requests_profile_each_cell_exactly_once() {
+        tpupoint_par::set_threads(4);
+        let suite = Suite::new();
+        // 8 concurrent requests for 2 distinct cells.
+        let cells: Vec<_> = (0..8)
+            .map(|i| {
+                let variant = if i % 2 == 0 {
+                    Variant::Tuned
+                } else {
+                    Variant::Naive
+                };
+                (WorkloadId::BertMrpc, TpuGeneration::V2, variant)
+            })
+            .collect();
+        suite.prewarm(&cells);
+        tpupoint_par::set_threads(0);
+        assert_eq!(suite.profiles_run(), 2);
+        // And hits afterwards are free.
+        suite.tuned(WorkloadId::BertMrpc, TpuGeneration::V2);
+        assert_eq!(suite.profiles_run(), 2);
+    }
+
+    #[test]
+    fn laned_suite_matches_serial_suite() {
+        let serial = Suite::new();
+        let laned = Suite::with_sim_lanes(2);
+        let a = serial.tuned(WorkloadId::BertMrpc, TpuGeneration::V2);
+        let b = laned.tuned(WorkloadId::BertMrpc, TpuGeneration::V2);
+        assert_eq!(a.report, b.report);
+        assert_eq!(a.profile.windows, b.profile.windows);
+        assert_eq!(a.profile.steps, b.profile.steps);
     }
 }

@@ -89,7 +89,26 @@ pub fn to_prometheus(snapshot: &MetricsSnapshot) -> String {
 pub fn to_prometheus_labeled(snapshot: &MetricsSnapshot, labels: &[(&str, &str)]) -> String {
     let plain = label_block(labels, None);
     let mut out = String::new();
+    // `sim.lane_events.<L>` counters form a family exactly like the phase
+    // occupancy gauges below: one HELP/TYPE header, a `lane="L"` label per
+    // member.
+    let mut lane_header_done = false;
     for (name, value) in &snapshot.counters {
+        if let Some(lane) = name.strip_prefix(LANE_EVENTS_PREFIX) {
+            if lane.chars().all(|c| c.is_ascii_digit()) && !lane.is_empty() {
+                let family = LANE_EVENTS_PREFIX.trim_end_matches('.');
+                let prom = prom_name(family);
+                if !lane_header_done {
+                    push_headers(&mut out, &prom, family, "counter");
+                    lane_header_done = true;
+                }
+                let mut with_lane = labels.to_vec();
+                with_lane.push(("lane", lane));
+                let block = label_block(&with_lane, None);
+                out.push_str(&format!("{prom}{block} {value}\n"));
+                continue;
+            }
+        }
         let prom = prom_name(name);
         push_headers(&mut out, &prom, name, "counter");
         out.push_str(&format!("{prom}{plain} {value}\n"));
@@ -141,6 +160,10 @@ pub fn to_prometheus_labeled(snapshot: &MetricsSnapshot, labels: &[(&str, &str)]
 /// Gauge-name prefix whose suffix is a phase id, exported as a
 /// `phase="N"` label on the family series.
 const PHASE_OCCUPANCY_PREFIX: &str = "analyzer.phase_occupancy.";
+
+/// Counter-name prefix whose suffix is a simulation-lane id, exported as
+/// a `lane="L"` label on the family series.
+const LANE_EVENTS_PREFIX: &str = "sim.lane_events.";
 
 fn push_headers(out: &mut String, prom: &str, raw: &str, kind: &str) {
     out.push_str(&format!(
@@ -203,6 +226,9 @@ fn help_text(name: &str) -> String {
         "analyzer.phase_count" => "Phases with at least one assigned step in the streaming analyzer",
         "analyzer.stable_windows" => "Consecutive streaming updates at or above the stability threshold",
         "analyzer.last_transition_step" => "Step of the most recent phase-label change in the streaming timeline",
+        "sim.lane_events" => "Signals delivered per simulation lane by the laned engine",
+        "sim.sync_barriers" => "Conservative time-window sync barriers executed by the laned engine",
+        "sim.lookahead_stall_us" => "Simulated time lanes overshot the conservative horizon when batches were cut short, microseconds",
         "audit.gaps" => "Coverage gaps found by the window audit",
         "audit.overlaps" => "Window overlaps found by the window audit",
         "audit.unobserved_fraction" => "Fraction of the profiled span not covered by any window",
@@ -347,6 +373,34 @@ mod tests {
         // Unsuffixed analyzer gauges keep their bare form.
         assert!(
             text.contains("tpupoint_analyzer_phase_stability{workload=\"bert-mrpc\"} 0.97"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn lane_event_counters_export_as_one_labeled_family() {
+        let metrics = Metrics::new();
+        metrics.counter("sim.lane_events.0").add(512);
+        metrics.counter("sim.lane_events.1").add(301);
+        metrics.counter("sim.sync_barriers").add(44);
+        let text = to_prometheus_labeled(&metrics.snapshot(), &[("workload", "bert-mrpc")]);
+        assert!(
+            text.contains("tpupoint_sim_lane_events{workload=\"bert-mrpc\",lane=\"0\"} 512"),
+            "{text}"
+        );
+        assert!(
+            text.contains("tpupoint_sim_lane_events{workload=\"bert-mrpc\",lane=\"1\"} 301"),
+            "{text}"
+        );
+        assert_eq!(
+            text.matches("# TYPE tpupoint_sim_lane_events counter")
+                .count(),
+            1,
+            "{text}"
+        );
+        // Unsuffixed sim counters keep their bare form.
+        assert!(
+            text.contains("tpupoint_sim_sync_barriers{workload=\"bert-mrpc\"} 44"),
             "{text}"
         );
     }

@@ -81,6 +81,15 @@ enum StoreLane {
     Pipelined(SealPipeline),
 }
 
+/// A step record is streamed to the store once the runtime has marked this
+/// many *further* steps complete. Pipelined actors trail at most a couple
+/// of steps behind the session's completion marks (outfeed drains, summary
+/// writes); the slack keeps a streamed record from missing a late event.
+/// [`ProfilerSink::finish`] asserts nothing slipped through in debug
+/// builds, and the `streamed_store_matches_in_memory_profile` test checks
+/// the stored bytes against the in-memory profile on a real job.
+const STEP_STREAM_SLACK: u64 = 8;
+
 /// Callback handed batches of newly completed [`StepRecord`]s while the
 /// run is still in flight (the streaming-analyzer feed). Batches arrive
 /// in ascending step order, on the simulation thread, and each step is
@@ -117,6 +126,13 @@ pub struct ProfilerSink {
     /// Steps at or above this bound have not been delivered to the
     /// observer yet (exclusive watermark).
     delivered_through: u64,
+    /// Steps at or above this bound have not been written to the store
+    /// yet (exclusive watermark). Starts at 1: the synthetic step-0
+    /// record pools unstepped events for the whole run and is only
+    /// final at [`ProfilerSink::finish`].
+    stored_through: u64,
+    /// Highest step the runtime has marked complete so far.
+    newest_step_mark: u64,
     /// Deliver completed steps to the observer every this many step
     /// marks, in addition to every sealed window (0 = seals only). The
     /// default window caps rarely trigger on short simulated jobs, so
@@ -133,6 +149,16 @@ impl std::fmt::Debug for ProfilerSink {
             .finish()
     }
 }
+
+// The laned simulation engine ships buffered sink calls to a flusher job on
+// the `tpupoint-par` pool, which requires the profiler sink — and therefore
+// every record-store decorator it can hold — to stay `Send`. Keep this
+// assertion next to the struct so a non-Send field fails here, not in a
+// downstream crate.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<ProfilerSink>();
+};
 
 impl ProfilerSink {
     /// Creates a sink that buffers everything in memory.
@@ -160,6 +186,8 @@ impl ProfilerSink {
             obs: SinkMetrics::new(),
             observer: None,
             delivered_through: 0,
+            stored_through: 1,
+            newest_step_mark: 0,
             observer_cadence: 0,
         }
     }
@@ -314,6 +342,46 @@ impl ProfilerSink {
             let completed_below = window.last_step;
             self.windows.push(window);
             self.deliver_completed(completed_below);
+            self.stream_completed_steps();
+        }
+    }
+
+    /// Streams step records the run can no longer touch to the attached
+    /// store, in ascending step order, while the run is still in flight.
+    /// Rides every kept window seal, so the finish-time store drain
+    /// shrinks from "every step of the run" to the last
+    /// [`STEP_STREAM_SLACK`] steps plus the synthetic step-0 record. On
+    /// the laned engine the writes happen inside sink flushes that run
+    /// off the simulation thread, so streaming also moves this work off
+    /// the critical path.
+    fn stream_completed_steps(&mut self) {
+        if self.store.is_none() {
+            return;
+        }
+        let hi = self.newest_step_mark.saturating_sub(STEP_STREAM_SLACK);
+        if hi <= self.stored_through {
+            return;
+        }
+        let mut batch: Vec<StepRecord> = self
+            .steps
+            .values()
+            .filter(|r| r.step >= self.stored_through && r.step < hi)
+            .cloned()
+            .collect();
+        batch.sort_by_key(|r| r.step);
+        self.stored_through = hi;
+        for record in &batch {
+            let serial_result = match self.store.as_mut() {
+                Some(StoreLane::Serial(store)) => Some(store.put_step(record)),
+                Some(StoreLane::Pipelined(pipeline)) => {
+                    pipeline.put_step(record);
+                    None
+                }
+                None => unreachable!("checked above"),
+            };
+            if let Some(result) = serial_result {
+                self.note_store_result("put_step", result);
+            }
         }
     }
 
@@ -372,7 +440,15 @@ impl ProfilerSink {
         match self.store.take() {
             Some(StoreLane::Serial(mut store)) => {
                 store.set_catalog(&op_names, &op_uses_mxu, &op_on_host);
-                for record in &steps {
+                // Steps below `stored_through` were streamed at window
+                // seals; only the tail plus the synthetic step-0 record
+                // (which pools unstepped events for the whole run and is
+                // final only now) remain. With no mid-run seals this
+                // degenerates to writing every step, in the same order
+                // as before streaming existed.
+                let from = steps.partition_point(|r| r.step < self.stored_through);
+                let zero = steps.first().filter(|r| r.step == 0);
+                for record in zero.into_iter().chain(&steps[from..]) {
                     let result = store.put_step(record);
                     self.note_store_result("put_step", result);
                 }
@@ -381,7 +457,9 @@ impl ProfilerSink {
             }
             Some(StoreLane::Pipelined(pipeline)) => {
                 pipeline.set_catalog(op_names.clone(), op_uses_mxu.clone(), op_on_host.clone());
-                for record in &steps {
+                let from = steps.partition_point(|r| r.step < self.stored_through);
+                let zero = steps.first().filter(|r| r.step == 0);
+                for record in zero.into_iter().chain(&steps[from..]) {
                     pipeline.put_step(record);
                 }
                 pipeline.seal();
@@ -447,6 +525,12 @@ impl TraceSink for ProfilerSink {
         // Per-step statistical aggregation; unstepped events pool in the
         // synthetic step-0 (session init) record.
         let step = event.step.unwrap_or(0);
+        debug_assert!(
+            step == 0 || step >= self.stored_through,
+            "event for step {step} arrived after its record was streamed \
+             (stored_through {}); STEP_STREAM_SLACK is too small",
+            self.stored_through
+        );
         self.steps
             .entry(step)
             .or_insert_with(|| StepRecord::new(step))
@@ -458,6 +542,7 @@ impl TraceSink for ProfilerSink {
             return;
         }
         self.step_marks.push((step, at));
+        self.newest_step_mark = self.newest_step_mark.max(step);
         // The cadence tick keeps a live observer fed even when the
         // window caps never trigger. One step of slack: step `step` just
         // completed, but pipelined events for it may still be in flight,
@@ -814,6 +899,39 @@ mod tests {
         assert!(profile.is_degraded());
         // The in-memory profile itself is still complete.
         assert_eq!(profile.windows.len(), 3);
+    }
+
+    #[test]
+    fn streamed_store_matches_in_memory_profile() {
+        use crate::store::JsonlStore;
+        let dir = std::env::temp_dir().join(format!("tpupoint-sink-stream-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let job = TrainingJob::new(JobConfig::demo());
+        let store = JsonlStore::create(&dir).expect("create store");
+        let mut sink = ProfilerSink::with_store(
+            job.catalog().clone(),
+            ProfilerOptions {
+                window_max_events: 64,
+                ..ProfilerOptions::default()
+            },
+            Box::new(store),
+        );
+        sink.set_source(&job.config().model, &job.config().dataset.name);
+        job.run(&mut sink);
+        assert!(
+            sink.stored_through > 1,
+            "window seals must stream steps mid-run, not leave them all \
+             to finish (stored_through {})",
+            sink.stored_through
+        );
+        let profile = sink.finish();
+        let recovered = JsonlStore::recover(&dir).expect("recover");
+        assert_eq!(
+            recovered.steps, profile.steps,
+            "streamed prefix + finish tail must equal the in-memory steps"
+        );
+        assert_eq!(recovered.windows, profile.windows);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -61,11 +61,11 @@ pub trait Process {
 }
 
 #[derive(Debug)]
-struct Scheduled {
-    at: SimTime,
-    seq: u64,
-    target: ProcessId,
-    signal: Signal,
+pub(crate) struct Scheduled {
+    pub(crate) at: SimTime,
+    pub(crate) seq: u64,
+    pub(crate) target: ProcessId,
+    pub(crate) signal: Signal,
 }
 
 impl PartialEq for Scheduled {
@@ -180,9 +180,9 @@ impl<'a> Ctx<'a> {
 ///
 /// See the [crate-level documentation](crate) for an end-to-end example.
 pub struct Engine {
-    now: SimTime,
-    seq: u64,
-    heap: BinaryHeap<Reverse<Scheduled>>,
+    pub(crate) now: SimTime,
+    pub(crate) seq: u64,
+    pub(crate) heap: BinaryHeap<Reverse<Scheduled>>,
     processes: Vec<Option<Box<dyn Process>>>,
     queues: QueueTable,
     rng: SimRng,
@@ -276,31 +276,49 @@ impl Engine {
                 }
             }
             let Reverse(event) = self.heap.pop().expect("peeked event vanished");
-            debug_assert!(event.at >= self.now, "time went backwards");
-            self.now = event.at;
-
-            let slot = event.target.0;
-            let mut process = self.processes[slot]
-                .take()
-                .expect("signal delivered to a process that is mid-dispatch");
-            {
-                let mut ctx = Ctx {
-                    now: self.now,
-                    self_id: event.target,
-                    queues: &mut self.queues,
-                    rng: &mut self.rng,
-                    sink,
-                    pending: &mut pending,
-                };
-                process.on_signal(event.signal, &mut ctx);
-            }
-            self.processes[slot] = Some(process);
+            self.dispatch(event, sink, &mut pending);
             for (at, target, signal) in pending.drain(..) {
                 self.push_event(at, target, signal);
             }
             delivered += 1;
         }
         delivered
+    }
+
+    /// Delivers one event to its target process, collecting any newly
+    /// scheduled events into `pending` (which must be empty on entry). The
+    /// caller decides how to route `pending` — the serial loop feeds it back
+    /// into the global heap, the laned loop partitions it across lane heaps.
+    pub(crate) fn dispatch(
+        &mut self,
+        event: Scheduled,
+        sink: &mut dyn TraceSink,
+        pending: &mut Vec<(SimTime, ProcessId, Signal)>,
+    ) {
+        debug_assert!(event.at >= self.now, "time went backwards");
+        self.now = event.at;
+
+        let slot = event.target.0;
+        let mut process = self.processes[slot]
+            .take()
+            .expect("signal delivered to a process that is mid-dispatch");
+        {
+            let mut ctx = Ctx {
+                now: self.now,
+                self_id: event.target,
+                queues: &mut self.queues,
+                rng: &mut self.rng,
+                sink,
+                pending,
+            };
+            process.on_signal(event.signal, &mut ctx);
+        }
+        self.processes[slot] = Some(process);
+    }
+
+    /// Number of registered processes.
+    pub fn process_count(&self) -> usize {
+        self.processes.len()
     }
 
     /// True if no events are waiting to be delivered.

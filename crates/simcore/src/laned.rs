@@ -1,0 +1,507 @@
+//! Sharded ("laned") execution of the event loop.
+//!
+//! The engine's processes are partitioned into *lanes*, each with its own
+//! event heap. A conservative time-window discipline advances one lane at a
+//! time: the lane owning the globally minimal `(time, seq)` key runs a batch
+//! of its own events up to a *horizon* — the smallest key held by any other
+//! lane, tightened on the fly by cross-lane events the running batch emits.
+//! Cross-lane queue wakes and pokes are exchanged only at these batch
+//! boundaries (the sync barriers).
+//!
+//! Because every delivered event is, by construction, the global `(time,
+//! seq)` minimum, the delivery order — and therefore sequence-number
+//! assignment, RNG draw order, and the stream of sink calls — is *identical*
+//! to the serial [`Engine::run`] loop. Traces, JSONL records, and profiles
+//! are byte-identical at any lane count and any `TPUPOINT_THREADS` setting.
+//!
+//! What parallelism buys is taking sink work off the critical path: handlers
+//! record into an in-memory op buffer, and batches of ops are applied to the
+//! real sink by a flusher on a dedicated scoped thread while the event loop
+//! keeps dispatching. With a single-threaded [`tpupoint_par`] pool the buffer
+//! is applied inline and behaviour degenerates to the serial engine exactly.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::engine::{Engine, ProcessId, Scheduled, Signal};
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{TraceEvent, TraceSink};
+
+/// Ops are shipped to the flusher in batches of this many to amortize
+/// channel traffic without letting the buffer grow unboundedly.
+const FLUSH_BATCH: usize = 512;
+
+/// Maps each process to the lane that owns its events.
+#[derive(Debug, Clone)]
+pub struct LaneAssignment {
+    lane_of: Vec<usize>,
+    lanes: usize,
+}
+
+impl LaneAssignment {
+    /// Builds an assignment from an explicit process-index → lane table.
+    /// Lane numbers must be dense from zero; processes beyond the table's
+    /// length fall into lane 0.
+    pub fn new(lane_of: Vec<usize>) -> LaneAssignment {
+        let lanes = lane_of.iter().copied().max().map_or(1, |m| m + 1);
+        LaneAssignment { lane_of, lanes }
+    }
+
+    /// Splits `processes` ids into at most `lanes` contiguous groups of
+    /// near-equal size. Registration order groups related actors (the
+    /// runtime registers host-side actors before device-side ones), so a
+    /// contiguous split is the natural host/device partition.
+    pub fn contiguous(processes: usize, lanes: usize) -> LaneAssignment {
+        let lanes = lanes.clamp(1, processes.max(1));
+        let base = processes / lanes;
+        let extra = processes % lanes;
+        let mut lane_of = Vec::with_capacity(processes);
+        for lane in 0..lanes {
+            let size = base + usize::from(lane < extra);
+            lane_of.extend(std::iter::repeat_n(lane, size));
+        }
+        LaneAssignment::new(lane_of)
+    }
+
+    /// Number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Lane owning `pid`'s events.
+    pub fn lane_for(&self, pid: ProcessId) -> usize {
+        self.lane_of.get(pid.index()).copied().unwrap_or(0)
+    }
+}
+
+/// Counters reported by a laned run, for observability.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaneStats {
+    /// Total signals delivered (matches [`Engine::run`]'s return value).
+    pub delivered: u64,
+    /// Number of sync barriers (lane batches) executed.
+    pub barriers: u64,
+    /// Signals delivered per lane.
+    pub lane_events: Vec<u64>,
+    /// Total simulated time by which a lane's next event overshot the
+    /// conservative horizon when its batch was cut short — a measure of how
+    /// tightly coupled the lanes are (zero lookahead ⇒ high stall).
+    pub lookahead_stall: SimDuration,
+}
+
+impl LaneStats {
+    fn new(lanes: usize) -> LaneStats {
+        LaneStats {
+            delivered: 0,
+            barriers: 0,
+            lane_events: vec![0; lanes],
+            lookahead_stall: SimDuration::ZERO,
+        }
+    }
+}
+
+/// A deferred sink call, recorded by [`OpBuffer`] and replayed in order.
+#[derive(Debug, Clone, Copy)]
+enum SinkOp {
+    Record(TraceEvent),
+    Step(u64, SimTime),
+    Checkpoint(u64, SimTime),
+}
+
+/// A [`TraceSink`] that buffers calls instead of performing them, so the
+/// event loop never blocks on sink work.
+#[derive(Debug, Default)]
+struct OpBuffer {
+    ops: Vec<SinkOp>,
+}
+
+impl TraceSink for OpBuffer {
+    fn record(&mut self, event: &TraceEvent) {
+        self.ops.push(SinkOp::Record(*event));
+    }
+    fn on_step(&mut self, step: u64, at: SimTime) {
+        self.ops.push(SinkOp::Step(step, at));
+    }
+    fn on_checkpoint(&mut self, step: u64, at: SimTime) {
+        self.ops.push(SinkOp::Checkpoint(step, at));
+    }
+}
+
+fn apply_ops(sink: &mut dyn TraceSink, ops: &[SinkOp]) {
+    for op in ops {
+        match *op {
+            SinkOp::Record(ref event) => sink.record(event),
+            SinkOp::Step(step, at) => sink.on_step(step, at),
+            SinkOp::Checkpoint(step, at) => sink.on_checkpoint(step, at),
+        }
+    }
+}
+
+impl Engine {
+    /// Runs until no events remain, with processes sharded into lanes per
+    /// `assignment`. Sink calls are flushed off the critical path on a
+    /// dedicated flusher thread (enabled when the global [`tpupoint_par`]
+    /// pool is multi-threaded). Delivery order — and thus everything
+    /// observable: traces, RNG draws, queue states — is byte-identical to
+    /// [`Engine::run`].
+    pub fn run_laned(
+        &mut self,
+        assignment: &LaneAssignment,
+        sink: &mut (dyn TraceSink + Send),
+    ) -> LaneStats {
+        self.run_until_laned(None, assignment, sink)
+    }
+
+    /// Laned counterpart of [`Engine::run_until`]: stops once every lane's
+    /// next event lies beyond `deadline`. The deadline bounds lane barriers
+    /// too — no lane may run ahead of it — so a paused run resumes
+    /// byte-identically under either engine. Undelivered events are returned
+    /// to the global heap, preserving their `(time, seq)` keys.
+    pub fn run_until_laned(
+        &mut self,
+        deadline: Option<SimTime>,
+        assignment: &LaneAssignment,
+        sink: &mut (dyn TraceSink + Send),
+    ) -> LaneStats {
+        let pool = tpupoint_par::pool();
+        if pool.size() <= 1 {
+            // No worker to flush on: apply ops inline. Still goes through the
+            // laned loop so lane/barrier accounting stays consistent.
+            let mut stats = LaneStats::new(assignment.lanes().max(1));
+            self.laned_loop(deadline, assignment, &mut stats, &mut |ops| {
+                apply_ops(sink, &ops);
+            });
+            return stats;
+        }
+
+        let mut stats = LaneStats::new(assignment.lanes().max(1));
+        // The channel is deliberately unbounded: a bounded channel could
+        // stall the event loop whenever the flusher falls behind — the loop
+        // would block on a full `send` that only the flusher can drain. Peak
+        // occupancy is bounded in practice by FLUSH_BATCH times the
+        // loop/flush speed ratio.
+        //
+        // The flusher runs on its own scoped OS thread rather than as a pool
+        // job: it blocks on `recv()` for the whole run, and a blocked pool
+        // worker would be a stolen execution slot — under a grid-parallel
+        // sweep every concurrent run would park one worker and the sweep
+        // would serialize. A dedicated thread spends that blocked time off
+        // the pool entirely.
+        let (tx, rx) = std::sync::mpsc::channel::<Vec<SinkOp>>();
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                while let Ok(batch) = rx.recv() {
+                    apply_ops(sink, &batch);
+                }
+            });
+            self.laned_loop(deadline, assignment, &mut stats, &mut |ops| {
+                tx.send(ops).expect("sink flusher exited early");
+            });
+            drop(tx); // closes the channel; scope waits for the flusher to drain
+        });
+        stats
+    }
+
+    fn laned_loop(
+        &mut self,
+        deadline: Option<SimTime>,
+        assignment: &LaneAssignment,
+        stats: &mut LaneStats,
+        flush: &mut dyn FnMut(Vec<SinkOp>),
+    ) {
+        let lanes = assignment.lanes().max(1);
+        // Partition the pending events across per-lane heaps. `(at, seq)`
+        // keys carry over unchanged, so ordering within a lane is exactly
+        // the serial order restricted to that lane.
+        let mut heaps: Vec<BinaryHeap<Reverse<Scheduled>>> =
+            (0..lanes).map(|_| BinaryHeap::new()).collect();
+        for Reverse(event) in std::mem::take(&mut self.heap) {
+            heaps[assignment.lane_for(event.target)].push(Reverse(event));
+        }
+
+        let mut pending: Vec<(SimTime, ProcessId, Signal)> = Vec::new();
+        let mut buf = OpBuffer::default();
+        loop {
+            // Pick the lane owning the globally minimal event key.
+            let mut best: Option<(SimTime, u64, usize)> = None;
+            for (lane, heap) in heaps.iter().enumerate() {
+                if let Some(Reverse(head)) = heap.peek() {
+                    if best.is_none_or(|(at, seq, _)| (head.at, head.seq) < (at, seq)) {
+                        best = Some((head.at, head.seq, lane));
+                    }
+                }
+            }
+            let Some((at, _, lane)) = best else {
+                break;
+            };
+            if deadline.is_some_and(|d| at > d) {
+                break;
+            }
+            // Conservative horizon: this lane may run free while its next
+            // event stays strictly below every other lane's earliest key —
+            // including cross-lane events emitted *during* the batch, which
+            // tighten the horizon as they appear.
+            let mut horizon: Option<(SimTime, u64)> = None;
+            for (other, heap) in heaps.iter().enumerate() {
+                if other == lane {
+                    continue;
+                }
+                if let Some(Reverse(head)) = heap.peek() {
+                    let key = (head.at, head.seq);
+                    if horizon.is_none_or(|h| key < h) {
+                        horizon = Some(key);
+                    }
+                }
+            }
+            stats.barriers += 1;
+            while let Some(Reverse(head)) = heaps[lane].peek() {
+                let key = (head.at, head.seq);
+                if let Some(h) = horizon {
+                    if key >= h {
+                        stats.lookahead_stall += key.0.saturating_since(h.0);
+                        break;
+                    }
+                }
+                if deadline.is_some_and(|d| key.0 > d) {
+                    break;
+                }
+                let Reverse(event) = heaps[lane].pop().expect("peeked event vanished");
+                self.dispatch(event, &mut buf, &mut pending);
+                for (at, target, signal) in pending.drain(..) {
+                    let seq = self.seq;
+                    self.seq += 1;
+                    let dest = assignment.lane_for(target);
+                    if dest != lane {
+                        let key = (at, seq);
+                        if horizon.is_none_or(|h| key < h) {
+                            horizon = Some(key);
+                        }
+                    }
+                    heaps[dest].push(Reverse(Scheduled {
+                        at,
+                        seq,
+                        target,
+                        signal,
+                    }));
+                }
+                stats.lane_events[lane] += 1;
+                stats.delivered += 1;
+                if buf.ops.len() >= FLUSH_BATCH {
+                    flush(std::mem::take(&mut buf.ops));
+                }
+            }
+        }
+        if !buf.ops.is_empty() {
+            flush(std::mem::take(&mut buf.ops));
+        }
+        // Return undelivered events (deadline pauses) to the global heap so
+        // `is_idle` and subsequent serial *or* laned resumes see the exact
+        // state the serial engine would have.
+        for heap in heaps {
+            for Reverse(event) in heap {
+                self.heap.push(Reverse(event));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::{PopOutcome, PushOutcome, QueueId};
+    use crate::trace::{NullSink, OpId, Track, VecSink};
+
+    /// Producer pushes `count` items with `gap` between them, emitting a
+    /// trace event per push, then closes the queue.
+    struct Producer {
+        q: QueueId,
+        next: u64,
+        count: u64,
+        gap: SimDuration,
+    }
+
+    impl crate::Process for Producer {
+        fn on_signal(&mut self, sig: Signal, ctx: &mut crate::Ctx<'_>) {
+            match sig {
+                Signal::Start | Signal::Timer(_) | Signal::QueueReady(_) => loop {
+                    if self.next == self.count {
+                        ctx.close_queue(self.q);
+                        return;
+                    }
+                    match ctx.try_push(self.q, self.next) {
+                        PushOutcome::Stored => {
+                            let now = ctx.now();
+                            ctx.emit(TraceEvent {
+                                op: OpId(0),
+                                track: Track::Host,
+                                start: now,
+                                dur: SimDuration::from_micros(1),
+                                mxu_dur: SimDuration::ZERO,
+                                step: None,
+                            });
+                            self.next += 1;
+                            if !self.gap.is_zero() {
+                                ctx.schedule_in(self.gap, 0);
+                                return;
+                            }
+                        }
+                        PushOutcome::WouldBlock => return,
+                    }
+                },
+                Signal::Poke(_) => {}
+            }
+        }
+    }
+
+    /// Consumer pops every item with a randomized service time, marking a
+    /// step per item so RNG draws and sink calls both exercise ordering.
+    struct Consumer {
+        q: QueueId,
+        busy: bool,
+        popped: u64,
+    }
+
+    impl crate::Process for Consumer {
+        fn on_signal(&mut self, sig: Signal, ctx: &mut crate::Ctx<'_>) {
+            if matches!(sig, Signal::Timer(_)) {
+                self.busy = false;
+            }
+            if self.busy {
+                return;
+            }
+            match ctx.try_pop(self.q) {
+                PopOutcome::Item(_) => {
+                    self.popped += 1;
+                    ctx.mark_step(self.popped);
+                    self.busy = true;
+                    let jitter = ctx.rng().uniform_u64(1, 9);
+                    ctx.schedule_in(SimDuration::from_micros(5 + jitter), 0);
+                }
+                PopOutcome::WouldBlock => {}
+                PopOutcome::Closed => {
+                    ctx.mark_checkpoint(self.popped);
+                }
+            }
+        }
+    }
+
+    fn build(items: u64, gap_us: u64) -> Engine {
+        let mut engine = Engine::new(7);
+        let q = engine.create_queue(4);
+        let producer = engine.add_process(Box::new(Producer {
+            q,
+            next: 0,
+            count: items,
+            gap: SimDuration::from_micros(gap_us),
+        }));
+        let consumer = engine.add_process(Box::new(Consumer {
+            q,
+            busy: false,
+            popped: 0,
+        }));
+        engine.start(producer);
+        engine.start(consumer);
+        engine
+    }
+
+    fn serial_trace(items: u64, gap_us: u64) -> (VecSink, SimTime, u64) {
+        let mut engine = build(items, gap_us);
+        let mut sink = VecSink::new();
+        let delivered = engine.run(&mut sink);
+        (sink, engine.now(), delivered)
+    }
+
+    fn laned_trace(items: u64, gap_us: u64, lanes: usize) -> (VecSink, SimTime, LaneStats) {
+        let mut engine = build(items, gap_us);
+        let assignment = LaneAssignment::contiguous(engine.process_count(), lanes);
+        let mut sink = VecSink::new();
+        let stats = engine.run_laned(&assignment, &mut sink);
+        (sink, engine.now(), stats)
+    }
+
+    #[test]
+    fn laned_matches_serial_exactly() {
+        let (serial, serial_end, delivered) = serial_trace(200, 3);
+        for lanes in [1, 2, 4] {
+            let (laned, laned_end, stats) = laned_trace(200, 3, lanes);
+            assert_eq!(laned.events, serial.events, "lanes={lanes}");
+            assert_eq!(laned.steps, serial.steps, "lanes={lanes}");
+            assert_eq!(laned.checkpoints, serial.checkpoints, "lanes={lanes}");
+            assert_eq!(laned_end, serial_end, "lanes={lanes}");
+            assert_eq!(stats.delivered, delivered, "lanes={lanes}");
+            assert_eq!(stats.lane_events.iter().sum::<u64>(), delivered);
+        }
+    }
+
+    #[test]
+    fn laned_matches_serial_under_thread_pool() {
+        let (serial, ..) = serial_trace(300, 2);
+        tpupoint_par::set_threads(4);
+        let (laned, ..) = laned_trace(300, 2, 2);
+        tpupoint_par::set_threads(0);
+        assert_eq!(laned.events, serial.events);
+        assert_eq!(laned.steps, serial.steps);
+        assert_eq!(laned.checkpoints, serial.checkpoints);
+    }
+
+    #[test]
+    fn laned_run_until_deadline_pauses_and_resumes() {
+        // Mirror of `run_until_deadline_pauses_and_resumes`, laned: pause a
+        // laned run, then finish it with each engine flavour and check both
+        // resume paths land in the identical state.
+        let assignment = LaneAssignment::contiguous(2, 2);
+        let mut serial = build(10, 10);
+        serial.run(&mut NullSink);
+
+        let mut paused = build(10, 10);
+        paused.run_until_laned(Some(SimTime::from_micros(35)), &assignment, &mut NullSink);
+        assert!(!paused.is_idle());
+
+        let mut resume_serial = build(10, 10);
+        resume_serial.run_until_laned(Some(SimTime::from_micros(35)), &assignment, &mut NullSink);
+        resume_serial.run(&mut NullSink);
+        let mut resume_laned = paused;
+        resume_laned.run_laned(&assignment, &mut NullSink);
+
+        assert_eq!(resume_serial.now(), serial.now());
+        assert_eq!(resume_laned.now(), serial.now());
+        assert!(resume_serial.is_idle());
+        assert!(resume_laned.is_idle());
+    }
+
+    #[test]
+    fn laned_deadline_trace_matches_serial_split_run() {
+        // Records must be identical even when the run is split at a deadline.
+        let (serial, ..) = serial_trace(50, 4);
+        let assignment = LaneAssignment::contiguous(2, 2);
+        let mut engine = build(50, 4);
+        let mut sink = VecSink::new();
+        engine.run_until_laned(Some(SimTime::from_micros(60)), &assignment, &mut sink);
+        engine.run_laned(&assignment, &mut sink);
+        assert_eq!(sink.events, serial.events);
+        assert_eq!(sink.steps, serial.steps);
+        assert_eq!(sink.checkpoints, serial.checkpoints);
+    }
+
+    #[test]
+    fn contiguous_assignment_clamps_lane_count() {
+        let a = LaneAssignment::contiguous(2, 8);
+        assert_eq!(a.lanes(), 2);
+        let b = LaneAssignment::contiguous(6, 2);
+        assert_eq!(b.lanes(), 2);
+        assert_eq!(b.lane_for(ProcessId::nth(2)), 0);
+        assert_eq!(b.lane_for(ProcessId::nth(3)), 1);
+        let c = LaneAssignment::contiguous(0, 3);
+        assert_eq!(c.lanes(), 1);
+    }
+
+    #[test]
+    fn stats_count_barriers_and_stall() {
+        let (_, _, stats) = laned_trace(100, 3, 2);
+        assert!(stats.barriers > 0);
+        assert_eq!(stats.lane_events.len(), 2);
+        // Producer and consumer interact constantly, so the conservative
+        // horizon forces many short batches.
+        assert!(stats.barriers <= stats.delivered);
+    }
+}

@@ -1,0 +1,185 @@
+//! Integration: the laned simulation engine (sharded per-lane event heaps
+//! under a conservative time-window barrier) is a byte-for-byte drop-in
+//! for the serial engine. For every lane count and pool size, the sealed
+//! JSONL streams, the manifest, the Chrome trace, and the finished
+//! [`Profile`] must be identical to the serial run — including under
+//! seeded store faults and with the seal pipeline on, because determinism
+//! that only holds on the happy path is no determinism at all.
+
+use std::path::{Path, PathBuf};
+use tpupoint::prelude::*;
+use tpupoint::profiler::ProfilerOptions;
+use tpupoint::TpuPoint;
+
+fn config() -> JobConfig {
+    build(
+        WorkloadId::DcganCifar10,
+        TpuGeneration::V2,
+        &BuildOptions {
+            scale: 0.05,
+            seed: 7,
+            ..BuildOptions::default()
+        },
+    )
+}
+
+/// Small windows so the run seals many of them — lane barriers interleave
+/// with real window traffic, not one seal at shutdown.
+fn options() -> ProfilerOptions {
+    ProfilerOptions {
+        window_max_events: 64,
+        ..ProfilerOptions::default()
+    }
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tpupoint-simdet-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn run_lane(
+    dir: &Path,
+    sim_lanes: usize,
+    pipelined: bool,
+    fault: Option<(f64, u64, u32)>,
+) -> ProfiledRun {
+    let mut builder = TpuPoint::builder()
+        .analyzer(true)
+        .output_dir(dir)
+        .profiler_options(options())
+        .sim_lanes(sim_lanes)
+        .pipeline_profiler(pipelined);
+    if let Some((prob, seed, retries)) = fault {
+        builder = builder.store_fault(prob, seed).store_retries(retries);
+    } else {
+        builder = builder.store_retries(0);
+    }
+    let tp = builder.build();
+    let run = tp.profile(config()).expect("profiling run");
+    // The Chrome trace rides along: analysis must see identical profiles,
+    // so the written trace JSON must be byte-identical too.
+    tp.analyze(&run.profile).expect("analysis artifacts");
+    run
+}
+
+fn artifact_bytes(dir: &Path, model: &str) -> Vec<(String, Vec<u8>)> {
+    let mut files = vec![
+        dir.join("records").join("steps.jsonl"),
+        dir.join("records").join("windows.jsonl"),
+        dir.join("records").join("manifest.json"),
+        dir.join(format!("{model}-trace.json")),
+    ];
+    files
+        .drain(..)
+        .map(|path| {
+            let bytes =
+                std::fs::read(&path).unwrap_or_else(|e| panic!("{} missing: {e}", path.display()));
+            (
+                path.file_name().unwrap().to_string_lossy().into_owned(),
+                bytes,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn laned_engine_is_byte_identical_for_every_pool_size() {
+    let serial_dir = tmp_dir("serial");
+    let serial = run_lane(&serial_dir, 1, false, None);
+    let model = serial.profile.model.clone();
+    let serial_bytes = artifact_bytes(&serial_dir, &model);
+    assert!(
+        !serial.profile.windows.is_empty(),
+        "fixture must seal windows"
+    );
+
+    for threads in [1usize, 2, 4, 8] {
+        tpupoint_par::set_threads(threads);
+        for lanes in [2usize, 4] {
+            let dir = tmp_dir(&format!("lane-{lanes}-t{threads}"));
+            let laned = run_lane(&dir, lanes, false, None);
+            assert_eq!(
+                laned.report, serial.report,
+                "ground-truth run diverged at {lanes} lanes / {threads} threads"
+            );
+            assert_eq!(
+                laned.profile, serial.profile,
+                "profile diverged at {lanes} lanes / {threads} threads"
+            );
+            for ((file, a), (_, b)) in serial_bytes.iter().zip(artifact_bytes(&dir, &model)) {
+                assert!(
+                    *a == b,
+                    "{file} not byte-identical to serial at {lanes} lanes / {threads} threads"
+                );
+            }
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+    tpupoint_par::set_threads(0);
+    std::fs::remove_dir_all(&serial_dir).unwrap();
+}
+
+#[test]
+fn seeded_faults_replay_identically_through_lanes() {
+    // Retries on: the seeded fault stream is absorbed the same way on
+    // both engines, so the sealed bytes still match.
+    let serial_dir = tmp_dir("fault-serial");
+    let serial = run_lane(&serial_dir, 1, false, Some((0.3, 21, 10)));
+    let model = serial.profile.model.clone();
+    let serial_bytes = artifact_bytes(&serial_dir, &model);
+    assert_eq!(serial.profile.store_errors, 0, "retries absorb the faults");
+
+    tpupoint_par::set_threads(4);
+    let laned_dir = tmp_dir("fault-laned");
+    let laned = run_lane(&laned_dir, 4, false, Some((0.3, 21, 10)));
+    assert_eq!(laned.profile, serial.profile);
+    for ((file, a), (_, b)) in serial_bytes.iter().zip(artifact_bytes(&laned_dir, &model)) {
+        assert!(*a == b, "{file} diverged under seeded faults");
+    }
+
+    // Retries off: both engines must surface the *same* error accounting.
+    let raw_serial_dir = tmp_dir("rawfault-serial");
+    let raw_serial = run_lane(&raw_serial_dir, 1, false, Some((0.4, 9, 0)));
+    let raw_laned_dir = tmp_dir("rawfault-laned");
+    let raw_laned = run_lane(&raw_laned_dir, 4, false, Some((0.4, 9, 0)));
+    tpupoint_par::set_threads(0);
+    assert!(raw_serial.profile.store_errors > 0, "fixture must fault");
+    assert_eq!(
+        raw_laned.profile.store_errors,
+        raw_serial.profile.store_errors
+    );
+    assert_eq!(
+        raw_laned.profile.store_error,
+        raw_serial.profile.store_error
+    );
+    assert_eq!(raw_laned.profile, raw_serial.profile);
+
+    for dir in [serial_dir, laned_dir, raw_serial_dir, raw_laned_dir] {
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+#[test]
+fn lanes_compose_with_the_seal_pipeline() {
+    // Both parallel layers on at once: laned simulation engine feeding the
+    // pipelined (off-critical-path) seal queue, on a shared pool. Still
+    // byte-identical to the fully serial run.
+    let serial_dir = tmp_dir("compose-serial");
+    let serial = run_lane(&serial_dir, 1, false, None);
+    let model = serial.profile.model.clone();
+    let serial_bytes = artifact_bytes(&serial_dir, &model);
+
+    tpupoint_par::set_threads(4);
+    let both_dir = tmp_dir("compose-both");
+    let both = run_lane(&both_dir, 2, true, None);
+    tpupoint_par::set_threads(0);
+    assert_eq!(both.report, serial.report);
+    assert_eq!(both.profile, serial.profile);
+    for ((file, a), (_, b)) in serial_bytes.iter().zip(artifact_bytes(&both_dir, &model)) {
+        assert!(*a == b, "{file} diverged with lanes + seal pipeline");
+    }
+
+    std::fs::remove_dir_all(&serial_dir).unwrap();
+    std::fs::remove_dir_all(&both_dir).unwrap();
+}
