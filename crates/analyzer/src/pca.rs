@@ -125,12 +125,20 @@ pub fn project(rows: &[Vec<f64>], k: usize) -> Vec<Vec<f64>> {
     let (eigenvalues, eigenvectors) = jacobi_eigen(cov);
 
     // Order components by descending eigenvalue; keep top-k informative.
+    // `total_cmp` gives a total order even if a degenerate input (e.g. a
+    // constant feature column, or non-finite covariance entries) yields a
+    // NaN eigenvalue; NaN maps to -inf so it sorts last rather than
+    // stealing a top-k slot from a real component.
     let mut order: Vec<usize> = (0..d).collect();
-    order.sort_by(|&a, &b| {
-        eigenvalues[b]
-            .partial_cmp(&eigenvalues[a])
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    let sort_key = |c: usize| {
+        let e = eigenvalues[c];
+        if e.is_nan() {
+            f64::NEG_INFINITY
+        } else {
+            e
+        }
+    };
+    order.sort_by(|&a, &b| sort_key(b).total_cmp(&sort_key(a)));
     let kept: Vec<usize> = order
         .into_iter()
         .take(k)
@@ -287,10 +295,36 @@ mod tests {
     }
 
     #[test]
+    fn constant_column_never_panics_the_eigenvalue_sort() {
+        // A constant feature column yields a zero-variance direction;
+        // composed with non-finite inputs it can surface NaN eigenvalues.
+        // The sort must stay total (no `partial_cmp(..).unwrap()` panic)
+        // and real components must still win the top-k slots.
+        let rows: Vec<Vec<f64>> = (0..32)
+            .map(|i| {
+                let t = i as f64;
+                vec![7.0, t.sin() * 3.0, 7.0, t * 0.5]
+            })
+            .collect();
+        let projected = project(&rows, 4);
+        assert_eq!(projected.len(), rows.len());
+        // Only the two varying directions carry variance.
+        assert!(projected.iter().all(|r| r.len() <= 2), "{projected:?}");
+        assert!(projected.iter().all(|r| r.iter().all(|v| v.is_finite())));
+
+        // NaN cells poison the covariance into NaN eigenvalues; the sort
+        // and projection must survive rather than panic.
+        let mut poisoned = rows;
+        poisoned[3][1] = f64::NAN;
+        let projected = project(&poisoned, 2);
+        assert_eq!(projected.len(), poisoned.len());
+    }
+
+    #[test]
     fn jacobi_diagonalizes_known_matrix() {
         // [[2, 1], [1, 2]] has eigenvalues 1 and 3.
         let (mut vals, _) = jacobi_eigen(vec![vec![2.0, 1.0], vec![1.0, 2.0]]);
-        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        vals.sort_by(f64::total_cmp);
         assert!((vals[0] - 1.0).abs() < 1e-9);
         assert!((vals[1] - 3.0).abs() < 1e-9);
     }

@@ -75,6 +75,28 @@ USAGE:
       analyzer updates; the remaining steps rush at batch speed so the
       recorded profile stays complete.
 
+  tpupoint serve --fleet [--out DIR] [--metrics-listen HOST:PORT]
+                 [--pace-us N] [--max-running N] [--max-queued N]
+                 [--per-tenant N] [--store-retries N] [--recorded-backoff]
+      Run the multi-job fleet daemon: one scrape plane over N concurrent
+      jobs, each recording to its own sharded store under
+      <DIR>/jobs/<id>/ and into its own metrics registry. No --workload
+      here — jobs arrive over the control API:
+        POST   /jobs       admit a job; JSON body: {\"workload\": \"...\",
+                           \"id\"?, \"tenant\"?, \"generation\"?, \"scale\"?,
+                           \"seed\"?, \"naive\"?, \"pace_us\"?,
+                           \"store_fault_prob\"?, \"store_fault_seed\"?}
+        GET    /jobs       list all jobs;  GET /jobs/<id> one job
+        DELETE /jobs/<id>  cancel (queued exits now, running drains)
+        GET    /metrics    every job's series labeled {job,tenant,
+                           workload}, plus a merged job=\"fleet\" aggregate
+        GET    /healthz    degradations attributed per job and tenant
+        POST   /quit       drain every job gracefully and exit
+      --max-running bounds concurrent jobs (default 4), --max-queued the
+      admission queue (default 64), --per-tenant each tenant's active
+      jobs (default 8). Each job's sealed JSONL is byte-identical to a
+      solo profile run of the same workload, scale, and seed.
+
   tpupoint optimize --workload <id> [--generation v2|v3] [--scale F]
                     [--naive]
       Run TPUPoint-Optimizer and print the tuning report.
@@ -260,12 +282,18 @@ fn serve(argv: &[String]) -> Result<(), String> {
         "store-fault-prob",
         "store-fault-seed",
         "stop-on-stable",
+        "max-running",
+        "max-queued",
+        "per-tenant",
     ]);
     let args = Args::parse(
         argv,
         &options,
-        &["naive", "recorded-backoff", "paired-baseline"],
+        &["naive", "recorded-backoff", "paired-baseline", "fleet"],
     )?;
+    if args.flag("fleet") {
+        return serve_fleet(&args);
+    }
     let session = ObsSession::start(&args)?;
     let config = build_from_args(&args)?;
     let out: PathBuf = args.get("out").unwrap_or("tpupoint-out").into();
@@ -326,6 +354,62 @@ fn serve(argv: &[String]) -> Result<(), String> {
     );
     println!("profile written to {}", path.display());
     session.finish()
+}
+
+/// The `serve --fleet` lane: no workload on the command line — jobs
+/// arrive over `POST /jobs` until `/quit` (or Ctrl-C) drains the fleet.
+fn serve_fleet(args: &Args) -> Result<(), String> {
+    let out: PathBuf = args.get("out").unwrap_or("tpupoint-fleet").into();
+    let listen = args.get("metrics-listen").unwrap_or("127.0.0.1:9090");
+    let limits = tpupoint::runtime::FleetLimits {
+        max_running: args.get_or("max-running", 4)?,
+        max_queued: args.get_or("max-queued", 64)?,
+        per_tenant_active: args.get_or("per-tenant", 8)?,
+    };
+    let tp = TpuPoint::builder()
+        .analyzer(true)
+        .output_dir(&out)
+        .store_retries(args.get_or("store-retries", 3)?)
+        .serve(listen)
+        .serve_pace_us(args.get_or("pace-us", 500)?)
+        .serve_real_backoff(!args.flag("recorded-backoff"))
+        .serve_sigint(true)
+        .fleet_limits(limits)
+        .build();
+    let session = tp
+        .serve_fleet()
+        .map_err(|e| format!("fleet failed to start: {e}"))?;
+    let addr = session.addr();
+    println!("fleet serving on http://{addr}");
+    println!(
+        "  POST /jobs  GET /jobs[/<id>]  DELETE /jobs/<id>  GET /metrics  \
+         GET /healthz  POST /quit  (Ctrl-C to stop)"
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    let statuses = session
+        .wait()
+        .map_err(|e| format!("fleet drain failed: {e}"))?;
+    println!("fleet drained: {} job(s)", statuses.len());
+    for job in &statuses {
+        println!(
+            "  {:20} tenant {:10} {:9} {:>6} steps{}",
+            job.id,
+            job.tenant,
+            job.phase.as_str(),
+            job.steps_completed,
+            job.error
+                .as_deref()
+                .map(|e| format!("  error: {e}"))
+                .unwrap_or_default()
+        );
+    }
+    println!(
+        "sharded records under {}; final scrape at {}",
+        out.join("jobs").display(),
+        out.join("metrics.prom").display()
+    );
+    Ok(())
 }
 
 fn load_profile(path: &str) -> Result<Profile, String> {
@@ -744,6 +828,60 @@ mod tests {
         assert!(dir.join("profile.json").exists());
         assert!(dir.join("metrics.prom").exists());
         assert!(dir.join("records/steps.jsonl").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn serve_fleet_admits_scrapes_and_drains_over_http() {
+        use std::io::{Read, Write};
+        let dir = std::env::temp_dir().join(format!("tpupoint-cli-fleet-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = dir.to_str().unwrap().to_owned();
+        // The daemon blocks until /quit, so drive it from a second thread
+        // through the control API on a fixed ephemeral port.
+        let listen = {
+            let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            probe.local_addr().unwrap().to_string()
+        };
+        let addr = listen.clone();
+        let driver = std::thread::spawn(move || {
+            let http = |request: String| -> String {
+                for _ in 0..250 {
+                    if let Ok(mut stream) = std::net::TcpStream::connect(&addr) {
+                        stream.write_all(request.as_bytes()).unwrap();
+                        let mut response = String::new();
+                        stream.read_to_string(&mut response).unwrap();
+                        return response;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                }
+                panic!("fleet endpoint never came up on {addr}");
+            };
+            let body = "{\"workload\": \"bert-mrpc\", \"id\": \"cli-a\", \"scale\": 0.05}";
+            let created = http(format!(
+                "POST /jobs HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{}",
+                body.len(),
+                body
+            ));
+            assert!(created.starts_with("HTTP/1.1 201"), "{created}");
+            let scrape = http("GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n".to_owned());
+            assert!(scrape.contains("job=\"cli-a\""), "{scrape}");
+            http("POST /quit HTTP/1.1\r\nHost: t\r\n\r\n".to_owned());
+        });
+        run(&[
+            "serve",
+            "--fleet",
+            "--out",
+            &out,
+            "--metrics-listen",
+            &listen,
+            "--pace-us",
+            "0",
+        ])
+        .unwrap();
+        driver.join().unwrap();
+        assert!(dir.join("metrics.prom").exists());
+        assert!(dir.join("jobs/cli-a/records/steps.jsonl").exists());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

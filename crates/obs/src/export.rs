@@ -157,6 +157,123 @@ pub fn to_prometheus_labeled(snapshot: &MetricsSnapshot, labels: &[(&str, &str)]
     out
 }
 
+/// One labeled registry view inside a multi-registry exposition; see
+/// [`to_prometheus_multi`].
+#[derive(Debug, Clone, Default)]
+pub struct LabeledSnapshot {
+    /// Constant labels stamped on every series from this snapshot
+    /// (e.g. `[("job", "bert-a"), ("tenant", "alice")]`).
+    pub labels: Vec<(String, String)>,
+    /// The registry view itself.
+    pub snapshot: MetricsSnapshot,
+}
+
+impl LabeledSnapshot {
+    /// Convenience constructor from borrowed label pairs.
+    pub fn new(labels: &[(&str, &str)], snapshot: MetricsSnapshot) -> LabeledSnapshot {
+        LabeledSnapshot {
+            labels: labels
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+                .collect(),
+            snapshot,
+        }
+    }
+}
+
+/// Renders several labeled registries (the fleet's per-job registries
+/// plus the process-wide one) as a single Prometheus exposition.
+///
+/// Naive concatenation of [`to_prometheus_labeled`] outputs would repeat
+/// each family's `# HELP`/`# TYPE` headers once per registry — invalid
+/// exposition text. This exporter groups series by family first: one
+/// header per family, then every registry's series for it, each stamped
+/// with that registry's constant labels. The `analyzer.phase_occupancy.*`
+/// and `sim.lane_events.*` dotted-name families keep their `phase=`/
+/// `lane=` label treatment.
+pub fn to_prometheus_multi(groups: &[LabeledSnapshot]) -> String {
+    type Labels = Vec<(String, String)>;
+    type Series = Vec<(Labels, String)>;
+    type HistSeries = Vec<(Labels, crate::metrics::HistogramSnapshot)>;
+    let mut counters: std::collections::BTreeMap<String, Series> = Default::default();
+    let mut gauges: std::collections::BTreeMap<String, Series> = Default::default();
+    let mut histograms: std::collections::BTreeMap<String, HistSeries> = Default::default();
+    // Splits family members like `sim.lane_events.3` into the family name
+    // and an extra `lane="3"` pair; plain names pass through unchanged.
+    let family_of = |name: &str, prefix: &str, label: &str| -> (String, Option<(String, String)>) {
+        if let Some(suffix) = name.strip_prefix(prefix) {
+            if !suffix.is_empty() && suffix.chars().all(|c| c.is_ascii_digit()) {
+                return (
+                    prefix.trim_end_matches('.').to_owned(),
+                    Some((label.to_owned(), suffix.to_owned())),
+                );
+            }
+        }
+        (name.to_owned(), None)
+    };
+    for group in groups {
+        for (name, value) in &group.snapshot.counters {
+            let (family, extra) = family_of(name, LANE_EVENTS_PREFIX, "lane");
+            let mut labels = group.labels.clone();
+            labels.extend(extra);
+            counters
+                .entry(family)
+                .or_default()
+                .push((labels, value.to_string()));
+        }
+        for (name, value) in &group.snapshot.gauges {
+            let (family, extra) = family_of(name, PHASE_OCCUPANCY_PREFIX, "phase");
+            let mut labels = group.labels.clone();
+            labels.extend(extra);
+            gauges
+                .entry(family)
+                .or_default()
+                .push((labels, float_json(*value)));
+        }
+        for (name, hist) in &group.snapshot.histograms {
+            histograms
+                .entry(name.clone())
+                .or_default()
+                .push((group.labels.clone(), hist.clone()));
+        }
+    }
+    let owned_block = |labels: &[(String, String)], le: Option<&str>| {
+        let borrowed: Vec<(&str, &str)> = labels
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .collect();
+        label_block(&borrowed, le)
+    };
+    let mut out = String::new();
+    for (kind, families) in [("counter", &counters), ("gauge", &gauges)] {
+        for (family, series) in families {
+            let prom = prom_name(family);
+            push_headers(&mut out, &prom, family, kind);
+            for (labels, value) in series {
+                out.push_str(&format!("{prom}{} {value}\n", owned_block(labels, None)));
+            }
+        }
+    }
+    for (name, series) in &histograms {
+        let prom = prom_name(name);
+        push_headers(&mut out, &prom, name, "histogram");
+        for (labels, hist) in series {
+            let mut cumulative = 0u64;
+            for (le, count) in &hist.buckets {
+                cumulative += count;
+                let with_le = owned_block(labels, Some(&le.to_string()));
+                out.push_str(&format!("{prom}_bucket{with_le} {cumulative}\n"));
+            }
+            let inf = owned_block(labels, Some("+Inf"));
+            let plain = owned_block(labels, None);
+            out.push_str(&format!("{prom}_bucket{inf} {}\n", hist.count));
+            out.push_str(&format!("{prom}_sum{plain} {}\n", hist.sum));
+            out.push_str(&format!("{prom}_count{plain} {}\n", hist.count));
+        }
+    }
+    out
+}
+
 /// Gauge-name prefix whose suffix is a phase id, exported as a
 /// `phase="N"` label on the family series.
 const PHASE_OCCUPANCY_PREFIX: &str = "analyzer.phase_occupancy.";
@@ -415,6 +532,63 @@ mod tests {
             "{text}"
         );
         assert!(!text.contains("phase=\""), "{text}");
+    }
+
+    #[test]
+    fn multi_registry_export_emits_one_header_per_family() {
+        let job_a = Metrics::new();
+        job_a.counter("profiler.windows_sealed").add(5);
+        job_a.gauge("analyzer.phase_occupancy.0").set(3.0);
+        job_a.histogram("profiler.store_backoff_us").record(100);
+        let job_b = Metrics::new();
+        job_b.counter("profiler.windows_sealed").add(9);
+        job_b.counter("sim.lane_events.1").add(7);
+        job_b.histogram("profiler.store_backoff_us").record(900);
+        let text = to_prometheus_multi(&[
+            LabeledSnapshot::new(&[("job", "a")], job_a.snapshot()),
+            LabeledSnapshot::new(&[("job", "b")], job_b.snapshot()),
+        ]);
+        // Both jobs' series share one HELP/TYPE header per family.
+        assert_eq!(
+            text.matches("# TYPE tpupoint_profiler_windows_sealed counter")
+                .count(),
+            1,
+            "{text}"
+        );
+        assert!(text.contains("tpupoint_profiler_windows_sealed{job=\"a\"} 5"));
+        assert!(text.contains("tpupoint_profiler_windows_sealed{job=\"b\"} 9"));
+        // Dotted-name families keep their phase/lane label treatment.
+        assert!(
+            text.contains("tpupoint_analyzer_phase_occupancy{job=\"a\",phase=\"0\"} 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("tpupoint_sim_lane_events{job=\"b\",lane=\"1\"} 7"),
+            "{text}"
+        );
+        // Histograms expand per job under one header.
+        assert_eq!(
+            text.matches("# TYPE tpupoint_profiler_store_backoff_us histogram")
+                .count(),
+            1,
+            "{text}"
+        );
+        assert!(text.contains("tpupoint_profiler_store_backoff_us_sum{job=\"a\"} 100"));
+        assert!(text.contains("tpupoint_profiler_store_backoff_us_sum{job=\"b\"} 900"));
+        // An unlabeled group (the process-wide registry) keeps bare series.
+        let plain = Metrics::new();
+        plain.counter("obs.http_requests").add(2);
+        let text = to_prometheus_multi(&[LabeledSnapshot::new(&[], plain.snapshot())]);
+        assert!(text.contains("tpupoint_obs_http_requests 2\n"), "{text}");
+    }
+
+    #[test]
+    fn multi_registry_export_matches_single_for_one_group() {
+        let snapshot = sample();
+        let single = to_prometheus_labeled(&snapshot, &[("workload", "bert-mrpc")]);
+        let multi =
+            to_prometheus_multi(&[LabeledSnapshot::new(&[("workload", "bert-mrpc")], snapshot)]);
+        assert_eq!(single, multi);
     }
 
     #[test]

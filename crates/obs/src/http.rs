@@ -2,8 +2,9 @@
 //!
 //! The paper's profiler runs *alongside* a live training job; serve mode
 //! gives this reproduction the matching scrape surface. [`MetricsServer`]
-//! binds a `std::net::TcpListener`, answers on a dedicated accept thread,
-//! and routes four paths:
+//! binds a `std::net::TcpListener`, accepts on a dedicated thread, and
+//! hands each connection to a short-lived handler thread so one stalled
+//! client can never block another scrape. Built-in routes:
 //!
 //! * `GET /metrics` — the Prometheus text exposition of the process
 //!   registry (see [`crate::to_prometheus_labeled`]);
@@ -17,19 +18,37 @@
 //!   [`crate::PhasesReport`]);
 //! * `POST /quit` — requests graceful shutdown of the serving process.
 //!
+//! Query strings are stripped before routing (`GET /metrics?job=x`
+//! reaches the metrics hook), and callers can extend the route table via
+//! [`ServeHooks::route`] — the fleet layer mounts its `/jobs` control API
+//! there without `crates/obs` learning anything about jobs.
+//!
 //! The server owns no policy: every response body comes from a
 //! [`ServeHooks`] closure, so `crates/obs` stays dependency-free and the
 //! profiler/runtime layers decide what "status" means.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use std::{fmt, io};
 
 use crate::metrics::MetricsSnapshot;
+
+/// Total wall-clock budget for reading one request (request line, headers,
+/// and body). The per-read timeout alone would let a client trickle one
+/// byte per 1.9s forever; this bounds the whole read.
+const REQUEST_READ_DEADLINE: Duration = Duration::from_secs(5);
+
+/// Upper bound on concurrently-handled connections; requests beyond it
+/// receive a fast `503` instead of queueing unboundedly.
+const MAX_IN_FLIGHT: usize = 64;
+
+/// Largest request body the server will buffer (the `/jobs` submit API
+/// posts small JSON documents; anything larger is hostile).
+const MAX_BODY_BYTES: usize = 64 * 1024;
 
 /// Degradation-aware health of a serving run, as reported by
 /// `GET /healthz`.
@@ -90,8 +109,84 @@ impl Health {
     }
 }
 
-/// Response providers for the four routes. Each hook runs on the accept
-/// thread, once per request.
+/// A parsed inbound request, as seen by [`ServeHooks::route`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// HTTP method (`GET`, `POST`, `DELETE`, ...).
+    pub method: String,
+    /// Path with the query string already stripped (`/jobs/a`).
+    pub path: String,
+    /// Raw query string without the leading `?` (empty when absent).
+    pub query: String,
+    /// Request body (empty unless `Content-Length` was sent).
+    pub body: String,
+}
+
+/// A response produced by a [`ServeHooks::route`] hook.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code (`200`, `404`, ...).
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: String,
+    /// Response body.
+    pub body: String,
+}
+
+impl Response {
+    /// A `200 OK` JSON response.
+    pub fn json(body: impl Into<String>) -> Response {
+        Response {
+            status: 200,
+            content_type: "application/json".to_owned(),
+            body: body.into(),
+        }
+    }
+
+    /// A JSON response with an explicit status code.
+    pub fn json_status(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "application/json".to_owned(),
+            body: body.into(),
+        }
+    }
+
+    /// A plain-text response with an explicit status code.
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8".to_owned(),
+            body: body.into(),
+        }
+    }
+}
+
+/// Maps a status code to the HTTP/1.1 status line text.
+fn status_line(status: u16) -> &'static str {
+    match status {
+        200 => "200 OK",
+        201 => "201 Created",
+        202 => "202 Accepted",
+        400 => "400 Bad Request",
+        404 => "404 Not Found",
+        405 => "405 Method Not Allowed",
+        409 => "409 Conflict",
+        413 => "413 Payload Too Large",
+        429 => "429 Too Many Requests",
+        503 => "503 Service Unavailable",
+        _ => "500 Internal Server Error",
+    }
+}
+
+/// A [`ServeHooks::route`] catch-all: maps a request to a response, or
+/// `None` to fall through to the 404 handler.
+pub type RouteHook = Box<dyn Fn(&Request) -> Option<Response> + Send + Sync>;
+
+/// Response providers for the built-in routes, plus an optional catch-all
+/// for caller-defined paths. Each hook runs on a short-lived
+/// per-connection thread, once per request; hooks must therefore be
+/// `Send + Sync` and cheap to call concurrently.
 pub struct ServeHooks {
     /// Body of `GET /metrics` (Prometheus text exposition).
     pub metrics: Box<dyn Fn() -> String + Send + Sync>,
@@ -106,6 +201,10 @@ pub struct ServeHooks {
     /// Invoked by `POST /quit`; should request graceful shutdown of the
     /// run that owns the server.
     pub quit: Box<dyn Fn() + Send + Sync>,
+    /// Consulted for any path the built-in table does not match; return
+    /// `None` to fall through to 404. The fleet layer mounts its `/jobs`
+    /// control API here.
+    pub route: Option<RouteHook>,
 }
 
 impl fmt::Debug for ServeHooks {
@@ -124,7 +223,8 @@ pub struct MetricsServer {
 
 impl MetricsServer {
     /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and starts
-    /// answering on a background thread.
+    /// answering on a background accept thread; each accepted connection
+    /// is served on its own short-lived thread.
     ///
     /// # Errors
     ///
@@ -134,6 +234,7 @@ impl MetricsServer {
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let accept_stop = Arc::clone(&stop);
+        let hooks = Arc::new(hooks);
         let thread = std::thread::Builder::new()
             .name("tpupoint-metrics-http".to_owned())
             .spawn(move || accept_loop(&listener, &hooks, &accept_stop))?;
@@ -171,76 +272,155 @@ impl Drop for MetricsServer {
     }
 }
 
-fn accept_loop(listener: &TcpListener, hooks: &ServeHooks, stop: &AtomicBool) {
+/// Decrements the in-flight counter when the handler thread finishes (or
+/// when a failed spawn drops the closure unrun).
+struct InFlightGuard(Arc<AtomicUsize>);
+
+impl Drop for InFlightGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn accept_loop(listener: &TcpListener, hooks: &Arc<ServeHooks>, stop: &Arc<AtomicBool>) {
+    let in_flight = Arc::new(AtomicUsize::new(0));
     for stream in listener.incoming() {
         if stop.load(Ordering::SeqCst) {
             return;
         }
-        if let Ok(stream) = stream {
-            handle(stream, hooks);
+        let Ok(mut stream) = stream else { continue };
+        if in_flight.fetch_add(1, Ordering::SeqCst) >= MAX_IN_FLIGHT {
+            in_flight.fetch_sub(1, Ordering::SeqCst);
+            let body = "busy\n";
+            let _ = write!(
+                stream,
+                "HTTP/1.1 503 Service Unavailable\r\nContent-Type: text/plain; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                body.len()
+            );
+            continue;
         }
+        let guard = InFlightGuard(Arc::clone(&in_flight));
+        let conn_hooks = Arc::clone(hooks);
+        // Handling happens off the accept thread so a stalled client can
+        // never block other scrapes; if thread spawn itself fails (fd or
+        // memory pressure) the connection is dropped rather than risking
+        // an inline stall of the accept loop.
+        let _ = std::thread::Builder::new()
+            .name("tpupoint-http-conn".to_owned())
+            .spawn(move || {
+                let _guard = guard;
+                handle(stream, &conn_hooks);
+            });
+    }
+}
+
+/// Reads one line with the remaining slice of the total request deadline
+/// as the socket read timeout. Returns `None` on timeout, EOF, or error.
+fn read_line_by(
+    reader: &mut BufReader<TcpStream>,
+    started: Instant,
+    line: &mut String,
+) -> Option<usize> {
+    let remaining = REQUEST_READ_DEADLINE.checked_sub(started.elapsed())?;
+    let _ = reader.get_ref().set_read_timeout(Some(remaining));
+    match reader.read_line(line) {
+        Ok(0) | Err(_) => None,
+        Ok(n) => Some(n),
     }
 }
 
 fn handle(mut stream: TcpStream, hooks: &ServeHooks) {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let started = Instant::now();
     let Ok(clone) = stream.try_clone() else {
         return;
     };
     let mut reader = BufReader::new(clone);
-    let mut request = String::new();
-    if reader.read_line(&mut request).is_err() {
+    let mut request_line = String::new();
+    if read_line_by(&mut reader, started, &mut request_line).is_none() {
         return;
     }
-    let mut parts = request.split_whitespace();
+    let mut parts = request_line.split_whitespace();
     let method = parts.next().unwrap_or("");
-    let path = parts.next().unwrap_or("");
+    let target = parts.next().unwrap_or("");
+    // Real Prometheus scrape configs append query params; route on the
+    // bare path.
+    let (path, query) = match target.split_once('?') {
+        Some((path, query)) => (path, query),
+        None => (target, ""),
+    };
     // Drain the header block so the peer sees its request fully read
-    // before the response closes the connection.
+    // before the response closes the connection, capturing Content-Length
+    // for routes that accept a body.
+    let mut content_length = 0usize;
     loop {
         let mut header = String::new();
-        match reader.read_line(&mut header) {
-            Ok(0) | Err(_) => break,
-            Ok(_) if header == "\r\n" || header == "\n" => break,
-            Ok(_) => {}
+        match read_line_by(&mut reader, started, &mut header) {
+            None => break,
+            Some(_) if header == "\r\n" || header == "\n" => break,
+            Some(_) => {
+                if let Some((name, value)) = header.split_once(':') {
+                    if name.trim().eq_ignore_ascii_case("content-length") {
+                        content_length = value.trim().parse().unwrap_or(0);
+                    }
+                }
+            }
         }
     }
+    let mut body = String::new();
+    if content_length > 0 && content_length <= MAX_BODY_BYTES {
+        let mut raw = vec![0u8; content_length];
+        let mut filled = 0usize;
+        while filled < raw.len() {
+            let Some(remaining) = REQUEST_READ_DEADLINE.checked_sub(started.elapsed()) else {
+                break;
+            };
+            let _ = reader.get_ref().set_read_timeout(Some(remaining));
+            match reader.read(&mut raw[filled..]) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => filled += n,
+            }
+        }
+        raw.truncate(filled);
+        body = String::from_utf8_lossy(&raw).into_owned();
+    }
     crate::metrics().counter("obs.http_requests").inc();
-    let (status, content_type, body) = match (method, path) {
-        ("GET", "/metrics") => (
-            "200 OK",
-            "text/plain; version=0.0.4; charset=utf-8",
-            (hooks.metrics)(),
-        ),
+    let response = match (method, path) {
+        ("GET", "/metrics") => Response {
+            status: 200,
+            content_type: "text/plain; version=0.0.4; charset=utf-8".to_owned(),
+            body: (hooks.metrics)(),
+        },
         ("GET", "/healthz") => {
             let health = (hooks.health)();
-            let status = if health.is_healthy() {
-                "200 OK"
-            } else {
-                "503 Service Unavailable"
-            };
-            (status, "text/plain; charset=utf-8", health.body())
+            let status = if health.is_healthy() { 200 } else { 503 };
+            Response::text(status, health.body())
         }
-        ("GET", "/status") => ("200 OK", "application/json", (hooks.status)()),
-        ("GET", "/phases") => ("200 OK", "application/json", (hooks.phases)()),
+        ("GET", "/status") => Response::json((hooks.status)()),
+        ("GET", "/phases") => Response::json((hooks.phases)()),
         ("POST", "/quit") | ("GET", "/quit") => {
             (hooks.quit)();
-            (
-                "200 OK",
-                "text/plain; charset=utf-8",
-                "quitting\n".to_owned(),
-            )
+            Response::text(200, "quitting\n")
         }
-        _ => (
-            "404 Not Found",
-            "text/plain; charset=utf-8",
-            format!("no route for {method} {path}\n"),
-        ),
+        _ => {
+            let request = Request {
+                method: method.to_owned(),
+                path: path.to_owned(),
+                query: query.to_owned(),
+                body,
+            };
+            match hooks.route.as_ref().and_then(|route| route(&request)) {
+                Some(response) => response,
+                None => Response::text(404, format!("no route for {method} {path}\n")),
+            }
+        }
     };
     let _ = write!(
         stream,
-        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
-        body.len()
+        "HTTP/1.1 {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        status_line(response.status),
+        response.content_type,
+        response.body.len(),
+        response.body
     );
     let _ = stream.flush();
 }
@@ -258,6 +438,7 @@ mod tests {
             status: Box::new(|| "{\"step\":7}".to_owned()),
             phases: Box::new(|| crate::PhasesReport::default().to_json()),
             quit: Box::new(move || quit_flag.store(true, Ordering::SeqCst)),
+            route: None,
         }
     }
 
@@ -300,6 +481,92 @@ mod tests {
     }
 
     #[test]
+    fn query_strings_are_stripped_before_routing() {
+        let server =
+            MetricsServer::bind("127.0.0.1:0", fixed_hooks(Arc::new(AtomicBool::new(false))))
+                .unwrap();
+        let addr = server.local_addr();
+        // Prometheus scrape configs append query params; they must not 404.
+        let (status, body) = request(addr, "GET /metrics?job=x&instance=y");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert_eq!(body, "tpupoint_up 1\n");
+        let (status, _) = request(addr, "GET /healthz?verbose=1");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        server.shutdown();
+    }
+
+    #[test]
+    fn stalled_client_does_not_block_other_scrapes() {
+        let server =
+            MetricsServer::bind("127.0.0.1:0", fixed_hooks(Arc::new(AtomicBool::new(false))))
+                .unwrap();
+        let addr = server.local_addr();
+        // A client that opens a connection and trickles a partial request
+        // line without ever finishing it. Before per-connection handler
+        // threads this parked the accept loop for the whole read timeout,
+        // freezing every other scrape.
+        let mut stalled = TcpStream::connect(addr).expect("connect stalled client");
+        stalled.write_all(b"GET /metr").expect("partial write");
+        stalled.flush().unwrap();
+        let started = Instant::now();
+        let (status, body) = request(addr, "GET /metrics");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert_eq!(body, "tpupoint_up 1\n");
+        assert!(
+            started.elapsed() < Duration::from_secs(2),
+            "concurrent scrape stalled behind a slow client: {:?}",
+            started.elapsed()
+        );
+        drop(stalled);
+        server.shutdown();
+    }
+
+    #[test]
+    fn route_hook_extends_the_table_and_sees_bodies() {
+        let hooks = ServeHooks {
+            metrics: Box::new(String::new),
+            health: Box::new(Health::healthy),
+            status: Box::new(String::new),
+            phases: Box::new(String::new),
+            quit: Box::new(|| {}),
+            route: Some(Box::new(|request: &Request| match request.path.as_str() {
+                "/jobs" if request.method == "POST" => Some(Response::json_status(
+                    201,
+                    format!("{{\"echo\":{}}}", request.body.trim().len()),
+                )),
+                "/jobs" if request.method == "GET" => {
+                    Some(Response::json(format!("{{\"q\":\"{}\"}}", request.query)))
+                }
+                _ => None,
+            })),
+        };
+        let server = MetricsServer::bind("127.0.0.1:0", hooks).unwrap();
+        let addr = server.local_addr();
+        let body = "{\"tenant\":\"a\"}";
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(
+            stream,
+            "POST /jobs HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 201 Created"), "{response}");
+        assert!(
+            response.ends_with(&format!("{{\"echo\":{}}}", body.len())),
+            "{response}"
+        );
+        let (status, body) = request(addr, "GET /jobs?tenant=a");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert_eq!(body, "{\"q\":\"tenant=a\"}");
+        // Unmatched paths still fall through to 404.
+        let (status, _) = request(addr, "GET /jobs/missing/phases");
+        assert_eq!(status, "HTTP/1.1 404 Not Found");
+        server.shutdown();
+    }
+
+    #[test]
     fn degraded_health_serves_503_with_causes() {
         let hooks = ServeHooks {
             metrics: Box::new(String::new),
@@ -309,6 +576,7 @@ mod tests {
             status: Box::new(String::new),
             phases: Box::new(String::new),
             quit: Box::new(|| {}),
+            route: None,
         };
         let server = MetricsServer::bind("127.0.0.1:0", hooks).unwrap();
         let (status, body) = request(server.local_addr(), "GET /healthz");

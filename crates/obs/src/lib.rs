@@ -30,8 +30,9 @@ mod trace;
 
 pub use export::{
     prom_escape_help, prom_escape_label, to_json, to_prometheus, to_prometheus_labeled,
+    to_prometheus_multi, LabeledSnapshot,
 };
-pub use http::{Health, MetricsServer, ServeHooks};
+pub use http::{Health, MetricsServer, Request, Response, ServeHooks};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Metrics, MetricsSnapshot};
 pub use phases::{PhaseStat, PhaseTransition, PhasesReport};
 pub use report::{

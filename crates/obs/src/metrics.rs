@@ -169,6 +169,28 @@ impl HistogramSnapshot {
         }
     }
 
+    /// Folds `other`'s samples into `self`: counts, sums, and buckets
+    /// add; `min`/`max` widen. Used to build fleet-level aggregate series
+    /// out of per-job registries.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if other.count == 0 {
+            return;
+        }
+        self.min = if self.count == 0 {
+            other.min
+        } else {
+            self.min.min(other.min)
+        };
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+        let mut buckets: BTreeMap<u64, u64> = self.buckets.iter().copied().collect();
+        for &(le, n) in &other.buckets {
+            *buckets.entry(le).or_insert(0) += n;
+        }
+        self.buckets = buckets.into_iter().collect();
+    }
+
     /// Snapshot of the samples recorded since `earlier` was taken.
     ///
     /// `min`/`max` cannot be un-merged, so the diff keeps the later
@@ -287,6 +309,23 @@ pub struct MetricsSnapshot {
 }
 
 impl MetricsSnapshot {
+    /// Folds `other` into `self`: counters and histograms add, gauges
+    /// sum. The fleet layer merges per-job snapshots into one aggregate
+    /// registry view; summed gauges are meaningful for the depth/backlog
+    /// gauges the health plane reads (spill depth, queue depth), which is
+    /// what aggregates exist for.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (name, value) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += value;
+        }
+        for (name, value) in &other.gauges {
+            *self.gauges.entry(name.clone()).or_insert(0.0) += value;
+        }
+        for (name, hist) in &other.histograms {
+            self.histograms.entry(name.clone()).or_default().merge(hist);
+        }
+    }
+
     /// The activity between `earlier` and `self`, for scoping one run's
     /// metrics out of a long-lived registry: counters and histograms
     /// subtract; gauges keep their latest value; metrics that saw no
@@ -366,6 +405,34 @@ mod tests {
         assert_eq!(bucket_index(2), 1);
         assert_eq!(bucket_index(u64::MAX), 63);
         assert_eq!(bucket_upper_bound(63), u64::MAX);
+    }
+
+    #[test]
+    fn snapshot_merge_aggregates_jobs() {
+        let a = Metrics::new();
+        a.counter("profiler.store_errors").add(3);
+        a.gauge("profiler.store_spill_depth").set(2.0);
+        a.histogram("profiler.store_backoff_us").record(100);
+        let b = Metrics::new();
+        b.counter("profiler.store_errors").add(4);
+        b.counter("profiler.windows_sealed").add(9);
+        b.gauge("profiler.store_spill_depth").set(1.0);
+        b.histogram("profiler.store_backoff_us").record(900);
+        let mut total = a.snapshot();
+        total.merge(&b.snapshot());
+        assert_eq!(total.counters["profiler.store_errors"], 7);
+        assert_eq!(total.counters["profiler.windows_sealed"], 9);
+        assert_eq!(total.gauges["profiler.store_spill_depth"], 3.0);
+        let h = &total.histograms["profiler.store_backoff_us"];
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 1000);
+        assert_eq!(h.min, 100);
+        assert_eq!(h.max, 900);
+        assert_eq!(h.buckets, vec![(127, 1), (1023, 1)]);
+        // Merging an empty histogram leaves min untouched.
+        let mut empty = HistogramSnapshot::default();
+        empty.merge(&h.clone());
+        assert_eq!(empty.min, 100);
     }
 
     #[test]

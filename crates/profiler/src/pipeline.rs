@@ -228,6 +228,24 @@ impl SealPipeline {
         }
     }
 
+    /// Redirects the pipeline's queue-depth/latency/backpressure series
+    /// into `metrics`. Only effective before the first drain task is
+    /// scheduled (while this handle holds the only reference to the
+    /// shared state); afterwards the existing handles stay bound, which
+    /// is safe — just attributed to the old registry. The wrapped store's
+    /// own series rebind unconditionally.
+    pub fn use_registry(&mut self, metrics: &tpupoint_obs::Metrics) {
+        if let Some(shared) = Arc::get_mut(&mut self.shared) {
+            shared.depth = metrics.gauge("profiler.seal_queue_depth");
+            shared.latency_us = metrics.histogram("profiler.seal_latency_us");
+            shared.backpressure = metrics.counter("profiler.seal_backpressure_waits");
+        }
+        let mut state = self.shared.state.lock().expect("pipeline");
+        if let Some(store) = state.store.as_mut() {
+            store.use_registry(metrics);
+        }
+    }
+
     /// Queued operations not yet applied.
     pub fn depth(&self) -> usize {
         self.shared.state.lock().expect("pipeline").queue.len()

@@ -102,7 +102,10 @@ struct RetryMetrics {
 
 impl RetryMetrics {
     fn new() -> Self {
-        let metrics = tpupoint_obs::metrics();
+        Self::in_registry(tpupoint_obs::metrics())
+    }
+
+    fn in_registry(metrics: &tpupoint_obs::Metrics) -> Self {
         RetryMetrics {
             errors: metrics.counter("profiler.store_errors"),
             retries: metrics.counter("profiler.store_retries"),
@@ -343,6 +346,11 @@ impl<S: RecordStore> RecordStore for RetryStore<S> {
     fn set_catalog(&mut self, names: &[String], uses_mxu: &[bool], on_host: &[bool]) {
         self.inner.set_catalog(names, uses_mxu, on_host);
     }
+
+    fn use_registry(&mut self, metrics: &tpupoint_obs::Metrics) {
+        self.obs = RetryMetrics::in_registry(metrics);
+        self.inner.use_registry(metrics);
+    }
 }
 
 /// Failure schedule of a [`FaultStore`].
@@ -487,6 +495,10 @@ impl<S: RecordStore> RecordStore for FaultStore<S> {
     fn set_catalog(&mut self, names: &[String], uses_mxu: &[bool], on_host: &[bool]) {
         self.inner.set_catalog(names, uses_mxu, on_host);
     }
+
+    fn use_registry(&mut self, metrics: &tpupoint_obs::Metrics) {
+        self.inner.use_registry(metrics);
+    }
 }
 
 /// Adds a fixed *real* (wall-clock) latency to every record operation,
@@ -547,6 +559,10 @@ impl<S: RecordStore> RecordStore for ThrottledStore<S> {
 
     fn set_catalog(&mut self, names: &[String], uses_mxu: &[bool], on_host: &[bool]) {
         self.inner.set_catalog(names, uses_mxu, on_host);
+    }
+
+    fn use_registry(&mut self, metrics: &tpupoint_obs::Metrics) {
+        self.inner.use_registry(metrics);
     }
 }
 

@@ -25,7 +25,10 @@ struct SinkMetrics {
 
 impl SinkMetrics {
     fn new() -> Self {
-        let metrics = tpupoint_obs::metrics();
+        Self::in_registry(tpupoint_obs::metrics())
+    }
+
+    fn in_registry(metrics: &tpupoint_obs::Metrics) -> Self {
         SinkMetrics {
             events_recorded: metrics.counter("profiler.events_recorded"),
             events_lost: metrics.counter("profiler.events_lost"),
@@ -189,6 +192,22 @@ impl ProfilerSink {
             stored_through: 1,
             newest_step_mark: 0,
             observer_cadence: 0,
+        }
+    }
+
+    /// Redirects the sink's self-observability series — and those of the
+    /// attached store chain and seal pipeline — into `metrics` instead of
+    /// the process-wide registry. The fleet layer calls this right after
+    /// construction so every degradation attributes to the job that
+    /// suffered it; call it before the first recorded event (rebinding
+    /// later leaves prior updates in the old registry, and a pipeline
+    /// with a drain already scheduled keeps its handles).
+    pub fn use_registry(&mut self, metrics: &tpupoint_obs::Metrics) {
+        self.obs = SinkMetrics::in_registry(metrics);
+        match &mut self.store {
+            Some(StoreLane::Serial(store)) => store.use_registry(metrics),
+            Some(StoreLane::Pipelined(pipeline)) => pipeline.use_registry(metrics),
+            None => {}
         }
     }
 

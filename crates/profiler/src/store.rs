@@ -75,6 +75,13 @@ pub trait RecordStore {
     /// placeholders. Defaults to a no-op for backends with no sidecar
     /// metadata.
     fn set_catalog(&mut self, _names: &[String], _uses_mxu: &[bool], _on_host: &[bool]) {}
+
+    /// Redirects this store's self-observability series into `metrics`
+    /// instead of the process-wide registry. The fleet layer gives every
+    /// job its own registry so degradations attribute to the tenant that
+    /// suffered them; decorators rebind their handles and forward to the
+    /// wrapped store. Defaults to a no-op for backends with no metrics.
+    fn use_registry(&mut self, _metrics: &tpupoint_obs::Metrics) {}
 }
 
 macro_rules! impl_record_store_for_box {
@@ -102,6 +109,10 @@ macro_rules! impl_record_store_for_box {
 
             fn set_catalog(&mut self, names: &[String], uses_mxu: &[bool], on_host: &[bool]) {
                 (**self).set_catalog(names, uses_mxu, on_host);
+            }
+
+            fn use_registry(&mut self, metrics: &tpupoint_obs::Metrics) {
+                (**self).use_registry(metrics);
             }
         }
     };

@@ -1,0 +1,685 @@
+//! The in-process job fleet: admission control, per-tenant quotas, and a
+//! create/cancel/status lifecycle over concurrent training jobs.
+//!
+//! The paper's profiler is a cloud service — many tenants' jobs run at
+//! once while TPUPoint characterizes each one live. [`Fleet`] reproduces
+//! the TPU-fleet-manager shape (create/delete/status lifecycle calls) as
+//! an in-process orchestrator:
+//!
+//! * **Admission control.** [`Fleet::submit`] validates the job id,
+//!   bounds the pending queue ([`FleetLimits::max_queued`]), and enforces
+//!   a per-tenant cap on active (queued + running) jobs
+//!   ([`FleetLimits::per_tenant_active`]); over-quota submissions are
+//!   rejected as backpressure, not queued unboundedly.
+//! * **Bounded concurrency.** At most [`FleetLimits::max_running`] jobs
+//!   run at once, each on a dedicated `tpupoint-job-<id>` thread (the
+//!   recording thread paces on wall clock, so parking it on a shared
+//!   `tpupoint-par` worker would starve the pool; the jobs' window
+//!   *sealing* work still drains on the shared pool through each job's
+//!   [`SealPipeline`](../../tpupoint_profiler/pipeline/index.html)).
+//! * **Graceful cancel.** [`Fleet::cancel`] removes a queued job
+//!   outright; a running job gets its quit flag set, which cancels only
+//!   the live pacing — the run rushes to completion at batch speed and
+//!   seals its store, exactly like single-job serve shutdown.
+//!
+//! The fleet knows nothing about profilers or stores: jobs are executed
+//! by a caller-supplied [`JobRunner`], keeping this crate free of
+//! profiler dependencies (the dependency arrow points the other way).
+
+use crate::config::JobConfig;
+use crate::live::LiveStatus;
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Job id reserved for the fleet-wide aggregate series on `/metrics`;
+/// admitting a job under it would collide with those labels.
+pub const AGGREGATE_JOB_ID: &str = "fleet";
+
+/// Admission and concurrency bounds of a [`Fleet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetLimits {
+    /// Jobs running concurrently.
+    pub max_running: usize,
+    /// Jobs waiting in the admission queue.
+    pub max_queued: usize,
+    /// Active (queued + running) jobs any one tenant may hold.
+    pub per_tenant_active: usize,
+}
+
+impl Default for FleetLimits {
+    fn default() -> Self {
+        FleetLimits {
+            max_running: 4,
+            max_queued: 64,
+            per_tenant_active: 8,
+        }
+    }
+}
+
+/// One job submission: identity plus the training configuration.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Unique fleet-wide id; lowercase alphanumerics, `-`, `_`, `.`.
+    pub id: String,
+    /// Owning tenant, for quota accounting and health attribution.
+    pub tenant: String,
+    /// The training job to simulate.
+    pub config: JobConfig,
+    /// Wall-clock pacing per recorded step, microseconds (0 = batch
+    /// speed).
+    pub pace_us: u64,
+}
+
+/// Lifecycle phase of one job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobPhase {
+    /// Admitted, waiting for a running slot.
+    Queued,
+    /// Executing on its job thread.
+    Running,
+    /// Cancel requested while running: pacing is off, the run is rushing
+    /// to completion and sealing its records.
+    Draining,
+    /// Finished cleanly.
+    Completed,
+    /// The runner returned an error.
+    Failed,
+    /// Cancelled (from the queue, or after a drain).
+    Cancelled,
+}
+
+impl JobPhase {
+    /// Whether the job will never run again.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobPhase::Completed | JobPhase::Failed | JobPhase::Cancelled
+        )
+    }
+
+    /// Stable lowercase name, used in the `/jobs` API.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobPhase::Queued => "queued",
+            JobPhase::Running => "running",
+            JobPhase::Draining => "draining",
+            JobPhase::Completed => "completed",
+            JobPhase::Failed => "failed",
+            JobPhase::Cancelled => "cancelled",
+        }
+    }
+}
+
+impl fmt::Display for JobPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Handles a [`JobRunner`] uses to cooperate with the fleet: publish
+/// progress into `status`, and treat `quit` exactly like serve-mode
+/// shutdown (stop pacing, rush to completion, seal).
+#[derive(Debug, Clone)]
+pub struct JobControl {
+    /// Cooperative cancel flag; set by [`Fleet::cancel`] and
+    /// [`Fleet::drain`].
+    pub quit: Arc<AtomicBool>,
+    /// Live progress the fleet reports from [`Fleet::status`].
+    pub status: Arc<LiveStatus>,
+}
+
+impl JobControl {
+    fn new() -> JobControl {
+        JobControl {
+            quit: Arc::new(AtomicBool::new(false)),
+            status: LiveStatus::new(),
+        }
+    }
+}
+
+/// Point-in-time view of one job, as returned by [`Fleet::status`] /
+/// [`Fleet::list`].
+#[derive(Debug, Clone)]
+pub struct JobStatus {
+    /// The job's id.
+    pub id: String,
+    /// The owning tenant.
+    pub tenant: String,
+    /// Lifecycle phase.
+    pub phase: JobPhase,
+    /// Latest recorded training step.
+    pub step: u64,
+    /// Steps completed, once terminal.
+    pub steps_completed: u64,
+    /// The runner's error, when `phase` is [`JobPhase::Failed`].
+    pub error: Option<String>,
+}
+
+/// Executes one admitted job. Implementations run on a dedicated
+/// `tpupoint-job-<id>` thread and must honor `ctl.quit` as a graceful
+/// drain request. Returns the number of steps completed.
+pub trait JobRunner: Send + Sync + 'static {
+    /// Runs `spec` to completion (or drained cancellation).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of why the job failed.
+    fn run(&self, spec: &JobSpec, ctl: &JobControl) -> Result<u64, String>;
+}
+
+impl<F> JobRunner for F
+where
+    F: Fn(&JobSpec, &JobControl) -> Result<u64, String> + Send + Sync + 'static,
+{
+    fn run(&self, spec: &JobSpec, ctl: &JobControl) -> Result<u64, String> {
+        self(spec, ctl)
+    }
+}
+
+/// Why a submission was refused at admission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmitError {
+    /// The id is empty, too long, uses a bad character, or is reserved.
+    InvalidId(String),
+    /// A job with this id already exists (ids are never reused).
+    Duplicate(String),
+    /// The admission queue is at [`FleetLimits::max_queued`].
+    Saturated {
+        /// Jobs currently queued.
+        queued: usize,
+        /// The configured bound.
+        limit: usize,
+    },
+    /// The tenant is at [`FleetLimits::per_tenant_active`] active jobs.
+    TenantQuota {
+        /// The over-quota tenant.
+        tenant: String,
+        /// The configured bound.
+        limit: usize,
+    },
+    /// The fleet is draining and admits nothing new.
+    Closed,
+}
+
+impl fmt::Display for AdmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmitError::InvalidId(id) => write!(
+                f,
+                "invalid job id {id:?}: use 1-64 of [a-z0-9._-], not the reserved {AGGREGATE_JOB_ID:?}"
+            ),
+            AdmitError::Duplicate(id) => write!(f, "job id {id:?} already exists"),
+            AdmitError::Saturated { queued, limit } => {
+                write!(f, "admission queue full ({queued}/{limit})")
+            }
+            AdmitError::TenantQuota { tenant, limit } => {
+                write!(f, "tenant {tenant:?} is at its quota of {limit} active jobs")
+            }
+            AdmitError::Closed => f.write_str("fleet is draining; no new jobs admitted"),
+        }
+    }
+}
+
+impl std::error::Error for AdmitError {}
+
+/// Validates a fleet job id: 1-64 chars of `[a-z0-9._-]`, not reserved.
+pub fn valid_job_id(id: &str) -> bool {
+    !id.is_empty()
+        && id.len() <= 64
+        && id != AGGREGATE_JOB_ID
+        && id
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || matches!(c, '-' | '_' | '.'))
+}
+
+struct JobEntry {
+    spec: JobSpec,
+    phase: JobPhase,
+    ctl: JobControl,
+    steps_completed: u64,
+    error: Option<String>,
+}
+
+impl JobEntry {
+    fn status(&self) -> JobStatus {
+        JobStatus {
+            id: self.spec.id.clone(),
+            tenant: self.spec.tenant.clone(),
+            phase: self.phase,
+            step: self.ctl.status.current_step(),
+            steps_completed: self.steps_completed,
+            error: self.error.clone(),
+        }
+    }
+}
+
+struct FleetState {
+    jobs: BTreeMap<String, JobEntry>,
+    /// Admitted, not yet dispatched, FIFO.
+    queue: VecDeque<String>,
+    running: usize,
+    closed: bool,
+    handles: Vec<JoinHandle<()>>,
+}
+
+struct FleetInner {
+    limits: FleetLimits,
+    runner: Box<dyn JobRunner>,
+    state: Mutex<FleetState>,
+    /// Signalled on every terminal transition (and queue removal).
+    settled: Condvar,
+}
+
+/// The job orchestrator; see the module docs.
+pub struct Fleet {
+    inner: Arc<FleetInner>,
+}
+
+impl fmt::Debug for Fleet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let state = self.inner.state.lock().expect("fleet state");
+        f.debug_struct("Fleet")
+            .field("jobs", &state.jobs.len())
+            .field("queued", &state.queue.len())
+            .field("running", &state.running)
+            .field("closed", &state.closed)
+            .finish()
+    }
+}
+
+impl Fleet {
+    /// Creates a fleet executing jobs through `runner`.
+    pub fn new(limits: FleetLimits, runner: Box<dyn JobRunner>) -> Fleet {
+        Fleet {
+            inner: Arc::new(FleetInner {
+                limits,
+                runner,
+                state: Mutex::new(FleetState {
+                    jobs: BTreeMap::new(),
+                    queue: VecDeque::new(),
+                    running: 0,
+                    closed: false,
+                    handles: Vec::new(),
+                }),
+                settled: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Admits `spec`, queueing it for dispatch.
+    ///
+    /// # Errors
+    ///
+    /// Refuses over-quota, duplicate, invalid, or post-drain submissions;
+    /// see [`AdmitError`].
+    pub fn submit(&self, spec: JobSpec) -> Result<(), AdmitError> {
+        let mut state = self.inner.state.lock().expect("fleet state");
+        if state.closed {
+            return Err(AdmitError::Closed);
+        }
+        if !valid_job_id(&spec.id) {
+            return Err(AdmitError::InvalidId(spec.id));
+        }
+        if state.jobs.contains_key(&spec.id) {
+            return Err(AdmitError::Duplicate(spec.id));
+        }
+        if state.queue.len() >= self.inner.limits.max_queued {
+            return Err(AdmitError::Saturated {
+                queued: state.queue.len(),
+                limit: self.inner.limits.max_queued,
+            });
+        }
+        let active = state
+            .jobs
+            .values()
+            .filter(|j| j.spec.tenant == spec.tenant && !j.phase.is_terminal())
+            .count();
+        if active >= self.inner.limits.per_tenant_active {
+            return Err(AdmitError::TenantQuota {
+                tenant: spec.tenant,
+                limit: self.inner.limits.per_tenant_active,
+            });
+        }
+        let id = spec.id.clone();
+        state.jobs.insert(
+            id.clone(),
+            JobEntry {
+                spec,
+                phase: JobPhase::Queued,
+                ctl: JobControl::new(),
+                steps_completed: 0,
+                error: None,
+            },
+        );
+        state.queue.push_back(id);
+        self.pump(&mut state);
+        self.publish_gauges(&state);
+        Ok(())
+    }
+
+    /// Requests cancellation. A queued job leaves the queue immediately;
+    /// a running job drains gracefully (pacing off, records sealed).
+    /// Returns the phase after the request, or `None` for an unknown id.
+    pub fn cancel(&self, id: &str) -> Option<JobPhase> {
+        let mut state = self.inner.state.lock().expect("fleet state");
+        let entry = state.jobs.get_mut(id)?;
+        match entry.phase {
+            JobPhase::Queued => {
+                entry.phase = JobPhase::Cancelled;
+                state.queue.retain(|queued| queued != id);
+                self.inner.settled.notify_all();
+            }
+            JobPhase::Running | JobPhase::Draining => {
+                entry.phase = JobPhase::Draining;
+                entry.ctl.quit.store(true, Ordering::SeqCst);
+            }
+            _ => {}
+        }
+        let phase = state.jobs[id].phase;
+        self.publish_gauges(&state);
+        Some(phase)
+    }
+
+    /// The current view of one job.
+    pub fn status(&self, id: &str) -> Option<JobStatus> {
+        let state = self.inner.state.lock().expect("fleet state");
+        state.jobs.get(id).map(JobEntry::status)
+    }
+
+    /// All jobs, in id order.
+    pub fn list(&self) -> Vec<JobStatus> {
+        let state = self.inner.state.lock().expect("fleet state");
+        state.jobs.values().map(JobEntry::status).collect()
+    }
+
+    /// Active (non-terminal) jobs.
+    pub fn active_count(&self) -> usize {
+        let state = self.inner.state.lock().expect("fleet state");
+        state
+            .jobs
+            .values()
+            .filter(|j| !j.phase.is_terminal())
+            .count()
+    }
+
+    /// Blocks until every admitted job reaches a terminal phase.
+    pub fn wait_idle(&self) {
+        let mut state = self.inner.state.lock().expect("fleet state");
+        while state.jobs.values().any(|j| !j.phase.is_terminal()) {
+            state = self.inner.settled.wait(state).expect("fleet state");
+        }
+        let handles = std::mem::take(&mut state.handles);
+        drop(state);
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+
+    /// Stops admitting, cancels the queue, drains every running job
+    /// gracefully, and waits for all of them to settle.
+    pub fn drain(&self) {
+        let ids: Vec<String> = {
+            let mut state = self.inner.state.lock().expect("fleet state");
+            state.closed = true;
+            state.jobs.keys().cloned().collect()
+        };
+        for id in ids {
+            self.cancel(&id);
+        }
+        self.wait_idle();
+    }
+
+    /// Dispatches queued jobs into free running slots. Caller holds the
+    /// state lock.
+    fn pump(&self, state: &mut FleetState) {
+        while state.running < self.inner.limits.max_running {
+            let Some(id) = state.queue.pop_front() else {
+                break;
+            };
+            let entry = state.jobs.get_mut(&id).expect("queued job exists");
+            entry.phase = JobPhase::Running;
+            state.running += 1;
+            let spec = entry.spec.clone();
+            let ctl = entry.ctl.clone();
+            let inner = Arc::clone(&self.inner);
+            let spawned = std::thread::Builder::new()
+                .name(format!("tpupoint-job-{id}"))
+                .spawn(move || {
+                    let result = inner.runner.run(&spec, &ctl);
+                    inner.settle(&spec.id, result);
+                });
+            match spawned {
+                Ok(handle) => state.handles.push(handle),
+                Err(err) => {
+                    // Thread spawn failed (fd/memory pressure): the job
+                    // fails without ever running.
+                    let entry = state.jobs.get_mut(&id).expect("job exists");
+                    entry.phase = JobPhase::Failed;
+                    entry.error = Some(format!("spawn: {err}"));
+                    state.running -= 1;
+                    self.inner.settled.notify_all();
+                }
+            }
+        }
+    }
+
+    /// Publishes fleet-level occupancy gauges into the process-wide
+    /// registry (fleet series are fleet-scoped by design; per-job series
+    /// live in each job's own registry).
+    fn publish_gauges(&self, state: &FleetState) {
+        let metrics = tpupoint_obs::metrics();
+        metrics
+            .gauge("fleet.jobs_running")
+            .set(state.running as f64);
+        metrics
+            .gauge("fleet.jobs_queued")
+            .set(state.queue.len() as f64);
+        metrics
+            .gauge("fleet.jobs_total")
+            .set(state.jobs.len() as f64);
+    }
+}
+
+impl FleetInner {
+    /// Records a finished run and dispatches the next queued job.
+    fn settle(self: &Arc<Self>, id: &str, result: Result<u64, String>) {
+        let mut state = self.state.lock().expect("fleet state");
+        if let Some(entry) = state.jobs.get_mut(id) {
+            match result {
+                Ok(steps) => {
+                    entry.steps_completed = steps;
+                    // A drained job lands in Cancelled even though the
+                    // runner returned cleanly: the *request* was cancel.
+                    entry.phase = if entry.phase == JobPhase::Draining {
+                        JobPhase::Cancelled
+                    } else {
+                        JobPhase::Completed
+                    };
+                }
+                Err(err) => {
+                    entry.phase = JobPhase::Failed;
+                    entry.error = Some(err);
+                }
+            }
+        }
+        state.running -= 1;
+        let fleet = Fleet {
+            inner: Arc::clone(self),
+        };
+        fleet.pump(&mut state);
+        fleet.publish_gauges(&state);
+        self.settled.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
+
+    fn spec(id: &str, tenant: &str) -> JobSpec {
+        JobSpec {
+            id: id.to_owned(),
+            tenant: tenant.to_owned(),
+            config: JobConfig::demo(),
+            pace_us: 0,
+        }
+    }
+
+    /// A runner that parks until its quit flag (or a bounded timeout) and
+    /// reports how many jobs ran concurrently at peak.
+    struct ParkingRunner {
+        concurrent: AtomicUsize,
+        peak: AtomicUsize,
+    }
+
+    impl JobRunner for Arc<ParkingRunner> {
+        fn run(&self, _spec: &JobSpec, ctl: &JobControl) -> Result<u64, String> {
+            let now = self.concurrent.fetch_add(1, Ordering::SeqCst) + 1;
+            self.peak.fetch_max(now, Ordering::SeqCst);
+            for _ in 0..2000 {
+                if ctl.quit.load(Ordering::SeqCst) {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            self.concurrent.fetch_sub(1, Ordering::SeqCst);
+            Ok(7)
+        }
+    }
+
+    #[test]
+    fn admission_enforces_ids_queue_and_tenant_quotas() {
+        let fleet = Fleet::new(
+            FleetLimits {
+                max_running: 1,
+                max_queued: 2,
+                per_tenant_active: 2,
+            },
+            Box::new(|_: &JobSpec, _: &JobControl| Ok(0u64)),
+        );
+        assert!(matches!(
+            fleet.submit(spec("", "a")),
+            Err(AdmitError::InvalidId(_))
+        ));
+        assert!(matches!(
+            fleet.submit(spec("Bad/Id", "a")),
+            Err(AdmitError::InvalidId(_))
+        ));
+        assert!(matches!(
+            fleet.submit(spec(AGGREGATE_JOB_ID, "a")),
+            Err(AdmitError::InvalidId(_))
+        ));
+        fleet.submit(spec("job-1", "a")).unwrap();
+        assert!(matches!(
+            fleet.submit(spec("job-1", "b")),
+            Err(AdmitError::Duplicate(_))
+        ));
+        fleet.wait_idle();
+        // Quota counts only *active* jobs: finished ones free the slot.
+        fleet.submit(spec("job-2", "a")).unwrap();
+        fleet.submit(spec("job-3", "a")).unwrap();
+        fleet.wait_idle();
+        assert_eq!(fleet.list().len(), 3);
+        assert!(fleet.list().iter().all(|j| j.phase == JobPhase::Completed));
+    }
+
+    #[test]
+    fn tenant_quota_rejects_active_overflow() {
+        let runner = Arc::new(ParkingRunner {
+            concurrent: AtomicUsize::new(0),
+            peak: AtomicUsize::new(0),
+        });
+        let fleet = Fleet::new(
+            FleetLimits {
+                max_running: 1,
+                max_queued: 8,
+                per_tenant_active: 2,
+            },
+            Box::new(Arc::clone(&runner)),
+        );
+        fleet.submit(spec("a-1", "a")).unwrap();
+        fleet.submit(spec("a-2", "a")).unwrap();
+        assert!(matches!(
+            fleet.submit(spec("a-3", "a")),
+            Err(AdmitError::TenantQuota { .. })
+        ));
+        // Another tenant is unaffected.
+        fleet.submit(spec("b-1", "b")).unwrap();
+        fleet.drain();
+        assert!(matches!(
+            fleet.submit(spec("late", "a")),
+            Err(AdmitError::Closed)
+        ));
+    }
+
+    #[test]
+    fn max_running_bounds_concurrency_and_cancel_drains() {
+        let runner = Arc::new(ParkingRunner {
+            concurrent: AtomicUsize::new(0),
+            peak: AtomicUsize::new(0),
+        });
+        let fleet = Fleet::new(
+            FleetLimits {
+                max_running: 2,
+                max_queued: 16,
+                per_tenant_active: 16,
+            },
+            Box::new(Arc::clone(&runner)),
+        );
+        for i in 0..4 {
+            fleet.submit(spec(&format!("job-{i}"), "t")).unwrap();
+        }
+        // Two dispatch, two queue.
+        assert_eq!(fleet.status("job-2").unwrap().phase, JobPhase::Queued);
+        // Cancelling a queued job removes it without running.
+        assert_eq!(fleet.cancel("job-3"), Some(JobPhase::Cancelled));
+        // Cancelling a running job requests a graceful drain.
+        let drained = fleet.cancel("job-0").unwrap();
+        assert!(matches!(drained, JobPhase::Draining), "{drained:?}");
+        fleet.drain();
+        assert!(runner.peak.load(Ordering::SeqCst) <= 2);
+        let by_id = |id: &str| fleet.status(id).unwrap();
+        assert_eq!(by_id("job-0").phase, JobPhase::Cancelled);
+        assert_eq!(by_id("job-3").phase, JobPhase::Cancelled);
+        assert_eq!(by_id("job-3").steps_completed, 0);
+        // Drained jobs still report the steps their rushed run completed.
+        assert_eq!(by_id("job-0").steps_completed, 7);
+        assert_eq!(fleet.cancel("missing"), None);
+    }
+
+    #[test]
+    fn failed_runner_surfaces_its_error() {
+        let fleet = Fleet::new(
+            FleetLimits::default(),
+            Box::new(|spec: &JobSpec, _: &JobControl| {
+                if spec.id.contains("bad") {
+                    Err("boom".to_owned())
+                } else {
+                    Ok(1)
+                }
+            }),
+        );
+        fleet.submit(spec("good", "t")).unwrap();
+        fleet.submit(spec("bad-job", "t")).unwrap();
+        fleet.wait_idle();
+        assert_eq!(fleet.status("good").unwrap().phase, JobPhase::Completed);
+        let bad = fleet.status("bad-job").unwrap();
+        assert_eq!(bad.phase, JobPhase::Failed);
+        assert_eq!(bad.error.as_deref(), Some("boom"));
+    }
+
+    #[test]
+    fn job_id_validation_rules() {
+        assert!(valid_job_id("bert-mrpc.0_1"));
+        assert!(!valid_job_id(""));
+        assert!(!valid_job_id("UPPER"));
+        assert!(!valid_job_id("sp ace"));
+        assert!(!valid_job_id(AGGREGATE_JOB_ID));
+        assert!(!valid_job_id(&"x".repeat(65)));
+    }
+}

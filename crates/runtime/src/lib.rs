@@ -38,11 +38,16 @@
 
 pub mod actors;
 pub mod config;
+pub mod fleet;
 pub mod hostops;
 pub mod job;
 pub mod live;
 pub mod metrics;
 
 pub use config::{DataKind, DatasetSpec, JobConfig, StepKind};
+pub use fleet::{
+    valid_job_id, AdmitError, Fleet, FleetLimits, JobControl, JobPhase, JobRunner, JobSpec,
+    JobStatus, AGGREGATE_JOB_ID,
+};
 pub use job::{RunReport, TrainingJob};
 pub use live::{LiveSink, LiveStatus};

@@ -9,7 +9,7 @@ use tpupoint_profiler::{
     FaultConfig, FaultStore, JsonlStore, PipelineConfig, Profile, ProfilerOptions, ProfilerSink,
     RecordStore, RetryPolicy, RetryStore,
 };
-use tpupoint_runtime::{JobConfig, RunReport, TrainingJob};
+use tpupoint_runtime::{FleetLimits, JobConfig, RunReport, TrainingJob};
 
 /// A profiled training session: the runtime's ground-truth report plus the
 /// profiler's statistical view.
@@ -54,6 +54,7 @@ pub struct TpuPointBuilder {
     pub(crate) paired_baseline: bool,
     pub(crate) stop_on_stable: Option<u64>,
     pub(crate) sim_lanes: usize,
+    pub(crate) fleet_limits: FleetLimits,
 }
 
 impl Default for TpuPointBuilder {
@@ -76,6 +77,7 @@ impl Default for TpuPointBuilder {
             paired_baseline: false,
             stop_on_stable: None,
             sim_lanes: 1,
+            fleet_limits: FleetLimits::default(),
         }
     }
 }
@@ -214,6 +216,14 @@ impl TpuPointBuilder {
     /// twin always runs serially; its report is identical either way.
     pub fn sim_lanes(mut self, lanes: usize) -> Self {
         self.sim_lanes = lanes.max(1);
+        self
+    }
+
+    /// Admission and concurrency bounds for [`TpuPoint::serve_fleet`]:
+    /// how many jobs run at once, how deep the admission queue goes, and
+    /// how many active jobs any one tenant may hold.
+    pub fn fleet_limits(mut self, limits: FleetLimits) -> Self {
+        self.fleet_limits = limits;
         self
     }
 

@@ -1,0 +1,895 @@
+//! Fleet mode: many concurrent serve-style jobs behind one scrape plane.
+//!
+//! [`TpuPoint::serve`] runs a single job; the paper's profiler is a cloud
+//! *service* — many tenants' training jobs run at once while TPUPoint
+//! characterizes each one live. [`TpuPoint::serve_fleet`] reproduces that
+//! multi-tenant shape on top of the runtime's
+//! [`Fleet`](tpupoint_runtime::Fleet) orchestrator:
+//!
+//! * **One scrape plane.** A single [`MetricsServer`] serves the whole
+//!   fleet. `GET /metrics` renders every job's own registry as
+//!   `{job,tenant,workload}`-labeled Prometheus series, plus the pooled
+//!   process-wide series (unlabeled) and a merged fleet aggregate under
+//!   `job="fleet"` — one `HELP`/`TYPE` header per family across all of
+//!   them.
+//! * **Per-tenant health attribution.** Every job records into its *own*
+//!   registry (stores, retry/spill resilience, seal pipeline, streaming
+//!   analyzer), so `GET /healthz` attributes each degradation to the job
+//!   and tenant that caused it instead of pooling the blame: one tenant's
+//!   store faults never flip a healthy neighbour to 503.
+//! * **A `/jobs` control API.** `POST /jobs` admits a job by workload
+//!   name (the wormulon-style create/cancel/status lifecycle);
+//!   `GET /jobs` lists, `GET /jobs/<id>` inspects, `DELETE /jobs/<id>`
+//!   cancels — a queued job exits immediately, a running one drains
+//!   gracefully (pacing off, records sealed).
+//! * **Sharded stores.** Each job persists to its own
+//!   `<root>/jobs/<id>/records` JSONL store through the same
+//!   fault/retry/seal-pipeline chain as single-job serve, and its sealed
+//!   output stays **byte-identical** to a solo [`TpuPoint::profile`] run
+//!   of the same configuration and seed.
+//!
+//! `POST /quit` (or Ctrl-C with [`TpuPointBuilder::serve_sigint`]) drains
+//! the whole fleet gracefully and flushes a final multi-job scrape to
+//! `<root>/metrics.prom`.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use tpupoint_analyzer::{StreamingAnalyzer, StreamingConfig, STREAM_CADENCE};
+use tpupoint_obs::{
+    to_prometheus_labeled, to_prometheus_multi, Health, LabeledSnapshot, Metrics, MetricsServer,
+    MetricsSnapshot, Request, Response, ServeHooks,
+};
+use tpupoint_profiler::{PipelineConfig, ProfilerSink};
+use tpupoint_runtime::{
+    AdmitError, Fleet, JobConfig, JobControl, JobPhase, JobSpec, JobStatus, LiveSink,
+    AGGREGATE_JOB_ID,
+};
+use tpupoint_workloads::{build, BuildOptions, Variant, WorkloadId};
+
+use crate::facade::{TpuPoint, TpuPointBuilder};
+use crate::serve::{preregister_series, preregister_series_in, sigint};
+
+/// One job submission for [`FleetSession::submit`]: the resolved training
+/// configuration plus fleet identity and per-job store knobs.
+#[derive(Debug, Clone)]
+pub struct FleetJobRequest {
+    /// Fleet-wide id; `None` auto-assigns `job-<n>`.
+    pub id: Option<String>,
+    /// Owning tenant for quota accounting and health attribution.
+    pub tenant: String,
+    /// The training job to simulate.
+    pub config: JobConfig,
+    /// Wall-clock pacing per step in microseconds; `None` uses the
+    /// builder's [`TpuPointBuilder::serve_pace_us`].
+    pub pace_us: Option<u64>,
+    /// Per-job store fault-injection probability (0 disables).
+    pub store_fault_prob: f64,
+    /// Seed of the per-job fault stream.
+    pub store_fault_seed: u64,
+}
+
+impl FleetJobRequest {
+    /// A request with default identity (`tenant="default"`, auto id) and
+    /// a clean store.
+    pub fn new(config: JobConfig) -> FleetJobRequest {
+        FleetJobRequest {
+            id: None,
+            tenant: "default".to_owned(),
+            config,
+            pace_us: None,
+            store_fault_prob: 0.0,
+            store_fault_seed: 0xFA117,
+        }
+    }
+
+    /// Sets an explicit job id.
+    pub fn id(mut self, id: impl Into<String>) -> Self {
+        self.id = Some(id.into());
+        self
+    }
+
+    /// Sets the owning tenant.
+    pub fn tenant(mut self, tenant: impl Into<String>) -> Self {
+        self.tenant = tenant.into();
+        self
+    }
+
+    /// Sets this job's wall-clock pacing (microseconds per step; 0 runs
+    /// at batch speed).
+    pub fn pace_us(mut self, pace_us: u64) -> Self {
+        self.pace_us = Some(pace_us);
+        self
+    }
+
+    /// Injects store faults into this job only — the canonical way to
+    /// exercise per-tenant health attribution.
+    pub fn store_fault(mut self, probability: f64, seed: u64) -> Self {
+        self.store_fault_prob = probability.clamp(0.0, 1.0);
+        self.store_fault_seed = seed;
+        self
+    }
+}
+
+/// Per-job state the scrape plane reads: the job's own metrics registry,
+/// its streaming analyzer, and the store knobs its runner applies.
+struct JobRuntime {
+    registry: Metrics,
+    tenant: String,
+    workload: String,
+    streaming: Arc<Mutex<StreamingAnalyzer>>,
+    store_fault_prob: f64,
+    store_fault_seed: u64,
+}
+
+/// State shared between the HTTP hooks, the job runner, and the session.
+struct FleetShared {
+    options: TpuPointBuilder,
+    root: PathBuf,
+    jobs: Mutex<BTreeMap<String, Arc<JobRuntime>>>,
+    auto_id: AtomicU64,
+}
+
+impl FleetShared {
+    /// Renders the whole fleet as one Prometheus exposition: the pooled
+    /// process registry (unlabeled), each job's registry under
+    /// `{job,tenant,workload}`, and the merged aggregate under
+    /// `job="fleet"` — one header per family across all of them.
+    fn render_metrics(&self) -> String {
+        let jobs = self.jobs.lock().expect("fleet jobs");
+        let mut groups = vec![LabeledSnapshot::new(
+            &[],
+            tpupoint_obs::metrics().snapshot(),
+        )];
+        let mut aggregate: Option<MetricsSnapshot> = None;
+        for (id, job) in jobs.iter() {
+            let snapshot = job.registry.snapshot();
+            match &mut aggregate {
+                Some(merged) => merged.merge(&snapshot),
+                None => aggregate = Some(snapshot.clone()),
+            }
+            groups.push(LabeledSnapshot::new(
+                &[
+                    ("job", id.as_str()),
+                    ("tenant", job.tenant.as_str()),
+                    ("workload", job.workload.as_str()),
+                ],
+                snapshot,
+            ));
+        }
+        if let Some(merged) = aggregate {
+            groups.push(LabeledSnapshot::new(&[("job", AGGREGATE_JOB_ID)], merged));
+        }
+        to_prometheus_multi(&groups)
+    }
+
+    /// Fleet health: process-wide degradations plus each job's own,
+    /// attributed to its id and tenant. A healthy tenant stays clean no
+    /// matter how degraded its neighbours are.
+    fn render_health(&self) -> Health {
+        let mut degradations =
+            Health::from_snapshot(&tpupoint_obs::metrics().snapshot()).degradations;
+        let jobs = self.jobs.lock().expect("fleet jobs");
+        for (id, job) in jobs.iter() {
+            for line in Health::from_snapshot(&job.registry.snapshot()).degradations {
+                degradations.push(format!("job {id} (tenant {}): {line}", job.tenant));
+            }
+        }
+        Health { degradations }
+    }
+
+    /// The live streaming-phase reports of every job, as one JSON object
+    /// keyed by job id.
+    fn render_phases(&self) -> String {
+        let jobs = self.jobs.lock().expect("fleet jobs");
+        let mut body = String::from("{");
+        for (i, (id, job)) in jobs.iter().enumerate() {
+            if i > 0 {
+                body.push_str(", ");
+            }
+            let report = job.streaming.lock().expect("streaming lock").report();
+            body.push_str(&format!("{:?}: {}", id, report.to_json().trim_end()));
+        }
+        body.push_str("}\n");
+        body
+    }
+}
+
+/// Executes one admitted fleet job on its `tpupoint-job-<id>` thread:
+/// the exact serve-mode recording lane, but writing to the job's own
+/// sharded store and its own metrics registry.
+fn run_fleet_job(shared: &FleetShared, spec: &JobSpec, ctl: &JobControl) -> Result<u64, String> {
+    let job_runtime = shared
+        .jobs
+        .lock()
+        .expect("fleet jobs")
+        .get(&spec.id)
+        .cloned()
+        .ok_or_else(|| format!("job {:?} has no runtime entry", spec.id))?;
+    let options = &shared.options;
+
+    // Same overhead charge as profile()/serve(): the recorded JSONL stays
+    // byte-identical to a solo run of the same configuration and seed.
+    let mut config = spec.config.clone();
+    config.host_overhead_frac += options.profiling_overhead_frac;
+    let job = tpupoint_runtime::TrainingJob::new(config);
+
+    let dir = shared.root.join("jobs").join(&spec.id);
+    let store = build_job_store(options, &job_runtime, &dir.join("records"))
+        .map_err(|err| format!("store: {err}"))?;
+    // Fleet always takes the pipelined lane, like serve: sealing drains on
+    // the shared pool, off this recording thread's critical path.
+    let mut sink = ProfilerSink::with_pipelined_store(
+        job.catalog().clone(),
+        options.profiler_options,
+        store,
+        PipelineConfig::default(),
+    );
+    // Rebind every profiler/store/pipeline series to the job's own
+    // registry before the first event, so /metrics and /healthz attribute
+    // them to this job alone.
+    sink.use_registry(&job_runtime.registry);
+    sink.set_source(&job.config().model, &job.config().dataset.name);
+
+    let registry = job_runtime.registry.clone();
+    let streaming = Arc::clone(&job_runtime.streaming);
+    let observer_status = Arc::clone(&ctl.status);
+    let n_ops = job.catalog().len();
+    sink.set_seal_observer(
+        Box::new(move |records| {
+            let mut analyzer = streaming.lock().expect("streaming lock");
+            analyzer.observe_seal(records, n_ops);
+            registry
+                .gauge("analyzer.phase_stability")
+                .set(analyzer.stability());
+            registry
+                .gauge("analyzer.phase_count")
+                .set(analyzer.phase_count() as f64);
+            registry
+                .gauge("analyzer.stable_windows")
+                .set(analyzer.stable_windows() as f64);
+            let report = analyzer.report();
+            if let Some(step) = report.last_transition_step {
+                registry
+                    .gauge("analyzer.last_transition_step")
+                    .set(step as f64);
+            }
+            for phase in &report.phases {
+                registry
+                    .gauge(&format!("analyzer.phase_occupancy.{}", phase.id))
+                    .set(phase.occupancy as f64);
+            }
+            observer_status
+                .set_stream_state(analyzer.phase_count() as u64, analyzer.stable_windows());
+        }),
+        STREAM_CADENCE as u64,
+    );
+
+    let mut live = LiveSink::new(
+        sink,
+        Arc::clone(&ctl.status),
+        Arc::clone(&ctl.quit),
+        Duration::from_micros(spec.pace_us),
+        options.ols_threshold,
+    );
+    let report = job.run(&mut live);
+    let profile = live.into_inner().finish();
+    ctl.status.set_done();
+
+    std::fs::create_dir_all(&dir).map_err(|err| format!("output dir: {err}"))?;
+    let file =
+        std::fs::File::create(dir.join("profile.json")).map_err(|err| format!("profile: {err}"))?;
+    profile
+        .save_json(file)
+        .map_err(|err| format!("profile: {err}"))?;
+    let scrape = to_prometheus_labeled(
+        &job_runtime.registry.snapshot(),
+        &[
+            ("job", spec.id.as_str()),
+            ("tenant", job_runtime.tenant.as_str()),
+            ("workload", job_runtime.workload.as_str()),
+        ],
+    );
+    std::fs::write(dir.join("metrics.prom"), scrape).map_err(|err| format!("scrape: {err}"))?;
+    Ok(report.steps_completed)
+}
+
+/// Builds one job's sharded store chain: its own JSONL directory, its own
+/// fault stream when requested, and the retry/spill decorator with the
+/// fleet-wide policy.
+fn build_job_store(
+    options: &TpuPointBuilder,
+    job: &JobRuntime,
+    dir: &Path,
+) -> io::Result<Box<dyn tpupoint_profiler::RecordStore + Send>> {
+    use tpupoint_profiler::{FaultConfig, FaultStore, JsonlStore, RetryPolicy, RetryStore};
+    let jsonl = JsonlStore::create(dir)?;
+    let mut store: Box<dyn tpupoint_profiler::RecordStore + Send> = Box::new(jsonl);
+    if job.store_fault_prob > 0.0 {
+        store = Box::new(FaultStore::new(
+            store,
+            FaultConfig {
+                error_probability: job.store_fault_prob,
+                seed: job.store_fault_seed,
+                ..FaultConfig::default()
+            },
+        ));
+    }
+    if options.store_retries > 0 {
+        store = Box::new(RetryStore::with_policy(
+            store,
+            RetryPolicy {
+                max_retries: options.store_retries,
+                sleep_backoff: options.serve_real_backoff,
+                ..RetryPolicy::default()
+            },
+        ));
+    }
+    Ok(store)
+}
+
+/// A running fleet session: the orchestrator plus the HTTP scrape plane.
+/// Obtain one from [`TpuPoint::serve_fleet`]; submit jobs over HTTP or
+/// with [`FleetSession::submit`], and call [`FleetSession::wait`] to block
+/// until shutdown.
+pub struct FleetSession {
+    server: MetricsServer,
+    fleet: Arc<Fleet>,
+    shared: Arc<FleetShared>,
+    quit: Arc<AtomicBool>,
+    sigint: bool,
+}
+
+impl std::fmt::Debug for FleetSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetSession")
+            .field("addr", &self.server.local_addr())
+            .field("fleet", &self.fleet)
+            .finish()
+    }
+}
+
+impl FleetSession {
+    /// The HTTP endpoint's actually-bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.server.local_addr()
+    }
+
+    /// Admits a job, queueing it for dispatch; returns its id.
+    ///
+    /// # Errors
+    ///
+    /// Refuses over-quota, duplicate, invalid, or post-drain submissions;
+    /// see [`AdmitError`].
+    pub fn submit(&self, request: FleetJobRequest) -> Result<String, AdmitError> {
+        submit_job(&self.shared, &self.fleet, request)
+    }
+
+    /// The current view of one job.
+    pub fn status(&self, id: &str) -> Option<JobStatus> {
+        self.fleet.status(id)
+    }
+
+    /// All jobs, in id order.
+    pub fn list(&self) -> Vec<JobStatus> {
+        self.fleet.list()
+    }
+
+    /// Requests cancellation: a queued job exits immediately, a running
+    /// one drains gracefully. Returns the phase after the request.
+    pub fn cancel(&self, id: &str) -> Option<JobPhase> {
+        self.fleet.cancel(id)
+    }
+
+    /// Active (queued or running) jobs.
+    pub fn active_count(&self) -> usize {
+        self.fleet.active_count()
+    }
+
+    /// Blocks until every admitted job settles, without shutting the
+    /// scrape plane down — new submissions are still admitted after.
+    pub fn wait_jobs_idle(&self) {
+        self.fleet.wait_idle();
+    }
+
+    /// One fleet-wide Prometheus scrape, identical to `GET /metrics`.
+    pub fn scrape(&self) -> String {
+        self.shared.render_metrics()
+    }
+
+    /// Fleet health with per-job attribution, identical to `GET /healthz`.
+    pub fn health(&self) -> Health {
+        self.shared.render_health()
+    }
+
+    /// Requests fleet shutdown, exactly like `POST /quit`.
+    pub fn request_quit(&self) {
+        self.quit.store(true, Ordering::SeqCst);
+    }
+
+    /// Blocks until shutdown is requested (`POST /quit`,
+    /// [`FleetSession::request_quit`], or Ctrl-C under
+    /// [`TpuPointBuilder::serve_sigint`]), then drains every job
+    /// gracefully, flushes the final fleet scrape to
+    /// `<root>/metrics.prom`, and returns the final job statuses.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the final scrape cannot be written.
+    pub fn wait(self) -> io::Result<Vec<JobStatus>> {
+        while !self.quit.load(Ordering::SeqCst) {
+            if self.sigint && sigint::hit() {
+                self.quit.store(true, Ordering::SeqCst);
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        self.fleet.drain();
+        let scrape = self.shared.render_metrics();
+        std::fs::create_dir_all(&self.shared.root)?;
+        std::fs::write(self.shared.root.join("metrics.prom"), scrape)?;
+        Ok(self.fleet.list())
+    }
+}
+
+/// Creates the per-job registry + runtime entry, then admits the spec.
+/// The side entry is inserted first (the runner may start instantly) and
+/// rolled back if admission refuses.
+fn submit_job(
+    shared: &Arc<FleetShared>,
+    fleet: &Fleet,
+    request: FleetJobRequest,
+) -> Result<String, AdmitError> {
+    let id = match request.id {
+        Some(id) => id,
+        None => loop {
+            let n = shared.auto_id.fetch_add(1, Ordering::SeqCst);
+            let candidate = format!("job-{n}");
+            if !shared
+                .jobs
+                .lock()
+                .expect("fleet jobs")
+                .contains_key(&candidate)
+            {
+                break candidate;
+            }
+        },
+    };
+    let registry = Metrics::new();
+    preregister_series_in(&registry);
+    let runtime = Arc::new(JobRuntime {
+        registry,
+        tenant: request.tenant.clone(),
+        workload: request.config.model.clone(),
+        streaming: Arc::new(Mutex::new(StreamingAnalyzer::new(
+            StreamingConfig::default(),
+        ))),
+        store_fault_prob: request.store_fault_prob,
+        store_fault_seed: request.store_fault_seed,
+    });
+    {
+        // Checked here, under the side-table lock, so a duplicate id can
+        // never overwrite (and then roll back) the original's runtime.
+        let mut jobs = shared.jobs.lock().expect("fleet jobs");
+        if jobs.contains_key(&id) {
+            return Err(AdmitError::Duplicate(id));
+        }
+        jobs.insert(id.clone(), runtime);
+    }
+    let spec = JobSpec {
+        id: id.clone(),
+        tenant: request.tenant,
+        config: request.config,
+        pace_us: request.pace_us.unwrap_or(shared.options.serve_pace_us),
+    };
+    match fleet.submit(spec) {
+        Ok(()) => Ok(id),
+        Err(err) => {
+            shared.jobs.lock().expect("fleet jobs").remove(&id);
+            Err(err)
+        }
+    }
+}
+
+/// Maps an admission refusal to its HTTP status: client mistakes are
+/// 4xx (400 invalid, 409 duplicate, 429 backpressure), drain is 503.
+fn admit_status(err: &AdmitError) -> u16 {
+    match err {
+        AdmitError::InvalidId(_) => 400,
+        AdmitError::Duplicate(_) => 409,
+        AdmitError::Saturated { .. } | AdmitError::TenantQuota { .. } => 429,
+        AdmitError::Closed => 503,
+    }
+}
+
+fn job_status_json(status: &JobStatus) -> String {
+    format!(
+        concat!(
+            "{{\"id\": {:?}, \"tenant\": {:?}, \"phase\": {:?}, ",
+            "\"step\": {}, \"steps_completed\": {}, \"error\": {}}}"
+        ),
+        status.id,
+        status.tenant,
+        status.phase.as_str(),
+        status.step,
+        status.steps_completed,
+        status
+            .error
+            .as_deref()
+            .map(|e| format!("{e:?}"))
+            .unwrap_or_else(|| "null".to_owned()),
+    )
+}
+
+fn jobs_json(statuses: &[JobStatus]) -> String {
+    let rows: Vec<String> = statuses.iter().map(job_status_json).collect();
+    format!("{{\"jobs\": [{}]}}\n", rows.join(", "))
+}
+
+/// Parses a `POST /jobs` body into a [`FleetJobRequest`]: `workload` is
+/// required (a suite id, as listed by `tpupoint workloads`); `id`,
+/// `tenant`, `generation`, `scale`, `seed`, `naive`, `pace_us`,
+/// `store_fault_prob`, and `store_fault_seed` are optional.
+fn parse_job_request(body: &str) -> Result<FleetJobRequest, String> {
+    let value: serde_json::Value =
+        serde_json::from_str(body).map_err(|err| format!("invalid JSON body: {err}"))?;
+    let workload = value
+        .get("workload")
+        .and_then(serde_json::Value::as_str)
+        .ok_or("missing required field \"workload\"")?;
+    let workload_id: WorkloadId = workload.parse().map_err(|err| format!("{err}"))?;
+    let generation = match value
+        .get("generation")
+        .and_then(serde_json::Value::as_str)
+        .unwrap_or("v2")
+    {
+        "v2" | "V2" => tpupoint_hw::TpuGeneration::V2,
+        "v3" | "V3" => tpupoint_hw::TpuGeneration::V3,
+        other => return Err(format!("\"generation\" must be v2 or v3, got {other:?}")),
+    };
+    let scale = value
+        .get("scale")
+        .and_then(serde_json::Value::as_f64)
+        .unwrap_or_else(|| workload_id.default_sim_scale());
+    let opts = BuildOptions {
+        scale,
+        seed: value
+            .get("seed")
+            .and_then(serde_json::Value::as_u64)
+            .unwrap_or(42),
+        variant: if value
+            .get("naive")
+            .and_then(serde_json::Value::as_bool)
+            .unwrap_or(false)
+        {
+            Variant::Naive
+        } else {
+            Variant::Tuned
+        },
+        ..BuildOptions::default()
+    };
+    let mut request = FleetJobRequest::new(build(workload_id, generation, &opts));
+    if let Some(id) = value.get("id").and_then(serde_json::Value::as_str) {
+        request = request.id(id);
+    }
+    if let Some(tenant) = value.get("tenant").and_then(serde_json::Value::as_str) {
+        request = request.tenant(tenant);
+    }
+    if let Some(pace) = value.get("pace_us").and_then(serde_json::Value::as_u64) {
+        request = request.pace_us(pace);
+    }
+    let fault_prob = value
+        .get("store_fault_prob")
+        .and_then(serde_json::Value::as_f64)
+        .unwrap_or(0.0);
+    if fault_prob > 0.0 {
+        request = request.store_fault(
+            fault_prob,
+            value
+                .get("store_fault_seed")
+                .and_then(serde_json::Value::as_u64)
+                .unwrap_or(0xFA117),
+        );
+    }
+    Ok(request)
+}
+
+/// Routes the `/jobs` control API; returns `None` for paths the built-in
+/// table should keep handling.
+fn route_jobs(
+    shared: &Arc<FleetShared>,
+    fleet: &Arc<Fleet>,
+    request: &Request,
+) -> Option<Response> {
+    if request.path == "/jobs" {
+        return Some(match request.method.as_str() {
+            "GET" => Response::json(jobs_json(&fleet.list())),
+            "POST" => match parse_job_request(&request.body) {
+                Ok(job) => match submit_job(shared, fleet, job) {
+                    Ok(id) => Response::json_status(
+                        201,
+                        format!("{{\"id\": {id:?}, \"phase\": \"queued\"}}\n"),
+                    ),
+                    Err(err) => Response::json_status(
+                        admit_status(&err),
+                        format!("{{\"error\": {:?}}}\n", err.to_string()),
+                    ),
+                },
+                Err(err) => Response::json_status(400, format!("{{\"error\": {err:?}}}\n")),
+            },
+            _ => Response::text(405, "method not allowed\n"),
+        });
+    }
+    let id = request.path.strip_prefix("/jobs/")?;
+    if let Some(id) = id.strip_suffix("/phases") {
+        let jobs = shared.jobs.lock().expect("fleet jobs");
+        return Some(match jobs.get(id) {
+            Some(job) => Response::json(
+                job.streaming
+                    .lock()
+                    .expect("streaming lock")
+                    .report()
+                    .to_json(),
+            ),
+            None => Response::json_status(404, format!("{{\"error\": \"no job {id:?}\"}}\n")),
+        });
+    }
+    Some(match request.method.as_str() {
+        "GET" => match fleet.status(id) {
+            Some(status) => Response::json(format!("{}\n", job_status_json(&status))),
+            None => Response::json_status(404, format!("{{\"error\": \"no job {id:?}\"}}\n")),
+        },
+        "DELETE" => match fleet.cancel(id) {
+            Some(phase) => Response::json(format!(
+                "{{\"id\": {id:?}, \"phase\": {:?}}}\n",
+                phase.as_str()
+            )),
+            None => Response::json_status(404, format!("{{\"error\": \"no job {id:?}\"}}\n")),
+        },
+        _ => Response::text(405, "method not allowed\n"),
+    })
+}
+
+impl TpuPoint {
+    /// Starts fleet mode; see the module docs. Returns as soon as the
+    /// scrape plane is up — jobs arrive through `POST /jobs` or
+    /// [`FleetSession::submit`], and [`FleetSession::wait`] blocks until
+    /// graceful shutdown.
+    ///
+    /// Sharded stores live under `<output_dir>/jobs/<id>/` (default root
+    /// `tpupoint-fleet`); admission bounds come from
+    /// [`TpuPointBuilder::fleet_limits`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the listen address cannot be bound.
+    pub fn serve_fleet(&self) -> io::Result<FleetSession> {
+        let options = self.options.clone();
+        let listen = options
+            .serve_listen
+            .clone()
+            .unwrap_or_else(|| "127.0.0.1:0".to_owned());
+        let root = options
+            .output_dir
+            .clone()
+            .unwrap_or_else(|| PathBuf::from("tpupoint-fleet"));
+        preregister_series();
+        let metrics = tpupoint_obs::metrics();
+        for gauge in [
+            "fleet.jobs_running",
+            "fleet.jobs_queued",
+            "fleet.jobs_total",
+        ] {
+            metrics.gauge(gauge);
+        }
+        if options.serve_sigint {
+            sigint::install();
+        }
+
+        let shared = Arc::new(FleetShared {
+            options: options.clone(),
+            root,
+            jobs: Mutex::new(BTreeMap::new()),
+            auto_id: AtomicU64::new(0),
+        });
+        let runner_shared = Arc::clone(&shared);
+        let fleet = Arc::new(Fleet::new(
+            options.fleet_limits,
+            Box::new(move |spec: &JobSpec, ctl: &JobControl| {
+                run_fleet_job(&runner_shared, spec, ctl)
+            }),
+        ));
+        let quit = Arc::new(AtomicBool::new(false));
+
+        let metrics_shared = Arc::clone(&shared);
+        let health_shared = Arc::clone(&shared);
+        let phases_shared = Arc::clone(&shared);
+        let status_fleet = Arc::clone(&fleet);
+        let route_shared = Arc::clone(&shared);
+        let route_fleet = Arc::clone(&fleet);
+        let hook_quit = Arc::clone(&quit);
+        let server = MetricsServer::bind(
+            &listen,
+            ServeHooks {
+                metrics: Box::new(move || metrics_shared.render_metrics()),
+                health: Box::new(move || health_shared.render_health()),
+                status: Box::new(move || {
+                    let statuses = status_fleet.list();
+                    let count =
+                        |phase: JobPhase| statuses.iter().filter(|s| s.phase == phase).count();
+                    format!(
+                        concat!(
+                            "{{\"jobs\": {}, \"queued\": {}, \"running\": {}, ",
+                            "\"draining\": {}, \"completed\": {}, \"failed\": {}, ",
+                            "\"cancelled\": {}}}\n"
+                        ),
+                        statuses.len(),
+                        count(JobPhase::Queued),
+                        count(JobPhase::Running),
+                        count(JobPhase::Draining),
+                        count(JobPhase::Completed),
+                        count(JobPhase::Failed),
+                        count(JobPhase::Cancelled),
+                    )
+                }),
+                phases: Box::new(move || phases_shared.render_phases()),
+                quit: Box::new(move || hook_quit.store(true, Ordering::SeqCst)),
+                route: Some(Box::new(move |request: &Request| {
+                    route_jobs(&route_shared, &route_fleet, request)
+                })),
+            },
+        )?;
+
+        Ok(FleetSession {
+            server,
+            fleet,
+            shared,
+            quit,
+            sigint: options.serve_sigint,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_root(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("tpupoint-fleet-{tag}-{}", std::process::id()))
+    }
+
+    fn fleet_at(root: &Path) -> FleetSession {
+        TpuPoint::builder()
+            .analyzer(true)
+            .output_dir(root)
+            .serve("127.0.0.1:0")
+            .serve_pace_us(0)
+            .build()
+            .serve_fleet()
+            .expect("fleet starts")
+    }
+
+    fn http(addr: SocketAddr, request: &str) -> String {
+        use std::io::{Read, Write};
+        let mut stream = std::net::TcpStream::connect(addr).expect("connects");
+        stream.write_all(request.as_bytes()).unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        response
+    }
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        http(addr, &format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n"))
+    }
+
+    #[test]
+    fn fleet_runs_jobs_with_labeled_series_and_sharded_stores() {
+        let root = temp_root("basic");
+        let _ = std::fs::remove_dir_all(&root);
+        let session = fleet_at(&root);
+        let id = session
+            .submit(
+                FleetJobRequest::new(JobConfig::demo())
+                    .id("demo-a")
+                    .tenant("alice"),
+            )
+            .expect("admits");
+        assert_eq!(id, "demo-a");
+        session.wait_jobs_idle();
+        assert_eq!(session.status("demo-a").unwrap().phase, JobPhase::Completed);
+
+        let scrape = session.scrape();
+        assert!(
+            scrape.contains("job=\"demo-a\"") && scrape.contains("tenant=\"alice\""),
+            "per-job labels missing:\n{scrape}"
+        );
+        assert!(
+            scrape.contains(&format!("job=\"{AGGREGATE_JOB_ID}\"")),
+            "aggregate series missing:\n{scrape}"
+        );
+        // One header per family even with three groups of the same series.
+        let headers = scrape
+            .matches("# TYPE tpupoint_profiler_windows_sealed")
+            .count();
+        assert_eq!(headers, 1, "{scrape}");
+        assert!(root.join("jobs/demo-a/records/steps.jsonl").exists());
+        assert!(root.join("jobs/demo-a/profile.json").exists());
+
+        session.request_quit();
+        let statuses = session.wait().expect("drains");
+        assert_eq!(statuses.len(), 1);
+        assert!(root.join("metrics.prom").exists(), "final fleet scrape");
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn jobs_api_drives_the_lifecycle_over_http() {
+        let root = temp_root("api");
+        let _ = std::fs::remove_dir_all(&root);
+        let session = fleet_at(&root);
+        let addr = session.addr();
+
+        let body =
+            "{\"workload\": \"bert-mrpc\", \"id\": \"b1\", \"tenant\": \"t1\", \"scale\": 0.05}";
+        let response = http(
+            addr,
+            &format!(
+                "POST /jobs HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{}",
+                body.len(),
+                body
+            ),
+        );
+        assert!(response.starts_with("HTTP/1.1 201"), "{response}");
+        assert!(response.contains("\"id\": \"b1\""), "{response}");
+
+        let listing = get(addr, "/jobs");
+        assert!(listing.contains("\"id\": \"b1\""), "{listing}");
+        let one = get(addr, "/jobs/b1");
+        assert!(one.contains("\"tenant\": \"t1\""), "{one}");
+        assert!(get(addr, "/jobs/nope").starts_with("HTTP/1.1 404"));
+
+        // Unknown workloads and bad JSON are client errors, not 500s.
+        let bad = http(
+            addr,
+            "POST /jobs HTTP/1.1\r\nHost: t\r\nContent-Length: 2\r\n\r\n{}",
+        );
+        assert!(bad.starts_with("HTTP/1.1 400"), "{bad}");
+
+        session.wait_jobs_idle();
+        let cancelled = http(addr, "DELETE /jobs/b1 HTTP/1.1\r\nHost: t\r\n\r\n");
+        // Already terminal: cancel is a no-op that reports the phase.
+        assert!(cancelled.contains("completed"), "{cancelled}");
+
+        let quit = http(addr, "POST /quit HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(quit.starts_with("HTTP/1.1 200"), "{quit}");
+        session.wait().expect("drains");
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn duplicate_and_invalid_submissions_map_to_http_statuses() {
+        let root = temp_root("statuses");
+        let _ = std::fs::remove_dir_all(&root);
+        let session = fleet_at(&root);
+        session
+            .submit(FleetJobRequest::new(JobConfig::demo()).id("dup"))
+            .unwrap();
+        let err = session
+            .submit(FleetJobRequest::new(JobConfig::demo()).id("dup"))
+            .unwrap_err();
+        assert_eq!(admit_status(&err), 409);
+        let err = session
+            .submit(FleetJobRequest::new(JobConfig::demo()).id("NOT VALID"))
+            .unwrap_err();
+        assert_eq!(admit_status(&err), 400);
+        // A refused submission leaves no runtime entry behind.
+        assert_eq!(session.shared.jobs.lock().unwrap().len(), 1);
+        session.request_quit();
+        session.wait().expect("drains");
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+}

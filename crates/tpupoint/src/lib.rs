@@ -39,9 +39,11 @@
 //! [`workloads`], and [`obs`].
 
 pub mod facade;
+pub mod fleet;
 pub mod serve;
 
 pub use facade::{AnalysisArtifacts, ProfiledRun, ProfilerHandle, TpuPoint, TpuPointBuilder};
+pub use fleet::{FleetJobRequest, FleetSession};
 pub use serve::ServeSession;
 
 /// The discrete-event simulation engine.

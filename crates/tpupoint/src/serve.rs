@@ -43,7 +43,7 @@ use crate::facade::{ProfiledRun, TpuPoint, TpuPointBuilder};
 /// Cooperative SIGINT latch. Installed at most once per process; the
 /// handler only flips an atomic, and serve's wait loop translates it into
 /// the same graceful-shutdown path as `POST /quit`.
-mod sigint {
+pub(crate) mod sigint {
     use std::sync::atomic::{AtomicBool, Ordering};
     use std::sync::Once;
 
@@ -81,8 +81,17 @@ mod sigint {
 /// job starts, so the very first `/metrics` scrape already exposes the
 /// full schema (zero-valued) instead of series popping into existence as
 /// the run proceeds.
-fn preregister_series() {
-    let metrics = tpupoint_obs::metrics();
+pub(crate) fn preregister_series() {
+    preregister_series_in(tpupoint_obs::metrics());
+    // The HTTP plane is process-wide, so its counter belongs only to the
+    // global registry — not to fleet mode's per-job registries.
+    tpupoint_obs::metrics().counter("obs.http_requests");
+}
+
+/// Creates the per-job profiler/analyzer series in `metrics`; fleet mode
+/// calls this on each job's own registry at admission so the first scrape
+/// already shows the job's full schema at zero.
+pub(crate) fn preregister_series_in(metrics: &tpupoint_obs::Metrics) {
     for counter in [
         "profiler.store_errors",
         "profiler.store_retries",
@@ -93,7 +102,6 @@ fn preregister_series() {
         "profiler.events_recorded",
         "profiler.events_lost",
         "profiler.seal_backpressure_waits",
-        "obs.http_requests",
     ] {
         metrics.counter(counter);
     }
@@ -365,6 +373,7 @@ impl TpuPoint {
                         .to_json()
                 }),
                 quit: Box::new(move || hook_quit.store(true, Ordering::SeqCst)),
+                route: None,
             },
         )?;
 
