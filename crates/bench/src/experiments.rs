@@ -39,6 +39,7 @@ pub const ALL: &[&str] = &[
     "bench_streaming",
     "bench_simcore",
     "bench_fleet",
+    "bench_store",
 ];
 
 /// True for experiments that are safe to run concurrently from a
@@ -82,6 +83,7 @@ pub fn run(id: &str, suite: &Suite, out_dir: &Path) -> io::Result<String> {
         "bench_streaming" => bench_streaming(out_dir),
         "bench_simcore" => bench_simcore(out_dir),
         "bench_fleet" => bench_fleet(out_dir),
+        "bench_store" => bench_store(out_dir),
         other => Err(io::Error::new(
             io::ErrorKind::InvalidInput,
             format!("unknown experiment `{other}`; known: {ALL:?}"),
@@ -1485,6 +1487,168 @@ fn bench_fleet(out_dir: &Path) -> io::Result<String> {
         scrape_count,
         max_scrape_us.load(Ordering::SeqCst) as f64 / 1e3,
         rss_growth as f64 / (1024.0 * 1024.0),
+    ))
+}
+
+/// Record-store format benchmark: the same synthetic record stream
+/// ingested once through the JSONL store and once through the binary
+/// segment store, measuring records/sec on the write path and the
+/// recovery wall on the read-back path. Compaction is disabled so both
+/// lanes do identical work per record; the reproduction target is the
+/// binary format's framing win — >= 2x JSONL ingest throughput with a
+/// smaller on-disk footprint and equal recovered records. Writes
+/// `BENCH_store.json`.
+fn bench_store(out_dir: &Path) -> io::Result<String> {
+    use std::collections::BTreeMap;
+    use std::time::Instant;
+    use tpupoint::profiler::{
+        recover_records, BinaryStore, BinaryStoreConfig, JsonlStore, OpStats, RecordStore,
+        StepRecord, WindowRecord,
+    };
+    use tpupoint::sim::{OpId, SimDuration, SimTime};
+
+    const STEPS: u64 = 40_000;
+    const WINDOWS: u64 = 4_000;
+    const OPS_PER_STEP: u64 = 4;
+    const FLUSH_EVERY: u64 = 1_024;
+
+    // Deterministic synthetic records: field values vary with the index so
+    // neither encoder benefits from degenerate constant payloads.
+    let synth_step = |i: u64| {
+        let mut ops = BTreeMap::new();
+        for op in 0..OPS_PER_STEP {
+            ops.insert(
+                OpId((op * 7 + i % 3) as u32),
+                OpStats {
+                    count: 1 + i % 5,
+                    total: SimDuration::from_micros(200 + (i * 37 + op * 11) % 900),
+                },
+            );
+        }
+        StepRecord {
+            step: i,
+            ops,
+            tpu_time: SimDuration::from_micros(2_000 + i % 700),
+            mxu_time: SimDuration::from_micros(1_000 + i % 350),
+            host_time: SimDuration::from_micros(500 + i % 130),
+            first_start: SimTime::from_micros(i * 3_000),
+            last_end: SimTime::from_micros(i * 3_000 + 2_800),
+        }
+    };
+    let synth_window = |i: u64| WindowRecord {
+        index: i,
+        start: SimTime::from_micros(i * 30_000),
+        end: SimTime::from_micros((i + 1) * 30_000),
+        events: 1_000 + i % 97,
+        tpu_busy: SimDuration::from_micros(24_000 + i % 3_000),
+        mxu_busy: SimDuration::from_micros(12_000 + i % 1_500),
+        first_step: i * 10,
+        last_step: i * 10 + 9,
+    };
+
+    let ingest = |store: &mut dyn RecordStore| -> io::Result<f64> {
+        let t = Instant::now();
+        let mut windows = 0u64;
+        for i in 0..STEPS {
+            store.put_step(&synth_step(i))?;
+            // Interleave windows at the profiler's natural ratio.
+            if (i + 1) % (STEPS / WINDOWS) == 0 && windows < WINDOWS {
+                store.put_window(&synth_window(windows))?;
+                windows += 1;
+            }
+            if (i + 1) % FLUSH_EVERY == 0 {
+                store.flush()?;
+            }
+        }
+        store.seal()?;
+        Ok(t.elapsed().as_secs_f64() * 1e6)
+    };
+    let disk_bytes = |dir: &Path| -> io::Result<u64> {
+        let mut total = 0;
+        for entry in std::fs::read_dir(dir)? {
+            total += entry?.metadata()?.len();
+        }
+        Ok(total)
+    };
+
+    let tmp = std::env::temp_dir().join(format!("tpupoint-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&tmp);
+    let jsonl_dir = tmp.join("jsonl");
+    let binary_dir = tmp.join("binary");
+
+    let mut store = JsonlStore::create(&jsonl_dir)?;
+    let jsonl_ingest_us = ingest(&mut store)?;
+    drop(store);
+    let mut store = BinaryStore::with_config(
+        &binary_dir,
+        BinaryStoreConfig {
+            compact_segments: usize::MAX,
+            background: false,
+            ..BinaryStoreConfig::default()
+        },
+    )?;
+    let binary_ingest_us = ingest(&mut store)?;
+    drop(store);
+
+    let t = Instant::now();
+    let jsonl_recovered = recover_records(&jsonl_dir)?;
+    let jsonl_recover_us = t.elapsed().as_secs_f64() * 1e6;
+    let t = Instant::now();
+    let binary_recovered = recover_records(&binary_dir)?;
+    let binary_recover_us = t.elapsed().as_secs_f64() * 1e6;
+
+    // Both formats must hand back the identical record stream.
+    assert_eq!(jsonl_recovered.steps.len() as u64, STEPS);
+    assert_eq!(jsonl_recovered.windows.len() as u64, WINDOWS);
+    assert_eq!(jsonl_recovered.steps, binary_recovered.steps);
+    assert_eq!(jsonl_recovered.windows, binary_recovered.windows);
+    assert_eq!(jsonl_recovered.missing_acknowledged(), (0, 0));
+    assert_eq!(binary_recovered.missing_acknowledged(), (0, 0));
+
+    let records = STEPS + WINDOWS;
+    let jsonl_rps = records as f64 / (jsonl_ingest_us / 1e6).max(1e-9);
+    let binary_rps = records as f64 / (binary_ingest_us / 1e6).max(1e-9);
+    let speedup = binary_rps / jsonl_rps.max(1e-9);
+    let jsonl_bytes = disk_bytes(&jsonl_dir)?;
+    let binary_bytes = disk_bytes(&binary_dir)?;
+
+    let doc = serde_json::json!({
+        "steps": STEPS,
+        "windows": WINDOWS,
+        "ops_per_step": OPS_PER_STEP,
+        "flush_every": FLUSH_EVERY,
+        "ingest": {
+            "jsonl": { "wall_us": jsonl_ingest_us, "records_per_sec": jsonl_rps, "disk_bytes": jsonl_bytes },
+            "binary": { "wall_us": binary_ingest_us, "records_per_sec": binary_rps, "disk_bytes": binary_bytes },
+            "speedup": speedup,
+            "target_speedup": 2.0,
+        },
+        "recovery": {
+            "jsonl_wall_us": jsonl_recover_us,
+            "binary_wall_us": binary_recover_us,
+        },
+        "compression_ratio": jsonl_bytes as f64 / binary_bytes.max(1) as f64,
+        "recovered_equal": true,
+    });
+    std::fs::create_dir_all(out_dir)?;
+    let json = serde_json::to_string_pretty(&doc).map_err(|e| io::Error::other(e.to_string()))?;
+    std::fs::write(out_dir.join("BENCH_store.json"), json)?;
+    std::fs::remove_dir_all(&tmp)?;
+
+    Ok(format!(
+        "Record-store format benchmark ({records} records, flush every {FLUSH_EVERY}):\n  \
+         ingest   jsonl {:>9.1} ms ({:>9.0} rec/s) -> binary {:>9.1} ms ({:>9.0} rec/s)  ({speedup:.2}x, target >= 2x)\n  \
+         recovery jsonl {:>9.1} ms -> binary {:>9.1} ms\n  \
+         on disk  jsonl {:.2} MiB -> binary {:.2} MiB ({:.2}x smaller), recovered records identical\n",
+        jsonl_ingest_us / 1e3,
+        jsonl_rps,
+        binary_ingest_us / 1e3,
+        binary_rps,
+        jsonl_recover_us / 1e3,
+        binary_recover_us / 1e3,
+        jsonl_bytes as f64 / (1024.0 * 1024.0),
+        binary_bytes as f64 / (1024.0 * 1024.0),
+        jsonl_bytes as f64 / binary_bytes.max(1) as f64,
     ))
 }
 

@@ -20,13 +20,21 @@ USAGE:
   tpupoint profile --workload <id> [--generation v2|v3] [--scale F]
                    [--seed N] [--naive] [--out DIR] [--store-retries N]
                    [--store-fault-prob F] [--store-fault-seed N]
-                   [--pipeline-profiler] [--paired-baseline]
-                   [--sim-lanes N]
+                   [--store-format jsonl|binary] [--store-segment-kib N]
+                   [--store-retain-mib N] [--pipeline-profiler]
+                   [--paired-baseline] [--sim-lanes N]
       Simulate and profile a training session; writes <DIR>/profile.json.
       --store-retries bounds record-store retries before spilling to
       memory (default 3; 0 disables resilience). --store-fault-prob
       injects store failures with the given per-call probability
       (deterministic under --store-fault-seed) to exercise that path.
+      --store-format picks the record encoding (default jsonl): binary
+      writes length-prefixed checksummed segments, rotated every
+      --store-segment-kib KiB (default 256) and merged by a background
+      compaction task; --store-retain-mib budgets the sealed bytes kept,
+      retiring the oldest segments with manifest accounting (0 = keep
+      everything). Both formats share the crash-recovery contract;
+      `analyze --recover` auto-detects whichever was written.
       --pipeline-profiler seals windows off the simulation thread on the
       shared worker pool (TPUPOINT_THREADS); the recorded output is
       byte-identical to the default serial path. --paired-baseline also
@@ -54,7 +62,9 @@ USAGE:
                  [--seed N] [--naive] [--out DIR]
                  [--metrics-listen HOST:PORT] [--pace-us N]
                  [--store-retries N] [--store-fault-prob F]
-                 [--store-fault-seed N] [--recorded-backoff]
+                 [--store-fault-seed N] [--store-format jsonl|binary]
+                 [--store-segment-kib N] [--store-retain-mib N]
+                 [--recorded-backoff]
                  [--stop-on-stable K] [--paired-baseline]
       Run the job as a long-lived daemon on a wall-clock recording
       thread, serving live observability over HTTP (default listen
@@ -77,7 +87,9 @@ USAGE:
 
   tpupoint serve --fleet [--out DIR] [--metrics-listen HOST:PORT]
                  [--pace-us N] [--max-running N] [--max-queued N]
-                 [--per-tenant N] [--store-retries N] [--recorded-backoff]
+                 [--per-tenant N] [--store-retries N]
+                 [--store-format jsonl|binary] [--store-segment-kib N]
+                 [--store-retain-mib N] [--recorded-backoff]
       Run the multi-job fleet daemon: one scrape plane over N concurrent
       jobs, each recording to its own sharded store under
       <DIR>/jobs/<id>/ and into its own metrics registry. No --workload
@@ -95,7 +107,9 @@ USAGE:
       --max-running bounds concurrent jobs (default 4), --max-queued the
       admission queue (default 64), --per-tenant each tenant's active
       jobs (default 8). Each job's sealed JSONL is byte-identical to a
-      solo profile run of the same workload, scale, and seed.
+      solo profile run of the same workload, scale, and seed. Under
+      --store-format binary the --store-retain-mib budget applies per
+      job, bounding every tenant's record footprint.
 
   tpupoint optimize --workload <id> [--generation v2|v3] [--scale F]
                     [--naive]
@@ -200,6 +214,25 @@ fn with_obs<'a>(options: &[&'a str]) -> Vec<&'a str> {
     options.iter().chain(OBS_OPTIONS.iter()).copied().collect()
 }
 
+/// The record-store tuning options shared by `profile` and `serve`.
+const STORE_OPTIONS: [&str; 3] = ["store-format", "store-segment-kib", "store-retain-mib"];
+
+/// Applies `--store-format`, `--store-segment-kib`, and
+/// `--store-retain-mib` to the builder.
+fn apply_store_options(
+    builder: tpupoint::TpuPointBuilder,
+    args: &Args,
+) -> Result<tpupoint::TpuPointBuilder, String> {
+    let format: tpupoint::profiler::StoreFormat =
+        args.get("store-format").unwrap_or("jsonl").parse()?;
+    let segment_kib: u64 = args.get_or("store-segment-kib", 256)?;
+    let retain_mib: u64 = args.get_or("store-retain-mib", 0)?;
+    Ok(builder
+        .store_format(format)
+        .store_segment_bytes(segment_kib.max(1) * 1024)
+        .store_retention_bytes(retain_mib * 1024 * 1024))
+}
+
 fn profile(argv: &[String]) -> Result<(), String> {
     let mut options = with_obs(&BUILD_OPTIONS);
     options.extend([
@@ -209,6 +242,7 @@ fn profile(argv: &[String]) -> Result<(), String> {
         "store-fault-seed",
         "sim-lanes",
     ]);
+    options.extend(STORE_OPTIONS);
     let args = Args::parse(
         argv,
         &options,
@@ -223,15 +257,15 @@ fn profile(argv: &[String]) -> Result<(), String> {
             "--store-fault-prob must be in [0, 1], got {fault_prob}"
         ));
     }
-    let tp = TpuPoint::builder()
+    let builder = TpuPoint::builder()
         .analyzer(true)
         .output_dir(&out)
         .store_retries(args.get_or("store-retries", 3)?)
         .store_fault(fault_prob, args.get_or("store-fault-seed", 0xFA117)?)
         .pipeline_profiler(args.flag("pipeline-profiler"))
         .paired_baseline(args.flag("paired-baseline"))
-        .sim_lanes(args.get_or("sim-lanes", 1)?)
-        .build();
+        .sim_lanes(args.get_or("sim-lanes", 1)?);
+    let tp = apply_store_options(builder, &args)?.build();
     let run = tp
         .profile(config)
         .map_err(|e| format!("profiling failed: {e}"))?;
@@ -286,6 +320,7 @@ fn serve(argv: &[String]) -> Result<(), String> {
         "max-queued",
         "per-tenant",
     ]);
+    options.extend(STORE_OPTIONS);
     let args = Args::parse(
         argv,
         &options,
@@ -314,6 +349,7 @@ fn serve(argv: &[String]) -> Result<(), String> {
         .serve_real_backoff(!args.flag("recorded-backoff"))
         .serve_sigint(true)
         .paired_baseline(args.flag("paired-baseline"));
+    builder = apply_store_options(builder, &args)?;
     if let Some(raw) = args.get("stop-on-stable") {
         let k: u64 = raw
             .parse()
@@ -366,7 +402,7 @@ fn serve_fleet(args: &Args) -> Result<(), String> {
         max_queued: args.get_or("max-queued", 64)?,
         per_tenant_active: args.get_or("per-tenant", 8)?,
     };
-    let tp = TpuPoint::builder()
+    let builder = TpuPoint::builder()
         .analyzer(true)
         .output_dir(&out)
         .store_retries(args.get_or("store-retries", 3)?)
@@ -374,8 +410,8 @@ fn serve_fleet(args: &Args) -> Result<(), String> {
         .serve_pace_us(args.get_or("pace-us", 500)?)
         .serve_real_backoff(!args.flag("recorded-backoff"))
         .serve_sigint(true)
-        .fleet_limits(limits)
-        .build();
+        .fleet_limits(limits);
+    let tp = apply_store_options(builder, args)?.build();
     let session = tp
         .serve_fleet()
         .map_err(|e| format!("fleet failed to start: {e}"))?;
@@ -417,10 +453,11 @@ fn load_profile(path: &str) -> Result<Profile, String> {
     Profile::load_json(file).map_err(|e| format!("cannot parse {path}: {e}"))
 }
 
-/// Salvages a profile from a (possibly crashed) record directory and
+/// Salvages a profile from a (possibly crashed) record directory of
+/// either format — JSONL lines or binary segments, auto-detected — and
 /// reports what the recovery could and could not produce.
 fn recover_profile(dir: &str) -> Result<Profile, String> {
-    let summary = tpupoint::profiler::JsonlStore::recover(std::path::Path::new(dir))
+    let summary = tpupoint::profiler::recover_records(std::path::Path::new(dir))
         .map_err(|e| format!("cannot recover records from {dir}: {e}"))?;
     println!(
         "recovered {} step record(s) and {} window(s) from {dir} ({})",
@@ -432,6 +469,14 @@ fn recover_profile(dir: &str) -> Result<Profile, String> {
             "unsealed .part stream of a crashed writer"
         }
     );
+    if let Some(manifest) = &summary.manifest {
+        if manifest.steps_retired > 0 || manifest.windows_retired > 0 {
+            println!(
+                "  retention retired {} step(s) and {} window(s) (accounted, not lost)",
+                manifest.steps_retired, manifest.windows_retired
+            );
+        }
+    }
     if summary.skipped_step_lines > 0 || summary.skipped_window_lines > 0 {
         println!(
             "  skipped torn tail: {} step line(s), {} window line(s)",
@@ -735,6 +780,49 @@ mod tests {
             assert_eq!(serial, laned, "{file} must be byte-identical");
         }
         std::fs::remove_dir_all(&base).unwrap();
+    }
+
+    #[test]
+    fn binary_profile_recovers_and_analyzes() {
+        let dir = std::env::temp_dir().join(format!("tpupoint-cli-bin-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = dir.to_str().unwrap().to_owned();
+        run(&[
+            "profile",
+            "--workload",
+            "bert-mrpc",
+            "--scale",
+            "0.1",
+            "--out",
+            &out,
+            "--store-format",
+            "binary",
+            "--store-segment-kib",
+            "4",
+        ])
+        .unwrap();
+        let records = dir.join("records");
+        assert!(records.join("manifest.json").exists());
+        assert!(
+            !records.join("steps.jsonl").exists(),
+            "binary runs must not write JSONL"
+        );
+        let recs = records.to_str().unwrap().to_owned();
+        run(&["analyze", &recs, "--recover", "--algorithm", "kmeans"]).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn store_format_rejects_unknown_value() {
+        let err = run(&[
+            "profile",
+            "--workload",
+            "bert-mrpc",
+            "--store-format",
+            "parquet",
+        ])
+        .unwrap_err();
+        assert!(err.contains("unknown store format"), "{err}");
     }
 
     #[test]

@@ -346,6 +346,11 @@ fn help_text(name: &str) -> String {
         "sim.lane_events" => "Signals delivered per simulation lane by the laned engine",
         "sim.sync_barriers" => "Conservative time-window sync barriers executed by the laned engine",
         "sim.lookahead_stall_us" => "Simulated time lanes overshot the conservative horizon when batches were cut short, microseconds",
+        "store.segments" => "Sealed binary segments currently listed in the store manifest",
+        "store.compactions" => "Binary segment compaction merges completed",
+        "store.bytes_reclaimed" => "Bytes of disk freed by segment maintenance: compaction merges (net) plus retention-retired segments",
+        "store.bytes_written" => "Bytes of encoded frames written to binary segment files",
+        "store.records_retired" => "Acknowledged records retired (accounted, not lost) by the retention budget",
         "audit.gaps" => "Coverage gaps found by the window audit",
         "audit.overlaps" => "Window overlaps found by the window audit",
         "audit.unobserved_fraction" => "Fraction of the profiled span not covered by any window",

@@ -107,6 +107,27 @@ pub struct SimHealth {
     pub lookahead_stall_us: u64,
 }
 
+/// Health of the binary segment store, when one ran. Kept as an `Option`
+/// on [`ObsReport`] following the [`SimHealth`] convention: the
+/// `store.segments` gauge is the sentinel — the binary store publishes it
+/// on creation and after every rotation/compaction/retention pass, so its
+/// absence means the JSONL store (which has no segment tier) ran instead.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreFormatHealth {
+    /// Sealed segments currently listed in the manifest.
+    pub segments: u64,
+    /// Background/seal-time compaction merges completed.
+    pub compactions: u64,
+    /// Bytes of disk freed by maintenance: compaction merges (net) plus
+    /// retention-retired segments.
+    pub bytes_reclaimed: u64,
+    /// Bytes of encoded frames written to segment files.
+    pub bytes_written: u64,
+    /// Acknowledged records retired (accounted, not lost) by the
+    /// per-tenant retention budget.
+    pub records_retired: u64,
+}
+
 /// Health of the profiler's record-store layer (retry/spill resilience).
 #[derive(Debug, Clone, PartialEq)]
 pub struct StoreHealth {
@@ -169,6 +190,8 @@ pub struct ObsReport {
     pub window_health: Option<WindowHealth>,
     /// Record-store resilience health, when store metrics are present.
     pub store_health: Option<StoreHealth>,
+    /// Binary segment-store health, when the binary format ran.
+    pub store_format: Option<StoreFormatHealth>,
     /// Seal-pipeline health, when the pipelined profiler ran.
     pub pipeline_health: Option<PipelineHealth>,
 }
@@ -256,6 +279,18 @@ impl ObsReport {
             }
         });
 
+        // `store.segments` is published by the binary segment store on
+        // creation and after every rotation/compaction/retention pass, so
+        // its absence means the JSONL store ran — the same sentinel
+        // convention as `sim.sync_barriers`.
+        let store_format = gauge("store.segments").map(|segments| StoreFormatHealth {
+            segments: segments as u64,
+            compactions: counter("store.compactions"),
+            bytes_reclaimed: counter("store.bytes_reclaimed"),
+            bytes_written: counter("store.bytes_written"),
+            records_retired: counter("store.records_retired"),
+        });
+
         let seal_latency = snapshot.histograms.get("profiler.seal_latency_us");
         let pipeline_health = seal_latency.map(|latency| PipelineHealth {
             ops_drained: latency.count,
@@ -304,6 +339,7 @@ impl ObsReport {
             sim_health,
             window_health,
             store_health,
+            store_format,
             pipeline_health,
         }
     }
@@ -443,6 +479,18 @@ impl ObsReport {
             None => out.push_str("record store:    (no store activity)\n"),
         }
 
+        if let Some(format) = &self.store_format {
+            let _ = writeln!(
+                out,
+                "segment store:   {} segments ({} written), {} compactions, {} reclaimed, {} records retired",
+                format.segments,
+                format_bytes(format.bytes_written),
+                format.compactions,
+                format_bytes(format.bytes_reclaimed),
+                format.records_retired
+            );
+        }
+
         if let Some(pipeline) = &self.pipeline_health {
             let _ = writeln!(
                 out,
@@ -455,6 +503,16 @@ impl ObsReport {
             );
         }
         out
+    }
+}
+
+fn format_bytes(bytes: u64) -> String {
+    if bytes >= 1024 * 1024 {
+        format!("{:.2}MiB", bytes as f64 / (1024.0 * 1024.0))
+    } else if bytes >= 1024 {
+        format!("{:.2}KiB", bytes as f64 / 1024.0)
+    } else {
+        format!("{bytes}B")
     }
 }
 
@@ -713,6 +771,47 @@ mod tests {
         assert_eq!(store.records_shed, 5);
         assert!(!store.lossless, "shed records are lost records");
         assert!(report.render().contains("shed 5"));
+    }
+
+    #[test]
+    fn store_format_health_reflects_segment_metrics() {
+        let metrics = Metrics::new();
+        metrics.gauge("store.segments").set(5.0);
+        metrics.counter("store.compactions").add(3);
+        metrics
+            .counter("store.bytes_reclaimed")
+            .add(2 * 1024 * 1024);
+        metrics.counter("store.bytes_written").add(9 * 1024);
+        metrics.counter("store.records_retired").add(120);
+        let report = ObsReport::from_snapshot(&metrics.snapshot());
+        let format = report
+            .store_format
+            .as_ref()
+            .expect("segments gauge present");
+        assert_eq!(format.segments, 5);
+        assert_eq!(format.compactions, 3);
+        assert_eq!(format.bytes_reclaimed, 2 * 1024 * 1024);
+        assert_eq!(format.bytes_written, 9 * 1024);
+        assert_eq!(format.records_retired, 120);
+        let text = report.render();
+        assert!(
+            text.contains("segment store:   5 segments (9.00KiB written)"),
+            "{text}"
+        );
+        assert!(
+            text.contains("3 compactions, 2.00MiB reclaimed, 120 records retired"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn store_format_section_is_omitted_without_segment_gauge() {
+        // The JSONL store publishes no `store.segments` gauge, so the
+        // segment-store section must stay silent instead of printing an
+        // all-zero binary tier that never existed.
+        let report = ObsReport::from_snapshot(&instrumented_snapshot());
+        assert!(report.store_format.is_none());
+        assert!(!report.render().contains("segment store"));
     }
 
     #[test]

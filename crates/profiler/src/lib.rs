@@ -28,10 +28,12 @@
 //! ```
 
 pub mod audit;
+pub mod binfmt;
 pub mod pipeline;
 pub mod profile;
 pub mod record;
 pub mod resilience;
+pub mod segstore;
 pub mod sink;
 pub mod store;
 pub mod window;
@@ -41,8 +43,10 @@ pub use pipeline::{PipelineConfig, SealPipeline};
 pub use profile::Profile;
 pub use record::{OpStats, StepRecord};
 pub use resilience::{FaultConfig, FaultStore, RetryPolicy, RetryStore, ThrottledStore};
+pub use segstore::{BinaryStore, BinaryStoreConfig, CompactCrashPoint};
 pub use sink::{ProfilerOptions, ProfilerSink};
 pub use store::{
-    InMemoryStore, JsonlStore, RecordStore, RecoveredLoad, RecoverySummary, StoreManifest,
+    recover_records, InMemoryStore, JsonlStore, RecordStore, RecoveredLoad, RecoverySummary,
+    SegmentMeta, StoreFormat, StoreManifest,
 };
 pub use window::WindowRecord;

@@ -1,0 +1,1021 @@
+//! [`BinaryStore`]: the binary segment backend behind [`RecordStore`],
+//! with background compaction and retention.
+//!
+//! # Layout and crash tolerance
+//!
+//! Records stream into one active segment, `seg-NNNNNN.bin.part`, framed
+//! by [`crate::binfmt`]. When the active segment reaches
+//! [`BinaryStoreConfig::segment_bytes`] it is flushed and renamed to
+//! `seg-NNNNNN.bin` — the same `.part`-then-rename discipline as the JSONL
+//! store — and appended to the manifest's segment list, which is the
+//! *authoritative* set and order of sealed segments. The manifest itself
+//! is always replaced atomically, so every on-disk state a `kill -9` can
+//! leave is one of:
+//!
+//! * a torn active `.part` tail — recovery salvages the valid frame
+//!   prefix, exactly like the JSONL torn-line recovery;
+//! * a renamed segment the manifest does not yet name — ignored (the data
+//!   was not yet acknowledged as a sealed segment);
+//! * a manifest naming only old or only new segments around a compaction
+//!   — recovery reads whichever set the manifest committed, never a mix.
+//!
+//! # Compaction and retention
+//!
+//! A single-flighted maintenance task — spawned onto the shared
+//! `tpupoint-par` pool when it has workers, run inline otherwise — merges
+//! the oldest [`BinaryStoreConfig::compact_segments`] sealed segments into
+//! one (scratch `.tmp` file, rename, then one atomic manifest rewrite
+//! replacing the inputs) and then enforces the retention budget by
+//! *retiring* the oldest segments: their record counts move into the
+//! manifest's `steps_retired`/`windows_retired` **before** the file is
+//! deleted, so [`RecoverySummary::missing_acknowledged`] stays zero — a
+//! budgeted drop is accounted, never a loss. Retention refuses to touch a
+//! segment holding records beyond the acknowledgement watermark.
+//!
+//! Observability: gauge `store.segments`, counters `store.compactions`,
+//! `store.bytes_reclaimed`, `store.bytes_written`, `store.records_retired`.
+
+use crate::binfmt::{self, KIND_STEP, KIND_WINDOW, SEGMENT_HEADER_LEN};
+use crate::record::StepRecord;
+use crate::store::{
+    part_path, RecordStore, RecoverySummary, SegmentMeta, StoreManifest, FORMAT_BINARY,
+    MANIFEST_FILE, STEPS_FILE, WINDOWS_FILE,
+};
+use crate::window::WindowRecord;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex};
+use tpupoint_obs::{Counter, Gauge};
+
+const SEGMENT_PREFIX: &str = "seg-";
+const SEGMENT_EXT: &str = ".bin";
+const PART_EXT: &str = ".bin.part";
+const TMP_EXT: &str = ".bin.tmp";
+
+/// Tuning of the binary segment store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BinaryStoreConfig {
+    /// Rotation threshold: the active segment is sealed once it holds at
+    /// least this many bytes.
+    pub segment_bytes: u64,
+    /// Merge the oldest sealed segments whenever at least this many exist
+    /// (minimum 2). `usize::MAX` disables compaction.
+    pub compact_segments: usize,
+    /// Retention budget over sealed segment bytes; oldest segments are
+    /// retired (with accounting) while the total exceeds it. `0` means
+    /// unlimited.
+    pub retention_bytes: u64,
+    /// Run maintenance on the shared `tpupoint-par` pool when it has more
+    /// than one participant; `false` forces inline maintenance (useful
+    /// for deterministic tests).
+    pub background: bool,
+    /// Test hook: abort maintenance at the given point, simulating a
+    /// `kill -9` mid-compaction. See the kill-point tests.
+    pub crash_point: Option<CompactCrashPoint>,
+}
+
+impl Default for BinaryStoreConfig {
+    fn default() -> Self {
+        BinaryStoreConfig {
+            segment_bytes: 256 * 1024,
+            compact_segments: 4,
+            retention_bytes: 0,
+            background: true,
+            crash_point: None,
+        }
+    }
+}
+
+/// Instants inside a compaction where a crash leaves an intermediate
+/// on-disk state; the kill-point tests drive one merge to each and prove
+/// recovery still reads a consistent (pre- or post-) segment set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompactCrashPoint {
+    /// Merged scratch `.tmp` written, not yet renamed.
+    BeforeRename,
+    /// Merged segment renamed into place, manifest not yet rewritten.
+    BeforeManifest,
+    /// Manifest rewritten, input segments not yet deleted.
+    AfterManifest,
+}
+
+/// Self-observability handles, rebindable per job registry.
+struct StoreObs {
+    segments: Gauge,
+    compactions: Counter,
+    bytes_reclaimed: Counter,
+    records_retired: Counter,
+}
+
+impl StoreObs {
+    fn in_registry(metrics: &tpupoint_obs::Metrics) -> Self {
+        StoreObs {
+            segments: metrics.gauge("store.segments"),
+            compactions: metrics.counter("store.compactions"),
+            bytes_reclaimed: metrics.counter("store.bytes_reclaimed"),
+            records_retired: metrics.counter("store.records_retired"),
+        }
+    }
+}
+
+/// State shared between the writer and the maintenance task.
+struct SharedState {
+    manifest: StoreManifest,
+    /// Next segment id to allocate; compaction and rotation both draw
+    /// from it, so merged segments never collide with live ones.
+    next_segment: u64,
+    /// True while a maintenance task is scheduled or running — at most
+    /// one at a time, which is what lets compaction read and delete input
+    /// segments without racing retention.
+    maintaining: bool,
+    obs: StoreObs,
+}
+
+struct StoreShared {
+    dir: PathBuf,
+    config: BinaryStoreConfig,
+    state: Mutex<SharedState>,
+    idle: Condvar,
+}
+
+impl StoreShared {
+    /// Atomically replaces `manifest.json` (write `.part`, then rename).
+    fn write_manifest(&self, manifest: &StoreManifest) -> io::Result<()> {
+        let part = part_path(&self.dir, MANIFEST_FILE);
+        let text = serde_json::to_string(manifest).map_err(io::Error::other)?;
+        std::fs::write(&part, text)?;
+        std::fs::rename(&part, self.dir.join(MANIFEST_FILE))
+    }
+
+    fn needs_maintenance(&self, state: &SharedState) -> bool {
+        let segments = &state.manifest.segments;
+        if segments.len() >= self.config.compact_segments.max(2) {
+            return true;
+        }
+        self.config.retention_bytes > 0
+            && segments.iter().map(|m| m.bytes).sum::<u64>() > self.config.retention_bytes
+    }
+
+    /// Claims the maintenance slot and runs compaction + retention, on the
+    /// pool when configured and workers exist, inline otherwise.
+    fn schedule_maintenance(self: &Arc<Self>) {
+        {
+            let mut state = self.state.lock().expect("store state");
+            if state.maintaining || !self.needs_maintenance(&state) {
+                return;
+            }
+            state.maintaining = true;
+        }
+        let pool = tpupoint_par::pool();
+        if self.config.background && pool.size() > 1 {
+            let shared = Arc::clone(self);
+            pool.spawn_detached(move || shared.maintain_and_release());
+        } else {
+            self.maintain_and_release();
+        }
+    }
+
+    /// Blocks until no maintenance task is in flight, then claims the
+    /// slot. Used by `seal` to run one final synchronous pass.
+    fn claim_maintenance(&self) {
+        let mut state = self.state.lock().expect("store state");
+        while state.maintaining {
+            state = self.idle.wait(state).expect("store state");
+        }
+        state.maintaining = true;
+    }
+
+    fn maintain_and_release(&self) {
+        // Best-effort: an I/O failure (or a simulated crash point) leaves
+        // the current consistent state in place; the next rotation
+        // re-schedules.
+        let _ = self.maintain();
+        let mut state = self.state.lock().expect("store state");
+        state.maintaining = false;
+        drop(state);
+        self.idle.notify_all();
+    }
+
+    fn maintain(&self) -> io::Result<()> {
+        while self.compact_once()? {}
+        while self.retire_once()? {}
+        Ok(())
+    }
+
+    fn crash_at(&self, point: CompactCrashPoint) -> io::Result<()> {
+        if self.config.crash_point == Some(point) {
+            return Err(io::Error::other("simulated compaction crash"));
+        }
+        Ok(())
+    }
+
+    /// Merges the oldest `compact_segments` sealed segments into one new
+    /// segment. The merge commits with a single atomic manifest rewrite;
+    /// every earlier step only creates files recovery ignores.
+    fn compact_once(&self) -> io::Result<bool> {
+        let (inputs, merged_id) = {
+            let mut state = self.state.lock().expect("store state");
+            let k = self.config.compact_segments.max(2);
+            if self.config.compact_segments == usize::MAX || state.manifest.segments.len() < k {
+                return Ok(false);
+            }
+            let inputs = state.manifest.segments[..k].to_vec();
+            let id = state.next_segment;
+            state.next_segment += 1;
+            (inputs, id)
+        };
+        // Read and merge outside the lock: inputs are sealed and
+        // immutable, and single-flighted maintenance means nothing else
+        // may delete them.
+        let mut merged = binfmt::segment_header().to_vec();
+        let mut steps = 0u64;
+        let mut windows = 0u64;
+        let mut input_bytes = 0u64;
+        for meta in &inputs {
+            let bytes = std::fs::read(self.dir.join(&meta.name))?;
+            input_bytes += bytes.len() as u64;
+            let read = binfmt::read_segment(&bytes);
+            steps += read.steps.len() as u64;
+            windows += read.windows.len() as u64;
+            merged
+                .extend_from_slice(&bytes[SEGMENT_HEADER_LEN.min(read.valid_len)..read.valid_len]);
+        }
+        let merged_name = segment_name(merged_id);
+        let tmp = self
+            .dir
+            .join(format!("{SEGMENT_PREFIX}{merged_id:06}{TMP_EXT}"));
+        std::fs::write(&tmp, &merged)?;
+        self.crash_at(CompactCrashPoint::BeforeRename)?;
+        std::fs::rename(&tmp, self.dir.join(&merged_name))?;
+        self.crash_at(CompactCrashPoint::BeforeManifest)?;
+        {
+            let mut state = self.state.lock().expect("store state");
+            let meta = SegmentMeta {
+                name: merged_name,
+                steps,
+                windows,
+                bytes: merged.len() as u64,
+            };
+            state.manifest.segments.splice(0..inputs.len(), [meta]);
+            self.write_manifest(&state.manifest)?;
+            state.obs.compactions.inc();
+            // Net disk freed by the merge: duplicate headers plus any
+            // invalid suffix the per-segment reads dropped.
+            state
+                .obs
+                .bytes_reclaimed
+                .add(input_bytes.saturating_sub(merged.len() as u64));
+            state.obs.segments.set(state.manifest.segments.len() as f64);
+        }
+        self.crash_at(CompactCrashPoint::AfterManifest)?;
+        for meta in &inputs {
+            let _ = std::fs::remove_file(self.dir.join(&meta.name));
+        }
+        Ok(true)
+    }
+
+    /// Retires the oldest sealed segment while the retention budget is
+    /// exceeded. The manifest moves the records into the retired counts
+    /// *before* the file is unlinked, so a crash anywhere in between
+    /// still accounts for every acknowledged record.
+    fn retire_once(&self) -> io::Result<bool> {
+        if self.config.retention_bytes == 0 {
+            return Ok(false);
+        }
+        let victim = {
+            let mut state = self.state.lock().expect("store state");
+            let total: u64 = state.manifest.segments.iter().map(|m| m.bytes).sum();
+            if total <= self.config.retention_bytes {
+                return Ok(false);
+            }
+            let Some(oldest) = state.manifest.segments.first().cloned() else {
+                return Ok(false);
+            };
+            // Never retire records beyond the acknowledgement watermark:
+            // dropping an unacknowledged record is allowed, but dropping
+            // it *with retired accounting* would overstate the watermark.
+            let acked = state.manifest.steps_retired + oldest.steps <= state.manifest.steps_flushed
+                && state.manifest.windows_retired + oldest.windows
+                    <= state.manifest.windows_flushed;
+            if !acked {
+                return Ok(false);
+            }
+            state.manifest.segments.remove(0);
+            state.manifest.steps_retired += oldest.steps;
+            state.manifest.windows_retired += oldest.windows;
+            self.write_manifest(&state.manifest)?;
+            state.obs.bytes_reclaimed.add(oldest.bytes);
+            state.obs.records_retired.add(oldest.steps + oldest.windows);
+            state.obs.segments.set(state.manifest.segments.len() as f64);
+            oldest
+        };
+        let _ = std::fs::remove_file(self.dir.join(&victim.name));
+        Ok(true)
+    }
+}
+
+/// Streams records into checksummed binary segments (see [`crate::binfmt`])
+/// with background compaction and budgeted retention. A drop-in
+/// [`RecordStore`]: the retry/fault decorators, the seal pipeline, and the
+/// fleet's per-job sharding compose with it unchanged.
+pub struct BinaryStore {
+    shared: Arc<StoreShared>,
+    writer: BufWriter<File>,
+    active_path: PathBuf,
+    active_index: u64,
+    active_bytes: u64,
+    active_steps: u64,
+    active_windows: u64,
+    steps_written: u64,
+    windows_written: u64,
+    /// Reusable encode scratch, so the hot path allocates nothing.
+    payload: Vec<u8>,
+    frame: Vec<u8>,
+    bytes_written: Counter,
+}
+
+impl std::fmt::Debug for BinaryStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BinaryStore")
+            .field("dir", &self.shared.dir)
+            .field("active_index", &self.active_index)
+            .field("steps_written", &self.steps_written)
+            .field("windows_written", &self.windows_written)
+            .finish()
+    }
+}
+
+impl BinaryStore {
+    /// Creates (or resets) a binary record directory with default tuning.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `dir` cannot be created or the first segment
+    /// cannot be opened.
+    pub fn create(dir: &Path) -> io::Result<Self> {
+        Self::with_config(dir, BinaryStoreConfig::default())
+    }
+
+    /// Creates (or resets) a binary record directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `dir` cannot be created or the first segment
+    /// cannot be opened.
+    pub fn with_config(dir: &Path, config: BinaryStoreConfig) -> io::Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        // Clear every artifact of a previous run, in either format, so
+        // loaders and format auto-detection never mix streams.
+        remove_segment_files(dir);
+        for name in [STEPS_FILE, WINDOWS_FILE, MANIFEST_FILE] {
+            let _ = std::fs::remove_file(dir.join(name));
+            let _ = std::fs::remove_file(part_path(dir, name));
+        }
+        let manifest = StoreManifest {
+            format: FORMAT_BINARY.to_owned(),
+            ..StoreManifest::default()
+        };
+        let obs = StoreObs::in_registry(tpupoint_obs::metrics());
+        obs.segments.set(0.0);
+        let bytes_written = tpupoint_obs::metrics().counter("store.bytes_written");
+        let shared = Arc::new(StoreShared {
+            dir: dir.to_owned(),
+            config,
+            state: Mutex::new(SharedState {
+                manifest,
+                next_segment: 1,
+                maintaining: false,
+                obs,
+            }),
+            idle: Condvar::new(),
+        });
+        let active_path = dir.join(format!("{SEGMENT_PREFIX}000000{PART_EXT}"));
+        let mut writer = BufWriter::new(File::create(&active_path)?);
+        writer.write_all(&binfmt::segment_header())?;
+        let store = BinaryStore {
+            shared,
+            writer,
+            active_path,
+            active_index: 0,
+            active_bytes: SEGMENT_HEADER_LEN as u64,
+            active_steps: 0,
+            active_windows: 0,
+            steps_written: 0,
+            windows_written: 0,
+            payload: Vec::with_capacity(256),
+            frame: Vec::with_capacity(256),
+            bytes_written,
+        };
+        {
+            let state = store.shared.state.lock().expect("store state");
+            store.shared.write_manifest(&state.manifest)?;
+        }
+        Ok(store)
+    }
+
+    /// The directory records are written to.
+    pub fn dir(&self) -> &Path {
+        &self.shared.dir
+    }
+
+    fn put_frame(&mut self, kind: u8) -> io::Result<()> {
+        self.frame.clear();
+        binfmt::append_frame(kind, &self.payload, &mut self.frame);
+        self.writer.write_all(&self.frame)?;
+        self.active_bytes += self.frame.len() as u64;
+        self.bytes_written.add(self.frame.len() as u64);
+        if self.active_bytes >= self.shared.config.segment_bytes {
+            self.rotate(true)?;
+        }
+        Ok(())
+    }
+
+    /// Seals the active segment: flush, rename `.part` → `.bin`, commit
+    /// it to the manifest's segment list. Rotation is also an
+    /// acknowledgement point — everything in a sealed segment is durable.
+    fn rotate(&mut self, open_next: bool) -> io::Result<()> {
+        self.writer.flush()?;
+        let sealed_name = segment_name(self.active_index);
+        std::fs::rename(&self.active_path, self.shared.dir.join(&sealed_name))?;
+        let meta = SegmentMeta {
+            name: sealed_name,
+            steps: self.active_steps,
+            windows: self.active_windows,
+            bytes: self.active_bytes,
+        };
+        self.active_steps = 0;
+        self.active_windows = 0;
+        self.active_bytes = 0;
+        {
+            let mut state = self.shared.state.lock().expect("store state");
+            state.manifest.segments.push(meta);
+            state.manifest.steps_flushed = self.steps_written;
+            state.manifest.windows_flushed = self.windows_written;
+            self.shared.write_manifest(&state.manifest)?;
+            state.obs.segments.set(state.manifest.segments.len() as f64);
+            if open_next {
+                self.active_index = state.next_segment;
+                state.next_segment += 1;
+            }
+        }
+        if open_next {
+            self.active_path = self.shared.dir.join(format!(
+                "{SEGMENT_PREFIX}{:06}{PART_EXT}",
+                self.active_index
+            ));
+            self.writer = BufWriter::new(File::create(&self.active_path)?);
+            self.writer.write_all(&binfmt::segment_header())?;
+            self.active_bytes = SEGMENT_HEADER_LEN as u64;
+            self.shared.schedule_maintenance();
+        }
+        Ok(())
+    }
+
+    /// Recovers everything salvageable from a binary record directory:
+    /// each manifest-listed segment's valid frame prefix, plus the torn
+    /// active `.part` stream of a crashed writer. Segment files the
+    /// manifest does not name are ignored — they are uncommitted
+    /// compaction leftovers.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `dir` holds no recognizable record stream.
+    pub fn recover(dir: &Path) -> io::Result<RecoverySummary> {
+        let manifest = crate::store::JsonlStore::load_manifest(dir).unwrap_or(None);
+        let mut steps = Vec::new();
+        let mut windows = Vec::new();
+        let mut skipped_steps = 0usize;
+        let mut skipped_windows = 0usize;
+        let metas: Vec<SegmentMeta> = match &manifest {
+            Some(m) => m.segments.clone(),
+            // No manifest survived (a crash before the very first write
+            // barely counts as a stream): fall back to every sealed
+            // segment in name order.
+            None => {
+                let mut names = list_segment_files(dir, SEGMENT_EXT)?;
+                names.sort();
+                names
+                    .into_iter()
+                    .map(|name| SegmentMeta {
+                        name,
+                        ..SegmentMeta::default()
+                    })
+                    .collect()
+            }
+        };
+        let mut found_any = manifest.is_some();
+        for meta in &metas {
+            match std::fs::read(dir.join(&meta.name)) {
+                Ok(bytes) => {
+                    found_any = true;
+                    let read = binfmt::read_segment(&bytes);
+                    skipped_steps += meta.steps.saturating_sub(read.steps.len() as u64) as usize;
+                    skipped_windows +=
+                        meta.windows.saturating_sub(read.windows.len() as u64) as usize;
+                    if !read.clean && meta.steps == 0 && meta.windows == 0 {
+                        // Fallback metas carry no expected counts; still
+                        // mark the stream torn.
+                        skipped_steps += 1;
+                    }
+                    steps.extend(read.steps);
+                    windows.extend(read.windows);
+                }
+                // The whole segment vanished without being retired: every
+                // record it held is missing.
+                Err(_) => {
+                    skipped_steps += meta.steps as usize;
+                    skipped_windows += meta.windows as usize;
+                }
+            }
+        }
+        let mut parts = list_segment_files(dir, PART_EXT)?;
+        parts.sort();
+        for name in parts {
+            let Ok(bytes) = std::fs::read(dir.join(&name)) else {
+                continue;
+            };
+            found_any = true;
+            let read = binfmt::read_segment(&bytes);
+            if !read.clean {
+                // A torn tail; attribute it to the stream of the frame
+                // it tore in when the kind byte survived.
+                if read.torn_kind == Some(KIND_WINDOW) {
+                    skipped_windows += 1;
+                } else {
+                    skipped_steps += 1;
+                }
+            }
+            steps.extend(read.steps);
+            windows.extend(read.windows);
+        }
+        if !found_any {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!(
+                    "no binary record stream (seg-*.bin) under {}",
+                    dir.display()
+                ),
+            ));
+        }
+        let sealed_files = manifest.as_ref().is_some_and(|m| m.sealed);
+        let mut summary = RecoverySummary {
+            steps,
+            windows,
+            skipped_step_lines: skipped_steps,
+            skipped_window_lines: skipped_windows,
+            manifest,
+            sealed_files,
+        };
+        summary.steps.sort_by_key(|r| r.step);
+        summary.windows.sort_by_key(|w| w.index);
+        Ok(summary)
+    }
+}
+
+impl RecordStore for BinaryStore {
+    fn put_step(&mut self, record: &StepRecord) -> io::Result<()> {
+        self.payload.clear();
+        binfmt::encode_step(record, &mut self.payload);
+        self.steps_written += 1;
+        self.active_steps += 1;
+        self.put_frame(KIND_STEP)
+    }
+
+    fn put_window(&mut self, record: &WindowRecord) -> io::Result<()> {
+        self.payload.clear();
+        binfmt::encode_window(record, &mut self.payload);
+        self.windows_written += 1;
+        self.active_windows += 1;
+        self.put_frame(KIND_WINDOW)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.writer.flush()?;
+        let mut state = self.shared.state.lock().expect("store state");
+        state.manifest.steps_flushed = self.steps_written;
+        state.manifest.windows_flushed = self.windows_written;
+        self.shared.write_manifest(&state.manifest)
+    }
+
+    fn seal(&mut self) -> io::Result<()> {
+        self.writer.flush()?;
+        if self.active_steps + self.active_windows > 0 {
+            self.rotate(false)?;
+        } else {
+            let _ = std::fs::remove_file(&self.active_path);
+        }
+        // One final synchronous maintenance pass, after any background
+        // one drains, so a cleanly sealed directory is also compacted and
+        // within budget.
+        self.shared.claim_maintenance();
+        self.shared.maintain_and_release();
+        let mut state = self.shared.state.lock().expect("store state");
+        state.manifest.steps_flushed = self.steps_written;
+        state.manifest.windows_flushed = self.windows_written;
+        state.manifest.sealed = true;
+        self.shared.write_manifest(&state.manifest)
+    }
+
+    fn set_meta(&mut self, model: &str, dataset: &str) {
+        let mut state = self.shared.state.lock().expect("store state");
+        state.manifest.model = model.to_owned();
+        state.manifest.dataset = dataset.to_owned();
+        // Best-effort, like the JSONL store: a failure recurs (and is
+        // counted) at the next flush.
+        let _ = self.shared.write_manifest(&state.manifest);
+    }
+
+    fn set_catalog(&mut self, names: &[String], uses_mxu: &[bool], on_host: &[bool]) {
+        let mut state = self.shared.state.lock().expect("store state");
+        state.manifest.op_names = names.to_vec();
+        state.manifest.op_uses_mxu = uses_mxu.to_vec();
+        state.manifest.op_on_host = on_host.to_vec();
+        let _ = self.shared.write_manifest(&state.manifest);
+    }
+
+    fn use_registry(&mut self, metrics: &tpupoint_obs::Metrics) {
+        self.bytes_written = metrics.counter("store.bytes_written");
+        let mut state = self.shared.state.lock().expect("store state");
+        state.obs = StoreObs::in_registry(metrics);
+        state.obs.segments.set(state.manifest.segments.len() as f64);
+    }
+}
+
+fn segment_name(id: u64) -> String {
+    format!("{SEGMENT_PREFIX}{id:06}{SEGMENT_EXT}")
+}
+
+fn list_segment_files(dir: &Path, ext: &str) -> io::Result<Vec<String>> {
+    let mut names = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if name.starts_with(SEGMENT_PREFIX) && name.ends_with(ext) {
+            // `.bin` must not also match `.bin.part`/`.bin.tmp`.
+            if ext == SEGMENT_EXT && (name.ends_with(PART_EXT) || name.ends_with(TMP_EXT)) {
+                continue;
+            }
+            names.push(name.to_owned());
+        }
+    }
+    Ok(names)
+}
+
+/// True when `dir` holds binary segment files (sealed or in-progress).
+pub(crate) fn has_segment_files(dir: &Path) -> bool {
+    list_segment_files(dir, SEGMENT_EXT)
+        .map(|v| !v.is_empty())
+        .unwrap_or(false)
+        || list_segment_files(dir, PART_EXT)
+            .map(|v| !v.is_empty())
+            .unwrap_or(false)
+}
+
+/// Removes every binary segment artifact (`seg-*.bin`, `.part`, `.tmp`)
+/// under `dir`; used when (re)creating a store in either format.
+pub(crate) fn remove_segment_files(dir: &Path) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if name.starts_with(SEGMENT_PREFIX)
+            && (name.ends_with(SEGMENT_EXT) || name.ends_with(PART_EXT) || name.ends_with(TMP_EXT))
+        {
+            let _ = std::fs::remove_file(entry.path());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::JsonlStore;
+    use tpupoint_simcore::{OpId, SimDuration, SimTime, Track};
+
+    fn sample_step(step: u64) -> StepRecord {
+        let mut r = StepRecord::new(step);
+        r.absorb(
+            OpId(1),
+            Track::TpuCore(0),
+            SimTime::from_micros(10 + step),
+            SimDuration::from_micros(5),
+            SimDuration::from_micros(2),
+        );
+        r
+    }
+
+    fn sample_window(index: u64) -> WindowRecord {
+        WindowRecord {
+            index,
+            start: SimTime::from_micros(index * 100),
+            end: SimTime::from_micros(index * 100 + 90),
+            events: 3,
+            tpu_busy: SimDuration::from_micros(40),
+            mxu_busy: SimDuration::from_micros(10),
+            first_step: index,
+            last_step: index + 1,
+        }
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("tpupoint-segstore-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn tiny_config() -> BinaryStoreConfig {
+        BinaryStoreConfig {
+            segment_bytes: 200,
+            compact_segments: usize::MAX,
+            retention_bytes: 0,
+            background: false,
+            crash_point: None,
+        }
+    }
+
+    fn write_run(store: &mut BinaryStore, steps: u64, windows: u64) {
+        for step in 0..steps {
+            store.put_step(&sample_step(step)).unwrap();
+        }
+        for index in 0..windows {
+            store.put_window(&sample_window(index)).unwrap();
+        }
+    }
+
+    #[test]
+    fn round_trips_after_seal_across_rotations() {
+        let dir = tmp_dir("roundtrip");
+        let mut store = BinaryStore::with_config(&dir, tiny_config()).unwrap();
+        store.set_meta("demo-mlp", "synthetic");
+        write_run(&mut store, 40, 6);
+        store.seal().unwrap();
+        drop(store);
+
+        assert!(!has_part_files(&dir), "no .part after seal");
+        let summary = BinaryStore::recover(&dir).unwrap();
+        assert_eq!(summary.steps.len(), 40);
+        assert_eq!(summary.windows.len(), 6);
+        assert_eq!(summary.steps[7], sample_step(7));
+        assert_eq!(summary.windows[3], sample_window(3));
+        assert_eq!(summary.missing_acknowledged(), (0, 0));
+        assert!(!summary.is_torn());
+        assert!(summary.sealed_files);
+        let manifest = summary.manifest.unwrap();
+        assert!(manifest.sealed);
+        assert_eq!(manifest.model, "demo-mlp");
+        assert_eq!(manifest.format, FORMAT_BINARY);
+        assert!(manifest.segments.len() > 1, "tiny segments must rotate");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn has_part_files(dir: &Path) -> bool {
+        !list_segment_files(dir, PART_EXT).unwrap().is_empty()
+    }
+
+    #[test]
+    fn crashed_writer_recovers_acknowledged_prefix() {
+        let dir = tmp_dir("crash");
+        let mut store = BinaryStore::with_config(&dir, tiny_config()).unwrap();
+        write_run(&mut store, 10, 2);
+        store.flush().unwrap();
+        // More records the store never acknowledged, then a kill -9.
+        store.put_step(&sample_step(10)).unwrap();
+        std::mem::forget(store);
+
+        let summary = BinaryStore::recover(&dir).unwrap();
+        assert!(summary.steps.len() >= 10, "every acknowledged step");
+        assert_eq!(summary.windows.len(), 2);
+        assert_eq!(summary.missing_acknowledged(), (0, 0));
+        assert!(!summary.sealed_files);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_in_active_part_recovers_prefix() {
+        let dir = tmp_dir("torn");
+        let mut store = BinaryStore::with_config(
+            &dir,
+            BinaryStoreConfig {
+                segment_bytes: u64::MAX,
+                ..tiny_config()
+            },
+        )
+        .unwrap();
+        write_run(&mut store, 5, 0);
+        store.flush().unwrap();
+        let part = dir.join(format!("{SEGMENT_PREFIX}000000{PART_EXT}"));
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&part)
+            .unwrap();
+        f.write_all(&[KIND_STEP, 200, 0]).unwrap(); // half a frame header
+        drop(store);
+
+        let summary = BinaryStore::recover(&dir).unwrap();
+        assert_eq!(summary.steps.len(), 5);
+        assert_eq!(summary.skipped_step_lines, 1);
+        assert!(summary.is_torn());
+        assert_eq!(summary.missing_acknowledged(), (0, 0));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_merges_segments_and_preserves_records() {
+        let dir = tmp_dir("compact");
+        let metrics = tpupoint_obs::Metrics::new();
+        let mut store = BinaryStore::with_config(
+            &dir,
+            BinaryStoreConfig {
+                compact_segments: 3,
+                ..tiny_config()
+            },
+        )
+        .unwrap();
+        store.use_registry(&metrics);
+        write_run(&mut store, 60, 8);
+        store.seal().unwrap();
+        drop(store);
+
+        let summary = BinaryStore::recover(&dir).unwrap();
+        assert_eq!(summary.steps.len(), 60);
+        assert_eq!(summary.windows.len(), 8);
+        assert_eq!(summary.missing_acknowledged(), (0, 0));
+        let manifest = summary.manifest.unwrap();
+        assert!(
+            manifest.segments.len() < 3,
+            "seal-time compaction must leave fewer than threshold segments, got {}",
+            manifest.segments.len()
+        );
+        let snapshot = metrics.snapshot();
+        assert!(
+            snapshot
+                .counters
+                .get("store.compactions")
+                .copied()
+                .unwrap_or(0)
+                >= 1
+        );
+        // No stray files: exactly the manifest's segments remain.
+        let on_disk = list_segment_files(&dir, SEGMENT_EXT).unwrap();
+        assert_eq!(on_disk.len(), manifest.segments.len());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn retention_retires_with_accounting_never_losing_records() {
+        let dir = tmp_dir("retention");
+        let metrics = tpupoint_obs::Metrics::new();
+        let mut store = BinaryStore::with_config(
+            &dir,
+            BinaryStoreConfig {
+                retention_bytes: 600,
+                ..tiny_config()
+            },
+        )
+        .unwrap();
+        store.use_registry(&metrics);
+        write_run(&mut store, 80, 0);
+        store.seal().unwrap();
+        drop(store);
+
+        let summary = BinaryStore::recover(&dir).unwrap();
+        let manifest = summary.manifest.clone().unwrap();
+        assert!(manifest.steps_retired > 0, "budget must have retired");
+        assert_eq!(
+            summary.steps.len() as u64 + manifest.steps_retired,
+            80,
+            "retired + recovered covers every record"
+        );
+        // Retired drops are accounted: nothing counts as *lost*.
+        assert_eq!(summary.missing_acknowledged(), (0, 0));
+        // The survivors are the most recent suffix.
+        let first = summary.steps.first().unwrap().step;
+        assert_eq!(first, manifest.steps_retired);
+        let total: u64 = manifest.segments.iter().map(|m| m.bytes).sum();
+        assert!(total <= 600, "budget enforced, {total} bytes remain");
+        let snapshot = metrics.snapshot();
+        assert!(
+            snapshot
+                .counters
+                .get("store.bytes_reclaimed")
+                .copied()
+                .unwrap_or(0)
+                > 0
+        );
+        assert!(
+            snapshot
+                .counters
+                .get("store.records_retired")
+                .copied()
+                .unwrap_or(0)
+                > 0
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_kill_points_leave_pre_or_post_state() {
+        for point in [
+            CompactCrashPoint::BeforeRename,
+            CompactCrashPoint::BeforeManifest,
+            CompactCrashPoint::AfterManifest,
+        ] {
+            let dir = tmp_dir(&format!("killpoint-{point:?}"));
+            let mut store = BinaryStore::with_config(
+                &dir,
+                BinaryStoreConfig {
+                    compact_segments: 3,
+                    crash_point: Some(point),
+                    ..tiny_config()
+                },
+            )
+            .unwrap();
+            // Enough to rotate past the compaction threshold; the crash
+            // fires inside the maintenance pass that rotation schedules.
+            write_run(&mut store, 60, 8);
+            store.flush().unwrap();
+            std::mem::forget(store); // kill -9: no seal, no cleanup
+
+            let summary = BinaryStore::recover(&dir).unwrap();
+            assert_eq!(
+                summary.missing_acknowledged(),
+                (0, 0),
+                "{point:?}: every acknowledged record must survive the crash"
+            );
+            assert!(summary.steps.len() >= 60, "{point:?}");
+            assert_eq!(summary.windows.len(), 8, "{point:?}");
+            let steps: Vec<u64> = summary.steps.iter().map(|r| r.step).collect();
+            assert_eq!(
+                steps,
+                (0..steps.len() as u64).collect::<Vec<_>>(),
+                "{point:?}: no duplicated or reordered records from a mixed state"
+            );
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+
+    #[test]
+    fn recover_ignores_uncommitted_orphan_segments() {
+        let dir = tmp_dir("orphan");
+        let mut store = BinaryStore::with_config(&dir, tiny_config()).unwrap();
+        write_run(&mut store, 20, 0);
+        store.seal().unwrap();
+        drop(store);
+        // A compaction output that crashed before its manifest commit.
+        let mut orphan = binfmt::segment_header().to_vec();
+        let mut payload = Vec::new();
+        binfmt::encode_step(&sample_step(999), &mut payload);
+        binfmt::append_frame(KIND_STEP, &payload, &mut orphan);
+        std::fs::write(dir.join("seg-000099.bin"), orphan).unwrap();
+
+        let summary = BinaryStore::recover(&dir).unwrap();
+        assert_eq!(summary.steps.len(), 20, "orphan must not leak through");
+        assert!(summary.steps.iter().all(|r| r.step != 999));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn format_autodetect_routes_both_formats() {
+        let dir_b = tmp_dir("detect-bin");
+        let mut store = BinaryStore::with_config(&dir_b, tiny_config()).unwrap();
+        write_run(&mut store, 4, 1);
+        store.seal().unwrap();
+        drop(store);
+        let summary = crate::store::recover_records(&dir_b).unwrap();
+        assert_eq!(summary.steps.len(), 4);
+
+        let dir_j = tmp_dir("detect-jsonl");
+        let mut store = JsonlStore::create(&dir_j).unwrap();
+        store.put_step(&sample_step(1)).unwrap();
+        store.seal().unwrap();
+        drop(store);
+        let summary = crate::store::recover_records(&dir_j).unwrap();
+        assert_eq!(summary.steps.len(), 1);
+
+        std::fs::remove_dir_all(&dir_b).unwrap();
+        std::fs::remove_dir_all(&dir_j).unwrap();
+    }
+
+    #[test]
+    fn creating_either_store_clears_the_other_format() {
+        let dir = tmp_dir("switch");
+        let mut store = BinaryStore::with_config(&dir, tiny_config()).unwrap();
+        write_run(&mut store, 30, 0);
+        store.seal().unwrap();
+        drop(store);
+        // Re-record the same directory as JSONL: segments must vanish.
+        let mut store = JsonlStore::create(&dir).unwrap();
+        store.put_step(&sample_step(1)).unwrap();
+        store.seal().unwrap();
+        drop(store);
+        assert!(!has_segment_files(&dir));
+        let summary = crate::store::recover_records(&dir).unwrap();
+        assert_eq!(summary.steps.len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

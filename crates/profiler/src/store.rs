@@ -163,7 +163,72 @@ impl RecordStore for InMemoryStore {
     }
 }
 
-/// Sidecar metadata of a [`JsonlStore`] directory, replaced atomically on
+/// On-disk record encodings a record directory can hold. Both formats
+/// share the manifest, the `.part`-then-rename sealing discipline, and the
+/// acknowledged-prefix recovery contract; [`recover_records`] picks the
+/// right loader from what is on disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StoreFormat {
+    /// One JSON object per line (`steps.jsonl` / `windows.jsonl`).
+    #[default]
+    Jsonl,
+    /// Length-prefixed checksummed binary segments (`seg-*.bin`); see
+    /// [`crate::binfmt`] and [`crate::segstore::BinaryStore`].
+    Binary,
+}
+
+impl StoreFormat {
+    /// Canonical CLI/manifest spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            StoreFormat::Jsonl => "jsonl",
+            StoreFormat::Binary => "binary",
+        }
+    }
+}
+
+impl std::fmt::Display for StoreFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for StoreFormat {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "jsonl" => Ok(StoreFormat::Jsonl),
+            "binary" => Ok(StoreFormat::Binary),
+            other => Err(format!(
+                "unknown store format {other:?} (expected jsonl or binary)"
+            )),
+        }
+    }
+}
+
+/// Accounting for one sealed binary segment file, carried in the manifest.
+/// The manifest's segment list is the authoritative set *and order* of
+/// sealed segments: compaction commits by atomically rewriting this list,
+/// so a crashed merge leaves either the old or the new set — recovery
+/// ignores segment files the manifest does not name.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SegmentMeta {
+    /// File name within the record directory (e.g. `seg-000002.bin`).
+    #[serde(default)]
+    pub name: String,
+    /// Step records the segment holds.
+    #[serde(default)]
+    pub steps: u64,
+    /// Window records the segment holds.
+    #[serde(default)]
+    pub windows: u64,
+    /// File size in bytes, counted against the retention budget.
+    #[serde(default)]
+    pub bytes: u64,
+}
+
+/// Sidecar metadata of a record directory, replaced atomically on
 /// every flush. The flushed counts are the store's acknowledgement
 /// watermark: records beyond them were never guaranteed durable.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
@@ -195,6 +260,21 @@ pub struct StoreManifest {
     /// `op_names`.
     #[serde(default)]
     pub op_on_host: Vec<bool>,
+    /// Record encoding of the directory: `"binary"` for segment streams,
+    /// empty (the pre-format default) or `"jsonl"` for JSON lines.
+    #[serde(default)]
+    pub format: String,
+    /// Sealed binary segments in record order. Empty for JSONL streams.
+    #[serde(default)]
+    pub segments: Vec<SegmentMeta>,
+    /// Acknowledged step records deliberately dropped by the retention
+    /// tier. Retired records are accounted, never silently lost:
+    /// [`RecoverySummary::missing_acknowledged`] subtracts them.
+    #[serde(default)]
+    pub steps_retired: u64,
+    /// Acknowledged window records dropped by retention.
+    #[serde(default)]
+    pub windows_retired: u64,
 }
 
 /// One tolerant JSONL load: the valid record prefix plus how many trailing
@@ -233,11 +313,17 @@ impl RecoverySummary {
     /// flushed counts. Zero means every acknowledged record survived; the
     /// unacknowledged suffix (post-last-flush) is not counted because the
     /// store never promised it.
+    /// Records retired by the retention tier are subtracted first: they
+    /// were dropped *with accounting*, which is not a loss.
     pub fn missing_acknowledged(&self) -> (u64, u64) {
         match &self.manifest {
             Some(m) => (
-                m.steps_flushed.saturating_sub(self.steps.len() as u64),
-                m.windows_flushed.saturating_sub(self.windows.len() as u64),
+                m.steps_flushed
+                    .saturating_sub(m.steps_retired)
+                    .saturating_sub(self.steps.len() as u64),
+                m.windows_flushed
+                    .saturating_sub(m.windows_retired)
+                    .saturating_sub(self.windows.len() as u64),
             ),
             None => (0, 0),
         }
@@ -321,10 +407,12 @@ pub struct JsonlStore {
     windows_written: u64,
 }
 
-const STEPS_FILE: &str = "steps.jsonl";
-const WINDOWS_FILE: &str = "windows.jsonl";
-const MANIFEST_FILE: &str = "manifest.json";
-const PART_SUFFIX: &str = ".part";
+pub(crate) const STEPS_FILE: &str = "steps.jsonl";
+pub(crate) const WINDOWS_FILE: &str = "windows.jsonl";
+pub(crate) const MANIFEST_FILE: &str = "manifest.json";
+pub(crate) const PART_SUFFIX: &str = ".part";
+/// `StoreManifest::format` value of binary segment directories.
+pub(crate) const FORMAT_BINARY: &str = "binary";
 
 impl JsonlStore {
     /// Creates (or truncates) the record files under `dir`.
@@ -336,10 +424,13 @@ impl JsonlStore {
     pub fn create(dir: &Path) -> io::Result<Self> {
         std::fs::create_dir_all(dir)?;
         // Clear any sealed files from a previous run so loaders never mix
-        // the old sealed stream with the new in-progress one.
+        // the old sealed stream with the new in-progress one. Stale binary
+        // segments are cleared too: re-recording a directory in the other
+        // format must not confuse format auto-detection.
         for name in [STEPS_FILE, WINDOWS_FILE, MANIFEST_FILE] {
             let _ = std::fs::remove_file(dir.join(name));
         }
+        crate::segstore::remove_segment_files(dir);
         let store = JsonlStore {
             dir: dir.to_owned(),
             steps: BufWriter::new(File::create(part_path(dir, STEPS_FILE))?),
@@ -470,8 +561,31 @@ fn record_path(dir: &Path, name: &str) -> io::Result<PathBuf> {
     ))
 }
 
-fn part_path(dir: &Path, name: &str) -> PathBuf {
+pub(crate) fn part_path(dir: &Path, name: &str) -> PathBuf {
     dir.join(format!("{name}{PART_SUFFIX}"))
+}
+
+/// Recovers a record directory of either format, auto-detecting the
+/// encoding: the manifest's `format` field when one survived, else the
+/// presence of binary segment files, else JSONL. `analyze --recover` and
+/// the facade route through here so callers never need to know which
+/// format wrote the directory.
+///
+/// # Errors
+///
+/// Returns an error when `dir` holds no recognizable record stream at all.
+pub fn recover_records(dir: &Path) -> io::Result<RecoverySummary> {
+    let manifest = JsonlStore::load_manifest(dir).unwrap_or(None);
+    let binary = match &manifest {
+        Some(m) if m.format == FORMAT_BINARY => true,
+        Some(_) => false,
+        None => crate::segstore::has_segment_files(dir),
+    };
+    if binary {
+        crate::segstore::BinaryStore::recover(dir)
+    } else {
+        JsonlStore::recover(dir)
+    }
 }
 
 /// Loads a JSONL file tolerantly: parses records until the first malformed

@@ -1,0 +1,155 @@
+//! Golden-file lock on the binary segment layout.
+//!
+//! The on-disk format is a compatibility surface: segments written by one
+//! build must recover under every later build, so the exact bytes — magic,
+//! version, header padding, frame framing, varint payloads — are pinned
+//! against a checked-in golden file. If an edit to `binfmt` changes these
+//! bytes, this test fails and the change must either be reverted or ship
+//! as a new `SEGMENT_VERSION` with a migration story (and a regenerated
+//! golden via `TPUPOINT_REGEN_GOLDEN=1 cargo test -p tpupoint-profiler
+//! --test binary_golden`).
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use tpupoint_profiler::binfmt::{
+    append_frame, encode_step, encode_window, read_segment, segment_header, FRAME_OVERHEAD,
+    KIND_STEP, KIND_WINDOW, SEGMENT_HEADER_LEN, SEGMENT_MAGIC, SEGMENT_VERSION,
+};
+use tpupoint_profiler::{OpStats, StepRecord, WindowRecord};
+use tpupoint_simcore::{OpId, SimDuration, SimTime};
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("binary_segment.hex")
+}
+
+/// The fixed records pinned by the golden file. Chosen so every field is
+/// nonzero and the step exercises multi-op varint encoding.
+fn golden_step() -> StepRecord {
+    let mut ops = BTreeMap::new();
+    ops.insert(
+        OpId(1),
+        OpStats {
+            count: 3,
+            total: SimDuration::from_micros(1_500),
+        },
+    );
+    ops.insert(
+        OpId(7),
+        OpStats {
+            count: 1,
+            total: SimDuration::from_micros(250),
+        },
+    );
+    StepRecord {
+        step: 42,
+        ops,
+        tpu_time: SimDuration::from_micros(1_750),
+        mxu_time: SimDuration::from_micros(900),
+        host_time: SimDuration::from_micros(120),
+        first_start: SimTime::from_micros(10_000),
+        last_end: SimTime::from_micros(11_900),
+    }
+}
+
+fn golden_window() -> WindowRecord {
+    WindowRecord {
+        index: 5,
+        start: SimTime::from_micros(9_000),
+        end: SimTime::from_micros(12_000),
+        events: 321,
+        tpu_busy: SimDuration::from_micros(2_500),
+        mxu_busy: SimDuration::from_micros(1_200),
+        first_step: 40,
+        last_step: 44,
+    }
+}
+
+/// A full golden segment: header, one step frame, one window frame.
+fn golden_segment() -> Vec<u8> {
+    let mut segment = segment_header().to_vec();
+    let mut payload = Vec::new();
+    encode_step(&golden_step(), &mut payload);
+    append_frame(KIND_STEP, &payload, &mut segment);
+    payload.clear();
+    encode_window(&golden_window(), &mut payload);
+    append_frame(KIND_WINDOW, &payload, &mut segment);
+    segment
+}
+
+fn to_hex(bytes: &[u8]) -> String {
+    let mut out = String::new();
+    for chunk in bytes.chunks(16) {
+        for byte in chunk {
+            out.push_str(&format!("{byte:02x} "));
+        }
+        out.pop();
+        out.push('\n');
+    }
+    out
+}
+
+fn from_hex(text: &str) -> Vec<u8> {
+    text.split_whitespace()
+        .map(|pair| u8::from_str_radix(pair, 16).expect("golden file holds hex byte pairs"))
+        .collect()
+}
+
+#[test]
+fn encoded_segment_matches_checked_in_golden_bytes() {
+    let segment = golden_segment();
+    let path = golden_path();
+    if std::env::var_os("TPUPOINT_REGEN_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, to_hex(&segment)).unwrap();
+    }
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "golden file {} missing ({e}); regenerate with TPUPOINT_REGEN_GOLDEN=1",
+            path.display()
+        )
+    });
+    let golden = from_hex(&text);
+    assert_eq!(
+        segment,
+        golden,
+        "binary segment layout drifted from the golden file.\nexpected:\n{}\ngot:\n{}\n\
+         An intentional format change must bump SEGMENT_VERSION and regenerate the golden.",
+        to_hex(&golden),
+        to_hex(&segment)
+    );
+}
+
+#[test]
+fn golden_header_fields_sit_at_fixed_offsets() {
+    let segment = golden_segment();
+    // Magic + version live at fixed offsets so recovery can sniff any
+    // future version before attempting to parse frames.
+    assert_eq!(&segment[..4], &SEGMENT_MAGIC);
+    assert_eq!(segment[4], SEGMENT_VERSION);
+    assert_eq!(&segment[5..SEGMENT_HEADER_LEN], &[0, 0, 0], "reserved pad");
+    // First frame: kind byte, then little-endian payload length, then CRC.
+    assert_eq!(segment[SEGMENT_HEADER_LEN], KIND_STEP);
+    let len = u32::from_le_bytes(
+        segment[SEGMENT_HEADER_LEN + 1..SEGMENT_HEADER_LEN + 5]
+            .try_into()
+            .unwrap(),
+    ) as usize;
+    let window_frame = SEGMENT_HEADER_LEN + FRAME_OVERHEAD + len;
+    assert_eq!(segment[window_frame], KIND_WINDOW);
+}
+
+#[test]
+fn golden_bytes_decode_back_to_the_pinned_records() {
+    // Decode the *checked-in* bytes, not freshly encoded ones: this is the
+    // forward-compatibility direction — segments already on disk must keep
+    // reading back.
+    let text = std::fs::read_to_string(golden_path()).expect("golden file present");
+    let read = read_segment(&from_hex(&text));
+    assert!(read.clean, "golden segment ends on a frame boundary");
+    assert_eq!(read.steps, vec![golden_step()]);
+    assert_eq!(read.windows, vec![golden_window()]);
+}

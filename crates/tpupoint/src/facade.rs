@@ -6,8 +6,8 @@ use std::path::{Path, PathBuf};
 use tpupoint_analyzer::{checkpoint::PhaseCheckpoint, Analyzer, AnalyzerOptions, PhaseSet};
 use tpupoint_optimizer::{OptimizerReport, TpuPointOptimizer};
 use tpupoint_profiler::{
-    FaultConfig, FaultStore, JsonlStore, PipelineConfig, Profile, ProfilerOptions, ProfilerSink,
-    RecordStore, RetryPolicy, RetryStore,
+    BinaryStore, BinaryStoreConfig, FaultConfig, FaultStore, JsonlStore, PipelineConfig, Profile,
+    ProfilerOptions, ProfilerSink, RecordStore, RetryPolicy, RetryStore, StoreFormat,
 };
 use tpupoint_runtime::{FleetLimits, JobConfig, RunReport, TrainingJob};
 
@@ -46,6 +46,9 @@ pub struct TpuPointBuilder {
     pub(crate) store_retries: u32,
     pub(crate) store_fault_prob: f64,
     pub(crate) store_fault_seed: u64,
+    pub(crate) store_format: StoreFormat,
+    pub(crate) store_segment_bytes: u64,
+    pub(crate) store_retention_bytes: u64,
     pub(crate) pipeline_profiler: bool,
     pub(crate) serve_listen: Option<String>,
     pub(crate) serve_pace_us: u64,
@@ -69,6 +72,9 @@ impl Default for TpuPointBuilder {
             store_retries: RetryPolicy::default().max_retries,
             store_fault_prob: 0.0,
             store_fault_seed: FaultConfig::default().seed,
+            store_format: StoreFormat::Jsonl,
+            store_segment_bytes: BinaryStoreConfig::default().segment_bytes,
+            store_retention_bytes: 0,
             pipeline_profiler: false,
             serve_listen: None,
             serve_pace_us: 500,
@@ -127,6 +133,33 @@ impl TpuPointBuilder {
     /// store failures surface directly in the profile).
     pub fn store_retries(mut self, retries: u32) -> Self {
         self.store_retries = retries;
+        self
+    }
+
+    /// Selects the analyzer-mode record encoding: JSON lines (the
+    /// default) or checksummed binary segments with background compaction
+    /// ([`tpupoint_profiler::BinaryStore`]). Both formats share the
+    /// manifest and crash-recovery contract; `analyze --recover`
+    /// auto-detects whichever was written.
+    pub fn store_format(mut self, format: StoreFormat) -> Self {
+        self.store_format = format;
+        self
+    }
+
+    /// Rotation threshold of the binary store's segments, in bytes.
+    /// Ignored under the JSONL format.
+    pub fn store_segment_bytes(mut self, bytes: u64) -> Self {
+        self.store_segment_bytes = bytes.max(1);
+        self
+    }
+
+    /// Retention budget over sealed binary segments, in bytes: while the
+    /// sealed total exceeds it, the oldest segments are retired with
+    /// manifest accounting (never counted as lost). `0` (the default)
+    /// keeps everything. Ignored under the JSONL format. In fleet mode
+    /// the budget applies per job, bounding every tenant's footprint.
+    pub fn store_retention_bytes(mut self, bytes: u64) -> Self {
+        self.store_retention_bytes = bytes;
         self
     }
 
@@ -370,18 +403,27 @@ impl TpuPoint {
         Ok(ProfiledRun { report, profile })
     }
 
-    /// Builds the analyzer-mode record store: the JSONL backend, wrapped
-    /// in fault injection when configured, wrapped in retry/spill
-    /// resilience unless retries are disabled. `sleep_backoff` selects
-    /// the wall-clock lane: serve mode passes `true` so the recorded
-    /// retry schedule is actually slept.
+    /// Builds the analyzer-mode record store: the configured backend
+    /// (JSONL lines or binary segments), wrapped in fault injection when
+    /// configured, wrapped in retry/spill resilience unless retries are
+    /// disabled. `sleep_backoff` selects the wall-clock lane: serve mode
+    /// passes `true` so the recorded retry schedule is actually slept.
     pub(crate) fn build_store(
         &self,
         dir: &Path,
         sleep_backoff: bool,
     ) -> io::Result<Box<dyn RecordStore + Send>> {
-        let jsonl = JsonlStore::create(dir)?;
-        let mut store: Box<dyn RecordStore + Send> = Box::new(jsonl);
+        let mut store: Box<dyn RecordStore + Send> = match self.options.store_format {
+            StoreFormat::Jsonl => Box::new(JsonlStore::create(dir)?),
+            StoreFormat::Binary => Box::new(BinaryStore::with_config(
+                dir,
+                BinaryStoreConfig {
+                    segment_bytes: self.options.store_segment_bytes,
+                    retention_bytes: self.options.store_retention_bytes,
+                    ..BinaryStoreConfig::default()
+                },
+            )?),
+        };
         if self.options.store_fault_prob > 0.0 {
             store = Box::new(FaultStore::new(
                 store,

@@ -299,17 +299,31 @@ fn run_fleet_job(shared: &FleetShared, spec: &JobSpec, ctl: &JobControl) -> Resu
     Ok(report.steps_completed)
 }
 
-/// Builds one job's sharded store chain: its own JSONL directory, its own
-/// fault stream when requested, and the retry/spill decorator with the
-/// fleet-wide policy.
+/// Builds one job's sharded store chain: its own record directory in the
+/// fleet-wide format (JSONL lines or binary segments — the binary
+/// retention budget applies per job, bounding each tenant's footprint),
+/// its own fault stream when requested, and the retry/spill decorator
+/// with the fleet-wide policy.
 fn build_job_store(
     options: &TpuPointBuilder,
     job: &JobRuntime,
     dir: &Path,
 ) -> io::Result<Box<dyn tpupoint_profiler::RecordStore + Send>> {
-    use tpupoint_profiler::{FaultConfig, FaultStore, JsonlStore, RetryPolicy, RetryStore};
-    let jsonl = JsonlStore::create(dir)?;
-    let mut store: Box<dyn tpupoint_profiler::RecordStore + Send> = Box::new(jsonl);
+    use tpupoint_profiler::{
+        BinaryStore, BinaryStoreConfig, FaultConfig, FaultStore, JsonlStore, RetryPolicy,
+        RetryStore, StoreFormat,
+    };
+    let mut store: Box<dyn tpupoint_profiler::RecordStore + Send> = match options.store_format {
+        StoreFormat::Jsonl => Box::new(JsonlStore::create(dir)?),
+        StoreFormat::Binary => Box::new(BinaryStore::with_config(
+            dir,
+            BinaryStoreConfig {
+                segment_bytes: options.store_segment_bytes,
+                retention_bytes: options.store_retention_bytes,
+                ..BinaryStoreConfig::default()
+            },
+        )?),
+    };
     if job.store_fault_prob > 0.0 {
         store = Box::new(FaultStore::new(
             store,
