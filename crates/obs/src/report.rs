@@ -110,8 +110,12 @@ pub struct SimHealth {
 /// Health of the binary segment store, when one ran. Kept as an `Option`
 /// on [`ObsReport`] following the [`SimHealth`] convention: the
 /// `store.segments` gauge is the sentinel — the binary store publishes it
-/// on creation and after every rotation/compaction/retention pass, so its
-/// absence means the JSONL store (which has no segment tier) ran instead.
+/// on every rotation/compaction/retention pass and on a registry rebind
+/// (any binary run that stored records has published it by seal time), so
+/// its absence means the JSONL store (which has no segment tier) ran
+/// instead. Publication is deferred past construction so a fleet job's
+/// store never registers the sentinel with the global registry before
+/// rebinding to its own.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StoreFormatHealth {
     /// Sealed segments currently listed in the manifest.
@@ -280,8 +284,9 @@ impl ObsReport {
         });
 
         // `store.segments` is published by the binary segment store on
-        // creation and after every rotation/compaction/retention pass, so
-        // its absence means the JSONL store ran — the same sentinel
+        // every rotation/compaction/retention pass and on a registry
+        // rebind — by seal time for any binary run that stored records —
+        // so its absence means the JSONL store ran: the same sentinel
         // convention as `sim.sync_barriers`.
         let store_format = gauge("store.segments").map(|segments| StoreFormatHealth {
             segments: segments as u64,

@@ -242,7 +242,13 @@ pub fn read_segment(bytes: &[u8]) -> SegmentRead {
         let kind = rest[0];
         let len = u32::from_le_bytes([rest[1], rest[2], rest[3], rest[4]]) as usize;
         let want = u32::from_le_bytes([rest[5], rest[6], rest[7], rest[8]]);
-        let Some(payload) = rest.get(FRAME_OVERHEAD..FRAME_OVERHEAD + len) else {
+        // checked_add: on 32-bit targets a corrupt length near u32::MAX
+        // would overflow the index sum — that must read as corruption,
+        // never a (debug) panic.
+        let Some(frame_len) = len.checked_add(FRAME_OVERHEAD) else {
+            break;
+        };
+        let Some(payload) = rest.get(FRAME_OVERHEAD..frame_len) else {
             break; // length runs past the end: torn tail
         };
         if crc32(payload) != want {
@@ -259,7 +265,7 @@ pub fn read_segment(bytes: &[u8]) -> SegmentRead {
             },
             _ => break, // unknown kind: cannot resync past it safely
         }
-        pos += FRAME_OVERHEAD + len;
+        pos += frame_len;
         read.valid_len = pos;
         read.torn_kind = None;
     }
@@ -410,6 +416,23 @@ mod tests {
             // Never a panic; decoded steps always form an exact prefix.
             assert_eq!(read.steps, steps[..read.steps.len()], "flip at {i}");
         }
+    }
+
+    #[test]
+    fn corrupt_length_near_u32_max_reads_as_torn_never_panics() {
+        // On 32-bit targets `len + FRAME_OVERHEAD` would overflow usize
+        // for lengths near u32::MAX; the salvage contract demands that
+        // read as a torn tail, not a (debug) panic.
+        let steps: Vec<StepRecord> = (0..2).map(sample_step).collect();
+        let mut bytes = encode_segment(&steps, &[]);
+        bytes.push(KIND_STEP);
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes()); // corrupt length
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 32]);
+        let read = read_segment(&bytes);
+        assert!(!read.clean);
+        assert_eq!(read.steps, steps, "valid prefix survives");
+        assert_eq!(read.torn_kind, Some(KIND_STEP));
     }
 
     #[test]

@@ -5,17 +5,21 @@
 //!
 //! Records stream into one active segment, `seg-NNNNNN.bin.part`, framed
 //! by [`crate::binfmt`]. When the active segment reaches
-//! [`BinaryStoreConfig::segment_bytes`] it is flushed and renamed to
-//! `seg-NNNNNN.bin` — the same `.part`-then-rename discipline as the JSONL
-//! store — and appended to the manifest's segment list, which is the
-//! *authoritative* set and order of sealed segments. The manifest itself
+//! [`BinaryStoreConfig::segment_bytes`] it is flushed, committed to the
+//! manifest's segment list — the *authoritative* set and order of sealed
+//! segments — and then renamed to `seg-NNNNNN.bin`, the same
+//! `.part`-then-rename discipline as the JSONL store. The manifest itself
 //! is always replaced atomically, so every on-disk state a `kill -9` can
 //! leave is one of:
 //!
 //! * a torn active `.part` tail — recovery salvages the valid frame
 //!   prefix, exactly like the JSONL torn-line recovery;
-//! * a renamed segment the manifest does not yet name — ignored (the data
-//!   was not yet acknowledged as a sealed segment);
+//! * a manifest-listed segment still under its `.part` name (the commit
+//!   precedes the sealing rename) — recovery reads the part file in its
+//!   place, so the acknowledged records it holds are never orphaned;
+//! * a renamed segment the manifest does not name — an uncommitted
+//!   compaction output, ignored (its records live on in the still-listed
+//!   input segments);
 //! * a manifest naming only old or only new segments around a compaction
 //!   — recovery reads whichever set the manifest committed, never a mix.
 //!
@@ -119,17 +123,52 @@ impl StoreObs {
     }
 }
 
+/// Lifecycle of the single-flighted maintenance pass. `Queued` is kept
+/// distinct from `Running` so a sealing writer can *steal* a pass that
+/// sits in the pool FIFO but has not started: under `--pipeline-profiler`
+/// `seal()` itself runs on a pool worker (inside the drain task), and
+/// condvar-waiting there for a job queued behind it on the same worker
+/// would deadlock the pool permanently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MaintenanceState {
+    /// No pass scheduled or running.
+    Idle,
+    /// A background pass sits in the pool queue but has not started yet;
+    /// whoever claims the slot first (the pool job or a stealing `seal`)
+    /// runs the pass, and the other becomes a no-op.
+    Queued,
+    /// A pass is actively executing on some thread. Waiting for it is
+    /// safe from anywhere: `maintain` makes no pool calls, so it always
+    /// finishes without needing another pool slot.
+    Running,
+}
+
 /// State shared between the writer and the maintenance task.
 struct SharedState {
     manifest: StoreManifest,
     /// Next segment id to allocate; compaction and rotation both draw
     /// from it, so merged segments never collide with live ones.
     next_segment: u64,
-    /// True while a maintenance task is scheduled or running — at most
-    /// one at a time, which is what lets compaction read and delete input
-    /// segments without racing retention.
-    maintaining: bool,
-    obs: StoreObs,
+    /// At most one maintenance pass is scheduled or running at a time,
+    /// which is what lets compaction read and delete input segments
+    /// without racing retention.
+    maintenance: MaintenanceState,
+    /// Self-observability handles, bound lazily on first use (to the
+    /// process-wide registry) or by [`RecordStore::use_registry`] (to a
+    /// fleet job's registry). Deferred past construction so a store the
+    /// fleet rebinds right after creation never registers its series —
+    /// in particular the `store.segments` sentinel the obs report keys
+    /// on — with the global registry.
+    obs: Option<StoreObs>,
+}
+
+impl SharedState {
+    /// The obs handles, created against the process-wide registry on
+    /// first use when no `use_registry` rebind happened earlier.
+    fn obs(&mut self) -> &StoreObs {
+        self.obs
+            .get_or_insert_with(|| StoreObs::in_registry(tpupoint_obs::metrics()))
+    }
 }
 
 struct StoreShared {
@@ -160,30 +199,56 @@ impl StoreShared {
     /// Claims the maintenance slot and runs compaction + retention, on the
     /// pool when configured and workers exist, inline otherwise.
     fn schedule_maintenance(self: &Arc<Self>) {
+        let pool = tpupoint_par::pool();
+        let background = self.config.background && pool.size() > 1;
         {
             let mut state = self.state.lock().expect("store state");
-            if state.maintaining || !self.needs_maintenance(&state) {
+            if state.maintenance != MaintenanceState::Idle || !self.needs_maintenance(&state) {
                 return;
             }
-            state.maintaining = true;
+            state.maintenance = if background {
+                MaintenanceState::Queued
+            } else {
+                MaintenanceState::Running
+            };
         }
-        let pool = tpupoint_par::pool();
-        if self.config.background && pool.size() > 1 {
+        if background {
             let shared = Arc::clone(self);
-            pool.spawn_detached(move || shared.maintain_and_release());
+            pool.spawn_detached(move || shared.run_queued());
         } else {
             self.maintain_and_release();
         }
     }
 
-    /// Blocks until no maintenance task is in flight, then claims the
-    /// slot. Used by `seal` to run one final synchronous pass.
+    /// Entry point of a queued background pass: claim the slot, unless a
+    /// sealing writer already stole the pass and ran it inline — then
+    /// this job is a no-op.
+    fn run_queued(&self) {
+        {
+            let mut state = self.state.lock().expect("store state");
+            if state.maintenance != MaintenanceState::Queued {
+                return;
+            }
+            state.maintenance = MaintenanceState::Running;
+        }
+        self.maintain_and_release();
+    }
+
+    /// Claims the maintenance slot for `seal`'s final synchronous pass. A
+    /// `Queued` pass (scheduled onto the pool but not started) is stolen
+    /// and will run here instead: never condvar-wait for a job that may
+    /// sit *behind the caller* in the same pool's FIFO — with one worker
+    /// and a pipelined seal, that wait could only ever deadlock. Only an
+    /// actively `Running` pass is waited for, which is safe because its
+    /// thread finishes without needing a pool slot.
     fn claim_maintenance(&self) {
         let mut state = self.state.lock().expect("store state");
-        while state.maintaining {
+        while state.maintenance == MaintenanceState::Running {
             state = self.idle.wait(state).expect("store state");
         }
-        state.maintaining = true;
+        // Idle, or Queued-but-not-started: in the latter case the pool
+        // job finds the slot taken (`run_queued`) and no-ops.
+        state.maintenance = MaintenanceState::Running;
     }
 
     fn maintain_and_release(&self) {
@@ -192,7 +257,7 @@ impl StoreShared {
         // re-schedules.
         let _ = self.maintain();
         let mut state = self.state.lock().expect("store state");
-        state.maintaining = false;
+        state.maintenance = MaintenanceState::Idle;
         drop(state);
         self.idle.notify_all();
     }
@@ -259,14 +324,14 @@ impl StoreShared {
             };
             state.manifest.segments.splice(0..inputs.len(), [meta]);
             self.write_manifest(&state.manifest)?;
-            state.obs.compactions.inc();
             // Net disk freed by the merge: duplicate headers plus any
             // invalid suffix the per-segment reads dropped.
-            state
-                .obs
-                .bytes_reclaimed
-                .add(input_bytes.saturating_sub(merged.len() as u64));
-            state.obs.segments.set(state.manifest.segments.len() as f64);
+            let reclaimed = input_bytes.saturating_sub(merged.len() as u64);
+            let segments = state.manifest.segments.len() as f64;
+            let obs = state.obs();
+            obs.compactions.inc();
+            obs.bytes_reclaimed.add(reclaimed);
+            obs.segments.set(segments);
         }
         self.crash_at(CompactCrashPoint::AfterManifest)?;
         for meta in &inputs {
@@ -305,9 +370,11 @@ impl StoreShared {
             state.manifest.steps_retired += oldest.steps;
             state.manifest.windows_retired += oldest.windows;
             self.write_manifest(&state.manifest)?;
-            state.obs.bytes_reclaimed.add(oldest.bytes);
-            state.obs.records_retired.add(oldest.steps + oldest.windows);
-            state.obs.segments.set(state.manifest.segments.len() as f64);
+            let segments = state.manifest.segments.len() as f64;
+            let obs = state.obs();
+            obs.bytes_reclaimed.add(oldest.bytes);
+            obs.records_retired.add(oldest.steps + oldest.windows);
+            obs.segments.set(segments);
             oldest
         };
         let _ = std::fs::remove_file(self.dir.join(&victim.name));
@@ -332,7 +399,11 @@ pub struct BinaryStore {
     /// Reusable encode scratch, so the hot path allocates nothing.
     payload: Vec<u8>,
     frame: Vec<u8>,
-    bytes_written: Counter,
+    /// Frame-bytes counter, bound lazily for the same reason as
+    /// [`SharedState::obs`]: the fleet rebinds via `use_registry` right
+    /// after construction, and the global registry must not gain the
+    /// series in the meantime.
+    bytes_written: Option<Counter>,
 }
 
 impl std::fmt::Debug for BinaryStore {
@@ -376,17 +447,14 @@ impl BinaryStore {
             format: FORMAT_BINARY.to_owned(),
             ..StoreManifest::default()
         };
-        let obs = StoreObs::in_registry(tpupoint_obs::metrics());
-        obs.segments.set(0.0);
-        let bytes_written = tpupoint_obs::metrics().counter("store.bytes_written");
         let shared = Arc::new(StoreShared {
             dir: dir.to_owned(),
             config,
             state: Mutex::new(SharedState {
                 manifest,
                 next_segment: 1,
-                maintaining: false,
-                obs,
+                maintenance: MaintenanceState::Idle,
+                obs: None,
             }),
             idle: Condvar::new(),
         });
@@ -405,7 +473,7 @@ impl BinaryStore {
             windows_written: 0,
             payload: Vec::with_capacity(256),
             frame: Vec::with_capacity(256),
-            bytes_written,
+            bytes_written: None,
         };
         {
             let state = store.shared.state.lock().expect("store state");
@@ -424,42 +492,63 @@ impl BinaryStore {
         binfmt::append_frame(kind, &self.payload, &mut self.frame);
         self.writer.write_all(&self.frame)?;
         self.active_bytes += self.frame.len() as u64;
-        self.bytes_written.add(self.frame.len() as u64);
+        self.bytes_written
+            .get_or_insert_with(|| tpupoint_obs::metrics().counter("store.bytes_written"))
+            .add(self.frame.len() as u64);
         if self.active_bytes >= self.shared.config.segment_bytes {
             self.rotate(true)?;
         }
         Ok(())
     }
 
-    /// Seals the active segment: flush, rename `.part` → `.bin`, commit
-    /// it to the manifest's segment list. Rotation is also an
+    /// Seals the active segment: flush, commit it to the manifest's
+    /// segment list, then rename `.part` → `.bin`. Rotation is also an
     /// acknowledgement point — everything in a sealed segment is durable.
+    ///
+    /// The manifest commit deliberately comes *before* the rename: a
+    /// crash between the two leaves a manifest-listed segment still under
+    /// its part name, which recovery reads in its place. The reverse
+    /// order would leave a renamed-but-unnamed segment full of
+    /// acknowledged records that the orphan rule (unnamed `.bin` files
+    /// are uncommitted compaction outputs) deliberately ignores.
     fn rotate(&mut self, open_next: bool) -> io::Result<()> {
         self.writer.flush()?;
         let sealed_name = segment_name(self.active_index);
-        std::fs::rename(&self.active_path, self.shared.dir.join(&sealed_name))?;
         let meta = SegmentMeta {
-            name: sealed_name,
+            name: sealed_name.clone(),
             steps: self.active_steps,
             windows: self.active_windows,
             bytes: self.active_bytes,
         };
-        self.active_steps = 0;
-        self.active_windows = 0;
-        self.active_bytes = 0;
         {
             let mut state = self.shared.state.lock().expect("store state");
             state.manifest.segments.push(meta);
             state.manifest.steps_flushed = self.steps_written;
             state.manifest.windows_flushed = self.windows_written;
             self.shared.write_manifest(&state.manifest)?;
-            state.obs.segments.set(state.manifest.segments.len() as f64);
-            if open_next {
+            let segments = state.manifest.segments.len() as f64;
+            state.obs().segments.set(segments);
+        }
+        if let Err(err) = std::fs::rename(&self.active_path, self.shared.dir.join(&sealed_name)) {
+            // Roll the commit back so a store that keeps running after
+            // the error never appends to a segment the manifest already
+            // lists; the `.part` stays readable as the active stream.
+            let mut state = self.shared.state.lock().expect("store state");
+            state.manifest.segments.pop();
+            let _ = self.shared.write_manifest(&state.manifest);
+            let segments = state.manifest.segments.len() as f64;
+            state.obs().segments.set(segments);
+            return Err(err);
+        }
+        self.active_steps = 0;
+        self.active_windows = 0;
+        self.active_bytes = 0;
+        if open_next {
+            {
+                let mut state = self.shared.state.lock().expect("store state");
                 self.active_index = state.next_segment;
                 state.next_segment += 1;
             }
-        }
-        if open_next {
             self.active_path = self.shared.dir.join(format!(
                 "{SEGMENT_PREFIX}{:06}{PART_EXT}",
                 self.active_index
@@ -473,10 +562,12 @@ impl BinaryStore {
     }
 
     /// Recovers everything salvageable from a binary record directory:
-    /// each manifest-listed segment's valid frame prefix, plus the torn
-    /// active `.part` stream of a crashed writer. Segment files the
-    /// manifest does not name are ignored — they are uncommitted
-    /// compaction leftovers.
+    /// each manifest-listed segment's valid frame prefix (falling back to
+    /// its still-present `.part` when a crash interrupted the sealing
+    /// rename), plus the torn active `.part` stream of a crashed writer.
+    /// Segment files the manifest does not name are ignored — they are
+    /// uncommitted compaction leftovers whose records the listed inputs
+    /// still hold.
     ///
     /// # Errors
     ///
@@ -505,8 +596,26 @@ impl BinaryStore {
             }
         };
         let mut found_any = manifest.is_some();
+        // Part files read in place of a listed segment, excluded from the
+        // active-part scan below so their records are not counted twice.
+        let mut consumed_parts: Vec<String> = Vec::new();
         for meta in &metas {
-            match std::fs::read(dir.join(&meta.name)) {
+            // A listed segment may still sit under its `.part` name:
+            // `rotate` commits the manifest *before* the sealing rename,
+            // so a crash between the two leaves exactly this state. The
+            // part file holds the full flushed segment — read it in the
+            // missing `.bin`'s place instead of orphaning its records.
+            let bytes = std::fs::read(dir.join(&meta.name)).or_else(|err| {
+                let part_name = format!("{}{}", meta.name, crate::store::PART_SUFFIX);
+                match std::fs::read(dir.join(&part_name)) {
+                    Ok(bytes) => {
+                        consumed_parts.push(part_name);
+                        Ok(bytes)
+                    }
+                    Err(_) => Err(err),
+                }
+            });
+            match bytes {
                 Ok(bytes) => {
                     found_any = true;
                     let read = binfmt::read_segment(&bytes);
@@ -530,6 +639,7 @@ impl BinaryStore {
             }
         }
         let mut parts = list_segment_files(dir, PART_EXT)?;
+        parts.retain(|name| !consumed_parts.contains(name));
         parts.sort();
         for name in parts {
             let Ok(bytes) = std::fs::read(dir.join(&name)) else {
@@ -635,10 +745,11 @@ impl RecordStore for BinaryStore {
     }
 
     fn use_registry(&mut self, metrics: &tpupoint_obs::Metrics) {
-        self.bytes_written = metrics.counter("store.bytes_written");
+        self.bytes_written = Some(metrics.counter("store.bytes_written"));
         let mut state = self.shared.state.lock().expect("store state");
-        state.obs = StoreObs::in_registry(metrics);
-        state.obs.segments.set(state.manifest.segments.len() as f64);
+        let segments = state.manifest.segments.len() as f64;
+        let obs = state.obs.insert(StoreObs::in_registry(metrics));
+        obs.segments.set(segments);
     }
 }
 
@@ -957,6 +1068,120 @@ mod tests {
             );
             std::fs::remove_dir_all(&dir).unwrap();
         }
+    }
+
+    #[test]
+    fn seal_steals_a_queued_maintenance_pass_instead_of_waiting() {
+        // Regression for a pipelined-seal deadlock: a background pass
+        // scheduled by rotation could sit in the pool FIFO behind the
+        // drain task that runs seal(); waiting for it on the condvar
+        // blocked the only worker that could ever run it. Seal must
+        // instead steal the queued pass and run it inline.
+        let dir = tmp_dir("steal");
+        let metrics = tpupoint_obs::Metrics::new();
+        let mut store = BinaryStore::with_config(
+            &dir,
+            BinaryStoreConfig {
+                compact_segments: 3,
+                ..tiny_config()
+            },
+        )
+        .unwrap();
+        store.use_registry(&metrics);
+        write_run(&mut store, 60, 0);
+        // Reconstruct the deadlock state: a pass marked Queued whose pool
+        // job has not (and in the deadlock, never could have) started.
+        store.shared.state.lock().unwrap().maintenance = MaintenanceState::Queued;
+        store.seal().unwrap(); // would hang forever without the steal
+        let compactions_after_seal = metrics
+            .snapshot()
+            .counters
+            .get("store.compactions")
+            .copied()
+            .unwrap_or(0);
+        assert!(compactions_after_seal >= 1, "stolen pass ran inline");
+        // The stale pool job eventually fires and must no-op: the slot it
+        // was queued for is gone.
+        store.shared.run_queued();
+        assert_eq!(
+            metrics
+                .snapshot()
+                .counters
+                .get("store.compactions")
+                .copied()
+                .unwrap_or(0),
+            compactions_after_seal,
+            "a stolen pass must not run twice"
+        );
+        assert_eq!(
+            store.shared.state.lock().unwrap().maintenance,
+            MaintenanceState::Idle
+        );
+        let summary = BinaryStore::recover(&dir).unwrap();
+        assert_eq!(summary.steps.len(), 60);
+        assert_eq!(summary.missing_acknowledged(), (0, 0));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn listed_segment_still_under_part_name_recovers_without_loss() {
+        // The crash window inside rotate(): manifest committed, sealing
+        // rename not yet executed. The listed segment is still a `.part`
+        // on disk; recovery must read it in place — and only once.
+        let dir = tmp_dir("rotate-window");
+        let mut store = BinaryStore::with_config(&dir, tiny_config()).unwrap();
+        write_run(&mut store, 40, 0);
+        store.flush().unwrap();
+        std::mem::forget(store); // kill -9
+        let manifest = JsonlStore::load_manifest(&dir).unwrap().unwrap();
+        let last = manifest.segments.last().unwrap();
+        assert!(last.steps > 0, "the reverted segment holds flushed records");
+        std::fs::rename(
+            dir.join(&last.name),
+            dir.join(format!("{}.part", last.name)),
+        )
+        .unwrap();
+
+        let summary = BinaryStore::recover(&dir).unwrap();
+        assert_eq!(
+            summary.missing_acknowledged(),
+            (0, 0),
+            "acknowledged records in the un-renamed segment must survive"
+        );
+        let steps: Vec<u64> = summary.steps.iter().map(|r| r.step).collect();
+        assert_eq!(
+            steps,
+            (0..40).collect::<Vec<_>>(),
+            "the fallback part read must not duplicate into the part scan"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn construction_registers_no_series_before_registry_rebind() {
+        let dir = tmp_dir("lazy-obs");
+        let mut store = BinaryStore::with_config(&dir, tiny_config()).unwrap();
+        // Creating a handle is the only way a series reaches a registry,
+        // so no handle may exist yet: a fleet job rebinds right after
+        // construction, and the global registry must not gain a spurious
+        // `store.segments` sentinel (or zeroed counters) in the meantime.
+        assert!(store.shared.state.lock().unwrap().obs.is_none());
+        assert!(store.bytes_written.is_none());
+        let metrics = tpupoint_obs::Metrics::new();
+        store.use_registry(&metrics);
+        write_run(&mut store, 10, 1);
+        store.seal().unwrap();
+        let snapshot = metrics.snapshot();
+        assert!(snapshot.gauges.contains_key("store.segments"));
+        assert!(
+            snapshot
+                .counters
+                .get("store.bytes_written")
+                .copied()
+                .unwrap_or(0)
+                > 0
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -444,6 +444,82 @@ fn compaction_kill_points_through_the_public_recover_path() {
     }
 }
 
+#[test]
+fn crash_between_manifest_commit_and_sealing_rename_loses_nothing() {
+    // rotate() commits the sealed segment to the manifest BEFORE the
+    // `.part` → `.bin` rename; a kill -9 between the two leaves a listed
+    // segment still under its part name. The auto-detecting recovery
+    // path must read it in place — every record in it was acknowledged.
+    let dir = tmp_dir("rotate-window");
+    let mut store = BinaryStore::with_config(
+        &dir,
+        BinaryStoreConfig {
+            segment_bytes: 512,
+            background: false,
+            ..BinaryStoreConfig::default()
+        },
+    )
+    .unwrap();
+    for n in 0..50 {
+        store.put_step(&step(n)).unwrap();
+    }
+    store.flush().unwrap();
+    std::mem::forget(store); // kill -9
+    let manifest = recover_records(&dir).unwrap().manifest.unwrap();
+    let last = manifest.segments.last().unwrap();
+    std::fs::rename(
+        dir.join(&last.name),
+        dir.join(format!("{}.part", last.name)),
+    )
+    .unwrap();
+
+    let summary = recover_records(&dir).unwrap();
+    assert_eq!(summary.missing_acknowledged(), (0, 0));
+    let steps: Vec<u64> = summary.steps.iter().map(|r| r.step).collect();
+    assert_eq!(
+        steps,
+        (0..50).collect::<Vec<_>>(),
+        "no loss, no duplication"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn pipelined_seal_with_background_maintenance_completes() {
+    // Regression guard for the seal-vs-maintenance pool deadlock: seal()
+    // runs on a pool worker (inside the drain task) while rotations have
+    // queued a background maintenance pass; seal must steal the queued
+    // pass instead of waiting for a job that may sit behind it in the
+    // pool FIFO. A regression here hangs the test rather than failing an
+    // assert.
+    let pool = Arc::new(ThreadPool::new(2));
+    let dir = tmp_dir("pipe-seal-maint");
+    let store = BinaryStore::with_config(
+        &dir,
+        BinaryStoreConfig {
+            segment_bytes: 512,
+            compact_segments: 3,
+            background: true,
+            ..BinaryStoreConfig::default()
+        },
+    )
+    .unwrap();
+    let pipeline = SealPipeline::on_pool(Box::new(store), PipelineConfig::default(), pool);
+    for n in 0..200 {
+        pipeline.put_step(&step(n));
+    }
+    pipeline.seal();
+    pipeline.wait_idle();
+    assert!(pipeline.take_errors().is_empty());
+
+    let summary = recover_records(&dir).unwrap();
+    assert_eq!(summary.missing_acknowledged(), (0, 0));
+    let steps: Vec<u64> = summary.steps.iter().map(|r| r.step).collect();
+    assert_eq!(steps, (0..200).collect::<Vec<_>>());
+    assert!(summary.manifest.unwrap().sealed);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 proptest! {
     /// Whatever the fault rate, seed, or record count: every put the
     /// retry layer acknowledges is delivered (in order) once the backing
