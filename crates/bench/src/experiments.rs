@@ -1257,25 +1257,35 @@ fn bench_simcore(out_dir: &Path) -> io::Result<String> {
 
 /// Multi-job fleet benchmark: the same (workload, seed) grid as a
 /// sequential chain of solo batch profiles and as one fleet of concurrent
-/// serve-style jobs behind a single scrape plane. Jobs are submitted over
-/// the real `POST /jobs` control API while two scraper threads hammer
-/// `GET /metrics` and `GET /healthz` for the whole run; resident memory
-/// is sampled throughout. The reproduction targets: every job's series
-/// stays separately labeled on the one scrape plane, the plane keeps
-/// serving mid-run, memory stays bounded, and each job's sealed JSONL is
-/// **byte-identical** to its solo run. The end-to-end wall is reported
-/// against the sequential chain alongside the host's core count — on a
-/// single-core host the 8 sim threads only interleave, so the honest
-/// ceiling there is parity minus contention, not a speedup. Writes
-/// `BENCH_fleet.json`.
+/// serve-style jobs behind a single scrape plane, at dozens-of-tenants
+/// scale with churn. 16 steady cells are submitted over the real
+/// `POST /jobs` control API (each its own tenant) and 12 churn jobs are
+/// submitted and then cancelled in waves mid-run, while two scraper
+/// threads hammer `GET /metrics` and `GET /healthz` on a 2 ms cadence
+/// for the whole run, collecting every scrape latency; resident memory
+/// is sampled throughout against an explicit `--fleet-memory-mib`-style
+/// budget. The reproduction targets: every job's series stays separately
+/// labeled on the one scrape plane, the plane keeps serving under churn
+/// (p99 scrape latency within bound — scrapes read published snapshots,
+/// never a live job registry), memory stays under the configured budget,
+/// and each steady job's sealed JSONL is **byte-identical** to its solo
+/// run. The end-to-end wall is reported against the sequential chain
+/// alongside the host's core count — on a single-core host the sim
+/// threads only interleave, so the honest ceiling there is parity minus
+/// contention, not a speedup. Writes `BENCH_fleet.json`.
 fn bench_fleet(out_dir: &Path) -> io::Result<String> {
     use std::io::{Read, Write};
     use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-    use std::sync::Arc;
+    use std::sync::{Arc, Mutex};
     use std::time::Instant;
 
-    const JOBS: u64 = 8;
-    const SCALE: f64 = 0.35;
+    const STEADY_JOBS: u64 = 16;
+    const CHURN_WAVES: u64 = 3;
+    const CHURN_PER_WAVE: u64 = 4;
+    const SCALE: f64 = 0.15;
+    const CHURN_SCALE: f64 = 0.05;
+    const MEMORY_BUDGET_MIB: u64 = 1024;
+    const P99_BOUND_US: u64 = 250_000;
     let id = WorkloadId::DcganMnist;
     let config = |seed: u64| {
         build(
@@ -1299,10 +1309,10 @@ fn bench_fleet(out_dir: &Path) -> io::Result<String> {
             .unwrap_or(0)
     };
 
-    // Baseline: the cells one after another as solo batch profiles — the
-    // byte-identity references and the sequential wall.
+    // Baseline: the steady cells one after another as solo batch profiles
+    // — the byte-identity references and the sequential wall.
     let t = Instant::now();
-    for seed in 0..JOBS {
+    for seed in 0..STEADY_JOBS {
         TpuPoint::builder()
             .analyzer(true)
             .output_dir(tmp.join("solo").join(format!("cell-{seed}")))
@@ -1311,8 +1321,9 @@ fn bench_fleet(out_dir: &Path) -> io::Result<String> {
     }
     let solo_us = us(t);
 
-    // The fleet: all cells admitted through the control API, running
-    // concurrently at batch speed under one scrape plane.
+    // The fleet: every steady cell admitted through the control API under
+    // its own tenant, running concurrently at batch speed behind one
+    // scrape plane, with an explicit memory budget.
     let fleet_dir = tmp.join("fleet");
     let session = TpuPoint::builder()
         .analyzer(true)
@@ -1320,10 +1331,12 @@ fn bench_fleet(out_dir: &Path) -> io::Result<String> {
         .serve("127.0.0.1:0")
         .serve_pace_us(0)
         .fleet_limits(tpupoint::runtime::FleetLimits {
-            max_running: JOBS as usize,
-            max_queued: 64,
-            per_tenant_active: 2 * JOBS as usize,
+            max_running: 8,
+            max_queued: 256,
+            per_tenant_active: 4,
+            ..tpupoint::runtime::FleetLimits::default()
         })
+        .fleet_memory_mib(MEMORY_BUDGET_MIB)
         .build()
         .serve_fleet()
         .map_err(|e| io::Error::other(format!("fleet: {e}")))?;
@@ -1337,25 +1350,24 @@ fn bench_fleet(out_dir: &Path) -> io::Result<String> {
     };
 
     // Scrapers ride along for the whole fleet run: real HTTP clients
-    // pulling the multi-job exposition and health while jobs execute.
+    // pulling the multi-job exposition and health on a 2 ms cadence
+    // while jobs execute and churn, recording every scrape's latency.
     let done = Arc::new(AtomicBool::new(false));
-    let scrapes = Arc::new(AtomicU64::new(0));
-    let max_scrape_us = Arc::new(AtomicU64::new(0));
+    let latencies = Arc::new(Mutex::new(Vec::<u64>::new()));
     let peak_rss = Arc::new(AtomicU64::new(rss_bytes()));
     let scrapers: Vec<_> = (0..2)
         .map(|_| {
             let done = Arc::clone(&done);
-            let scrapes = Arc::clone(&scrapes);
-            let max_scrape_us = Arc::clone(&max_scrape_us);
+            let latencies = Arc::clone(&latencies);
             let peak_rss = Arc::clone(&peak_rss);
             std::thread::spawn(move || {
                 while !done.load(Ordering::SeqCst) {
                     let t = Instant::now();
                     let metrics = http("GET /metrics HTTP/1.1\r\nHost: b\r\n\r\n");
-                    max_scrape_us.fetch_max(us(t) as u64, Ordering::SeqCst);
+                    let elapsed = us(t) as u64;
                     let _ = http("GET /healthz HTTP/1.1\r\nHost: b\r\n\r\n");
                     if metrics.is_ok() {
-                        scrapes.fetch_add(1, Ordering::SeqCst);
+                        latencies.lock().unwrap().push(elapsed);
                     }
                     peak_rss.fetch_max(rss_bytes(), Ordering::SeqCst);
                     std::thread::sleep(std::time::Duration::from_millis(2));
@@ -1366,9 +1378,9 @@ fn bench_fleet(out_dir: &Path) -> io::Result<String> {
 
     let rss_before = rss_bytes();
     let t = Instant::now();
-    for seed in 0..JOBS {
+    for seed in 0..STEADY_JOBS {
         let body = format!(
-            "{{\"workload\": \"{}\", \"id\": \"cell-{seed}\", \"tenant\": \"bench\", \
+            "{{\"workload\": \"{}\", \"id\": \"cell-{seed}\", \"tenant\": \"tenant-{seed}\", \
              \"scale\": {SCALE}, \"seed\": {seed}}}",
             id.label()
         );
@@ -1378,6 +1390,32 @@ fn bench_fleet(out_dir: &Path) -> io::Result<String> {
         ))?;
         assert!(response.starts_with("HTTP/1.1 201"), "{response}");
     }
+    // Churn storm: waves of short-lived tenants admitted and cancelled
+    // while the steady cells execute — the admission queue, the cancel
+    // path, and the scrape plane all take the hit at once.
+    for wave in 0..CHURN_WAVES {
+        for i in 0..CHURN_PER_WAVE {
+            let body = format!(
+                "{{\"workload\": \"{}\", \"id\": \"churn-{wave}-{i}\", \
+                 \"tenant\": \"churn-{wave}-{i}\", \"scale\": {CHURN_SCALE}, \
+                 \"seed\": {}}}",
+                id.label(),
+                100 + wave * CHURN_PER_WAVE + i
+            );
+            let response = http(&format!(
+                "POST /jobs HTTP/1.1\r\nHost: b\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            ))?;
+            assert!(response.starts_with("HTTP/1.1 201"), "{response}");
+        }
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        for i in 0..CHURN_PER_WAVE {
+            let response = http(&format!(
+                "DELETE /jobs/churn-{wave}-{i} HTTP/1.1\r\nHost: b\r\n\r\n"
+            ))?;
+            assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+        }
+    }
     session.wait_jobs_idle();
     let fleet_us = us(t);
     done.store(true, Ordering::SeqCst);
@@ -1385,32 +1423,52 @@ fn bench_fleet(out_dir: &Path) -> io::Result<String> {
         let _ = scraper.join();
     }
 
-    // Every job completed, separately labeled on the one exposition.
+    // Every steady job completed, separately labeled on the one
+    // exposition; churn jobs all settled in a legal terminal phase.
     let scrape = session.scrape();
     let mut steps_recorded = 0;
     for job in session.list() {
-        assert_eq!(
-            job.phase.as_str(),
-            "completed",
-            "{}: {:?}",
-            job.id,
-            job.error
-        );
-        steps_recorded += job.steps_completed;
+        if job.id.starts_with("cell-") {
+            assert_eq!(
+                job.phase.as_str(),
+                "completed",
+                "{}: {:?}",
+                job.id,
+                job.error
+            );
+            steps_recorded += job.steps_completed;
+        } else {
+            assert!(
+                matches!(job.phase.as_str(), "completed" | "cancelled"),
+                "{}: {} ({:?})",
+                job.id,
+                job.phase.as_str(),
+                job.error
+            );
+        }
         assert!(
             scrape.contains(&format!("job=\"{}\"", job.id)),
             "missing series for {}:\n{scrape}",
             job.id
         );
     }
+    let total_jobs = session.list().len() as u64;
+    assert!(total_jobs >= 24, "only {total_jobs} jobs in the storm");
     assert!(scrape.contains("job=\"fleet\""), "aggregate missing");
+    assert!(
+        scrape.contains("tpupoint_fleet_memory_budget_bytes"),
+        "budget gauge missing"
+    );
     let header_count = scrape
         .matches("# TYPE tpupoint_profiler_windows_sealed")
         .count();
-    assert_eq!(header_count, 1, "one header per family across {JOBS} jobs");
+    assert_eq!(
+        header_count, 1,
+        "one header per family across {total_jobs} jobs"
+    );
 
     // Sharded stores match the solo references byte for byte.
-    for seed in 0..JOBS {
+    for seed in 0..STEADY_JOBS {
         for file in ["steps.jsonl", "windows.jsonl"] {
             let solo = std::fs::read(
                 tmp.join("solo")
@@ -1437,22 +1495,30 @@ fn bench_fleet(out_dir: &Path) -> io::Result<String> {
         .wait()
         .map_err(|e| io::Error::other(format!("drain: {e}")))?;
 
+    let budget_bytes = MEMORY_BUDGET_MIB * 1024 * 1024;
     let rss_growth = peak_rss.load(Ordering::SeqCst).saturating_sub(rss_before);
-    // "Bounded" with a wide margin: 8 concurrent sim-scale jobs plus the
-    // scrape plane must stay far under a gigabyte of extra residency.
     assert!(
-        rss_growth < 1 << 30,
-        "fleet leaked: RSS grew by {rss_growth} bytes"
+        rss_growth < budget_bytes,
+        "fleet overran its memory budget: RSS grew by {rss_growth} of {budget_bytes} bytes"
     );
-    let scrape_count = scrapes.load(Ordering::SeqCst);
-    assert!(scrape_count > 0, "no scrape ever succeeded mid-run");
+    let mut sorted = latencies.lock().unwrap().clone();
+    sorted.sort_unstable();
+    assert!(!sorted.is_empty(), "no scrape ever succeeded mid-run");
+    let percentile = |q: f64| sorted[((sorted.len() - 1) as f64 * q).round() as usize];
+    let (p50, p99, max) = (percentile(0.5), percentile(0.99), sorted[sorted.len() - 1]);
+    assert!(
+        p99 < P99_BOUND_US,
+        "p99 scrape latency {p99} us blew the {P99_BOUND_US} us bound"
+    );
 
     let speedup = solo_us / fleet_us.max(1.0);
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let doc = serde_json::json!({
         "workload": id.label(),
         "scale": SCALE,
-        "jobs": JOBS,
+        "jobs": total_jobs,
+        "steady_jobs": STEADY_JOBS,
+        "churn_jobs": CHURN_WAVES * CHURN_PER_WAVE,
         "steps_recorded": steps_recorded,
         "end_to_end": {
             "solo_sequential_us": solo_us,
@@ -1461,13 +1527,18 @@ fn bench_fleet(out_dir: &Path) -> io::Result<String> {
             "host_cores": cores,
         },
         "scrape_plane": {
-            "scrapes_served_mid_run": scrape_count,
-            "max_scrape_us": max_scrape_us.load(Ordering::SeqCst),
+            "scrapes_served_mid_run": sorted.len(),
+            "scrape_p50_us": p50,
+            "scrape_p99_us": p99,
+            "max_scrape_us": max,
+            "scrape_p99_bound_us": P99_BOUND_US,
+            "scrape_p99_within_bound": true,
             "one_header_per_family": true,
         },
         "memory": {
             "rss_growth_bytes": rss_growth,
-            "bound_bytes": 1u64 << 30,
+            "budget_bytes": budget_bytes,
+            "within_budget": true,
         },
         "byte_identical_to_solo": true,
     });
@@ -1477,15 +1548,20 @@ fn bench_fleet(out_dir: &Path) -> io::Result<String> {
     std::fs::remove_dir_all(&tmp)?;
 
     Ok(format!(
-        "Fleet benchmark ({JOBS} concurrent {} jobs, one scrape plane, {cores} core(s)):\n  \
+        "Fleet benchmark ({total_jobs} {} jobs: {STEADY_JOBS} steady + {} churned, \
+         one scrape plane, {cores} core(s)):\n  \
          solo chain  {:>9.1} ms -> fleet {:>9.1} ms  ({speedup:.2}x)\n  \
-         {} mid-run scrapes served (max {:.1} ms), RSS growth {:.1} MiB\n  \
-         {steps_recorded} steps recorded, every job byte-identical to its solo run\n",
+         {} mid-run scrapes served (p50 {:.1} ms, p99 {:.1} ms, max {:.1} ms), \
+         RSS growth {:.1} MiB of {MEMORY_BUDGET_MIB} MiB budget\n  \
+         {steps_recorded} steps recorded, every steady job byte-identical to its solo run\n",
         id.label(),
+        CHURN_WAVES * CHURN_PER_WAVE,
         solo_us / 1e3,
         fleet_us / 1e3,
-        scrape_count,
-        max_scrape_us.load(Ordering::SeqCst) as f64 / 1e3,
+        sorted.len(),
+        p50 as f64 / 1e3,
+        p99 as f64 / 1e3,
+        max as f64 / 1e3,
         rss_growth as f64 / (1024.0 * 1024.0),
     ))
 }

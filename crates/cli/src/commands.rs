@@ -87,7 +87,8 @@ USAGE:
 
   tpupoint serve --fleet [--out DIR] [--metrics-listen HOST:PORT]
                  [--pace-us N] [--max-running N] [--max-queued N]
-                 [--per-tenant N] [--store-retries N]
+                 [--per-tenant N] [--fleet-memory-mib N]
+                 [--store-retries N]
                  [--store-format jsonl|binary] [--store-segment-kib N]
                  [--store-retain-mib N] [--recorded-backoff]
       Run the multi-job fleet daemon: one scrape plane over N concurrent
@@ -106,7 +107,14 @@ USAGE:
         POST   /quit       drain every job gracefully and exit
       --max-running bounds concurrent jobs (default 4), --max-queued the
       admission queue (default 64), --per-tenant each tenant's active
-      jobs (default 8). Each job's sealed JSONL is byte-identical to a
+      jobs (default 8). --fleet-memory-mib caps the fleet's memory
+      budget (default 0 = unbounded): admissions past the budget are
+      shed with 429, each admitted job's seal-queue and spill caps are
+      sized from its share, and the budget is exported as
+      fleet.memory_budget_bytes / fleet.memory_inuse_bytes. Scrapes are
+      served from per-job published snapshots (refreshed at seal points
+      and on a ~200 ms cadence), so /metrics never blocks on a live
+      job. Each job's sealed JSONL is byte-identical to a
       solo profile run of the same workload, scale, and seed. Under
       --store-format binary the --store-retain-mib budget applies per
       job, bounding every tenant's record footprint.
@@ -319,6 +327,7 @@ fn serve(argv: &[String]) -> Result<(), String> {
         "max-running",
         "max-queued",
         "per-tenant",
+        "fleet-memory-mib",
     ]);
     options.extend(STORE_OPTIONS);
     let args = Args::parse(
@@ -397,10 +406,12 @@ fn serve(argv: &[String]) -> Result<(), String> {
 fn serve_fleet(args: &Args) -> Result<(), String> {
     let out: PathBuf = args.get("out").unwrap_or("tpupoint-fleet").into();
     let listen = args.get("metrics-listen").unwrap_or("127.0.0.1:9090");
+    let memory_mib: u64 = args.get_or("fleet-memory-mib", 0)?;
     let limits = tpupoint::runtime::FleetLimits {
         max_running: args.get_or("max-running", 4)?,
         max_queued: args.get_or("max-queued", 64)?,
         per_tenant_active: args.get_or("per-tenant", 8)?,
+        memory_budget_bytes: memory_mib * 1024 * 1024,
     };
     let builder = TpuPoint::builder()
         .analyzer(true)

@@ -181,6 +181,32 @@ impl LabeledSnapshot {
     }
 }
 
+/// Borrowed-snapshot variant of [`LabeledSnapshot`]: the labels are
+/// owned, the registry view is not. The fleet's scrape plane renders its
+/// *published* snapshots (shared `Arc`s swapped by the jobs themselves)
+/// through this type, so a scrape never clones a snapshot just to
+/// exposition it.
+#[derive(Debug, Clone)]
+pub struct LabeledSnapshotRef<'a> {
+    /// Constant labels stamped on every series from this snapshot.
+    pub labels: Vec<(String, String)>,
+    /// The borrowed registry view.
+    pub snapshot: &'a MetricsSnapshot,
+}
+
+impl<'a> LabeledSnapshotRef<'a> {
+    /// Convenience constructor from borrowed label pairs.
+    pub fn new(labels: &[(&str, &str)], snapshot: &'a MetricsSnapshot) -> LabeledSnapshotRef<'a> {
+        LabeledSnapshotRef {
+            labels: labels
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+                .collect(),
+            snapshot,
+        }
+    }
+}
+
 /// Renders several labeled registries (the fleet's per-job registries
 /// plus the process-wide one) as a single Prometheus exposition.
 ///
@@ -192,6 +218,19 @@ impl LabeledSnapshot {
 /// and `sim.lane_events.*` dotted-name families keep their `phase=`/
 /// `lane=` label treatment.
 pub fn to_prometheus_multi(groups: &[LabeledSnapshot]) -> String {
+    let borrowed: Vec<LabeledSnapshotRef<'_>> = groups
+        .iter()
+        .map(|group| LabeledSnapshotRef {
+            labels: group.labels.clone(),
+            snapshot: &group.snapshot,
+        })
+        .collect();
+    to_prometheus_multi_ref(&borrowed)
+}
+
+/// [`to_prometheus_multi`] over borrowed snapshots; see
+/// [`LabeledSnapshotRef`].
+pub fn to_prometheus_multi_ref(groups: &[LabeledSnapshotRef<'_>]) -> String {
     type Labels = Vec<(String, String)>;
     type Series = Vec<(Labels, String)>;
     type HistSeries = Vec<(Labels, crate::metrics::HistogramSnapshot)>;
@@ -351,6 +390,13 @@ fn help_text(name: &str) -> String {
         "store.bytes_reclaimed" => "Bytes of disk freed by segment maintenance: compaction merges (net) plus retention-retired segments",
         "store.bytes_written" => "Bytes of encoded frames written to binary segment files",
         "store.records_retired" => "Acknowledged records retired (accounted, not lost) by the retention budget",
+        "fleet.jobs_running" => "Fleet jobs currently executing on their job threads",
+        "fleet.jobs_queued" => "Fleet jobs admitted and waiting for a running slot",
+        "fleet.jobs_total" => "Fleet jobs ever admitted, terminal phases included",
+        "fleet.memory_budget_bytes" => "Configured fleet-wide memory budget; 0 means unbounded",
+        "fleet.memory_inuse_bytes" => "Admission-accounted memory of active fleet jobs (per-job floor times active jobs)",
+        "fleet.poisoned" => "Poisoned-lock recoveries performed by the fleet orchestrator",
+        "fleet.snapshot_publishes" => "Per-job metrics snapshots published into the scrape plane's slots",
         "audit.gaps" => "Coverage gaps found by the window audit",
         "audit.overlaps" => "Window overlaps found by the window audit",
         "audit.unobserved_fraction" => "Fraction of the profiled span not covered by any window",

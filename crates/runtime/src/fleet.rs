@@ -31,12 +31,21 @@ use crate::live::LiveStatus;
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 
 /// Job id reserved for the fleet-wide aggregate series on `/metrics`;
 /// admitting a job under it would collide with those labels.
 pub const AGGREGATE_JOB_ID: &str = "fleet";
+
+/// Resident-memory floor charged per active job by admission accounting:
+/// the irreducible window/analyzer/reservoir state a job holds even with
+/// its seal-queue and spill caps squeezed to their minimums. The
+/// [`FleetLimits::memory_budget_bytes`] admission check and the
+/// `fleet.memory_inuse_bytes` gauge both count in units of this floor;
+/// the *variable* part of a job's footprint (queue depths) is sized down
+/// separately from the same budget by the serving layer.
+pub const JOB_MEMORY_FLOOR_BYTES: u64 = 32 * 1024 * 1024;
 
 /// Admission and concurrency bounds of a [`Fleet`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,6 +56,13 @@ pub struct FleetLimits {
     pub max_queued: usize,
     /// Active (queued + running) jobs any one tenant may hold.
     pub per_tenant_active: usize,
+    /// Fleet-wide memory budget in bytes; `0` (the default) is
+    /// unbounded. Admission is shed ([`AdmitError::MemoryBudget`]) once
+    /// one more active job would push the fleet past the budget at
+    /// [`JOB_MEMORY_FLOOR_BYTES`] per job, and the serving layer sizes
+    /// each job's seal-queue high-water and spill caps from the same
+    /// budget divided by the admitted-job count.
+    pub memory_budget_bytes: u64,
 }
 
 impl Default for FleetLimits {
@@ -55,6 +71,7 @@ impl Default for FleetLimits {
             max_running: 4,
             max_queued: 64,
             per_tenant_active: 8,
+            memory_budget_bytes: 0,
         }
     }
 }
@@ -200,6 +217,15 @@ pub enum AdmitError {
         /// The configured bound.
         limit: usize,
     },
+    /// One more active job would exceed
+    /// [`FleetLimits::memory_budget_bytes`] at the
+    /// [`JOB_MEMORY_FLOOR_BYTES`] accounting floor.
+    MemoryBudget {
+        /// Active (queued + running) jobs already admitted.
+        active: usize,
+        /// The configured budget, bytes.
+        budget_bytes: u64,
+    },
     /// The fleet is draining and admits nothing new.
     Closed,
 }
@@ -218,6 +244,14 @@ impl fmt::Display for AdmitError {
             AdmitError::TenantQuota { tenant, limit } => {
                 write!(f, "tenant {tenant:?} is at its quota of {limit} active jobs")
             }
+            AdmitError::MemoryBudget {
+                active,
+                budget_bytes,
+            } => write!(
+                f,
+                "fleet memory budget exhausted: one more job past {active} active would exceed \
+                 {budget_bytes} bytes at the {JOB_MEMORY_FLOOR_BYTES}-byte per-job floor"
+            ),
             AdmitError::Closed => f.write_str("fleet is draining; no new jobs admitted"),
         }
     }
@@ -273,6 +307,40 @@ struct FleetInner {
     settled: Condvar,
 }
 
+impl FleetInner {
+    /// Locks the fleet state, recovering from poisoning: a panic inside a
+    /// holder (a buggy runner unwinding through `settle`, say) must not
+    /// take the whole control API down with it — every field the lock
+    /// guards is kept valid at each await point, so the recovered view is
+    /// safe to keep serving. Each recovery is counted on the process-wide
+    /// `fleet.poisoned` counter.
+    fn state(&self) -> MutexGuard<'_, FleetState> {
+        self.state.lock().unwrap_or_else(|poisoned| {
+            tpupoint_obs::metrics().counter("fleet.poisoned").inc();
+            poisoned.into_inner()
+        })
+    }
+
+    /// [`Condvar::wait`] with the same poisoning recovery as
+    /// [`FleetInner::state`].
+    fn wait_settled<'a>(&self, guard: MutexGuard<'a, FleetState>) -> MutexGuard<'a, FleetState> {
+        self.settled.wait(guard).unwrap_or_else(|poisoned| {
+            tpupoint_obs::metrics().counter("fleet.poisoned").inc();
+            poisoned.into_inner()
+        })
+    }
+}
+
+/// Best-effort text of a caught panic payload (`panic!` with a string
+/// literal or a formatted message covers practically every real panic).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&'static str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("opaque panic payload")
+}
+
 /// The job orchestrator; see the module docs.
 pub struct Fleet {
     inner: Arc<FleetInner>,
@@ -280,7 +348,7 @@ pub struct Fleet {
 
 impl fmt::Debug for Fleet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let state = self.inner.state.lock().expect("fleet state");
+        let state = self.inner.state();
         f.debug_struct("Fleet")
             .field("jobs", &state.jobs.len())
             .field("queued", &state.queue.len())
@@ -293,7 +361,7 @@ impl fmt::Debug for Fleet {
 impl Fleet {
     /// Creates a fleet executing jobs through `runner`.
     pub fn new(limits: FleetLimits, runner: Box<dyn JobRunner>) -> Fleet {
-        Fleet {
+        let fleet = Fleet {
             inner: Arc::new(FleetInner {
                 limits,
                 runner,
@@ -306,7 +374,13 @@ impl Fleet {
                 }),
                 settled: Condvar::new(),
             }),
-        }
+        };
+        // Publish the configured bounds immediately: the budget gauge
+        // must be scrapeable before the first submission arrives.
+        let state = fleet.inner.state();
+        fleet.publish_gauges(&state);
+        drop(state);
+        fleet
     }
 
     /// Admits `spec`, queueing it for dispatch.
@@ -316,7 +390,7 @@ impl Fleet {
     /// Refuses over-quota, duplicate, invalid, or post-drain submissions;
     /// see [`AdmitError`].
     pub fn submit(&self, spec: JobSpec) -> Result<(), AdmitError> {
-        let mut state = self.inner.state.lock().expect("fleet state");
+        let mut state = self.inner.state();
         if state.closed {
             return Err(AdmitError::Closed);
         }
@@ -343,6 +417,20 @@ impl Fleet {
                 limit: self.inner.limits.per_tenant_active,
             });
         }
+        let budget = self.inner.limits.memory_budget_bytes;
+        if budget > 0 {
+            let active_total = state
+                .jobs
+                .values()
+                .filter(|j| !j.phase.is_terminal())
+                .count();
+            if (active_total as u64 + 1) * JOB_MEMORY_FLOOR_BYTES > budget {
+                return Err(AdmitError::MemoryBudget {
+                    active: active_total,
+                    budget_bytes: budget,
+                });
+            }
+        }
         let id = spec.id.clone();
         state.jobs.insert(
             id.clone(),
@@ -364,7 +452,7 @@ impl Fleet {
     /// a running job drains gracefully (pacing off, records sealed).
     /// Returns the phase after the request, or `None` for an unknown id.
     pub fn cancel(&self, id: &str) -> Option<JobPhase> {
-        let mut state = self.inner.state.lock().expect("fleet state");
+        let mut state = self.inner.state();
         let entry = state.jobs.get_mut(id)?;
         match entry.phase {
             JobPhase::Queued => {
@@ -385,19 +473,19 @@ impl Fleet {
 
     /// The current view of one job.
     pub fn status(&self, id: &str) -> Option<JobStatus> {
-        let state = self.inner.state.lock().expect("fleet state");
+        let state = self.inner.state();
         state.jobs.get(id).map(JobEntry::status)
     }
 
     /// All jobs, in id order.
     pub fn list(&self) -> Vec<JobStatus> {
-        let state = self.inner.state.lock().expect("fleet state");
+        let state = self.inner.state();
         state.jobs.values().map(JobEntry::status).collect()
     }
 
     /// Active (non-terminal) jobs.
     pub fn active_count(&self) -> usize {
-        let state = self.inner.state.lock().expect("fleet state");
+        let state = self.inner.state();
         state
             .jobs
             .values()
@@ -407,9 +495,9 @@ impl Fleet {
 
     /// Blocks until every admitted job reaches a terminal phase.
     pub fn wait_idle(&self) {
-        let mut state = self.inner.state.lock().expect("fleet state");
+        let mut state = self.inner.state();
         while state.jobs.values().any(|j| !j.phase.is_terminal()) {
-            state = self.inner.settled.wait(state).expect("fleet state");
+            state = self.inner.wait_settled(state);
         }
         let handles = std::mem::take(&mut state.handles);
         drop(state);
@@ -422,7 +510,7 @@ impl Fleet {
     /// gracefully, and waits for all of them to settle.
     pub fn drain(&self) {
         let ids: Vec<String> = {
-            let mut state = self.inner.state.lock().expect("fleet state");
+            let mut state = self.inner.state();
             state.closed = true;
             state.jobs.keys().cloned().collect()
         };
@@ -448,7 +536,17 @@ impl Fleet {
             let spawned = std::thread::Builder::new()
                 .name(format!("tpupoint-job-{id}"))
                 .spawn(move || {
-                    let result = inner.runner.run(&spec, &ctl);
+                    // A panicking runner must neither skip `settle` (which
+                    // would leak the running slot and hang `wait_idle`
+                    // forever) nor unwind the thread with fleet locks in
+                    // scope: the unwind is caught here and settled as a
+                    // plain job failure.
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        inner.runner.run(&spec, &ctl)
+                    }))
+                    .unwrap_or_else(|payload| {
+                        Err(format!("panicked: {}", panic_message(payload.as_ref())))
+                    });
                     inner.settle(&spec.id, result);
                 });
             match spawned {
@@ -480,13 +578,24 @@ impl Fleet {
         metrics
             .gauge("fleet.jobs_total")
             .set(state.jobs.len() as f64);
+        let active = state
+            .jobs
+            .values()
+            .filter(|j| !j.phase.is_terminal())
+            .count();
+        metrics
+            .gauge("fleet.memory_budget_bytes")
+            .set(self.inner.limits.memory_budget_bytes as f64);
+        metrics
+            .gauge("fleet.memory_inuse_bytes")
+            .set((active as u64 * JOB_MEMORY_FLOOR_BYTES) as f64);
     }
 }
 
 impl FleetInner {
     /// Records a finished run and dispatches the next queued job.
     fn settle(self: &Arc<Self>, id: &str, result: Result<u64, String>) {
-        let mut state = self.state.lock().expect("fleet state");
+        let mut state = self.state();
         if let Some(entry) = state.jobs.get_mut(id) {
             match result {
                 Ok(steps) => {
@@ -505,7 +614,7 @@ impl FleetInner {
                 }
             }
         }
-        state.running -= 1;
+        state.running = state.running.saturating_sub(1);
         let fleet = Fleet {
             inner: Arc::clone(self),
         };
@@ -559,6 +668,7 @@ mod tests {
                 max_running: 1,
                 max_queued: 2,
                 per_tenant_active: 2,
+                ..FleetLimits::default()
             },
             Box::new(|_: &JobSpec, _: &JobControl| Ok(0u64)),
         );
@@ -599,6 +709,7 @@ mod tests {
                 max_running: 1,
                 max_queued: 8,
                 per_tenant_active: 2,
+                ..FleetLimits::default()
             },
             Box::new(Arc::clone(&runner)),
         );
@@ -628,6 +739,7 @@ mod tests {
                 max_running: 2,
                 max_queued: 16,
                 per_tenant_active: 16,
+                ..FleetLimits::default()
             },
             Box::new(Arc::clone(&runner)),
         );
@@ -671,6 +783,111 @@ mod tests {
         let bad = fleet.status("bad-job").unwrap();
         assert_eq!(bad.phase, JobPhase::Failed);
         assert_eq!(bad.error.as_deref(), Some("boom"));
+    }
+
+    #[test]
+    fn panicking_runner_fails_its_job_without_killing_the_fleet() {
+        let fleet = Fleet::new(
+            FleetLimits {
+                max_running: 1,
+                max_queued: 8,
+                per_tenant_active: 8,
+                ..FleetLimits::default()
+            },
+            Box::new(|spec: &JobSpec, _: &JobControl| {
+                if spec.id.contains("panic") {
+                    panic!("runner exploded");
+                }
+                Ok(3)
+            }),
+        );
+        fleet.submit(spec("panic-job", "t")).unwrap();
+        fleet.submit(spec("after", "t")).unwrap();
+        // With max_running = 1, `after` only ever dispatches if the
+        // panicking job settled and released its running slot.
+        fleet.wait_idle();
+        let failed = fleet.status("panic-job").unwrap();
+        assert_eq!(failed.phase, JobPhase::Failed);
+        assert!(
+            failed.error.as_deref().unwrap().contains("panicked: runner exploded"),
+            "{:?}",
+            failed.error
+        );
+        assert_eq!(fleet.status("after").unwrap().phase, JobPhase::Completed);
+        // The control API is still alive for new work.
+        fleet.submit(spec("next", "t")).unwrap();
+        fleet.wait_idle();
+        assert_eq!(fleet.status("next").unwrap().phase, JobPhase::Completed);
+    }
+
+    #[test]
+    fn poisoned_state_lock_recovers_and_counts() {
+        let fleet = Fleet::new(
+            FleetLimits::default(),
+            Box::new(|_: &JobSpec, _: &JobControl| Ok(0u64)),
+        );
+        fleet.submit(spec("before", "t")).unwrap();
+        fleet.wait_idle();
+        // Poison the state mutex the hard way: panic while holding it.
+        let inner = Arc::clone(&fleet.inner);
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = inner.state.lock().unwrap();
+            panic!("poisoning the fleet state");
+        }));
+        assert!(fleet.inner.state.is_poisoned());
+        // Every lifecycle call keeps working on the recovered state.
+        assert_eq!(fleet.list().len(), 1);
+        assert_eq!(fleet.status("before").unwrap().phase, JobPhase::Completed);
+        fleet.submit(spec("after-poison", "t")).unwrap();
+        fleet.wait_idle();
+        assert_eq!(
+            fleet.status("after-poison").unwrap().phase,
+            JobPhase::Completed
+        );
+        let poisoned = tpupoint_obs::metrics()
+            .snapshot()
+            .counters
+            .get("fleet.poisoned")
+            .copied()
+            .unwrap_or(0);
+        assert!(poisoned >= 1, "recoveries must be counted, got {poisoned}");
+    }
+
+    #[test]
+    fn memory_budget_sheds_admission_and_exports_gauges() {
+        let runner = Arc::new(ParkingRunner {
+            concurrent: AtomicUsize::new(0),
+            peak: AtomicUsize::new(0),
+        });
+        let fleet = Fleet::new(
+            FleetLimits {
+                max_running: 4,
+                max_queued: 16,
+                per_tenant_active: 16,
+                memory_budget_bytes: 2 * JOB_MEMORY_FLOOR_BYTES,
+            },
+            Box::new(Arc::clone(&runner)),
+        );
+        fleet.submit(spec("m-1", "t")).unwrap();
+        fleet.submit(spec("m-2", "t")).unwrap();
+        let err = fleet.submit(spec("m-3", "t")).unwrap_err();
+        assert!(
+            matches!(err, AdmitError::MemoryBudget { active: 2, .. }),
+            "{err:?}"
+        );
+        // Budget accounting is exported (values race with concurrently
+        // running tests' fleets on the process-global registry, so only
+        // presence is asserted here; the serving-layer tests pin values).
+        let gauges = tpupoint_obs::metrics().snapshot().gauges;
+        assert!(gauges.contains_key("fleet.memory_budget_bytes"));
+        assert!(gauges.contains_key("fleet.memory_inuse_bytes"));
+        fleet.drain();
+        // A settled fleet frees its quota: a fresh fleet under the same
+        // budget admits again (terminal jobs release their share).
+        assert!(matches!(
+            fleet.submit(spec("late", "t")),
+            Err(AdmitError::Closed)
+        ));
     }
 
     #[test]

@@ -260,6 +260,15 @@ impl TpuPointBuilder {
         self
     }
 
+    /// Fleet-wide memory budget in MiB for [`TpuPoint::serve_fleet`]
+    /// (CLI: `--fleet-memory-mib`; 0 = unbounded). Admissions past the
+    /// budget are shed with 429, and each admitted job's seal-queue
+    /// high-water and spill cap are sized from its share.
+    pub fn fleet_memory_mib(mut self, mib: u64) -> Self {
+        self.fleet_limits.memory_budget_bytes = mib * 1024 * 1024;
+        self
+    }
+
     /// Finishes the builder.
     pub fn build(self) -> TpuPoint {
         TpuPoint { options: self }

@@ -6,12 +6,22 @@
 //! multi-tenant shape on top of the runtime's
 //! [`Fleet`](tpupoint_runtime::Fleet) orchestrator:
 //!
-//! * **One scrape plane.** A single [`MetricsServer`] serves the whole
-//!   fleet. `GET /metrics` renders every job's own registry as
+//! * **One scrape plane, decoupled from the jobs.** A single
+//!   [`MetricsServer`] serves the whole fleet. `GET /metrics` renders
+//!   every job's *published* [`MetricsSnapshot`] as
 //!   `{job,tenant,workload}`-labeled Prometheus series, plus the pooled
 //!   process-wide series (unlabeled) and a merged fleet aggregate under
 //!   `job="fleet"` — one `HELP`/`TYPE` header per family across all of
-//!   them.
+//!   them. Jobs publish into per-job snapshot slots at seal points (and
+//!   a ~200 ms cadence publisher refreshes between seals), so a scrape
+//!   never takes a job's registry or streaming-analyzer lock: one
+//!   wedged tenant cannot stall `/metrics`, `/healthz`, or `/phases`
+//!   for its neighbours.
+//! * **A fleet memory budget.** `FleetLimits::memory_budget_bytes`
+//!   (CLI: `--fleet-memory-mib`) sheds admissions with 429 once one
+//!   more job would overrun the budget, sizes each admitted job's
+//!   seal-queue high-water and spill cap from its share, and exports
+//!   `fleet.memory_budget_bytes` / `fleet.memory_inuse_bytes`.
 //! * **Per-tenant health attribution.** Every job records into its *own*
 //!   registry (stores, retry/spill resilience, seal pipeline, streaming
 //!   analyzer), so `GET /healthz` attributes each degradation to the job
@@ -42,8 +52,8 @@ use std::time::Duration;
 
 use tpupoint_analyzer::{StreamingAnalyzer, StreamingConfig, STREAM_CADENCE};
 use tpupoint_obs::{
-    to_prometheus_labeled, to_prometheus_multi, Health, LabeledSnapshot, Metrics, MetricsServer,
-    MetricsSnapshot, Request, Response, ServeHooks,
+    to_prometheus_labeled, to_prometheus_multi_ref, Health, LabeledSnapshotRef, Metrics,
+    MetricsServer, MetricsSnapshot, Request, Response, ServeHooks,
 };
 use tpupoint_profiler::{PipelineConfig, ProfilerSink};
 use tpupoint_runtime::{
@@ -117,7 +127,13 @@ impl FleetJobRequest {
 }
 
 /// Per-job state the scrape plane reads: the job's own metrics registry,
-/// its streaming analyzer, and the store knobs its runner applies.
+/// its streaming analyzer, the store knobs its runner applies, and the
+/// *published* snapshot slots the scrape plane actually serves from.
+///
+/// Scrapes never touch `registry` or `streaming` directly — they read
+/// `published_metrics`/`published_phases`, which the job's own threads
+/// swap at seal points (and a coarse-cadence publisher refreshes between
+/// seals). A job wedged mid-update can therefore never stall `/metrics`.
 struct JobRuntime {
     registry: Metrics,
     tenant: String,
@@ -125,6 +141,72 @@ struct JobRuntime {
     streaming: Arc<Mutex<StreamingAnalyzer>>,
     store_fault_prob: f64,
     store_fault_seed: u64,
+    /// Seal-queue backpressure threshold, sized from the fleet memory
+    /// budget at admission time.
+    high_water: usize,
+    /// Spill-queue cap, sized from the fleet memory budget at admission.
+    max_spill: usize,
+    /// The last published registry view; swapped whole, never mutated.
+    published_metrics: Mutex<Arc<MetricsSnapshot>>,
+    /// The last published streaming-phase report, pre-rendered as JSON.
+    published_phases: Mutex<Arc<String>>,
+    /// Bumped once per metrics publish; the aggregate cache keys off it.
+    publish_version: AtomicU64,
+}
+
+impl JobRuntime {
+    /// Snapshots the live registry and swaps it into the published slot.
+    ///
+    /// The snapshot is taken *inside* the slot lock, so the last writer
+    /// always leaves the freshest view: a cadence publish racing a
+    /// run-end publish can never overwrite final state with stale data.
+    fn publish_metrics(&self) {
+        let mut slot = self
+            .published_metrics
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        *slot = Arc::new(self.registry.snapshot());
+        drop(slot);
+        self.publish_version.fetch_add(1, Ordering::Release);
+        tpupoint_obs::metrics().counter("fleet.snapshot_publishes").inc();
+    }
+
+    /// Swaps a pre-rendered phases report into the published slot.
+    fn publish_phases(&self, json: String) {
+        *self
+            .published_phases
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner()) = Arc::new(json);
+    }
+
+    /// The published registry view (cheap: one Arc clone under a lock
+    /// that is only ever held for a swap or a clone).
+    fn metrics_view(&self) -> Arc<MetricsSnapshot> {
+        Arc::clone(
+            &self
+                .published_metrics
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner()),
+        )
+    }
+
+    /// The published phases report.
+    fn phases_view(&self) -> Arc<String> {
+        Arc::clone(
+            &self
+                .published_phases
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner()),
+        )
+    }
+}
+
+/// Cached `job="fleet"` aggregate, keyed by every job's publish version:
+/// a scrape that arrives while nothing republished reuses the merged
+/// snapshot instead of re-folding each family.
+struct AggregateCache {
+    key: Vec<(String, u64)>,
+    value: Arc<MetricsSnapshot>,
 }
 
 /// State shared between the HTTP hooks, the job runner, and the session.
@@ -133,27 +215,44 @@ struct FleetShared {
     root: PathBuf,
     jobs: Mutex<BTreeMap<String, Arc<JobRuntime>>>,
     auto_id: AtomicU64,
+    aggregate: Mutex<Option<AggregateCache>>,
 }
 
 impl FleetShared {
+    /// The current job table as an owned list of Arcs. The `jobs` lock is
+    /// held only for this clone — never across per-job work — so a wedged
+    /// job cannot serialize scrapes behind it.
+    fn job_list(&self) -> Vec<(String, Arc<JobRuntime>)> {
+        let jobs = self
+            .jobs
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        jobs.iter()
+            .map(|(id, job)| (id.clone(), Arc::clone(job)))
+            .collect()
+    }
+
     /// Renders the whole fleet as one Prometheus exposition: the pooled
-    /// process registry (unlabeled), each job's registry under
-    /// `{job,tenant,workload}`, and the merged aggregate under
-    /// `job="fleet"` — one header per family across all of them.
+    /// process registry (unlabeled), each job's *published* snapshot
+    /// under `{job,tenant,workload}`, and the merged aggregate under
+    /// `job="fleet"` — one header per family across all of them. No
+    /// per-job registry or streaming lock is taken, and the published
+    /// snapshots are rendered borrowed, without cloning.
     fn render_metrics(&self) -> String {
-        let jobs = self.jobs.lock().expect("fleet jobs");
-        let mut groups = vec![LabeledSnapshot::new(
-            &[],
-            tpupoint_obs::metrics().snapshot(),
-        )];
-        let mut aggregate: Option<MetricsSnapshot> = None;
-        for (id, job) in jobs.iter() {
-            let snapshot = job.registry.snapshot();
-            match &mut aggregate {
-                Some(merged) => merged.merge(&snapshot),
-                None => aggregate = Some(snapshot.clone()),
-            }
-            groups.push(LabeledSnapshot::new(
+        let jobs = self.job_list();
+        let published: Vec<(String, Arc<JobRuntime>, u64, Arc<MetricsSnapshot>)> = jobs
+            .into_iter()
+            .map(|(id, job)| {
+                let version = job.publish_version.load(Ordering::Acquire);
+                let snapshot = job.metrics_view();
+                (id, job, version, snapshot)
+            })
+            .collect();
+        let process = tpupoint_obs::metrics().snapshot();
+        let aggregate = self.fleet_aggregate(&published);
+        let mut groups = vec![LabeledSnapshotRef::new(&[], &process)];
+        for (id, job, _, snapshot) in &published {
+            groups.push(LabeledSnapshotRef::new(
                 &[
                     ("job", id.as_str()),
                     ("tenant", job.tenant.as_str()),
@@ -162,38 +261,72 @@ impl FleetShared {
                 snapshot,
             ));
         }
-        if let Some(merged) = aggregate {
-            groups.push(LabeledSnapshot::new(&[("job", AGGREGATE_JOB_ID)], merged));
+        if let Some(merged) = &aggregate {
+            groups.push(LabeledSnapshotRef::new(&[("job", AGGREGATE_JOB_ID)], merged));
         }
-        to_prometheus_multi(&groups)
+        to_prometheus_multi_ref(&groups)
+    }
+
+    /// The merged `job="fleet"` snapshot, rebuilt only when some job has
+    /// republished since the cached merge (folded into an empty snapshot
+    /// — no seed clone of the first job's view).
+    fn fleet_aggregate(
+        &self,
+        published: &[(String, Arc<JobRuntime>, u64, Arc<MetricsSnapshot>)],
+    ) -> Option<Arc<MetricsSnapshot>> {
+        if published.is_empty() {
+            return None;
+        }
+        let key: Vec<(String, u64)> = published
+            .iter()
+            .map(|(id, _, version, _)| (id.clone(), *version))
+            .collect();
+        let mut cache = self
+            .aggregate
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if let Some(cached) = cache.as_ref() {
+            if cached.key == key {
+                return Some(Arc::clone(&cached.value));
+            }
+        }
+        let mut merged = MetricsSnapshot::default();
+        for (_, _, _, snapshot) in published {
+            merged.merge(snapshot);
+        }
+        let value = Arc::new(merged);
+        *cache = Some(AggregateCache {
+            key,
+            value: Arc::clone(&value),
+        });
+        Some(value)
     }
 
     /// Fleet health: process-wide degradations plus each job's own,
-    /// attributed to its id and tenant. A healthy tenant stays clean no
-    /// matter how degraded its neighbours are.
+    /// attributed to its id and tenant — read from the published
+    /// snapshots, so one tenant's wedged analyzer never delays the probe.
     fn render_health(&self) -> Health {
         let mut degradations =
             Health::from_snapshot(&tpupoint_obs::metrics().snapshot()).degradations;
-        let jobs = self.jobs.lock().expect("fleet jobs");
-        for (id, job) in jobs.iter() {
-            for line in Health::from_snapshot(&job.registry.snapshot()).degradations {
+        for (id, job) in self.job_list() {
+            for line in Health::from_snapshot(&job.metrics_view()).degradations {
                 degradations.push(format!("job {id} (tenant {}): {line}", job.tenant));
             }
         }
         Health { degradations }
     }
 
-    /// The live streaming-phase reports of every job, as one JSON object
-    /// keyed by job id.
+    /// The published streaming-phase reports of every job, as one JSON
+    /// object keyed by job id. Reads only published slots — no streaming
+    /// lock.
     fn render_phases(&self) -> String {
-        let jobs = self.jobs.lock().expect("fleet jobs");
         let mut body = String::from("{");
-        for (i, (id, job)) in jobs.iter().enumerate() {
+        for (i, (id, job)) in self.job_list().into_iter().enumerate() {
             if i > 0 {
                 body.push_str(", ");
             }
-            let report = job.streaming.lock().expect("streaming lock").report();
-            body.push_str(&format!("{:?}: {}", id, report.to_json().trim_end()));
+            let report = job.phases_view();
+            body.push_str(&format!("{:?}: {}", id, report.trim_end()));
         }
         body.push_str("}\n");
         body
@@ -207,7 +340,7 @@ fn run_fleet_job(shared: &FleetShared, spec: &JobSpec, ctl: &JobControl) -> Resu
     let job_runtime = shared
         .jobs
         .lock()
-        .expect("fleet jobs")
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
         .get(&spec.id)
         .cloned()
         .ok_or_else(|| format!("job {:?} has no runtime entry", spec.id))?;
@@ -228,7 +361,9 @@ fn run_fleet_job(shared: &FleetShared, spec: &JobSpec, ctl: &JobControl) -> Resu
         job.catalog().clone(),
         options.profiler_options,
         store,
-        PipelineConfig::default(),
+        PipelineConfig {
+            high_water: job_runtime.high_water,
+        },
     );
     // Rebind every profiler/store/pipeline series to the job's own
     // registry before the first event, so /metrics and /healthz attribute
@@ -236,36 +371,49 @@ fn run_fleet_job(shared: &FleetShared, spec: &JobSpec, ctl: &JobControl) -> Resu
     sink.use_registry(&job_runtime.registry);
     sink.set_source(&job.config().model, &job.config().dataset.name);
 
-    let registry = job_runtime.registry.clone();
-    let streaming = Arc::clone(&job_runtime.streaming);
+    let observer_runtime = Arc::clone(&job_runtime);
     let observer_status = Arc::clone(&ctl.status);
     let n_ops = job.catalog().len();
     sink.set_seal_observer(
         Box::new(move |records| {
-            let mut analyzer = streaming.lock().expect("streaming lock");
+            let runtime = &observer_runtime;
+            let mut analyzer = runtime
+                .streaming
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
             analyzer.observe_seal(records, n_ops);
-            registry
+            runtime
+                .registry
                 .gauge("analyzer.phase_stability")
                 .set(analyzer.stability());
-            registry
+            runtime
+                .registry
                 .gauge("analyzer.phase_count")
                 .set(analyzer.phase_count() as f64);
-            registry
+            runtime
+                .registry
                 .gauge("analyzer.stable_windows")
                 .set(analyzer.stable_windows() as f64);
             let report = analyzer.report();
             if let Some(step) = report.last_transition_step {
-                registry
+                runtime
+                    .registry
                     .gauge("analyzer.last_transition_step")
                     .set(step as f64);
             }
             for phase in &report.phases {
-                registry
+                runtime
+                    .registry
                     .gauge(&format!("analyzer.phase_occupancy.{}", phase.id))
                     .set(phase.occupancy as f64);
             }
             observer_status
                 .set_stream_state(analyzer.phase_count() as u64, analyzer.stable_windows());
+            // Publish while the analyzer lock is still held so phase
+            // reports from successive seals can never swap out of order.
+            runtime.publish_phases(report.to_json());
+            drop(analyzer);
+            runtime.publish_metrics();
         }),
         STREAM_CADENCE as u64,
     );
@@ -296,6 +444,16 @@ fn run_fleet_job(shared: &FleetShared, spec: &JobSpec, ctl: &JobControl) -> Resu
         ],
     );
     std::fs::write(dir.join("metrics.prom"), scrape).map_err(|err| format!("scrape: {err}"))?;
+    // Final publish: the registry is quiescent after finish(), so from
+    // here on every scrape of this job serves its settled end state.
+    let final_phases = job_runtime
+        .streaming
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+        .report()
+        .to_json();
+    job_runtime.publish_phases(final_phases);
+    job_runtime.publish_metrics();
     Ok(report.steps_completed)
 }
 
@@ -340,11 +498,34 @@ fn build_job_store(
             RetryPolicy {
                 max_retries: options.store_retries,
                 sleep_backoff: options.serve_real_backoff,
+                max_spill: job.max_spill,
                 ..RetryPolicy::default()
             },
         ));
     }
     Ok(store)
+}
+
+/// Sizes one job's seal-queue high-water and spill cap from its share of
+/// the fleet memory budget. With no budget (0), the single-job defaults
+/// apply. With one, each admitted job gets `budget / jobs` bytes; half of
+/// the share bounds the seal queue and half the spill queue, at ~4 KiB
+/// per in-flight record (a sealed JSONL step row with its op vector),
+/// clamped so a tiny share still makes progress and a huge one never
+/// exceeds the single-job defaults.
+fn derive_job_caps(budget_bytes: u64, admitted_jobs: usize) -> (usize, usize) {
+    const APPROX_RECORD_BYTES: u64 = 4096;
+    let default_high_water = PipelineConfig::default().high_water;
+    let default_max_spill = tpupoint_profiler::RetryPolicy::default().max_spill;
+    if budget_bytes == 0 {
+        return (default_high_water, default_max_spill);
+    }
+    let share = budget_bytes / admitted_jobs.max(1) as u64;
+    let records = (share / 2 / APPROX_RECORD_BYTES) as usize;
+    (
+        records.clamp(16, default_high_water),
+        records.clamp(100, default_max_spill),
+    )
 }
 
 /// A running fleet session: the orchestrator plus the HTTP scrape plane.
@@ -357,6 +538,8 @@ pub struct FleetSession {
     shared: Arc<FleetShared>,
     quit: Arc<AtomicBool>,
     sigint: bool,
+    publisher_stop: Arc<AtomicBool>,
+    publisher: Option<std::thread::JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for FleetSession {
@@ -435,7 +618,7 @@ impl FleetSession {
     /// # Errors
     ///
     /// Returns an error if the final scrape cannot be written.
-    pub fn wait(self) -> io::Result<Vec<JobStatus>> {
+    pub fn wait(mut self) -> io::Result<Vec<JobStatus>> {
         while !self.quit.load(Ordering::SeqCst) {
             if self.sigint && sigint::hit() {
                 self.quit.store(true, Ordering::SeqCst);
@@ -443,6 +626,12 @@ impl FleetSession {
             std::thread::sleep(Duration::from_millis(20));
         }
         self.fleet.drain();
+        // Stop the cadence publisher before the final scrape: every job
+        // already published its settled end state from its own thread.
+        self.publisher_stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.publisher.take() {
+            let _ = handle.join();
+        }
         let scrape = self.shared.render_metrics();
         std::fs::create_dir_all(&self.shared.root)?;
         std::fs::write(self.shared.root.join("metrics.prom"), scrape)?;
@@ -466,7 +655,7 @@ fn submit_job(
             if !shared
                 .jobs
                 .lock()
-                .expect("fleet jobs")
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
                 .contains_key(&candidate)
             {
                 break candidate;
@@ -475,7 +664,17 @@ fn submit_job(
     };
     let registry = Metrics::new();
     preregister_series_in(&registry);
+    let (high_water, max_spill) = derive_job_caps(
+        shared.options.fleet_limits.memory_budget_bytes,
+        fleet.active_count() + 1,
+    );
+    let initial_phases = StreamingAnalyzer::new(StreamingConfig::default())
+        .report()
+        .to_json();
     let runtime = Arc::new(JobRuntime {
+        published_metrics: Mutex::new(Arc::new(registry.snapshot())),
+        published_phases: Mutex::new(Arc::new(initial_phases)),
+        publish_version: AtomicU64::new(0),
         registry,
         tenant: request.tenant.clone(),
         workload: request.config.model.clone(),
@@ -484,11 +683,16 @@ fn submit_job(
         ))),
         store_fault_prob: request.store_fault_prob,
         store_fault_seed: request.store_fault_seed,
+        high_water,
+        max_spill,
     });
     {
         // Checked here, under the side-table lock, so a duplicate id can
         // never overwrite (and then roll back) the original's runtime.
-        let mut jobs = shared.jobs.lock().expect("fleet jobs");
+        let mut jobs = shared
+            .jobs
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
         if jobs.contains_key(&id) {
             return Err(AdmitError::Duplicate(id));
         }
@@ -503,19 +707,26 @@ fn submit_job(
     match fleet.submit(spec) {
         Ok(()) => Ok(id),
         Err(err) => {
-            shared.jobs.lock().expect("fleet jobs").remove(&id);
+            shared
+                .jobs
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .remove(&id);
             Err(err)
         }
     }
 }
 
 /// Maps an admission refusal to its HTTP status: client mistakes are
-/// 4xx (400 invalid, 409 duplicate, 429 backpressure), drain is 503.
+/// 4xx (400 invalid, 409 duplicate, 429 backpressure — including an
+/// exhausted fleet memory budget), drain is 503.
 fn admit_status(err: &AdmitError) -> u16 {
     match err {
         AdmitError::InvalidId(_) => 400,
         AdmitError::Duplicate(_) => 409,
-        AdmitError::Saturated { .. } | AdmitError::TenantQuota { .. } => 429,
+        AdmitError::Saturated { .. }
+        | AdmitError::TenantQuota { .. }
+        | AdmitError::MemoryBudget { .. } => 429,
         AdmitError::Closed => 503,
     }
 }
@@ -640,15 +851,15 @@ fn route_jobs(
     }
     let id = request.path.strip_prefix("/jobs/")?;
     if let Some(id) = id.strip_suffix("/phases") {
-        let jobs = shared.jobs.lock().expect("fleet jobs");
-        return Some(match jobs.get(id) {
-            Some(job) => Response::json(
-                job.streaming
-                    .lock()
-                    .expect("streaming lock")
-                    .report()
-                    .to_json(),
-            ),
+        // Published slot only: a wedged analyzer cannot stall this route.
+        let job = shared
+            .jobs
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .get(id)
+            .cloned();
+        return Some(match job {
+            Some(job) => Response::json(job.phases_view().as_str().to_owned()),
             None => Response::json_status(404, format!("{{\"error\": \"no job {id:?}\"}}\n")),
         });
     }
@@ -697,9 +908,13 @@ impl TpuPoint {
             "fleet.jobs_running",
             "fleet.jobs_queued",
             "fleet.jobs_total",
+            "fleet.memory_budget_bytes",
+            "fleet.memory_inuse_bytes",
         ] {
             metrics.gauge(gauge);
         }
+        metrics.counter("fleet.poisoned");
+        metrics.counter("fleet.snapshot_publishes");
         if options.serve_sigint {
             sigint::install();
         }
@@ -709,7 +924,27 @@ impl TpuPoint {
             root,
             jobs: Mutex::new(BTreeMap::new()),
             auto_id: AtomicU64::new(0),
+            aggregate: Mutex::new(None),
         });
+        // Coarse-cadence publisher: refreshes every job's published
+        // metrics between seal points, so idle or slow-sealing jobs still
+        // converge on /metrics within ~200 ms. Phases republish only at
+        // seals (the analyzer state only changes there).
+        let publisher_stop = Arc::new(AtomicBool::new(false));
+        let publisher = {
+            let shared = Arc::clone(&shared);
+            let stop = Arc::clone(&publisher_stop);
+            std::thread::Builder::new()
+                .name("tpupoint-fleet-publish".to_owned())
+                .spawn(move || {
+                    while !stop.load(Ordering::SeqCst) {
+                        std::thread::sleep(Duration::from_millis(200));
+                        for (_, job) in shared.job_list() {
+                            job.publish_metrics();
+                        }
+                    }
+                })?
+        };
         let runner_shared = Arc::clone(&shared);
         let fleet = Arc::new(Fleet::new(
             options.fleet_limits,
@@ -764,6 +999,8 @@ impl TpuPoint {
             shared,
             quit,
             sigint: options.serve_sigint,
+            publisher_stop,
+            publisher: Some(publisher),
         })
     }
 }
@@ -902,6 +1139,80 @@ mod tests {
         assert_eq!(admit_status(&err), 400);
         // A refused submission leaves no runtime entry behind.
         assert_eq!(session.shared.jobs.lock().unwrap().len(), 1);
+        session.request_quit();
+        session.wait().expect("drains");
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn derive_job_caps_scales_with_budget_and_clamps() {
+        // No budget: single-job defaults.
+        assert_eq!(derive_job_caps(0, 10), (256, 100_000));
+        // 64 MiB across 8 jobs → 8 MiB share → 4 MiB per queue →
+        // 1024 records, clamped to the 256 high-water default.
+        let (hw, spill) = derive_job_caps(64 * 1024 * 1024, 8);
+        assert_eq!(hw, 256);
+        assert_eq!(spill, 1024);
+        // A starvation-level share still leaves the floors.
+        let (hw, spill) = derive_job_caps(1024 * 1024, 64);
+        assert_eq!(hw, 16);
+        assert_eq!(spill, 100);
+    }
+
+    #[test]
+    fn scrapes_survive_a_job_wedged_inside_a_streaming_update() {
+        let root = temp_root("wedged");
+        let _ = std::fs::remove_dir_all(&root);
+        let session = fleet_at(&root);
+        let addr = session.addr();
+        let id = session
+            .submit(FleetJobRequest::new(JobConfig::demo()).id("wedge"))
+            .expect("admits");
+        session.wait_jobs_idle();
+
+        // Wedge the job's analyzer: a thread grabs its streaming lock and
+        // sits on it, as if an observe_seal were stuck mid-update.
+        let job = Arc::clone(session.shared.jobs.lock().unwrap().get(&id).unwrap());
+        let release = Arc::new(AtomicBool::new(false));
+        let wedge = {
+            let job = Arc::clone(&job);
+            let release = Arc::clone(&release);
+            std::thread::spawn(move || {
+                let _guard = job.streaming.lock().unwrap();
+                while !release.load(Ordering::SeqCst) {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            })
+        };
+        while !job.streaming.try_lock().is_err() {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+
+        // Every scrape-plane route must answer from published snapshots,
+        // far faster than any wedge-release path could explain.
+        let bound = Duration::from_secs(2);
+        for path in ["/metrics", "/healthz", "/phases", "/jobs/wedge/phases"] {
+            let start = std::time::Instant::now();
+            let response = get(addr, path);
+            let elapsed = start.elapsed();
+            assert!(
+                elapsed < bound,
+                "{path} took {elapsed:?} with a wedged streaming lock"
+            );
+            if path == "/healthz" {
+                // Parallel tests fault the process-global registry, so
+                // health may legitimately report 503 — it only matters
+                // that it answered within the bound.
+                assert!(response.starts_with("HTTP/1.1"), "{path}: {response}");
+            } else {
+                assert!(response.starts_with("HTTP/1.1 200"), "{path}: {response}");
+            }
+        }
+        let scrape = get(addr, "/metrics");
+        assert!(scrape.contains("job=\"wedge\""), "{scrape}");
+
+        release.store(true, Ordering::SeqCst);
+        wedge.join().unwrap();
         session.request_quit();
         session.wait().expect("drains");
         std::fs::remove_dir_all(&root).unwrap();
